@@ -1,0 +1,68 @@
+//! E1 benches: evaluating and sampling the Theorem 2.4 stationary law, and
+//! the exact verification pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popgame_dist::multinomial::Multinomial;
+use popgame_ehrenfest::exact::verify_theorem_24;
+use popgame_ehrenfest::process::EhrenfestParams;
+use popgame_ehrenfest::stationary::stationary_distribution;
+use popgame_util::rng::rng_from_seed;
+use std::time::Duration;
+
+fn bench_stationary_pmf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/stationary_pmf");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for (k, m) in [(4usize, 64u64), (8, 256), (16, 1024)] {
+        let params = EhrenfestParams::new(k, 0.3, 0.15, m).unwrap();
+        let dist = stationary_distribution(&params);
+        let mean: Vec<u64> = dist.mean().iter().map(|&x| x.round() as u64).collect();
+        // Project the rounded mean back onto the simplex.
+        let mut counts = mean;
+        let diff = m as i64 - counts.iter().sum::<u64>() as i64;
+        counts[k - 1] = (counts[k - 1] as i64 + diff) as u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_m{m}")),
+            &(dist, counts),
+            |b, (dist, counts)| b.iter(|| dist.ln_pmf(counts)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_stationary_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/stationary_sample");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for (k, m) in [(4usize, 64u64), (8, 1024), (16, 16_384)] {
+        let params = EhrenfestParams::new(k, 0.3, 0.15, m).unwrap();
+        let dist: Multinomial = stationary_distribution(&params);
+        let mut rng = rng_from_seed(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_m{m}")),
+            &dist,
+            |b, dist| b.iter(|| dist.sample(&mut rng)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/exact_verification");
+    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    for (k, m) in [(3usize, 8u64), (4, 6)] {
+        let params = EhrenfestParams::new(k, 0.3, 0.15, m).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_m{m}")),
+            &params,
+            |b, params| b.iter(|| verify_theorem_24(params).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stationary_pmf,
+    bench_stationary_sampling,
+    bench_exact_verification
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E2/E3/E12 benches: the mixing-time machinery — exact birth–death
+//! profiles, full-chain propagation, and coupling simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popgame_ehrenfest::coupling::EhrenfestCoupling;
+use popgame_ehrenfest::mixing::{exact_mixing_time, exact_mixing_time_k2, k2_birth_death};
+use popgame_ehrenfest::process::EhrenfestParams;
+use popgame_markov::coupling::Coupling;
+use popgame_markov::mixing::MIXING_THRESHOLD;
+use popgame_util::rng::rng_from_seed;
+use std::time::Duration;
+
+fn bench_k2_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/k2_exact_mixing");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for m in [128u64, 512] {
+        let params = EhrenfestParams::new(2, 0.3, 0.3, m).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &params, |b, p| {
+            b.iter(|| {
+                exact_mixing_time_k2(p, MIXING_THRESHOLD, 4_000_000)
+                    .unwrap()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_birth_death_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/birth_death_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for m in [1024u64, 8192] {
+        let params = EhrenfestParams::new(2, 0.5, 0.5, m).unwrap();
+        let bd = k2_birth_death(&params).unwrap();
+        let mut nu = vec![0.0; (m + 1) as usize];
+        nu[0] = 1.0;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &bd, |b, bd| {
+            b.iter(|| {
+                nu = bd.step_distribution(&nu);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_chain_mixing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/full_chain_mixing");
+    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    let params = EhrenfestParams::new(3, 0.3, 0.2, 10).unwrap();
+    group.bench_function("k3_m10", |b| {
+        b.iter(|| {
+            exact_mixing_time(&params, MIXING_THRESHOLD, 200_000)
+                .unwrap()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_coupling_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/coupling_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for (k, m) in [(4usize, 64u64), (16, 256)] {
+        let params = EhrenfestParams::new(k, 0.35, 0.15, m).unwrap();
+        let mut coupling = EhrenfestCoupling::from_extreme_corners(params);
+        let mut rng = rng_from_seed(2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_m{m}")),
+            &(),
+            |b, ()| b.iter(|| coupling.step(&mut rng)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_k2_exact,
+    bench_birth_death_step,
+    bench_full_chain_mixing,
+    bench_coupling_steps
+);
+criterion_main!(benches);

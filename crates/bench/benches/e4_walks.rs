@@ -1,0 +1,37 @@
+//! E4 benches: absorbing-walk simulation and closed forms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popgame_markov::walk::AbsorbingWalk;
+use popgame_util::rng::rng_from_seed;
+use std::time::Duration;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/absorption_simulate");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for (a, b, k) in [(0.4, 0.2, 8u32), (0.25, 0.25, 8), (0.25, 0.25, 32)] {
+        let walk = AbsorbingWalk::new(a, b, k).unwrap();
+        let mut rng = rng_from_seed(3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("a{a}_b{b}_k{k}")),
+            &walk,
+            |bch, walk| bch.iter(|| walk.simulate(&mut rng)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/closed_forms");
+    group.measurement_time(Duration::from_secs(2)).sample_size(50);
+    let walk = AbsorbingWalk::new(0.4, 0.2, 64).unwrap();
+    group.bench_function("martingale", |b| {
+        b.iter(|| walk.expected_absorption_time())
+    });
+    group.bench_function("linear_solve", |b| {
+        b.iter(|| walk.expected_absorption_time_linear())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_closed_forms);
+criterion_main!(benches);

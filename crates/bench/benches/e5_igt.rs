@@ -1,0 +1,115 @@
+//! E5 benches: the engine ablation DESIGN.md calls out — agent-level vs
+//! count-level vs raw Ehrenfest stepping of the same dynamics, plus the
+//! action-observed variant's per-interaction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popgame_game::params::GameParams;
+use popgame_igt::dynamics::{
+    agent_population, count_level_process, counted_population, IgtProtocol, IgtVariant,
+};
+use popgame_igt::observed::{Classifier, ObservedIgtProtocol};
+use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
+use popgame_util::rng::rng_from_seed;
+use std::time::Duration;
+
+fn config(k: usize) -> IgtConfig {
+    IgtConfig::new(
+        PopulationComposition::new(0.3, 0.2, 0.5).unwrap(),
+        GenerosityGrid::new(k, 0.6).unwrap(),
+        GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap(),
+    )
+}
+
+fn bench_agent_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/agent_level_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for n in [100u64, 10_000] {
+        let cfg = config(6);
+        let mut pop = agent_population(&cfg, n, 0).unwrap();
+        let protocol = IgtProtocol::from_config(&cfg);
+        let mut rng = rng_from_seed(4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| pop.step(&protocol, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/count_level_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for n in [100u64, 10_000] {
+        let cfg = config(6);
+        let mut pop = counted_population(&cfg, n, 0).unwrap();
+        let protocol = IgtProtocol::from_config(&cfg);
+        let mut rng = rng_from_seed(5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| pop.step(&protocol, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ehrenfest_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/ehrenfest_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for n in [100u64, 10_000] {
+        let cfg = config(6);
+        let mut process = count_level_process(&cfg, n, 0).unwrap();
+        let mut rng = rng_from_seed(6);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| process.step(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_observed_variant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/observed_step");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    // Each interaction plays a full repeated game; cost scales with
+    // E[rounds] = 1/(1−δ).
+    for delta in [0.5, 0.9] {
+        let cfg = IgtConfig::new(
+            PopulationComposition::new(0.3, 0.2, 0.5).unwrap(),
+            GenerosityGrid::new(6, 0.6).unwrap(),
+            GameParams::new(2.0, 0.5, delta, 0.95).unwrap(),
+        );
+        let mut pop = agent_population(&cfg, 200, 0).unwrap();
+        let protocol = ObservedIgtProtocol::new(cfg, Classifier::MajorityDefection);
+        let mut rng = rng_from_seed(7);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &(), |b, ()| {
+            b.iter(|| pop.step(&protocol, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/variant_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for (label, variant) in [
+        ("standard", IgtVariant::Standard),
+        ("strict", IgtVariant::StrictIncrease),
+        ("two_way", IgtVariant::TwoWay),
+    ] {
+        let cfg = config(6);
+        let mut pop = agent_population(&cfg, 1_000, 0).unwrap();
+        let protocol = IgtProtocol::new(6, variant);
+        let mut rng = rng_from_seed(8);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| pop.step(&protocol, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_agent_level,
+    bench_count_level,
+    bench_ehrenfest_direct,
+    bench_observed_variant,
+    bench_variants
+);
+criterion_main!(benches);

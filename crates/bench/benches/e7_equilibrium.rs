@@ -1,0 +1,55 @@
+//! E7 benches: equilibrium-gap evaluation and the Appendix D
+//! decomposition across grid sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popgame_equilibrium::rd::{equilibrium_gap, full_distributional_game};
+use popgame_equilibrium::taylor::decompose;
+use popgame_game::params::GameParams;
+use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
+use popgame_igt::stationary::mean_stationary_mu;
+use std::time::Duration;
+
+fn config(k: usize) -> IgtConfig {
+    IgtConfig::new(
+        PopulationComposition::new(0.55, 0.05, 0.4).unwrap(),
+        GenerosityGrid::new(k, 0.2).unwrap(),
+        GameParams::new(8.0, 0.4, 0.5, 0.9).unwrap(),
+    )
+}
+
+fn bench_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/equilibrium_gap");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for k in [8usize, 32, 128] {
+        let cfg = config(k);
+        let mu = mean_stationary_mu(&cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(cfg, mu), |b, (cfg, mu)| {
+            b.iter(|| equilibrium_gap(cfg, mu))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/decomposition");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let cfg = config(32);
+    let mu = mean_stationary_mu(&cfg);
+    group.bench_function("k32", |b| b.iter(|| decompose(&cfg, &mu)));
+    group.finish();
+}
+
+fn bench_full_game_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/full_game_matrix");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for k in [8usize, 32] {
+        let cfg = config(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| full_distributional_game(cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap, bench_decomposition, bench_full_game_build);
+criterion_main!(benches);

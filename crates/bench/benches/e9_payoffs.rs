@@ -1,0 +1,45 @@
+//! E9 benches: the three payoff evaluation routes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popgame_game::monte_carlo::play_repeated_game;
+use popgame_game::params::GameParams;
+use popgame_game::payoff::{expected_payoff, gtft_vs_gtft};
+use popgame_game::strategy::MemoryOneStrategy;
+use popgame_util::rng::rng_from_seed;
+use std::time::Duration;
+
+fn bench_payoff_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/payoff_routes");
+    group.measurement_time(Duration::from_secs(2)).sample_size(50);
+    let params = GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap();
+    let row = MemoryOneStrategy::gtft(0.3, 0.95);
+    let col = MemoryOneStrategy::gtft(0.6, 0.95);
+
+    group.bench_function("closed_form", |b| {
+        b.iter(|| gtft_vs_gtft(0.3, 0.6, &params))
+    });
+    group.bench_function("linear_solve", |b| {
+        b.iter(|| expected_payoff(&row, &col, &params))
+    });
+    let mut rng = rng_from_seed(9);
+    group.bench_function("monte_carlo_game", |b| {
+        b.iter(|| play_repeated_game(&row, &col, &params, None, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_derivatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/derivatives");
+    group.measurement_time(Duration::from_secs(2)).sample_size(50);
+    let params = GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap();
+    group.bench_function("dfdg", |b| {
+        b.iter(|| popgame_game::calculus::dfdg(0.3, 0.5, &params))
+    });
+    group.bench_function("d2fdg2", |b| {
+        b.iter(|| popgame_game::calculus::d2fdg2(0.3, 0.5, &params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_payoff_routes, bench_derivatives);
+criterion_main!(benches);

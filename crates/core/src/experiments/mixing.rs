@@ -1,0 +1,294 @@
+//! E2/E3 (Theorem 2.5 and Proposition A.9) and E12 (Remark 2.6): mixing
+//! times and cutoff.
+
+use crate::experiments::table::{fmt_f, TextTable};
+use popgame_ehrenfest::coupling::{corner_coupling_times, lemma_a8_upper_bound};
+use popgame_ehrenfest::cutoff::cutoff_profile;
+use popgame_ehrenfest::exact::exact_chain;
+use popgame_ehrenfest::mixing::{
+    exact_mixing_time, exact_mixing_time_k2, theorem_25_lower_bound,
+};
+use popgame_ehrenfest::process::EhrenfestParams;
+use popgame_markov::diameter::diameter_exact;
+use popgame_markov::mixing::MIXING_THRESHOLD;
+use popgame_util::stats::power_law_fit;
+use std::fmt;
+
+/// The E2 report: Theorem 2.5's scaling shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E2Report {
+    /// `(k, t_mix)` for the unbiased family (`a = b`), exact.
+    pub k_sweep_unbiased: Vec<(usize, u64)>,
+    /// `(k, t_mix)` for the biased family, exact.
+    pub k_sweep_biased: Vec<(usize, u64)>,
+    /// Fitted k-exponent of the unbiased family (theory: ≈ 2).
+    pub exponent_unbiased: f64,
+    /// Fitted k-exponent of the biased family (theory: → 1).
+    pub exponent_biased: f64,
+    /// `(m, t_mix)` for `k = 2` via the exact birth–death projection.
+    pub m_sweep: Vec<(u64, u64)>,
+    /// Fitted m-exponent at `k = 2` (theory: ≈ 1 up to the log factor).
+    pub exponent_m: f64,
+    /// `(k, coupling-bound t_mix, Lemma A.8 closed form)` at scale
+    /// (state spaces far beyond exact enumeration).
+    pub coupling_rows: Vec<(usize, u64, f64)>,
+}
+
+impl fmt::Display for E2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E2 (Theorem 2.5): t_mix scaling")?;
+        writeln!(
+            f,
+            "k-sweep at m = 6 (exact): unbiased exponent {:.2} (theory 2), biased exponent {:.2} (theory -> 1)",
+            self.exponent_unbiased, self.exponent_biased
+        )?;
+        let mut t = TextTable::new(vec!["k", "t_mix (a=b)", "t_mix (a=4b)"]);
+        for ((k, tu), (_, tb)) in self.k_sweep_unbiased.iter().zip(&self.k_sweep_biased) {
+            t.row(vec![k.to_string(), tu.to_string(), tb.to_string()]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "m-sweep at k = 2 (exact birth-death): exponent {:.2} (theory 1 + log factor)",
+            self.exponent_m
+        )?;
+        let mut t = TextTable::new(vec!["m", "t_mix"]);
+        for (m, tm) in &self.m_sweep {
+            t.row(vec![m.to_string(), tm.to_string()]);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "coupling upper bounds at scale (m = 64):")?;
+        let mut t = TextTable::new(vec!["k", "coupling t_mix bound", "Lemma A.8 closed form"]);
+        for (k, bound, formula) in &self.coupling_rows {
+            t.row(vec![k.to_string(), bound.to_string(), fmt_f(*formula)]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs E2: exact k-sweeps, the exact `k = 2` m-sweep, and coupling bounds
+/// at scale.
+pub fn run_e2(seed: u64) -> E2Report {
+    // (i) k-sweep at fixed small m, exact.
+    let m_small = 6u64;
+    let ks = [2usize, 3, 4, 6, 8, 10];
+    let sweep = |a: f64, b: f64| -> Vec<(usize, u64)> {
+        ks.iter()
+            .map(|&k| {
+                let p = EhrenfestParams::new(k, a, b, m_small).expect("valid");
+                let t = exact_mixing_time(&p, MIXING_THRESHOLD, 2_000_000)
+                    .expect("small instance")
+                    .expect("mixes");
+                (k, t as u64)
+            })
+            .collect()
+    };
+    let k_sweep_unbiased = sweep(0.25, 0.25);
+    let k_sweep_biased = sweep(0.4, 0.1);
+    let fit = |rows: &[(usize, u64)]| {
+        let xs: Vec<f64> = rows.iter().map(|(k, _)| *k as f64).collect();
+        let ys: Vec<f64> = rows.iter().map(|(_, t)| *t as f64).collect();
+        power_law_fit(&xs, &ys).expect("positive data").0
+    };
+    let exponent_unbiased = fit(&k_sweep_unbiased);
+    let exponent_biased = fit(&k_sweep_biased);
+
+    // (ii) m-sweep at k = 2, exact via birth–death.
+    let ms = [32u64, 64, 128, 256, 512, 1024];
+    let m_sweep: Vec<(u64, u64)> = ms
+        .iter()
+        .map(|&m| {
+            let p = EhrenfestParams::new(2, 0.3, 0.3, m).expect("valid");
+            let t = exact_mixing_time_k2(&p, MIXING_THRESHOLD, 4_000_000)
+                .expect("k = 2")
+                .expect("mixes");
+            (m, t as u64)
+        })
+        .collect();
+    let exponent_m = {
+        let xs: Vec<f64> = m_sweep.iter().map(|(m, _)| *m as f64).collect();
+        let ys: Vec<f64> = m_sweep.iter().map(|(_, t)| *t as f64).collect();
+        power_law_fit(&xs, &ys).expect("positive data").0
+    };
+
+    // (iii) coupling bounds where exact enumeration is hopeless.
+    let coupling_rows = [4usize, 8, 16]
+        .iter()
+        .map(|&k| {
+            let p = EhrenfestParams::new(k, 0.35, 0.15, 64).expect("valid");
+            let cap = (lemma_a8_upper_bound(&p) * 4.0) as u64;
+            let times = corner_coupling_times(p, 200, cap, seed);
+            let bound = times
+                .mixing_time_upper_bound(MIXING_THRESHOLD)
+                .expect("threshold valid")
+                .expect("couples within cap");
+            (k, bound, lemma_a8_upper_bound(&p))
+        })
+        .collect();
+
+    E2Report {
+        k_sweep_unbiased,
+        k_sweep_biased,
+        exponent_unbiased,
+        exponent_biased,
+        m_sweep,
+        exponent_m,
+        coupling_rows,
+    }
+}
+
+/// The E3 report: the diameter lower bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E3Report {
+    /// `(k, m, diameter, (k−1)m, t_mix, lower bound (k−1)m/2)` rows.
+    pub rows: Vec<(usize, u64, usize, u64, u64, u64)>,
+}
+
+impl E3Report {
+    /// Whether `t_mix ≥ (k−1)m/2` held on every instance.
+    pub fn all_bounds_hold(&self) -> bool {
+        self.rows.iter().all(|&(_, _, _, _, tmix, lb)| tmix >= lb)
+    }
+}
+
+impl fmt::Display for E3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E3 (Prop A.9): diameter (k-1)m ⇒ t_mix ≥ (k-1)m/2 (all hold: {})",
+            self.all_bounds_hold()
+        )?;
+        let mut t = TextTable::new(vec!["k", "m", "diam", "(k-1)m", "t_mix", "bound"]);
+        for &(k, m, d, km, tmix, lb) in &self.rows {
+            t.row(vec![
+                k.to_string(),
+                m.to_string(),
+                d.to_string(),
+                km.to_string(),
+                tmix.to_string(),
+                lb.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs E3 on exact instances.
+pub fn run_e3() -> E3Report {
+    let rows = [
+        (2usize, 8u64, 0.3, 0.3),
+        (3, 6, 0.3, 0.3),
+        (4, 5, 0.35, 0.15),
+        (5, 4, 0.25, 0.25),
+    ]
+    .iter()
+    .map(|&(k, m, a, b)| {
+        let p = EhrenfestParams::new(k, a, b, m).expect("valid");
+        let chain = exact_chain(&p).expect("small");
+        let d = diameter_exact(&chain);
+        let tmix = exact_mixing_time(&p, MIXING_THRESHOLD, 2_000_000)
+            .expect("small")
+            .expect("mixes") as u64;
+        (k, m, d, (k as u64 - 1) * m, tmix, theorem_25_lower_bound(&p))
+    })
+    .collect();
+    E3Report { rows }
+}
+
+/// The E12 report: cutoff profiles (Remark 2.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct E12Report {
+    /// `(m, scaled mixing location t_mix/(½ m ln m), window/t_mix)` rows.
+    pub rows: Vec<(u64, f64, f64)>,
+}
+
+impl E12Report {
+    /// Whether the relative window shrinks monotonically with `m`
+    /// (the cutoff signature).
+    pub fn window_sharpens(&self) -> bool {
+        self.rows.windows(2).all(|w| w[1].2 <= w[0].2 + 1e-9)
+    }
+}
+
+impl fmt::Display for E12Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E12 (Remark 2.6): cutoff of the lazy two-urn process at ~½ m ln m (window sharpens: {})",
+            self.window_sharpens()
+        )?;
+        let mut t = TextTable::new(vec!["m", "t_mix / (0.5 m ln m)", "window / t_mix"]);
+        for &(m, loc, rel) in &self.rows {
+            t.row(vec![m.to_string(), fmt_f(loc), fmt_f(rel)]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs E12 over a geometric `m` grid.
+pub fn run_e12() -> E12Report {
+    let rows = [64u64, 128, 256, 512, 1024, 2048]
+        .iter()
+        .map(|&m| {
+            let p = EhrenfestParams::new(2, 0.5, 0.5, m).expect("valid");
+            let profile = cutoff_profile(&p, 2.5, 12).expect("k = 2");
+            let loc = profile.scaled_mixing_location().expect("mixes in horizon");
+            let t_mix = profile
+                .crossings
+                .iter()
+                .find(|(thr, _)| *thr == 0.25)
+                .and_then(|(_, t)| *t)
+                .expect("crossed");
+            let window = profile.window_width().expect("measured") as f64;
+            (m, loc, window / t_mix as f64)
+        })
+        .collect();
+    E12Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_exponents_separate() {
+        let r = run_e2(3);
+        assert!(r.exponent_unbiased > 1.8, "unbiased {}", r.exponent_unbiased);
+        assert!(
+            r.exponent_biased < r.exponent_unbiased - 0.3,
+            "biased {} vs unbiased {}",
+            r.exponent_biased,
+            r.exponent_unbiased
+        );
+        // m-exponent slightly above 1 (the log factor).
+        assert!((0.95..=1.35).contains(&r.exponent_m), "m exponent {}", r.exponent_m);
+        // The Monte-Carlo coupling bound must not exceed the closed form.
+        for &(k, bound, formula) in &r.coupling_rows {
+            assert!(
+                (bound as f64) <= formula,
+                "k={k}: coupling bound {bound} above Lemma A.8 {formula}"
+            );
+        }
+        assert!(r.to_string().contains("Theorem 2.5"));
+    }
+
+    #[test]
+    fn e3_lower_bounds_hold() {
+        let r = run_e3();
+        assert!(r.all_bounds_hold());
+        for &(k, m, d, km, _, _) in &r.rows {
+            assert_eq!(d as u64, km, "diameter mismatch at k={k}, m={m}");
+        }
+        assert!(r.to_string().contains("diam"));
+    }
+
+    #[test]
+    fn e12_shows_cutoff() {
+        let r = run_e12();
+        assert!(r.window_sharpens(), "rows: {:?}", r.rows);
+        for &(m, loc, _) in &r.rows {
+            assert!((0.5..=1.5).contains(&loc), "m={m}: location {loc}");
+        }
+        assert!(r.to_string().contains("cutoff"));
+    }
+}

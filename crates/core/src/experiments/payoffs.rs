@@ -1,0 +1,221 @@
+//! E8 (Proposition 2.2) and E9 (Appendix B): payoff structure.
+
+use crate::experiments::table::{fmt_f, TextTable};
+use popgame_game::monte_carlo::estimate_payoffs;
+use popgame_game::params::GameParams;
+use popgame_game::payoff::{expected_payoff, gtft_payoff_closed};
+use popgame_game::regime::{check_prop22, verify_prop22_on_grid};
+use popgame_game::strategy::{MemoryOneStrategy, StrategyKind};
+use popgame_util::rng::rng_from_seed;
+use std::fmt;
+
+/// The E8 report: Proposition 2.2 verified on grids, with negative
+/// controls outside the regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E8Report {
+    /// `(b, c, δ, s1, g_max, triples checked)` for in-regime instances.
+    pub verified: Vec<(f64, f64, f64, f64, f64, usize)>,
+    /// Out-of-regime instances where monotonicity demonstrably breaks
+    /// (`(b, c, δ, s1, g_max)`).
+    pub counterexamples: Vec<(f64, f64, f64, f64, f64)>,
+}
+
+impl fmt::Display for E8Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E8 (Prop 2.2): payoff monotonicity inside the regime (δ > c/b, ĝ < 1 − c/(δb))"
+        )?;
+        let mut t = TextTable::new(vec!["b", "c", "delta", "s1", "g_max", "triples OK"]);
+        for &(b, c, d, s1, g, n) in &self.verified {
+            t.row(vec![
+                fmt_f(b),
+                fmt_f(c),
+                fmt_f(d),
+                fmt_f(s1),
+                fmt_f(g),
+                n.to_string(),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "negative controls (outside the regime, monotonicity fails): {} instances",
+            self.counterexamples.len()
+        )
+    }
+}
+
+/// Runs E8: grid verification inside the regime and counterexamples
+/// outside it.
+pub fn run_e8() -> E8Report {
+    let in_regime = [
+        (2.0, 0.5, 0.9, 0.95, 0.7),
+        (3.0, 1.0, 0.8, 0.5, 0.5),
+        (1.5, 0.1, 0.5, 0.0, 0.8),
+        (10.0, 4.0, 0.9, 0.9, 0.5),
+    ];
+    let verified = in_regime
+        .iter()
+        .map(|&(b, c, delta, s1, g_max)| {
+            let p = GameParams::new(b, c, delta, s1).expect("valid game");
+            check_prop22(&p, g_max).expect("in regime by construction");
+            let n = verify_prop22_on_grid(&p, g_max, 14).expect("must hold in regime");
+            (b, c, delta, s1, g_max, n)
+        })
+        .collect();
+
+    let out_of_regime = [
+        (2.0, 1.9, 0.3, 0.0, 0.9), // δ far below c/b
+        (2.0, 1.5, 0.5, 0.0, 0.95),
+    ];
+    let counterexamples = out_of_regime
+        .iter()
+        .filter(|&&(b, c, delta, s1, g_max)| {
+            let p = GameParams::new(b, c, delta, s1).expect("valid game");
+            check_prop22(&p, g_max).is_err()
+                && verify_prop22_on_grid(&p, g_max, 14).is_err()
+        })
+        .copied()
+        .collect();
+    E8Report {
+        verified,
+        counterexamples,
+    }
+}
+
+/// One row of the E9 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E9Row {
+    /// The ordered strategy pair.
+    pub pair: (StrategyKind, StrategyKind),
+    /// Continuation probability δ of this row.
+    pub delta: f64,
+    /// Closed-form payoff (eqs. 44–46) — `NaN` for rows with a non-GTFT
+    /// first strategy, where the paper gives no closed form.
+    pub closed: f64,
+    /// Linear-algebra payoff (eq. 33).
+    pub linear: f64,
+    /// Monte-Carlo mean.
+    pub monte_carlo: f64,
+    /// Monte-Carlo standard error.
+    pub std_error: f64,
+}
+
+/// The E9 report: the three payoff routes agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E9Report {
+    /// One row per pair × δ.
+    pub rows: Vec<E9Row>,
+}
+
+impl E9Report {
+    /// Worst |closed − linear| over rows that have closed forms.
+    pub fn worst_closed_vs_linear(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| !r.closed.is_nan())
+            .map(|r| (r.closed - r.linear).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst |MC − linear| in standard-error units.
+    pub fn worst_z_score(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| (r.monte_carlo - r.linear).abs() / r.std_error.max(1e-12))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for E9Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E9 (Appendix B): f(S1,S2) three ways — closed form, q1(I-δM)^-1 v, Monte-Carlo"
+        )?;
+        let mut t = TextTable::new(vec![
+            "S1", "S2", "delta", "closed", "linear", "MC", "MC stderr",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.pair.0.to_string(),
+                r.pair.1.to_string(),
+                fmt_f(r.delta),
+                if r.closed.is_nan() {
+                    "-".into()
+                } else {
+                    fmt_f(r.closed)
+                },
+                fmt_f(r.linear),
+                fmt_f(r.monte_carlo),
+                fmt_f(r.std_error),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs E9 with `games` Monte-Carlo replays per row.
+pub fn run_e9(games: u64, seed: u64) -> E9Report {
+    let pairs = [
+        (StrategyKind::Gtft(0.3), StrategyKind::AllC),
+        (StrategyKind::Gtft(0.3), StrategyKind::AllD),
+        (StrategyKind::Gtft(0.3), StrategyKind::Gtft(0.6)),
+        (StrategyKind::Gtft(0.0), StrategyKind::Gtft(0.0)),
+        (StrategyKind::AllC, StrategyKind::AllD),
+        (StrategyKind::AllD, StrategyKind::Gtft(0.5)),
+    ];
+    let deltas = [0.3, 0.6, 0.9];
+    let mut rng = rng_from_seed(seed);
+    let mut rows = Vec::new();
+    for &delta in &deltas {
+        let params = GameParams::new(2.0, 0.5, delta, 0.95).expect("valid game");
+        for &(s1, s2) in &pairs {
+            let row: MemoryOneStrategy = s1.to_memory_one(params.s1());
+            let col: MemoryOneStrategy = s2.to_memory_one(params.s1());
+            let linear = expected_payoff(&row, &col, &params);
+            let closed = match s1 {
+                StrategyKind::Gtft(g) => gtft_payoff_closed(g, s2, &params),
+                _ => f64::NAN,
+            };
+            let est = estimate_payoffs(&row, &col, &params, None, games, &mut rng);
+            rows.push(E9Row {
+                pair: (s1, s2),
+                delta,
+                closed,
+                linear,
+                monte_carlo: est.row.mean(),
+                std_error: est.row.std_error(),
+            });
+        }
+    }
+    E9Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_regime_verified_with_counterexamples() {
+        let r = run_e8();
+        assert_eq!(r.verified.len(), 4);
+        assert!(r.verified.iter().all(|&(_, _, _, _, _, n)| n > 500));
+        assert_eq!(r.counterexamples.len(), 2, "both negative controls must break");
+        assert!(r.to_string().contains("Prop 2.2"));
+    }
+
+    #[test]
+    fn e9_routes_agree() {
+        let r = run_e9(15_000, 13);
+        assert!(r.worst_closed_vs_linear() < 1e-8);
+        assert!(
+            r.worst_z_score() < 5.0,
+            "Monte-Carlo z-score {}",
+            r.worst_z_score()
+        );
+        assert_eq!(r.rows.len(), 18);
+        assert!(r.to_string().contains("Appendix B"));
+    }
+}

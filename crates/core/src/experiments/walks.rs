@@ -1,0 +1,143 @@
+//! E4 (Proposition A.7): absorption times of the biased walk `Z_t`.
+
+use crate::experiments::table::{fmt_f, TextTable};
+use popgame_markov::walk::AbsorbingWalk;
+use popgame_util::rng::rng_from_seed;
+use std::fmt;
+
+/// One row of the E4 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E4Row {
+    /// Up probability.
+    pub a: f64,
+    /// Down probability.
+    pub b: f64,
+    /// Barrier.
+    pub k: u32,
+    /// Optional-stopping closed form (eq. 26 / quadratic martingale).
+    pub closed_form: f64,
+    /// Tridiagonal linear-solve cross-check.
+    pub linear_solve: f64,
+    /// Monte-Carlo estimate.
+    pub simulated: f64,
+    /// Proposition A.7's stated bound `min{k/|a−b|, k²}` (in move units).
+    pub prop_a7_bound: f64,
+    /// Upper-absorption probability `p₊` (closed form, eq. 25).
+    pub p_plus: f64,
+    /// Empirical `p₊`.
+    pub p_plus_sim: f64,
+}
+
+/// The E4 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E4Report {
+    /// One row per `(a, b, k)` instance.
+    pub rows: Vec<E4Row>,
+}
+
+impl E4Report {
+    /// Worst relative disagreement between the closed form and the linear
+    /// solve (should be ~0).
+    pub fn worst_exact_mismatch(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| (r.closed_form - r.linear_solve).abs() / r.closed_form.max(1.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for E4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E4 (Prop A.7): absorption time of the ±k walk — closed form vs linear solve vs simulation"
+        )?;
+        let mut t = TextTable::new(vec![
+            "a", "b", "k", "E[tau] closed", "E[tau] solve", "E[tau] sim", "A.7 bound",
+            "p+ closed", "p+ sim",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                fmt_f(r.a),
+                fmt_f(r.b),
+                r.k.to_string(),
+                fmt_f(r.closed_form),
+                fmt_f(r.linear_solve),
+                fmt_f(r.simulated),
+                fmt_f(r.prop_a7_bound),
+                fmt_f(r.p_plus),
+                fmt_f(r.p_plus_sim),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs E4 over a grid of `(a, b, k)` instances with `reps` Monte-Carlo
+/// replicas each.
+pub fn run_e4(reps: u64, seed: u64) -> E4Report {
+    let instances = [
+        (0.25, 0.25, 4u32),
+        (0.25, 0.25, 16),
+        (0.4, 0.2, 8),
+        (0.1, 0.4, 8),
+        (0.26, 0.25, 6),
+        (0.45, 0.05, 32),
+    ];
+    let mut rng = rng_from_seed(seed);
+    let rows = instances
+        .iter()
+        .map(|&(a, b, k)| {
+            let walk = AbsorbingWalk::new(a, b, k).expect("valid walk");
+            let mut total = 0.0;
+            let mut ups = 0u64;
+            for _ in 0..reps {
+                let (t, up) = walk.simulate(&mut rng);
+                total += t as f64;
+                ups += u64::from(up);
+            }
+            E4Row {
+                a,
+                b,
+                k,
+                closed_form: walk.expected_absorption_time(),
+                linear_solve: walk.expected_absorption_time_linear(),
+                simulated: total / reps as f64,
+                prop_a7_bound: walk.proposition_a7_bound(),
+                p_plus: walk.upper_absorption_probability(),
+                p_plus_sim: ups as f64 / reps as f64,
+            }
+        })
+        .collect();
+    E4Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_three_routes_agree() {
+        let r = run_e4(8_000, 11);
+        assert!(r.worst_exact_mismatch() < 1e-8);
+        for row in &r.rows {
+            let rel = (row.simulated - row.closed_form).abs() / row.closed_form;
+            assert!(
+                rel < 0.08,
+                "a={} b={} k={}: sim {} vs closed {}",
+                row.a,
+                row.b,
+                row.k,
+                row.simulated,
+                row.closed_form
+            );
+            assert!(
+                (row.p_plus_sim - row.p_plus).abs() < 0.03,
+                "p+ mismatch: {} vs {}",
+                row.p_plus_sim,
+                row.p_plus
+            );
+        }
+        assert!(r.to_string().contains("Prop A.7"));
+    }
+}

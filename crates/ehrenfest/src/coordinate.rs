@@ -1,0 +1,208 @@
+//! The coordinate (ball-position) view on `{1, …, k}^m`.
+//!
+//! Appendix A.4.1 of the paper analyzes the Ehrenfest process through an
+//! equivalent representation: track each of the `m` balls' urn positions
+//! individually. At each step a ball index `i ∈ [m]` is sampled uniformly
+//! and its position incremented/decremented (truncated to `[1, k]`) with
+//! probabilities `a`/`b`. The induced count vector is exactly the
+//! `(k,a,b,m)`-Ehrenfest process.
+
+use crate::process::EhrenfestParams;
+use rand::Rng;
+
+/// Ball positions in `{0, …, k−1}` (0-indexed urns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinateWalk {
+    params: EhrenfestParams,
+    positions: Vec<u16>,
+}
+
+impl CoordinateWalk {
+    /// Starts every ball in the given urn (0-indexed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `urn >= k`.
+    pub fn uniform_start(params: EhrenfestParams, urn: usize) -> Self {
+        assert!(urn < params.k(), "urn {urn} out of range");
+        Self {
+            params,
+            positions: vec![urn as u16; params.m() as usize],
+        }
+    }
+
+    /// Starts from explicit ball positions (0-indexed urns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the length differs from `m` or a position exceeds `k−1`.
+    pub fn from_positions(params: EhrenfestParams, positions: Vec<u16>) -> Self {
+        assert_eq!(positions.len(), params.m() as usize, "need one position per ball");
+        assert!(
+            positions.iter().all(|&p| (p as usize) < params.k()),
+            "ball position out of range"
+        );
+        Self { params, positions }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> EhrenfestParams {
+        self.params
+    }
+
+    /// Ball positions (0-indexed urns).
+    pub fn positions(&self) -> &[u16] {
+        &self.positions
+    }
+
+    /// The induced count vector on `∆^m_k`.
+    pub fn counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.params.k()];
+        for &p in &self.positions {
+            counts[p as usize] += 1;
+        }
+        counts
+    }
+
+    /// Advances one step with externally supplied randomness: ball `i`
+    /// moves by `direction` (`+1`, `−1`, or `0`), truncated to the urn
+    /// range. Exposed so couplings can share the `(i, direction)` draw
+    /// across two walks — the essence of the paper's coupling.
+    pub fn apply_move(&mut self, ball: usize, direction: i8) {
+        let k = self.params.k() as i32;
+        let pos = i32::from(self.positions[ball]);
+        let next = (pos + i32::from(direction)).clamp(0, k - 1);
+        self.positions[ball] = next as u16;
+    }
+
+    /// One standard step: sample a ball uniformly and a direction with
+    /// probabilities `(a, b, 1−a−b)`, then apply it.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let (ball, dir) = sample_move(&self.params, rng);
+        self.apply_move(ball, dir);
+    }
+}
+
+/// Samples the shared `(ball, direction)` randomness of one step.
+pub fn sample_move<R: Rng + ?Sized>(params: &EhrenfestParams, rng: &mut R) -> (usize, i8) {
+    let ball = rng.gen_range(0..params.m() as usize);
+    let u: f64 = rng.gen();
+    let dir = if u < params.a() {
+        1
+    } else if u < params.a() + params.b() {
+        -1
+    } else {
+        0
+    };
+    (ball, dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+    use popgame_util::stats::RunningStats;
+
+    fn params() -> EhrenfestParams {
+        EhrenfestParams::new(4, 0.3, 0.2, 20).unwrap()
+    }
+
+    #[test]
+    fn constructors_and_counts() {
+        let w = CoordinateWalk::uniform_start(params(), 3);
+        assert_eq!(w.counts(), vec![0, 0, 0, 20]);
+        let w2 = CoordinateWalk::from_positions(params(), vec![0; 20]);
+        assert_eq!(w2.counts(), vec![20, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_urn_panics() {
+        let _ = CoordinateWalk::uniform_start(params(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one position per ball")]
+    fn wrong_ball_count_panics() {
+        let _ = CoordinateWalk::from_positions(params(), vec![0; 3]);
+    }
+
+    #[test]
+    fn moves_truncate_at_boundaries() {
+        let mut w = CoordinateWalk::uniform_start(params(), 0);
+        w.apply_move(0, -1);
+        assert_eq!(w.positions()[0], 0, "down-move at bottom truncates");
+        let mut w = CoordinateWalk::uniform_start(params(), 3);
+        w.apply_move(0, 1);
+        assert_eq!(w.positions()[0], 3, "up-move at top truncates");
+    }
+
+    #[test]
+    fn counts_always_on_simplex() {
+        let mut w = CoordinateWalk::uniform_start(params(), 1);
+        let mut rng = rng_from_seed(4);
+        for _ in 0..1_000 {
+            w.step(&mut rng);
+            assert_eq!(w.counts().iter().sum::<u64>(), 20);
+        }
+    }
+
+    #[test]
+    fn coordinate_walk_matches_count_process_in_law() {
+        // Same (k,a,b,m): after T steps from the same start, the mean weight
+        // statistic of the two representations must agree.
+        let p = EhrenfestParams::new(3, 0.35, 0.15, 12).unwrap();
+        let steps = 150;
+        let reps = 4_000;
+        let mut walk_stats = RunningStats::new();
+        let mut count_stats = RunningStats::new();
+        for rep in 0..reps {
+            let mut rng = popgame_util::rng::stream_rng(100, rep);
+            let mut w = CoordinateWalk::uniform_start(p, 0);
+            for _ in 0..steps {
+                w.step(&mut rng);
+            }
+            let weight: u64 = w
+                .counts()
+                .iter()
+                .enumerate()
+                .map(|(j, &x)| j as u64 * x)
+                .sum();
+            walk_stats.push(weight as f64);
+
+            let mut rng = popgame_util::rng::stream_rng(200, rep);
+            let mut proc = crate::process::EhrenfestProcess::all_in_first_urn(p);
+            proc.run(steps, &mut rng);
+            count_stats.push(proc.weight() as f64);
+        }
+        let diff = (walk_stats.mean() - count_stats.mean()).abs();
+        let scale = walk_stats.std_error() + count_stats.std_error();
+        assert!(
+            diff < 5.0 * scale,
+            "means differ: {} vs {} (tol {})",
+            walk_stats.mean(),
+            count_stats.mean(),
+            5.0 * scale
+        );
+    }
+
+    #[test]
+    fn shared_move_sampler_direction_frequencies() {
+        let p = params();
+        let mut rng = rng_from_seed(5);
+        let mut ups = 0u64;
+        let mut downs = 0u64;
+        let reps = 60_000;
+        for _ in 0..reps {
+            let (ball, dir) = sample_move(&p, &mut rng);
+            assert!(ball < 20);
+            match dir {
+                1 => ups += 1,
+                -1 => downs += 1,
+                _ => {}
+            }
+        }
+        assert!((ups as f64 / reps as f64 - 0.3).abs() < 0.01);
+        assert!((downs as f64 / reps as f64 - 0.2).abs() < 0.01);
+    }
+}

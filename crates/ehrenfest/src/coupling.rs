@@ -1,0 +1,260 @@
+//! The monotone coupling of Appendix A.4.1.
+//!
+//! Two coordinate walks `{X_t}`, `{Y_t}` share every `(ball, direction)`
+//! draw: the same ball index moves the same way in both copies, truncated
+//! at the urn boundaries independently. Under this coupling each
+//! coordinate's separation `|Xᵢ − Yᵢ|` is non-increasing, the copies
+//! coalesce coordinate by coordinate, and the coupling inequality
+//! `d(t) ≤ P(τ_couple > t)` yields a *certified* mixing-time upper bound at
+//! any state-space size (Lemma A.8).
+
+use crate::coordinate::{sample_move, CoordinateWalk};
+use crate::process::EhrenfestParams;
+use popgame_markov::coupling::{simulate_coupling_times, Coupling, CouplingTimes};
+use rand::Rng;
+
+/// The shared-randomness Ehrenfest coupling.
+///
+/// # Example
+///
+/// ```
+/// use popgame_ehrenfest::coupling::EhrenfestCoupling;
+/// use popgame_ehrenfest::process::EhrenfestParams;
+/// use popgame_markov::coupling::Coupling;
+/// use popgame_util::rng::rng_from_seed;
+///
+/// let params = EhrenfestParams::new(3, 0.3, 0.3, 5)?;
+/// let mut coupling = EhrenfestCoupling::from_extreme_corners(params);
+/// let mut rng = rng_from_seed(3);
+/// while !coupling.has_coalesced() {
+///     coupling.step(&mut rng);
+/// }
+/// # Ok::<(), popgame_ehrenfest::EhrenfestError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EhrenfestCoupling {
+    x: CoordinateWalk,
+    y: CoordinateWalk,
+}
+
+impl EhrenfestCoupling {
+    /// Couples the two extreme corners: all balls in urn 1 vs all balls in
+    /// urn `k`. These starts maximize every coordinate's separation, so
+    /// their coupling time stochastically dominates all other start pairs —
+    /// the worst case the mixing bound needs.
+    pub fn from_extreme_corners(params: EhrenfestParams) -> Self {
+        Self {
+            x: CoordinateWalk::uniform_start(params, 0),
+            y: CoordinateWalk::uniform_start(params, params.k() - 1),
+        }
+    }
+
+    /// Couples two arbitrary coordinate configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the walks disagree on parameters.
+    pub fn new(x: CoordinateWalk, y: CoordinateWalk) -> Self {
+        assert_eq!(x.params(), y.params(), "coupled walks must share parameters");
+        Self { x, y }
+    }
+
+    /// The first marginal walk.
+    pub fn x(&self) -> &CoordinateWalk {
+        &self.x
+    }
+
+    /// The second marginal walk.
+    pub fn y(&self) -> &CoordinateWalk {
+        &self.y
+    }
+
+    /// Total coordinate separation `Σᵢ |Xᵢ − Yᵢ|`.
+    pub fn total_separation(&self) -> u64 {
+        self.x
+            .positions()
+            .iter()
+            .zip(self.y.positions())
+            .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+            .sum()
+    }
+
+    /// Number of coordinates that have already coalesced.
+    pub fn coalesced_coordinates(&self) -> usize {
+        self.x
+            .positions()
+            .iter()
+            .zip(self.y.positions())
+            .filter(|(a, b)| a == b)
+            .count()
+    }
+}
+
+impl Coupling for EhrenfestCoupling {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let (ball, dir) = sample_move(&self.x.params(), rng);
+        self.x.apply_move(ball, dir);
+        self.y.apply_move(ball, dir);
+    }
+
+    fn has_coalesced(&self) -> bool {
+        self.x.positions() == self.y.positions()
+    }
+}
+
+/// Simulates `reps` extreme-corner couplings and returns the coupling-time
+/// batch (feeding [`CouplingTimes::mixing_time_upper_bound`]).
+pub fn corner_coupling_times(
+    params: EhrenfestParams,
+    reps: u64,
+    cap: u64,
+    seed: u64,
+) -> CouplingTimes {
+    simulate_coupling_times(
+        |_| EhrenfestCoupling::from_extreme_corners(params),
+        reps,
+        cap,
+        seed,
+    )
+}
+
+/// The paper's Lemma A.8 quantity `Φ = min{k/|a−b|, k²}·m` (or `k²m` when
+/// `a = b`); the lemma proves `P(τ > 2Φ log(4m)) ≤ 1/4`.
+pub fn phi(params: &EhrenfestParams) -> f64 {
+    let k = params.k() as f64;
+    let m = params.m() as f64;
+    if params.is_unbiased() {
+        k * k * m
+    } else {
+        (k / (params.a() - params.b()).abs()).min(k * k) * m
+    }
+}
+
+/// The closed-form mixing-time upper bound from Lemma A.8:
+/// `2 Φ log(4m)` steps suffice for `d(t) ≤ 1/4`.
+pub fn lemma_a8_upper_bound(params: &EhrenfestParams) -> f64 {
+    2.0 * phi(params) * (4.0 * params.m() as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+
+    fn params() -> EhrenfestParams {
+        EhrenfestParams::new(3, 0.35, 0.15, 10).unwrap()
+    }
+
+    #[test]
+    fn corner_coupling_starts_fully_separated() {
+        let c = EhrenfestCoupling::from_extreme_corners(params());
+        assert_eq!(c.total_separation(), 10 * 2); // each ball |0 - 2| = 2
+        assert_eq!(c.coalesced_coordinates(), 0);
+        assert!(!c.has_coalesced());
+    }
+
+    #[test]
+    fn separation_is_monotone_nonincreasing() {
+        let mut c = EhrenfestCoupling::from_extreme_corners(params());
+        let mut rng = rng_from_seed(6);
+        let mut prev = c.total_separation();
+        for _ in 0..20_000 {
+            c.step(&mut rng);
+            let now = c.total_separation();
+            assert!(now <= prev, "separation grew: {prev} -> {now}");
+            prev = now;
+            if c.has_coalesced() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn coalescence_is_absorbing() {
+        let mut c = EhrenfestCoupling::from_extreme_corners(
+            EhrenfestParams::new(2, 0.4, 0.4, 3).unwrap(),
+        );
+        let mut rng = rng_from_seed(7);
+        while !c.has_coalesced() {
+            c.step(&mut rng);
+        }
+        for _ in 0..1_000 {
+            c.step(&mut rng);
+            assert!(c.has_coalesced(), "coalesced copies separated");
+        }
+    }
+
+    #[test]
+    fn margins_are_faithful_ehrenfest_processes() {
+        // The x-margin of the coupling must have the same mean weight as a
+        // standalone process after T steps.
+        let p = EhrenfestParams::new(3, 0.3, 0.2, 8).unwrap();
+        let steps = 100;
+        let reps = 3_000;
+        let mut margin_mean = 0.0;
+        let mut standalone_mean = 0.0;
+        for rep in 0..reps {
+            let mut rng = popgame_util::rng::stream_rng(300, rep);
+            let mut c = EhrenfestCoupling::from_extreme_corners(p);
+            for _ in 0..steps {
+                c.step(&mut rng);
+            }
+            let w: u64 = c
+                .x()
+                .counts()
+                .iter()
+                .enumerate()
+                .map(|(j, &x)| j as u64 * x)
+                .sum();
+            margin_mean += w as f64;
+
+            let mut rng = popgame_util::rng::stream_rng(400, rep);
+            let mut proc = crate::process::EhrenfestProcess::all_in_first_urn(p);
+            proc.run(steps, &mut rng);
+            standalone_mean += proc.weight() as f64;
+        }
+        margin_mean /= reps as f64;
+        standalone_mean /= reps as f64;
+        assert!(
+            (margin_mean - standalone_mean).abs() < 0.2,
+            "{margin_mean} vs {standalone_mean}"
+        );
+    }
+
+    #[test]
+    fn coupling_times_within_lemma_a8_bound() {
+        let p = params();
+        let bound = lemma_a8_upper_bound(&p) as u64;
+        let times = corner_coupling_times(p, 200, 4 * bound, 8);
+        assert!(times.coalesced_fraction() > 0.99);
+        // Lemma A.8: P(τ > bound) <= 1/4.
+        assert!(
+            times.tail_probability(bound) <= 0.25,
+            "tail at the Lemma A.8 bound: {}",
+            times.tail_probability(bound)
+        );
+    }
+
+    #[test]
+    fn phi_formula_cases() {
+        let biased = EhrenfestParams::new(4, 0.4, 0.1, 10).unwrap();
+        // k/|a-b| = 4/0.3 = 13.33 < k² = 16 → Φ = 13.33 * 10.
+        assert!((phi(&biased) - 4.0 / 0.3 * 10.0).abs() < 1e-9);
+        let nearly = EhrenfestParams::new(4, 0.26, 0.25, 10).unwrap();
+        // k/|a-b| = 400 > k² = 16 → Φ = 160.
+        assert!((phi(&nearly) - 160.0).abs() < 1e-9);
+        let unbiased = EhrenfestParams::new(4, 0.25, 0.25, 10).unwrap();
+        assert!((phi(&unbiased) - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "share parameters")]
+    fn mismatched_walks_panic() {
+        let p1 = EhrenfestParams::new(3, 0.3, 0.3, 5).unwrap();
+        let p2 = EhrenfestParams::new(3, 0.3, 0.2, 5).unwrap();
+        let _ = EhrenfestCoupling::new(
+            CoordinateWalk::uniform_start(p1, 0),
+            CoordinateWalk::uniform_start(p2, 0),
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Cutoff profiles for the two-urn process (Remark 2.6).
+//!
+//! The classical lazy Ehrenfest urn (`k = 2`, `a = b = 1/2`) exhibits
+//! *cutoff*: the TV distance stays near 1 until `≈ ½ m log m` steps and
+//! then collapses within a window of width `O(m)`. Remark 2.6 asks whether
+//! the general `(k,a,b,m)` process shows the same phenomenon. This module
+//! measures the profile exactly via the birth–death projection, so the
+//! experiment can sweep `m` into the thousands.
+
+use crate::error::EhrenfestError;
+use crate::mixing::k2_birth_death;
+use crate::process::EhrenfestParams;
+
+/// A measured cutoff profile for a `k = 2` instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutoffProfile {
+    /// Number of balls `m`.
+    pub m: u64,
+    /// The sampled `(time_scaled, tv)` curve, where `time_scaled` is
+    /// `t / (½ m ln m)` — cutoff at the classical location shows as a drop
+    /// near 1.0.
+    pub curve: Vec<(f64, f64)>,
+    /// First crossing times of the thresholds `0.75, 0.5, 0.25, 0.1`.
+    pub crossings: Vec<(f64, Option<usize>)>,
+}
+
+impl CutoffProfile {
+    /// The cutoff *window width* estimate: `t(0.1) − t(0.75)`, i.e. how
+    /// many steps the profile needs to fall from 0.75 to 0.1. Cutoff means
+    /// this window is `o(m log m)`.
+    pub fn window_width(&self) -> Option<usize> {
+        let t_hi = self.crossings.iter().find(|(thr, _)| *thr == 0.75)?.1?;
+        let t_lo = self.crossings.iter().find(|(thr, _)| *thr == 0.1)?.1?;
+        Some(t_lo.saturating_sub(t_hi))
+    }
+
+    /// The mixing location scaled by `½ m ln m`: values near 1.0 confirm
+    /// the classical cutoff location.
+    pub fn scaled_mixing_location(&self) -> Option<f64> {
+        let t_mix = self.crossings.iter().find(|(thr, _)| *thr == 0.25)?.1?;
+        let scale = 0.5 * self.m as f64 * (self.m as f64).ln();
+        Some(t_mix as f64 / scale)
+    }
+}
+
+/// Measures the exact TV profile of a `k = 2` process from the empty-urn
+/// start, sampling the curve at `samples` evenly spaced scaled times in
+/// `[0, horizon_scale]` (units of `½ m ln m`).
+///
+/// # Errors
+///
+/// Returns [`EhrenfestError::InvalidParameters`] when `k != 2` or the
+/// horizon/sampling configuration is degenerate.
+pub fn cutoff_profile(
+    params: &EhrenfestParams,
+    horizon_scale: f64,
+    samples: usize,
+) -> Result<CutoffProfile, EhrenfestError> {
+    if samples < 2 || horizon_scale <= 0.0 {
+        return Err(EhrenfestError::InvalidParameters {
+            reason: "need samples >= 2 and a positive horizon".into(),
+        });
+    }
+    let bd = k2_birth_death(params)?;
+    let m = params.m();
+    let scale = 0.5 * m as f64 * (m as f64).ln().max(1.0);
+    let t_max = (horizon_scale * scale).ceil() as usize;
+    let profile = bd
+        .distance_profile(&[0, m as usize], t_max)
+        .map_err(|e| EhrenfestError::InvalidParameters {
+            reason: e.to_string(),
+        })?;
+
+    let curve: Vec<(f64, f64)> = (0..samples)
+        .map(|i| {
+            let t = (t_max * i) / (samples - 1);
+            (t as f64 / scale, profile[t])
+        })
+        .collect();
+    let thresholds = [0.75, 0.5, 0.25, 0.1];
+    let crossings = thresholds
+        .iter()
+        .map(|&thr| (thr, profile.iter().position(|&d| d <= thr)))
+        .collect();
+    Ok(CutoffProfile {
+        m,
+        curve,
+        crossings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classical(m: u64) -> EhrenfestParams {
+        EhrenfestParams::new(2, 0.5, 0.5, m).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(cutoff_profile(&classical(32), 2.0, 1).is_err());
+        assert!(cutoff_profile(&classical(32), 0.0, 10).is_err());
+        let p3 = EhrenfestParams::new(3, 0.3, 0.3, 8).unwrap();
+        assert!(cutoff_profile(&p3, 2.0, 10).is_err());
+    }
+
+    #[test]
+    fn profile_monotone_and_crossings_ordered() {
+        let profile = cutoff_profile(&classical(64), 3.0, 40).unwrap();
+        for w in profile.curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12, "TV increased");
+        }
+        let times: Vec<usize> = profile
+            .crossings
+            .iter()
+            .map(|(_, t)| t.expect("all thresholds crossed"))
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn mixing_location_near_classical_cutoff() {
+        // For the lazy two-urn process the 1/4-mixing time sits at
+        // ½ m ln m (1 + o(1)); with m = 512 the scaled location should be
+        // within ~35% of 1.
+        let profile = cutoff_profile(&classical(512), 2.5, 30).unwrap();
+        let loc = profile.scaled_mixing_location().expect("mixes in horizon");
+        assert!(
+            (0.6..=1.4).contains(&loc),
+            "scaled mixing location {loc} far from 1"
+        );
+    }
+
+    #[test]
+    fn window_narrows_relative_to_mixing_time_as_m_grows() {
+        // Cutoff: window / t_mix shrinks with m.
+        let small = cutoff_profile(&classical(64), 3.0, 10).unwrap();
+        let large = cutoff_profile(&classical(1024), 3.0, 10).unwrap();
+        let ratio = |p: &CutoffProfile| {
+            let window = p.window_width().expect("window measured") as f64;
+            let t_mix = p
+                .crossings
+                .iter()
+                .find(|(thr, _)| *thr == 0.25)
+                .unwrap()
+                .1
+                .unwrap() as f64;
+            window / t_mix
+        };
+        assert!(
+            ratio(&large) < ratio(&small),
+            "window failed to sharpen: {} vs {}",
+            ratio(&large),
+            ratio(&small)
+        );
+    }
+}

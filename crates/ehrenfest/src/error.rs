@@ -1,0 +1,80 @@
+//! Error types for Ehrenfest-process construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or analyzing an Ehrenfest process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EhrenfestError {
+    /// Parameters violate Definition 2.3: need `k ≥ 2`, `a, b > 0`,
+    /// `a + b ≤ 1`, `m ≥ 1`.
+    InvalidParameters {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A supplied count vector does not live on `∆^m_k`.
+    InvalidState {
+        /// What was expected.
+        expected: String,
+        /// What was received.
+        got: String,
+    },
+    /// The exact machinery was asked to enumerate a space that is too
+    /// large.
+    SpaceTooLarge {
+        /// Number of states requested.
+        states: u128,
+        /// The enforced limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for EhrenfestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EhrenfestError::InvalidParameters { reason } => {
+                write!(f, "invalid Ehrenfest parameters: {reason}")
+            }
+            EhrenfestError::InvalidState { expected, got } => {
+                write!(f, "invalid state: expected {expected}, got {got}")
+            }
+            EhrenfestError::SpaceTooLarge { states, limit } => {
+                write!(f, "state space has {states} states, exceeding the exact-analysis limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for EhrenfestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EhrenfestError::InvalidParameters {
+            reason: "k = 1".into()
+        }
+        .to_string()
+        .contains("k = 1"));
+        assert!(EhrenfestError::InvalidState {
+            expected: "sum 5".into(),
+            got: "sum 4".into()
+        }
+        .to_string()
+        .contains("sum 4"));
+        assert!(EhrenfestError::SpaceTooLarge {
+            states: 1000,
+            limit: 10
+        }
+        .to_string()
+        .contains("1000"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<EhrenfestError>();
+    }
+}

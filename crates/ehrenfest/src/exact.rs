@@ -1,0 +1,223 @@
+//! Exact finite-chain construction over `∆^m_k`.
+//!
+//! For small instances the whole transition matrix of Definition 2.3 fits in
+//! memory, so Theorem 2.4 can be *verified* (detailed balance against the
+//! multinomial pmf, power-iteration cross-check) and Theorem 2.5's mixing
+//! times computed exactly. Figure 2's `k = 3, m = 3` example is the
+//! ten-state special case exercised in the tests.
+
+use crate::error::EhrenfestError;
+use crate::process::EhrenfestParams;
+use crate::stationary::stationary_distribution;
+use popgame_dist::simplex::SimplexSpace;
+use popgame_markov::chain::FiniteChain;
+
+/// Refuse to enumerate spaces beyond this many states.
+pub const EXACT_STATE_LIMIT: u128 = 2_000_000;
+
+/// The simplex underlying the process.
+pub fn simplex(params: &EhrenfestParams) -> SimplexSpace {
+    SimplexSpace::new(params.k(), params.m()).expect("k >= 2 validated")
+}
+
+/// Builds the exact transition matrix of Definition 2.3 over `∆^m_k`,
+/// indexed by simplex rank.
+///
+/// # Errors
+///
+/// Returns [`EhrenfestError::SpaceTooLarge`] when `|∆^m_k|` exceeds
+/// [`EXACT_STATE_LIMIT`].
+///
+/// # Example
+///
+/// ```
+/// use popgame_ehrenfest::exact::exact_chain;
+/// use popgame_ehrenfest::process::EhrenfestParams;
+///
+/// // Figure 2 of the paper: k = 3, m = 3 has ten states.
+/// let params = EhrenfestParams::new(3, 0.3, 0.3, 3)?;
+/// let chain = exact_chain(&params)?;
+/// assert_eq!(chain.len(), 10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn exact_chain(params: &EhrenfestParams) -> Result<FiniteChain, EhrenfestError> {
+    let space = simplex(params);
+    let states = space.len_u128();
+    if states > EXACT_STATE_LIMIT {
+        return Err(EhrenfestError::SpaceTooLarge {
+            states,
+            limit: EXACT_STATE_LIMIT,
+        });
+    }
+    let n = space.len();
+    let m = params.m() as f64;
+    let (a, b) = (params.a(), params.b());
+    let chain = FiniteChain::from_fn(n, |rank| {
+        let x = space.unrank(rank).expect("rank in range");
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        let mut moving_mass = 0.0;
+        for (y, j, up) in space.adjacent_moves(&x) {
+            // Up-move j -> j+1 fires w.p. a * x_j / m; down-move j+1 -> j
+            // fires w.p. b * x_{j+1} / m.
+            let prob = if up {
+                a * x[j] as f64 / m
+            } else {
+                b * x[j + 1] as f64 / m
+            };
+            if prob > 0.0 {
+                row.push((space.rank(&y).expect("neighbor on simplex"), prob));
+                moving_mass += prob;
+            }
+        }
+        row.push((rank, 1.0 - moving_mass));
+        row
+    })
+    .expect("constructed rows are stochastic");
+    Ok(chain)
+}
+
+/// Ranks of the two extreme corner states `(m, 0, …, 0)` and
+/// `(0, …, 0, m)` — the diameter endpoints (Proposition A.9) and the
+/// TV-maximizing starts used by the mixing analysis.
+pub fn corner_ranks(params: &EhrenfestParams) -> (usize, usize) {
+    let space = simplex(params);
+    let mut bottom = vec![0u64; params.k()];
+    bottom[0] = params.m();
+    let mut top = vec![0u64; params.k()];
+    top[params.k() - 1] = params.m();
+    (
+        space.rank(&bottom).expect("corner on simplex"),
+        space.rank(&top).expect("corner on simplex"),
+    )
+}
+
+/// Verification report for Theorem 2.4 on one exact instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Theorem24Report {
+    /// Worst detailed-balance residual of the multinomial pmf.
+    pub detailed_balance_residual: f64,
+    /// Worst stationarity residual `‖πP − π‖_∞`.
+    pub stationarity_residual: f64,
+    /// Total-variation distance between the multinomial pmf and the
+    /// power-iteration fixed point.
+    pub tv_to_power_iteration: f64,
+}
+
+/// Verifies Theorem 2.4 exactly: evaluates the claimed multinomial pmf on
+/// every simplex state and checks detailed balance, stationarity, and
+/// agreement with the power-iteration solution.
+///
+/// # Errors
+///
+/// Propagates [`EhrenfestError::SpaceTooLarge`] from [`exact_chain`].
+pub fn verify_theorem_24(params: &EhrenfestParams) -> Result<Theorem24Report, EhrenfestError> {
+    let chain = exact_chain(params)?;
+    let pmf = stationary_distribution(params).pmf_by_rank();
+    let detailed_balance_residual = chain
+        .detailed_balance_residual(&pmf)
+        .expect("pmf length matches chain");
+    let stationarity_residual = chain
+        .stationarity_residual(&pmf)
+        .expect("pmf length matches chain");
+    let power = chain
+        .stationary_power_iteration(1e-13, 5_000_000)
+        .expect("lazy irreducible chain converges");
+    let tv_to_power_iteration =
+        popgame_dist::divergence::tv_distance(&pmf, &power).expect("same length");
+    Ok(Theorem24Report {
+        detailed_balance_residual,
+        stationarity_residual,
+        tv_to_power_iteration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_markov::diameter::{diameter_exact, mixing_time_lower_bound};
+
+    #[test]
+    fn figure2_instance_has_ten_states_and_correct_edges() {
+        let params = EhrenfestParams::new(3, 0.3, 0.2, 3).unwrap();
+        let chain = exact_chain(&params).unwrap();
+        assert_eq!(chain.len(), 10);
+        let space = simplex(&params);
+        // From state (3,0,0): only the up-move (j=0) with prob a*3/3 = a.
+        let from = space.rank(&[3, 0, 0]).unwrap();
+        let to = space.rank(&[2, 1, 0]).unwrap();
+        assert!((chain.prob(from, to) - 0.3).abs() < 1e-12);
+        assert!((chain.prob(from, from) - 0.7).abs() < 1e-12);
+        // From (1,1,1): four moves.
+        let mid = space.rank(&[1, 1, 1]).unwrap();
+        let up0 = space.rank(&[0, 2, 1]).unwrap();
+        let up1 = space.rank(&[1, 0, 2]).unwrap();
+        let down0 = space.rank(&[2, 0, 1]).unwrap();
+        let down1 = space.rank(&[1, 2, 0]).unwrap();
+        assert!((chain.prob(mid, up0) - 0.1).abs() < 1e-12); // a/3
+        assert!((chain.prob(mid, up1) - 0.1).abs() < 1e-12);
+        assert!((chain.prob(mid, down0) - 0.2 / 3.0).abs() < 1e-12); // b/3
+        assert!((chain.prob(mid, down1) - 0.2 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_24_verified_on_grid_of_instances() {
+        for (k, a, b, m) in [
+            (2usize, 0.25, 0.25, 8u64),
+            (2, 0.4, 0.1, 10),
+            (3, 0.3, 0.15, 6),
+            (4, 0.2, 0.3, 5),
+            (5, 0.45, 0.05, 4),
+        ] {
+            let params = EhrenfestParams::new(k, a, b, m).unwrap();
+            let report = verify_theorem_24(&params).unwrap();
+            assert!(
+                report.detailed_balance_residual < 1e-12,
+                "k={k} a={a} b={b} m={m}: DB residual {}",
+                report.detailed_balance_residual
+            );
+            assert!(report.stationarity_residual < 1e-12);
+            assert!(
+                report.tv_to_power_iteration < 1e-7,
+                "power-iteration mismatch {}",
+                report.tv_to_power_iteration
+            );
+        }
+    }
+
+    #[test]
+    fn diameter_is_k_minus_1_times_m() {
+        // Proposition A.9: transporting m balls across k-1 urn boundaries
+        // needs (k-1)m moves, and the graph realizes exactly that.
+        for (k, m) in [(2usize, 5u64), (3, 4), (4, 3)] {
+            let params = EhrenfestParams::new(k, 0.3, 0.3, m).unwrap();
+            let chain = exact_chain(&params).unwrap();
+            assert_eq!(
+                diameter_exact(&chain),
+                (k as u64 - 1) as usize * m as usize,
+                "k={k} m={m}"
+            );
+            assert_eq!(
+                mixing_time_lower_bound(&chain),
+                ((k as u64 - 1) * m / 2) as usize
+            );
+        }
+    }
+
+    #[test]
+    fn corner_ranks_are_extremes() {
+        let params = EhrenfestParams::new(3, 0.3, 0.3, 3).unwrap();
+        let space = simplex(&params);
+        let (bottom, top) = corner_ranks(&params);
+        assert_eq!(space.unrank(bottom).unwrap(), vec![3, 0, 0]);
+        assert_eq!(space.unrank(top).unwrap(), vec![0, 0, 3]);
+    }
+
+    #[test]
+    fn space_too_large_is_rejected() {
+        let params = EhrenfestParams::new(8, 0.3, 0.3, 256).unwrap();
+        assert!(matches!(
+            exact_chain(&params),
+            Err(EhrenfestError::SpaceTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,293 @@
+//! Mixing-time analysis: exact (small instances), projected (`k = 2`),
+//! empirical, and the Theorem 2.5 bound formulas.
+//!
+//! Theorem 2.5: for the `(k,a,b,m)`-Ehrenfest process,
+//!
+//! * `t_mix = O(min{k/|a−b|, k²} · m log m)` when `a ≠ b`,
+//! * `t_mix = O(k² · m log m)` when `a = b`,
+//! * `t_mix = Ω(km)` always (diameter bound, Proposition A.9).
+//!
+//! For `k = 2` the process projects onto a birth–death chain (eq. 11),
+//! making exact TV profiles affordable for `m` in the thousands; for small
+//! `(k, m)` the full simplex chain is exact; for everything else the
+//! coupling bound (see [`crate::coupling`]) certifies the upper bound.
+
+use crate::error::EhrenfestError;
+use crate::exact::{corner_ranks, exact_chain, simplex};
+use crate::process::{EhrenfestParams, EhrenfestProcess};
+use crate::stationary::stationary_distribution;
+use popgame_dist::empirical::EmpiricalDistribution;
+use popgame_markov::birth_death::BirthDeathChain;
+use popgame_markov::mixing::{distance_profile, mixing_time};
+use popgame_util::rng::stream_rng;
+
+/// The `k = 2` birth–death projection (eq. 11): the count in urn 1 performs
+/// a birth–death chain with `up[x] = b·(m−x)/m` and `down[x] = a·x/m`.
+///
+/// # Errors
+///
+/// Returns [`EhrenfestError::InvalidParameters`] when `k != 2`.
+pub fn k2_birth_death(params: &EhrenfestParams) -> Result<BirthDeathChain, EhrenfestError> {
+    if params.k() != 2 {
+        return Err(EhrenfestError::InvalidParameters {
+            reason: format!("birth-death projection needs k = 2, got k = {}", params.k()),
+        });
+    }
+    let m = params.m();
+    let mf = m as f64;
+    let up: Vec<f64> = (0..=m).map(|x| params.b() * (m - x) as f64 / mf).collect();
+    let down: Vec<f64> = (0..=m).map(|x| params.a() * x as f64 / mf).collect();
+    BirthDeathChain::new(up, down).map_err(|e| EhrenfestError::InvalidParameters {
+        reason: format!("projection failed: {e}"),
+    })
+}
+
+/// Exact mixing time of a `k = 2` process from the two corner starts, via
+/// the birth–death projection. Scales to `m` in the thousands.
+///
+/// # Errors
+///
+/// Returns [`EhrenfestError::InvalidParameters`] when `k != 2`.
+pub fn exact_mixing_time_k2(
+    params: &EhrenfestParams,
+    threshold: f64,
+    t_max: usize,
+) -> Result<Option<usize>, EhrenfestError> {
+    let bd = k2_birth_death(params)?;
+    let m = params.m() as usize;
+    bd.mixing_time(&[0, m], threshold, t_max)
+        .map_err(|e| EhrenfestError::InvalidParameters {
+            reason: e.to_string(),
+        })
+}
+
+/// Exact mixing time over the full simplex chain, from the two extreme
+/// corner states. For the monotone Ehrenfest dynamics these corners realize
+/// the worst-case TV distance (verified against all-state maximization in
+/// the tests).
+///
+/// # Errors
+///
+/// Propagates [`EhrenfestError::SpaceTooLarge`] from [`exact_chain`].
+pub fn exact_mixing_time(
+    params: &EhrenfestParams,
+    threshold: f64,
+    t_max: usize,
+) -> Result<Option<usize>, EhrenfestError> {
+    let chain = exact_chain(params)?;
+    let pmf = stationary_distribution(params).pmf_by_rank();
+    let (bottom, top) = corner_ranks(params);
+    mixing_time(&chain, &[bottom, top], &pmf, threshold, t_max).map_err(|e| {
+        EhrenfestError::InvalidParameters {
+            reason: e.to_string(),
+        }
+    })
+}
+
+/// Exact TV profile `d(t)` from the corner starts over the full simplex
+/// chain.
+///
+/// # Errors
+///
+/// Propagates [`EhrenfestError::SpaceTooLarge`] from [`exact_chain`].
+pub fn exact_distance_profile(
+    params: &EhrenfestParams,
+    t_max: usize,
+) -> Result<Vec<f64>, EhrenfestError> {
+    let chain = exact_chain(params)?;
+    let pmf = stationary_distribution(params).pmf_by_rank();
+    let (bottom, top) = corner_ranks(params);
+    distance_profile(&chain, &[bottom, top], &pmf, t_max).map_err(|e| {
+        EhrenfestError::InvalidParameters {
+            reason: e.to_string(),
+        }
+    })
+}
+
+/// The Theorem 2.5 upper-bound *formula* `min{k/|a−b|, k²} · m · ln m`
+/// (`k² m ln m` when `a = b`) — an order-of-growth reference curve, not a
+/// certified constant.
+pub fn theorem_25_upper_formula(params: &EhrenfestParams) -> f64 {
+    let k = params.k() as f64;
+    let m = params.m() as f64;
+    let log_m = m.ln().max(1.0);
+    if params.is_unbiased() {
+        k * k * m * log_m
+    } else {
+        (k / (params.a() - params.b()).abs()).min(k * k) * m * log_m
+    }
+}
+
+/// The Theorem 2.5 / Proposition A.9 lower bound: the transition graph has
+/// diameter `(k−1)m`, so `t_mix ≥ (k−1)m/2`.
+pub fn theorem_25_lower_bound(params: &EhrenfestParams) -> u64 {
+    (params.k() as u64 - 1) * params.m() / 2
+}
+
+/// Monte-Carlo estimate of the occupation TV distance at time `t`: runs
+/// `reps` replicas from the given start and compares the empirical
+/// distribution over simplex ranks against the exact stationary pmf.
+///
+/// Finite sampling biases this estimate *upward* by `O(√(#states/reps))`,
+/// so use `reps ≫ |∆^m_k|`; the experiments report it side by side with the
+/// exact profile where both are available.
+///
+/// # Errors
+///
+/// Propagates simplex-size errors, and [`EhrenfestError::InvalidState`]
+/// when the start is off the simplex.
+pub fn empirical_tv_at(
+    params: &EhrenfestParams,
+    start: &[u64],
+    t: u64,
+    reps: u64,
+    seed: u64,
+) -> Result<f64, EhrenfestError> {
+    let space = simplex(params);
+    if space.len_u128() > crate::exact::EXACT_STATE_LIMIT {
+        return Err(EhrenfestError::SpaceTooLarge {
+            states: space.len_u128(),
+            limit: crate::exact::EXACT_STATE_LIMIT,
+        });
+    }
+    let pmf = stationary_distribution(params).pmf_by_rank();
+    let mut empirical = EmpiricalDistribution::new(space.len());
+    for rep in 0..reps {
+        let mut rng = stream_rng(seed, rep);
+        let mut proc = EhrenfestProcess::from_counts(*params, start.to_vec())?;
+        proc.run(t, &mut rng);
+        let rank = space
+            .rank(proc.counts())
+            .expect("process stays on the simplex");
+        empirical.observe(rank);
+    }
+    Ok(empirical.tv_to(&pmf).expect("matching lengths"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_markov::mixing::MIXING_THRESHOLD;
+
+    #[test]
+    fn projection_requires_k2() {
+        let p3 = EhrenfestParams::new(3, 0.3, 0.3, 5).unwrap();
+        assert!(k2_birth_death(&p3).is_err());
+    }
+
+    #[test]
+    fn projection_stationary_matches_binomial_marginal() {
+        let p = EhrenfestParams::new(2, 0.4, 0.2, 20).unwrap();
+        let bd = k2_birth_death(&p).unwrap();
+        let pi = bd.stationary();
+        let binom = stationary_distribution(&p).marginal(0);
+        for x in 0..=20u64 {
+            assert!(
+                (pi[x as usize] - binom.pmf(x)).abs() < 1e-10,
+                "x = {x}: {} vs {}",
+                pi[x as usize],
+                binom.pmf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn k2_exact_matches_full_chain() {
+        // The BD projection is lossless for k = 2: mixing times must agree.
+        let p = EhrenfestParams::new(2, 0.3, 0.15, 12).unwrap();
+        let via_bd = exact_mixing_time_k2(&p, MIXING_THRESHOLD, 20_000)
+            .unwrap()
+            .unwrap();
+        let via_chain = exact_mixing_time(&p, MIXING_THRESHOLD, 20_000)
+            .unwrap()
+            .unwrap();
+        assert_eq!(via_bd, via_chain);
+    }
+
+    #[test]
+    fn corner_starts_realize_worst_case_tv() {
+        // Compare corner-start d(t) against the maximization over ALL
+        // states for a tiny instance.
+        let p = EhrenfestParams::new(3, 0.3, 0.2, 4).unwrap();
+        let chain = exact_chain(&p).unwrap();
+        let pmf = stationary_distribution(&p).pmf_by_rank();
+        let all: Vec<usize> = (0..chain.len()).collect();
+        let full = distance_profile(&chain, &all, &pmf, 300).unwrap();
+        let corners = exact_distance_profile(&p, 300).unwrap();
+        for (t, (f, c)) in full.iter().zip(corners.iter()).enumerate() {
+            assert!(
+                (f - c).abs() < 1e-9,
+                "worst case not at corners at t = {t}: {f} vs {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixing_time_respects_lower_bound_and_upper_formula() {
+        for (k, a, b, m) in [
+            (2usize, 0.4, 0.2, 16u64),
+            (3, 0.3, 0.3, 8),
+            (4, 0.35, 0.15, 6),
+        ] {
+            let p = EhrenfestParams::new(k, a, b, m).unwrap();
+            let tmix = exact_mixing_time(&p, MIXING_THRESHOLD, 200_000)
+                .unwrap()
+                .expect("mixes within budget") as f64;
+            let lower = theorem_25_lower_bound(&p) as f64;
+            assert!(
+                tmix >= lower,
+                "k={k} m={m}: t_mix {tmix} below diameter bound {lower}"
+            );
+            // The upper formula should dominate up to a small constant.
+            let upper = theorem_25_upper_formula(&p);
+            assert!(
+                tmix <= 3.0 * upper,
+                "k={k} m={m}: t_mix {tmix} far above O(.) formula {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_flattens_the_k_scaling() {
+        // Theorem 2.5's case distinction is about the *k-exponent*:
+        // unbiased mixing grows like k², biased like k once k > 1/|a−b|.
+        // Compare the growth factor t_mix(2k)/t_mix(k) for both regimes.
+        let m = 4u64;
+        let t = |a: f64, b: f64, k: usize| {
+            let p = EhrenfestParams::new(k, a, b, m).unwrap();
+            exact_mixing_time(&p, MIXING_THRESHOLD, 500_000)
+                .unwrap()
+                .expect("mixes within budget") as f64
+        };
+        let growth_unbiased = t(0.25, 0.25, 10) / t(0.25, 0.25, 5);
+        let growth_biased = t(0.4, 0.1, 10) / t(0.4, 0.1, 5);
+        // Quadratic regime: factor ≈ 4; linear regime: clearly smaller.
+        assert!(
+            growth_unbiased > 3.2,
+            "unbiased k-growth {growth_unbiased} not quadratic-like"
+        );
+        assert!(
+            growth_biased < growth_unbiased - 0.8,
+            "bias failed to flatten k-scaling: biased {growth_biased} vs unbiased {growth_unbiased}"
+        );
+    }
+
+    #[test]
+    fn empirical_tv_decreases_with_time() {
+        let p = EhrenfestParams::new(2, 0.3, 0.3, 8).unwrap();
+        let start = vec![8u64, 0];
+        let early = empirical_tv_at(&p, &start, 2, 6_000, 42).unwrap();
+        let late = empirical_tv_at(&p, &start, 300, 6_000, 42).unwrap();
+        assert!(
+            late < early,
+            "TV failed to decrease: early {early}, late {late}"
+        );
+        assert!(late < 0.1, "late TV too large: {late}");
+    }
+
+    #[test]
+    fn empirical_tv_rejects_bad_start() {
+        let p = EhrenfestParams::new(2, 0.3, 0.3, 8).unwrap();
+        assert!(empirical_tv_at(&p, &[5, 5], 10, 100, 1).is_err());
+    }
+}

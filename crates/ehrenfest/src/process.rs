@@ -1,0 +1,303 @@
+//! The count-vector Ehrenfest process (Definition 2.3).
+
+use crate::error::EhrenfestError;
+use popgame_util::sampler::sample_weighted_index;
+use rand::Rng;
+
+/// Parameters of a `(k, a, b, m)`-Ehrenfest process: `k ≥ 2` urns, up/down
+/// probabilities `a, b > 0` with `a + b ≤ 1`, and `m ≥ 1` balls.
+///
+/// # Example
+///
+/// ```
+/// use popgame_ehrenfest::process::EhrenfestParams;
+///
+/// let p = EhrenfestParams::new(4, 0.3, 0.15, 50)?;
+/// assert_eq!(p.lambda(), 2.0);
+/// # Ok::<(), popgame_ehrenfest::EhrenfestError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EhrenfestParams {
+    k: usize,
+    a: f64,
+    b: f64,
+    m: u64,
+}
+
+impl EhrenfestParams {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EhrenfestError::InvalidParameters`] unless `k ≥ 2`,
+    /// `a, b > 0`, `a + b ≤ 1`, and `m ≥ 1`.
+    pub fn new(k: usize, a: f64, b: f64, m: u64) -> Result<Self, EhrenfestError> {
+        if k < 2 {
+            return Err(EhrenfestError::InvalidParameters {
+                reason: format!("k = {k}, need k >= 2"),
+            });
+        }
+        if !(a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0 && a + b <= 1.0 + 1e-12) {
+            return Err(EhrenfestError::InvalidParameters {
+                reason: format!("need a, b > 0 with a + b <= 1; got a = {a}, b = {b}"),
+            });
+        }
+        if m == 0 {
+            return Err(EhrenfestError::InvalidParameters {
+                reason: "m = 0, need at least one ball".into(),
+            });
+        }
+        Ok(Self { k, a, b, m })
+    }
+
+    /// Number of urns `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Up-move probability `a`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Down-move probability `b`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Number of balls `m`.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// The bias ratio `λ = a/b` governing the stationary law (Theorem 2.4).
+    pub fn lambda(&self) -> f64 {
+        self.a / self.b
+    }
+
+    /// Whether the process is unbiased (`a = b`), the slow-mixing case of
+    /// Theorem 2.5.
+    pub fn is_unbiased(&self) -> bool {
+        (self.a - self.b).abs() < 1e-12
+    }
+}
+
+/// A running count-vector Ehrenfest process.
+///
+/// # Example
+///
+/// ```
+/// use popgame_ehrenfest::process::{EhrenfestParams, EhrenfestProcess};
+/// use popgame_util::rng::rng_from_seed;
+///
+/// let params = EhrenfestParams::new(3, 0.2, 0.2, 9)?;
+/// let mut p = EhrenfestProcess::all_in_last_urn(params);
+/// assert_eq!(p.counts(), &[0, 0, 9]);
+/// let mut rng = rng_from_seed(1);
+/// p.step(&mut rng);
+/// assert_eq!(p.counts().iter().sum::<u64>(), 9); // balls conserved
+/// # Ok::<(), popgame_ehrenfest::EhrenfestError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EhrenfestProcess {
+    params: EhrenfestParams,
+    counts: Vec<u64>,
+    steps: u64,
+}
+
+impl EhrenfestProcess {
+    /// Starts from an explicit count vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EhrenfestError::InvalidState`] when the counts have the
+    /// wrong length or total.
+    pub fn from_counts(params: EhrenfestParams, counts: Vec<u64>) -> Result<Self, EhrenfestError> {
+        if counts.len() != params.k() || counts.iter().sum::<u64>() != params.m() {
+            return Err(EhrenfestError::InvalidState {
+                expected: format!("{} urns summing to {}", params.k(), params.m()),
+                got: format!("{} urns summing to {}", counts.len(), counts.iter().sum::<u64>()),
+            });
+        }
+        Ok(Self {
+            params,
+            counts,
+            steps: 0,
+        })
+    }
+
+    /// Starts with every ball in urn 1 — one of the two extreme corners of
+    /// the simplex (the diameter endpoints of Proposition A.9).
+    pub fn all_in_first_urn(params: EhrenfestParams) -> Self {
+        let mut counts = vec![0u64; params.k()];
+        counts[0] = params.m();
+        Self {
+            params,
+            counts,
+            steps: 0,
+        }
+    }
+
+    /// Starts with every ball in urn `k` — the opposite extreme corner.
+    pub fn all_in_last_urn(params: EhrenfestParams) -> Self {
+        let mut counts = vec![0u64; params.k()];
+        counts[params.k() - 1] = params.m();
+        Self {
+            params,
+            counts,
+            steps: 0,
+        }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> EhrenfestParams {
+        self.params
+    }
+
+    /// Current count vector.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The weighted-position statistic `Σ_j (j−1)·x_j` (0-indexed urns),
+    /// a scalar summary used by trajectory plots.
+    pub fn weight(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| j as u64 * x)
+            .sum()
+    }
+
+    /// One step of Definition 2.3: pick a ball uniformly (an urn `j` with
+    /// probability `x_j/m`), then move it up with probability `a` (held at
+    /// the top urn), down with probability `b` (held at the bottom), and
+    /// hold otherwise.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        let j = sample_weighted_index(&weights, rng).expect("m >= 1 ball always present");
+        let u: f64 = rng.gen();
+        if u < self.params.a {
+            if j + 1 < self.params.k {
+                self.counts[j] -= 1;
+                self.counts[j + 1] += 1;
+            }
+        } else if u < self.params.a + self.params.b && j > 0 {
+            self.counts[j] -= 1;
+            self.counts[j - 1] += 1;
+        }
+        self.steps += 1;
+    }
+
+    /// Runs `steps` steps.
+    pub fn run<R: Rng + ?Sized>(&mut self, steps: u64, rng: &mut R) {
+        for _ in 0..steps {
+            self.step(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+    use proptest::prelude::*;
+
+    #[test]
+    fn params_validation() {
+        assert!(EhrenfestParams::new(1, 0.3, 0.3, 5).is_err());
+        assert!(EhrenfestParams::new(2, 0.0, 0.3, 5).is_err());
+        assert!(EhrenfestParams::new(2, 0.3, 0.0, 5).is_err());
+        assert!(EhrenfestParams::new(2, 0.6, 0.6, 5).is_err());
+        assert!(EhrenfestParams::new(2, 0.3, 0.3, 0).is_err());
+        assert!(EhrenfestParams::new(2, f64::NAN, 0.3, 5).is_err());
+        let p = EhrenfestParams::new(2, 0.5, 0.25, 5).unwrap();
+        assert_eq!(p.lambda(), 2.0);
+        assert!(!p.is_unbiased());
+        assert!(EhrenfestParams::new(2, 0.25, 0.25, 5).unwrap().is_unbiased());
+    }
+
+    #[test]
+    fn state_validation() {
+        let p = EhrenfestParams::new(3, 0.2, 0.2, 4).unwrap();
+        assert!(EhrenfestProcess::from_counts(p, vec![2, 2]).is_err()); // wrong k
+        assert!(EhrenfestProcess::from_counts(p, vec![2, 2, 2]).is_err()); // wrong m
+        assert!(EhrenfestProcess::from_counts(p, vec![1, 2, 1]).is_ok());
+    }
+
+    #[test]
+    fn corner_constructors() {
+        let p = EhrenfestParams::new(4, 0.2, 0.2, 7).unwrap();
+        assert_eq!(EhrenfestProcess::all_in_first_urn(p).counts(), &[7, 0, 0, 0]);
+        assert_eq!(EhrenfestProcess::all_in_last_urn(p).counts(), &[0, 0, 0, 7]);
+    }
+
+    #[test]
+    fn weight_statistic() {
+        let p = EhrenfestParams::new(3, 0.2, 0.2, 6).unwrap();
+        let proc = EhrenfestProcess::from_counts(p, vec![1, 2, 3]).unwrap();
+        // 0*1 + 1*2 + 2*3 = 8
+        assert_eq!(proc.weight(), 8);
+    }
+
+    #[test]
+    fn truncation_at_boundaries() {
+        // a + b = 1: every step tries to move; from the top corner only
+        // down-moves can change anything; from the bottom only up-moves.
+        let p = EhrenfestParams::new(2, 0.5, 0.5, 1).unwrap();
+        let mut top = EhrenfestProcess::all_in_last_urn(p);
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            top.step(&mut rng);
+            let total: u64 = top.counts().iter().sum();
+            assert_eq!(total, 1);
+        }
+    }
+
+    #[test]
+    fn biased_process_drifts_up() {
+        let p = EhrenfestParams::new(5, 0.45, 0.05, 100).unwrap();
+        let mut proc = EhrenfestProcess::all_in_first_urn(p);
+        let w0 = proc.weight();
+        let mut rng = rng_from_seed(3);
+        proc.run(20_000, &mut rng);
+        assert!(proc.weight() > w0 + 200, "weight failed to drift: {}", proc.weight());
+        assert_eq!(proc.steps(), 20_000);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_balls_conserved(
+            k in 2usize..6,
+            m in 1u64..40,
+            a in 0.05..0.45f64,
+            b in 0.05..0.45f64,
+            seed in 0u64..30,
+        ) {
+            let p = EhrenfestParams::new(k, a, b, m).unwrap();
+            let mut proc = EhrenfestProcess::all_in_first_urn(p);
+            let mut rng = rng_from_seed(seed);
+            proc.run(200, &mut rng);
+            prop_assert_eq!(proc.counts().iter().sum::<u64>(), m);
+            prop_assert_eq!(proc.counts().len(), k);
+        }
+
+        #[test]
+        fn prop_weight_bounded(
+            k in 2usize..5,
+            m in 1u64..30,
+            seed in 0u64..20,
+        ) {
+            let p = EhrenfestParams::new(k, 0.3, 0.3, m).unwrap();
+            let mut proc = EhrenfestProcess::all_in_last_urn(p);
+            let mut rng = rng_from_seed(seed);
+            proc.run(300, &mut rng);
+            prop_assert!(proc.weight() <= (k as u64 - 1) * m);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The generic distributional-equilibrium concept (Definition 1.1).
+//!
+//! For a finite strategy set `S` with utility matrices `u1, u2`, a
+//! distribution `µ ∈ ∆(S)` is an ε-approximate DE when
+//!
+//! ```text
+//! E_{S1,S2∼µ}[u1(S1,S2)] ≥ max_{S'} E_{S2∼µ}[u1(S', S2)] − ε
+//! E_{S1,S2∼µ}[u2(S1,S2)] ≥ max_{S'} E_{S1∼µ}[u2(S1, S')] − ε .
+//! ```
+//!
+//! This is an approximate symmetric mixed Nash condition where the "mixed
+//! strategy" is realized by population fractions.
+
+use crate::error::EquilibriumError;
+
+/// A two-player distributional game over a finite strategy set, given by
+/// row-player and column-player utility matrices (`u1[i][j]` is player 1's
+/// payoff when playing `i` against `j`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionalGame {
+    u1: Vec<Vec<f64>>,
+    u2: Vec<Vec<f64>>,
+}
+
+impl DistributionalGame {
+    /// Creates the game from explicit utility matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquilibriumError::InvalidUtilities`] unless both matrices
+    /// are square, non-empty, of equal dimension, and finite.
+    pub fn new(u1: Vec<Vec<f64>>, u2: Vec<Vec<f64>>) -> Result<Self, EquilibriumError> {
+        let n = u1.len();
+        if n == 0 || u2.len() != n {
+            return Err(EquilibriumError::InvalidUtilities {
+                reason: format!("need equal non-zero dimensions, got {} and {}", n, u2.len()),
+            });
+        }
+        for (name, matrix) in [("u1", &u1), ("u2", &u2)] {
+            for (i, row) in matrix.iter().enumerate() {
+                if row.len() != n {
+                    return Err(EquilibriumError::InvalidUtilities {
+                        reason: format!("{name} row {i} has length {} != {n}", row.len()),
+                    });
+                }
+                if row.iter().any(|v| !v.is_finite()) {
+                    return Err(EquilibriumError::InvalidUtilities {
+                        reason: format!("{name} row {i} contains a non-finite payoff"),
+                    });
+                }
+            }
+        }
+        Ok(Self { u1, u2 })
+    }
+
+    /// Builds a *symmetric* game from the row player's utility function:
+    /// `u2(i, j) = u1(j, i)` (the RD setting's symmetry, Section 1.1.2).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn symmetric(u1: Vec<Vec<f64>>) -> Result<Self, EquilibriumError> {
+        let n = u1.len();
+        let u2 = (0..n)
+            .map(|i| (0..n).map(|j| u1.get(j).and_then(|r| r.get(i)).copied().unwrap_or(f64::NAN)).collect())
+            .collect();
+        Self::new(u1, u2)
+    }
+
+    /// Number of strategies.
+    pub fn num_strategies(&self) -> usize {
+        self.u1.len()
+    }
+
+    /// Player 1's utility `u1(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn utility_row(&self, i: usize, j: usize) -> f64 {
+        self.u1[i][j]
+    }
+
+    /// Player 2's utility `u2(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn utility_col(&self, i: usize, j: usize) -> f64 {
+        self.u2[i][j]
+    }
+
+    fn validate_mu(&self, mu: &[f64]) -> Result<(), EquilibriumError> {
+        if mu.len() != self.num_strategies() {
+            return Err(EquilibriumError::InvalidDistribution {
+                reason: format!(
+                    "mu has length {}, game has {} strategies",
+                    mu.len(),
+                    self.num_strategies()
+                ),
+            });
+        }
+        if mu.iter().any(|p| !p.is_finite() || *p < -1e-12) {
+            return Err(EquilibriumError::InvalidDistribution {
+                reason: "mu has negative or non-finite mass".into(),
+            });
+        }
+        let total: f64 = mu.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(EquilibriumError::InvalidDistribution {
+                reason: format!("mu sums to {total}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// The expected payoffs `(E[u1], E[u2])` of the average interaction:
+    /// both strategies drawn independently from `µ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquilibriumError::InvalidDistribution`] when `µ` is not a
+    /// pmf over the strategy set.
+    pub fn average_payoffs(&self, mu: &[f64]) -> Result<(f64, f64), EquilibriumError> {
+        self.validate_mu(mu)?;
+        let mut e1 = 0.0;
+        let mut e2 = 0.0;
+        for (i, &pi) in mu.iter().enumerate() {
+            if pi == 0.0 {
+                continue;
+            }
+            for (j, &pj) in mu.iter().enumerate() {
+                if pj == 0.0 {
+                    continue;
+                }
+                e1 += pi * pj * self.u1[i][j];
+                e2 += pi * pj * self.u2[i][j];
+            }
+        }
+        Ok((e1, e2))
+    }
+
+    /// Player 1's best unilateral deviation: `(argmax, max_{S'} E_{S2∼µ}
+    /// [u1(S', S2)])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquilibriumError::InvalidDistribution`] on an invalid `µ`.
+    pub fn best_deviation_row(&self, mu: &[f64]) -> Result<(usize, f64), EquilibriumError> {
+        self.validate_mu(mu)?;
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for s in 0..self.num_strategies() {
+            let value: f64 = mu
+                .iter()
+                .enumerate()
+                .map(|(j, &pj)| pj * self.u1[s][j])
+                .sum();
+            if value > best.1 {
+                best = (s, value);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Player 2's best unilateral deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquilibriumError::InvalidDistribution`] on an invalid `µ`.
+    pub fn best_deviation_col(&self, mu: &[f64]) -> Result<(usize, f64), EquilibriumError> {
+        self.validate_mu(mu)?;
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for s in 0..self.num_strategies() {
+            let value: f64 = mu
+                .iter()
+                .enumerate()
+                .map(|(i, &pi)| pi * self.u2[i][s])
+                .sum();
+            if value > best.1 {
+                best = (s, value);
+            }
+        }
+        Ok(best)
+    }
+
+    /// The equilibrium gap: the smallest `ε ≥ 0` such that `µ` is an
+    /// ε-approximate DE (Definition 1.1) — the larger of the two players'
+    /// deviation gains, floored at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquilibriumError::InvalidDistribution`] on an invalid `µ`.
+    pub fn epsilon(&self, mu: &[f64]) -> Result<f64, EquilibriumError> {
+        let (avg1, avg2) = self.average_payoffs(mu)?;
+        let (_, best1) = self.best_deviation_row(mu)?;
+        let (_, best2) = self.best_deviation_col(mu)?;
+        Ok((best1 - avg1).max(best2 - avg2).max(0.0))
+    }
+
+    /// Whether `µ` is an ε-approximate DE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquilibriumError::InvalidDistribution`] on an invalid `µ`.
+    pub fn is_epsilon_de(&self, mu: &[f64], epsilon: f64) -> Result<bool, EquilibriumError> {
+        Ok(self.epsilon(mu)? <= epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Matching pennies utilities (zero-sum, unique mixed NE at 1/2-1/2).
+    fn matching_pennies() -> DistributionalGame {
+        DistributionalGame::new(
+            vec![vec![1.0, -1.0], vec![-1.0, 1.0]],
+            vec![vec![-1.0, 1.0], vec![1.0, -1.0]],
+        )
+        .unwrap()
+    }
+
+    /// Symmetric prisoner's dilemma in distributional form.
+    fn pd() -> DistributionalGame {
+        // Donation game b=2, c=1 single round: [[1, -1], [2, 0]].
+        DistributionalGame::symmetric(vec![vec![1.0, -1.0], vec![2.0, 0.0]]).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DistributionalGame::new(vec![], vec![]).is_err());
+        assert!(DistributionalGame::new(
+            vec![vec![1.0, 2.0]],
+            vec![vec![1.0]]
+        )
+        .is_err());
+        assert!(DistributionalGame::new(
+            vec![vec![1.0, f64::NAN], vec![0.0, 0.0]],
+            vec![vec![0.0, 0.0], vec![0.0, 0.0]]
+        )
+        .is_err());
+        let g = matching_pennies();
+        assert!(g.epsilon(&[0.5]).is_err());
+        assert!(g.epsilon(&[0.7, 0.7]).is_err());
+        assert!(g.epsilon(&[-0.5, 1.5]).is_err());
+    }
+
+    #[test]
+    fn matching_pennies_uniform_is_exact_de() {
+        let g = matching_pennies();
+        let eps = g.epsilon(&[0.5, 0.5]).unwrap();
+        assert!(eps < 1e-12);
+        assert!(g.is_epsilon_de(&[0.5, 0.5], 1e-9).unwrap());
+    }
+
+    #[test]
+    fn matching_pennies_pure_is_far_from_de() {
+        let g = matching_pennies();
+        let eps = g.epsilon(&[1.0, 0.0]).unwrap();
+        // Against pure heads, deviating to tails gains 1 − (−1)... here
+        // E[u1] = 1, best col deviation = 1 vs avg −1 → gap 2.
+        assert!((eps - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pd_all_defect_is_the_equilibrium() {
+        let g = pd();
+        assert!(g.epsilon(&[0.0, 1.0]).unwrap() < 1e-12);
+        // All-cooperate is 1 away (deviation to D gains 2 - 1 = 1).
+        let eps = g.epsilon(&[1.0, 0.0]).unwrap();
+        assert!((eps - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_constructor_transposes() {
+        let g = pd();
+        // u2(C, D) must equal u1(D, C) = 2.
+        let (_, best) = g.best_deviation_col(&[1.0, 0.0]).unwrap();
+        assert_eq!(best, 2.0);
+    }
+
+    #[test]
+    fn average_payoffs_of_mixture() {
+        let g = pd();
+        let (e1, e2) = g.average_payoffs(&[0.5, 0.5]).unwrap();
+        // Each entry equally likely: (1 - 1 + 2 + 0)/4 = 0.5 for both.
+        assert!((e1 - 0.5).abs() < 1e-12);
+        assert!((e2 - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_epsilon_nonnegative(p in 0.0..=1.0f64) {
+            let g = pd();
+            let eps = g.epsilon(&[p, 1.0 - p]).unwrap();
+            prop_assert!(eps >= 0.0);
+        }
+
+        #[test]
+        fn prop_symmetric_game_players_agree(
+            p in 0.0..=1.0f64,
+            payoffs in proptest::array::uniform4(-5.0..5.0f64),
+        ) {
+            // In a symmetric game with both strategies drawn from the same
+            // µ, the two players' average payoffs coincide.
+            let u1 = vec![
+                vec![payoffs[0], payoffs[1]],
+                vec![payoffs[2], payoffs[3]],
+            ];
+            let g = DistributionalGame::symmetric(u1).unwrap();
+            let (e1, e2) = g.average_payoffs(&[p, 1.0 - p]).unwrap();
+            prop_assert!((e1 - e2).abs() < 1e-9);
+        }
+    }
+}

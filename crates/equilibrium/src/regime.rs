@@ -1,0 +1,197 @@
+//! The Theorem 2.9 parameter regime.
+//!
+//! Theorem 2.9 requires:
+//!
+//! 1. `λ = (1−β)/β ≥ 2` (enough signal from the AD fraction);
+//! 2. `s₁ ∈ [0, 1)`;
+//! 3. `b/c > 1 + βc/(γ(1−s₁))`;
+//! 4. `δ < sqrt(1 − βc/(γ(b−c)(1−s₁)))`;
+//! 5. `ĝ < 1 − (1/δ)·(βc/(γ(b−c)(1−δ)(1−s₁)) − 1)`.
+//!
+//! The checker reports the margin of every condition so experiments can
+//! sweep both satisfying regimes (E7) and violating ones (E13).
+
+use crate::error::EquilibriumError;
+use popgame_igt::params::IgtConfig;
+
+/// Margins of the five Theorem 2.9 conditions (positive = satisfied).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Theorem29Report {
+    /// `λ − 2`.
+    pub lambda_margin: f64,
+    /// `1 − s₁`.
+    pub s1_margin: f64,
+    /// `b/c − (1 + βc/(γ(1−s₁)))`.
+    pub reward_ratio_margin: f64,
+    /// `sqrt(1 − βc/(γ(b−c)(1−s₁))) − δ` (negative infinity when the
+    /// radicand is negative).
+    pub delta_margin: f64,
+    /// `(1 − (1/δ)(βc/(γ(b−c)(1−δ)(1−s₁)) − 1)) − ĝ`.
+    pub g_max_margin: f64,
+}
+
+impl Theorem29Report {
+    /// Whether every condition holds strictly.
+    pub fn satisfied(&self) -> bool {
+        self.lambda_margin >= 0.0
+            && self.s1_margin > 0.0
+            && self.reward_ratio_margin > 0.0
+            && self.delta_margin > 0.0
+            && self.g_max_margin > 0.0
+    }
+}
+
+/// Computes the Theorem 2.9 margins.
+pub fn theorem_29_report(config: &IgtConfig) -> Theorem29Report {
+    let comp = config.composition();
+    let game = config.game();
+    let (beta, gamma) = (comp.beta(), comp.gamma());
+    let (b, c, delta, s1) = (game.b(), game.c(), game.delta(), game.s1());
+    let one_minus_s1 = 1.0 - s1;
+
+    let lambda_margin = comp.lambda() - 2.0;
+    let s1_margin = one_minus_s1;
+    let reward_ratio_margin = if c == 0.0 {
+        f64::INFINITY
+    } else {
+        b / c - (1.0 + beta * c / (gamma * one_minus_s1))
+    };
+    let radicand = 1.0 - beta * c / (gamma * (b - c) * one_minus_s1);
+    let delta_margin = if radicand <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        radicand.sqrt() - delta
+    };
+    let g_max_bound = if delta == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        1.0 - (1.0 / delta) * (beta * c / (gamma * (b - c) * (1.0 - delta) * one_minus_s1) - 1.0)
+    };
+    let g_max_margin = g_max_bound - config.grid().g_max();
+
+    Theorem29Report {
+        lambda_margin,
+        s1_margin,
+        reward_ratio_margin,
+        delta_margin,
+        g_max_margin,
+    }
+}
+
+/// Validates the Theorem 2.9 regime.
+///
+/// # Errors
+///
+/// Returns [`EquilibriumError::RegimeViolation`] naming the first failed
+/// condition with its margin.
+pub fn check_theorem_29(config: &IgtConfig) -> Result<Theorem29Report, EquilibriumError> {
+    let report = theorem_29_report(config);
+    let checks = [
+        ("lambda = (1-beta)/beta >= 2", report.lambda_margin, true),
+        ("s1 < 1", report.s1_margin, false),
+        (
+            "b/c > 1 + beta*c/(gamma*(1-s1))",
+            report.reward_ratio_margin,
+            false,
+        ),
+        (
+            "delta < sqrt(1 - beta*c/(gamma*(b-c)*(1-s1)))",
+            report.delta_margin,
+            false,
+        ),
+        (
+            "g_max < 1 - (1/delta)*(beta*c/(gamma*(b-c)*(1-delta)*(1-s1)) - 1)",
+            report.g_max_margin,
+            false,
+        ),
+    ];
+    for (condition, margin, allow_equality) in checks {
+        let ok = if allow_equality { margin >= 0.0 } else { margin > 0.0 };
+        if !ok {
+            return Err(EquilibriumError::RegimeViolation {
+                condition: format!("{condition} (margin {margin:.4})"),
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_game::params::GameParams;
+    use popgame_igt::params::{GenerosityGrid, PopulationComposition};
+
+    fn config(
+        (alpha, beta, gamma): (f64, f64, f64),
+        (b, c, delta, s1): (f64, f64, f64, f64),
+        g_max: f64,
+    ) -> IgtConfig {
+        IgtConfig::new(
+            PopulationComposition::new(alpha, beta, gamma).unwrap(),
+            GenerosityGrid::new(8, g_max).unwrap(),
+            GameParams::new(b, c, delta, s1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn reference_regime_satisfied() {
+        let cfg = config((0.55, 0.05, 0.4), (8.0, 0.4, 0.5, 0.9), 0.2);
+        let report = check_theorem_29(&cfg).unwrap();
+        assert!(report.satisfied());
+        assert!(report.lambda_margin >= 17.0 - 1e-9); // λ = 19
+    }
+
+    #[test]
+    fn lambda_violation_beta_near_half() {
+        // β = 0.4 → λ = 1.5 < 2.
+        let cfg = config((0.2, 0.4, 0.4), (8.0, 0.4, 0.5, 0.9), 0.2);
+        let err = check_theorem_29(&cfg).unwrap_err();
+        assert!(err.to_string().contains("lambda"));
+    }
+
+    #[test]
+    fn s1_violation() {
+        let cfg = config((0.55, 0.05, 0.4), (8.0, 0.4, 0.5, 1.0), 0.2);
+        let err = check_theorem_29(&cfg).unwrap_err();
+        assert!(err.to_string().contains("s1"));
+    }
+
+    #[test]
+    fn reward_ratio_violation() {
+        // b/c = 1.25 but the threshold is 1 + βc/(γ(1-s1)):
+        // β=0.05, c=0.8, γ=0.4, 1-s1=0.1 → 1 + 0.04/0.04 = 2.
+        let cfg = config((0.55, 0.05, 0.4), (1.0, 0.8, 0.5, 0.9), 0.2);
+        let err = check_theorem_29(&cfg).unwrap_err();
+        assert!(err.to_string().contains("b/c"));
+    }
+
+    #[test]
+    fn delta_violation() {
+        // Push δ close to 1: radicand ≈ 0.934, sqrt ≈ 0.966 < 0.98.
+        let cfg = config((0.55, 0.05, 0.4), (8.0, 0.4, 0.98, 0.9), 0.2);
+        let err = check_theorem_29(&cfg).unwrap_err();
+        assert!(err.to_string().contains("delta"));
+    }
+
+    #[test]
+    fn g_max_condition_binds_for_tiny_delta() {
+        // With δ small, (1/δ)(βc/(γ(b−c)(1−δ)(1−s1)) − 1) blows up
+        // *negative* only if the inner term < 1; make the inner term > 1 by
+        // shrinking γ(b−c)(1−s1): β=0.3, c=1, γ=0.2, b=1.5, s1=0.9 →
+        // inner = 0.3/(0.2*0.5*(1-δ)*0.1) = 30/(1−δ) ≫ 1.
+        let cfg = config((0.5, 0.3, 0.2), (1.5, 1.0, 0.1, 0.9), 0.2);
+        let report = theorem_29_report(&cfg);
+        assert!(report.g_max_margin < 0.0);
+        assert!(check_theorem_29(&cfg).is_err());
+    }
+
+    #[test]
+    fn report_margins_move_with_parameters() {
+        let tight = config((0.55, 0.05, 0.4), (8.0, 0.4, 0.9, 0.9), 0.2);
+        let loose = config((0.55, 0.05, 0.4), (8.0, 0.4, 0.3, 0.9), 0.2);
+        assert!(
+            theorem_29_report(&loose).delta_margin > theorem_29_report(&tight).delta_margin
+        );
+    }
+}

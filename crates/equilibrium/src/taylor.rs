@@ -1,0 +1,262 @@
+//! The Appendix D decomposition behind Theorem 2.9.
+//!
+//! The proof bounds the gap `Ψ(µ)` through (eq. 52):
+//!
+//! ```text
+//! Ψ ≤ max_i E_{S∼µ̂}[f(g_i, S) − f(ẽg, S)]  +  L · Var_{g∼µ}[g]
+//!     └──────── Γ term, O(1/k) ────────┘     └── O(1/k²) ──┘
+//! ```
+//!
+//! with `L` a uniform bound on `|∂²f/∂g²|` (Prop. D.3) and
+//! `Var_{g∼µ}[g] ≤ 16/(k−1)²` (Prop. D.2). This module computes every
+//! piece exactly so experiment E7 can report the decomposition alongside
+//! the measured gap.
+
+use crate::rd::{average_gtft_payoff, level_payoff};
+use popgame_game::calculus::second_derivative_bound;
+use popgame_game::payoff::gtft_payoff_closed;
+use popgame_game::strategy::StrategyKind;
+use popgame_igt::params::IgtConfig;
+
+/// `E_{g∼µ}[g]`: the mean generosity of `µ` on the grid.
+///
+/// # Panics
+///
+/// Panics when `mu.len()` differs from the grid size.
+pub fn mean_generosity(config: &IgtConfig, mu: &[f64]) -> f64 {
+    let grid = config.grid();
+    assert_eq!(mu.len(), grid.k(), "mu must match the grid");
+    mu.iter()
+        .enumerate()
+        .map(|(j, &p)| p * grid.value(j))
+        .sum()
+}
+
+/// `Var_{g∼µ}[g]`: the variance of the generosity under `µ`.
+pub fn generosity_variance(config: &IgtConfig, mu: &[f64]) -> f64 {
+    let grid = config.grid();
+    let mean = mean_generosity(config, mu);
+    mu.iter()
+        .enumerate()
+        .map(|(j, &p)| p * (grid.value(j) - mean).powi(2))
+        .sum()
+}
+
+/// Proposition D.2's bound: `Var_{g∼µ}[g] ≤ 16/(k−1)²` under the
+/// Theorem 2.9 conditions (`λ ≥ 2`, `ĝ ≤ 1`).
+pub fn prop_d2_variance_bound(k: usize) -> f64 {
+    16.0 / ((k - 1) as f64).powi(2)
+}
+
+/// The uniform second-derivative constant `L` of Proposition D.3,
+/// maximized over the grid range `[0, ĝ]`.
+pub fn l_constant(config: &IgtConfig) -> f64 {
+    second_derivative_bound(config.grid().g_max(), &config.game())
+}
+
+/// `E_{S∼µ̂}[f(g, S)]` for an off-grid generosity value `g` (needed at
+/// `g = ẽg`, which generally falls between grid points).
+pub fn payoff_at_generosity(config: &IgtConfig, mu: &[f64], g: f64) -> f64 {
+    let comp = config.composition();
+    let grid = config.grid();
+    let game = config.game();
+    let mut total = comp.alpha() * gtft_payoff_closed(g, StrategyKind::AllC, &game)
+        + comp.beta() * gtft_payoff_closed(g, StrategyKind::AllD, &game);
+    for (j, &mu_j) in mu.iter().enumerate() {
+        if mu_j > 0.0 {
+            total += comp.gamma()
+                * mu_j
+                * gtft_payoff_closed(g, StrategyKind::Gtft(grid.value(j)), &game);
+        }
+    }
+    total
+}
+
+/// The exact pieces of the eq.-(52) decomposition at a distribution `µ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decomposition {
+    /// The exact gap `Ψ(µ)`.
+    pub gap: f64,
+    /// `max_i E[f(g_i, S) − f(ẽg, S)]` (the Γ term, Prop. D.4: `O(1/k)`).
+    pub gamma_term: f64,
+    /// `L · Var_{g∼µ}[g]` (Props. D.1–D.3: `O(1/k²)`).
+    pub l_var_term: f64,
+    /// The Taylor slack `E_S[f(ẽg, S)] − E_{g,S}[f(g, S)]`, which
+    /// Prop. D.1 bounds by `l_var_term`.
+    pub taylor_slack: f64,
+}
+
+impl Decomposition {
+    /// The proof's upper bound `gamma_term + l_var_term`; Theorem 2.9
+    /// states `gap ≤ bound` with `bound = O(1/k)`.
+    pub fn bound(&self) -> f64 {
+        self.gamma_term + self.l_var_term
+    }
+}
+
+/// Computes the decomposition exactly at `µ`.
+pub fn decompose(config: &IgtConfig, mu: &[f64]) -> Decomposition {
+    let e_g = mean_generosity(config, mu);
+    let f_at_mean = payoff_at_generosity(config, mu, e_g);
+    let avg = average_gtft_payoff(config, mu);
+    let gamma_term = (0..config.grid().k())
+        .map(|i| level_payoff(config, mu, i) - f_at_mean)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let l_var_term = l_constant(config) * generosity_variance(config, mu);
+    let best = (0..config.grid().k())
+        .map(|i| level_payoff(config, mu, i))
+        .fold(f64::NEG_INFINITY, f64::max);
+    Decomposition {
+        gap: (best - avg).max(0.0),
+        gamma_term,
+        l_var_term,
+        taylor_slack: f_at_mean - avg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_game::params::GameParams;
+    use popgame_igt::params::{GenerosityGrid, PopulationComposition};
+    use popgame_igt::stationary::mean_stationary_mu;
+    use proptest::prelude::*;
+
+    fn config(k: usize) -> IgtConfig {
+        IgtConfig::new(
+            PopulationComposition::new(0.55, 0.05, 0.4).unwrap(),
+            GenerosityGrid::new(k, 0.2).unwrap(),
+            GameParams::new(8.0, 0.4, 0.5, 0.9).unwrap(),
+        )
+    }
+
+    #[test]
+    fn mean_and_variance_hand_check() {
+        let cfg = config(3); // grid {0, 0.1, 0.2}
+        let mu = [0.5, 0.0, 0.5];
+        assert!((mean_generosity(&cfg, &mu) - 0.1).abs() < 1e-12);
+        assert!((generosity_variance(&cfg, &mu) - 0.01).abs() < 1e-12);
+        let point = [0.0, 1.0, 0.0];
+        assert!(generosity_variance(&cfg, &point) < 1e-15);
+    }
+
+    #[test]
+    fn variance_bound_d2_holds_at_stationary_mu() {
+        for k in [2usize, 4, 8, 16, 32] {
+            let cfg = config(k);
+            let mu = mean_stationary_mu(&cfg);
+            let var = generosity_variance(&cfg, &mu);
+            assert!(
+                var <= prop_d2_variance_bound(k),
+                "k={k}: var {var} exceeds bound {}",
+                prop_d2_variance_bound(k)
+            );
+        }
+    }
+
+    #[test]
+    fn variance_decays_as_one_over_k_squared() {
+        let vars: Vec<f64> = [4usize, 8, 16, 32]
+            .iter()
+            .map(|&k| {
+                let cfg = config(k);
+                generosity_variance(&cfg, &mean_stationary_mu(&cfg))
+            })
+            .collect();
+        let ks = [4.0, 8.0, 16.0, 32.0];
+        let (p, _, r2) = popgame_util::stats::power_law_fit(&ks, &vars).unwrap();
+        assert!(
+            (-2.6..=-1.4).contains(&p),
+            "variance exponent {p} not ≈ -2 ({vars:?})"
+        );
+        assert!(r2 > 0.9);
+    }
+
+    #[test]
+    fn l_constant_positive_and_finite() {
+        let l = l_constant(&config(8));
+        assert!(l.is_finite() && l > 0.0);
+    }
+
+    #[test]
+    fn payoff_at_grid_point_matches_level_payoff() {
+        let cfg = config(5);
+        let mu = mean_stationary_mu(&cfg);
+        for i in 0..5 {
+            let g = cfg.grid().value(i);
+            assert!(
+                (payoff_at_generosity(&cfg, &mu, g) - level_payoff(&cfg, &mu, i)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn taylor_inequality_prop_d1() {
+        // |E_S[f(ẽg,S)] − E_{g,S}[f(g,S)]| ≤ L · Var — Prop. D.1 applied
+        // at the stationary µ.
+        for k in [4usize, 8, 16] {
+            let cfg = config(k);
+            let mu = mean_stationary_mu(&cfg);
+            let d = decompose(&cfg, &mu);
+            assert!(
+                d.taylor_slack.abs() <= d.l_var_term + 1e-12,
+                "k={k}: slack {} exceeds L·Var {}",
+                d.taylor_slack,
+                d.l_var_term
+            );
+        }
+    }
+
+    #[test]
+    fn decomposition_upper_bounds_gap() {
+        for k in [2usize, 4, 8, 16, 32, 64] {
+            let cfg = config(k);
+            let mu = mean_stationary_mu(&cfg);
+            let d = decompose(&cfg, &mu);
+            assert!(
+                d.gap <= d.bound() + 1e-12,
+                "k={k}: gap {} exceeds decomposition bound {}",
+                d.gap,
+                d.bound()
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_term_decays_as_one_over_k() {
+        let terms: Vec<f64> = [8usize, 16, 32, 64]
+            .iter()
+            .map(|&k| {
+                let cfg = config(k);
+                let mu = mean_stationary_mu(&cfg);
+                decompose(&cfg, &mu).gamma_term.max(1e-12)
+            })
+            .collect();
+        let ks = [8.0, 16.0, 32.0, 64.0];
+        let (p, _, _) = popgame_util::stats::power_law_fit(&ks, &terms).unwrap();
+        assert!(
+            (-1.5..=-0.6).contains(&p),
+            "Γ exponent {p} not ≈ -1 ({terms:?})"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_variance_nonnegative(w in proptest::collection::vec(0.01..1.0f64, 6)) {
+            let cfg = config(6);
+            let total: f64 = w.iter().sum();
+            let mu: Vec<f64> = w.iter().map(|x| x / total).collect();
+            prop_assert!(generosity_variance(&cfg, &mu) >= 0.0);
+        }
+
+        #[test]
+        fn prop_variance_bounded_by_range(w in proptest::collection::vec(0.01..1.0f64, 6)) {
+            // Var ≤ (ĝ/2)² for any distribution on [0, ĝ].
+            let cfg = config(6);
+            let total: f64 = w.iter().sum();
+            let mu: Vec<f64> = w.iter().map(|x| x / total).collect();
+            let g_max = cfg.grid().g_max();
+            prop_assert!(generosity_variance(&cfg, &mu) <= (g_max / 2.0).powi(2) + 1e-12);
+        }
+    }
+}

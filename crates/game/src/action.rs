@@ -1,0 +1,185 @@
+//! Actions and joint game states of a single prisoner's dilemma round.
+
+use std::fmt;
+
+/// A single-round action: cooperate or defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Action {
+    /// Cooperate.
+    C,
+    /// Defect.
+    D,
+}
+
+impl Action {
+    /// The opposite action (used by execution-noise models).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use popgame_game::action::Action;
+    /// assert_eq!(Action::C.flipped(), Action::D);
+    /// ```
+    pub fn flipped(self) -> Action {
+        match self {
+            Action::C => Action::D,
+            Action::D => Action::C,
+        }
+    }
+
+    /// `true` for [`Action::C`].
+    pub fn is_cooperate(self) -> bool {
+        matches!(self, Action::C)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::C => write!(f, "C"),
+            Action::D => write!(f, "D"),
+        }
+    }
+}
+
+/// A joint game state `A = {CC, CD, DC, DD}` — the ordered actions of the
+/// first (row) and second (column) players in a round (Section 1.1.2).
+///
+/// The numeric index matches the paper's reward-vector ordering
+/// `v = [b−c, −c, b, 0]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GameState {
+    /// Both cooperate.
+    CC,
+    /// Row cooperates, column defects.
+    CD,
+    /// Row defects, column cooperates.
+    DC,
+    /// Both defect.
+    DD,
+}
+
+/// All four states in index order.
+pub const ALL_STATES: [GameState; 4] = [GameState::CC, GameState::CD, GameState::DC, GameState::DD];
+
+impl GameState {
+    /// Builds the state from the row and column players' actions.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use popgame_game::action::{Action, GameState};
+    /// assert_eq!(GameState::from_actions(Action::C, Action::D), GameState::CD);
+    /// ```
+    pub fn from_actions(row: Action, col: Action) -> GameState {
+        match (row, col) {
+            (Action::C, Action::C) => GameState::CC,
+            (Action::C, Action::D) => GameState::CD,
+            (Action::D, Action::C) => GameState::DC,
+            (Action::D, Action::D) => GameState::DD,
+        }
+    }
+
+    /// Index into the reward vector: `CC = 0, CD = 1, DC = 2, DD = 3`.
+    pub fn index(self) -> usize {
+        match self {
+            GameState::CC => 0,
+            GameState::CD => 1,
+            GameState::DC => 2,
+            GameState::DD => 3,
+        }
+    }
+
+    /// Builds a state from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= 4`.
+    pub fn from_index(index: usize) -> GameState {
+        ALL_STATES[index]
+    }
+
+    /// The row player's action in this state.
+    pub fn row_action(self) -> Action {
+        match self {
+            GameState::CC | GameState::CD => Action::C,
+            GameState::DC | GameState::DD => Action::D,
+        }
+    }
+
+    /// The column player's action in this state.
+    pub fn col_action(self) -> Action {
+        match self {
+            GameState::CC | GameState::DC => Action::C,
+            GameState::CD | GameState::DD => Action::D,
+        }
+    }
+
+    /// The state as seen from the column player's perspective (row/column
+    /// swapped). Needed because each player's memory-one response is indexed
+    /// by *its own* perspective.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use popgame_game::action::GameState;
+    /// assert_eq!(GameState::CD.swapped(), GameState::DC);
+    /// assert_eq!(GameState::CC.swapped(), GameState::CC);
+    /// ```
+    pub fn swapped(self) -> GameState {
+        GameState::from_actions(self.col_action(), self.row_action())
+    }
+}
+
+impl fmt::Display for GameState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.row_action(), self.col_action())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involution() {
+        for a in [Action::C, Action::D] {
+            assert_eq!(a.flipped().flipped(), a);
+            assert_ne!(a.flipped(), a);
+        }
+    }
+
+    #[test]
+    fn state_round_trips_through_actions() {
+        for s in ALL_STATES {
+            assert_eq!(GameState::from_actions(s.row_action(), s.col_action()), s);
+            assert_eq!(GameState::from_index(s.index()), s);
+        }
+    }
+
+    #[test]
+    fn indices_match_reward_vector_order() {
+        assert_eq!(GameState::CC.index(), 0);
+        assert_eq!(GameState::CD.index(), 1);
+        assert_eq!(GameState::DC.index(), 2);
+        assert_eq!(GameState::DD.index(), 3);
+    }
+
+    #[test]
+    fn swap_is_involution_and_fixes_diagonal() {
+        for s in ALL_STATES {
+            assert_eq!(s.swapped().swapped(), s);
+        }
+        assert_eq!(GameState::CC.swapped(), GameState::CC);
+        assert_eq!(GameState::DD.swapped(), GameState::DD);
+        assert_eq!(GameState::CD.swapped(), GameState::DC);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(GameState::CD.to_string(), "CD");
+        assert_eq!(Action::D.to_string(), "D");
+        assert!(Action::C.is_cooperate());
+        assert!(!Action::D.is_cooperate());
+    }
+}

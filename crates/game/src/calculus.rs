@@ -1,0 +1,199 @@
+//! Payoff derivatives in the generosity parameter (eqs. 47 and 57).
+//!
+//! Proposition 2.2 (transition local-optimality) differentiates `f(g, g″)`
+//! once; Theorem 2.9's Taylor argument (Proposition D.1/D.3) needs a uniform
+//! bound on the second derivative. Both closed forms are implemented here
+//! and cross-checked against central finite differences.
+
+use crate::params::GameParams;
+use crate::payoff::gtft_vs_gtft;
+use crate::strategy::StrategyKind;
+
+/// First derivative `∂f(g, g″)/∂g` (eq. 47).
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::calculus::dfdg;
+/// use popgame_game::params::GameParams;
+///
+/// let p = GameParams::new(2.0, 0.5, 0.9, 0.95)?;
+/// // In the Proposition 2.2 regime the derivative is strictly positive.
+/// assert!(dfdg(0.3, 0.5, &p) > 0.0);
+/// # Ok::<(), popgame_game::GameError>(())
+/// ```
+pub fn dfdg(g: f64, g_pp: f64, params: &GameParams) -> f64 {
+    let (b, c, delta, s1) = (params.b(), params.c(), params.delta(), params.s1());
+    let one_minus = 1.0 - g_pp;
+    let denom = 1.0 - delta * delta * one_minus * (1.0 - g);
+    let denom2 = denom * denom;
+    (1.0 - s1) * c * (-delta * delta * one_minus - delta) / denom2
+        - (1.0 - s1) * b * (-delta * delta * one_minus - delta.powi(3) * one_minus * one_minus)
+            / denom2
+}
+
+/// Second derivative `∂²f(g, g′)/∂g²` (eq. 57).
+pub fn d2fdg2(g: f64, g_prime: f64, params: &GameParams) -> f64 {
+    let (b, c, delta, s1) = (params.b(), params.c(), params.delta(), params.s1());
+    let om = 1.0 - g_prime;
+    let denom = 1.0 - delta * delta * om * (1.0 - g);
+    let denom3 = denom * denom * denom;
+    (1.0 - s1)
+        * (c * 2.0 * delta.powi(3) * om * (1.0 + delta * om) / denom3
+            - b * 2.0 * delta.powi(4) * om * om * (1.0 + delta * om) / denom3)
+}
+
+/// Derivative of `f(g, S)` for each typed opponent: zero against `AC`
+/// (eq. 44 has no `g` dependence), `−cδ/(1−δ)` against `AD` (eq. 45), and
+/// eq. (47) against `GTFT(g′)`.
+pub fn dfdg_vs_kind(g: f64, opponent: StrategyKind, params: &GameParams) -> f64 {
+    match opponent {
+        StrategyKind::AllC => 0.0,
+        StrategyKind::AllD => -params.c() * params.delta() / (1.0 - params.delta()),
+        StrategyKind::Gtft(gp) => dfdg(g, gp, params),
+    }
+}
+
+/// Second derivative of `f(g, S)`: zero against `AC` and `AD` (both are
+/// affine in `g`), eq. (57) against `GTFT(g′)` (Proposition D.3).
+pub fn d2fdg2_vs_kind(g: f64, opponent: StrategyKind, params: &GameParams) -> f64 {
+    match opponent {
+        StrategyKind::AllC | StrategyKind::AllD => 0.0,
+        StrategyKind::Gtft(gp) => d2fdg2(g, gp, params),
+    }
+}
+
+/// A uniform bound `L` on `|∂²f(g, S)/∂g²|` over `g, g′ ∈ [0, g_max]`
+/// (the constant of Proposition D.3), computed by maximizing the closed
+/// form over a dense grid.
+///
+/// The grid is dense enough (step `g_max/512`) that the smooth closed form
+/// cannot hide a larger value between grid points by more than a few
+/// percent, which is all the Theorem 2.9 verification needs.
+pub fn second_derivative_bound(g_max: f64, params: &GameParams) -> f64 {
+    let steps = 512;
+    let mut worst = 0.0f64;
+    for i in 0..=steps {
+        let g = g_max * i as f64 / steps as f64;
+        for j in 0..=steps {
+            let gp = g_max * j as f64 / steps as f64;
+            worst = worst.max(d2fdg2(g, gp, params).abs());
+        }
+    }
+    worst
+}
+
+/// Central finite-difference approximation of `∂f(g, g″)/∂g` — used only to
+/// cross-check the closed form in tests and experiments.
+pub fn dfdg_numeric(g: f64, g_pp: f64, params: &GameParams, h: f64) -> f64 {
+    (gtft_vs_gtft(g + h, g_pp, params) - gtft_vs_gtft(g - h, g_pp, params)) / (2.0 * h)
+}
+
+/// Central finite-difference approximation of `∂²f(g, g″)/∂g²`.
+pub fn d2fdg2_numeric(g: f64, g_pp: f64, params: &GameParams, h: f64) -> f64 {
+    (gtft_vs_gtft(g + h, g_pp, params) - 2.0 * gtft_vs_gtft(g, g_pp, params)
+        + gtft_vs_gtft(g - h, g_pp, params))
+        / (h * h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payoff::{gtft_vs_allc, gtft_vs_alld};
+    use proptest::prelude::*;
+
+    fn params() -> GameParams {
+        GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap()
+    }
+
+    #[test]
+    fn first_derivative_matches_finite_difference() {
+        let p = params();
+        for g in [0.1, 0.3, 0.6] {
+            for gp in [0.0, 0.4, 0.9] {
+                let exact = dfdg(g, gp, &p);
+                let numeric = dfdg_numeric(g, gp, &p, 1e-6);
+                assert!(
+                    (exact - numeric).abs() < 1e-5 * (1.0 + exact.abs()),
+                    "g={g} g'={gp}: {exact} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn second_derivative_matches_finite_difference() {
+        let p = params();
+        for g in [0.1, 0.3, 0.6] {
+            for gp in [0.0, 0.4, 0.9] {
+                let exact = d2fdg2(g, gp, &p);
+                let numeric = d2fdg2_numeric(g, gp, &p, 1e-4);
+                assert!(
+                    (exact - numeric).abs() < 1e-3 * (1.0 + exact.abs()),
+                    "g={g} g'={gp}: {exact} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_against_allc_is_zero() {
+        // f(g, AC) does not depend on g: closed form difference must vanish.
+        let p = params();
+        assert_eq!(dfdg_vs_kind(0.3, StrategyKind::AllC, &p), 0.0);
+        assert!((gtft_vs_allc(&p) - gtft_vs_allc(&p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivative_against_alld_matches_closed_form_slope() {
+        let p = params();
+        let slope = dfdg_vs_kind(0.5, StrategyKind::AllD, &p);
+        let numeric = (gtft_vs_alld(0.5 + 1e-6, &p) - gtft_vs_alld(0.5 - 1e-6, &p)) / 2e-6;
+        assert!((slope - numeric).abs() < 1e-6);
+        assert!(slope < 0.0, "payoff against AD must fall with generosity");
+    }
+
+    #[test]
+    fn second_derivative_vs_kinds() {
+        let p = params();
+        assert_eq!(d2fdg2_vs_kind(0.2, StrategyKind::AllC, &p), 0.0);
+        assert_eq!(d2fdg2_vs_kind(0.2, StrategyKind::AllD, &p), 0.0);
+        assert_ne!(d2fdg2_vs_kind(0.2, StrategyKind::Gtft(0.3), &p), 0.0);
+    }
+
+    #[test]
+    fn uniform_bound_dominates_grid_values() {
+        let p = params();
+        let g_max = 0.8;
+        let bound = second_derivative_bound(g_max, &p);
+        for g in [0.0, 0.2, 0.5, 0.8] {
+            for gp in [0.0, 0.3, 0.8] {
+                assert!(d2fdg2(g, gp, &p).abs() <= bound + 1e-12);
+            }
+        }
+        assert!(bound.is_finite() && bound > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_first_derivative_positive_in_prop22_regime(
+            g in 0.0..0.7f64,
+            gpp in 0.0..0.7f64,
+        ) {
+            // Params satisfy δ > c/b and g_max = 0.7 < 1 − c/(δ b).
+            let p = params();
+            prop_assert!(dfdg(g, gpp, &p) > 0.0);
+        }
+
+        #[test]
+        fn prop_derivatives_finite(
+            g in 0.0..=1.0f64,
+            gp in 0.0..=1.0f64,
+            delta in 0.0..0.95f64,
+        ) {
+            let p = GameParams::new(2.0, 0.5, delta, 0.9).unwrap();
+            prop_assert!(dfdg(g, gp, &p).is_finite());
+            prop_assert!(d2fdg2(g, gp, &p).is_finite());
+        }
+    }
+}

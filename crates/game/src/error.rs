@@ -1,0 +1,80 @@
+//! Error types for game construction and regime validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing games, strategies, or checking parameter
+/// regimes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// Donation rewards must satisfy `b > c >= 0`.
+    InvalidReward {
+        /// Benefit parameter supplied.
+        b: f64,
+        /// Cost parameter supplied.
+        c: f64,
+    },
+    /// A probability parameter was outside its documented range.
+    InvalidProbability {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter regime required by one of the paper's results is
+    /// violated.
+    RegimeViolation {
+        /// Which result's regime (e.g. "Proposition 2.2").
+        result: &'static str,
+        /// Which condition failed, human-readable.
+        condition: String,
+    },
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::InvalidReward { b, c } => {
+                write!(f, "donation rewards must satisfy b > c >= 0; got b = {b}, c = {c}")
+            }
+            GameError::InvalidProbability { name, value } => {
+                write!(f, "parameter {name} = {value} outside its valid range")
+            }
+            GameError::RegimeViolation { result, condition } => {
+                write!(f, "{result} regime violated: {condition}")
+            }
+        }
+    }
+}
+
+impl Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GameError::InvalidReward { b: 1.0, c: 2.0 }
+            .to_string()
+            .contains("b = 1"));
+        assert!(GameError::InvalidProbability {
+            name: "delta",
+            value: 1.5
+        }
+        .to_string()
+        .contains("delta"));
+        assert!(GameError::RegimeViolation {
+            result: "Proposition 2.2",
+            condition: "delta <= c/b".into()
+        }
+        .to_string()
+        .contains("Proposition 2.2"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<GameError>();
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! Repeated donation (RD) games — Section 1.1.2 and Appendix B of the paper.
+//!
+//! An RD game is a repeated prisoner's dilemma with donation-game rewards
+//! `v = [b−c, −c, b, 0]` over the states `{CC, CD, DC, DD}`, where after
+//! each round an additional round is played with continuation probability
+//! `δ`. Agents play *memory-one reactive strategies*; the paper's strategy
+//! set is `S = {AC, AD, g_1, …, g_k}` with `GTFT(g)` the generous
+//! tit-for-tat family.
+//!
+//! This crate computes the expected payoff `f(S₁, S₂)` of one full repeated
+//! game in three independent ways, which the test suite and experiment E9
+//! cross-validate against each other:
+//!
+//! 1. **closed forms** (eqs. 44–46 of the paper) in [`payoff`];
+//! 2. **linear algebra**: `f = q₁ (I − δM)^{-1} v` (eq. 33) for *any*
+//!    memory-one pair in [`payoff::expected_payoff`];
+//! 3. **Monte-Carlo**: actually playing the geometric-length game in
+//!    [`monte_carlo`].
+//!
+//! It also provides the payoff calculus (first/second derivatives in `g`,
+//! eqs. 47 and 57) behind Proposition 2.2 and Theorem 2.9, and the
+//! parameter-regime checks those results assume.
+//!
+//! # Example
+//!
+//! ```
+//! use popgame_game::params::GameParams;
+//! use popgame_game::payoff::{expected_payoff, gtft_vs_gtft};
+//! use popgame_game::strategy::MemoryOneStrategy;
+//!
+//! let params = GameParams::new(2.0, 0.5, 0.9, 0.95)?; // b, c, delta, s1
+//! let closed = gtft_vs_gtft(0.2, 0.3, &params);
+//! let linear = expected_payoff(
+//!     &MemoryOneStrategy::gtft(0.2, params.s1()),
+//!     &MemoryOneStrategy::gtft(0.3, params.s1()),
+//!     &params,
+//! );
+//! assert!((closed - linear).abs() < 1e-9);
+//! # Ok::<(), popgame_game::GameError>(())
+//! ```
+
+pub mod action;
+pub mod calculus;
+pub mod error;
+pub mod matrix;
+pub mod monte_carlo;
+pub mod params;
+pub mod payoff;
+pub mod regime;
+pub mod reward;
+pub mod stationary;
+pub mod strategy;
+
+pub use action::{Action, GameState};
+pub use error::GameError;
+pub use params::GameParams;
+pub use reward::DonationGame;
+pub use strategy::{MemoryOneStrategy, StrategyKind};

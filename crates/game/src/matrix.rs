@@ -1,0 +1,243 @@
+//! The pair transition matrix `M` over game states (Appendix B.1.1).
+//!
+//! For a pair of memory-one strategies `(S₁, S₂)`, `M` is the row-stochastic
+//! 4×4 matrix of transition probabilities over `A = {CC, CD, DC, DD}`
+//! conditioned on an additional round being played, and `q₁` is the initial
+//! distribution determined by the players' opening probabilities. The
+//! paper's matrices (35), (38), and (41) are special cases, verified in the
+//! tests below.
+
+use crate::action::ALL_STATES;
+use crate::strategy::MemoryOneStrategy;
+
+/// A 4×4 row-stochastic matrix over game states.
+pub type StateMatrix = [[f64; 4]; 4];
+
+/// A distribution over the four game states.
+pub type StateDistribution = [f64; 4];
+
+/// Builds the conditional transition matrix `M` for the ordered pair
+/// `(row, col)`: entry `(i, j)` is the probability of moving from joint
+/// state `i` to joint state `j` given the game continues.
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::matrix::pair_transition_matrix;
+/// use popgame_game::strategy::MemoryOneStrategy;
+///
+/// // GTFT(g) vs AC reproduces eq. (35) of the paper.
+/// let g = 0.3;
+/// let m = pair_transition_matrix(
+///     &MemoryOneStrategy::gtft(g, 0.9),
+///     &MemoryOneStrategy::all_c(),
+/// );
+/// assert_eq!(m[0], [1.0, 0.0, 0.0, 0.0]);
+/// assert_eq!(m[1], [g, 0.0, 1.0 - g, 0.0]);
+/// ```
+pub fn pair_transition_matrix(row: &MemoryOneStrategy, col: &MemoryOneStrategy) -> StateMatrix {
+    let mut m = [[0.0; 4]; 4];
+    for from in ALL_STATES {
+        // Each player responds to the previous state seen from its own
+        // perspective; the column player sees the swapped state.
+        let p_row = row.response(from);
+        let p_col = col.response(from.swapped());
+        m[from.index()] = joint_from_coop_probs(p_row, p_col);
+    }
+    m
+}
+
+/// The initial joint-state distribution `q₁` from both players' opening
+/// cooperation probabilities.
+pub fn initial_distribution(row: &MemoryOneStrategy, col: &MemoryOneStrategy) -> StateDistribution {
+    joint_from_coop_probs(row.initial_coop(), col.initial_coop())
+}
+
+/// Joint distribution over `{CC, CD, DC, DD}` from independent cooperation
+/// probabilities of the row and column players.
+fn joint_from_coop_probs(p_row: f64, p_col: f64) -> StateDistribution {
+    [
+        p_row * p_col,
+        p_row * (1.0 - p_col),
+        (1.0 - p_row) * p_col,
+        (1.0 - p_row) * (1.0 - p_col),
+    ]
+}
+
+/// Multiplies a row vector by the matrix: `ν ↦ νM`.
+pub fn row_times_matrix(nu: &StateDistribution, m: &StateMatrix) -> StateDistribution {
+    let mut out = [0.0; 4];
+    for (i, &mass) in nu.iter().enumerate() {
+        if mass != 0.0 {
+            for j in 0..4 {
+                out[j] += mass * m[i][j];
+            }
+        }
+    }
+    out
+}
+
+/// Checks that every row of `m` sums to 1 within `tol`.
+pub fn is_row_stochastic(m: &StateMatrix, tol: f64) -> bool {
+    m.iter().all(|row| {
+        row.iter().all(|&p| p >= -tol && p <= 1.0 + tol)
+            && (row.iter().sum::<f64>() - 1.0).abs() <= tol
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::MemoryOneStrategy;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gtft_vs_allc_matches_eq_35() {
+        let g = 0.25;
+        let m = pair_transition_matrix(
+            &MemoryOneStrategy::gtft(g, 0.5),
+            &MemoryOneStrategy::all_c(),
+        );
+        let expected = [
+            [1.0, 0.0, 0.0, 0.0],
+            [g, 0.0, 1.0 - g, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [g, 0.0, 1.0 - g, 0.0],
+        ];
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn gtft_vs_alld_matches_eq_38() {
+        let g = 0.25;
+        let m = pair_transition_matrix(
+            &MemoryOneStrategy::gtft(g, 0.5),
+            &MemoryOneStrategy::all_d(),
+        );
+        let expected = [
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, g, 0.0, 1.0 - g],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, g, 0.0, 1.0 - g],
+        ];
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn gtft_vs_gtft_matches_eq_41() {
+        let (g, gp) = (0.3, 0.6);
+        let m = pair_transition_matrix(
+            &MemoryOneStrategy::gtft(g, 0.5),
+            &MemoryOneStrategy::gtft(gp, 0.5),
+        );
+        let expected = [
+            [1.0, 0.0, 0.0, 0.0],
+            [g, 0.0, 1.0 - g, 0.0],
+            [gp, 1.0 - gp, 0.0, 0.0],
+            [
+                g * gp,
+                (1.0 - gp) * g,
+                gp * (1.0 - g),
+                (1.0 - g) * (1.0 - gp),
+            ],
+        ];
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (m[i][j] - expected[i][j]).abs() < 1e-12,
+                    "M[{i}][{j}] = {} vs {}",
+                    m[i][j],
+                    expected[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_distribution_gtft_pair_matches_eq_40() {
+        let s1 = 0.8;
+        let q1 = initial_distribution(
+            &MemoryOneStrategy::gtft(0.1, s1),
+            &MemoryOneStrategy::gtft(0.9, s1),
+        );
+        let expected = [
+            s1 * s1,
+            s1 * (1.0 - s1),
+            (1.0 - s1) * s1,
+            (1.0 - s1) * (1.0 - s1),
+        ];
+        assert_eq!(q1, expected);
+    }
+
+    #[test]
+    fn initial_distribution_gtft_vs_allc_matches_eq_34() {
+        let s1 = 0.7;
+        let q1 = initial_distribution(
+            &MemoryOneStrategy::gtft(0.1, s1),
+            &MemoryOneStrategy::all_c(),
+        );
+        assert_eq!(q1, [s1, 0.0, 1.0 - s1, 0.0]);
+    }
+
+    #[test]
+    fn row_vector_multiplication() {
+        let m = pair_transition_matrix(
+            &MemoryOneStrategy::tft(1.0),
+            &MemoryOneStrategy::tft(1.0),
+        );
+        // TFT vs TFT from CD alternates: CD -> DC -> CD ...
+        let nu = row_times_matrix(&[0.0, 1.0, 0.0, 0.0], &m);
+        assert_eq!(nu, [0.0, 0.0, 1.0, 0.0]);
+        let nu2 = row_times_matrix(&nu, &m);
+        assert_eq!(nu2, [0.0, 1.0, 0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matrix_row_stochastic(
+            g1 in 0.0..=1.0f64,
+            g2 in 0.0..=1.0f64,
+            s1 in 0.0..=1.0f64,
+        ) {
+            let m = pair_transition_matrix(
+                &MemoryOneStrategy::gtft(g1, s1),
+                &MemoryOneStrategy::gtft(g2, s1),
+            );
+            prop_assert!(is_row_stochastic(&m, 1e-12));
+        }
+
+        #[test]
+        fn prop_random_memory_one_stochastic(
+            r1 in proptest::array::uniform4(0.0..=1.0f64),
+            r2 in proptest::array::uniform4(0.0..=1.0f64),
+            i1 in 0.0..=1.0f64,
+            i2 in 0.0..=1.0f64,
+        ) {
+            let a = MemoryOneStrategy::new(i1, r1).unwrap();
+            let b = MemoryOneStrategy::new(i2, r2).unwrap();
+            let m = pair_transition_matrix(&a, &b);
+            prop_assert!(is_row_stochastic(&m, 1e-12));
+            let q1 = initial_distribution(&a, &b);
+            prop_assert!((q1.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_multiplication_preserves_mass(
+            g1 in 0.0..=1.0f64,
+            g2 in 0.0..=1.0f64,
+            mass in proptest::array::uniform4(0.0..1.0f64),
+        ) {
+            let total: f64 = mass.iter().sum();
+            prop_assume!(total > 0.0);
+            let nu: StateDistribution = [
+                mass[0] / total, mass[1] / total, mass[2] / total, mass[3] / total,
+            ];
+            let m = pair_transition_matrix(
+                &MemoryOneStrategy::gtft(g1, 0.5),
+                &MemoryOneStrategy::gtft(g2, 0.5),
+            );
+            let out = row_times_matrix(&nu, &m);
+            prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Monte-Carlo play of repeated donation games.
+//!
+//! The third, fully independent route to `f(S₁, S₂)`: actually play the
+//! game — sample opening actions, then rounds with continuation probability
+//! `δ`, accumulating the donation payoffs. Supports *execution noise*
+//! (each action flipped independently with a small probability), which is
+//! the mechanism motivating generosity in Section 1.1.2's discussion:
+//! under noise, two `TFT` players lock into defection, while `GTFT`
+//! recovers.
+
+use crate::action::{Action, GameState};
+use crate::params::GameParams;
+use crate::strategy::MemoryOneStrategy;
+use popgame_util::stats::RunningStats;
+use rand::Rng;
+
+/// Outcome of one repeated game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameOutcome {
+    /// Total payoff of the row player.
+    pub row_payoff: f64,
+    /// Total payoff of the column player.
+    pub col_payoff: f64,
+    /// Number of rounds played (≥ 1).
+    pub rounds: u64,
+    /// Number of cooperative actions by the row player.
+    pub row_cooperations: u64,
+    /// Number of cooperative actions by the column player.
+    pub col_cooperations: u64,
+}
+
+impl GameOutcome {
+    /// Fraction of the row player's actions that were cooperative.
+    pub fn row_cooperation_rate(&self) -> f64 {
+        self.row_cooperations as f64 / self.rounds as f64
+    }
+
+    /// Fraction of the column player's actions that were cooperative.
+    pub fn col_cooperation_rate(&self) -> f64 {
+        self.col_cooperations as f64 / self.rounds as f64
+    }
+}
+
+/// Execution-noise model: each chosen action is flipped independently with
+/// probability `flip_prob` before being played/observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    flip_prob: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `flip_prob ∈ [0, 1]`.
+    pub fn new(flip_prob: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&flip_prob));
+        Self { flip_prob }
+    }
+
+    /// The flip probability.
+    pub fn flip_prob(&self) -> f64 {
+        self.flip_prob
+    }
+
+    fn apply<R: Rng + ?Sized>(&self, action: Action, rng: &mut R) -> Action {
+        if self.flip_prob > 0.0 && rng.gen::<f64>() < self.flip_prob {
+            action.flipped()
+        } else {
+            action
+        }
+    }
+}
+
+/// Plays one repeated donation game between `row` and `col`.
+///
+/// Round 1 is always played; after each round an additional round occurs
+/// with probability `δ`. With `noise`, every chosen action is independently
+/// flipped with the configured probability (both players observe the
+/// *noisy* action, as in the standard noisy-RPD setting).
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::monte_carlo::play_repeated_game;
+/// use popgame_game::params::GameParams;
+/// use popgame_game::strategy::MemoryOneStrategy;
+/// use popgame_util::rng::rng_from_seed;
+///
+/// let p = GameParams::new(2.0, 0.5, 0.9, 1.0)?;
+/// let mut rng = rng_from_seed(1);
+/// let out = play_repeated_game(
+///     &MemoryOneStrategy::all_c(),
+///     &MemoryOneStrategy::all_c(),
+///     &p,
+///     None,
+///     &mut rng,
+/// );
+/// assert_eq!(out.row_cooperation_rate(), 1.0);
+/// # Ok::<(), popgame_game::GameError>(())
+/// ```
+pub fn play_repeated_game<R: Rng + ?Sized>(
+    row: &MemoryOneStrategy,
+    col: &MemoryOneStrategy,
+    params: &GameParams,
+    noise: Option<NoiseModel>,
+    rng: &mut R,
+) -> GameOutcome {
+    let reward = params.reward();
+    let mut row_payoff = 0.0;
+    let mut col_payoff = 0.0;
+    let mut rounds: u64 = 0;
+    let mut row_coops: u64 = 0;
+    let mut col_coops: u64 = 0;
+
+    // Opening round.
+    let mut row_action = row.initial_action(rng);
+    let mut col_action = col.initial_action(rng);
+    loop {
+        if let Some(n) = noise {
+            row_action = n.apply(row_action, rng);
+            col_action = n.apply(col_action, rng);
+        }
+        let state = GameState::from_actions(row_action, col_action);
+        row_payoff += reward.row_payoff(state);
+        col_payoff += reward.col_payoff(state);
+        rounds += 1;
+        row_coops += u64::from(row_action.is_cooperate());
+        col_coops += u64::from(col_action.is_cooperate());
+
+        // Continue with probability δ.
+        if rng.gen::<f64>() >= params.delta() {
+            break;
+        }
+        row_action = row.next_action(state, rng);
+        col_action = col.next_action(state.swapped(), rng);
+    }
+
+    GameOutcome {
+        row_payoff,
+        col_payoff,
+        rounds,
+        row_cooperations: row_coops,
+        col_cooperations: col_coops,
+    }
+}
+
+/// Summary of `n` Monte-Carlo game replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PayoffEstimate {
+    /// Statistics of the row player's total payoffs.
+    pub row: RunningStats,
+    /// Statistics of the column player's total payoffs.
+    pub col: RunningStats,
+    /// Statistics of game lengths.
+    pub rounds: RunningStats,
+    /// Mean cooperation rate of the row player (per-game average).
+    pub row_cooperation: f64,
+    /// Mean cooperation rate of the column player (per-game average).
+    pub col_cooperation: f64,
+}
+
+/// Replays the game `n` times and summarizes payoffs — the Monte-Carlo
+/// estimate of `f(S₁, S₂)` (experiment E9).
+pub fn estimate_payoffs<R: Rng + ?Sized>(
+    row: &MemoryOneStrategy,
+    col: &MemoryOneStrategy,
+    params: &GameParams,
+    noise: Option<NoiseModel>,
+    n: u64,
+    rng: &mut R,
+) -> PayoffEstimate {
+    let mut row_stats = RunningStats::new();
+    let mut col_stats = RunningStats::new();
+    let mut round_stats = RunningStats::new();
+    let mut row_coop_acc = 0.0;
+    let mut col_coop_acc = 0.0;
+    for _ in 0..n {
+        let out = play_repeated_game(row, col, params, noise, rng);
+        row_stats.push(out.row_payoff);
+        col_stats.push(out.col_payoff);
+        round_stats.push(out.rounds as f64);
+        row_coop_acc += out.row_cooperation_rate();
+        col_coop_acc += out.col_cooperation_rate();
+    }
+    PayoffEstimate {
+        row: row_stats,
+        col: col_stats,
+        rounds: round_stats,
+        row_cooperation: row_coop_acc / n as f64,
+        col_cooperation: col_coop_acc / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payoff::{expected_payoff, gtft_vs_gtft};
+    use popgame_util::rng::rng_from_seed;
+
+    fn params() -> GameParams {
+        GameParams::new(2.0, 0.5, 0.75, 0.95).unwrap()
+    }
+
+    #[test]
+    fn game_length_is_geometric() {
+        let p = params();
+        let mut rng = rng_from_seed(5);
+        let est = estimate_payoffs(
+            &MemoryOneStrategy::all_c(),
+            &MemoryOneStrategy::all_c(),
+            &p,
+            None,
+            30_000,
+            &mut rng,
+        );
+        // E[rounds] = 1/(1-δ) = 4.
+        assert!((est.rounds.mean() - 4.0).abs() < 0.1, "{}", est.rounds.mean());
+    }
+
+    #[test]
+    fn monte_carlo_matches_linear_payoff_allc_alld() {
+        let p = params();
+        let mut rng = rng_from_seed(6);
+        let est = estimate_payoffs(
+            &MemoryOneStrategy::all_c(),
+            &MemoryOneStrategy::all_d(),
+            &p,
+            None,
+            40_000,
+            &mut rng,
+        );
+        let exact_row = expected_payoff(
+            &MemoryOneStrategy::all_c(),
+            &MemoryOneStrategy::all_d(),
+            &p,
+        );
+        let exact_col = expected_payoff(
+            &MemoryOneStrategy::all_d(),
+            &MemoryOneStrategy::all_c(),
+            &p,
+        );
+        assert!((est.row.mean() - exact_row).abs() < 0.05, "{} vs {exact_row}", est.row.mean());
+        assert!((est.col.mean() - exact_col).abs() < 0.1, "{} vs {exact_col}", est.col.mean());
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form_gtft_pair() {
+        let p = params();
+        let (g, gp) = (0.3, 0.6);
+        let mut rng = rng_from_seed(7);
+        let est = estimate_payoffs(
+            &MemoryOneStrategy::gtft(g, p.s1()),
+            &MemoryOneStrategy::gtft(gp, p.s1()),
+            &p,
+            None,
+            60_000,
+            &mut rng,
+        );
+        let exact = gtft_vs_gtft(g, gp, &p);
+        // Tolerance ~4 standard errors.
+        let tol = 4.0 * est.row.std_error();
+        assert!(
+            (est.row.mean() - exact).abs() < tol,
+            "{} vs {exact} (tol {tol})",
+            est.row.mean()
+        );
+    }
+
+    #[test]
+    fn noise_degrades_tft_but_not_gtft() {
+        // Long games so a single flip matters; measure cooperation rate.
+        let p = GameParams::new(2.0, 0.5, 0.98, 1.0).unwrap();
+        let noise = Some(NoiseModel::new(0.05));
+        let mut rng = rng_from_seed(8);
+        let tft = estimate_payoffs(
+            &MemoryOneStrategy::tft(1.0),
+            &MemoryOneStrategy::tft(1.0),
+            &p,
+            noise,
+            4_000,
+            &mut rng,
+        );
+        let gtft = estimate_payoffs(
+            &MemoryOneStrategy::gtft(0.3, 1.0),
+            &MemoryOneStrategy::gtft(0.3, 1.0),
+            &p,
+            noise,
+            4_000,
+            &mut rng,
+        );
+        assert!(
+            gtft.row_cooperation > tft.row_cooperation + 0.1,
+            "GTFT {} vs TFT {}",
+            gtft.row_cooperation,
+            tft.row_cooperation
+        );
+        assert!(gtft.row.mean() > tft.row.mean());
+    }
+
+    #[test]
+    fn zero_noise_model_is_identity() {
+        let p = params();
+        let mut rng_a = rng_from_seed(9);
+        let mut rng_b = rng_from_seed(9);
+        let plain = play_repeated_game(
+            &MemoryOneStrategy::wsls(0.5),
+            &MemoryOneStrategy::grim(0.5),
+            &p,
+            None,
+            &mut rng_a,
+        );
+        let zero_noise = play_repeated_game(
+            &MemoryOneStrategy::wsls(0.5),
+            &MemoryOneStrategy::grim(0.5),
+            &p,
+            Some(NoiseModel::new(0.0)),
+            &mut rng_b,
+        );
+        assert_eq!(plain, zero_noise);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let out = GameOutcome {
+            row_payoff: 3.0,
+            col_payoff: 1.0,
+            rounds: 4,
+            row_cooperations: 2,
+            col_cooperations: 4,
+        };
+        assert_eq!(out.row_cooperation_rate(), 0.5);
+        assert_eq!(out.col_cooperation_rate(), 1.0);
+        assert_eq!(NoiseModel::new(0.25).flip_prob(), 0.25);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let p = params();
+        let play = || {
+            let mut rng = rng_from_seed(10);
+            play_repeated_game(
+                &MemoryOneStrategy::gtft(0.2, 0.9),
+                &MemoryOneStrategy::all_d(),
+                &p,
+                None,
+                &mut rng,
+            )
+        };
+        assert_eq!(play(), play());
+    }
+}

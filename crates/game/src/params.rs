@@ -1,0 +1,132 @@
+//! Bundled RD game parameters `(b, c, δ, s₁)`.
+
+use crate::error::GameError;
+use crate::reward::DonationGame;
+
+/// The full parameterization of a repeated donation game: donation rewards
+/// `(b, c)`, continuation probability `δ`, and the common initial
+/// cooperation probability `s₁` of every GTFT strategy (Table 1 of the
+/// paper).
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::params::GameParams;
+///
+/// let p = GameParams::new(2.0, 0.5, 0.9, 0.95)?;
+/// assert_eq!(p.delta(), 0.9);
+/// assert!((p.expected_rounds() - 10.0).abs() < 1e-12);
+/// # Ok::<(), popgame_game::GameError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameParams {
+    reward: DonationGame,
+    delta: f64,
+    s1: f64,
+}
+
+impl GameParams {
+    /// Creates the parameter bundle.
+    ///
+    /// # Errors
+    ///
+    /// * [`GameError::InvalidReward`] unless `b > c ≥ 0`;
+    /// * [`GameError::InvalidProbability`] unless `δ ∈ [0, 1)` and
+    ///   `s₁ ∈ [0, 1]`.
+    pub fn new(b: f64, c: f64, delta: f64, s1: f64) -> Result<Self, GameError> {
+        let reward = DonationGame::new(b, c)?;
+        Self::with_reward(reward, delta, s1)
+    }
+
+    /// Creates the bundle from an existing reward structure.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::InvalidProbability`] unless `δ ∈ [0, 1)` and
+    /// `s₁ ∈ [0, 1]`.
+    pub fn with_reward(reward: DonationGame, delta: f64, s1: f64) -> Result<Self, GameError> {
+        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+            return Err(GameError::InvalidProbability {
+                name: "delta",
+                value: delta,
+            });
+        }
+        if !s1.is_finite() || !(0.0..=1.0).contains(&s1) {
+            return Err(GameError::InvalidProbability {
+                name: "s1",
+                value: s1,
+            });
+        }
+        Ok(Self { reward, delta, s1 })
+    }
+
+    /// The donation reward structure.
+    pub fn reward(&self) -> DonationGame {
+        self.reward
+    }
+
+    /// Benefit `b`.
+    pub fn b(&self) -> f64 {
+        self.reward.b()
+    }
+
+    /// Cost `c`.
+    pub fn c(&self) -> f64 {
+        self.reward.c()
+    }
+
+    /// Continuation probability `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Initial cooperation probability `s₁`.
+    pub fn s1(&self) -> f64 {
+        self.s1
+    }
+
+    /// Expected number of rounds per game, `1/(1−δ)`.
+    pub fn expected_rounds(&self) -> f64 {
+        1.0 / (1.0 - self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(GameParams::new(2.0, 0.5, 0.9, 0.95).is_ok());
+        assert!(GameParams::new(2.0, 0.5, 1.0, 0.95).is_err()); // delta = 1
+        assert!(GameParams::new(2.0, 0.5, -0.1, 0.95).is_err());
+        assert!(GameParams::new(2.0, 0.5, 0.9, 1.5).is_err());
+        assert!(GameParams::new(2.0, 0.5, 0.9, -0.5).is_err());
+        assert!(GameParams::new(0.5, 2.0, 0.9, 0.5).is_err()); // bad reward
+        assert!(GameParams::new(2.0, 0.5, f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn s1_endpoints_allowed() {
+        assert!(GameParams::new(2.0, 0.5, 0.5, 0.0).is_ok());
+        assert!(GameParams::new(2.0, 0.5, 0.5, 1.0).is_ok());
+        assert!(GameParams::new(2.0, 0.5, 0.0, 0.5).is_ok()); // one-shot game
+    }
+
+    #[test]
+    fn expected_rounds() {
+        let p = GameParams::new(2.0, 0.5, 0.0, 0.5).unwrap();
+        assert_eq!(p.expected_rounds(), 1.0);
+        let p = GameParams::new(2.0, 0.5, 0.75, 0.5).unwrap();
+        assert_eq!(p.expected_rounds(), 4.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = GameParams::new(3.0, 1.0, 0.6, 0.9).unwrap();
+        assert_eq!(p.b(), 3.0);
+        assert_eq!(p.c(), 1.0);
+        assert_eq!(p.s1(), 0.9);
+        assert_eq!(p.reward().reward_vector(), [2.0, -1.0, 3.0, 0.0]);
+    }
+}

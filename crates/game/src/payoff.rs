@@ -1,0 +1,377 @@
+//! Expected repeated-game payoffs `f(S₁, S₂)` — eq. (33) and Appendix B.1.5.
+//!
+//! Two exact evaluation routes:
+//!
+//! * [`expected_payoff`] solves `w (I − δM) = q₁` and returns `⟨w, v⟩` for
+//!   *any* memory-one pair (eq. 33);
+//! * [`gtft_vs_allc`] / [`gtft_vs_alld`] / [`gtft_vs_gtft`] are the paper's
+//!   closed forms (eqs. 44–46) for the strategy set `S`.
+//!
+//! The tests verify the two routes agree to machine precision, and the
+//! Monte-Carlo module provides a third, sampling-based route (experiment
+//! E9).
+
+use crate::matrix::{initial_distribution, pair_transition_matrix};
+use crate::params::GameParams;
+use crate::strategy::{MemoryOneStrategy, StrategyKind};
+
+/// Exact expected payoff of the `row` player against `col` via the
+/// linear-algebra identity `f = q₁ (I − δM)^{-1} v` (eq. 33).
+///
+/// Works for any pair of memory-one strategies.
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::params::GameParams;
+/// use popgame_game::payoff::expected_payoff;
+/// use popgame_game::strategy::MemoryOneStrategy;
+///
+/// let p = GameParams::new(2.0, 0.5, 0.5, 1.0)?;
+/// // AC vs AC: every round pays b − c; expected rounds = 2.
+/// let f = expected_payoff(&MemoryOneStrategy::all_c(), &MemoryOneStrategy::all_c(), &p);
+/// assert!((f - 3.0).abs() < 1e-12);
+/// # Ok::<(), popgame_game::GameError>(())
+/// ```
+pub fn expected_payoff(
+    row: &MemoryOneStrategy,
+    col: &MemoryOneStrategy,
+    params: &GameParams,
+) -> f64 {
+    let m = pair_transition_matrix(row, col);
+    let q1 = initial_distribution(row, col);
+    let delta = params.delta();
+    // Solve w (I - δM) = q1  ⟺  (I - δM)^T w^T = q1^T.
+    let mut a = [[0.0f64; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            // (I - δM)^T[i][j] = I[j][i] - δ M[j][i]
+            a[i][j] = f64::from(u8::from(i == j)) - delta * m[j][i];
+        }
+    }
+    let w = solve4(a, q1);
+    let v = params.reward().reward_vector();
+    w.iter().zip(v.iter()).map(|(wi, vi)| wi * vi).sum()
+}
+
+/// Both players' expected payoffs for the ordered pair `(row, col)`.
+///
+/// By the symmetry of the single-round rewards, the column player's payoff
+/// equals the row payoff of the reversed pair.
+pub fn both_payoffs(
+    row: &MemoryOneStrategy,
+    col: &MemoryOneStrategy,
+    params: &GameParams,
+) -> (f64, f64) {
+    (
+        expected_payoff(row, col, params),
+        expected_payoff(col, row, params),
+    )
+}
+
+/// Expected payoff between two strategies of the paper's typed set `S`
+/// (GTFT strategies take `s₁` from `params`). Dispatches to the generic
+/// linear solver.
+pub fn expected_payoff_kinds(row: StrategyKind, col: StrategyKind, params: &GameParams) -> f64 {
+    expected_payoff(
+        &row.to_memory_one(params.s1()),
+        &col.to_memory_one(params.s1()),
+        params,
+    )
+}
+
+/// Closed form for `f(g, AC)` (eq. 44): `c(1−s₁) + (b−c)/(1−δ)`.
+///
+/// Note the value does not depend on `g` — generosity is irrelevant against
+/// an unconditional cooperator (statement (ii) of Proposition 2.2 holds
+/// with equality).
+pub fn gtft_vs_allc(params: &GameParams) -> f64 {
+    let (b, c, delta, s1) = unpack(params);
+    c * (1.0 - s1) + (b - c) / (1.0 - delta)
+}
+
+/// Closed form for `f(g, AD)` (eq. 45): `−c s₁ − c g δ/(1−δ)` — strictly
+/// decreasing in `g` (statement (iii) of Proposition 2.2).
+pub fn gtft_vs_alld(g: f64, params: &GameParams) -> f64 {
+    let (_b, c, delta, s1) = unpack(params);
+    -c * s1 - c * g * delta / (1.0 - delta)
+}
+
+/// Closed form for `f(g, g′)` (eq. 46).
+pub fn gtft_vs_gtft(g: f64, g_prime: f64, params: &GameParams) -> f64 {
+    let (b, c, delta, s1) = unpack(params);
+    let gg = (1.0 - g) * (1.0 - g_prime);
+    let denom = 1.0 - delta * delta * gg;
+    s1 * (b - c) + (b - c) * delta / (1.0 - delta)
+        + c * (1.0 - s1) * (delta * delta * gg + delta * (1.0 - g)) / denom
+        - b * (1.0 - s1) * (delta * delta * gg + delta * (1.0 - g_prime)) / denom
+}
+
+/// Expected payoff of a GTFT agent with generosity `g` against a typed
+/// opponent, using the closed forms (the hot path for equilibrium-gap
+/// computations).
+pub fn gtft_payoff_closed(g: f64, opponent: StrategyKind, params: &GameParams) -> f64 {
+    match opponent {
+        StrategyKind::AllC => gtft_vs_allc(params),
+        StrategyKind::AllD => gtft_vs_alld(g, params),
+        StrategyKind::Gtft(gp) => gtft_vs_gtft(g, gp, params),
+    }
+}
+
+fn unpack(params: &GameParams) -> (f64, f64, f64, f64) {
+    (params.b(), params.c(), params.delta(), params.s1())
+}
+
+/// Solves the 4×4 linear system `A x = b` by Gaussian elimination with
+/// partial pivoting. The system `(I − δM)ᵀ` is always well-conditioned for
+/// `δ < 1` because `‖δM‖ < 1`.
+fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
+    for col in 0..4 {
+        // Pivot.
+        let pivot_row = (col..4)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        debug_assert!(pivot.abs() > 1e-14, "singular payoff system");
+        // Eliminate below.
+        for row in col + 1..4 {
+            let factor = a[row][col] / pivot;
+            if factor != 0.0 {
+                for j in col..4 {
+                    a[row][j] -= factor * a[col][j];
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0f64; 4];
+    for row in (0..4).rev() {
+        let mut acc = b[row];
+        for j in row + 1..4 {
+            acc -= a[row][j] * x[j];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> GameParams {
+        GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap()
+    }
+
+    #[test]
+    fn solve4_identity_and_known_system() {
+        let i4 = [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        assert_eq!(solve4(i4, [1.0, 2.0, 3.0, 4.0]), [1.0, 2.0, 3.0, 4.0]);
+        // A permuted system exercising pivoting.
+        let a = [
+            [0.0, 1.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 2.0],
+            [0.0, 0.0, 2.0, 0.0],
+        ];
+        let x = solve4(a, [5.0, 6.0, 8.0, 10.0]);
+        assert_eq!(x, [6.0, 5.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn allc_vs_allc_pays_full_cooperation() {
+        let p = params();
+        let f = expected_payoff(
+            &MemoryOneStrategy::all_c(),
+            &MemoryOneStrategy::all_c(),
+            &p,
+        );
+        let expect = (p.b() - p.c()) * p.expected_rounds();
+        assert!((f - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn alld_vs_alld_pays_zero() {
+        let p = params();
+        let f = expected_payoff(
+            &MemoryOneStrategy::all_d(),
+            &MemoryOneStrategy::all_d(),
+            &p,
+        );
+        assert!(f.abs() < 1e-12);
+    }
+
+    #[test]
+    fn allc_vs_alld_exploitation() {
+        let p = params();
+        let (sucker, exploiter) = both_payoffs(
+            &MemoryOneStrategy::all_c(),
+            &MemoryOneStrategy::all_d(),
+            &p,
+        );
+        assert!((sucker - (-p.c() * p.expected_rounds())).abs() < 1e-10);
+        assert!((exploiter - p.b() * p.expected_rounds()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn closed_form_allc_matches_linear() {
+        let p = params();
+        for g in [0.0, 0.2, 0.5, 0.8] {
+            let linear = expected_payoff(
+                &MemoryOneStrategy::gtft(g, p.s1()),
+                &MemoryOneStrategy::all_c(),
+                &p,
+            );
+            let closed = gtft_vs_allc(&p);
+            assert!(
+                (linear - closed).abs() < 1e-9,
+                "g = {g}: {linear} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_alld_matches_linear() {
+        let p = params();
+        for g in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let linear = expected_payoff(
+                &MemoryOneStrategy::gtft(g, p.s1()),
+                &MemoryOneStrategy::all_d(),
+                &p,
+            );
+            let closed = gtft_vs_alld(g, &p);
+            assert!(
+                (linear - closed).abs() < 1e-9,
+                "g = {g}: {linear} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_gtft_matches_linear_on_grid() {
+        for (b, c, delta, s1) in [
+            (2.0, 0.5, 0.9, 0.95),
+            (3.0, 1.0, 0.5, 0.5),
+            (1.5, 0.1, 0.97, 0.0),
+            (10.0, 4.0, 0.3, 1.0),
+        ] {
+            let p = GameParams::new(b, c, delta, s1).unwrap();
+            for g in [0.0, 0.3, 0.7, 1.0] {
+                for gp in [0.0, 0.25, 0.6, 1.0] {
+                    let linear = expected_payoff(
+                        &MemoryOneStrategy::gtft(g, s1),
+                        &MemoryOneStrategy::gtft(gp, s1),
+                        &p,
+                    );
+                    let closed = gtft_vs_gtft(g, gp, &p);
+                    assert!(
+                        (linear - closed).abs() < 1e-8,
+                        "b={b} c={c} δ={delta} s1={s1} g={g} g'={gp}: {linear} vs {closed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_dispatch_matches_closed_forms() {
+        let p = params();
+        let g = 0.4;
+        assert!(
+            (expected_payoff_kinds(StrategyKind::Gtft(g), StrategyKind::AllC, &p)
+                - gtft_payoff_closed(g, StrategyKind::AllC, &p))
+            .abs()
+                < 1e-9
+        );
+        assert!(
+            (expected_payoff_kinds(StrategyKind::Gtft(g), StrategyKind::AllD, &p)
+                - gtft_payoff_closed(g, StrategyKind::AllD, &p))
+            .abs()
+                < 1e-9
+        );
+        assert!(
+            (expected_payoff_kinds(StrategyKind::Gtft(g), StrategyKind::Gtft(0.7), &p)
+                - gtft_payoff_closed(g, StrategyKind::Gtft(0.7), &p))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn one_shot_game_delta_zero() {
+        // δ = 0: exactly one round; payoffs reduce to the stage game.
+        let p = GameParams::new(2.0, 0.5, 0.0, 1.0).unwrap();
+        let f = expected_payoff(
+            &MemoryOneStrategy::all_c(),
+            &MemoryOneStrategy::all_d(),
+            &p,
+        );
+        assert!((f - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tft_pair_alternation_payoff() {
+        // TFT vs TFT with s1 = 1: perpetual CC.
+        let p = GameParams::new(2.0, 0.5, 0.5, 1.0).unwrap();
+        let f = expected_payoff(&MemoryOneStrategy::tft(1.0), &MemoryOneStrategy::tft(1.0), &p);
+        assert!((f - (p.b() - p.c()) * 2.0).abs() < 1e-10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_closed_equals_linear(
+            b in 0.6..5.0f64,
+            c_frac in 0.01..0.95f64,
+            delta in 0.0..0.98f64,
+            s1 in 0.0..=1.0f64,
+            g in 0.0..=1.0f64,
+            gp in 0.0..=1.0f64,
+        ) {
+            let c = b * c_frac;
+            let p = GameParams::new(b, c, delta, s1).unwrap();
+            let linear = expected_payoff(
+                &MemoryOneStrategy::gtft(g, s1),
+                &MemoryOneStrategy::gtft(gp, s1),
+                &p,
+            );
+            let closed = gtft_vs_gtft(g, gp, &p);
+            prop_assert!((linear - closed).abs() < 1e-7 * (1.0 + linear.abs()));
+        }
+
+        #[test]
+        fn prop_payoff_bounded_by_extremes(
+            g in 0.0..=1.0f64,
+            gp in 0.0..=1.0f64,
+        ) {
+            // Payoff per game lies within [-c, b] * expected rounds.
+            let p = params();
+            let f = gtft_vs_gtft(g, gp, &p);
+            let rounds = p.expected_rounds();
+            prop_assert!(f >= -p.c() * rounds - 1e-9);
+            prop_assert!(f <= p.b() * rounds + 1e-9);
+        }
+
+        #[test]
+        fn prop_symmetric_game_symmetric_payoffs(g in 0.0..=1.0f64) {
+            // Identical strategies receive identical payoffs.
+            let p = params();
+            let s = MemoryOneStrategy::gtft(g, p.s1());
+            let (f1, f2) = both_payoffs(&s, &s, &p);
+            prop_assert!((f1 - f2).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Parameter-regime checks for the paper's structural results.
+//!
+//! Proposition 2.2 (transition local-optimality) assumes:
+//!
+//! 1. `s₁ ∈ [0, 1)`,
+//! 2. `δ > c/b`,
+//! 3. `ĝ < 1 − c/(δb)`.
+//!
+//! This module validates those conditions and reports the margins, so
+//! experiments can sweep both satisfying and violating regimes (E8 uses the
+//! violating ones as negative controls). Theorem 2.9's regime additionally
+//! involves the population composition `(α, β, γ)` and lives in
+//! `popgame-equilibrium`.
+
+use crate::error::GameError;
+use crate::params::GameParams;
+
+/// The outcome of checking Proposition 2.2's parameter regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prop22Report {
+    /// Margin of `s₁ < 1` (positive = satisfied).
+    pub s1_margin: f64,
+    /// Margin of `δ > c/b` (positive = satisfied).
+    pub delta_margin: f64,
+    /// Margin of `ĝ < 1 − c/(δb)` (positive = satisfied).
+    pub g_max_margin: f64,
+}
+
+impl Prop22Report {
+    /// Whether every condition holds strictly.
+    pub fn satisfied(&self) -> bool {
+        self.s1_margin > 0.0 && self.delta_margin > 0.0 && self.g_max_margin > 0.0
+    }
+}
+
+/// Computes the Proposition 2.2 margins for the given parameters and
+/// maximum generosity `g_max`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::params::GameParams;
+/// use popgame_game::regime::prop22_report;
+///
+/// let p = GameParams::new(2.0, 0.5, 0.9, 0.95)?;
+/// let report = prop22_report(&p, 0.5);
+/// assert!(report.satisfied());
+/// # Ok::<(), popgame_game::GameError>(())
+/// ```
+pub fn prop22_report(params: &GameParams, g_max: f64) -> Prop22Report {
+    Prop22Report {
+        s1_margin: 1.0 - params.s1(),
+        delta_margin: params.delta() - params.c() / params.b(),
+        g_max_margin: (1.0 - params.c() / (params.delta() * params.b())) - g_max,
+    }
+}
+
+/// Validates Proposition 2.2's regime, returning the report on success.
+///
+/// # Errors
+///
+/// Returns [`GameError::RegimeViolation`] naming the first failed condition.
+pub fn check_prop22(params: &GameParams, g_max: f64) -> Result<Prop22Report, GameError> {
+    let report = prop22_report(params, g_max);
+    if report.s1_margin <= 0.0 {
+        return Err(GameError::RegimeViolation {
+            result: "Proposition 2.2",
+            condition: format!("s1 = {} must be < 1", params.s1()),
+        });
+    }
+    if report.delta_margin <= 0.0 {
+        return Err(GameError::RegimeViolation {
+            result: "Proposition 2.2",
+            condition: format!(
+                "delta = {} must exceed c/b = {}",
+                params.delta(),
+                params.c() / params.b()
+            ),
+        });
+    }
+    if report.g_max_margin <= 0.0 {
+        return Err(GameError::RegimeViolation {
+            result: "Proposition 2.2",
+            condition: format!(
+                "g_max = {g_max} must be below 1 - c/(delta b) = {}",
+                1.0 - params.c() / (params.delta() * params.b())
+            ),
+        });
+    }
+    Ok(report)
+}
+
+/// Verifies Proposition 2.2's three monotonicity statements *numerically*
+/// on a grid: for all `g < g′` in `[0, g_max]`,
+///
+/// 1. `f(g, g″) < f(g′, g″)` for all `g″`,
+/// 2. `f(g, AC) ≤ f(g′, AC)`,
+/// 3. `f(g, AD) > f(g′, AD)`.
+///
+/// Returns the number of `(g, g′, g″)` triples checked.
+///
+/// # Errors
+///
+/// Returns [`GameError::RegimeViolation`] describing the first violated
+/// inequality, which should be impossible inside the checked regime — this
+/// is the machine-checkable form of the proposition (experiment E8).
+pub fn verify_prop22_on_grid(
+    params: &GameParams,
+    g_max: f64,
+    grid: usize,
+) -> Result<usize, GameError> {
+    use crate::payoff::{gtft_vs_allc, gtft_vs_alld, gtft_vs_gtft};
+    let mut checked = 0;
+    let point = |i: usize| g_max * i as f64 / grid as f64;
+    for i in 0..grid {
+        for j in i + 1..=grid {
+            let (g, gp) = (point(i), point(j));
+            // (ii) equality in the closed form: no g dependence at all.
+            if gtft_vs_allc(params) - gtft_vs_allc(params) > 0.0 {
+                unreachable!("f(., AC) is constant");
+            }
+            // (iii)
+            if gtft_vs_alld(g, params) <= gtft_vs_alld(gp, params) {
+                return Err(GameError::RegimeViolation {
+                    result: "Proposition 2.2 (iii)",
+                    condition: format!("f({g}, AD) <= f({gp}, AD)"),
+                });
+            }
+            // (i)
+            for l in 0..=grid {
+                let gpp = point(l);
+                if gtft_vs_gtft(g, gpp, params) >= gtft_vs_gtft(gp, gpp, params) {
+                    return Err(GameError::RegimeViolation {
+                        result: "Proposition 2.2 (i)",
+                        condition: format!("f({g}, {gpp}) >= f({gp}, {gpp})"),
+                    });
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfied_regime() {
+        let p = GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap();
+        let report = check_prop22(&p, 0.5).unwrap();
+        assert!(report.satisfied());
+        assert!(report.delta_margin > 0.0);
+    }
+
+    #[test]
+    fn violation_s1() {
+        let p = GameParams::new(2.0, 0.5, 0.9, 1.0).unwrap();
+        let err = check_prop22(&p, 0.5).unwrap_err();
+        assert!(err.to_string().contains("s1"));
+    }
+
+    #[test]
+    fn violation_delta() {
+        // c/b = 0.25 but delta = 0.2.
+        let p = GameParams::new(2.0, 0.5, 0.2, 0.9).unwrap();
+        let err = check_prop22(&p, 0.1).unwrap_err();
+        assert!(err.to_string().contains("delta"));
+    }
+
+    #[test]
+    fn violation_g_max() {
+        // 1 - c/(delta b) = 1 - 0.5/(0.9*2) = 0.7222...; ask for 0.9.
+        let p = GameParams::new(2.0, 0.5, 0.9, 0.9).unwrap();
+        let err = check_prop22(&p, 0.9).unwrap_err();
+        assert!(err.to_string().contains("g_max"));
+    }
+
+    #[test]
+    fn grid_verification_passes_in_regime() {
+        let p = GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap();
+        let checked = verify_prop22_on_grid(&p, 0.7, 12).unwrap();
+        assert!(checked > 500);
+    }
+
+    #[test]
+    fn grid_verification_catches_out_of_regime_violation() {
+        // Violate delta > c/b badly: with delta below c/b, increasing
+        // generosity against a GTFT partner can *hurt*, flipping (i).
+        let p = GameParams::new(2.0, 1.9, 0.3, 0.0).unwrap();
+        assert!(check_prop22(&p, 0.9).is_err());
+        // The monotonicity itself must fail somewhere on the grid.
+        let result = verify_prop22_on_grid(&p, 0.9, 10);
+        assert!(result.is_err(), "expected monotonicity violation");
+    }
+
+    #[test]
+    fn report_margins_shrink_as_g_max_grows() {
+        let p = GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap();
+        let r1 = prop22_report(&p, 0.3);
+        let r2 = prop22_report(&p, 0.6);
+        assert!(r1.g_max_margin > r2.g_max_margin);
+    }
+}

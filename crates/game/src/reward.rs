@@ -1,0 +1,247 @@
+//! Donation-game rewards and the general prisoner's dilemma.
+//!
+//! The paper uses *donation games*, "the most important class of PD
+//! rewards": the row player's payoffs over `{CC, CD, DC, DD}` are
+//! `v = [b−c, −c, b, 0]` with `b > c ≥ 0`. The general prisoner's dilemma
+//! (`T > R > P > S`) is provided as an extension and to validate that the
+//! donation game embeds into it.
+
+use crate::action::GameState;
+use crate::error::GameError;
+
+/// Donation-game rewards with benefit `b` and cost `c`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::reward::DonationGame;
+/// use popgame_game::action::GameState;
+///
+/// let game = DonationGame::new(2.0, 0.5)?;
+/// assert_eq!(game.reward_vector(), [1.5, -0.5, 2.0, 0.0]);
+/// assert_eq!(game.row_payoff(GameState::DC), 2.0);
+/// # Ok::<(), popgame_game::GameError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DonationGame {
+    b: f64,
+    c: f64,
+}
+
+impl DonationGame {
+    /// Creates a donation game.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidReward`] unless `b > c >= 0` and both are
+    /// finite.
+    pub fn new(b: f64, c: f64) -> Result<Self, GameError> {
+        if !(b.is_finite() && c.is_finite() && b > c && c >= 0.0) {
+            return Err(GameError::InvalidReward { b, c });
+        }
+        Ok(Self { b, c })
+    }
+
+    /// Benefit parameter `b`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Cost parameter `c`.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The benefit-to-cost ratio `b/c` (infinite when `c = 0`).
+    pub fn benefit_cost_ratio(&self) -> f64 {
+        self.b / self.c
+    }
+
+    /// The row player's reward vector `[b−c, −c, b, 0]` over
+    /// `{CC, CD, DC, DD}`.
+    pub fn reward_vector(&self) -> [f64; 4] {
+        [self.b - self.c, -self.c, self.b, 0.0]
+    }
+
+    /// Row player's single-round payoff in `state`.
+    pub fn row_payoff(&self, state: GameState) -> f64 {
+        self.reward_vector()[state.index()]
+    }
+
+    /// Column player's single-round payoff in `state` (by symmetry, the row
+    /// payoff of the swapped state).
+    pub fn col_payoff(&self, state: GameState) -> f64 {
+        self.row_payoff(state.swapped())
+    }
+
+    /// Embeds the donation game into the general prisoner's dilemma
+    /// `(R, S, T, P) = (b−c, −c, b, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidReward`] when `c = 0`: the degenerate
+    /// free-donation game collapses the strict ordering `T > R` / `P > S`.
+    pub fn to_prisoners_dilemma(&self) -> Result<PrisonersDilemma, GameError> {
+        PrisonersDilemma::new(self.b - self.c, -self.c, self.b, 0.0)
+    }
+}
+
+/// A general prisoner's dilemma with payoffs `R` (reward), `S` (sucker),
+/// `T` (temptation), `P` (punishment), requiring `T > R > P > S`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::reward::PrisonersDilemma;
+///
+/// let pd = PrisonersDilemma::new(3.0, 0.0, 5.0, 1.0)?;
+/// assert!(pd.rewards_mutual_cooperation());
+/// # Ok::<(), popgame_game::GameError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrisonersDilemma {
+    r: f64,
+    s: f64,
+    t: f64,
+    p: f64,
+}
+
+impl PrisonersDilemma {
+    /// Creates a PD with the standard ordering `T > R > P > S`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidReward`] when the ordering fails or any
+    /// payoff is non-finite. (We report `b = T`, `c = R` in the error for
+    /// lack of better slots.)
+    pub fn new(r: f64, s: f64, t: f64, p: f64) -> Result<Self, GameError> {
+        let all_finite = r.is_finite() && s.is_finite() && t.is_finite() && p.is_finite();
+        if !all_finite || !(t > r && r > p && p > s) {
+            return Err(GameError::InvalidReward { b: t, c: r });
+        }
+        Ok(Self { r, s, t, p })
+    }
+
+    /// Reward for mutual cooperation `R`.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Sucker's payoff `S`.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Temptation payoff `T`.
+    pub fn t(&self) -> f64 {
+        self.t
+    }
+
+    /// Punishment payoff `P`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Row player's reward vector `[R, S, T, P]` over `{CC, CD, DC, DD}`.
+    pub fn reward_vector(&self) -> [f64; 4] {
+        [self.r, self.s, self.t, self.p]
+    }
+
+    /// Row player's single-round payoff in `state`.
+    pub fn row_payoff(&self, state: GameState) -> f64 {
+        self.reward_vector()[state.index()]
+    }
+
+    /// Whether `2R > T + S`, the standard condition making mutual
+    /// cooperation the socially optimal repeated outcome.
+    pub fn rewards_mutual_cooperation(&self) -> bool {
+        2.0 * self.r > self.t + self.s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn donation_validation() {
+        assert!(DonationGame::new(2.0, 0.5).is_ok());
+        assert!(DonationGame::new(2.0, 0.0).is_ok()); // c = 0 allowed
+        assert!(DonationGame::new(0.5, 0.5).is_err()); // b == c
+        assert!(DonationGame::new(0.5, 2.0).is_err()); // b < c
+        assert!(DonationGame::new(2.0, -0.1).is_err()); // c < 0
+        assert!(DonationGame::new(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn donation_payoffs_by_state() {
+        let g = DonationGame::new(3.0, 1.0).unwrap();
+        assert_eq!(g.row_payoff(GameState::CC), 2.0);
+        assert_eq!(g.row_payoff(GameState::CD), -1.0);
+        assert_eq!(g.row_payoff(GameState::DC), 3.0);
+        assert_eq!(g.row_payoff(GameState::DD), 0.0);
+        // Column payoffs mirror.
+        assert_eq!(g.col_payoff(GameState::CD), 3.0);
+        assert_eq!(g.col_payoff(GameState::DC), -1.0);
+        assert_eq!(g.col_payoff(GameState::CC), 2.0);
+    }
+
+    #[test]
+    fn dilemma_structure_defection_dominates() {
+        // Against either opponent action, defecting is strictly better.
+        let g = DonationGame::new(2.0, 0.5).unwrap();
+        assert!(g.row_payoff(GameState::DC) > g.row_payoff(GameState::CC));
+        assert!(g.row_payoff(GameState::DD) > g.row_payoff(GameState::CD));
+        // But mutual cooperation beats mutual defection.
+        assert!(g.row_payoff(GameState::CC) > g.row_payoff(GameState::DD));
+    }
+
+    #[test]
+    fn donation_embeds_into_pd() {
+        let g = DonationGame::new(2.0, 0.5).unwrap();
+        let pd = g.to_prisoners_dilemma().unwrap();
+        assert_eq!(pd.reward_vector(), g.reward_vector());
+        assert!(pd.rewards_mutual_cooperation());
+        // The zero-cost degenerate game has no strict dilemma.
+        assert!(DonationGame::new(2.0, 0.0)
+            .unwrap()
+            .to_prisoners_dilemma()
+            .is_err());
+    }
+
+    #[test]
+    fn pd_validation() {
+        assert!(PrisonersDilemma::new(3.0, 0.0, 5.0, 1.0).is_ok());
+        assert!(PrisonersDilemma::new(3.0, 0.0, 2.0, 1.0).is_err()); // T < R
+        assert!(PrisonersDilemma::new(1.0, 0.0, 5.0, 3.0).is_err()); // P > R
+        assert!(PrisonersDilemma::new(3.0, 2.0, 5.0, 1.0).is_err()); // S > P
+    }
+
+    #[test]
+    fn pd_getters() {
+        let pd = PrisonersDilemma::new(3.0, 0.0, 5.0, 1.0).unwrap();
+        assert_eq!((pd.r(), pd.s(), pd.t(), pd.p()), (3.0, 0.0, 5.0, 1.0));
+        assert_eq!(pd.row_payoff(GameState::DC), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_donation_always_valid_pd(b in 0.1..10.0f64, frac in 0.01..0.99f64) {
+            let c = b * frac;
+            let g = DonationGame::new(b, c).unwrap();
+            let pd = g.to_prisoners_dilemma().unwrap();
+            prop_assert!(pd.t() > pd.r() && pd.r() > pd.p() && pd.p() > pd.s());
+            // Donation games always reward mutual cooperation: 2(b-c) > b - c.
+            prop_assert!(pd.rewards_mutual_cooperation());
+        }
+
+        #[test]
+        fn prop_payoff_symmetry(b in 0.1..10.0f64, frac in 0.0..0.99f64) {
+            let g = DonationGame::new(b, b * frac).unwrap();
+            for s in crate::action::ALL_STATES {
+                prop_assert_eq!(g.col_payoff(s), g.row_payoff(s.swapped()));
+            }
+        }
+    }
+}

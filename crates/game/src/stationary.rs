@@ -1,0 +1,210 @@
+//! Long-run (per-round) analysis of the pair-play chain `M`.
+//!
+//! Conditioned on the game continuing, a strategy pair induces the 4×4
+//! chain `M` over `A = {CC, CD, DC, DD}` (Appendix B.1.1). Its Cesàro
+//! occupancy measures the *per-round* behavior of an infinitely repeated
+//! game, tying the discounted payoffs of eq. (33) to their `δ → 1` limit:
+//!
+//! ```text
+//! (1 − δ) · f(S₁, S₂)  →  ⟨v, occupancy⟩   as δ → 1 .
+//! ```
+//!
+//! The Cesàro average is used (not plain power iteration) because pairs
+//! like TFT-vs-TFT are *periodic* — they alternate `CD ↔ DC` forever — and
+//! only the time-average converges.
+
+use crate::matrix::{initial_distribution, pair_transition_matrix, row_times_matrix, StateDistribution};
+use crate::params::GameParams;
+use crate::reward::DonationGame;
+use crate::strategy::MemoryOneStrategy;
+
+/// The long-run occupancy of the four game states under the pair chain,
+/// starting from the pair's initial distribution: the Cesàro limit
+/// `lim (1/T) Σ_{t<T} q₁ M^t`.
+///
+/// Converges for every memory-one pair (finite chain ⇒ Cesàro limits
+/// exist), including periodic ones.
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::stationary::long_run_occupancy;
+/// use popgame_game::strategy::MemoryOneStrategy;
+///
+/// // TFT vs TFT started from a defection alternates CD/DC forever.
+/// let tft = MemoryOneStrategy::tft(0.0); // always open with D
+/// let occ = long_run_occupancy(&tft, &MemoryOneStrategy::tft(1.0), 100_000);
+/// assert!((occ[1] + occ[2] - 1.0).abs() < 1e-6); // all mass on CD/DC
+/// ```
+pub fn long_run_occupancy(
+    row: &MemoryOneStrategy,
+    col: &MemoryOneStrategy,
+    horizon: u64,
+) -> StateDistribution {
+    let m = pair_transition_matrix(row, col);
+    let mut nu = initial_distribution(row, col);
+    let mut acc = [0.0f64; 4];
+    for _ in 0..horizon {
+        for (a, v) in acc.iter_mut().zip(nu.iter()) {
+            *a += v;
+        }
+        nu = row_times_matrix(&nu, &m);
+    }
+    let total: f64 = acc.iter().sum();
+    [
+        acc[0] / total,
+        acc[1] / total,
+        acc[2] / total,
+        acc[3] / total,
+    ]
+}
+
+/// The asymptotic per-round payoff of the row player:
+/// `⟨v, occupancy⟩` — the `δ → 1` limit of `(1−δ)·f`.
+pub fn per_round_payoff(
+    row: &MemoryOneStrategy,
+    col: &MemoryOneStrategy,
+    reward: &DonationGame,
+    horizon: u64,
+) -> f64 {
+    let occ = long_run_occupancy(row, col, horizon);
+    reward
+        .reward_vector()
+        .iter()
+        .zip(occ.iter())
+        .map(|(v, o)| v * o)
+        .sum()
+}
+
+/// The row player's long-run cooperation rate: occupancy of `CC ∪ CD`.
+pub fn long_run_cooperation(
+    row: &MemoryOneStrategy,
+    col: &MemoryOneStrategy,
+    horizon: u64,
+) -> f64 {
+    let occ = long_run_occupancy(row, col, horizon);
+    occ[0] + occ[1]
+}
+
+/// Checks the Abelian limit `(1−δ)·f(S₁,S₂) → per-round payoff`: returns
+/// the pair `(scaled discounted payoff at δ, per-round payoff)` so callers
+/// and tests can assert convergence.
+pub fn abelian_limit_pair(
+    row: &MemoryOneStrategy,
+    col: &MemoryOneStrategy,
+    params: &GameParams,
+    horizon: u64,
+) -> (f64, f64) {
+    let discounted = crate::payoff::expected_payoff(row, col, params);
+    let rate = per_round_payoff(row, col, &params.reward(), horizon);
+    ((1.0 - params.delta()) * discounted, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GameParams;
+    use proptest::prelude::*;
+
+    fn reward() -> DonationGame {
+        DonationGame::new(2.0, 0.5).unwrap()
+    }
+
+    #[test]
+    fn allc_pair_sits_in_cc() {
+        let occ = long_run_occupancy(
+            &MemoryOneStrategy::all_c(),
+            &MemoryOneStrategy::all_c(),
+            10_000,
+        );
+        assert!((occ[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn alld_pair_sits_in_dd() {
+        let occ = long_run_occupancy(
+            &MemoryOneStrategy::all_d(),
+            &MemoryOneStrategy::all_d(),
+            10_000,
+        );
+        assert!((occ[3] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tft_alternation_splits_cd_dc() {
+        // Deterministic period-2 pair: Cesàro occupancy must be 1/2, 1/2.
+        let opener_d = MemoryOneStrategy::tft(0.0);
+        let opener_c = MemoryOneStrategy::tft(1.0);
+        let occ = long_run_occupancy(&opener_d, &opener_c, 100_000);
+        assert!((occ[1] - 0.5).abs() < 1e-4, "{occ:?}");
+        assert!((occ[2] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gtft_pair_recovers_full_cooperation() {
+        // Generosity breaks defection spirals: long-run occupancy of CC is
+        // 1 (the chain is absorbing at CC when both sides have g > 0).
+        let g = MemoryOneStrategy::gtft(0.3, 0.0); // even opening with D
+        let occ = long_run_occupancy(&g, &g, 200_000);
+        assert!(occ[0] > 0.999, "{occ:?}");
+        assert!(long_run_cooperation(&g, &g, 200_000) > 0.999);
+    }
+
+    #[test]
+    fn per_round_payoff_of_cooperation_is_b_minus_c() {
+        let rate = per_round_payoff(
+            &MemoryOneStrategy::all_c(),
+            &MemoryOneStrategy::all_c(),
+            &reward(),
+            10_000,
+        );
+        assert!((rate - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn abelian_limit_converges_as_delta_grows() {
+        let row = MemoryOneStrategy::gtft(0.2, 0.9);
+        let col = MemoryOneStrategy::gtft(0.5, 0.9);
+        let mut errors = Vec::new();
+        for delta in [0.9, 0.99, 0.999] {
+            let params = GameParams::new(2.0, 0.5, delta, 0.9).unwrap();
+            let (scaled, rate) = abelian_limit_pair(&row, &col, &params, 200_000);
+            errors.push((scaled - rate).abs());
+        }
+        assert!(
+            errors[2] < errors[1] && errors[1] < errors[0],
+            "Abelian errors failed to shrink: {errors:?}"
+        );
+        assert!(errors[2] < 1e-2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_occupancy_is_distribution(
+            r1 in proptest::array::uniform4(0.0..=1.0f64),
+            r2 in proptest::array::uniform4(0.0..=1.0f64),
+            i1 in 0.0..=1.0f64,
+            i2 in 0.0..=1.0f64,
+        ) {
+            let a = MemoryOneStrategy::new(i1, r1).unwrap();
+            let b = MemoryOneStrategy::new(i2, r2).unwrap();
+            let occ = long_run_occupancy(&a, &b, 5_000);
+            prop_assert!((occ.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(occ.iter().all(|&x| x >= -1e-12));
+        }
+
+        #[test]
+        fn prop_per_round_payoff_bounded(
+            g1 in 0.0..=1.0f64,
+            g2 in 0.0..=1.0f64,
+        ) {
+            let rate = per_round_payoff(
+                &MemoryOneStrategy::gtft(g1, 0.5),
+                &MemoryOneStrategy::gtft(g2, 0.5),
+                &reward(),
+                5_000,
+            );
+            prop_assert!((-0.5..=2.0 + 1e-9).contains(&rate));
+        }
+    }
+}

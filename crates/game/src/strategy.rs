@@ -1,0 +1,329 @@
+//! Memory-one reactive strategies, including the paper's `AC`, `AD`, and
+//! `GTFT(g)` families.
+//!
+//! A memory-one strategy is specified by an initial cooperation probability
+//! and four response probabilities — the probability of cooperating given
+//! the previous round's joint state *from the player's own perspective*
+//! (own action, opponent action). The paper's strategies (Section 1.1.2):
+//!
+//! * `AC` — always cooperate;
+//! * `AD` — always defect;
+//! * `GTFT(g)` — play the opponent's previous action with probability
+//!   `1 − g`, cooperate with probability `g` (so: cooperate with
+//!   probability 1 after opponent's `C`, with probability `g` after
+//!   opponent's `D`).
+//!
+//! Classic extension strategies (`TFT`, `WSLS`, `GRIM`) are included for the
+//! robustness-to-noise experiments motivating generosity (Section 1.1.2
+//! Discussion).
+
+use crate::action::{Action, GameState};
+use crate::error::GameError;
+use rand::Rng;
+use std::fmt;
+
+/// A memory-one strategy: initial cooperation probability plus cooperation
+/// probabilities conditioned on the previous joint state (own perspective,
+/// indexed in `{CC, CD, DC, DD}` order).
+///
+/// # Example
+///
+/// ```
+/// use popgame_game::strategy::MemoryOneStrategy;
+/// use popgame_game::action::GameState;
+///
+/// let gtft = MemoryOneStrategy::gtft(0.3, 0.95);
+/// // After the opponent cooperated, GTFT always cooperates:
+/// assert_eq!(gtft.response(GameState::CC), 1.0);
+/// assert_eq!(gtft.response(GameState::DC), 1.0);
+/// // After a defection, it forgives with probability g:
+/// assert_eq!(gtft.response(GameState::CD), 0.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryOneStrategy {
+    initial_coop: f64,
+    response: [f64; 4],
+}
+
+impl MemoryOneStrategy {
+    /// Creates a strategy from raw probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidProbability`] when any probability is
+    /// outside `[0, 1]`.
+    pub fn new(initial_coop: f64, response: [f64; 4]) -> Result<Self, GameError> {
+        let valid = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        if !valid(initial_coop) {
+            return Err(GameError::InvalidProbability {
+                name: "initial_coop",
+                value: initial_coop,
+            });
+        }
+        if let Some(&bad) = response.iter().find(|p| !valid(**p)) {
+            return Err(GameError::InvalidProbability {
+                name: "response",
+                value: bad,
+            });
+        }
+        Ok(Self {
+            initial_coop,
+            response,
+        })
+    }
+
+    /// Always-Cooperate.
+    pub fn all_c() -> Self {
+        Self {
+            initial_coop: 1.0,
+            response: [1.0; 4],
+        }
+    }
+
+    /// Always-Defect.
+    pub fn all_d() -> Self {
+        Self {
+            initial_coop: 0.0,
+            response: [0.0; 4],
+        }
+    }
+
+    /// Generous tit-for-tat with generosity `g` and initial cooperation
+    /// probability `s1` (the paper's `GTFT` family).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `g, s1 ∈ [0, 1]`; use [`new`](Self::new) for validated
+    /// construction from untrusted input.
+    pub fn gtft(g: f64, s1: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&g), "generosity out of range: {g}");
+        debug_assert!((0.0..=1.0).contains(&s1), "s1 out of range: {s1}");
+        Self {
+            initial_coop: s1,
+            // Own perspective (own, opp): cooperate iff opponent cooperated,
+            // except forgive a defection with probability g.
+            response: [1.0, g, 1.0, g],
+        }
+    }
+
+    /// Plain tit-for-tat (GTFT with zero generosity).
+    pub fn tft(s1: f64) -> Self {
+        Self::gtft(0.0, s1)
+    }
+
+    /// Win-stay lose-shift (Pavlov): repeat your action after a good round
+    /// (CC or DC), switch after a bad one.
+    pub fn wsls(s1: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&s1));
+        Self {
+            initial_coop: s1,
+            response: [1.0, 0.0, 0.0, 1.0],
+        }
+    }
+
+    /// Grim trigger: cooperate only while both players have cooperated.
+    pub fn grim(s1: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&s1));
+        Self {
+            initial_coop: s1,
+            response: [1.0, 0.0, 0.0, 0.0],
+        }
+    }
+
+    /// Initial cooperation probability.
+    pub fn initial_coop(&self) -> f64 {
+        self.initial_coop
+    }
+
+    /// Cooperation probability given the previous round's state from this
+    /// player's own perspective.
+    pub fn response(&self, own_perspective_state: GameState) -> f64 {
+        self.response[own_perspective_state.index()]
+    }
+
+    /// All four response probabilities.
+    pub fn responses(&self) -> [f64; 4] {
+        self.response
+    }
+
+    /// Samples the opening action.
+    pub fn initial_action<R: Rng + ?Sized>(&self, rng: &mut R) -> Action {
+        if rng.gen::<f64>() < self.initial_coop {
+            Action::C
+        } else {
+            Action::D
+        }
+    }
+
+    /// Samples the next action given the previous round (own perspective).
+    pub fn next_action<R: Rng + ?Sized>(
+        &self,
+        own_perspective_state: GameState,
+        rng: &mut R,
+    ) -> Action {
+        if rng.gen::<f64>() < self.response(own_perspective_state) {
+            Action::C
+        } else {
+            Action::D
+        }
+    }
+}
+
+/// The paper's typed strategy set `S = {AC, AD, GTFT(g)}` (Section 1.1.2).
+///
+/// `AC`/`AD` agents never change strategy; `GTFT` agents carry a generosity
+/// parameter that the `k`-IGT dynamics tunes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// Always-Cooperate subpopulation (fraction `α`).
+    AllC,
+    /// Always-Defect subpopulation (fraction `β`).
+    AllD,
+    /// Generous tit-for-tat with the given generosity (fraction `γ`).
+    Gtft(f64),
+}
+
+impl StrategyKind {
+    /// Materializes the memory-one implementation, giving GTFT the common
+    /// initial cooperation probability `s1`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use popgame_game::strategy::{MemoryOneStrategy, StrategyKind};
+    ///
+    /// let m = StrategyKind::Gtft(0.25).to_memory_one(0.9);
+    /// assert_eq!(m, MemoryOneStrategy::gtft(0.25, 0.9));
+    /// ```
+    pub fn to_memory_one(&self, s1: f64) -> MemoryOneStrategy {
+        match *self {
+            StrategyKind::AllC => MemoryOneStrategy::all_c(),
+            StrategyKind::AllD => MemoryOneStrategy::all_d(),
+            StrategyKind::Gtft(g) => MemoryOneStrategy::gtft(g, s1),
+        }
+    }
+
+    /// Whether this is a GTFT strategy.
+    pub fn is_gtft(&self) -> bool {
+        matches!(self, StrategyKind::Gtft(_))
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyKind::AllC => write!(f, "AC"),
+            StrategyKind::AllD => write!(f, "AD"),
+            StrategyKind::Gtft(g) => write!(f, "GTFT({g:.3})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(MemoryOneStrategy::new(0.5, [0.0, 0.5, 1.0, 0.3]).is_ok());
+        assert!(MemoryOneStrategy::new(1.5, [0.0; 4]).is_err());
+        assert!(MemoryOneStrategy::new(0.5, [0.0, -0.1, 0.0, 0.0]).is_err());
+        assert!(MemoryOneStrategy::new(0.5, [0.0, f64::NAN, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn gtft_matches_paper_definition() {
+        // "play C with initial probability s1; in round r+1 play the
+        //  opponent's action from round r w.p. (1-g), and play C w.p. g"
+        let g = 0.4;
+        let s = MemoryOneStrategy::gtft(g, 0.7);
+        assert_eq!(s.initial_coop(), 0.7);
+        // Opponent played C: (1-g) copy C + g play C = 1.
+        assert_eq!(s.response(GameState::CC), 1.0);
+        assert_eq!(s.response(GameState::DC), 1.0);
+        // Opponent played D: (1-g) copy D + g play C = g chance to cooperate.
+        assert_eq!(s.response(GameState::CD), g);
+        assert_eq!(s.response(GameState::DD), g);
+    }
+
+    #[test]
+    fn tft_is_zero_generosity_gtft() {
+        assert_eq!(
+            MemoryOneStrategy::tft(0.5).responses(),
+            [1.0, 0.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn wsls_and_grim_tables() {
+        assert_eq!(MemoryOneStrategy::wsls(1.0).responses(), [1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(MemoryOneStrategy::grim(1.0).responses(), [1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_c_and_all_d_are_constant() {
+        let mut rng = rng_from_seed(1);
+        for s in crate::action::ALL_STATES {
+            assert_eq!(MemoryOneStrategy::all_c().next_action(s, &mut rng), Action::C);
+            assert_eq!(MemoryOneStrategy::all_d().next_action(s, &mut rng), Action::D);
+        }
+        assert_eq!(MemoryOneStrategy::all_c().initial_action(&mut rng), Action::C);
+        assert_eq!(MemoryOneStrategy::all_d().initial_action(&mut rng), Action::D);
+    }
+
+    #[test]
+    fn sampled_actions_match_probabilities() {
+        let s = MemoryOneStrategy::gtft(0.3, 0.5);
+        let mut rng = rng_from_seed(2);
+        let n = 40_000;
+        let coops = (0..n)
+            .filter(|_| s.next_action(GameState::CD, &mut rng) == Action::C)
+            .count();
+        assert!((coops as f64 / n as f64 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn strategy_kind_conversions() {
+        assert_eq!(
+            StrategyKind::AllC.to_memory_one(0.5),
+            MemoryOneStrategy::all_c()
+        );
+        assert_eq!(
+            StrategyKind::AllD.to_memory_one(0.5),
+            MemoryOneStrategy::all_d()
+        );
+        assert!(StrategyKind::Gtft(0.1).is_gtft());
+        assert!(!StrategyKind::AllC.is_gtft());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StrategyKind::AllC.to_string(), "AC");
+        assert_eq!(StrategyKind::AllD.to_string(), "AD");
+        assert_eq!(StrategyKind::Gtft(0.25).to_string(), "GTFT(0.250)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gtft_responses_in_range(g in 0.0..=1.0f64, s1 in 0.0..=1.0f64) {
+            let s = MemoryOneStrategy::gtft(g, s1);
+            for p in s.responses() {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+
+        #[test]
+        fn prop_gtft_cooperates_more_with_higher_g(
+            g1 in 0.0..0.5f64,
+            extra in 0.01..0.5f64,
+            s1 in 0.0..=1.0f64,
+        ) {
+            let low = MemoryOneStrategy::gtft(g1, s1);
+            let high = MemoryOneStrategy::gtft(g1 + extra, s1);
+            prop_assert!(high.response(GameState::CD) > low.response(GameState::CD));
+            prop_assert!(high.response(GameState::DD) > low.response(GameState::DD));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Average stationary generosity (Proposition 2.8 and Corollary C.1).
+//!
+//! With the stationary law of Theorem 2.7, the expected average generosity
+//! of the GTFT subpopulation has the closed form
+//!
+//! ```text
+//! ẽg = ĝ·( λ^k/(λ^k − 1) − (1/(k−1))·(λ/(λ−1))·((λ^{k−1} − 1)/(λ^k − 1)) )
+//! ```
+//!
+//! for `β ≠ 1/2` (`λ = (1−β)/β`), and `ẽg = ĝ/2` at `β = 1/2`. Corollary
+//! C.1 gives the lower bound `ẽg ≥ ĝ(1 − 1/((λ−1)(k−1)))` for `λ > 1`.
+
+use crate::params::IgtConfig;
+use crate::stationary::stationary_level_probs;
+
+/// The average generosity of an explicit level-count vector
+/// `(1/m)·Σ_j g_j z_j`.
+///
+/// # Panics
+///
+/// Panics when `counts.len()` differs from the grid size or the counts sum
+/// to zero.
+pub fn average_generosity(config: &IgtConfig, counts: &[u64]) -> f64 {
+    let grid = config.grid();
+    assert_eq!(counts.len(), grid.k(), "one count per grid level");
+    let m: u64 = counts.iter().sum();
+    assert!(m > 0, "no GTFT agents");
+    counts
+        .iter()
+        .enumerate()
+        .map(|(j, &z)| grid.value(j) * z as f64)
+        .sum::<f64>()
+        / m as f64
+}
+
+/// Proposition 2.8's closed form for the average stationary generosity
+/// `ẽg`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_igt::generosity::stationary_average_generosity;
+/// use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
+/// use popgame_game::params::GameParams;
+///
+/// let config = IgtConfig::new(
+///     PopulationComposition::new(0.25, 0.5, 0.25)?, // β = 1/2
+///     GenerosityGrid::new(6, 0.9)?,
+///     GameParams::new(2.0, 0.5, 0.9, 0.95)?,
+/// );
+/// assert!((stationary_average_generosity(&config) - 0.45).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn stationary_average_generosity(config: &IgtConfig) -> f64 {
+    let k = config.grid().k() as f64;
+    let g_max = config.grid().g_max();
+    let lambda = config.composition().lambda();
+    if (lambda - 1.0).abs() < 1e-9 {
+        return g_max / 2.0;
+    }
+    let lk = lambda.powf(k);
+    let lk1 = lambda.powf(k - 1.0);
+    g_max
+        * (lk / (lk - 1.0)
+            - (1.0 / (k - 1.0)) * (lambda / (lambda - 1.0)) * ((lk1 - 1.0) / (lk - 1.0)))
+}
+
+/// The same quantity computed directly as `Σ_j g_j p_j` from the stationary
+/// level probabilities — an independent numerical route used to validate
+/// the closed form (and the overflow-safe path for extreme `λ^k`).
+pub fn stationary_average_generosity_direct(config: &IgtConfig) -> f64 {
+    let probs = stationary_level_probs(config);
+    let grid = config.grid();
+    probs
+        .iter()
+        .enumerate()
+        .map(|(j, &p)| grid.value(j) * p)
+        .sum()
+}
+
+/// Corollary C.1's lower bound `ĝ(1 − 1/((λ−1)(k−1)))`, valid for `λ > 1`
+/// (`β < 1/2`).
+///
+/// Returns `None` when `λ ≤ 1`, where the bound does not apply.
+pub fn corollary_c1_lower_bound(config: &IgtConfig) -> Option<f64> {
+    let lambda = config.composition().lambda();
+    if lambda <= 1.0 {
+        return None;
+    }
+    let k = config.grid().k() as f64;
+    Some(config.grid().g_max() * (1.0 - 1.0 / ((lambda - 1.0) * (k - 1.0))))
+}
+
+/// The paper's asymptotic approximations after Proposition 2.8:
+/// `ẽg ≈ ĝ(1 − β/((1−2β)k))` for `β < 1/2` and
+/// `ẽg ≈ ĝ(1−β)/((2β−1)k)` for `β > 1/2`.
+pub fn asymptotic_approximation(config: &IgtConfig) -> f64 {
+    let beta = config.composition().beta();
+    let k = config.grid().k() as f64;
+    let g_max = config.grid().g_max();
+    if beta < 0.5 {
+        g_max * (1.0 - beta / ((1.0 - 2.0 * beta) * k))
+    } else if beta > 0.5 {
+        g_max * (1.0 - beta) / ((2.0 * beta - 1.0) * k)
+    } else {
+        g_max / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{GenerosityGrid, PopulationComposition};
+    use popgame_game::params::GameParams;
+    use proptest::prelude::*;
+
+    fn config(beta: f64, k: usize, g_max: f64) -> IgtConfig {
+        let alpha = (1.0 - beta) / 2.0;
+        let gamma = 1.0 - alpha - beta;
+        IgtConfig::new(
+            PopulationComposition::new(alpha, beta, gamma).unwrap(),
+            GenerosityGrid::new(k, g_max).unwrap(),
+            GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap(),
+        )
+    }
+
+    #[test]
+    fn explicit_counts_average() {
+        let cfg = config(0.2, 3, 0.6); // grid {0, 0.3, 0.6}
+        assert_eq!(average_generosity(&cfg, &[2, 0, 2]), 0.3);
+        assert_eq!(average_generosity(&cfg, &[0, 0, 5]), 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no GTFT agents")]
+    fn zero_counts_panic() {
+        let cfg = config(0.2, 3, 0.6);
+        let _ = average_generosity(&cfg, &[0, 0, 0]);
+    }
+
+    #[test]
+    fn closed_form_matches_direct_sum() {
+        for beta in [0.1, 0.25, 0.4, 0.45, 0.55, 0.7, 0.9] {
+            for k in [2usize, 3, 8, 16, 64] {
+                let cfg = config(beta, k, 0.8);
+                let closed = stationary_average_generosity(&cfg);
+                let direct = stationary_average_generosity_direct(&cfg);
+                assert!(
+                    (closed - direct).abs() < 1e-9,
+                    "beta={beta} k={k}: closed {closed} vs direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beta_half_is_half_g_max() {
+        let cfg = config(0.5, 7, 0.9);
+        assert!((stationary_average_generosity(&cfg) - 0.45).abs() < 1e-12);
+        assert!((stationary_average_generosity_direct(&cfg) - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corollary_c1_holds_and_tightens() {
+        for k in [2usize, 4, 8, 32] {
+            let cfg = config(0.2, k, 0.8); // λ = 4
+            let eg = stationary_average_generosity(&cfg);
+            let bound = corollary_c1_lower_bound(&cfg).expect("λ > 1");
+            assert!(eg >= bound - 1e-12, "k={k}: {eg} < bound {bound}");
+        }
+        // Bound inapplicable for β >= 1/2.
+        assert!(corollary_c1_lower_bound(&config(0.6, 4, 0.8)).is_none());
+    }
+
+    #[test]
+    fn generosity_approaches_g_max_at_rate_one_over_k() {
+        // β < 1/2: gap to ĝ shrinks like 1/k.
+        let g_max = 0.8;
+        let gap = |k: usize| g_max - stationary_average_generosity(&config(0.2, k, g_max));
+        let g4 = gap(4);
+        let g8 = gap(8);
+        let g16 = gap(16);
+        assert!(g8 < g4 && g16 < g8);
+        // Halving rate ≈ 2 (up to boundary terms).
+        assert!((g4 / g8) > 1.6 && (g4 / g8) < 2.6);
+        assert!((g8 / g16) > 1.6 && (g8 / g16) < 2.6);
+    }
+
+    #[test]
+    fn generosity_approaches_zero_for_beta_above_half() {
+        let eg = |k: usize| stationary_average_generosity(&config(0.8, k, 0.8));
+        assert!(eg(4) > eg(8) && eg(8) > eg(16));
+        assert!(eg(32) < 0.02);
+    }
+
+    #[test]
+    fn asymptotic_approximation_is_close_for_moderate_k() {
+        for beta in [0.15, 0.3, 0.65, 0.85] {
+            let cfg = config(beta, 32, 0.8);
+            let exact = stationary_average_generosity(&cfg);
+            let approx = asymptotic_approximation(&cfg);
+            assert!(
+                (exact - approx).abs() < 0.05,
+                "beta={beta}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_generosity_in_range(beta in 0.05..0.95f64, k in 2usize..40) {
+            let cfg = config(beta, k, 0.8);
+            let eg = stationary_average_generosity(&cfg);
+            prop_assert!((0.0..=0.8 + 1e-12).contains(&eg));
+        }
+
+        #[test]
+        fn prop_smaller_beta_means_more_generosity(
+            beta in 0.05..0.4f64,
+            k in 2usize..20,
+        ) {
+            let low = config(beta, k, 0.8);
+            let high = config(beta + 0.1, k, 0.8);
+            prop_assert!(
+                stationary_average_generosity(&low)
+                    >= stationary_average_generosity(&high) - 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The action-observed IGT variant (remark after Definition 2.1).
+//!
+//! Definition 2.1 types transitions by the opponent's *strategy*; the paper
+//! remarks that for sufficiently large `δ`, essentially the same dynamics
+//! arise when transitions are driven by *observed game actions*, because a
+//! long game reveals the opponent's type with high probability. Here the
+//! GTFT initiator actually plays a full repeated donation game against the
+//! responder's materialized strategy and classifies the opponent from the
+//! action record; experiment E14 measures both the misclassification rate
+//! and the induced deviation from the strategy-typed dynamics.
+
+use crate::params::IgtConfig;
+use crate::state::AgentState;
+use popgame_game::monte_carlo::play_repeated_game;
+use popgame_game::strategy::MemoryOneStrategy;
+use popgame_population::protocol::{EnumerableProtocol, Protocol};
+use popgame_util::rng::stream_rng;
+use rand::Rng;
+
+/// How a GTFT initiator classifies its opponent from observed actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Classifier {
+    /// Defector iff the opponent defected in strictly more than half of the
+    /// rounds — robust to the occasional defection echo, the classifier the
+    /// paper's "high probability" remark suggests.
+    #[default]
+    MajorityDefection,
+    /// Defector iff the opponent defected at least once — trigger-happy;
+    /// included to show *why* majority classification is needed.
+    AnyDefection,
+}
+
+impl Classifier {
+    /// Applies the rule to an opponent's defection record.
+    pub fn classifies_as_defector(&self, opponent_defections: u64, rounds: u64) -> bool {
+        match self {
+            Classifier::MajorityDefection => 2 * opponent_defections > rounds,
+            Classifier::AnyDefection => opponent_defections > 0,
+        }
+    }
+}
+
+/// The action-observed `k`-IGT protocol: play a game, classify, update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedIgtProtocol {
+    config: IgtConfig,
+    classifier: Classifier,
+}
+
+impl ObservedIgtProtocol {
+    /// Builds the protocol.
+    pub fn new(config: IgtConfig, classifier: Classifier) -> Self {
+        Self { config, classifier }
+    }
+
+    /// The classification rule in use.
+    pub fn classifier(&self) -> Classifier {
+        self.classifier
+    }
+
+    fn memory_one(&self, state: AgentState) -> MemoryOneStrategy {
+        let grid = self.config.grid();
+        let s1 = self.config.game().s1();
+        match state {
+            AgentState::AllC => MemoryOneStrategy::all_c(),
+            AgentState::AllD => MemoryOneStrategy::all_d(),
+            AgentState::Gtft { level } => MemoryOneStrategy::gtft(grid.value(level), s1),
+        }
+    }
+
+    /// Plays one game as the initiator at `level` against `responder` and
+    /// returns whether the responder was classified as a defector.
+    pub fn classify_opponent<R: Rng + ?Sized>(
+        &self,
+        level: usize,
+        responder: AgentState,
+        rng: &mut R,
+    ) -> bool {
+        let initiator = self.memory_one(AgentState::Gtft { level });
+        let opponent = self.memory_one(responder);
+        let outcome = play_repeated_game(&initiator, &opponent, &self.config.game(), None, rng);
+        let defections = outcome.rounds - outcome.col_cooperations;
+        self.classifier
+            .classifies_as_defector(defections, outcome.rounds)
+    }
+}
+
+impl Protocol for ObservedIgtProtocol {
+    type State = AgentState;
+
+    fn interact<R: Rng + ?Sized>(
+        &self,
+        initiator: AgentState,
+        responder: AgentState,
+        rng: &mut R,
+    ) -> (AgentState, AgentState) {
+        let grid = self.config.grid();
+        let new_initiator = match initiator {
+            AgentState::Gtft { level } => {
+                let defector = self.classify_opponent(level, responder, rng);
+                let next = if defector {
+                    grid.decrement(level)
+                } else {
+                    grid.increment(level)
+                };
+                AgentState::Gtft { level: next }
+            }
+            fixed => fixed,
+        };
+        (new_initiator, responder)
+    }
+
+    fn is_one_way(&self) -> bool {
+        true
+    }
+}
+
+impl EnumerableProtocol for ObservedIgtProtocol {
+    fn num_states(&self) -> usize {
+        2 + self.config.grid().k()
+    }
+
+    fn state_index(&self, state: AgentState) -> usize {
+        state.index()
+    }
+
+    fn state_at(&self, index: usize) -> AgentState {
+        AgentState::from_index(index)
+    }
+}
+
+/// Per-opponent-type misclassification rates of the observed dynamics
+/// relative to the strategy-typed rule (experiment E14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MisclassificationReport {
+    /// P(classified defector | opponent AC) — should be ~0.
+    pub ac_as_defector: f64,
+    /// P(classified cooperator | opponent AD) — should be ~0.
+    pub ad_as_cooperator: f64,
+    /// P(classified defector | opponent GTFT at the top level) — the
+    /// interesting rate; shrinks as `δ → 1`.
+    pub gtft_as_defector: f64,
+}
+
+/// Measures misclassification rates with `reps` games per opponent type,
+/// using the top-level GTFT initiator (the stationary bulk for `λ > 1`).
+pub fn misclassification_rates(
+    config: &IgtConfig,
+    classifier: Classifier,
+    reps: u64,
+    seed: u64,
+) -> MisclassificationReport {
+    let protocol = ObservedIgtProtocol::new(*config, classifier);
+    let top = config.grid().k() - 1;
+    let rate = |opponent: AgentState, as_defector: bool, stream: u64| {
+        let mut hits = 0u64;
+        for rep in 0..reps {
+            let mut rng = stream_rng(seed, stream * reps + rep);
+            let classified = protocol.classify_opponent(top, opponent, &mut rng);
+            if classified == as_defector {
+                hits += 1;
+            }
+        }
+        hits as f64 / reps as f64
+    };
+    MisclassificationReport {
+        ac_as_defector: rate(AgentState::AllC, true, 0),
+        ad_as_cooperator: 1.0 - rate(AgentState::AllD, true, 1),
+        gtft_as_defector: rate(AgentState::Gtft { level: top }, true, 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{GenerosityGrid, PopulationComposition};
+    use popgame_game::params::GameParams;
+    use popgame_util::rng::rng_from_seed;
+
+    fn config(delta: f64, s1: f64) -> IgtConfig {
+        IgtConfig::new(
+            PopulationComposition::new(0.3, 0.2, 0.5).unwrap(),
+            GenerosityGrid::new(4, 0.6).unwrap(),
+            GameParams::new(2.0, 0.5, delta, s1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn classifier_rules() {
+        assert!(Classifier::MajorityDefection.classifies_as_defector(3, 5));
+        assert!(!Classifier::MajorityDefection.classifies_as_defector(2, 5));
+        assert!(Classifier::AnyDefection.classifies_as_defector(1, 10));
+        assert!(!Classifier::AnyDefection.classifies_as_defector(0, 10));
+    }
+
+    #[test]
+    fn ad_always_classified_as_defector() {
+        let p = ObservedIgtProtocol::new(config(0.9, 0.95), Classifier::MajorityDefection);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..200 {
+            assert!(p.classify_opponent(2, AgentState::AllD, &mut rng));
+        }
+    }
+
+    #[test]
+    fn ac_never_classified_as_defector() {
+        let p = ObservedIgtProtocol::new(config(0.9, 0.95), Classifier::MajorityDefection);
+        let mut rng = rng_from_seed(2);
+        for _ in 0..200 {
+            assert!(!p.classify_opponent(2, AgentState::AllC, &mut rng));
+        }
+    }
+
+    #[test]
+    fn transitions_match_strategy_typed_rule_for_fixed_opponents() {
+        let p = ObservedIgtProtocol::new(config(0.9, 0.95), Classifier::MajorityDefection);
+        let mut rng = rng_from_seed(3);
+        let g1 = AgentState::Gtft { level: 1 };
+        assert_eq!(
+            p.interact(g1, AgentState::AllC, &mut rng).0,
+            AgentState::Gtft { level: 2 }
+        );
+        assert_eq!(
+            p.interact(g1, AgentState::AllD, &mut rng).0,
+            AgentState::Gtft { level: 0 }
+        );
+        // Fixed agents never move; responder untouched (one-way).
+        assert_eq!(
+            p.interact(AgentState::AllC, g1, &mut rng),
+            (AgentState::AllC, g1)
+        );
+        assert!(p.is_one_way());
+        assert_eq!(p.num_states(), 6);
+        assert_eq!(p.state_at(3), AgentState::Gtft { level: 1 });
+        assert_eq!(p.state_index(AgentState::Gtft { level: 1 }), 3);
+        assert_eq!(p.classifier(), Classifier::MajorityDefection);
+    }
+
+    #[test]
+    fn misclassification_shrinks_as_delta_grows() {
+        // Higher δ → longer games → majority vote more reliable for GTFT
+        // opponents (with s1 high and generous partners, cooperation
+        // dominates).
+        let low = misclassification_rates(
+            &config(0.5, 0.95),
+            Classifier::MajorityDefection,
+            3_000,
+            9,
+        );
+        let high = misclassification_rates(
+            &config(0.97, 0.95),
+            Classifier::MajorityDefection,
+            3_000,
+            9,
+        );
+        assert!(low.ac_as_defector < 1e-9);
+        assert!(low.ad_as_cooperator < 1e-9);
+        assert!(
+            high.gtft_as_defector <= low.gtft_as_defector + 0.01,
+            "δ=0.97 rate {} vs δ=0.5 rate {}",
+            high.gtft_as_defector,
+            low.gtft_as_defector
+        );
+        assert!(high.gtft_as_defector < 0.15);
+    }
+
+    #[test]
+    fn any_defection_is_harsher_than_majority() {
+        let cfg = config(0.95, 0.95);
+        let majority =
+            misclassification_rates(&cfg, Classifier::MajorityDefection, 2_000, 10);
+        let any = misclassification_rates(&cfg, Classifier::AnyDefection, 2_000, 10);
+        assert!(any.gtft_as_defector > majority.gtft_as_defector);
+    }
+}

@@ -1,0 +1,462 @@
+//! Birth–death (tridiagonal) chains on `{0, 1, …, N}`.
+//!
+//! The first coordinate of the `(2,a,b,m)`-Ehrenfest process is exactly a
+//! birth–death chain (eq. (11) of the paper): from load `x`, a birth occurs
+//! with probability `b(m−x)/m` and a death with probability `a·x/m`. Because
+//! the state space is a path, the stationary law has a product form and TV
+//! profiles cost `O(N)` per step — this is what makes the cutoff experiment
+//! (Remark 2.6) exact for `m` in the thousands.
+
+use crate::chain::FiniteChain;
+use crate::error::MarkovError;
+use popgame_dist::divergence::tv_distance;
+
+/// A birth–death chain on `{0, …, N}` with per-state birth/death rates.
+///
+/// `up[i]` is `P(i → i+1)` and `down[i]` is `P(i → i−1)`; the chain holds
+/// with the leftover probability.
+///
+/// # Example
+///
+/// ```
+/// use popgame_markov::birth_death::BirthDeathChain;
+///
+/// // Lazy symmetric walk on {0, 1, 2}.
+/// let bd = BirthDeathChain::new(vec![0.25, 0.25, 0.0], vec![0.0, 0.25, 0.25]).unwrap();
+/// let pi = bd.stationary();
+/// assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!((pi[0] - pi[2]).abs() < 1e-12); // symmetric chain
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BirthDeathChain {
+    up: Vec<f64>,
+    down: Vec<f64>,
+}
+
+impl BirthDeathChain {
+    /// Creates the chain from birth probabilities `up` and death
+    /// probabilities `down` (same length `N + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidParameter`] when:
+    /// * the vectors are empty or have different lengths;
+    /// * any entry is negative, non-finite, or `up[i] + down[i] > 1`;
+    /// * `down[0] != 0` or `up[N] != 0` (moves off the path);
+    /// * some interior `up[i]` or `down[i]` is zero (the chain must be
+    ///   irreducible so the stationary law is unique).
+    pub fn new(up: Vec<f64>, down: Vec<f64>) -> Result<Self, MarkovError> {
+        if up.is_empty() || up.len() != down.len() {
+            return Err(MarkovError::InvalidParameter {
+                reason: format!(
+                    "up/down must be equal-length and non-empty (got {} and {})",
+                    up.len(),
+                    down.len()
+                ),
+            });
+        }
+        let n = up.len() - 1;
+        for i in 0..=n {
+            let (u, d) = (up[i], down[i]);
+            if !u.is_finite() || !d.is_finite() || u < 0.0 || d < 0.0 || u + d > 1.0 + 1e-12 {
+                return Err(MarkovError::InvalidParameter {
+                    reason: format!("rates at state {i} invalid: up = {u}, down = {d}"),
+                });
+            }
+        }
+        if down[0] != 0.0 {
+            return Err(MarkovError::InvalidParameter {
+                reason: "down[0] must be 0 (no state below 0)".into(),
+            });
+        }
+        if up[n] != 0.0 {
+            return Err(MarkovError::InvalidParameter {
+                reason: format!("up[{n}] must be 0 (no state above N)"),
+            });
+        }
+        if n > 0 {
+            for i in 0..n {
+                if up[i] == 0.0 {
+                    return Err(MarkovError::InvalidParameter {
+                        reason: format!("up[{i}] = 0 disconnects the chain"),
+                    });
+                }
+                if down[i + 1] == 0.0 {
+                    return Err(MarkovError::InvalidParameter {
+                        reason: format!("down[{}] = 0 disconnects the chain", i + 1),
+                    });
+                }
+            }
+        }
+        Ok(Self { up, down })
+    }
+
+    /// Number of states `N + 1`.
+    pub fn len(&self) -> usize {
+        self.up.len()
+    }
+
+    /// `true` when the chain has no states (cannot occur after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.up.is_empty()
+    }
+
+    /// Birth probability at state `i`.
+    pub fn up(&self, i: usize) -> f64 {
+        self.up[i]
+    }
+
+    /// Death probability at state `i`.
+    pub fn down(&self, i: usize) -> f64 {
+        self.down[i]
+    }
+
+    /// Holding probability at state `i`.
+    pub fn hold(&self, i: usize) -> f64 {
+        1.0 - self.up[i] - self.down[i]
+    }
+
+    /// The stationary distribution via the detailed-balance product formula
+    /// `π(i) ∝ Π_{j=1}^{i} up[j−1] / down[j]`.
+    ///
+    /// Computed in log-space to avoid overflow on long paths, then
+    /// normalized.
+    pub fn stationary(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut log_w = vec![0.0f64; n];
+        for i in 1..n {
+            log_w[i] = log_w[i - 1] + self.up[i - 1].ln() - self.down[i].ln();
+        }
+        let log_norm = popgame_util::numeric::log_sum_exp(&log_w);
+        log_w.iter().map(|lw| (lw - log_norm).exp()).collect()
+    }
+
+    /// One exact step of a distribution under the chain: `ν ↦ νP` in `O(N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nu.len() != self.len()`.
+    pub fn step_distribution(&self, nu: &[f64]) -> Vec<f64> {
+        assert_eq!(nu.len(), self.len(), "distribution length mismatch");
+        let n = self.len();
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let mass = nu[i];
+            if mass == 0.0 {
+                continue;
+            }
+            out[i] += mass * self.hold(i);
+            if self.up[i] > 0.0 {
+                out[i + 1] += mass * self.up[i];
+            }
+            if self.down[i] > 0.0 {
+                out[i - 1] += mass * self.down[i];
+            }
+        }
+        out
+    }
+
+    /// Exact TV profile `t ↦ max over starts ‖P^t(x) − π‖_TV` in
+    /// `O(starts · N)` per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidParameter`] when `starts` is empty or
+    /// out of range.
+    pub fn distance_profile(
+        &self,
+        starts: &[usize],
+        t_max: usize,
+    ) -> Result<Vec<f64>, MarkovError> {
+        if starts.is_empty() || starts.iter().any(|&s| s >= self.len()) {
+            return Err(MarkovError::InvalidParameter {
+                reason: "starts must be non-empty and within range".into(),
+            });
+        }
+        let pi = self.stationary();
+        let mut dists: Vec<Vec<f64>> = starts
+            .iter()
+            .map(|&s| {
+                let mut nu = vec![0.0; self.len()];
+                nu[s] = 1.0;
+                nu
+            })
+            .collect();
+        let mut profile = Vec::with_capacity(t_max + 1);
+        for t in 0..=t_max {
+            let worst = dists
+                .iter()
+                .map(|nu| tv_distance(nu, &pi).expect("lengths match"))
+                .fold(0.0, f64::max);
+            profile.push(worst);
+            if t < t_max {
+                for nu in dists.iter_mut() {
+                    *nu = self.step_distribution(nu);
+                }
+            }
+        }
+        Ok(profile)
+    }
+
+    /// Exact mixing time from the given starts, or `None` within `t_max`.
+    ///
+    /// Early-exits at the first crossing instead of materializing the full
+    /// profile, so generous `t_max` budgets cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`distance_profile`](Self::distance_profile).
+    pub fn mixing_time(
+        &self,
+        starts: &[usize],
+        threshold: f64,
+        t_max: usize,
+    ) -> Result<Option<usize>, MarkovError> {
+        if starts.is_empty() || starts.iter().any(|&s| s >= self.len()) {
+            return Err(MarkovError::InvalidParameter {
+                reason: "starts must be non-empty and within range".into(),
+            });
+        }
+        let pi = self.stationary();
+        let mut dists: Vec<Vec<f64>> = starts
+            .iter()
+            .map(|&s| {
+                let mut nu = vec![0.0; self.len()];
+                nu[s] = 1.0;
+                nu
+            })
+            .collect();
+        for t in 0..=t_max {
+            let worst = dists
+                .iter()
+                .map(|nu| tv_distance(nu, &pi).expect("lengths match"))
+                .fold(0.0, f64::max);
+            if worst <= threshold {
+                return Ok(Some(t));
+            }
+            if t < t_max {
+                for nu in dists.iter_mut() {
+                    *nu = self.step_distribution(nu);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Expected hitting time of state `target` starting from `from`, via the
+    /// standard birth–death first-passage sums.
+    ///
+    /// For `from < target`: `E = Σ_{i=from}^{target−1} h_i` where
+    /// `h_i = (1/up[i]) Σ_{j≤i} π(j)/π(i)`. Symmetric for `from > target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidParameter`] on out-of-range states.
+    pub fn expected_hitting_time(&self, from: usize, target: usize) -> Result<f64, MarkovError> {
+        let n = self.len();
+        if from >= n || target >= n {
+            return Err(MarkovError::InvalidParameter {
+                reason: "state out of range".into(),
+            });
+        }
+        if from == target {
+            return Ok(0.0);
+        }
+        let pi = self.stationary();
+        if from < target {
+            // Upward passage: h_i = E[time i -> i+1].
+            let mut total = 0.0;
+            for i in from..target {
+                let mut below: f64 = pi[..=i].iter().sum();
+                below /= pi[i] * self.up[i];
+                total += below;
+            }
+            Ok(total)
+        } else {
+            let mut total = 0.0;
+            for i in (target + 1..=from).rev() {
+                let mut above: f64 = pi[i..].iter().sum();
+                above /= pi[i] * self.down[i];
+                total += above;
+            }
+            Ok(total)
+        }
+    }
+
+    /// Converts to a general [`FiniteChain`] (for cross-validation against
+    /// the dense machinery).
+    pub fn to_finite_chain(&self) -> FiniteChain {
+        FiniteChain::from_fn(self.len(), |i| {
+            let mut row = Vec::with_capacity(3);
+            let hold = self.hold(i);
+            if hold > 0.0 {
+                row.push((i, hold));
+            }
+            if self.up[i] > 0.0 {
+                row.push((i + 1, self.up[i]));
+            }
+            if self.down[i] > 0.0 {
+                row.push((i - 1, self.down[i]));
+            }
+            row
+        })
+        .expect("validated birth-death chain is stochastic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lazy_symmetric(n: usize) -> BirthDeathChain {
+        let mut up = vec![0.25; n + 1];
+        let mut down = vec![0.25; n + 1];
+        up[n] = 0.0;
+        down[0] = 0.0;
+        BirthDeathChain::new(up, down).unwrap()
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(BirthDeathChain::new(vec![], vec![]).is_err());
+        assert!(BirthDeathChain::new(vec![0.5], vec![0.1, 0.2]).is_err());
+        assert!(BirthDeathChain::new(vec![0.8, 0.0], vec![0.0, 0.8]).is_ok());
+        // down[0] != 0
+        assert!(BirthDeathChain::new(vec![0.5, 0.0], vec![0.1, 0.5]).is_err());
+        // up[N] != 0
+        assert!(BirthDeathChain::new(vec![0.5, 0.5], vec![0.0, 0.5]).is_err());
+        // up + down > 1
+        assert!(BirthDeathChain::new(vec![0.7, 0.0], vec![0.0, 0.7]).is_ok());
+        assert!(BirthDeathChain::new(vec![1.2, 0.0], vec![0.0, 0.3]).is_err());
+        // disconnected interior
+        assert!(BirthDeathChain::new(vec![0.0, 0.5, 0.0], vec![0.0, 0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn stationary_of_symmetric_chain_is_uniform() {
+        let bd = lazy_symmetric(5);
+        let pi = bd.stationary();
+        for &p in &pi {
+            assert!((p - 1.0 / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stationary_matches_power_iteration() {
+        // Asymmetric rates.
+        let n = 6;
+        let mut up = vec![0.4; n + 1];
+        let mut down = vec![0.2; n + 1];
+        up[n] = 0.0;
+        down[0] = 0.0;
+        let bd = BirthDeathChain::new(up, down).unwrap();
+        let pi_product = bd.stationary();
+        let pi_power = bd
+            .to_finite_chain()
+            .stationary_power_iteration(1e-13, 2_000_000)
+            .unwrap();
+        for (a, b) in pi_product.iter().zip(pi_power.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ehrenfest_projection_stationary_is_binomial() {
+        // eq. (11) with a = b = 1/2: up = (m-x)/(2m), down = x/(2m);
+        // stationary must be Binomial(m, 1/2).
+        let m = 10usize;
+        let up: Vec<f64> = (0..=m).map(|x| (m - x) as f64 / (2 * m) as f64).collect();
+        let down: Vec<f64> = (0..=m).map(|x| x as f64 / (2 * m) as f64).collect();
+        let bd = BirthDeathChain::new(up, down).unwrap();
+        let pi = bd.stationary();
+        let binom = popgame_dist::binomial::Binomial::new(m as u64, 0.5).unwrap();
+        for x in 0..=m {
+            assert!(
+                (pi[x] - binom.pmf(x as u64)).abs() < 1e-12,
+                "x = {x}: {} vs {}",
+                pi[x],
+                binom.pmf(x as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn step_distribution_conserves_mass() {
+        let bd = lazy_symmetric(4);
+        let mut nu = vec![0.0; 5];
+        nu[2] = 1.0;
+        for _ in 0..10 {
+            nu = bd.step_distribution(&nu);
+            assert!((nu.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn profile_decreases_and_mixing_time_found() {
+        let bd = lazy_symmetric(8);
+        let profile = bd.distance_profile(&[0, 8], 2_000).unwrap();
+        assert!(profile[0] > 0.8);
+        assert!(*profile.last().unwrap() < 0.01);
+        let tmix = bd.mixing_time(&[0, 8], 0.25, 2_000).unwrap().unwrap();
+        assert!(tmix > 0);
+        assert!(profile[tmix] <= 0.25 && profile[tmix - 1] > 0.25);
+    }
+
+    #[test]
+    fn profile_error_paths() {
+        let bd = lazy_symmetric(3);
+        assert!(bd.distance_profile(&[], 10).is_err());
+        assert!(bd.distance_profile(&[99], 10).is_err());
+    }
+
+    #[test]
+    fn hitting_time_symmetric_walk_matches_theory() {
+        // Lazy symmetric walk with uniform stationary law: the one-step
+        // passage times satisfy h_i = 4(i + 1), so the full crossing costs
+        // Σ 4(i+1) = 2 N (N + 1).
+        let n = 6;
+        let bd = lazy_symmetric(n);
+        let t = bd.expected_hitting_time(0, n).unwrap();
+        let expect = 2.0 * (n * (n + 1)) as f64;
+        assert!((t - expect).abs() < 1e-6, "expected {expect}, got {t}");
+        // And symmetric from the other side.
+        let t_rev = bd.expected_hitting_time(n, 0).unwrap();
+        assert!((t - t_rev).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hitting_time_same_state_is_zero() {
+        let bd = lazy_symmetric(3);
+        assert_eq!(bd.expected_hitting_time(2, 2).unwrap(), 0.0);
+        assert!(bd.expected_hitting_time(9, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stationary_is_pmf(n in 1usize..20, u in 0.05..0.45f64, d in 0.05..0.45f64) {
+            let mut up = vec![u; n + 1];
+            let mut down = vec![d; n + 1];
+            up[n] = 0.0;
+            down[0] = 0.0;
+            let bd = BirthDeathChain::new(up, down).unwrap();
+            let pi = bd.stationary();
+            prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(pi.iter().all(|&p| p >= 0.0));
+        }
+
+        #[test]
+        fn prop_stationary_fixed_point(n in 1usize..15, u in 0.05..0.45f64, d in 0.05..0.45f64) {
+            let mut up = vec![u; n + 1];
+            let mut down = vec![d; n + 1];
+            up[n] = 0.0;
+            down[0] = 0.0;
+            let bd = BirthDeathChain::new(up, down).unwrap();
+            let pi = bd.stationary();
+            let next = bd.step_distribution(&pi);
+            for (a, b) in next.iter().zip(pi.iter()) {
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Sparse finite Markov chains over states `0..n`.
+//!
+//! The exact analysis of the `(k,a,b,m)`-Ehrenfest process enumerates the
+//! simplex `∆^m_k`, builds the transition matrix of Definition 2.3 as a
+//! [`FiniteChain`], and then computes stationary distributions and TV
+//! profiles exactly. Rows are stored sparsely because each Ehrenfest state
+//! has at most `2(k−1)` neighbors.
+
+use crate::error::MarkovError;
+use popgame_util::numeric::KahanSum;
+
+/// Tolerance for validating that rows sum to one.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A finite Markov chain with sparse row-stochastic transitions.
+///
+/// # Example
+///
+/// ```
+/// use popgame_markov::chain::FiniteChain;
+///
+/// // Deterministic 3-cycle.
+/// let chain = FiniteChain::from_rows(vec![
+///     vec![(1, 1.0)],
+///     vec![(2, 1.0)],
+///     vec![(0, 1.0)],
+/// ]).unwrap();
+/// assert_eq!(chain.len(), 3);
+/// let next = chain.step_distribution(&[1.0, 0.0, 0.0]);
+/// assert_eq!(next, vec![0.0, 1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiniteChain {
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl FiniteChain {
+    /// Builds a chain from sparse rows: `rows[x]` lists `(y, P(x, y))` with
+    /// strictly positive probabilities.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::EmptyChain`] when `rows` is empty.
+    /// * [`MarkovError::NotStochastic`] when a row has a negative,
+    ///   non-finite, or out-of-range entry, a duplicated column, or does not
+    ///   sum to 1 within `1e-9`.
+    pub fn from_rows(rows: Vec<Vec<(usize, f64)>>) -> Result<Self, MarkovError> {
+        if rows.is_empty() {
+            return Err(MarkovError::EmptyChain);
+        }
+        let n = rows.len();
+        for (x, row) in rows.iter().enumerate() {
+            let mut sum = KahanSum::new();
+            let mut seen = std::collections::HashSet::new();
+            for &(y, p) in row {
+                if y >= n {
+                    return Err(MarkovError::NotStochastic {
+                        row: x,
+                        reason: format!("target state {y} out of range (n = {n})"),
+                    });
+                }
+                if !p.is_finite() || p < 0.0 {
+                    return Err(MarkovError::NotStochastic {
+                        row: x,
+                        reason: format!("probability {p} to state {y} invalid"),
+                    });
+                }
+                if !seen.insert(y) {
+                    return Err(MarkovError::NotStochastic {
+                        row: x,
+                        reason: format!("duplicate column {y}"),
+                    });
+                }
+                sum.add(p);
+            }
+            if (sum.value() - 1.0).abs() > ROW_SUM_TOL {
+                return Err(MarkovError::NotStochastic {
+                    row: x,
+                    reason: format!("row sums to {}", sum.value()),
+                });
+            }
+        }
+        Ok(Self { rows })
+    }
+
+    /// Builds a chain by evaluating `row_fn(x)` for every state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_rows`](Self::from_rows).
+    pub fn from_fn<F>(n: usize, row_fn: F) -> Result<Self, MarkovError>
+    where
+        F: FnMut(usize) -> Vec<(usize, f64)>,
+    {
+        Self::from_rows((0..n).map(row_fn).collect())
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the chain has no states (cannot occur after construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The sparse row for state `x`.
+    pub fn row(&self, x: usize) -> &[(usize, f64)] {
+        &self.rows[x]
+    }
+
+    /// Entry `P(x, y)` (zero when absent from the sparse row).
+    pub fn prob(&self, x: usize, y: usize) -> f64 {
+        self.rows[x]
+            .iter()
+            .find(|&&(col, _)| col == y)
+            .map_or(0.0, |&(_, p)| p)
+    }
+
+    /// One exact step of the distribution: `ν ↦ νP`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nu.len() != self.len()`.
+    pub fn step_distribution(&self, nu: &[f64]) -> Vec<f64> {
+        assert_eq!(nu.len(), self.len(), "distribution length mismatch");
+        let mut out = vec![0.0; self.len()];
+        for (x, row) in self.rows.iter().enumerate() {
+            let mass = nu[x];
+            if mass == 0.0 {
+                continue;
+            }
+            for &(y, p) in row {
+                out[y] += mass * p;
+            }
+        }
+        out
+    }
+
+    /// Stationary distribution by power iteration from the uniform start.
+    ///
+    /// Converges for irreducible aperiodic chains (all chains in this
+    /// workspace are lazy, hence aperiodic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NoConvergence`] when the L1 change between
+    /// successive iterates stays above `tol` for `max_iter` iterations.
+    pub fn stationary_power_iteration(
+        &self,
+        tol: f64,
+        max_iter: usize,
+    ) -> Result<Vec<f64>, MarkovError> {
+        let n = self.len();
+        let mut nu = vec![1.0 / n as f64; n];
+        for _ in 0..max_iter {
+            let next = self.step_distribution(&nu);
+            let delta: f64 = next
+                .iter()
+                .zip(nu.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            nu = next;
+            if delta < tol {
+                return Ok(nu);
+            }
+        }
+        let residual: f64 = {
+            let next = self.step_distribution(&nu);
+            next.iter().zip(nu.iter()).map(|(a, b)| (a - b).abs()).sum()
+        };
+        Err(MarkovError::NoConvergence {
+            iterations: max_iter,
+            residual,
+        })
+    }
+
+    /// Maximum residual of the detailed-balance equations
+    /// `π(x) P(x,y) = π(y) P(y,x)` over all transitions present in the chain.
+    ///
+    /// A reversible chain with stationary law `π` has residual ~0; this is
+    /// how Theorem 2.4's claimed stationary pmf is *verified* rather than
+    /// assumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidDistribution`] when `pi` has the wrong
+    /// length.
+    pub fn detailed_balance_residual(&self, pi: &[f64]) -> Result<f64, MarkovError> {
+        if pi.len() != self.len() {
+            return Err(MarkovError::InvalidDistribution {
+                reason: format!("pi length {} != chain size {}", pi.len(), self.len()),
+            });
+        }
+        let mut worst = 0.0f64;
+        for (x, row) in self.rows.iter().enumerate() {
+            for &(y, pxy) in row {
+                let flow_forward = pi[x] * pxy;
+                let flow_backward = pi[y] * self.prob(y, x);
+                worst = worst.max((flow_forward - flow_backward).abs());
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Maximum residual of the stationarity equations `πP = π` (L∞ norm).
+    ///
+    /// Unlike detailed balance this also certifies non-reversible chains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidDistribution`] when `pi` has the wrong
+    /// length.
+    pub fn stationarity_residual(&self, pi: &[f64]) -> Result<f64, MarkovError> {
+        if pi.len() != self.len() {
+            return Err(MarkovError::InvalidDistribution {
+                reason: format!("pi length {} != chain size {}", pi.len(), self.len()),
+            });
+        }
+        let next = self.step_distribution(pi);
+        Ok(next
+            .iter()
+            .zip(pi.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lazy_two_state(p_stay: f64) -> FiniteChain {
+        FiniteChain::from_rows(vec![
+            vec![(0, p_stay), (1, 1.0 - p_stay)],
+            vec![(0, 1.0 - p_stay), (1, p_stay)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn constructor_rejects_bad_rows() {
+        assert!(matches!(
+            FiniteChain::from_rows(vec![]),
+            Err(MarkovError::EmptyChain)
+        ));
+        assert!(FiniteChain::from_rows(vec![vec![(0, 0.5)]]).is_err()); // sum != 1
+        assert!(FiniteChain::from_rows(vec![vec![(1, 1.0)]]).is_err()); // out of range
+        assert!(FiniteChain::from_rows(vec![vec![(0, -1.0), (0, 2.0)]]).is_err()); // negative
+        assert!(FiniteChain::from_rows(vec![vec![(0, 0.5), (0, 0.5)]]).is_err()); // duplicate
+        assert!(FiniteChain::from_rows(vec![vec![(0, f64::NAN)]]).is_err());
+    }
+
+    #[test]
+    fn prob_lookup() {
+        let c = lazy_two_state(0.7);
+        assert_eq!(c.prob(0, 0), 0.7);
+        assert!((c.prob(0, 1) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn step_distribution_conserves_mass() {
+        let c = lazy_two_state(0.9);
+        let nu = c.step_distribution(&[0.25, 0.75]);
+        assert!((nu.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_of_symmetric_chain_is_uniform() {
+        let c = lazy_two_state(0.6);
+        let pi = c.stationary_power_iteration(1e-13, 100_000).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+        assert!(c.detailed_balance_residual(&pi).unwrap() < 1e-9);
+        assert!(c.stationarity_residual(&pi).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_of_asymmetric_chain() {
+        // P(0->1) = 0.2, P(1->0) = 0.1 → pi = (1/3, 2/3).
+        let c = FiniteChain::from_rows(vec![
+            vec![(0, 0.8), (1, 0.2)],
+            vec![(0, 0.1), (1, 0.9)],
+        ])
+        .unwrap();
+        let pi = c.stationary_power_iteration(1e-13, 200_000).unwrap();
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-8);
+        assert!((pi[1] - 2.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn periodic_chain_fails_power_iteration_from_point_mass() {
+        // The deterministic 2-cycle has uniform stationary law, and power
+        // iteration *from uniform* converges immediately; verify that the
+        // solver exploits this rather than diverging.
+        let c = FiniteChain::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]).unwrap();
+        let pi = c.stationary_power_iteration(1e-12, 10).unwrap();
+        assert_eq!(pi, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn no_convergence_error_reports_residual() {
+        // A 3-cycle from uniform converges instantly, so use a shifted start
+        // via a non-uniform-friendly chain: 2-cycle is fine from uniform, so
+        // instead force max_iter = 0 equivalent by a tiny budget on a slowly
+        // mixing chain.
+        let eps = 1e-6;
+        let c = FiniteChain::from_rows(vec![
+            vec![(0, 1.0 - eps), (1, eps)],
+            vec![(0, eps / 2.0), (1, 1.0 - eps / 2.0)],
+        ])
+        .unwrap();
+        let err = c.stationary_power_iteration(1e-15, 3).unwrap_err();
+        assert!(matches!(err, MarkovError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn detailed_balance_distinguishes_nonreversible() {
+        // Biased 3-cycle: stationary is uniform but the chain is NOT
+        // reversible; detailed balance must fail while stationarity holds.
+        let c = FiniteChain::from_rows(vec![
+            vec![(1, 0.9), (2, 0.1)],
+            vec![(2, 0.9), (0, 0.1)],
+            vec![(0, 0.9), (1, 0.1)],
+        ])
+        .unwrap();
+        let uniform = vec![1.0 / 3.0; 3];
+        assert!(c.stationarity_residual(&uniform).unwrap() < 1e-12);
+        assert!(c.detailed_balance_residual(&uniform).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn residual_length_mismatch_errors() {
+        let c = lazy_two_state(0.5);
+        assert!(c.detailed_balance_residual(&[1.0]).is_err());
+        assert!(c.stationarity_residual(&[1.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_step_preserves_probability(
+            p_stay in 0.05..0.95f64,
+            mass in 0.0..1.0f64,
+        ) {
+            let c = lazy_two_state(p_stay);
+            let nu = [mass, 1.0 - mass];
+            let out = c.step_distribution(&nu);
+            prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            prop_assert!(out.iter().all(|&x| x >= 0.0));
+        }
+
+        #[test]
+        fn prop_stationary_is_fixed_point(p_stay in 0.1..0.9f64) {
+            let c = lazy_two_state(p_stay);
+            let pi = c.stationary_power_iteration(1e-13, 100_000).unwrap();
+            let next = c.step_distribution(&pi);
+            for (a, b) in next.iter().zip(pi.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Generic coupling framework for mixing-time upper bounds.
+//!
+//! The paper's Theorem 2.5 upper bound works through the standard coupling
+//! inequality (Levin–Peres Cor. 5.5, restated as eq. (22)):
+//! `d(t) ≤ max_{x,y} P(τ_couple > t)`. Estimating the tail of the coupling
+//! time from Monte-Carlo replicas therefore yields a *certified* upper
+//! bound on `t_mix` up to sampling error, at any state-space size — this is
+//! the only tool that scales to `∆^m_k` with billions of states.
+
+use crate::error::MarkovError;
+use popgame_util::rng::stream_rng;
+use popgame_util::stats::RunningStats;
+
+/// A coupling of two copies of a Markov chain: both margins must evolve
+/// according to the chain's transition law, and once the copies meet they
+/// stay together.
+///
+/// Implementors supply the joint step; the framework measures coalescence.
+pub trait Coupling {
+    /// Advances the joint process one step using the supplied randomness.
+    fn step<R: rand::Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Whether the two copies have met.
+    fn has_coalesced(&self) -> bool;
+}
+
+/// Summary of a batch of simulated coupling times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingTimes {
+    /// Coupling time per replica; `None` when the cap was hit first.
+    pub times: Vec<Option<u64>>,
+    /// The step cap used.
+    pub cap: u64,
+}
+
+impl CouplingTimes {
+    /// Fraction of replicas that coalesced within the cap.
+    pub fn coalesced_fraction(&self) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let done = self.times.iter().filter(|t| t.is_some()).count();
+        done as f64 / self.times.len() as f64
+    }
+
+    /// Statistics over the replicas that coalesced.
+    pub fn stats(&self) -> RunningStats {
+        self.times
+            .iter()
+            .flatten()
+            .map(|&t| t as f64)
+            .collect()
+    }
+
+    /// Empirical tail `P(τ > t)`.
+    pub fn tail_probability(&self, t: u64) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let over = self
+            .times
+            .iter()
+            .filter(|time| match time {
+                Some(tt) => *tt > t,
+                None => true, // censored replicas exceeded the cap
+            })
+            .count();
+        over as f64 / self.times.len() as f64
+    }
+
+    /// A Monte-Carlo upper bound on the mixing time at the given TV
+    /// threshold: the smallest `t` with empirical `P(τ > t) ≤ threshold`,
+    /// via the coupling inequality `d(t) ≤ P(τ > t)`.
+    ///
+    /// Returns `None` when even the cap does not push the tail below the
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidParameter`] when `threshold ∉ (0, 1)`.
+    pub fn mixing_time_upper_bound(&self, threshold: f64) -> Result<Option<u64>, MarkovError> {
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return Err(MarkovError::InvalidParameter {
+                reason: format!("threshold {threshold} outside (0, 1)"),
+            });
+        }
+        if self.coalesced_fraction() < 1.0 - threshold {
+            return Ok(None);
+        }
+        // The (1 - threshold) empirical quantile of the coupling times.
+        let mut finite: Vec<u64> = self.times.iter().flatten().copied().collect();
+        finite.sort_unstable();
+        let needed = ((1.0 - threshold) * self.times.len() as f64).ceil() as usize;
+        // `needed` replicas must have coalesced by the bound.
+        Ok(Some(finite[needed.saturating_sub(1).min(finite.len() - 1)]))
+    }
+}
+
+/// Runs `reps` independent replicas of a coupling built by `factory`
+/// (invoked with a derived per-replica RNG) and collects coalescence times.
+///
+/// Each replica is stepped at most `cap` times.
+///
+/// # Example
+///
+/// ```
+/// use popgame_markov::coupling::{simulate_coupling_times, Coupling};
+///
+/// // Toy coupling: two tokens on {0,1,2}; the joint step moves both toward
+/// // each other with probability 1/2.
+/// struct Shrink { x: i32, y: i32 }
+/// impl Coupling for Shrink {
+///     fn step<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+///         if self.x != self.y && rng.gen::<bool>() {
+///             self.x += (self.y - self.x).signum();
+///         }
+///     }
+///     fn has_coalesced(&self) -> bool { self.x == self.y }
+/// }
+///
+/// let times = simulate_coupling_times(|_rng| Shrink { x: 0, y: 2 }, 200, 10_000, 7);
+/// assert_eq!(times.coalesced_fraction(), 1.0);
+/// ```
+pub fn simulate_coupling_times<C, F>(mut factory: F, reps: u64, cap: u64, seed: u64) -> CouplingTimes
+where
+    C: Coupling,
+    F: FnMut(&mut rand::rngs::SmallRng) -> C,
+{
+    let mut times = Vec::with_capacity(reps as usize);
+    for rep in 0..reps {
+        let mut rng = stream_rng(seed, rep);
+        let mut coupling = factory(&mut rng);
+        let mut t: u64 = 0;
+        let time = loop {
+            if coupling.has_coalesced() {
+                break Some(t);
+            }
+            if t >= cap {
+                break None;
+            }
+            coupling.step(&mut rng);
+            t += 1;
+        };
+        times.push(time);
+    }
+    CouplingTimes { times, cap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two lazy walkers on a cycle of length `n` moving with the same
+    /// increment — classic coupling that never coalesces unless started
+    /// together (used to exercise the censoring path).
+    struct Parallel {
+        x: u64,
+        y: u64,
+        n: u64,
+    }
+
+    impl Coupling for Parallel {
+        fn step<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+            let delta = if rng.gen::<bool>() { 1 } else { self.n - 1 };
+            self.x = (self.x + delta) % self.n;
+            self.y = (self.y + delta) % self.n;
+        }
+        fn has_coalesced(&self) -> bool {
+            self.x == self.y
+        }
+    }
+
+    /// Independent lazy walkers on {0..n-1} path; coalesce when equal.
+    struct IndependentPath {
+        x: i64,
+        y: i64,
+        n: i64,
+    }
+
+    impl Coupling for IndependentPath {
+        fn step<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+            if self.has_coalesced() {
+                return;
+            }
+            for z in [&mut self.x, &mut self.y] {
+                let u: f64 = rng.gen();
+                if u < 0.25 {
+                    *z = (*z + 1).min(self.n - 1);
+                } else if u < 0.5 {
+                    *z = (*z - 1).max(0);
+                }
+            }
+        }
+        fn has_coalesced(&self) -> bool {
+            self.x == self.y
+        }
+    }
+
+    #[test]
+    fn parallel_coupling_never_coalesces() {
+        let times = simulate_coupling_times(
+            |_| Parallel { x: 0, y: 3, n: 6 },
+            50,
+            2_000,
+            1,
+        );
+        assert_eq!(times.coalesced_fraction(), 0.0);
+        assert_eq!(times.tail_probability(1_999), 1.0);
+        assert_eq!(times.mixing_time_upper_bound(0.25).unwrap(), None);
+    }
+
+    #[test]
+    fn coalesced_at_start_counts_as_time_zero() {
+        let times = simulate_coupling_times(
+            |_| Parallel { x: 2, y: 2, n: 6 },
+            10,
+            100,
+            2,
+        );
+        assert!(times.times.iter().all(|t| *t == Some(0)));
+        assert_eq!(times.stats().mean(), 0.0);
+    }
+
+    #[test]
+    fn independent_walkers_coalesce_and_bound_is_monotone() {
+        let times = simulate_coupling_times(
+            |_| IndependentPath { x: 0, y: 7, n: 8 },
+            400,
+            200_000,
+            3,
+        );
+        assert!(times.coalesced_fraction() > 0.99);
+        let b50 = times.mixing_time_upper_bound(0.5).unwrap().unwrap();
+        let b25 = times.mixing_time_upper_bound(0.25).unwrap().unwrap();
+        let b10 = times.mixing_time_upper_bound(0.10).unwrap().unwrap();
+        assert!(b50 <= b25 && b25 <= b10, "{b50} {b25} {b10}");
+        // Tail at the 25% bound must be <= 0.25.
+        assert!(times.tail_probability(b25) <= 0.25);
+    }
+
+    #[test]
+    fn tail_probability_decreases() {
+        let times = simulate_coupling_times(
+            |_| IndependentPath { x: 0, y: 5, n: 6 },
+            200,
+            100_000,
+            4,
+        );
+        let t1 = times.tail_probability(10);
+        let t2 = times.tail_probability(100);
+        let t3 = times.tail_probability(10_000);
+        assert!(t1 >= t2 && t2 >= t3);
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let times = CouplingTimes {
+            times: vec![Some(1)],
+            cap: 10,
+        };
+        assert!(times.mixing_time_upper_bound(0.0).is_err());
+        assert!(times.mixing_time_upper_bound(1.0).is_err());
+    }
+
+    #[test]
+    fn empty_times_edge_cases() {
+        let times = CouplingTimes {
+            times: vec![],
+            cap: 10,
+        };
+        assert_eq!(times.coalesced_fraction(), 0.0);
+        assert_eq!(times.tail_probability(5), 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let a = simulate_coupling_times(|_| IndependentPath { x: 0, y: 3, n: 4 }, 50, 10_000, 9);
+        let b = simulate_coupling_times(|_| IndependentPath { x: 0, y: 3, n: 4 }, 50, 10_000, 9);
+        assert_eq!(a.times, b.times);
+    }
+}

@@ -1,0 +1,199 @@
+//! Graph diameter of a chain — the mixing-time *lower* bound.
+//!
+//! Proposition A.9 of the paper: let `G` have vertex set `Ω` and an edge
+//! `{x, y}` whenever `P(x,y) + P(y,x) > 0`; then `t_mix ≥ diam(G)/2`. For
+//! the `(k,a,b,m)`-Ehrenfest chain, `diam ≥ km`, giving `t_mix = Ω(km)`.
+
+use crate::chain::FiniteChain;
+use crate::error::MarkovError;
+use std::collections::VecDeque;
+
+/// Builds the undirected adjacency lists of the transition graph, excluding
+/// self-loops.
+fn adjacency(chain: &FiniteChain) -> Vec<Vec<usize>> {
+    let n = chain.len();
+    let mut adj = vec![Vec::new(); n];
+    for x in 0..n {
+        for &(y, p) in chain.row(x) {
+            if x != y && p > 0.0 {
+                adj[x].push(y);
+                if chain.prob(y, x) == 0.0 {
+                    // Edge present only via x -> y; record the reverse too.
+                    adj[y].push(x);
+                }
+            }
+        }
+    }
+    for list in adj.iter_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// BFS distances from `start` over the undirected transition graph;
+/// `usize::MAX` marks unreachable states.
+fn bfs(adj: &[Vec<usize>], start: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; adj.len()];
+    let mut queue = VecDeque::new();
+    dist[start] = 0;
+    queue.push_back(start);
+    while let Some(x) = queue.pop_front() {
+        for &y in &adj[x] {
+            if dist[y] == usize::MAX {
+                dist[y] = dist[x] + 1;
+                queue.push_back(y);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `start`: the largest finite BFS distance from it.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidParameter`] when `start` is out of range.
+pub fn eccentricity(chain: &FiniteChain, start: usize) -> Result<usize, MarkovError> {
+    if start >= chain.len() {
+        return Err(MarkovError::InvalidParameter {
+            reason: format!("start {start} out of range"),
+        });
+    }
+    let adj = adjacency(chain);
+    let dist = bfs(&adj, start);
+    Ok(dist
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0))
+}
+
+/// Exact diameter: the maximum eccentricity over all states (O(V·E); fine
+/// for the enumerable chains this workspace analyses exactly).
+///
+/// Unreachable pairs are ignored (per-component diameter).
+pub fn diameter_exact(chain: &FiniteChain) -> usize {
+    let adj = adjacency(chain);
+    (0..chain.len())
+        .map(|s| {
+            bfs(&adj, s)
+                .into_iter()
+                .filter(|&d| d != usize::MAX)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `hint`, then BFS from
+/// the farthest vertex found. Exact on trees and usually tight in practice,
+/// at the cost of just two BFS passes.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidParameter`] when `hint` is out of range.
+pub fn diameter_lower_bound(chain: &FiniteChain, hint: usize) -> Result<usize, MarkovError> {
+    if hint >= chain.len() {
+        return Err(MarkovError::InvalidParameter {
+            reason: format!("hint {hint} out of range"),
+        });
+    }
+    let adj = adjacency(chain);
+    let first = bfs(&adj, hint);
+    let (far, _) = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != usize::MAX)
+        .max_by_key(|(_, &d)| d)
+        .unwrap_or((hint, &0));
+    let second = bfs(&adj, far);
+    Ok(second
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0))
+}
+
+/// The mixing-time lower bound `t_mix ≥ diam/2` (Proposition A.9 /
+/// Levin–Peres §7.1.2).
+pub fn mixing_time_lower_bound(chain: &FiniteChain) -> usize {
+    diameter_exact(chain) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lazy_path(n: usize) -> FiniteChain {
+        FiniteChain::from_fn(n, |x| {
+            let mut row = vec![(x, 0.5)];
+            let nbrs = [x.checked_sub(1), (x + 1 < n).then_some(x + 1)];
+            let deg = nbrs.iter().flatten().count() as f64;
+            for y in nbrs.into_iter().flatten() {
+                row.push((y, 0.5 / deg));
+            }
+            row
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn path_diameter() {
+        let chain = lazy_path(10);
+        assert_eq!(diameter_exact(&chain), 9);
+        assert_eq!(diameter_lower_bound(&chain, 5).unwrap(), 9);
+        assert_eq!(eccentricity(&chain, 0).unwrap(), 9);
+        assert_eq!(eccentricity(&chain, 5).unwrap(), 5);
+        assert_eq!(mixing_time_lower_bound(&chain), 4);
+    }
+
+    #[test]
+    fn complete_graph_diameter_is_one() {
+        let n = 5;
+        let chain = FiniteChain::from_fn(n, |x| {
+            (0..n)
+                .filter(|&y| y != x)
+                .map(|y| (y, 1.0 / (n - 1) as f64))
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(diameter_exact(&chain), 1);
+    }
+
+    #[test]
+    fn one_way_edges_count_as_undirected() {
+        // Deterministic cycle: edges only x -> x+1, but the undirected graph
+        // is a cycle with diameter floor(n/2).
+        let n = 6;
+        let chain = FiniteChain::from_fn(n, |x| vec![((x + 1) % n, 1.0)]).unwrap();
+        assert_eq!(diameter_exact(&chain), 3);
+    }
+
+    #[test]
+    fn self_loop_only_chain_has_zero_diameter() {
+        let chain = FiniteChain::from_fn(3, |x| vec![(x, 1.0)]).unwrap();
+        assert_eq!(diameter_exact(&chain), 0);
+        assert_eq!(eccentricity(&chain, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let chain = lazy_path(3);
+        assert!(eccentricity(&chain, 5).is_err());
+        assert!(diameter_lower_bound(&chain, 5).is_err());
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact() {
+        for n in [3usize, 7, 12] {
+            let chain = lazy_path(n);
+            let exact = diameter_exact(&chain);
+            for hint in 0..n {
+                let lb = diameter_lower_bound(&chain, hint).unwrap();
+                assert!(lb <= exact);
+            }
+        }
+    }
+}

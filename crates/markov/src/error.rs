@@ -1,0 +1,100 @@
+//! Error types for Markov-chain construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or analyzing a finite Markov chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// A row of the transition matrix did not sum to 1, or contained a
+    /// negative/non-finite probability, or referenced an out-of-range state.
+    NotStochastic {
+        /// The offending row.
+        row: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The chain has no states.
+    EmptyChain,
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when the budget ran out.
+        residual: f64,
+    },
+    /// A supplied distribution had the wrong length or was not a pmf.
+    InvalidDistribution {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A parameter was out of its documented range.
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NotStochastic { row, reason } => {
+                write!(f, "row {row} is not a probability distribution: {reason}")
+            }
+            MarkovError::EmptyChain => write!(f, "chain has no states"),
+            MarkovError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            MarkovError::InvalidDistribution { reason } => {
+                write!(f, "invalid distribution: {reason}")
+            }
+            MarkovError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MarkovError::NotStochastic {
+            row: 3,
+            reason: "sums to 0.5".into()
+        }
+        .to_string()
+        .contains("row 3"));
+        assert_eq!(MarkovError::EmptyChain.to_string(), "chain has no states");
+        assert!(MarkovError::NoConvergence {
+            iterations: 10,
+            residual: 0.5
+        }
+        .to_string()
+        .contains("10 iterations"));
+        assert!(MarkovError::InvalidDistribution {
+            reason: "negative".into()
+        }
+        .to_string()
+        .contains("negative"));
+        assert!(MarkovError::InvalidParameter {
+            reason: "k < 2".into()
+        }
+        .to_string()
+        .contains("k < 2"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<MarkovError>();
+    }
+}

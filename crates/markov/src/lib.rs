@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Finite Markov-chain analysis toolkit.
+//!
+//! Everything in Section 2.1 and Appendix A of the paper that is *about
+//! Markov chains in general* (rather than about the Ehrenfest process in
+//! particular) lives here:
+//!
+//! * [`chain::FiniteChain`] — sparse row-stochastic transition matrices with
+//!   stationary-distribution solvers and detailed-balance verification;
+//! * [`mixing`] — exact distance-to-stationarity profiles `d(t)` and mixing
+//!   times `t_mix = min{t : d(t) ≤ 1/4}`;
+//! * [`birth_death::BirthDeathChain`] — tridiagonal chains (the `k = 2`
+//!   Ehrenfest projection of Appendix A.1) with product-form stationary
+//!   laws and `O(N)`-per-step TV profiles;
+//! * [`walk`] — the biased absorbing walk `Z_t` on `{−k, …, k}` of
+//!   Proposition A.7, with exact optional-stopping closed forms;
+//! * [`coupling`] — the generic coupling runner behind the paper's
+//!   mixing-time *upper* bounds (Lemma A.8 / Corollary 5.5 of Levin–Peres);
+//! * [`diameter`] — the graph-diameter *lower* bound `t_mix ≥ D/2`
+//!   (Proposition A.9).
+//!
+//! # Example
+//!
+//! ```
+//! use popgame_markov::chain::FiniteChain;
+//!
+//! // A lazy two-state chain.
+//! let chain = FiniteChain::from_rows(vec![
+//!     vec![(0, 0.75), (1, 0.25)],
+//!     vec![(0, 0.25), (1, 0.75)],
+//! ]).unwrap();
+//! let pi = chain.stationary_power_iteration(1e-12, 100_000).unwrap();
+//! assert!((pi[0] - 0.5).abs() < 1e-9);
+//! ```
+
+pub mod birth_death;
+pub mod chain;
+pub mod coupling;
+pub mod diameter;
+pub mod error;
+pub mod mixing;
+pub mod spectral;
+pub mod walk;
+
+pub use birth_death::BirthDeathChain;
+pub use chain::FiniteChain;
+pub use error::MarkovError;

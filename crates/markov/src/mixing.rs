@@ -1,0 +1,275 @@
+//! Exact distance-to-stationarity profiles and mixing times.
+//!
+//! For a chain with transition matrix `P` and stationary law `π`, the paper
+//! (Section 2.1) defines `d(t) = max_x ‖P^t(x) − π‖_TV` and
+//! `t_mix = min{t ≥ 0 : d(t) ≤ 1/4}`. On enumerable state spaces both are
+//! computable exactly by propagating point-mass rows through `P`.
+
+use crate::chain::FiniteChain;
+use crate::error::MarkovError;
+use popgame_dist::divergence::tv_distance;
+
+/// The classical mixing threshold `1/4`.
+pub const MIXING_THRESHOLD: f64 = 0.25;
+
+/// Exact TV distance profile `t ↦ max over starts of ‖P^t(x) − π‖_TV`,
+/// for `t = 0, 1, …, t_max`, maximized over the supplied start states.
+///
+/// Supplying *all* states gives the textbook `d(t)`; for the monotone
+/// processes in this workspace the extreme corner states dominate, so
+/// callers may pass just those (the claim itself is verified in the
+/// Ehrenfest crate's tests by comparing against the full maximization).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidDistribution`] when `pi` has the wrong
+/// length, and [`MarkovError::InvalidParameter`] when `starts` is empty or
+/// contains an out-of-range state.
+///
+/// # Example
+///
+/// ```
+/// use popgame_markov::chain::FiniteChain;
+/// use popgame_markov::mixing::distance_profile;
+///
+/// let chain = FiniteChain::from_rows(vec![
+///     vec![(0, 0.5), (1, 0.5)],
+///     vec![(0, 0.5), (1, 0.5)],
+/// ]).unwrap();
+/// let profile = distance_profile(&chain, &[0, 1], &[0.5, 0.5], 2).unwrap();
+/// assert_eq!(profile[0], 0.5); // point mass vs uniform
+/// assert!(profile[1] < 1e-12); // mixes in one step
+/// ```
+pub fn distance_profile(
+    chain: &FiniteChain,
+    starts: &[usize],
+    pi: &[f64],
+    t_max: usize,
+) -> Result<Vec<f64>, MarkovError> {
+    if pi.len() != chain.len() {
+        return Err(MarkovError::InvalidDistribution {
+            reason: format!("pi length {} != chain size {}", pi.len(), chain.len()),
+        });
+    }
+    if starts.is_empty() {
+        return Err(MarkovError::InvalidParameter {
+            reason: "need at least one start state".into(),
+        });
+    }
+    if let Some(&bad) = starts.iter().find(|&&s| s >= chain.len()) {
+        return Err(MarkovError::InvalidParameter {
+            reason: format!("start state {bad} out of range"),
+        });
+    }
+
+    // One distribution per start, advanced in lockstep.
+    let mut dists: Vec<Vec<f64>> = starts
+        .iter()
+        .map(|&s| {
+            let mut nu = vec![0.0; chain.len()];
+            nu[s] = 1.0;
+            nu
+        })
+        .collect();
+
+    let mut profile = Vec::with_capacity(t_max + 1);
+    for t in 0..=t_max {
+        let worst = dists
+            .iter()
+            .map(|nu| tv_distance(nu, pi).expect("lengths validated"))
+            .fold(0.0, f64::max);
+        profile.push(worst);
+        if t < t_max {
+            for nu in dists.iter_mut() {
+                *nu = chain.step_distribution(nu);
+            }
+        }
+    }
+    Ok(profile)
+}
+
+/// Exact mixing time `min{t : d(t) ≤ threshold}` over the given starts, or
+/// `None` when the profile stays above the threshold up to `t_max`.
+///
+/// # Errors
+///
+/// Same conditions as [`distance_profile`].
+///
+/// # Example
+///
+/// ```
+/// use popgame_markov::chain::FiniteChain;
+/// use popgame_markov::mixing::{mixing_time, MIXING_THRESHOLD};
+///
+/// let chain = FiniteChain::from_rows(vec![
+///     vec![(0, 0.5), (1, 0.5)],
+///     vec![(0, 0.5), (1, 0.5)],
+/// ]).unwrap();
+/// let t = mixing_time(&chain, &[0, 1], &[0.5, 0.5], MIXING_THRESHOLD, 10).unwrap();
+/// assert_eq!(t, Some(1));
+/// ```
+pub fn mixing_time(
+    chain: &FiniteChain,
+    starts: &[usize],
+    pi: &[f64],
+    threshold: f64,
+    t_max: usize,
+) -> Result<Option<usize>, MarkovError> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(MarkovError::InvalidParameter {
+            reason: format!("threshold {threshold} outside [0, 1]"),
+        });
+    }
+    if pi.len() != chain.len() {
+        return Err(MarkovError::InvalidDistribution {
+            reason: format!("pi length {} != chain size {}", pi.len(), chain.len()),
+        });
+    }
+    if starts.is_empty() {
+        return Err(MarkovError::InvalidParameter {
+            reason: "need at least one start state".into(),
+        });
+    }
+    if let Some(&bad) = starts.iter().find(|&&s| s >= chain.len()) {
+        return Err(MarkovError::InvalidParameter {
+            reason: format!("start state {bad} out of range"),
+        });
+    }
+    // Early-exit incremental propagation: stop at the first crossing
+    // instead of materializing the full profile.
+    let mut dists: Vec<Vec<f64>> = starts
+        .iter()
+        .map(|&s| {
+            let mut nu = vec![0.0; chain.len()];
+            nu[s] = 1.0;
+            nu
+        })
+        .collect();
+    for t in 0..=t_max {
+        let worst = dists
+            .iter()
+            .map(|nu| tv_distance(nu, pi).expect("lengths validated"))
+            .fold(0.0, f64::max);
+        if worst <= threshold {
+            return Ok(Some(t));
+        }
+        if t < t_max {
+            for nu in dists.iter_mut() {
+                *nu = chain.step_distribution(nu);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Times at which the profile first crosses each of the given thresholds —
+/// used to characterize cutoff windows (Remark 2.6).
+///
+/// Returns one `Option<usize>` per threshold, in order.
+///
+/// # Errors
+///
+/// Same conditions as [`distance_profile`].
+pub fn crossing_times(
+    chain: &FiniteChain,
+    starts: &[usize],
+    pi: &[f64],
+    thresholds: &[f64],
+    t_max: usize,
+) -> Result<Vec<Option<usize>>, MarkovError> {
+    let profile = distance_profile(chain, starts, pi, t_max)?;
+    Ok(thresholds
+        .iter()
+        .map(|&thr| profile.iter().position(|&d| d <= thr))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lazy_walk_chain(n: usize) -> FiniteChain {
+        // Lazy random walk on a path of n vertices.
+        FiniteChain::from_fn(n, |x| {
+            let mut row = vec![(x, 0.5)];
+            let sides = [(x.checked_sub(1)), (x + 1 < n).then_some(x + 1)];
+            let deg = sides.iter().flatten().count() as f64;
+            for y in sides.into_iter().flatten() {
+                row.push((y, 0.5 / deg));
+            }
+            row
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_is_monotone_nonincreasing_for_lazy_chain() {
+        let chain = lazy_walk_chain(6);
+        let pi = chain.stationary_power_iteration(1e-13, 1_000_000).unwrap();
+        let starts: Vec<usize> = (0..6).collect();
+        let profile = distance_profile(&chain, &starts, &pi, 200).unwrap();
+        for w in profile.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "d(t) increased: {} -> {}", w[0], w[1]);
+        }
+        assert!(profile[0] >= 0.85); // point mass far from stationary
+        assert!(*profile.last().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn mixing_time_matches_profile_crossing() {
+        let chain = lazy_walk_chain(5);
+        let pi = chain.stationary_power_iteration(1e-13, 1_000_000).unwrap();
+        let starts: Vec<usize> = (0..5).collect();
+        let profile = distance_profile(&chain, &starts, &pi, 500).unwrap();
+        let tmix = mixing_time(&chain, &starts, &pi, MIXING_THRESHOLD, 500)
+            .unwrap()
+            .expect("must mix");
+        assert!(profile[tmix] <= MIXING_THRESHOLD);
+        if tmix > 0 {
+            assert!(profile[tmix - 1] > MIXING_THRESHOLD);
+        }
+    }
+
+    #[test]
+    fn mixing_time_none_when_budget_too_small() {
+        let chain = lazy_walk_chain(30);
+        let pi = chain.stationary_power_iteration(1e-13, 2_000_000).unwrap();
+        let t = mixing_time(&chain, &[0], &pi, 0.01, 1).unwrap();
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn error_paths() {
+        let chain = lazy_walk_chain(4);
+        let pi = vec![0.25; 4];
+        assert!(distance_profile(&chain, &[], &pi, 5).is_err());
+        assert!(distance_profile(&chain, &[9], &pi, 5).is_err());
+        assert!(distance_profile(&chain, &[0], &[0.5, 0.5], 5).is_err());
+        assert!(mixing_time(&chain, &[0], &pi, 1.5, 5).is_err());
+    }
+
+    #[test]
+    fn crossing_times_ordered() {
+        let chain = lazy_walk_chain(8);
+        let pi = chain.stationary_power_iteration(1e-13, 2_000_000).unwrap();
+        let starts: Vec<usize> = (0..8).collect();
+        let crossings =
+            crossing_times(&chain, &starts, &pi, &[0.5, 0.25, 0.1], 2_000).unwrap();
+        let t50 = crossings[0].unwrap();
+        let t25 = crossings[1].unwrap();
+        let t10 = crossings[2].unwrap();
+        assert!(t50 <= t25 && t25 <= t10);
+    }
+
+    #[test]
+    fn worst_start_dominates_single_start() {
+        let chain = lazy_walk_chain(7);
+        let pi = chain.stationary_power_iteration(1e-13, 2_000_000).unwrap();
+        let all: Vec<usize> = (0..7).collect();
+        let worst = distance_profile(&chain, &all, &pi, 50).unwrap();
+        let single = distance_profile(&chain, &[3], &pi, 50).unwrap();
+        for (w, s) in worst.iter().zip(single.iter()) {
+            assert!(w >= s);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Spectral analysis of reversible birth–death chains.
+//!
+//! For a reversible chain the relaxation time `t_rel = 1/(1−λ₂)` (with
+//! `λ₂` the second-largest eigenvalue) sandwiches the mixing time:
+//!
+//! ```text
+//! (t_rel − 1)·ln 2  ≤  t_mix  ≤  t_rel · ln(4/π_min)
+//! ```
+//!
+//! (Levin–Peres Theorems 12.4/12.5). Birth–death chains are similar to a
+//! symmetric tridiagonal matrix via the diagonal conjugation
+//! `D^{1/2} P D^{-1/2}` with `D = diag(π)`, so their full spectrum is
+//! computable with a Sturm-sequence bisection — no external linear-algebra
+//! dependency needed. This gives a third, independent route to the
+//! Theorem 2.5 mixing analysis for the `k = 2` Ehrenfest projection.
+
+use crate::birth_death::BirthDeathChain;
+use crate::error::MarkovError;
+
+/// The symmetric tridiagonal form of a reversible birth–death chain:
+/// diagonal `d[i] = P(i,i)` and off-diagonal
+/// `e[i] = sqrt(up[i] · down[i+1])` (equal to
+/// `sqrt(π_i/π_{i+1}) P(i,i+1)` by detailed balance).
+fn symmetric_tridiagonal(chain: &BirthDeathChain) -> (Vec<f64>, Vec<f64>) {
+    let n = chain.len();
+    let d: Vec<f64> = (0..n).map(|i| chain.hold(i)).collect();
+    let e: Vec<f64> = (0..n - 1)
+        .map(|i| (chain.up(i) * chain.down(i + 1)).sqrt())
+        .collect();
+    (d, e)
+}
+
+/// Number of eigenvalues of the symmetric tridiagonal `(d, e)` strictly
+/// below `x`, via the Sturm sequence of leading principal minors.
+fn eigenvalues_below(d: &[f64], e: &[f64], x: f64) -> usize {
+    let mut count = 0;
+    let mut q = d[0] - x;
+    if q < 0.0 {
+        count += 1;
+    }
+    for i in 1..d.len() {
+        let denom = if q.abs() < 1e-300 { 1e-300_f64.copysign(q) } else { q };
+        q = d[i] - x - e[i - 1] * e[i - 1] / denom;
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The `j`-th largest eigenvalue (0-indexed: `j = 0` is the largest) of
+/// the symmetric tridiagonal matrix, by bisection on the Sturm count.
+fn kth_largest_eigenvalue(d: &[f64], e: &[f64], j: usize) -> f64 {
+    let n = d.len();
+    // Gershgorin bounds.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let radius = if i == 0 {
+            e.first().copied().unwrap_or(0.0).abs()
+        } else if i == n - 1 {
+            e[i - 1].abs()
+        } else {
+            e[i - 1].abs() + e[i].abs()
+        };
+        lo = lo.min(d[i] - radius);
+        hi = hi.max(d[i] + radius);
+    }
+    // Find x such that exactly n - j eigenvalues are < x ... bisect.
+    let target = n - 1 - j; // eigenvalues strictly below the j-th largest
+    let (mut lo, mut hi) = (lo - 1e-9, hi + 1e-9);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if eigenvalues_below(d, e, mid) > target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Spectral summary of a reversible birth–death chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralSummary {
+    /// Largest eigenvalue (must be 1 for a stochastic matrix).
+    pub lambda_1: f64,
+    /// Second-largest eigenvalue.
+    pub lambda_2: f64,
+    /// The absolute spectral gap `1 − max(|λ₂|, |λ_min|)`.
+    pub absolute_gap: f64,
+    /// Relaxation time `1/absolute_gap`.
+    pub relaxation_time: f64,
+}
+
+/// Computes the spectral summary of a birth–death chain exactly.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidParameter`] for chains with fewer than two
+/// states.
+///
+/// # Example
+///
+/// ```
+/// use popgame_markov::birth_death::BirthDeathChain;
+/// use popgame_markov::spectral::spectral_summary;
+///
+/// // Lazy symmetric walk on {0,1,2}.
+/// let bd = BirthDeathChain::new(vec![0.25, 0.25, 0.0], vec![0.0, 0.25, 0.25]).unwrap();
+/// let s = spectral_summary(&bd).unwrap();
+/// assert!((s.lambda_1 - 1.0).abs() < 1e-9);
+/// assert!(s.absolute_gap > 0.0);
+/// ```
+pub fn spectral_summary(chain: &BirthDeathChain) -> Result<SpectralSummary, MarkovError> {
+    let n = chain.len();
+    if n < 2 {
+        return Err(MarkovError::InvalidParameter {
+            reason: "spectral analysis needs at least two states".into(),
+        });
+    }
+    let (d, e) = symmetric_tridiagonal(chain);
+    let lambda_1 = kth_largest_eigenvalue(&d, &e, 0);
+    let lambda_2 = kth_largest_eigenvalue(&d, &e, 1);
+    let lambda_min = kth_largest_eigenvalue(&d, &e, n - 1);
+    let absolute_gap = 1.0 - lambda_2.abs().max(lambda_min.abs());
+    Ok(SpectralSummary {
+        lambda_1,
+        lambda_2,
+        absolute_gap,
+        relaxation_time: 1.0 / absolute_gap,
+    })
+}
+
+/// The Levin–Peres sandwich on the mixing time from the spectrum:
+/// returns `(lower, upper)` with
+/// `lower = (t_rel − 1)·ln 2` and `upper = t_rel·ln(4/π_min)`.
+///
+/// # Errors
+///
+/// Propagates [`spectral_summary`] errors.
+pub fn spectral_mixing_bounds(chain: &BirthDeathChain) -> Result<(f64, f64), MarkovError> {
+    let summary = spectral_summary(chain)?;
+    let pi = chain.stationary();
+    let pi_min = pi.iter().copied().fold(f64::INFINITY, f64::min).max(1e-300);
+    let lower = (summary.relaxation_time - 1.0) * std::f64::consts::LN_2;
+    let upper = summary.relaxation_time * (4.0 / pi_min).ln();
+    Ok((lower.max(0.0), upper))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lazy_symmetric(n: usize) -> BirthDeathChain {
+        let mut up = vec![0.25; n + 1];
+        let mut down = vec![0.25; n + 1];
+        up[n] = 0.0;
+        down[0] = 0.0;
+        BirthDeathChain::new(up, down).unwrap()
+    }
+
+    /// The k = 2 Ehrenfest projection: up = b(m−x)/m, down = a·x/m.
+    fn ehrenfest_projection(a: f64, b: f64, m: usize) -> BirthDeathChain {
+        let up: Vec<f64> = (0..=m).map(|x| b * (m - x) as f64 / m as f64).collect();
+        let down: Vec<f64> = (0..=m).map(|x| a * x as f64 / m as f64).collect();
+        BirthDeathChain::new(up, down).unwrap()
+    }
+
+    #[test]
+    fn two_state_chain_exact_spectrum() {
+        // P = [[0.75, 0.25], [0.25, 0.75]]: eigenvalues 1 and 0.5.
+        let bd = BirthDeathChain::new(vec![0.25, 0.0], vec![0.0, 0.25]).unwrap();
+        let s = spectral_summary(&bd).unwrap();
+        assert!((s.lambda_1 - 1.0).abs() < 1e-9);
+        assert!((s.lambda_2 - 0.5).abs() < 1e-9);
+        assert!((s.relaxation_time - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leading_eigenvalue_always_one() {
+        for n in [2usize, 5, 20] {
+            let s = spectral_summary(&lazy_symmetric(n)).unwrap();
+            assert!((s.lambda_1 - 1.0).abs() < 1e-8, "n = {n}: {}", s.lambda_1);
+            assert!(s.lambda_2 < 1.0);
+        }
+    }
+
+    #[test]
+    fn ehrenfest_gap_is_a_plus_b_over_m() {
+        // The (2,a,b,m) Ehrenfest projection has spectral gap (a+b)/m:
+        // the weight statistic contracts by exactly 1 − (a+b)/m per step.
+        for (a, b, m) in [(0.5, 0.5, 10usize), (0.3, 0.2, 16), (0.4, 0.1, 25)] {
+            let s = spectral_summary(&ehrenfest_projection(a, b, m)).unwrap();
+            let expect = (a + b) / m as f64;
+            assert!(
+                (1.0 - s.lambda_2 - expect).abs() < 1e-8,
+                "a={a} b={b} m={m}: gap {} vs {}",
+                1.0 - s.lambda_2,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn sandwich_brackets_exact_mixing_time() {
+        let m = 40;
+        let bd = ehrenfest_projection(0.5, 0.5, m);
+        let (lower, upper) = spectral_mixing_bounds(&bd).unwrap();
+        let tmix = bd
+            .mixing_time(&[0, m], 0.25, 200_000)
+            .unwrap()
+            .expect("mixes") as f64;
+        assert!(
+            lower <= tmix && tmix <= upper,
+            "sandwich violated: {lower} <= {tmix} <= {upper}"
+        );
+    }
+
+    #[test]
+    fn relaxation_time_scales_linearly_in_m() {
+        let t = |m: usize| {
+            spectral_summary(&ehrenfest_projection(0.5, 0.5, m))
+                .unwrap()
+                .relaxation_time
+        };
+        // t_rel = m/(a+b) = m exactly.
+        assert!((t(16) - 16.0).abs() < 1e-6);
+        assert!((t(64) - 64.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn single_state_rejected() {
+        let bd = BirthDeathChain::new(vec![0.0], vec![0.0]).unwrap();
+        assert!(spectral_summary(&bd).is_err());
+    }
+
+    #[test]
+    fn sturm_count_consistent() {
+        let bd = lazy_symmetric(8);
+        let (d, e) = symmetric_tridiagonal(&bd);
+        // All 9 eigenvalues lie in [-1, 1]; none below -1, all below 1+ε.
+        assert_eq!(eigenvalues_below(&d, &e, -1.0 - 1e-9), 0);
+        assert_eq!(eigenvalues_below(&d, &e, 1.0 + 1e-9), 9);
+    }
+}

@@ -1,0 +1,336 @@
+//! The biased absorbing walk `Z_t` on `{−k, …, k}` (Proposition A.7).
+//!
+//! The paper bounds the coalescence time of its Ehrenfest coupling by the
+//! absorption time of a single lazy walk that starts at 0, steps `+1` with
+//! probability `a`, `−1` with probability `b`, holds otherwise, and is
+//! absorbed at `±k`. This module provides both the *exact* optional-stopping
+//! closed forms used in the proof and a simulator to validate them.
+
+use crate::error::MarkovError;
+use popgame_util::sampler::sample_bernoulli;
+use rand::Rng;
+
+/// Parameters of the absorbing walk: step-up probability `a`, step-down
+/// probability `b`, absorbing barriers at `±k`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_markov::walk::AbsorbingWalk;
+///
+/// let walk = AbsorbingWalk::new(0.4, 0.2, 8).unwrap();
+/// // Biased regime: E[τ] ≈ k / (a − b) for λ = a/b well above 1.
+/// let expect = walk.expected_absorption_time();
+/// assert!(expect > 0.0 && expect < 8.0 / 0.2 + 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsorbingWalk {
+    a: f64,
+    b: f64,
+    k: u32,
+}
+
+impl AbsorbingWalk {
+    /// Creates the walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidParameter`] unless `a, b > 0`,
+    /// `a + b ≤ 1`, and `k ≥ 1`.
+    pub fn new(a: f64, b: f64, k: u32) -> Result<Self, MarkovError> {
+        if !(a > 0.0 && b > 0.0 && a + b <= 1.0 + 1e-12) {
+            return Err(MarkovError::InvalidParameter {
+                reason: format!("need a, b > 0 and a + b <= 1; got a = {a}, b = {b}"),
+            });
+        }
+        if k == 0 {
+            return Err(MarkovError::InvalidParameter {
+                reason: "need k >= 1".into(),
+            });
+        }
+        Ok(Self { a, b, k })
+    }
+
+    /// Step-up probability `a`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Step-down probability `b`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Barrier distance `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Probability that the walk started at 0 is absorbed at `+k`
+    /// (eq. (25) of the paper): `p₊ = (λ^k − 1) / (λ^k − λ^{−k})` with
+    /// `λ = a/b`, and `1/2` in the unbiased case.
+    pub fn upper_absorption_probability(&self) -> f64 {
+        let lambda = self.a / self.b;
+        if (lambda - 1.0).abs() < 1e-12 {
+            return 0.5;
+        }
+        let k = self.k as f64;
+        // Overflow-safe forms: divide through by the dominant power so no
+        // intermediate exceeds 1 in magnitude.
+        if lambda > 1.0 {
+            let lmk = lambda.powf(-k);
+            (1.0 - lmk) / (1.0 - lmk * lmk)
+        } else {
+            let lk = lambda.powf(k);
+            (lk * lk - lk) / (lk * lk - 1.0)
+        }
+    }
+
+    /// Exact expected absorption time via optional stopping
+    /// (eq. (26) of the paper):
+    ///
+    /// * biased (`a ≠ b`): `E[τ] = k (2p₊ − 1) / (a − b)`;
+    /// * unbiased (`a = b`): `E[τ] = k² / (a + b)` from the quadratic
+    ///   martingale `Z_t² − (a + b) t`.
+    pub fn expected_absorption_time(&self) -> f64 {
+        let k = self.k as f64;
+        if (self.a - self.b).abs() < 1e-12 {
+            k * k / (self.a + self.b)
+        } else {
+            let p_plus = self.upper_absorption_probability();
+            k * (2.0 * p_plus - 1.0) / (self.a - self.b)
+        }
+    }
+
+    /// The paper's Proposition A.7 upper bound:
+    /// `min{k/|a−b|, k²}` when `a ≠ b` and `k²` when `a = b` — stated in
+    /// units where laziness is ignored, so it is an upper bound on
+    /// [`expected_absorption_time`](Self::expected_absorption_time) scaled
+    /// by the move probability.
+    pub fn proposition_a7_bound(&self) -> f64 {
+        let k = self.k as f64;
+        if (self.a - self.b).abs() < 1e-12 {
+            k * k
+        } else {
+            (k / (self.a - self.b).abs()).min(k * k)
+        }
+    }
+
+    /// Simulates one absorption: returns `(steps, absorbed_at_plus_k)`.
+    pub fn simulate<R: Rng + ?Sized>(&self, rng: &mut R) -> (u64, bool) {
+        let k = self.k as i64;
+        let mut z: i64 = 0;
+        let mut steps: u64 = 0;
+        loop {
+            let u: f64 = rng.gen();
+            if u < self.a {
+                z += 1;
+            } else if u < self.a + self.b {
+                z -= 1;
+            }
+            steps += 1;
+            if z == k {
+                return (steps, true);
+            }
+            if z == -k {
+                return (steps, false);
+            }
+        }
+    }
+
+    /// Simulates `reps` absorptions and returns the sample mean time.
+    pub fn mean_absorption_time<R: Rng + ?Sized>(&self, reps: u64, rng: &mut R) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..reps {
+            total += self.simulate(rng).0 as f64;
+        }
+        total / reps as f64
+    }
+
+    /// Exact expected absorption time by solving the tridiagonal linear
+    /// system `E[x] = 1 + a E[x+1] + b E[x−1] + (1−a−b) E[x]` with
+    /// `E[±k] = 0` — an independent cross-check of the martingale formula.
+    pub fn expected_absorption_time_linear(&self) -> f64 {
+        // States -k..k map to 0..2k; absorbing at both ends.
+        let k = self.k as usize;
+        let n = 2 * k + 1;
+        // Thomas algorithm on the interior unknowns (1..n-1 exclusive of
+        // absorbing boundaries): for interior i,
+        //   (a + b) E[i] - a E[i+1] - b E[i-1] = 1.
+        let interior = n - 2;
+        let mut sub = vec![-self.b; interior]; // coefficient of E[i-1]
+        let mut diag = vec![self.a + self.b; interior];
+        let mut sup = vec![-self.a; interior]; // coefficient of E[i+1]
+        let mut rhs = vec![1.0; interior];
+        sub[0] = 0.0;
+        sup[interior - 1] = 0.0;
+        // Forward elimination.
+        for i in 1..interior {
+            let w = sub[i] / diag[i - 1];
+            diag[i] -= w * sup[i - 1];
+            rhs[i] -= w * rhs[i - 1];
+        }
+        // Back substitution.
+        let mut sol = vec![0.0; interior];
+        sol[interior - 1] = rhs[interior - 1] / diag[interior - 1];
+        for i in (0..interior - 1).rev() {
+            sol[i] = (rhs[i] - sup[i] * sol[i + 1]) / diag[i];
+        }
+        // Start state 0 maps to interior index k - 1 (position k in 0..n).
+        sol[k - 1]
+    }
+
+    /// Verifies the martingale property of `U_t = Z_t − (a−b)t` empirically:
+    /// returns the mean of `U` at a fixed horizon, which must be ≈ 0.
+    pub fn martingale_drift_check<R: Rng + ?Sized>(
+        &self,
+        horizon: u64,
+        reps: u64,
+        rng: &mut R,
+    ) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let mut z: f64 = 0.0;
+            for _ in 0..horizon {
+                if sample_bernoulli(self.a, rng) {
+                    z += 1.0;
+                } else if sample_bernoulli(self.b / (1.0 - self.a), rng) {
+                    z -= 1.0;
+                }
+            }
+            total += z - (self.a - self.b) * horizon as f64;
+        }
+        total / reps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(AbsorbingWalk::new(0.0, 0.5, 3).is_err());
+        assert!(AbsorbingWalk::new(0.5, 0.0, 3).is_err());
+        assert!(AbsorbingWalk::new(0.6, 0.6, 3).is_err());
+        assert!(AbsorbingWalk::new(0.3, 0.3, 0).is_err());
+        assert!(AbsorbingWalk::new(0.3, 0.3, 3).is_ok());
+    }
+
+    #[test]
+    fn unbiased_absorption_probability_is_half() {
+        let w = AbsorbingWalk::new(0.25, 0.25, 5).unwrap();
+        assert_eq!(w.upper_absorption_probability(), 0.5);
+    }
+
+    #[test]
+    fn biased_walk_prefers_drift_side() {
+        let w = AbsorbingWalk::new(0.4, 0.1, 6).unwrap();
+        assert!(w.upper_absorption_probability() > 0.99);
+        let w_down = AbsorbingWalk::new(0.1, 0.4, 6).unwrap();
+        assert!(w_down.upper_absorption_probability() < 0.01);
+    }
+
+    #[test]
+    fn unbiased_expected_time_is_k_squared_over_move_prob() {
+        let w = AbsorbingWalk::new(0.3, 0.3, 4).unwrap();
+        assert!((w.expected_absorption_time() - 16.0 / 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn martingale_formula_matches_linear_solve() {
+        for (a, b, k) in [
+            (0.4, 0.2, 6u32),
+            (0.1, 0.05, 9),
+            (0.25, 0.25, 7),
+            (0.05, 0.45, 5),
+            (0.49, 0.51 - 0.02, 3),
+        ] {
+            let w = AbsorbingWalk::new(a, b, k).unwrap();
+            let martingale = w.expected_absorption_time();
+            let linear = w.expected_absorption_time_linear();
+            assert!(
+                (martingale - linear).abs() < 1e-6 * martingale.max(1.0),
+                "a={a} b={b} k={k}: {martingale} vs {linear}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        let mut rng = rng_from_seed(21);
+        for (a, b, k) in [(0.4, 0.2, 5u32), (0.25, 0.25, 4), (0.1, 0.3, 4)] {
+            let w = AbsorbingWalk::new(a, b, k).unwrap();
+            let sim = w.mean_absorption_time(20_000, &mut rng);
+            let exact = w.expected_absorption_time();
+            assert!(
+                (sim - exact).abs() < 0.05 * exact,
+                "a={a} b={b} k={k}: sim {sim} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorption_side_frequencies_match_p_plus() {
+        let w = AbsorbingWalk::new(0.3, 0.2, 3).unwrap();
+        let mut rng = rng_from_seed(22);
+        let reps = 40_000;
+        let ups = (0..reps).filter(|_| w.simulate(&mut rng).1).count();
+        let got = ups as f64 / reps as f64;
+        let expect = w.upper_absorption_probability();
+        assert!((got - expect).abs() < 0.01, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn proposition_a7_bound_holds_in_walk_steps() {
+        // The paper's bound counts only move steps; our exact time counts
+        // every (lazy) step, so compare the non-lazy equivalent:
+        // E[moves] = E[steps] * (a + b) for the unbiased case, and for the
+        // biased case E[τ] ≤ k/|a−b| directly.
+        for (a, b, k) in [(0.4, 0.1, 8u32), (0.2, 0.2, 6), (0.05, 0.3, 10)] {
+            let w = AbsorbingWalk::new(a, b, k).unwrap();
+            let exact = w.expected_absorption_time();
+            let bound = w.proposition_a7_bound();
+            if (a - b) != 0.0 {
+                assert!(
+                    exact <= bound + 1e-9,
+                    "biased bound violated: {exact} > {bound}"
+                );
+            } else {
+                assert!(exact * (a + b) <= bound + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn martingale_drift_is_zero() {
+        let w = AbsorbingWalk::new(0.35, 0.15, 4).unwrap();
+        let mut rng = rng_from_seed(23);
+        let drift = w.martingale_drift_check(50, 20_000, &mut rng);
+        assert!(drift.abs() < 0.1, "drift {drift}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_p_plus_in_unit_interval(a in 0.01..0.5f64, b in 0.01..0.5f64, k in 1u32..20) {
+            let w = AbsorbingWalk::new(a, b, k).unwrap();
+            let p = w.upper_absorption_probability();
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn prop_expected_time_positive(a in 0.01..0.5f64, b in 0.01..0.5f64, k in 1u32..20) {
+            let w = AbsorbingWalk::new(a, b, k).unwrap();
+            prop_assert!(w.expected_absorption_time() > 0.0);
+        }
+
+        #[test]
+        fn prop_more_bias_is_faster(b in 0.05..0.2f64, k in 2u32..15) {
+            let slow = AbsorbingWalk::new(b + 0.05, b, k).unwrap();
+            let fast = AbsorbingWalk::new(b + 0.3, b, k).unwrap();
+            prop_assert!(fast.expected_absorption_time() < slow.expected_absorption_time());
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Classic population protocols used to validate the substrate.
+//!
+//! The paper builds on a long line of population-protocol work on majority
+//! and consensus dynamics ([DV12, PVV09, AGV15, BCN+14, …] in its
+//! bibliography). Implementing two textbook protocols on our engine both
+//! exercises the scheduler/simulator machinery and provides the
+//! `majority_baseline` example:
+//!
+//! * [`UndecidedDynamics`] — the 3-state "undecided state dynamics" for
+//!   approximate majority: an agent meeting the opposite opinion becomes
+//!   undecided, and an undecided agent adopts the responder's opinion.
+//!   With an initial bias it converges to the initial majority w.h.p. in
+//!   `O(n log n)` interactions.
+//! * [`PairwiseAveraging`] — integer load balancing: interacting agents
+//!   split their combined load as evenly as possible; the load spread is
+//!   non-increasing and the sum invariant.
+
+use crate::protocol::{EnumerableProtocol, Protocol};
+use rand::Rng;
+
+/// Opinions for the 3-state approximate-majority protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opinion {
+    /// First opinion.
+    A,
+    /// Second opinion.
+    B,
+    /// Undecided.
+    Undecided,
+}
+
+/// The one-way 3-state undecided-state dynamics.
+///
+/// Initiator update rules (responder never changes):
+///
+/// * `A` meets `B` → becomes `Undecided` (and symmetrically `B` meets `A`);
+/// * `Undecided` meets `A` → becomes `A`; `Undecided` meets `B` → `B`;
+/// * anything else → unchanged.
+///
+/// # Example
+///
+/// ```
+/// use popgame_population::classic::{Opinion, UndecidedDynamics};
+/// use popgame_population::protocol::Protocol;
+/// use popgame_util::rng::rng_from_seed;
+///
+/// let mut rng = rng_from_seed(1);
+/// let (init, resp) = UndecidedDynamics.interact(Opinion::A, Opinion::B, &mut rng);
+/// assert_eq!(init, Opinion::Undecided);
+/// assert_eq!(resp, Opinion::B);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UndecidedDynamics;
+
+impl Protocol for UndecidedDynamics {
+    type State = Opinion;
+
+    fn interact<R: Rng + ?Sized>(
+        &self,
+        initiator: Opinion,
+        responder: Opinion,
+        _rng: &mut R,
+    ) -> (Opinion, Opinion) {
+        use Opinion::{Undecided, A, B};
+        let updated = match (initiator, responder) {
+            (A, B) | (B, A) => Undecided,
+            (Undecided, A) => A,
+            (Undecided, B) => B,
+            (other, _) => other,
+        };
+        (updated, responder)
+    }
+
+    fn is_one_way(&self) -> bool {
+        true
+    }
+}
+
+impl EnumerableProtocol for UndecidedDynamics {
+    fn num_states(&self) -> usize {
+        3
+    }
+
+    fn state_index(&self, state: Opinion) -> usize {
+        match state {
+            Opinion::A => 0,
+            Opinion::B => 1,
+            Opinion::Undecided => 2,
+        }
+    }
+
+    fn state_at(&self, index: usize) -> Opinion {
+        [Opinion::A, Opinion::B, Opinion::Undecided][index]
+    }
+}
+
+/// Two-way pairwise averaging over integer loads: the pair's combined load
+/// is split as evenly as possible (initiator gets the extra unit on odd
+/// totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairwiseAveraging;
+
+impl Protocol for PairwiseAveraging {
+    type State = u64;
+
+    fn interact<R: Rng + ?Sized>(&self, initiator: u64, responder: u64, _rng: &mut R) -> (u64, u64) {
+        let total = initiator + responder;
+        let half = total / 2;
+        (total - half, half)
+    }
+}
+
+/// The textbook two-state leader-election protocol: every agent starts as
+/// a leader, and when two leaders meet the *initiator* demotes itself to a
+/// follower. Exactly one leader survives, in Θ(n²) expected interactions —
+/// the classic lower-bound example of `[DS18]` in the paper's bibliography.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaderElection;
+
+impl Protocol for LeaderElection {
+    type State = bool; // true = leader
+
+    fn interact<R: Rng + ?Sized>(&self, initiator: bool, responder: bool, _rng: &mut R) -> (bool, bool) {
+        (initiator && !responder, responder)
+    }
+
+    fn is_one_way(&self) -> bool {
+        true
+    }
+}
+
+impl EnumerableProtocol for LeaderElection {
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn state_index(&self, state: bool) -> usize {
+        usize::from(state)
+    }
+
+    fn state_at(&self, index: usize) -> bool {
+        index == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::AgentPopulation;
+    use crate::simulator::{run_steps, run_until};
+    use popgame_util::rng::rng_from_seed;
+
+    #[test]
+    fn undecided_dynamics_rules() {
+        use Opinion::{Undecided, A, B};
+        let mut rng = rng_from_seed(1);
+        let p = UndecidedDynamics;
+        assert_eq!(p.interact(A, B, &mut rng).0, Undecided);
+        assert_eq!(p.interact(B, A, &mut rng).0, Undecided);
+        assert_eq!(p.interact(Undecided, A, &mut rng).0, A);
+        assert_eq!(p.interact(Undecided, B, &mut rng).0, B);
+        assert_eq!(p.interact(A, A, &mut rng).0, A);
+        assert_eq!(p.interact(B, Undecided, &mut rng).0, B);
+        assert!(p.is_one_way());
+    }
+
+    #[test]
+    fn enumeration_round_trips() {
+        let p = UndecidedDynamics;
+        for i in 0..p.num_states() {
+            assert_eq!(p.state_index(p.state_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn majority_wins_with_clear_bias() {
+        // 65/35 split across 200 agents: A must win in each of 5 seeded runs.
+        for seed in 0..5 {
+            let mut pop =
+                AgentPopulation::from_groups(&[(Opinion::A, 130), (Opinion::B, 70)]);
+            let mut rng = rng_from_seed(1000 + seed);
+            let result = run_until(
+                &UndecidedDynamics,
+                &mut pop,
+                |p| p.is_consensus(),
+                5_000_000,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(result.is_some(), "seed {seed}: no consensus");
+            assert!(
+                pop.iter().all(|&s| s == Opinion::A),
+                "seed {seed}: minority won"
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_time_scales_quasilinearly() {
+        // Sanity check of the O(n log n) shape: time per agent grows slowly.
+        let mut per_agent = Vec::new();
+        for &n in &[100usize, 400] {
+            let mut pop = AgentPopulation::from_groups(&[
+                (Opinion::A, n * 7 / 10),
+                (Opinion::B, n - n * 7 / 10),
+            ]);
+            let mut rng = rng_from_seed(77);
+            let steps = run_until(
+                &UndecidedDynamics,
+                &mut pop,
+                |p| p.is_consensus(),
+                50_000_000,
+                &mut rng,
+            )
+            .unwrap()
+            .expect("consensus");
+            per_agent.push(steps as f64 / n as f64);
+        }
+        // 4x the population should cost well under 4x the per-agent time.
+        assert!(
+            per_agent[1] < per_agent[0] * 4.0,
+            "per-agent times {per_agent:?} grew superlinearly"
+        );
+    }
+
+    #[test]
+    fn averaging_conserves_sum_and_shrinks_spread() {
+        let mut pop: AgentPopulation<u64> =
+            AgentPopulation::new(vec![100, 0, 0, 0, 20, 60, 0, 0]);
+        let total: u64 = pop.iter().sum();
+        let mut rng = rng_from_seed(3);
+        run_steps(&PairwiseAveraging, &mut pop, 5_000, &mut rng);
+        assert_eq!(pop.iter().sum::<u64>(), total, "load sum must be invariant");
+        let max = pop.iter().max().unwrap();
+        let min = pop.iter().min().unwrap();
+        assert!(max - min <= 1, "loads failed to balance: {pop:?}");
+    }
+
+    #[test]
+    fn averaging_split_rule() {
+        let mut rng = rng_from_seed(4);
+        assert_eq!(PairwiseAveraging.interact(5, 2, &mut rng), (4, 3));
+        assert_eq!(PairwiseAveraging.interact(4, 4, &mut rng), (4, 4));
+        assert_eq!(PairwiseAveraging.interact(0, 9, &mut rng), (5, 4));
+        assert!(!PairwiseAveraging.is_one_way());
+    }
+
+    #[test]
+    fn leader_election_rules() {
+        let mut rng = rng_from_seed(5);
+        // Leader meets leader: initiator demotes.
+        assert_eq!(LeaderElection.interact(true, true, &mut rng), (false, true));
+        // Leader meets follower: stays leader.
+        assert_eq!(LeaderElection.interact(true, false, &mut rng), (true, false));
+        // Followers never promote.
+        assert_eq!(LeaderElection.interact(false, true, &mut rng), (false, true));
+        assert!(LeaderElection.is_one_way());
+        assert_eq!(LeaderElection.state_index(LeaderElection.state_at(1)), 1);
+    }
+
+    #[test]
+    fn leader_election_converges_to_exactly_one_leader() {
+        let n = 60;
+        let mut pop = AgentPopulation::from_groups(&[(true, n)]);
+        let mut rng = rng_from_seed(6);
+        let steps = run_until(
+            &LeaderElection,
+            &mut pop,
+            |p| p.count_where(|&s| s) == 1,
+            10_000_000,
+            &mut rng,
+        )
+        .unwrap()
+        .expect("a single leader must emerge");
+        assert_eq!(pop.count_where(|&s| s), 1);
+        // The leader count can never increase afterwards.
+        run_steps(&LeaderElection, &mut pop, 10_000, &mut rng);
+        assert_eq!(pop.count_where(|&s| s), 1, "leader lost or duplicated");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn leader_election_quadratic_shape() {
+        // Θ(n²): steps/n should grow roughly linearly with n.
+        let time_for = |n: usize, seed: u64| {
+            let mut pop = AgentPopulation::from_groups(&[(true, n)]);
+            let mut rng = rng_from_seed(seed);
+            run_until(
+                &LeaderElection,
+                &mut pop,
+                |p| p.count_where(|&s| s) == 1,
+                100_000_000,
+                &mut rng,
+            )
+            .unwrap()
+            .expect("converges") as f64
+        };
+        let mut t_small = 0.0;
+        let mut t_large = 0.0;
+        for seed in 0..5 {
+            t_small += time_for(40, 100 + seed);
+            t_large += time_for(160, 200 + seed);
+        }
+        // n scales by 4 ⇒ expected interactions scale ≈ 16 (quadratic).
+        let ratio = t_large / t_small;
+        assert!(
+            (6.0..40.0).contains(&ratio),
+            "scaling ratio {ratio} incompatible with Θ(n²)"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for population construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or running a population.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PopulationError {
+    /// Populations need at least two agents to schedule an interaction.
+    TooFewAgents {
+        /// Number of agents supplied.
+        n: usize,
+    },
+    /// A state index was outside the protocol's enumerated state space.
+    StateOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The number of states.
+        num_states: usize,
+    },
+    /// Counts did not match the expected population size.
+    CountMismatch {
+        /// Expected total.
+        expected: u64,
+        /// Received total.
+        got: u64,
+    },
+}
+
+impl fmt::Display for PopulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopulationError::TooFewAgents { n } => {
+                write!(f, "population needs at least 2 agents, got {n}")
+            }
+            PopulationError::StateOutOfRange { index, num_states } => {
+                write!(f, "state index {index} out of range (protocol has {num_states} states)")
+            }
+            PopulationError::CountMismatch { expected, got } => {
+                write!(f, "count total {got} does not match population size {expected}")
+            }
+        }
+    }
+}
+
+impl Error for PopulationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PopulationError::TooFewAgents { n: 1 }.to_string().contains("at least 2"));
+        assert!(PopulationError::StateOutOfRange {
+            index: 5,
+            num_states: 3
+        }
+        .to_string()
+        .contains("index 5"));
+        assert!(PopulationError::CountMismatch {
+            expected: 10,
+            got: 9
+        }
+        .to_string()
+        .contains("10"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<PopulationError>();
+    }
+}

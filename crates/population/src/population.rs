@@ -1,0 +1,227 @@
+//! Agent-level populations: an explicit state vector with the uniform
+//! random-pair scheduler.
+
+use crate::error::PopulationError;
+use crate::protocol::Protocol;
+use popgame_util::sampler::sample_ordered_pair;
+use rand::Rng;
+
+/// A population of `n` agents holding explicit states.
+///
+/// # Example
+///
+/// ```
+/// use popgame_population::population::AgentPopulation;
+///
+/// let pop = AgentPopulation::from_groups(&[(0u8, 3), (1u8, 2)]);
+/// assert_eq!(pop.len(), 5);
+/// assert_eq!(pop.count_where(|&s| s == 0), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentPopulation<S> {
+    states: Vec<S>,
+    interactions: u64,
+}
+
+impl<S: Copy + Eq + std::fmt::Debug> AgentPopulation<S> {
+    /// Creates a population from explicit agent states.
+    pub fn new(states: Vec<S>) -> Self {
+        Self {
+            states,
+            interactions: 0,
+        }
+    }
+
+    /// Creates a population from `(state, count)` groups, in order.
+    pub fn from_groups(groups: &[(S, usize)]) -> Self {
+        let mut states = Vec::new();
+        for &(s, count) in groups {
+            states.extend(std::iter::repeat_n(s, count));
+        }
+        Self::new(states)
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the population has no agents.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total interactions executed so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// The state of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn state(&self, i: usize) -> S {
+        self.states[i]
+    }
+
+    /// Iterates over agent states.
+    pub fn iter(&self) -> std::slice::Iter<'_, S> {
+        self.states.iter()
+    }
+
+    /// Number of agents satisfying a predicate.
+    pub fn count_where<F: Fn(&S) -> bool>(&self, pred: F) -> usize {
+        self.states.iter().filter(|s| pred(s)).count()
+    }
+
+    /// Counts agents per index under the given state-indexing function.
+    pub fn counts_by<F: Fn(S) -> usize>(&self, num_states: usize, index: F) -> Vec<u64> {
+        let mut counts = vec![0u64; num_states];
+        for &s in &self.states {
+            counts[index(s)] += 1;
+        }
+        counts
+    }
+
+    /// Whether every agent holds the same state.
+    pub fn is_consensus(&self) -> bool {
+        self.states.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Executes one interaction: samples an ordered pair uniformly at random
+    /// and applies the protocol. Returns the pair `(initiator, responder)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::TooFewAgents`] when `n < 2`.
+    pub fn step<P, R>(&mut self, protocol: &P, rng: &mut R) -> Result<(usize, usize), PopulationError>
+    where
+        P: Protocol<State = S>,
+        R: Rng + ?Sized,
+    {
+        let n = self.states.len();
+        if n < 2 {
+            return Err(PopulationError::TooFewAgents { n });
+        }
+        let (i, j) = sample_ordered_pair(n, rng);
+        let (si, sj) = (self.states[i], self.states[j]);
+        let (ni, nj) = protocol.interact(si, sj, rng);
+        debug_assert!(
+            !protocol.is_one_way() || nj == sj,
+            "one-way protocol modified the responder"
+        );
+        self.states[i] = ni;
+        self.states[j] = nj;
+        self.interactions += 1;
+        Ok((i, j))
+    }
+}
+
+impl<S> std::iter::FromIterator<S> for AgentPopulation<S>
+where
+    S: Copy + Eq + std::fmt::Debug,
+{
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+    use proptest::prelude::*;
+
+    struct Epidemic;
+
+    impl Protocol for Epidemic {
+        type State = bool;
+        fn interact<R: rand::Rng + ?Sized>(&self, i: bool, r: bool, _rng: &mut R) -> (bool, bool) {
+            (i || r, r)
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn construction_and_counting() {
+        let pop = AgentPopulation::from_groups(&[(true, 2), (false, 3)]);
+        assert_eq!(pop.len(), 5);
+        assert!(!pop.is_empty());
+        assert_eq!(pop.count_where(|&s| s), 2);
+        assert_eq!(pop.counts_by(2, usize::from), vec![3, 2]);
+        assert!(!pop.is_consensus());
+        assert_eq!(pop.interactions(), 0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let pop: AgentPopulation<u8> = (0u8..4).collect();
+        assert_eq!(pop.len(), 4);
+        assert_eq!(pop.state(2), 2);
+    }
+
+    #[test]
+    fn too_few_agents_error() {
+        let mut pop = AgentPopulation::new(vec![true]);
+        let mut rng = rng_from_seed(1);
+        assert!(matches!(
+            pop.step(&Epidemic, &mut rng),
+            Err(PopulationError::TooFewAgents { n: 1 })
+        ));
+    }
+
+    #[test]
+    fn epidemic_eventually_infects_everyone() {
+        let mut pop = AgentPopulation::from_groups(&[(true, 1), (false, 49)]);
+        let mut rng = rng_from_seed(2);
+        let mut steps = 0u64;
+        while !pop.is_consensus() {
+            pop.step(&Epidemic, &mut rng).unwrap();
+            steps += 1;
+            assert!(steps < 1_000_000, "epidemic failed to spread");
+        }
+        assert!(pop.iter().all(|&s| s));
+        assert_eq!(pop.interactions(), steps);
+    }
+
+    #[test]
+    fn consensus_detection() {
+        let pop = AgentPopulation::from_groups(&[(7u8, 4)]);
+        assert!(pop.is_consensus());
+        let empty: AgentPopulation<u8> = AgentPopulation::new(vec![]);
+        assert!(empty.is_consensus()); // vacuous
+    }
+
+    proptest! {
+        #[test]
+        fn prop_step_touches_at_most_two_agents(seed in 0u64..100) {
+            let mut pop = AgentPopulation::from_groups(&[(false, 10), (true, 2)]);
+            let before: Vec<bool> = pop.iter().copied().collect();
+            let mut rng = rng_from_seed(seed);
+            let (i, j) = pop.step(&Epidemic, &mut rng).unwrap();
+            prop_assert_ne!(i, j);
+            let after: Vec<bool> = pop.iter().copied().collect();
+            for idx in 0..before.len() {
+                if idx != i && idx != j {
+                    prop_assert_eq!(before[idx], after[idx]);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_infected_count_monotone(seed in 0u64..50) {
+            let mut pop = AgentPopulation::from_groups(&[(true, 3), (false, 9)]);
+            let mut rng = rng_from_seed(seed);
+            let mut prev = pop.count_where(|&s| s);
+            for _ in 0..200 {
+                pop.step(&Epidemic, &mut rng).unwrap();
+                let now = pop.count_where(|&s| s);
+                prop_assert!(now >= prev);
+                prev = now;
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The protocol trait: local transition rules over pairs of agents.
+
+use rand::Rng;
+
+/// A population protocol: a (possibly randomized) transition function
+/// applied to a sampled ordered pair of agents.
+///
+/// The paper's protocols are *one-way* (footnote 3): only the initiator
+/// updates. Implementors of one-way protocols simply return the responder's
+/// state unchanged; [`Protocol::is_one_way`] documents the intent and lets
+/// engines and tests assert it.
+///
+/// # Example
+///
+/// ```
+/// use popgame_population::protocol::Protocol;
+///
+/// /// Epidemic spreading: the initiator catches the responder's infection.
+/// struct Epidemic;
+///
+/// impl Protocol for Epidemic {
+///     type State = bool; // infected?
+///     fn interact<R: rand::Rng + ?Sized>(
+///         &self,
+///         initiator: bool,
+///         responder: bool,
+///         _rng: &mut R,
+///     ) -> (bool, bool) {
+///         (initiator || responder, responder)
+///     }
+///     fn is_one_way(&self) -> bool { true }
+/// }
+/// ```
+pub trait Protocol {
+    /// The local state of one agent.
+    type State: Copy + Eq + std::fmt::Debug;
+
+    /// Computes the post-interaction states `(initiator', responder')`.
+    fn interact<R: Rng + ?Sized>(
+        &self,
+        initiator: Self::State,
+        responder: Self::State,
+        rng: &mut R,
+    ) -> (Self::State, Self::State);
+
+    /// Whether the protocol only ever updates the initiator. Default `false`.
+    fn is_one_way(&self) -> bool {
+        false
+    }
+}
+
+/// A protocol whose state space is finite and enumerable, enabling the
+/// count-level engine ([`crate::counts::CountedPopulation`]).
+///
+/// The enumeration must be a bijection between `0..num_states()` and the
+/// reachable states.
+pub trait EnumerableProtocol: Protocol {
+    /// Number of distinct states.
+    fn num_states(&self) -> usize;
+
+    /// Index of a state within `0..num_states()`.
+    fn state_index(&self, state: Self::State) -> usize;
+
+    /// The state at a given index.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `index >= num_states()`.
+    fn state_at(&self, index: usize) -> Self::State;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+
+    struct Epidemic;
+
+    impl Protocol for Epidemic {
+        type State = bool;
+        fn interact<R: Rng + ?Sized>(&self, i: bool, r: bool, _rng: &mut R) -> (bool, bool) {
+            (i || r, r)
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for Epidemic {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, state: bool) -> usize {
+            usize::from(state)
+        }
+        fn state_at(&self, index: usize) -> bool {
+            index == 1
+        }
+    }
+
+    #[test]
+    fn one_way_flag_and_interaction() {
+        let mut rng = rng_from_seed(0);
+        let p = Epidemic;
+        assert!(p.is_one_way());
+        assert_eq!(p.interact(false, true, &mut rng), (true, true));
+        assert_eq!(p.interact(false, false, &mut rng), (false, false));
+    }
+
+    #[test]
+    fn enumeration_round_trips() {
+        let p = Epidemic;
+        for i in 0..p.num_states() {
+            assert_eq!(p.state_index(p.state_at(i)), i);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulation drivers: run for a step budget, until a predicate, or record
+//! a trajectory of observations.
+
+use crate::error::PopulationError;
+use crate::population::AgentPopulation;
+use crate::protocol::Protocol;
+use rand::Rng;
+
+/// Runs exactly `steps` interactions.
+///
+/// # Panics
+///
+/// Panics if the population has fewer than two agents (a configuration
+/// error in the caller's experiment setup).
+pub fn run_steps<P, R>(
+    protocol: &P,
+    population: &mut AgentPopulation<P::State>,
+    steps: u64,
+    rng: &mut R,
+) where
+    P: Protocol,
+    R: Rng + ?Sized,
+{
+    for _ in 0..steps {
+        population
+            .step(protocol, rng)
+            .expect("population must hold at least two agents");
+    }
+}
+
+/// Runs until `stop` returns `true` (checked after every interaction) or
+/// the step cap is exhausted. Returns the number of interactions executed,
+/// or `None` when the cap was hit.
+///
+/// # Errors
+///
+/// Propagates [`PopulationError`] from the underlying stepper.
+///
+/// # Example
+///
+/// ```
+/// use popgame_population::classic::{Opinion, UndecidedDynamics};
+/// use popgame_population::population::AgentPopulation;
+/// use popgame_population::simulator::run_until;
+/// use popgame_util::rng::rng_from_seed;
+///
+/// let mut pop = AgentPopulation::from_groups(&[(Opinion::A, 18), (Opinion::B, 2)]);
+/// let mut rng = rng_from_seed(12);
+/// let steps = run_until(&UndecidedDynamics, &mut pop, |p| p.is_consensus(), 1_000_000, &mut rng)
+///     .unwrap();
+/// assert!(steps.is_some());
+/// ```
+pub fn run_until<P, R, F>(
+    protocol: &P,
+    population: &mut AgentPopulation<P::State>,
+    stop: F,
+    cap: u64,
+    rng: &mut R,
+) -> Result<Option<u64>, PopulationError>
+where
+    P: Protocol,
+    R: Rng + ?Sized,
+    F: Fn(&AgentPopulation<P::State>) -> bool,
+{
+    if stop(population) {
+        return Ok(Some(0));
+    }
+    for t in 1..=cap {
+        population.step(protocol, rng)?;
+        if stop(population) {
+            return Ok(Some(t));
+        }
+    }
+    Ok(None)
+}
+
+/// Runs for `total_steps` interactions, recording `observe(population)`
+/// every `stride` steps (including at time 0). Returns the recorded series.
+///
+/// # Panics
+///
+/// Panics when `stride == 0`.
+pub fn record_trajectory<P, R, F, O>(
+    protocol: &P,
+    population: &mut AgentPopulation<P::State>,
+    total_steps: u64,
+    stride: u64,
+    mut observe: F,
+    rng: &mut R,
+) -> Vec<O>
+where
+    P: Protocol,
+    R: Rng + ?Sized,
+    F: FnMut(&AgentPopulation<P::State>) -> O,
+{
+    assert!(stride > 0, "stride must be positive");
+    let mut out = Vec::with_capacity((total_steps / stride + 1) as usize);
+    out.push(observe(population));
+    let mut executed = 0u64;
+    while executed < total_steps {
+        let burst = stride.min(total_steps - executed);
+        run_steps(protocol, population, burst, rng);
+        executed += burst;
+        out.push(observe(population));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+
+    struct Epidemic;
+
+    impl Protocol for Epidemic {
+        type State = bool;
+        fn interact<R: Rng + ?Sized>(&self, i: bool, r: bool, _rng: &mut R) -> (bool, bool) {
+            (i || r, r)
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn run_steps_advances_clock() {
+        let mut pop = AgentPopulation::from_groups(&[(true, 1), (false, 9)]);
+        let mut rng = rng_from_seed(7);
+        run_steps(&Epidemic, &mut pop, 123, &mut rng);
+        assert_eq!(pop.interactions(), 123);
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let mut pop = AgentPopulation::from_groups(&[(true, 1), (false, 19)]);
+        let mut rng = rng_from_seed(8);
+        let steps = run_until(
+            &Epidemic,
+            &mut pop,
+            |p| p.count_where(|&s| s) >= 10,
+            1_000_000,
+            &mut rng,
+        )
+        .unwrap()
+        .expect("must reach 10 infected");
+        assert!(steps > 0);
+        assert!(pop.count_where(|&s| s) >= 10);
+    }
+
+    #[test]
+    fn run_until_immediate_when_satisfied() {
+        let mut pop = AgentPopulation::from_groups(&[(true, 5)]);
+        let mut rng = rng_from_seed(9);
+        let steps = run_until(&Epidemic, &mut pop, |_| true, 10, &mut rng).unwrap();
+        assert_eq!(steps, Some(0));
+    }
+
+    #[test]
+    fn run_until_cap_returns_none() {
+        let mut pop = AgentPopulation::from_groups(&[(true, 1), (false, 9)]);
+        let mut rng = rng_from_seed(10);
+        let steps = run_until(&Epidemic, &mut pop, |_| false, 5, &mut rng).unwrap();
+        assert_eq!(steps, None);
+        assert_eq!(pop.interactions(), 5);
+    }
+
+    #[test]
+    fn trajectory_has_expected_length_and_monotone_infection() {
+        let mut pop = AgentPopulation::from_groups(&[(true, 2), (false, 18)]);
+        let mut rng = rng_from_seed(11);
+        let series = record_trajectory(
+            &Epidemic,
+            &mut pop,
+            100,
+            10,
+            |p| p.count_where(|&s| s),
+            &mut rng,
+        );
+        assert_eq!(series.len(), 11);
+        for w in series.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn trajectory_with_ragged_final_burst() {
+        let mut pop = AgentPopulation::from_groups(&[(true, 1), (false, 4)]);
+        let mut rng = rng_from_seed(12);
+        let series = record_trajectory(&Epidemic, &mut pop, 25, 10, |p| p.interactions(), &mut rng);
+        assert_eq!(series, vec![0, 10, 20, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let mut pop = AgentPopulation::from_groups(&[(true, 1), (false, 4)]);
+        let mut rng = rng_from_seed(13);
+        let _ = record_trajectory(&Epidemic, &mut pop, 10, 0, |_| (), &mut rng);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for utility-layer validation failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a utility function receives an invalid argument.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::sampler::checked_probability;
+///
+/// let err = checked_probability(1.5).unwrap_err();
+/// assert!(err.to_string().contains("probability"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum UtilError {
+    /// A probability argument was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A weight vector was empty, contained a negative/non-finite entry, or
+    /// summed to zero.
+    InvalidWeights {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A histogram or fit was configured with an empty or inverted range.
+    InvalidRange {
+        /// Lower edge supplied by the caller.
+        lo: f64,
+        /// Upper edge supplied by the caller.
+        hi: f64,
+    },
+    /// Not enough data points for the requested statistic.
+    InsufficientData {
+        /// How many points the statistic needs.
+        needed: usize,
+        /// How many points were provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for UtilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtilError::InvalidProbability { value } => {
+                write!(f, "probability must lie in [0, 1], got {value}")
+            }
+            UtilError::InvalidWeights { reason } => {
+                write!(f, "invalid weight vector: {reason}")
+            }
+            UtilError::InvalidRange { lo, hi } => {
+                write!(f, "invalid range: lo = {lo} must be strictly below hi = {hi}")
+            }
+            UtilError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} points, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for UtilError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = UtilError::InvalidProbability { value: -0.2 };
+        assert_eq!(e.to_string(), "probability must lie in [0, 1], got -0.2");
+        let e = UtilError::InvalidRange { lo: 3.0, hi: 1.0 };
+        assert!(e.to_string().contains("lo = 3"));
+        let e = UtilError::InsufficientData { needed: 2, got: 0 };
+        assert!(e.to_string().contains("needed 2"));
+        let e = UtilError::InvalidWeights {
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<UtilError>();
+    }
+}

@@ -1,0 +1,367 @@
+//! Fixed-bin histograms for summarizing simulation output.
+//!
+//! Two flavors: [`IntHistogram`] counts occurrences of small non-negative
+//! integers (strategy indexes, urn loads), and [`Histogram`] bins real values
+//! over a fixed range (payoffs, coupling times).
+
+use crate::error::UtilError;
+use std::fmt;
+
+/// Histogram over non-negative integer values `0..len`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::histogram::IntHistogram;
+///
+/// let mut h = IntHistogram::new(4);
+/// for v in [0, 1, 1, 3] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.frequencies(), vec![0.25, 0.5, 0.0, 0.25]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// Creates a histogram with bins `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            counts: vec![0; len],
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value` is out of range; out-of-range values indicate a
+    /// logic error in the caller (state indexes are always known a priori).
+    pub fn record(&mut self, value: usize) {
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` simultaneous observations of `value`.
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        self.counts[value] += n;
+        self.total += n;
+    }
+
+    /// Count in a single bin.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts[value]
+    }
+
+    /// All bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` when the histogram has zero bins.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Normalized frequencies (all zeros when no data was recorded).
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Total-variation distance between the normalized histogram and a
+    /// reference pmf of the same length: `½ Σ |p_i − q_i|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtilError::InvalidWeights`] on length mismatch.
+    pub fn tv_distance_to(&self, pmf: &[f64]) -> Result<f64, UtilError> {
+        if pmf.len() != self.counts.len() {
+            return Err(UtilError::InvalidWeights {
+                reason: format!(
+                    "pmf length {} does not match histogram bins {}",
+                    pmf.len(),
+                    self.counts.len()
+                ),
+            });
+        }
+        let freqs = self.frequencies();
+        Ok(freqs
+            .iter()
+            .zip(pmf.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0)
+    }
+
+    /// Merges another histogram of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bin-count mismatch.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge histograms of different shapes"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for IntHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let freqs = self.frequencies();
+        for (i, (&c, fq)) in self.counts.iter().zip(freqs.iter()).enumerate() {
+            let bar_len = (fq * 50.0).round() as usize;
+            writeln!(f, "{i:>4} | {:<50} {c} ({:.3})", "#".repeat(bar_len), fq)?;
+        }
+        Ok(())
+    }
+}
+
+/// Histogram binning real values over `[lo, hi)` into equal-width bins, with
+/// explicit underflow/overflow counters.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.record(0.5);
+/// h.record(9.9);
+/// h.record(-1.0);  // underflow
+/// h.record(10.0);  // overflow (hi is exclusive)
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(4), 1);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtilError::InvalidRange`] when `lo >= hi` or either bound
+    /// is non-finite, and [`UtilError::InvalidWeights`] when `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, UtilError> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(UtilError::InvalidRange { lo, hi });
+        }
+        if bins == 0 {
+            return Err(UtilError::InvalidWeights {
+                reason: "histogram needs at least one bin".into(),
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Inclusive-exclusive edges `(left, right)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Number of observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` when the histogram has zero bins (cannot occur after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn int_histogram_basics() {
+        let mut h = IntHistogram::new(3);
+        h.record(0);
+        h.record_n(2, 3);
+        assert_eq!(h.counts(), &[1, 0, 3]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn int_histogram_empty_frequencies() {
+        let h = IntHistogram::new(2);
+        assert_eq!(h.frequencies(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn tv_distance_against_exact_pmf() {
+        let mut h = IntHistogram::new(2);
+        h.record_n(0, 50);
+        h.record_n(1, 50);
+        assert_eq!(h.tv_distance_to(&[0.5, 0.5]).unwrap(), 0.0);
+        assert!((h.tv_distance_to(&[1.0, 0.0]).unwrap() - 0.5).abs() < 1e-12);
+        assert!(h.tv_distance_to(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn int_histogram_merge() {
+        let mut a = IntHistogram::new(2);
+        a.record(0);
+        let mut b = IntHistogram::new(2);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1]);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn int_histogram_merge_shape_mismatch_panics() {
+        let mut a = IntHistogram::new(2);
+        a.merge(&IntHistogram::new(3));
+    }
+
+    #[test]
+    fn display_renders_all_bins() {
+        let mut h = IntHistogram::new(2);
+        h.record(0);
+        let s = h.to_string();
+        assert!(s.contains("0 |"));
+        assert!(s.contains("1 |"));
+    }
+
+    #[test]
+    fn real_histogram_rejects_bad_config() {
+        assert!(matches!(
+            Histogram::new(1.0, 1.0, 4),
+            Err(UtilError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            Histogram::new(f64::NAN, 1.0, 4),
+            Err(UtilError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            Histogram::new(0.0, 1.0, 0),
+            Err(UtilError::InvalidWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn real_histogram_bin_edges() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_real_observation_lands_somewhere(
+            xs in proptest::collection::vec(-20.0..20.0f64, 0..100)
+        ) {
+            let mut h = Histogram::new(-5.0, 5.0, 7).unwrap();
+            for &x in &xs {
+                h.record(x);
+            }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        #[test]
+        fn prop_int_frequencies_sum_to_one(
+            values in proptest::collection::vec(0usize..5, 1..200)
+        ) {
+            let mut h = IntHistogram::new(5);
+            for &v in &values {
+                h.record(v);
+            }
+            let sum: f64 = h.frequencies().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_tv_distance_bounded(
+            values in proptest::collection::vec(0usize..4, 1..100)
+        ) {
+            let mut h = IntHistogram::new(4);
+            for &v in &values {
+                h.record(v);
+            }
+            let tv = h.tv_distance_to(&[0.25, 0.25, 0.25, 0.25]).unwrap();
+            prop_assert!((0.0..=1.0).contains(&tv));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Numeric, statistical, and sampling utilities for the `popgame` workspace.
+//!
+//! This crate is the lowest layer of the workspace reproducing *Game Dynamics
+//! and Equilibrium Computation in the Population Protocol Model* (PODC 2024).
+//! It contains nothing game-specific: just carefully tested numerics that the
+//! simulation and analysis crates build on.
+//!
+//! # Modules
+//!
+//! * [`numeric`] — compensated summation, `log`-space helpers, factorials,
+//!   and approximate floating-point comparison.
+//! * [`stats`] — streaming moments, quantiles, confidence intervals, and
+//!   least-squares fits used to extract scaling exponents from experiments.
+//! * [`histogram`] — fixed-bin histograms for integer and real-valued data.
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible from a single named seed.
+//! * [`sampler`] — exact discrete samplers (Bernoulli, binomial, geometric,
+//!   weighted index) built from scratch on top of [`rand`].
+//!
+//! # Example
+//!
+//! ```
+//! use popgame_util::rng::rng_from_seed;
+//! use popgame_util::sampler::sample_binomial;
+//! use popgame_util::stats::RunningStats;
+//!
+//! let mut rng = rng_from_seed(7);
+//! let mut stats = RunningStats::new();
+//! for _ in 0..2_000 {
+//!     stats.push(sample_binomial(100, 0.3, &mut rng) as f64);
+//! }
+//! assert!((stats.mean() - 30.0).abs() < 1.0);
+//! ```
+
+pub mod error;
+pub mod histogram;
+pub mod numeric;
+pub mod rng;
+pub mod sampler;
+pub mod stats;
+
+pub use error::UtilError;

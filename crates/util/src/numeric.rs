@@ -1,0 +1,413 @@
+//! Compensated summation, `log`-space arithmetic, and factorial tables.
+//!
+//! The analysis layers compute products of many small probabilities
+//! (multinomial pmfs over the simplex `∆^m_k`) and long sums of payoffs, so
+//! everything here is written to be numerically robust: sums are Kahan
+//! compensated and combinatorial quantities live in `log`-space.
+
+/// A Kahan–Babuška compensated accumulator.
+///
+/// Summing `n` doubles naively loses `O(n ε)` precision; compensated
+/// summation keeps the error `O(ε)` independent of `n`, which matters when
+/// averaging millions of simulated payoffs.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::KahanSum;
+///
+/// let mut acc = KahanSum::new();
+/// for _ in 0..1_000_000 {
+///     acc.add(0.1);
+/// }
+/// assert!((acc.value() - 100_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an accumulator holding zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a term to the running sum.
+    pub fn add(&mut self, term: f64) {
+        // Neumaier's variant: robust even when |term| > |sum|.
+        let t = self.sum + term;
+        if self.sum.abs() >= term.abs() {
+            self.compensation += (self.sum - t) + term;
+        } else {
+            self.compensation += (term - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Returns the compensated value of the sum.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = KahanSum::new();
+        for x in iter {
+            acc.add(x);
+        }
+        acc
+    }
+}
+
+/// Compensated sum of a slice.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::kahan_sum;
+/// assert_eq!(kahan_sum(&[1.0, 2.0, 3.0]), 6.0);
+/// ```
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<KahanSum>().value()
+}
+
+/// `log(exp(a) + exp(b))` computed without overflow.
+///
+/// Either argument may be `f64::NEG_INFINITY` (representing probability
+/// zero), in which case the other argument is returned.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::log_add_exp;
+/// let x = log_add_exp(-1000.0, -1000.0);
+/// assert!((x - (-1000.0 + std::f64::consts::LN_2)).abs() < 1e-12);
+/// ```
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `log(Σ exp(x_i))` over a slice, without overflow.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice (the log of an empty sum).
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::log_sum_exp;
+/// let terms = [0.0_f64.ln(), 0.25_f64.ln(), 0.75_f64.ln()];
+/// assert!((log_sum_exp(&terms) - 0.0_f64).abs() < 1e-12);
+/// ```
+pub fn log_sum_exp(terms: &[f64]) -> f64 {
+    let hi = terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let mut acc = KahanSum::new();
+    for &t in terms {
+        acc.add((t - hi).exp());
+    }
+    hi + acc.value().ln()
+}
+
+/// Size of the exact lookup table used by [`ln_factorial`].
+const LN_FACTORIAL_TABLE_LEN: usize = 1024;
+
+fn ln_factorial_table() -> &'static [f64; LN_FACTORIAL_TABLE_LEN] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; LN_FACTORIAL_TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0; LN_FACTORIAL_TABLE_LEN];
+        for i in 2..LN_FACTORIAL_TABLE_LEN {
+            t[i] = t[i - 1] + (i as f64).ln();
+        }
+        t
+    })
+}
+
+/// `ln(n!)`, exact-by-recurrence for `n < 1024` and via Stirling's series
+/// (with the `1/(12n) − 1/(360n³)` correction) above that.
+///
+/// The Stirling branch is accurate to well below `1e-12` relative error for
+/// `n ≥ 1024`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::ln_factorial;
+/// assert!((ln_factorial(5) - 120.0_f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    if (n as usize) < LN_FACTORIAL_TABLE_LEN {
+        ln_factorial_table()[n as usize]
+    } else {
+        let x = n as f64;
+        // Stirling's series for ln Γ(x + 1).
+        let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+        (x + 0.5) * x.ln() - x + 0.5 * ln_2pi + 1.0 / (12.0 * x) - 1.0 / (360.0 * x.powi(3))
+    }
+}
+
+/// `ln C(n, k)`, the log binomial coefficient.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::ln_binomial;
+/// assert!((ln_binomial(10, 3) - 120.0_f64.ln()).abs() < 1e-12);
+/// assert_eq!(ln_binomial(3, 10), f64::NEG_INFINITY);
+/// ```
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln( m! / (x_1! · x_2! ⋯ x_k!) )`, the log multinomial coefficient, where
+/// `m = Σ x_i`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::ln_multinomial;
+/// // 4! / (2! 1! 1!) = 12
+/// assert!((ln_multinomial(&[2, 1, 1]) - 12.0_f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_multinomial(counts: &[u64]) -> f64 {
+    let m: u64 = counts.iter().sum();
+    let mut acc = ln_factorial(m);
+    for &x in counts {
+        acc -= ln_factorial(x);
+    }
+    acc
+}
+
+/// Exact binomial coefficient `C(n, k)` as `u128`, computed multiplicatively.
+///
+/// # Panics
+///
+/// Panics on intermediate overflow of `u128`, which does not occur for the
+/// simplex sizes used in this workspace (`n ≤ ~120`).
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::binomial_u128;
+/// assert_eq!(binomial_u128(10, 3), 120);
+/// assert_eq!(binomial_u128(3, 10), 0);
+/// ```
+pub fn binomial_u128(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result
+            .checked_mul((n - i) as u128)
+            .expect("binomial coefficient overflowed u128");
+        result /= (i + 1) as u128;
+    }
+    result
+}
+
+/// Approximate equality with combined absolute/relative tolerance.
+///
+/// Returns `true` when `|a − b| ≤ tol · max(1, |a|, |b|)`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::approx_eq;
+/// assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(!approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= tol * scale
+}
+
+/// Clamps `x` to `[lo, hi]`.
+///
+/// Unlike `f64::clamp`, this does not panic when the interval is degenerate
+/// (`lo == hi`), which arises when a generosity grid collapses to one point.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::clamp;
+/// assert_eq!(clamp(2.0, 0.0, 1.0), 1.0);
+/// assert_eq!(clamp(0.5, 0.5, 0.5), 0.5);
+/// ```
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi, "clamp called with inverted bounds");
+    x.max(lo).min(hi)
+}
+
+/// Geometric series sum `Σ_{i=0}^{n-1} r^i`, stable at `r == 1`.
+///
+/// Used for the closed-form average generosity (Prop. 2.8), where the ratio
+/// `λ = (1 − β)/β` hits 1 exactly at `β = 1/2`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::numeric::geometric_sum;
+/// assert_eq!(geometric_sum(1.0, 5), 5.0);
+/// assert!((geometric_sum(2.0, 4) - 15.0).abs() < 1e-12);
+/// ```
+pub fn geometric_sum(r: f64, n: u32) -> f64 {
+    if (r - 1.0).abs() < 1e-12 {
+        n as f64
+    } else {
+        (r.powi(n as i32) - 1.0) / (r - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kahan_beats_naive_on_pathological_sum() {
+        // 1 followed by 1e16 tiny terms: the naive sum collapses them away.
+        let tiny = 1e-16;
+        let n = 10_000_000usize;
+        let mut acc = KahanSum::new();
+        acc.add(1.0);
+        for _ in 0..n {
+            acc.add(tiny);
+        }
+        let expected = 1.0 + tiny * n as f64;
+        assert!((acc.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kahan_from_iterator() {
+        let acc: KahanSum = vec![0.5, 0.25, 0.25].into_iter().collect();
+        assert_eq!(acc.value(), 1.0);
+    }
+
+    #[test]
+    fn log_add_exp_handles_neg_infinity() {
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, -3.0), -3.0);
+        assert_eq!(log_add_exp(-3.0, f64::NEG_INFINITY), -3.0);
+        assert_eq!(
+            log_add_exp(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct_computation() {
+        let probs = [0.1f64, 0.2, 0.3, 0.4];
+        let logs: Vec<f64> = probs.iter().map(|p| p.ln()).collect();
+        assert!(approx_eq(log_sum_exp(&logs), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn ln_factorial_small_values_exact() {
+        let expect = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, e) in expect.iter().enumerate() {
+            assert!(
+                approx_eq(ln_factorial(n as u64), e.ln(), 1e-12),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_stirling_branch_continuous_at_table_edge() {
+        // The table covers n < 1024; compare recurrence vs Stirling at 1024.
+        let by_recurrence = ln_factorial(1023) + 1024.0_f64.ln();
+        let by_stirling = ln_factorial(1024);
+        assert!(approx_eq(by_recurrence, by_stirling, 1e-12));
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for n in 0..60u64 {
+            for k in 0..=n {
+                let exact = binomial_u128(n, k) as f64;
+                assert!(
+                    approx_eq(ln_binomial(n, k), exact.ln(), 1e-10),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ln_multinomial_agrees_with_sequential_binomials() {
+        // m!/(x1!x2!x3!) = C(m, x1) * C(m-x1, x2)
+        let counts = [3u64, 4, 5];
+        let m = 12u64;
+        let expect = ln_binomial(m, 3) + ln_binomial(9, 4);
+        assert!(approx_eq(ln_multinomial(&counts), expect, 1e-12));
+    }
+
+    #[test]
+    fn geometric_sum_at_unity_and_generic() {
+        assert_eq!(geometric_sum(1.0, 7), 7.0);
+        assert!(approx_eq(geometric_sum(0.5, 3), 1.75, 1e-12));
+        assert_eq!(geometric_sum(3.0, 0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kahan_close_to_naive_on_benign_data(xs in proptest::collection::vec(-100.0..100.0f64, 0..200)) {
+            let naive: f64 = xs.iter().sum();
+            prop_assert!(approx_eq(kahan_sum(&xs), naive, 1e-9));
+        }
+
+        #[test]
+        fn prop_log_add_exp_commutative(a in -50.0..50.0f64, b in -50.0..50.0f64) {
+            prop_assert!(approx_eq(log_add_exp(a, b), log_add_exp(b, a), 1e-12));
+        }
+
+        #[test]
+        fn prop_log_add_exp_exceeds_max(a in -50.0..50.0f64, b in -50.0..50.0f64) {
+            prop_assert!(log_add_exp(a, b) >= a.max(b));
+        }
+
+        #[test]
+        fn prop_binomial_symmetry(n in 0u64..80, k in 0u64..80) {
+            prop_assume!(k <= n);
+            prop_assert_eq!(binomial_u128(n, k), binomial_u128(n, n - k));
+        }
+
+        #[test]
+        fn prop_pascal_rule(n in 1u64..60, k in 1u64..60) {
+            prop_assume!(k <= n);
+            prop_assert_eq!(
+                binomial_u128(n, k),
+                binomial_u128(n - 1, k - 1) + binomial_u128(n - 1, k),
+            );
+        }
+
+        #[test]
+        fn prop_clamp_in_range(x in -10.0..10.0f64, lo in -5.0..0.0f64, hi in 0.0..5.0f64) {
+            let c = clamp(x, lo, hi);
+            prop_assert!(c >= lo && c <= hi);
+        }
+    }
+}

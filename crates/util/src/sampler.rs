@@ -1,0 +1,513 @@
+//! Exact discrete samplers built from scratch.
+//!
+//! The simulation layers need four primitives: Bernoulli draws, binomial
+//! counts (for sampling multinomial stationary laws), geometric waiting
+//! times (repeated-game lengths), and O(1) weighted index sampling (picking
+//! an urn proportionally to its load). All are implemented here against the
+//! [`rand::Rng`] trait with no further dependencies.
+
+use crate::error::UtilError;
+use crate::numeric::ln_binomial;
+use rand::Rng;
+
+/// Validates that `p` is a probability in `[0, 1]`, returning it unchanged.
+///
+/// # Errors
+///
+/// Returns [`UtilError::InvalidProbability`] when `p` is outside `[0, 1]` or
+/// not finite.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::sampler::checked_probability;
+/// assert_eq!(checked_probability(0.25).unwrap(), 0.25);
+/// assert!(checked_probability(-0.1).is_err());
+/// assert!(checked_probability(f64::NAN).is_err());
+/// ```
+pub fn checked_probability(p: f64) -> Result<f64, UtilError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(UtilError::InvalidProbability { value: p })
+    }
+}
+
+/// Draws `true` with probability `p`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::{rng::rng_from_seed, sampler::sample_bernoulli};
+///
+/// let mut rng = rng_from_seed(1);
+/// let hits = (0..10_000).filter(|_| sample_bernoulli(0.3, &mut rng)).count();
+/// assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+/// ```
+#[inline]
+pub fn sample_bernoulli<R: Rng + ?Sized>(p: f64, rng: &mut R) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "bernoulli p out of range: {p}");
+    rng.gen::<f64>() < p
+}
+
+/// Samples a geometric waiting time: the number of failures before the first
+/// success in independent Bernoulli(`p`) trials (support `{0, 1, 2, …}`).
+///
+/// Uses the inversion formula `⌊ln U / ln(1 − p)⌋`, exact up to `f64`
+/// rounding.
+///
+/// # Panics
+///
+/// Panics (debug assertion) when `p ∉ (0, 1]`. `p = 1` always returns 0.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::{rng::rng_from_seed, sampler::sample_geometric};
+///
+/// let mut rng = rng_from_seed(2);
+/// let mean: f64 = (0..20_000).map(|_| sample_geometric(0.5, &mut rng) as f64).sum::<f64>() / 20_000.0;
+/// assert!((mean - 1.0).abs() < 0.05); // E = (1-p)/p = 1
+/// ```
+#[inline]
+pub fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0, "geometric p out of range: {p}");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()) as u64
+}
+
+/// Samples a Binomial(`n`, `p`) count exactly.
+///
+/// Strategy: inversion started at the mode and expanded outward, so the
+/// expected work is `O(√(n p (1−p)))` — fast enough to draw multinomial
+/// stationary samples with `n` in the tens of thousands, while remaining
+/// *exact* (no normal approximation) so distributional tests can use tight
+/// tolerances.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::{rng::rng_from_seed, sampler::sample_binomial};
+///
+/// let mut rng = rng_from_seed(3);
+/// let x = sample_binomial(1000, 0.25, &mut rng);
+/// assert!(x <= 1000);
+/// ```
+pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p), "binomial p out of range: {p}");
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Work with q = min(p, 1-p) and mirror at the end.
+    let (q, mirrored) = if p <= 0.5 { (p, false) } else { (1.0 - p, true) };
+    let x = binomial_inversion_from_mode(n, q, rng);
+    if mirrored {
+        n - x
+    } else {
+        x
+    }
+}
+
+/// Exact inversion: locate the mode, then accumulate pmf mass outward in
+/// both directions until the uniform variate is covered.
+fn binomial_inversion_from_mode<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let mode = (((n + 1) as f64) * p).floor().min(n as f64) as u64;
+    let ln_pmf_mode = ln_binomial(n, mode) + mode as f64 * p.ln() + (n - mode) as f64 * (1.0 - p).ln();
+    let pmf_mode = ln_pmf_mode.exp();
+
+    let u: f64 = rng.gen();
+    // Walk outward: maintain pmf values to the left and right of the mode via
+    // the ratio recurrences
+    //   pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p)
+    //   pmf(k-1)/pmf(k) = k/(n-k+1) * (1-p)/p
+    let ratio = p / (1.0 - p);
+    let mut cumulative = pmf_mode;
+    if u < cumulative {
+        return mode;
+    }
+    let mut left = mode;
+    let mut right = mode;
+    let mut pmf_left = pmf_mode;
+    let mut pmf_right = pmf_mode;
+    loop {
+        let mut advanced = false;
+        if right < n {
+            pmf_right *= (n - right) as f64 / (right + 1) as f64 * ratio;
+            right += 1;
+            cumulative += pmf_right;
+            if u < cumulative {
+                return right;
+            }
+            advanced = true;
+        }
+        if left > 0 {
+            pmf_left *= left as f64 / (n - left + 1) as f64 / ratio;
+            left -= 1;
+            cumulative += pmf_left;
+            if u < cumulative {
+                return left;
+            }
+            advanced = true;
+        }
+        if !advanced {
+            // Entire support accumulated; u can exceed the total only through
+            // floating-point rounding. Return the mode as the safest value.
+            return mode;
+        }
+    }
+}
+
+/// Samples an index `i` with probability `weights[i] / Σ weights` by linear
+/// scan. `O(len)` per draw — use [`AliasTable`] when drawing many times from
+/// the same weights.
+///
+/// # Errors
+///
+/// Returns [`UtilError::InvalidWeights`] when the slice is empty, contains a
+/// negative or non-finite weight, or sums to zero.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::{rng::rng_from_seed, sampler::sample_weighted_index};
+///
+/// let mut rng = rng_from_seed(4);
+/// let i = sample_weighted_index(&[0.0, 2.0, 0.0], &mut rng).unwrap();
+/// assert_eq!(i, 1);
+/// ```
+pub fn sample_weighted_index<R: Rng + ?Sized>(
+    weights: &[f64],
+    rng: &mut R,
+) -> Result<usize, UtilError> {
+    validate_weights(weights)?;
+    let total: f64 = weights.iter().sum();
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return Ok(i);
+        }
+        target -= w;
+    }
+    // Floating-point rounding can exhaust the scan; return the last index
+    // with positive weight.
+    Ok(weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("validated weights contain a positive entry"))
+}
+
+fn validate_weights(weights: &[f64]) -> Result<(), UtilError> {
+    if weights.is_empty() {
+        return Err(UtilError::InvalidWeights {
+            reason: "empty weight vector".into(),
+        });
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(UtilError::InvalidWeights {
+            reason: "weights must be finite and non-negative".into(),
+        });
+    }
+    if weights.iter().sum::<f64>() <= 0.0 {
+        return Err(UtilError::InvalidWeights {
+            reason: "weights sum to zero".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Walker's alias table: `O(len)` construction, `O(1)` weighted index draws.
+///
+/// This is the hot-path sampler for picking an interaction partner's state
+/// proportionally to population counts.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::{rng::rng_from_seed, sampler::AliasTable};
+///
+/// let table = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = rng_from_seed(5);
+/// let ones = (0..40_000).filter(|_| table.sample(&mut rng) == 1).count();
+/// assert!((ones as f64 / 40_000.0 - 0.75).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from unnormalized weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sample_weighted_index`].
+    pub fn new(weights: &[f64]) -> Result<Self, UtilError> {
+        validate_weights(weights)?;
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        // Scale weights so the average cell is 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the table has zero categories (cannot occur after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in `O(1)`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Samples an ordered pair of distinct indices `(i, j)` uniformly from
+/// `{0..n}² \ diagonal` — the population-protocol scheduler primitive.
+///
+/// # Panics
+///
+/// Panics (debug assertion) when `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::{rng::rng_from_seed, sampler::sample_ordered_pair};
+///
+/// let mut rng = rng_from_seed(6);
+/// let (i, j) = sample_ordered_pair(10, &mut rng);
+/// assert_ne!(i, j);
+/// assert!(i < 10 && j < 10);
+/// ```
+#[inline]
+pub fn sample_ordered_pair<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
+    debug_assert!(n >= 2, "need at least two agents to sample a pair");
+    let i = rng.gen_range(0..n);
+    let mut j = rng.gen_range(0..n - 1);
+    if j >= i {
+        j += 1;
+    }
+    (i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::stats::RunningStats;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = rng_from_seed(0);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
+    }
+
+    #[test]
+    fn binomial_mean_and_variance_match_theory() {
+        let mut rng = rng_from_seed(11);
+        let (n, p) = (400u64, 0.3);
+        let stats: RunningStats = (0..30_000)
+            .map(|_| sample_binomial(n, p, &mut rng) as f64)
+            .collect();
+        let mean = n as f64 * p;
+        let var = n as f64 * p * (1.0 - p);
+        assert!((stats.mean() - mean).abs() < 0.3, "mean {}", stats.mean());
+        assert!(
+            (stats.sample_variance() - var).abs() < var * 0.05,
+            "variance {}",
+            stats.sample_variance()
+        );
+    }
+
+    #[test]
+    fn binomial_large_p_mirrors_correctly() {
+        let mut rng = rng_from_seed(12);
+        let stats: RunningStats = (0..20_000)
+            .map(|_| sample_binomial(100, 0.9, &mut rng) as f64)
+            .collect();
+        assert!((stats.mean() - 90.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn binomial_exact_pmf_chi_square_small_n() {
+        // Compare empirical frequencies against the exact pmf for n = 6.
+        let (n, p) = (6u64, 0.35);
+        let mut rng = rng_from_seed(13);
+        let draws = 120_000;
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..draws {
+            counts[sample_binomial(n, p, &mut rng) as usize] += 1;
+        }
+        let mut chi2 = 0.0;
+        for k in 0..=n {
+            let pmf = (ln_binomial(n, k)
+                + k as f64 * p.ln()
+                + (n - k) as f64 * (1.0 - p).ln())
+            .exp();
+            let expected = pmf * draws as f64;
+            let diff = counts[k as usize] as f64 - expected;
+            chi2 += diff * diff / expected;
+        }
+        // 7 cells → 6 dof; the 99.9% quantile is ≈ 22.5.
+        assert!(chi2 < 22.5, "chi-square too large: {chi2}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut rng = rng_from_seed(14);
+        assert_eq!(sample_geometric(1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn weighted_index_error_paths() {
+        let mut rng = rng_from_seed(15);
+        assert!(sample_weighted_index(&[], &mut rng).is_err());
+        assert!(sample_weighted_index(&[-1.0, 2.0], &mut rng).is_err());
+        assert!(sample_weighted_index(&[0.0, 0.0], &mut rng).is_err());
+        assert!(sample_weighted_index(&[f64::NAN], &mut rng).is_err());
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [0.5, 1.5, 3.0, 0.0, 5.0];
+        let table = AliasTable::new(&weights).unwrap();
+        assert_eq!(table.len(), 5);
+        let mut rng = rng_from_seed(16);
+        let mut counts = [0u64; 5];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for i in 0..5 {
+            let expected = weights[i] / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "index {i}: expected {expected}, got {got}"
+            );
+        }
+        assert_eq!(counts[3], 0, "zero-weight category must never be drawn");
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let table = AliasTable::new(&[2.0]).unwrap();
+        let mut rng = rng_from_seed(17);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn ordered_pair_uniform_over_off_diagonal() {
+        let mut rng = rng_from_seed(18);
+        let n = 4;
+        let mut counts = vec![0u64; n * n];
+        let draws = 120_000;
+        for _ in 0..draws {
+            let (i, j) = sample_ordered_pair(n, &mut rng);
+            counts[i * n + j] += 1;
+        }
+        let expected = draws as f64 / (n * (n - 1)) as f64;
+        for i in 0..n {
+            assert_eq!(counts[i * n + i], 0, "diagonal sampled");
+            for j in 0..n {
+                if i != j {
+                    let got = counts[i * n + j] as f64;
+                    assert!(
+                        (got - expected).abs() < expected * 0.1,
+                        "cell ({i},{j}) off: {got} vs {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_binomial_in_support(n in 0u64..2_000, p in 0.0..=1.0f64, seed in 0u64..1_000) {
+            let mut rng = rng_from_seed(seed);
+            let x = sample_binomial(n, p, &mut rng);
+            prop_assert!(x <= n);
+        }
+
+        #[test]
+        fn prop_weighted_index_skips_zero_weights(seed in 0u64..200) {
+            let weights = [0.0, 1.0, 0.0, 2.0, 0.0];
+            let mut rng = rng_from_seed(seed);
+            let i = sample_weighted_index(&weights, &mut rng).unwrap();
+            prop_assert!(i == 1 || i == 3);
+        }
+
+        #[test]
+        fn prop_alias_table_in_range(
+            weights in proptest::collection::vec(0.0..10.0f64, 1..20),
+            seed in 0u64..100,
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let table = AliasTable::new(&weights).unwrap();
+            let mut rng = rng_from_seed(seed);
+            for _ in 0..50 {
+                prop_assert!(table.sample(&mut rng) < weights.len());
+            }
+        }
+
+        #[test]
+        fn prop_ordered_pair_distinct(n in 2usize..50, seed in 0u64..100) {
+            let mut rng = rng_from_seed(seed);
+            let (i, j) = sample_ordered_pair(n, &mut rng);
+            prop_assert_ne!(i, j);
+            prop_assert!(i < n && j < n);
+        }
+
+        #[test]
+        fn prop_geometric_support(p in 0.01..1.0f64, seed in 0u64..100) {
+            let mut rng = rng_from_seed(seed);
+            let _ = sample_geometric(p, &mut rng); // must not panic
+        }
+    }
+}

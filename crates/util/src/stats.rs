@@ -1,0 +1,434 @@
+//! Streaming statistics, quantiles, confidence intervals, and linear fits.
+//!
+//! The experiment harnesses summarize thousands of Monte-Carlo replicas:
+//! mixing-time samples, payoff estimates, coupling times. [`RunningStats`]
+//! accumulates moments in one pass (Welford's algorithm); [`linear_fit`]
+//! extracts slopes of `log–log` scaling curves, which is how the paper's
+//! asymptotic exponents (`t_mix ~ k`, `ε ~ 1/k`) are verified empirically.
+
+use crate::error::UtilError;
+
+/// Single-pass accumulator for count, mean, variance, min, and max.
+///
+/// Uses Welford's numerically stable update; merging two accumulators is
+/// supported so statistics can be gathered shard-by-shard.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`/n`); `0.0` when fewer than one observation.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (`/(n−1)`); `0.0` when fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use popgame_util::stats::RunningStats;
+    /// let mut a = RunningStats::new();
+    /// let mut b = RunningStats::new();
+    /// for x in [1.0, 2.0] { a.push(x); }
+    /// for x in [3.0, 4.0] { b.push(x); }
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 4);
+    /// assert_eq!(a.mean(), 2.5);
+    /// ```
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A normal-approximation confidence interval for the mean at the given
+    /// z-score (e.g. `1.96` for 95%).
+    ///
+    /// Returns `(lo, hi)`.
+    pub fn mean_confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+impl std::iter::FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// The empirical `q`-quantile of a data set (linear interpolation between
+/// order statistics, the "type 7" estimator used by R and NumPy).
+///
+/// # Errors
+///
+/// Returns [`UtilError::InsufficientData`] on an empty slice and
+/// [`UtilError::InvalidProbability`] when `q ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::stats::quantile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+/// assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+/// assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Result<f64, UtilError> {
+    if data.is_empty() {
+        return Err(UtilError::InsufficientData { needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+        return Err(UtilError::InvalidProbability { value: q });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile data"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Result of an ordinary least-squares line fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 means a perfect line).
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of a line through `(x, y)` pairs.
+///
+/// This is the workhorse for verifying the paper's scaling laws: fitting
+/// `log t_mix` against `log k` should give slope ≈ 1 when `a ≠ b`
+/// (Theorem 2.5) and `log ε` against `log k` slope ≈ −1 (Theorem 2.9).
+///
+/// # Errors
+///
+/// Returns [`UtilError::InsufficientData`] with fewer than two points, and
+/// [`UtilError::InvalidWeights`] when all `x` values coincide (the slope is
+/// undefined).
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::stats::linear_fit;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [3.0, 5.0, 7.0, 9.0];
+/// let fit = linear_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.r_squared > 0.999_999);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, UtilError> {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return Err(UtilError::InsufficientData { needed: 2, got: n });
+    }
+    let nf = n as f64;
+    let mean_x = xs[..n].iter().sum::<f64>() / nf;
+    let mean_y = ys[..n].iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(UtilError::InvalidWeights {
+            reason: "all x values identical; slope undefined".into(),
+        });
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits a power law `y ≈ C · x^p` by regressing `ln y` on `ln x`, returning
+/// `(p, C, r²)`.
+///
+/// # Errors
+///
+/// Propagates [`linear_fit`] errors, and returns
+/// [`UtilError::InvalidWeights`] when any input is non-positive (power laws
+/// require positive data).
+///
+/// # Example
+///
+/// ```
+/// use popgame_util::stats::power_law_fit;
+/// let xs = [1.0, 2.0, 4.0, 8.0];
+/// let ys = [3.0, 12.0, 48.0, 192.0]; // y = 3 x²
+/// let (p, c, r2) = power_law_fit(&xs, &ys).unwrap();
+/// assert!((p - 2.0).abs() < 1e-10);
+/// assert!((c - 3.0).abs() < 1e-10);
+/// assert!(r2 > 0.999);
+/// ```
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> Result<(f64, f64, f64), UtilError> {
+    if xs.iter().chain(ys.iter()).any(|&v| v <= 0.0) {
+        return Err(UtilError::InvalidWeights {
+            reason: "power-law fit requires strictly positive data".into(),
+        });
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = linear_fit(&lx, &ly)?;
+    Ok((fit.slope, fit.intercept.exp(), fit.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = RunningStats::new();
+        let b: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.mean(), 2.0);
+        let mut c: RunningStats = [5.0].into_iter().collect();
+        c.merge(&RunningStats::new());
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_samples() {
+        let few: RunningStats = (0..10).map(|i| i as f64).collect();
+        let many: RunningStats = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (lo_f, hi_f) = few.mean_confidence_interval(1.96);
+        let (lo_m, hi_m) = many.mean_confidence_interval(1.96);
+        assert!(hi_m - lo_m < hi_f - lo_f);
+    }
+
+    #[test]
+    fn quantile_error_paths() {
+        assert!(matches!(
+            quantile(&[], 0.5),
+            Err(UtilError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            quantile(&[1.0], 1.5),
+            Err(UtilError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn quantile_median_odd_and_even() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5).unwrap(), 2.0);
+        assert_eq!(quantile(&[4.0, 1.0, 2.0, 3.0], 0.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn linear_fit_errors() {
+        assert!(matches!(
+            linear_fit(&[1.0], &[2.0]),
+            Err(UtilError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            linear_fit(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(UtilError::InvalidWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(power_law_fit(&[1.0, -2.0], &[1.0, 2.0]).is_err());
+        assert!(power_law_fit(&[1.0, 2.0], &[0.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn r_squared_of_noisy_data_below_one() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x + if (x as u64).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_matches_sequential(
+            xs in proptest::collection::vec(-100.0..100.0f64, 1..50),
+            ys in proptest::collection::vec(-100.0..100.0f64, 1..50),
+        ) {
+            let mut merged: RunningStats = xs.iter().copied().collect();
+            let right: RunningStats = ys.iter().copied().collect();
+            merged.merge(&right);
+            let all: RunningStats = xs.iter().chain(ys.iter()).copied().collect();
+            prop_assert!(approx_eq(merged.mean(), all.mean(), 1e-9));
+            prop_assert!(approx_eq(merged.sample_variance(), all.sample_variance(), 1e-8));
+            prop_assert_eq!(merged.count(), all.count());
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e6..1e6f64, 0..100)) {
+            let s: RunningStats = xs.into_iter().collect();
+            prop_assert!(s.population_variance() >= 0.0);
+        }
+
+        #[test]
+        fn prop_quantile_monotone(
+            xs in proptest::collection::vec(-100.0..100.0f64, 2..60),
+            q1 in 0.0..1.0f64,
+            q2 in 0.0..1.0f64,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-12);
+        }
+
+        #[test]
+        fn prop_fit_recovers_exact_line(
+            slope in -5.0..5.0f64,
+            intercept in -5.0..5.0f64,
+        ) {
+            let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+            let fit = linear_fit(&xs, &ys).unwrap();
+            prop_assert!(approx_eq(fit.slope, slope, 1e-9));
+            prop_assert!(approx_eq(fit.intercept, intercept, 1e-9));
+        }
+    }
+}

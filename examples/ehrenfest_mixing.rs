@@ -1,0 +1,70 @@
+//! Theorem 2.5: mixing-time scaling of the (k,a,b,m)-Ehrenfest process.
+//!
+//! Three views: (1) an exact k-sweep separating the k² (unbiased) from the
+//! ~k (biased) regime; (2) an exact m-sweep at k = 2 via the birth–death
+//! projection; (3) Monte-Carlo coupling upper bounds at state-space sizes
+//! far beyond exact enumeration, compared with the Lemma A.8 closed form.
+//!
+//! Run with: `cargo run --release --example ehrenfest_mixing`
+
+use popgame::prelude::*;
+use popgame_ehrenfest::coupling::{corner_coupling_times, lemma_a8_upper_bound};
+use popgame_ehrenfest::mixing::{exact_mixing_time, exact_mixing_time_k2, theorem_25_lower_bound};
+use popgame_util::stats::power_law_fit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // (1) Exact k-sweep at m = 6.
+    println!("exact k-sweep (m = 6):");
+    println!("{:>4} {:>14} {:>14}", "k", "t_mix (a=b)", "t_mix (a=4b)");
+    let ks = [2usize, 3, 4, 6, 8, 10];
+    let mut unbiased = Vec::new();
+    let mut biased = Vec::new();
+    for &k in &ks {
+        let tu = exact_mixing_time(&EhrenfestParams::new(k, 0.25, 0.25, 6)?, 0.25, 2_000_000)?
+            .expect("mixes");
+        let tb = exact_mixing_time(&EhrenfestParams::new(k, 0.4, 0.1, 6)?, 0.25, 2_000_000)?
+            .expect("mixes");
+        println!("{k:>4} {tu:>14} {tb:>14}");
+        unbiased.push(tu as f64);
+        biased.push(tb as f64);
+    }
+    let xs: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
+    println!(
+        "fitted k-exponents: unbiased {:.2} (theory 2), biased {:.2} (theory -> 1)\n",
+        power_law_fit(&xs, &unbiased)?.0,
+        power_law_fit(&xs, &biased)?.0
+    );
+
+    // (2) Exact m-sweep at k = 2 (birth–death projection).
+    println!("exact m-sweep (k = 2, a = b = 0.3):");
+    println!("{:>6} {:>10} {:>16}", "m", "t_mix", "t_mix/(m ln m)");
+    for &m in &[64u64, 256, 1024, 4096] {
+        let p = EhrenfestParams::new(2, 0.3, 0.3, m)?;
+        let t = exact_mixing_time_k2(&p, 0.25, 8_000_000)?.expect("mixes");
+        println!(
+            "{m:>6} {t:>10} {:>16.3}",
+            t as f64 / (m as f64 * (m as f64).ln())
+        );
+    }
+
+    // (3) Coupling bounds at scale: k = 16, m = 256 has ~10^28 states.
+    println!("\ncoupling upper bounds at scale (certified, Lemma A.8):");
+    println!(
+        "{:>4} {:>6} {:>18} {:>18} {:>14}",
+        "k", "m", "coupling bound", "Lemma A.8 formula", "diam bound"
+    );
+    for &(k, m) in &[(8usize, 128u64), (16, 256)] {
+        let p = EhrenfestParams::new(k, 0.35, 0.15, m)?;
+        let cap = (lemma_a8_upper_bound(&p) * 4.0) as u64;
+        let times = corner_coupling_times(p, 100, cap, 99);
+        let bound = times
+            .mixing_time_upper_bound(0.25)?
+            .expect("couples within cap");
+        println!(
+            "{k:>4} {m:>6} {bound:>18} {:>18.0} {:>14}",
+            lemma_a8_upper_bound(&p),
+            theorem_25_lower_bound(&p)
+        );
+    }
+    Ok(())
+}

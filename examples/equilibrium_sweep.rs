@@ -1,0 +1,68 @@
+//! Theorem 2.9: the equilibrium approximation ε(k) decays like 1/k.
+//!
+//! Sweeps the grid size k inside a verified Theorem 2.9 regime, computes
+//! the exact equilibrium gap Ψ(µ) at the mean stationary distribution, and
+//! fits the decay exponent. Also shows the Appendix D decomposition and
+//! what goes wrong when β approaches 1/2 (footnote 4).
+//!
+//! Run with: `cargo run --release --example equilibrium_sweep`
+
+use popgame::prelude::*;
+use popgame_equilibrium::taylor::{decompose, prop_d2_variance_bound};
+use popgame_util::stats::power_law_fit;
+
+fn regime_config(beta: f64, k: usize) -> Result<IgtConfig, Box<dyn std::error::Error>> {
+    let alpha = (1.0 - beta) * 0.55 / 0.95;
+    let gamma = 1.0 - alpha - beta;
+    Ok(IgtConfig::new(
+        PopulationComposition::new(alpha, beta, gamma)?,
+        GenerosityGrid::new(k, 0.2)?,
+        GameParams::new(8.0, 0.4, 0.5, 0.9)?,
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let beta = 0.05; // λ = 19, comfortably inside the regime
+    check_theorem_29(&regime_config(beta, 8)?)?;
+    println!("Theorem 2.9 regime verified (β = {beta}, λ = {}).\n", (1.0 - beta) / beta);
+
+    let ks = [2usize, 4, 8, 16, 32, 64, 128];
+    let mut gaps = Vec::new();
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>14}",
+        "k", "epsilon(k)", "Gamma term", "L*Var term", "Var vs 16/(k-1)^2"
+    );
+    for &k in &ks {
+        let cfg = regime_config(beta, k)?;
+        let mu = mean_stationary_mu(&cfg);
+        let d = decompose(&cfg, &mu);
+        let var = popgame_equilibrium::taylor::generosity_variance(&cfg, &mu);
+        gaps.push(d.gap);
+        println!(
+            "{:>5} {:>12.6} {:>12.6} {:>12.3e} {:>8.2e} <= {:>8.2e}",
+            k,
+            d.gap,
+            d.gamma_term,
+            d.l_var_term,
+            var,
+            prop_d2_variance_bound(k)
+        );
+    }
+    let xs: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
+    let (slope, _, r2) = power_law_fit(&xs, &gaps)?;
+    println!("\nfitted decay: epsilon(k) ~ k^{slope:.2}   (theory: k^-1;  R² = {r2:.3})");
+
+    // Footnote 4: λ must be bounded away from 1.
+    println!("\nfootnote 4 — decay ratio eps(k=8)/eps(k=64) as β → 1/2:");
+    for &beta in &[0.05, 0.2, 0.35, 0.45, 0.5] {
+        let e8 = gap_at_mean_stationary(&regime_config(beta, 8)?);
+        let e64 = gap_at_mean_stationary(&regime_config(beta, 64)?);
+        let in_regime = check_theorem_29(&regime_config(beta, 8)?).is_ok();
+        println!(
+            "  β = {beta:<5} λ = {:>6.2}  ratio = {:>6.2}  (in regime: {in_regime})",
+            (1.0 - beta) / beta,
+            e8 / e64.max(1e-15),
+        );
+    }
+    Ok(())
+}

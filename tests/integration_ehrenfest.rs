@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: Ehrenfest processes against the exact
+//! Markov machinery (Theorems 2.4 and 2.5 end to end).
+
+use popgame::prelude::*;
+use popgame_ehrenfest::coupling::{corner_coupling_times, lemma_a8_upper_bound};
+use popgame_ehrenfest::exact::{exact_chain, verify_theorem_24};
+use popgame_ehrenfest::mixing::{
+    exact_mixing_time, exact_mixing_time_k2, theorem_25_lower_bound,
+};
+use popgame_markov::diameter::diameter_exact;
+
+/// Theorem 2.4 on a randomized family of instances.
+#[test]
+fn theorem_24_holds_on_random_instances() {
+    for seed in 0..8u64 {
+        let mut rng = rng_from_seed(seed);
+        use rand::Rng;
+        let k = rng.gen_range(2..=5usize);
+        let m = rng.gen_range(2..=7u64);
+        let a = rng.gen_range(0.05..0.45);
+        let b = rng.gen_range(0.05..0.45);
+        let params = EhrenfestParams::new(k, a, b, m).unwrap();
+        let report = verify_theorem_24(&params).unwrap();
+        assert!(
+            report.detailed_balance_residual < 1e-12,
+            "seed {seed}: k={k} m={m} a={a} b={b}"
+        );
+        assert!(report.tv_to_power_iteration < 1e-6);
+    }
+}
+
+/// The sampled process's occupancy converges to the Theorem 2.4 law.
+#[test]
+fn simulated_process_reaches_multinomial_law() {
+    let params = EhrenfestParams::new(4, 0.3, 0.15, 40).unwrap();
+    let exact = ehrenfest_stationary(&params);
+    // Long run, ergodic average of each urn's load.
+    let mut process = EhrenfestProcess::all_in_first_urn(params);
+    let mut rng = rng_from_seed(3);
+    process.run(200_000, &mut rng);
+    let mut acc = [0.0; 4];
+    let samples = 2_000;
+    for _ in 0..samples {
+        process.run(50, &mut rng);
+        for (a, &c) in acc.iter_mut().zip(process.counts()) {
+            *a += c as f64;
+        }
+    }
+    let mean_counts: Vec<f64> = acc.iter().map(|a| a / samples as f64).collect();
+    for (got, want) in mean_counts.iter().zip(exact.mean()) {
+        assert!(
+            (got - want).abs() < 1.2,
+            "urn mean {got} vs exact {want} (all: {mean_counts:?})"
+        );
+    }
+}
+
+/// Mixing-time sandwich: diameter/2 ≤ t_mix ≤ coupling bound, with the
+/// coupling bound itself below the Lemma A.8 closed form.
+#[test]
+fn mixing_time_sandwich() {
+    let params = EhrenfestParams::new(3, 0.3, 0.2, 8).unwrap();
+    let tmix = exact_mixing_time(&params, 0.25, 500_000)
+        .unwrap()
+        .expect("mixes") as u64;
+    let lower = theorem_25_lower_bound(&params);
+    assert!(tmix >= lower, "t_mix {tmix} below diameter bound {lower}");
+
+    let cap = (lemma_a8_upper_bound(&params) * 4.0) as u64;
+    let times = corner_coupling_times(params, 400, cap, 21);
+    let coupling_bound = times
+        .mixing_time_upper_bound(0.25)
+        .unwrap()
+        .expect("couples") as u64;
+    assert!(
+        tmix <= coupling_bound,
+        "exact t_mix {tmix} above coupling bound {coupling_bound}"
+    );
+    assert!(
+        (coupling_bound as f64) <= lemma_a8_upper_bound(&params),
+        "coupling bound above the closed form"
+    );
+}
+
+/// The k = 2 birth–death projection is lossless for mixing analysis.
+#[test]
+fn k2_projection_equals_full_chain() {
+    for (a, b, m) in [(0.25, 0.25, 10u64), (0.4, 0.1, 14), (0.1, 0.35, 9)] {
+        let params = EhrenfestParams::new(2, a, b, m).unwrap();
+        let via_bd = exact_mixing_time_k2(&params, 0.25, 100_000).unwrap();
+        let via_chain = exact_mixing_time(&params, 0.25, 100_000).unwrap();
+        assert_eq!(via_bd, via_chain, "a={a} b={b} m={m}");
+    }
+}
+
+/// Proposition A.9's diameter is exactly (k−1)m on the simplex graph.
+#[test]
+fn diameter_formula() {
+    for (k, m) in [(2usize, 6u64), (3, 5), (4, 4), (6, 2)] {
+        let params = EhrenfestParams::new(k, 0.3, 0.3, m).unwrap();
+        let chain = exact_chain(&params).unwrap();
+        assert_eq!(diameter_exact(&chain), ((k - 1) as u64 * m) as usize);
+    }
+}
+
+/// Balls are conserved across every engine and representation.
+#[test]
+fn conservation_across_representations() {
+    let params = EhrenfestParams::new(5, 0.2, 0.3, 25).unwrap();
+    let mut process = EhrenfestProcess::all_in_last_urn(params);
+    let mut walk = popgame_ehrenfest::coordinate::CoordinateWalk::uniform_start(params, 4);
+    let mut rng = rng_from_seed(8);
+    for _ in 0..5_000 {
+        process.step(&mut rng);
+        walk.step(&mut rng);
+        assert_eq!(process.counts().iter().sum::<u64>(), 25);
+        assert_eq!(walk.counts().iter().sum::<u64>(), 25);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: the three payoff evaluation routes and
+//! Proposition 2.2, exercised through the public facade.
+
+use popgame::prelude::*;
+use popgame_game::calculus::{d2fdg2, d2fdg2_numeric, dfdg, dfdg_numeric};
+use popgame_game::payoff::gtft_vs_allc;
+use popgame_game::regime::{check_prop22, verify_prop22_on_grid};
+
+/// Closed forms (Appendix B) == linear algebra (eq. 33) == Monte-Carlo on
+/// a randomized parameter family.
+#[test]
+fn three_payoff_routes_agree_on_random_parameters() {
+    for seed in 0..6u64 {
+        let mut rng = rng_from_seed(seed);
+        use rand::Rng;
+        let b = rng.gen_range(1.0..6.0);
+        let c = b * rng.gen_range(0.05..0.7);
+        let delta = rng.gen_range(0.1..0.95);
+        let s1 = rng.gen_range(0.0..1.0);
+        let g = rng.gen_range(0.0..1.0);
+        let gp = rng.gen_range(0.0..1.0);
+        let params = GameParams::new(b, c, delta, s1).unwrap();
+
+        let closed = gtft_vs_gtft(g, gp, &params);
+        let linear = expected_payoff(
+            &MemoryOneStrategy::gtft(g, s1),
+            &MemoryOneStrategy::gtft(gp, s1),
+            &params,
+        );
+        assert!(
+            (closed - linear).abs() < 1e-7 * (1.0 + closed.abs()),
+            "seed {seed}: closed {closed} vs linear {linear}"
+        );
+
+        let est = estimate_payoffs(
+            &MemoryOneStrategy::gtft(g, s1),
+            &MemoryOneStrategy::gtft(gp, s1),
+            &params,
+            None,
+            30_000,
+            &mut rng,
+        );
+        let z = (est.row.mean() - closed).abs() / est.row.std_error().max(1e-9);
+        assert!(z < 5.0, "seed {seed}: Monte-Carlo z-score {z}");
+    }
+}
+
+/// Proposition 2.2 holds on grids inside the regime and breaks outside.
+#[test]
+fn prop_22_grid_verification() {
+    let in_regime = GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap();
+    check_prop22(&in_regime, 0.7).unwrap();
+    assert!(verify_prop22_on_grid(&in_regime, 0.7, 16).unwrap() > 1_000);
+
+    let out = GameParams::new(2.0, 1.9, 0.3, 0.0).unwrap();
+    assert!(check_prop22(&out, 0.9).is_err());
+    assert!(verify_prop22_on_grid(&out, 0.9, 12).is_err());
+}
+
+/// The closed-form derivatives match finite differences across a random
+/// parameter family (the machinery behind Prop. 2.2 / Thm. 2.9).
+#[test]
+fn derivative_closed_forms() {
+    for seed in 0..5u64 {
+        let mut rng = rng_from_seed(100 + seed);
+        use rand::Rng;
+        let params = GameParams::new(
+            2.0 + rng.gen_range(0.0..2.0),
+            rng.gen_range(0.1..0.6),
+            rng.gen_range(0.2..0.9),
+            rng.gen_range(0.0..0.99),
+        )
+        .unwrap();
+        let g = rng.gen_range(0.05..0.9);
+        let gp = rng.gen_range(0.0..0.95);
+        let d1 = dfdg(g, gp, &params);
+        let d1n = dfdg_numeric(g, gp, &params, 1e-6);
+        assert!((d1 - d1n).abs() < 1e-4 * (1.0 + d1.abs()), "seed {seed}");
+        let d2 = d2fdg2(g, gp, &params);
+        let d2n = d2fdg2_numeric(g, gp, &params, 1e-4);
+        assert!((d2 - d2n).abs() < 1e-2 * (1.0 + d2.abs()), "seed {seed}");
+    }
+}
+
+/// Statement (ii) of Prop. 2.2 is an *equality*: f(g, AC) has no g
+/// dependence at all, matching the linear solver.
+#[test]
+fn payoff_against_allc_is_constant_in_g() {
+    let params = GameParams::new(3.0, 1.0, 0.8, 0.5).unwrap();
+    let reference = gtft_vs_allc(&params);
+    for g in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let linear = expected_payoff(
+            &MemoryOneStrategy::gtft(g, params.s1()),
+            &MemoryOneStrategy::all_c(),
+            &params,
+        );
+        assert!((linear - reference).abs() < 1e-9, "g = {g}");
+    }
+}
+
+/// Monte-Carlo cooperation bookkeeping: against AD, a GTFT agent's
+/// cooperation rate tends to g as games lengthen (it echoes defection
+/// except when forgiving).
+#[test]
+fn cooperation_rate_against_alld_approaches_g() {
+    let params = GameParams::new(2.0, 0.5, 0.97, 1.0).unwrap();
+    let g = 0.3;
+    let mut rng = rng_from_seed(9);
+    let est = estimate_payoffs(
+        &MemoryOneStrategy::gtft(g, 1.0),
+        &MemoryOneStrategy::all_d(),
+        &params,
+        None,
+        20_000,
+        &mut rng,
+    );
+    // First round always cooperates (s1 = 1), later rounds w.p. g. The
+    // per-game rate is (1 + g(L−1))/L with L ~ Geometric(1−δ) from 1, so
+    // E[rate] = g + (1−g)·E[1/L] with E[1/L] = (p/(1−p))·(−ln p), p = 1−δ.
+    let p = 1.0 - params.delta();
+    let e_inv_l = p / (1.0 - p) * (-p.ln());
+    let expected = g + (1.0 - g) * e_inv_l;
+    assert!(
+        (est.row_cooperation - expected).abs() < 0.02,
+        "cooperation rate {} vs expected {expected}",
+        est.row_cooperation
+    );
+}
