@@ -1,0 +1,94 @@
+//! Batched-engine benches: the per-interaction cost of each population
+//! engine and the parallel replica harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popgame_igt::dynamics::{counted_population, IgtProtocol};
+use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
+use popgame_population::batch::BatchedEngine;
+use popgame_runner::run_replicas;
+use popgame_util::rng::rng_from_seed;
+use std::time::Duration;
+
+fn config() -> IgtConfig {
+    IgtConfig::new(
+        PopulationComposition::new(0.3, 0.2, 0.5).unwrap(),
+        GenerosityGrid::new(4, 0.8).unwrap(),
+        popgame_game::params::GameParams::new(2.0, 0.5, 0.9, 0.95).unwrap(),
+    )
+}
+
+fn bench_count_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched/count_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let cfg = config();
+    let protocol = IgtProtocol::from_config(&cfg);
+    for n in [1_000u64, 1_000_000] {
+        let mut pop = counted_population(&cfg, n, 0).unwrap();
+        let mut rng = rng_from_seed(5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| pop.step(&protocol, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_alias_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched/alias_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let cfg = config();
+    let protocol = IgtProtocol::from_config(&cfg);
+    for n in [1_000u64, 1_000_000] {
+        let pop = counted_population(&cfg, n, 0).unwrap();
+        let mut engine = BatchedEngine::new(protocol, pop).unwrap();
+        let mut rng = rng_from_seed(6);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| engine.step(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_leap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched/leap_n_interactions");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let cfg = config();
+    let protocol = IgtProtocol::from_config(&cfg);
+    for n in [1_000u64, 1_000_000] {
+        let pop = counted_population(&cfg, n, 0).unwrap();
+        let mut engine = BatchedEngine::new(protocol, pop).unwrap();
+        let batch = engine.suggested_batch();
+        let mut rng = rng_from_seed(7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| engine.run_batched(n, batch, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_replica_harness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched/replicas_x16");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let cfg = config();
+    let protocol = IgtProtocol::from_config(&cfg);
+    group.bench_function("igt_n10k_100k_interactions", |b| {
+        b.iter(|| {
+            run_replicas(11, 16, |_rep, mut rng| {
+                let pop = counted_population(&cfg, 10_000, 0).unwrap();
+                let mut engine = BatchedEngine::new(protocol, pop).unwrap();
+                let batch = engine.suggested_batch();
+                engine.run_batched(100_000, batch, &mut rng).unwrap();
+                engine.counts().to_vec()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_count_step,
+    bench_alias_step,
+    bench_leap,
+    bench_replica_harness
+);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! `bench_batched` — measures interactions/sec of the population engines
+//! and emits machine-readable `BENCH_batched.json` so future changes can
+//! track the performance trajectory.
+//!
+//! ```text
+//! bench_batched                # writes BENCH_batched.json in the cwd
+//! bench_batched out.json       # custom output path
+//! bench_batched --quick        # shorter measurement windows (CI smoke)
+//! ```
+//!
+//! Engines, over the k-IGT protocol (k = 4 ⇒ K = 6 states):
+//!
+//! * `agent`   — `AgentPopulation::step`, the exact agent-level reference;
+//! * `count`   — `CountedPopulation::step`, the exact per-interaction
+//!   count-level engine (the pre-batching hot path);
+//! * `alias`   — `BatchedEngine::step`, exact alias-table stepping;
+//! * `batched` — `BatchedEngine::run_batched` with the suggested leap
+//!   size, the τ-leap engine.
+
+use popgame_igt::dynamics::{agent_population, counted_population, IgtProtocol};
+use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
+use popgame_population::batch::BatchedEngine;
+use popgame_util::rng::rng_from_seed;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn config() -> IgtConfig {
+    IgtConfig::new(
+        PopulationComposition::new(0.3, 0.2, 0.5).expect("valid composition"),
+        GenerosityGrid::new(4, 0.8).expect("valid grid"),
+        popgame_game::params::GameParams::new(2.0, 0.5, 0.9, 0.95).expect("valid game"),
+    )
+}
+
+/// Runs `chunk` repeatedly until `window` elapses; returns interactions/sec.
+fn throughput(window: Duration, mut chunk: impl FnMut() -> u64) -> f64 {
+    // Warm-up chunk (excluded from measurement).
+    chunk();
+    let start = Instant::now();
+    let mut interactions = 0u64;
+    while start.elapsed() < window {
+        interactions += chunk();
+    }
+    interactions as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    engine: &'static str,
+    n: u64,
+    interactions_per_sec: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_batched.json".to_string());
+    let window = if quick {
+        Duration::from_millis(120)
+    } else {
+        Duration::from_millis(600)
+    };
+
+    let cfg = config();
+    let protocol = IgtProtocol::from_config(&cfg);
+    let sizes: &[u64] = if quick {
+        &[1_000, 100_000]
+    } else {
+        &[1_000, 100_000, 1_000_000, 10_000_000]
+    };
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &n in sizes {
+        // Agent-level reference (explicit state vector, O(n) memory).
+        {
+            let mut pop = agent_population(&cfg, n, 0).expect("valid config");
+            let mut rng = rng_from_seed(1);
+            let chunk_len = 100_000u64;
+            let ips = throughput(window, || {
+                for _ in 0..chunk_len {
+                    pop.step(&protocol, &mut rng).expect("n >= 2");
+                }
+                chunk_len
+            });
+            rows.push(Row {
+                engine: "agent",
+                n,
+                interactions_per_sec: ips,
+            });
+        }
+        // Per-interaction count-level engine (the pre-batching baseline).
+        {
+            let mut pop = counted_population(&cfg, n, 0).expect("valid config");
+            let mut rng = rng_from_seed(2);
+            let chunk_len = 100_000u64;
+            let ips = throughput(window, || {
+                for _ in 0..chunk_len {
+                    pop.step(&protocol, &mut rng).expect("n >= 2");
+                }
+                chunk_len
+            });
+            rows.push(Row {
+                engine: "count",
+                n,
+                interactions_per_sec: ips,
+            });
+        }
+        // Exact alias-table stepping.
+        {
+            let pop = counted_population(&cfg, n, 0).expect("valid config");
+            let mut engine = BatchedEngine::new(protocol, pop).expect("valid config");
+            let mut rng = rng_from_seed(3);
+            let chunk_len = 100_000u64;
+            let ips = throughput(window, || {
+                for _ in 0..chunk_len {
+                    engine.step(&mut rng);
+                }
+                chunk_len
+            });
+            rows.push(Row {
+                engine: "alias",
+                n,
+                interactions_per_sec: ips,
+            });
+        }
+        // Batched τ-leap engine: one chunk = n interactions, leaped.
+        {
+            let pop = counted_population(&cfg, n, 0).expect("valid config");
+            let mut engine = BatchedEngine::new(protocol, pop).expect("valid config");
+            let batch = engine.suggested_batch();
+            let mut rng = rng_from_seed(4);
+            let ips = throughput(window, || {
+                engine.run_batched(n, batch, &mut rng).expect("n >= 2");
+                n
+            });
+            rows.push(Row {
+                engine: "batched",
+                n,
+                interactions_per_sec: ips,
+            });
+        }
+        eprintln!("n = {n}: measured 4 engines");
+    }
+
+    // Headline ratio: batched vs per-step count engine (the ISSUE's
+    // acceptance metric is n = 1e6).
+    let ratio_at = |n: u64| -> Option<f64> {
+        let count = rows
+            .iter()
+            .find(|r| r.engine == "count" && r.n == n)?
+            .interactions_per_sec;
+        let batched = rows
+            .iter()
+            .find(|r| r.engine == "batched" && r.n == n)?
+            .interactions_per_sec;
+        Some(batched / count)
+    };
+    let headline_n = if quick { 100_000 } else { 1_000_000 };
+    let speedup = ratio_at(headline_n).unwrap_or(f64::NAN);
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"batched-count-level-engine\",").unwrap();
+    writeln!(json, "  \"protocol\": \"k-IGT (k = 4, K = 6 states)\",").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+    writeln!(
+        json,
+        "  \"speedup_batched_vs_count_at_n{headline_n}\": {speedup:.2},"
+    )
+    .unwrap();
+    writeln!(json, "  \"results\": [").unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"n\": {}, \"interactions_per_sec\": {:.0}}}{comma}",
+            row.engine, row.n, row.interactions_per_sec
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    eprintln!("wrote {out_path}; batched vs count speedup at n = {headline_n}: {speedup:.1}x");
+}

@@ -10,7 +10,7 @@ use popgame_game::params::GameParams;
 use popgame_igt::dynamics::count_level_process;
 use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
 use popgame_igt::stationary::stationary_level_probs;
-use popgame_igt::trajectory::time_averaged_distribution;
+use popgame_igt::trajectory::time_averaged_distribution_agent;
 use popgame_util::rng::rng_from_seed;
 use std::fmt;
 
@@ -181,6 +181,16 @@ fn config_for(beta: f64, k: usize) -> IgtConfig {
 }
 
 /// Runs E5 over `(n, k, β)` configurations using both engines.
+///
+/// The configurations are independent Monte-Carlo jobs, so they fan out
+/// across threads through the deterministic replica harness
+/// ([`popgame_runner::run_replicas`]); the report is bitwise identical for
+/// a fixed seed regardless of thread count. Within each job the
+/// "agent-level" column runs the exact per-interaction agent engine
+/// ([`time_averaged_distribution_agent`] — the ground truth, kept exact
+/// so E5 genuinely cross-validates the two engines) and the
+/// "count-level" column runs the idealized Ehrenfest chain with batched
+/// leaps ([`popgame_ehrenfest::process::EhrenfestProcess::run_batched`]).
 pub fn run_e5(seed: u64) -> E5Report {
     let grid = [
         (120u64, 3usize, 0.2),
@@ -189,45 +199,43 @@ pub fn run_e5(seed: u64) -> E5Report {
         (240, 5, 0.35),
         (600, 8, 0.25),
     ];
-    let rows = grid
-        .iter()
-        .map(|&(n, k, beta)| {
-            let cfg = config_for(beta, k);
-            let theory = stationary_level_probs(&cfg);
-            // Engine 1: agent-level ergodic average.
-            let mu_agent = time_averaged_distribution(
-                &cfg,
-                n,
-                popgame_igt::dynamics::IgtVariant::Standard,
-                80 * n,
-                400,
-                n.max(64),
-                seed,
-            )
-            .expect("valid configuration");
-            // Engine 2: count-level (Ehrenfest) ergodic average.
-            let mut process = count_level_process(&cfg, n, 0).expect("valid configuration");
-            let mut rng = rng_from_seed(seed ^ 0x5eed);
-            process.run(80 * n, &mut rng);
-            let mut occupancy = vec![0u64; k];
-            for _ in 0..400 {
-                process.run(n.max(64), &mut rng);
-                for (acc, &z) in occupancy.iter_mut().zip(process.counts()) {
-                    *acc += z;
-                }
+    let rows = popgame_runner::run_replicas(seed, grid.len() as u64, |job, _rng| {
+        let (n, k, beta) = grid[job as usize];
+        let cfg = config_for(beta, k);
+        let theory = stationary_level_probs(&cfg);
+        // Engine 1: exact agent-level stepping (ground truth).
+        let mu_agent = time_averaged_distribution_agent(
+            &cfg,
+            n,
+            popgame_igt::dynamics::IgtVariant::Standard,
+            80 * n,
+            400,
+            n.max(64),
+            seed ^ job,
+        )
+        .expect("valid configuration");
+        // Engine 2: idealized count-level (Ehrenfest) chain, batched.
+        let mut process = count_level_process(&cfg, n, 0).expect("valid configuration");
+        let mut rng = rng_from_seed(seed ^ 0x5eed ^ job);
+        let batch = process.suggested_batch();
+        process.run_batched(80 * n, batch, &mut rng);
+        let mut occupancy = vec![0u64; k];
+        for _ in 0..400 {
+            process.run_batched(n.max(64), batch, &mut rng);
+            for (acc, &z) in occupancy.iter_mut().zip(process.counts()) {
+                *acc += z;
             }
-            let total: u64 = occupancy.iter().sum();
-            let mu_count: Vec<f64> =
-                occupancy.iter().map(|&c| c as f64 / total as f64).collect();
-            E5Row {
-                n,
-                k,
-                beta,
-                tv_agent: tv_distance(&mu_agent, &theory).expect("same length"),
-                tv_count: tv_distance(&mu_count, &theory).expect("same length"),
-            }
-        })
-        .collect();
+        }
+        let total: u64 = occupancy.iter().sum();
+        let mu_count: Vec<f64> = occupancy.iter().map(|&c| c as f64 / total as f64).collect();
+        E5Row {
+            n,
+            k,
+            beta,
+            tv_agent: tv_distance(&mu_agent, &theory).expect("same length"),
+            tv_count: tv_distance(&mu_count, &theory).expect("same length"),
+        }
+    });
     E5Report { rows }
 }
 

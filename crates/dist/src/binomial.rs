@@ -1,0 +1,128 @@
+//! The binomial distribution `Binomial(n, p)`.
+
+use crate::error::DistError;
+use popgame_util::numeric::ln_binomial;
+use popgame_util::sampler::sample_binomial;
+use rand::Rng;
+
+/// A binomial distribution over `{0, …, n}`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_dist::binomial::Binomial;
+///
+/// let b = Binomial::new(10, 0.5).unwrap();
+/// assert!((b.mean() - 5.0).abs() < 1e-12);
+/// let total: f64 = (0..=10).map(|x| b.pmf(x)).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Builds a `Binomial(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameters`] when `p ∉ [0, 1]` or is not
+    /// finite.
+    pub fn new(n: u64, p: f64) -> Result<Self, DistError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidParameters {
+                reason: format!("binomial p must lie in [0, 1], got {p}"),
+            });
+        }
+        Ok(Binomial { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean `n p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// The variance `n p (1 − p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Log probability mass at `x` (`−∞` outside the support).
+    pub fn ln_pmf(&self, x: u64) -> f64 {
+        if x > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p <= 0.0 {
+            return if x == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p >= 1.0 {
+            return if x == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_binomial(self.n, x)
+            + x as f64 * self.p.ln()
+            + (self.n - x) as f64 * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass at `x`.
+    pub fn pmf(&self, x: u64) -> f64 {
+        self.ln_pmf(x).exp()
+    }
+
+    /// Draws one exact sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        sample_binomial(self.n, self.p, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+
+    #[test]
+    fn validation() {
+        assert!(Binomial::new(5, -0.1).is_err());
+        assert!(Binomial::new(5, 1.1).is_err());
+        assert!(Binomial::new(5, f64::NAN).is_err());
+        assert!(Binomial::new(0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn degenerate_p_values() {
+        let zero = Binomial::new(7, 0.0).unwrap();
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(1), 0.0);
+        let one = Binomial::new(7, 1.0).unwrap();
+        assert_eq!(one.pmf(7), 1.0);
+        assert_eq!(one.pmf(6), 0.0);
+    }
+
+    #[test]
+    fn pmf_matches_hand_computation() {
+        let b = Binomial::new(4, 0.25).unwrap();
+        // C(4,2) (1/4)^2 (3/4)^2 = 6 * 9/256
+        assert!((b.pmf(2) - 54.0 / 256.0).abs() < 1e-12);
+        assert_eq!(b.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn sample_mean_matches() {
+        let b = Binomial::new(100, 0.3).unwrap();
+        let mut rng = rng_from_seed(8);
+        let mean: f64 =
+            (0..20_000).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 30.0).abs() < 0.3);
+    }
+}

@@ -1,0 +1,48 @@
+//! Divergences between probability vectors.
+
+use crate::error::DistError;
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two pmf vectors.
+///
+/// # Errors
+///
+/// Returns [`DistError::LengthMismatch`] when the vectors differ in length.
+///
+/// # Example
+///
+/// ```
+/// use popgame_dist::divergence::tv_distance;
+///
+/// let tv = tv_distance(&[0.5, 0.5], &[1.0, 0.0]).unwrap();
+/// assert!((tv - 0.5).abs() < 1e-12);
+/// ```
+pub fn tv_distance(p: &[f64], q: &[f64]) -> Result<f64, DistError> {
+    if p.len() != q.len() {
+        return Err(DistError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    Ok(p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_tv() {
+        assert_eq!(tv_distance(&[0.3, 0.7], &[0.3, 0.7]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_vectors_have_tv_one() {
+        let tv = tv_distance(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!((tv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        assert!(tv_distance(&[1.0], &[0.5, 0.5]).is_err());
+    }
+}

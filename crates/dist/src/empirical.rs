@@ -1,0 +1,131 @@
+//! Empirical distributions over pre-indexed finite supports.
+
+use crate::divergence::tv_distance;
+use crate::error::DistError;
+
+/// Observed counts over indices `0..len`, comparable against exact pmfs.
+///
+/// # Example
+///
+/// ```
+/// use popgame_dist::empirical::EmpiricalDistribution;
+///
+/// let mut emp = EmpiricalDistribution::new(2);
+/// for _ in 0..3 { emp.observe(0); }
+/// emp.observe(1);
+/// assert_eq!(emp.total(), 4);
+/// let tv = emp.tv_to(&[0.75, 0.25]).unwrap();
+/// assert!(tv < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmpiricalDistribution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl EmpiricalDistribution {
+    /// An empty distribution over `len` indices.
+    pub fn new(len: usize) -> Self {
+        EmpiricalDistribution {
+            counts: vec![0; len],
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn observe(&mut self, index: usize) {
+        self.counts[index] += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` observations of `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn observe_n(&mut self, index: usize, n: u64) {
+        self.counts[index] += n;
+        self.total += n;
+    }
+
+    /// The raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of support indices.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` when the support is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Normalized observation frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NoObservations`] before any observation.
+    pub fn frequencies(&self) -> Result<Vec<f64>, DistError> {
+        if self.total == 0 {
+            return Err(DistError::NoObservations);
+        }
+        Ok(self
+            .counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect())
+    }
+
+    /// Total-variation distance from the empirical frequencies to an exact
+    /// pmf.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NoObservations`] before any observation and
+    /// [`DistError::LengthMismatch`] when `pmf` has a different length.
+    pub fn tv_to(&self, pmf: &[f64]) -> Result<f64, DistError> {
+        tv_distance(&self.frequencies()?, pmf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_distribution_errors() {
+        let emp = EmpiricalDistribution::new(3);
+        assert!(matches!(emp.frequencies(), Err(DistError::NoObservations)));
+        assert!(emp.tv_to(&[0.5, 0.3, 0.2]).is_err());
+    }
+
+    #[test]
+    fn observe_and_compare() {
+        let mut emp = EmpiricalDistribution::new(3);
+        emp.observe_n(0, 5);
+        emp.observe_n(2, 5);
+        let tv = emp.tv_to(&[0.5, 0.0, 0.5]).unwrap();
+        assert!(tv < 1e-12);
+        let tv = emp.tv_to(&[0.0, 1.0, 0.0]).unwrap();
+        assert!((tv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut emp = EmpiricalDistribution::new(2);
+        emp.observe(0);
+        assert!(emp.tv_to(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for distribution and state-space construction.
+
+use std::fmt;
+
+/// Errors from the `popgame-dist` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// A probability vector was empty, negative, non-finite, or summed to 0.
+    InvalidProbabilities {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Distribution parameters were out of range.
+    InvalidParameters {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Two vectors that must align had different lengths.
+    LengthMismatch {
+        /// Left length.
+        left: usize,
+        /// Right length.
+        right: usize,
+    },
+    /// A state space exceeded the representable size.
+    SpaceTooLarge {
+        /// The number of states that was requested.
+        states: u128,
+    },
+    /// An empirical distribution had no observations.
+    NoObservations,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidProbabilities { reason } => {
+                write!(f, "invalid probability vector: {reason}")
+            }
+            DistError::InvalidParameters { reason } => {
+                write!(f, "invalid distribution parameters: {reason}")
+            }
+            DistError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            DistError::SpaceTooLarge { states } => {
+                write!(f, "state space too large: {states} states")
+            }
+            DistError::NoObservations => write!(f, "empirical distribution has no observations"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}

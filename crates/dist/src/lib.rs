@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Discrete state spaces and distributions for the `popgame` workspace.
+//!
+//! The analysis crates need four things: the simplex `∆^m_k` of count
+//! vectors (the Ehrenfest state space) with combinatorial rank/unrank,
+//! the multinomial stationary law of Theorem 2.4, binomial marginals, and
+//! total-variation comparisons between exact and empirical laws.
+//!
+//! # Modules
+//!
+//! * [`simplex`] — the space `∆^m_k = {x ∈ ℕ^k : Σ x_i = m}` with `O(k·m)`
+//!   lexicographic rank/unrank and neighbor enumeration.
+//! * [`multinomial`] — `Multinomial(m, p)` pmf, sampling, marginals.
+//! * [`binomial`] — `Binomial(n, p)` pmf and sampling.
+//! * [`empirical`] — observed index counts with TV comparison.
+//! * [`divergence`] — total-variation distance between pmf vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use popgame_dist::multinomial::Multinomial;
+//! use popgame_dist::simplex::SimplexSpace;
+//!
+//! let space = SimplexSpace::new(3, 3).unwrap();
+//! assert_eq!(space.len(), 10);
+//! let dist = Multinomial::new(3, vec![0.5, 0.3, 0.2]).unwrap();
+//! let total: f64 = space.iter().map(|x| dist.pmf(&x)).sum();
+//! assert!((total - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod binomial;
+pub mod divergence;
+pub mod empirical;
+pub mod error;
+pub mod multinomial;
+pub mod simplex;
+
+pub use error::DistError;

@@ -1,0 +1,224 @@
+//! The multinomial distribution `Multinomial(m, p)` — the stationary law of
+//! Theorem 2.4.
+
+use crate::binomial::Binomial;
+use crate::error::DistError;
+use crate::simplex::SimplexSpace;
+use popgame_util::numeric::ln_multinomial;
+use popgame_util::sampler::sample_binomial;
+use rand::Rng;
+
+/// A multinomial distribution over count vectors in `∆^m_k`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_dist::multinomial::Multinomial;
+///
+/// let dist = Multinomial::new(4, vec![0.5, 0.5]).unwrap();
+/// assert_eq!(dist.m(), 4);
+/// assert!((dist.pmf(&[2, 2]) - 6.0 / 16.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multinomial {
+    m: u64,
+    probs: Vec<f64>,
+}
+
+impl Multinomial {
+    /// Builds a `Multinomial(m, probs)`; `probs` is normalized internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidProbabilities`] when `probs` is empty,
+    /// contains a negative or non-finite entry, or sums to zero.
+    pub fn new(m: u64, probs: Vec<f64>) -> Result<Self, DistError> {
+        if probs.is_empty() {
+            return Err(DistError::InvalidProbabilities {
+                reason: "empty probability vector".into(),
+            });
+        }
+        if probs.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(DistError::InvalidProbabilities {
+                reason: "probabilities must be finite and non-negative".into(),
+            });
+        }
+        let total: f64 = probs.iter().sum();
+        if total <= 0.0 {
+            return Err(DistError::InvalidProbabilities {
+                reason: "probabilities sum to zero".into(),
+            });
+        }
+        Ok(Multinomial {
+            m,
+            probs: probs.into_iter().map(|p| p / total).collect(),
+        })
+    }
+
+    /// Number of trials (total count) `m`.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of categories `k`.
+    pub fn k(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The normalized category probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The mean vector `(m p_1, …, m p_k)`.
+    pub fn mean(&self) -> Vec<f64> {
+        self.probs.iter().map(|&p| self.m as f64 * p).collect()
+    }
+
+    /// Log probability mass at a count vector (`−∞` off the simplex).
+    pub fn ln_pmf(&self, x: &[u64]) -> f64 {
+        if x.len() != self.probs.len() || x.iter().sum::<u64>() != self.m {
+            return f64::NEG_INFINITY;
+        }
+        let mut acc = ln_multinomial(x);
+        for (&xi, &p) in x.iter().zip(&self.probs) {
+            if xi > 0 {
+                if p <= 0.0 {
+                    return f64::NEG_INFINITY;
+                }
+                acc += xi as f64 * p.ln();
+            }
+        }
+        acc
+    }
+
+    /// Probability mass at a count vector.
+    pub fn pmf(&self, x: &[u64]) -> f64 {
+        self.ln_pmf(x).exp()
+    }
+
+    /// The pmf evaluated over every state of [`SimplexSpace::new(k, m)`]
+    /// in rank order — the exact stationary vector used by the chain
+    /// analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simplex does not fit in memory; callers guard with
+    /// [`SimplexSpace::len_u128`].
+    pub fn pmf_by_rank(&self) -> Vec<f64> {
+        let space = SimplexSpace::new(self.k(), self.m).expect("k >= 1 by construction");
+        space.iter().map(|x| self.pmf(&x)).collect()
+    }
+
+    /// The marginal law of coordinate `i`: `Binomial(m, p_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn marginal(&self, i: usize) -> Binomial {
+        Binomial::new(self.m, self.probs[i]).expect("normalized probability")
+    }
+
+    /// Draws one exact sample via the binomial chain (conditional
+    /// binomials).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let mut out = vec![0u64; self.probs.len()];
+        let mut remaining = self.m;
+        let mut mass_left = 1.0f64;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if i + 1 == self.probs.len() {
+                out[i] = remaining;
+                break;
+            }
+            let q = if mass_left > 0.0 { (p / mass_left).clamp(0.0, 1.0) } else { 1.0 };
+            let draw = sample_binomial(remaining, q, rng);
+            out[i] = draw;
+            remaining -= draw;
+            mass_left -= p;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation() {
+        assert!(Multinomial::new(3, vec![]).is_err());
+        assert!(Multinomial::new(3, vec![-0.1, 1.1]).is_err());
+        assert!(Multinomial::new(3, vec![0.0, 0.0]).is_err());
+        assert!(Multinomial::new(3, vec![f64::INFINITY, 1.0]).is_err());
+        let d = Multinomial::new(3, vec![2.0, 2.0]).unwrap();
+        assert_eq!(d.probs(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_over_simplex() {
+        let d = Multinomial::new(5, vec![0.2, 0.3, 0.5]).unwrap();
+        let total: f64 = d.pmf_by_rank().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_zero_off_simplex() {
+        let d = Multinomial::new(4, vec![0.5, 0.5]).unwrap();
+        assert_eq!(d.pmf(&[1, 1]), 0.0);
+        assert_eq!(d.pmf(&[4, 1]), 0.0);
+        assert_eq!(d.pmf(&[4]), 0.0);
+    }
+
+    #[test]
+    fn zero_probability_category_excludes_mass() {
+        let d = Multinomial::new(3, vec![0.5, 0.0, 0.5]).unwrap();
+        assert_eq!(d.pmf(&[1, 1, 1]), 0.0);
+        assert!(d.pmf(&[2, 0, 1]) > 0.0);
+    }
+
+    #[test]
+    fn marginal_is_binomial() {
+        let d = Multinomial::new(10, vec![0.3, 0.7]).unwrap();
+        let b = d.marginal(0);
+        assert_eq!(b.n(), 10);
+        assert!((b.p() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_matches_mean_and_stays_on_simplex() {
+        let d = Multinomial::new(60, vec![0.5, 0.3, 0.2]).unwrap();
+        let mut rng = rng_from_seed(21);
+        let reps = 20_000;
+        let mut acc = [0.0f64; 3];
+        for _ in 0..reps {
+            let x = d.sample(&mut rng);
+            assert_eq!(x.iter().sum::<u64>(), 60);
+            for (a, &xi) in acc.iter_mut().zip(&x) {
+                *a += xi as f64;
+            }
+        }
+        for (a, want) in acc.iter().zip(d.mean()) {
+            assert!((a / reps as f64 - want).abs() < 0.15, "{a} vs {want}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sample_on_simplex(
+            m in 0u64..200,
+            probs in proptest::collection::vec(0.0..1.0f64, 1..6),
+            seed in 0u64..50,
+        ) {
+            prop_assume!(probs.iter().sum::<f64>() > 0.0);
+            let d = Multinomial::new(m, probs).unwrap();
+            let mut rng = rng_from_seed(seed);
+            let x = d.sample(&mut rng);
+            prop_assert_eq!(x.iter().sum::<u64>(), m);
+        }
+    }
+}

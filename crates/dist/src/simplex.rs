@@ -1,0 +1,296 @@
+//! The discrete simplex `∆^m_k = {x ∈ ℕ^k : Σ x_i = m}`.
+//!
+//! States are ordered lexicographically (so `(0, …, 0, m)` has rank 0 and
+//! `(m, 0, …, 0)` has rank `len − 1`), with `O(k + m)` combinatorial
+//! rank/unrank — no enumeration needed, which is what keeps exact-chain
+//! construction and empirical-occupancy ranking fast.
+
+use crate::error::DistError;
+
+/// Number of compositions of `m` into `parts` non-negative parts,
+/// `C(m + parts − 1, parts − 1)`, or `None` on `u128` overflow.
+fn compositions(m: u64, parts: usize) -> Option<u128> {
+    if parts == 0 {
+        return Some(u128::from(m == 0));
+    }
+    let k = (parts - 1) as u64;
+    let n = m.checked_add(k)?;
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.checked_mul((n - i) as u128)?;
+        result /= (i + 1) as u128;
+    }
+    Some(result)
+}
+
+/// The simplex of `k`-part count vectors summing to `m`.
+///
+/// # Example
+///
+/// ```
+/// use popgame_dist::simplex::SimplexSpace;
+///
+/// let space = SimplexSpace::new(3, 3).unwrap();
+/// assert_eq!(space.len(), 10);
+/// let x = space.unrank(4).unwrap();
+/// assert_eq!(space.rank(&x), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimplexSpace {
+    k: usize,
+    m: u64,
+    len: u128,
+}
+
+impl SimplexSpace {
+    /// Builds the space of `k`-part compositions of `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameters`] when `k = 0`, and
+    /// [`DistError::SpaceTooLarge`] when the state count overflows `u128`.
+    pub fn new(k: usize, m: u64) -> Result<Self, DistError> {
+        if k == 0 {
+            return Err(DistError::InvalidParameters {
+                reason: "simplex needs at least one coordinate".into(),
+            });
+        }
+        let len = compositions(m, k).ok_or(DistError::SpaceTooLarge { states: u128::MAX })?;
+        Ok(SimplexSpace { k, m, len })
+    }
+
+    /// Number of coordinates `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total mass `m`.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of states as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state count does not fit in `usize`; check
+    /// [`len_u128`](Self::len_u128) first for huge spaces.
+    pub fn len(&self) -> usize {
+        usize::try_from(self.len).expect("state count exceeds usize; use len_u128")
+    }
+
+    /// Number of states, exact.
+    pub fn len_u128(&self) -> u128 {
+        self.len
+    }
+
+    /// `true` when the space is empty (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The lexicographic rank of a state, or `None` when `x` is off the
+    /// simplex (wrong length or total).
+    pub fn rank(&self, x: &[u64]) -> Option<usize> {
+        if x.len() != self.k || x.iter().sum::<u64>() != self.m {
+            return None;
+        }
+        let mut rank: u128 = 0;
+        let mut remaining = self.m;
+        for (i, &xi) in x.iter().take(self.k - 1).enumerate() {
+            let parts_right = self.k - i - 1;
+            // States whose i-th coordinate is smaller than xi (with the
+            // prefix fixed) all precede x.
+            for v in 0..xi {
+                rank += compositions(remaining - v, parts_right)?;
+            }
+            remaining -= xi;
+        }
+        usize::try_from(rank).ok()
+    }
+
+    /// The state at a lexicographic rank, or `None` when out of range.
+    pub fn unrank(&self, rank: usize) -> Option<Vec<u64>> {
+        let mut rank = rank as u128;
+        if rank >= self.len {
+            return None;
+        }
+        let mut x = vec![0u64; self.k];
+        let mut remaining = self.m;
+        let k = self.k;
+        for (i, xi) in x.iter_mut().enumerate().take(k - 1) {
+            let parts_right = k - i - 1;
+            let mut v = 0u64;
+            loop {
+                let block = compositions(remaining - v, parts_right)?;
+                if rank < block {
+                    break;
+                }
+                rank -= block;
+                v += 1;
+            }
+            *xi = v;
+            remaining -= v;
+        }
+        x[self.k - 1] = remaining;
+        Some(x)
+    }
+
+    /// Iterates over all states in rank (lexicographic) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the space does not fit in `usize` (see [`len`](Self::len)).
+    pub fn iter(&self) -> SimplexIter {
+        let _ = self.len();
+        let mut first = vec![0u64; self.k];
+        first[self.k - 1] = self.m;
+        SimplexIter {
+            next: Some(first),
+        }
+    }
+
+    /// The unit moves adjacent to `x`: for each urn pair `(j, j+1)`,
+    /// the up-move `j → j+1` (flag `true`) when `x_j > 0` and the down-move
+    /// `j+1 → j` (flag `false`) when `x_{j+1} > 0`. Returned as
+    /// `(neighbor, j, is_up)`.
+    pub fn adjacent_moves(&self, x: &[u64]) -> Vec<(Vec<u64>, usize, bool)> {
+        let mut moves = Vec::with_capacity(2 * (self.k.saturating_sub(1)));
+        for j in 0..self.k.saturating_sub(1) {
+            if x[j] > 0 {
+                let mut y = x.to_vec();
+                y[j] -= 1;
+                y[j + 1] += 1;
+                moves.push((y, j, true));
+            }
+            if x[j + 1] > 0 {
+                let mut y = x.to_vec();
+                y[j + 1] -= 1;
+                y[j] += 1;
+                moves.push((y, j, false));
+            }
+        }
+        moves
+    }
+}
+
+/// Iterator over simplex states in lexicographic order.
+#[derive(Debug, Clone)]
+pub struct SimplexIter {
+    next: Option<Vec<u64>>,
+}
+
+impl Iterator for SimplexIter {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        let current = self.next.take()?;
+        let k = current.len();
+        // Successor: rightmost i < k-1 with mass strictly to its right gets
+        // one unit; everything right of i collapses into the last slot.
+        let mut suffix_mass = current[k - 1];
+        let mut bump = None;
+        for i in (0..k - 1).rev() {
+            if suffix_mass > 0 {
+                bump = Some(i);
+                break;
+            }
+            suffix_mass += current[i];
+        }
+        if let Some(i) = bump {
+            let mut next = current.clone();
+            next[i] += 1;
+            let moved: u64 = next[i + 1..].iter().sum();
+            for slot in &mut next[i + 1..] {
+                *slot = 0;
+            }
+            next[k - 1] = moved - 1;
+            self.next = Some(next);
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_space_enumerates_in_rank_order() {
+        let space = SimplexSpace::new(3, 3).unwrap();
+        let states: Vec<Vec<u64>> = space.iter().collect();
+        assert_eq!(states.len(), 10);
+        assert_eq!(states[0], vec![0, 0, 3]);
+        assert_eq!(states[9], vec![3, 0, 0]);
+        for (rank, x) in states.iter().enumerate() {
+            assert_eq!(space.rank(x), Some(rank));
+            assert_eq!(space.unrank(rank).as_ref(), Some(x));
+        }
+        assert!(space.unrank(10).is_none());
+    }
+
+    #[test]
+    fn rejects_off_simplex_states() {
+        let space = SimplexSpace::new(3, 4).unwrap();
+        assert_eq!(space.rank(&[1, 1]), None);
+        assert_eq!(space.rank(&[1, 1, 1]), None);
+        assert_eq!(space.rank(&[4, 0, 0]), Some(space.len() - 1));
+    }
+
+    #[test]
+    fn k1_and_m0_degenerate_spaces() {
+        let point = SimplexSpace::new(1, 5).unwrap();
+        assert_eq!(point.len(), 1);
+        assert_eq!(point.unrank(0), Some(vec![5]));
+        let origin = SimplexSpace::new(4, 0).unwrap();
+        assert_eq!(origin.len(), 1);
+        assert_eq!(origin.unrank(0), Some(vec![0, 0, 0, 0]));
+        assert!(SimplexSpace::new(0, 3).is_err());
+    }
+
+    #[test]
+    fn adjacent_moves_match_definition() {
+        let space = SimplexSpace::new(3, 3).unwrap();
+        let moves = space.adjacent_moves(&[1, 1, 1]);
+        assert_eq!(moves.len(), 4);
+        assert!(moves.contains(&(vec![0, 2, 1], 0, true)));
+        assert!(moves.contains(&(vec![2, 0, 1], 0, false)));
+        assert!(moves.contains(&(vec![1, 0, 2], 1, true)));
+        assert!(moves.contains(&(vec![1, 2, 0], 1, false)));
+        // Corners have only one direction available per pair.
+        let corner = space.adjacent_moves(&[3, 0, 0]);
+        assert_eq!(corner, vec![(vec![2, 1, 0], 0, true)]);
+    }
+
+    #[test]
+    fn moderately_large_space_counts() {
+        let space = SimplexSpace::new(4, 32).unwrap();
+        // C(35, 3) = 6545
+        assert_eq!(space.len(), 6545);
+        let mid = space.unrank(space.len() / 2).unwrap();
+        assert_eq!(space.rank(&mid), Some(space.len() / 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_unrank_round_trip(k in 1usize..5, m in 0u64..12, pick in 0usize..1000) {
+            let space = SimplexSpace::new(k, m).unwrap();
+            let rank = pick % space.len();
+            let x = space.unrank(rank).unwrap();
+            prop_assert_eq!(x.iter().sum::<u64>(), m);
+            prop_assert_eq!(space.rank(&x), Some(rank));
+        }
+
+        #[test]
+        fn prop_neighbors_stay_on_simplex(k in 2usize..5, m in 1u64..10, pick in 0usize..1000) {
+            let space = SimplexSpace::new(k, m).unwrap();
+            let x = space.unrank(pick % space.len()).unwrap();
+            for (y, j, _) in space.adjacent_moves(&x) {
+                prop_assert!(j < k - 1);
+                prop_assert!(space.rank(&y).is_some());
+            }
+        }
+    }
+}

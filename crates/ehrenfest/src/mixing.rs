@@ -19,7 +19,6 @@ use crate::stationary::stationary_distribution;
 use popgame_dist::empirical::EmpiricalDistribution;
 use popgame_markov::birth_death::BirthDeathChain;
 use popgame_markov::mixing::{distance_profile, mixing_time};
-use popgame_util::rng::stream_rng;
 
 /// The `k = 2` birth–death projection (eq. 11): the count in urn 1 performs
 /// a birth–death chain with `up[x] = b·(m−x)/m` and `down[x] = a·x/m`.
@@ -128,6 +127,14 @@ pub fn theorem_25_lower_bound(params: &EhrenfestParams) -> u64 {
 /// `reps` replicas from the given start and compares the empirical
 /// distribution over simplex ranks against the exact stationary pmf.
 ///
+/// Replicas fan out across threads via the deterministic harness
+/// ([`popgame_runner::run_replicas`]); replica `rep` always draws from
+/// `stream_rng(seed, rep)`, so the estimate is bitwise reproducible for a
+/// fixed `(seed, reps)` pair at any thread count. Each replica advances
+/// the **exact** chain ([`EhrenfestProcess::run`]): this function exists
+/// to measure the transient law at time `t`, which a τ-leap would
+/// perturb.
+///
 /// Finite sampling biases this estimate *upward* by `O(√(#states/reps))`,
 /// so use `reps ≫ |∆^m_k|`; the experiments report it side by side with the
 /// exact profile where both are available.
@@ -150,15 +157,19 @@ pub fn empirical_tv_at(
             limit: crate::exact::EXACT_STATE_LIMIT,
         });
     }
+    // Validate the start once, up front, so replicas cannot fail.
+    EhrenfestProcess::from_counts(*params, start.to_vec())?;
     let pmf = stationary_distribution(params).pmf_by_rank();
-    let mut empirical = EmpiricalDistribution::new(space.len());
-    for rep in 0..reps {
-        let mut rng = stream_rng(seed, rep);
-        let mut proc = EhrenfestProcess::from_counts(*params, start.to_vec())?;
+    let ranks = popgame_runner::run_replicas(seed, reps, |_rep, mut rng| {
+        let mut proc = EhrenfestProcess::from_counts(*params, start.to_vec())
+            .expect("start validated above");
         proc.run(t, &mut rng);
-        let rank = space
+        space
             .rank(proc.counts())
-            .expect("process stays on the simplex");
+            .expect("process stays on the simplex")
+    });
+    let mut empirical = EmpiricalDistribution::new(space.len());
+    for rank in ranks {
         empirical.observe(rank);
     }
     Ok(empirical.tv_to(&pmf).expect("matching lengths"))

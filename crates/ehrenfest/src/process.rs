@@ -200,6 +200,96 @@ impl EhrenfestProcess {
             self.step(rng);
         }
     }
+
+    /// Runs `steps` steps in multinomial leaps of `batch`.
+    ///
+    /// Each leap freezes the count vector and draws how many of the next
+    /// `batch` steps perform each of the `2(k−1)` count-changing moves
+    /// (up from urn `j < k`, down from urn `j > 1`) from the exact
+    /// multinomial via a binomial chain, then applies them at once —
+    /// `O(k)` work per leap instead of per step. Exact for `batch = 1`;
+    /// for larger batches the intra-leap count drift is idealized away
+    /// (an `O(batch/m)` perturbation, the same character as the paper's
+    /// eq. (5) idealization). Leaps that would overdraw an urn are split
+    /// recursively, so ball conservation is unconditional.
+    pub fn run_batched<R: Rng + ?Sized>(&mut self, steps: u64, batch: u64, rng: &mut R) {
+        assert!(batch > 0, "batch size must be positive");
+        let mut executed = 0u64;
+        while executed < steps {
+            let burst = batch.min(steps - executed);
+            self.leap(burst, rng);
+            executed += burst;
+        }
+    }
+
+    /// A leap size balancing overhead against drift: `max(1, √m)`.
+    /// Sublinear scaling keeps the per-step leap perturbation `O(1/√m)`,
+    /// vanishing as the process grows.
+    pub fn suggested_batch(&self) -> u64 {
+        ((self.params.m as f64).sqrt() as u64).max(1)
+    }
+
+    fn leap<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
+        let k = self.params.k;
+        let mf = self.params.m as f64;
+        // Move categories: 0..k-1 are "up from urn j" (needs j+1 < k),
+        // k-1..2k-2 are "down from urn j+1". Weights are per-step
+        // probabilities scaled by m.
+        let mut active_weight = 0.0f64;
+        for j in 0..k - 1 {
+            active_weight += self.params.a * self.counts[j] as f64;
+            active_weight += self.params.b * self.counts[j + 1] as f64;
+        }
+        if active_weight <= 0.0 {
+            self.steps += batch;
+            return;
+        }
+        let p_active = (active_weight / mf).min(1.0);
+        let mut remaining = popgame_util::sampler::sample_binomial(batch, p_active, rng);
+        let mut mass_left = active_weight;
+        let mut deltas = vec![0i64; k];
+        'outer: for j in 0..k - 1 {
+            for (weight, from, to) in [
+                (self.params.a * self.counts[j] as f64, j, j + 1),
+                (self.params.b * self.counts[j + 1] as f64, j + 1, j),
+            ] {
+                if remaining == 0 {
+                    break 'outer;
+                }
+                if weight <= 0.0 {
+                    continue;
+                }
+                let last = j == k - 2 && from > to;
+                let q = if last { 1.0 } else { (weight / mass_left).clamp(0.0, 1.0) };
+                let c = popgame_util::sampler::sample_binomial(remaining, q, rng);
+                mass_left -= weight;
+                if c > 0 {
+                    remaining -= c;
+                    deltas[from] -= c as i64;
+                    deltas[to] += c as i64;
+                }
+            }
+        }
+        let overdraws = self
+            .counts
+            .iter()
+            .zip(&deltas)
+            .any(|(&c, &d)| (c as i64) + d < 0);
+        if overdraws {
+            if batch == 1 {
+                self.step(rng);
+                return;
+            }
+            let half = batch / 2;
+            self.leap(half, rng);
+            self.leap(batch - half, rng);
+            return;
+        }
+        for (c, d) in self.counts.iter_mut().zip(&deltas) {
+            *c = (*c as i64 + d) as u64;
+        }
+        self.steps += batch;
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +358,61 @@ mod tests {
         proc.run(20_000, &mut rng);
         assert!(proc.weight() > w0 + 200, "weight failed to drift: {}", proc.weight());
         assert_eq!(proc.steps(), 20_000);
+    }
+
+
+    #[test]
+    fn batched_run_conserves_and_counts_steps() {
+        let p = EhrenfestParams::new(4, 0.3, 0.2, 100).unwrap();
+        let mut proc = EhrenfestProcess::all_in_first_urn(p);
+        let mut rng = rng_from_seed(9);
+        proc.run_batched(10_000, proc.suggested_batch(), &mut rng);
+        assert_eq!(proc.steps(), 10_000);
+        assert_eq!(proc.counts().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn batched_run_matches_exact_mean_weight() {
+        // Ergodic mean of the weight statistic under exact vs batched
+        // stepping must agree within Monte-Carlo error.
+        let p = EhrenfestParams::new(3, 0.3, 0.15, 60).unwrap();
+        let horizon = 20_000u64;
+        let reps = 40u64;
+        let mean = |batched: bool, base: u64| -> f64 {
+            let mut acc = 0.0;
+            for rep in 0..reps {
+                let mut proc = EhrenfestProcess::all_in_first_urn(p);
+                let mut rng = popgame_util::rng::stream_rng(base, rep);
+                if batched {
+                    proc.run_batched(horizon, proc.suggested_batch(), &mut rng);
+                } else {
+                    proc.run(horizon, &mut rng);
+                }
+                acc += proc.weight() as f64;
+            }
+            acc / reps as f64
+        };
+        let exact = mean(false, 100);
+        let batched = mean(true, 200);
+        // Stationary mean weight ~ 75 here; allow generous MC slack.
+        assert!(
+            (exact - batched).abs() < 0.08 * exact.max(1.0),
+            "exact {exact} vs batched {batched}"
+        );
+    }
+
+    #[test]
+    fn batch_one_is_reasonable_at_corners() {
+        // batch = 1 leaps draw single moves; from the top corner only
+        // down-moves can fire, conserving balls every step.
+        let p = EhrenfestParams::new(2, 0.5, 0.5, 1).unwrap();
+        let mut proc = EhrenfestProcess::all_in_last_urn(p);
+        let mut rng = rng_from_seed(10);
+        for _ in 0..200 {
+            proc.run_batched(1, 1, &mut rng);
+            assert_eq!(proc.counts().iter().sum::<u64>(), 1);
+        }
+        assert_eq!(proc.steps(), 200);
     }
 
     proptest! {

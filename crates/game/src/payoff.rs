@@ -144,8 +144,9 @@ fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
         for row in col + 1..4 {
             let factor = a[row][col] / pivot;
             if factor != 0.0 {
-                for j in col..4 {
-                    a[row][j] -= factor * a[col][j];
+                let pivot_row_vals = a[col];
+                for (entry, &above) in a[row][col..4].iter_mut().zip(&pivot_row_vals[col..4]) {
+                    *entry -= factor * above;
                 }
                 b[row] -= factor * b[col];
             }

@@ -116,7 +116,7 @@ impl PrisonersDilemma {
     /// lack of better slots.)
     pub fn new(r: f64, s: f64, t: f64, p: f64) -> Result<Self, GameError> {
         let all_finite = r.is_finite() && s.is_finite() && t.is_finite() && p.is_finite();
-        if !all_finite || !(t > r && r > p && p > s) {
+        if !(all_finite && t > r && r > p && p > s) {
             return Err(GameError::InvalidReward { b: t, c: r });
         }
         Ok(Self { r, s, t, p })

@@ -113,6 +113,11 @@ impl Protocol for ObservedIgtProtocol {
     fn is_one_way(&self) -> bool {
         true
     }
+
+    fn has_random_transitions(&self) -> bool {
+        // The initiator's update depends on a sampled game transcript.
+        true
+    }
 }
 
 impl EnumerableProtocol for ObservedIgtProtocol {

@@ -1,0 +1,786 @@
+//! The batched count-level engine: alias-table pair sampling and
+//! multinomial interaction leaps.
+//!
+//! Three execution regimes for an [`EnumerableProtocol`] over `K` states,
+//! from slowest/most-faithful to fastest/approximate:
+//!
+//! 1. [`crate::counts::CountedPopulation::step`] — one interaction at a
+//!    time, `O(K)` weighted scans. Exact. The reference implementation.
+//! 2. [`BatchedEngine::step`] — one interaction at a time, `O(1)` expected
+//!    via a Walker alias table rebuilt lazily, only when the counts have
+//!    changed since the last build. Exact: identical in law to (1).
+//! 3. [`BatchedEngine::step_batch`] — a *τ-leap*: freezes the count vector
+//!    for `batch` interactions, draws how many of them land on each
+//!    ordered state pair from the exact multinomial (binomial chain), and
+//!    applies the protocol's cached transition table in bulk. Work is
+//!    `O(K²)` per **batch** instead of per interaction. Exact for
+//!    `batch = 1`; for `batch > 1` it idealizes away the intra-batch
+//!    count drift, an `O(batch/n)` perturbation per step of the same
+//!    character as the paper's eq. (5) idealization (sampling with a
+//!    frozen population). Leaps that would drive a count negative are
+//!    split recursively, so conservation is unconditional.
+//!
+//! The pair law matches the agent-level scheduler exactly: the ordered
+//! pair `(i, j)` has weight `x_i (x_j − δ_ij)` — sampling *without*
+//! replacement, including the `δ` correction that removes the initiator
+//! from its own state's responder pool.
+
+use crate::counts::CountedPopulation;
+use crate::error::PopulationError;
+use crate::protocol::EnumerableProtocol;
+use popgame_util::sampler::{sample_binomial, AliasTable};
+use rand::Rng;
+
+/// A protocol's transition function tabulated over all `K²` ordered state
+/// pairs. Only available when the protocol is deterministic
+/// ([`crate::protocol::Protocol::has_random_transitions`] is `false`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionTable {
+    k: usize,
+    /// `targets[i * k + j] = (initiator', responder')` as state indices.
+    targets: Vec<(u32, u32)>,
+}
+
+impl TransitionTable {
+    /// Tabulates a deterministic protocol; `None` when the protocol
+    /// declares randomized transitions — or *behaves* randomized.
+    ///
+    /// Defense against a forgotten
+    /// [`has_random_transitions`](crate::protocol::Protocol::has_random_transitions)
+    /// override: every pair is probed three times with differently seeded
+    /// RNGs, and any outcome mismatch downgrades the protocol to `None`
+    /// (exact per-interaction stepping) instead of freezing one sampled
+    /// outcome into the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::StateOutOfRange`] when the protocol maps
+    /// a pair outside its own enumeration.
+    pub fn build<P: EnumerableProtocol>(
+        protocol: &P,
+    ) -> Result<Option<Self>, PopulationError> {
+        if protocol.has_random_transitions() {
+            return Ok(None);
+        }
+        let k = protocol.num_states();
+        let mut targets = Vec::with_capacity(k * k);
+        let mut probes = [
+            popgame_util::rng::rng_from_seed(0x7AB1E),
+            popgame_util::rng::rng_from_seed(0xD1CE),
+            popgame_util::rng::rng_from_seed(0xF1_1B57),
+        ];
+        for i in 0..k {
+            for j in 0..k {
+                let (si, sj) = (protocol.state_at(i), protocol.state_at(j));
+                let (ni, nj) = protocol.interact(si, sj, &mut probes[0]);
+                for probe in &mut probes[1..] {
+                    if protocol.interact(si, sj, probe) != (ni, nj) {
+                        // Misdeclared randomized protocol: stay exact.
+                        return Ok(None);
+                    }
+                }
+                let (ni, nj) = (protocol.state_index(ni), protocol.state_index(nj));
+                if ni >= k || nj >= k {
+                    return Err(PopulationError::StateOutOfRange {
+                        index: ni.max(nj),
+                        num_states: k,
+                    });
+                }
+                targets.push((ni as u32, nj as u32));
+            }
+        }
+        Ok(Some(TransitionTable { k, targets }))
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.k
+    }
+
+    /// The post-interaction state indices for ordered pair `(i, j)`.
+    #[inline]
+    pub fn apply(&self, i: usize, j: usize) -> (usize, usize) {
+        let (a, b) = self.targets[i * self.k + j];
+        (a as usize, b as usize)
+    }
+
+    /// Whether pair `(i, j)` is a no-op on the count vector.
+    #[inline]
+    pub fn is_identity(&self, i: usize, j: usize) -> bool {
+        self.targets[i * self.k + j] == (i as u32, j as u32)
+    }
+}
+
+/// The high-throughput count-level engine.
+///
+/// Owns the protocol, the count vector, the lazily rebuilt alias table for
+/// `O(1)` exact pair sampling, the cached [`TransitionTable`], and all
+/// scratch buffers, so the hot loop performs no allocation.
+///
+/// # Example
+///
+/// ```
+/// use popgame_population::batch::BatchedEngine;
+/// use popgame_population::counts::CountedPopulation;
+/// use popgame_population::classic::UndecidedDynamics;
+/// use popgame_util::rng::rng_from_seed;
+///
+/// let pop = CountedPopulation::from_counts(vec![600, 400, 0]).unwrap();
+/// let mut engine = BatchedEngine::new(UndecidedDynamics, pop).unwrap();
+/// let mut rng = rng_from_seed(7);
+/// engine.run_batched(100_000, 128, &mut rng).unwrap();
+/// assert_eq!(engine.counts().iter().sum::<u64>(), 1000);
+/// assert_eq!(engine.interactions(), 100_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedEngine<P: EnumerableProtocol> {
+    protocol: P,
+    counts: Vec<u64>,
+    n: u64,
+    interactions: u64,
+    table: Option<TransitionTable>,
+    alias: Option<AliasTable>,
+    alias_dirty: bool,
+    /// Scratch: indices of non-identity cells with positive weight.
+    active_cells: Vec<usize>,
+    /// Scratch: per-state count deltas of the current leap.
+    deltas: Vec<i64>,
+}
+
+impl<P: EnumerableProtocol> BatchedEngine<P> {
+    /// Wraps a counted population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::StateOutOfRange`] when the population's
+    /// count vector length does not match the protocol's state count.
+    pub fn new(protocol: P, population: CountedPopulation) -> Result<Self, PopulationError> {
+        let k = protocol.num_states();
+        if population.counts().len() != k {
+            return Err(PopulationError::StateOutOfRange {
+                index: population.counts().len(),
+                num_states: k,
+            });
+        }
+        let table = TransitionTable::build(&protocol)?;
+        let interactions = population.interactions();
+        let counts = population.counts().to_vec();
+        let n = population.len();
+        Ok(BatchedEngine {
+            protocol,
+            counts,
+            n,
+            interactions,
+            table,
+            alias: None,
+            alias_dirty: true,
+            active_cells: Vec::with_capacity(k * k),
+            deltas: vec![0; k],
+        })
+    }
+
+    /// Builds the engine directly from per-state counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates count-vector validation and dimension mismatches.
+    pub fn from_counts(protocol: P, counts: Vec<u64>) -> Result<Self, PopulationError> {
+        Self::new(protocol, CountedPopulation::from_counts(counts)?)
+    }
+
+    /// The protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current per-state counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` when there are no agents (cannot occur after construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Interactions executed so far (batched interactions included).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Normalized occupation frequencies.
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.n as f64)
+            .collect()
+    }
+
+    /// Whether every agent holds the same state (at most one non-zero
+    /// count) — the count-level consensus observer.
+    pub fn is_consensus(&self) -> bool {
+        self.counts.iter().filter(|&&c| c > 0).count() <= 1
+    }
+
+    /// Converts back into a plain [`CountedPopulation`].
+    pub fn into_population(self) -> CountedPopulation {
+        CountedPopulation::from_parts(self.counts, self.interactions)
+    }
+
+    fn ensure_alias(&mut self) {
+        if self.alias_dirty || self.alias.is_none() {
+            let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+            self.alias = Some(AliasTable::new(&weights).expect("population non-empty"));
+            self.alias_dirty = false;
+        }
+    }
+
+    /// One exact interaction via alias-table sampling: `O(1)` expected when
+    /// the counts are unchanged since the last step, `O(K)` to rebuild the
+    /// table after a change. Identical in law to
+    /// [`CountedPopulation::step`]. Returns the sampled pre-interaction
+    /// `(initiator_state, responder_state)` indices.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (usize, usize) {
+        self.ensure_alias();
+        let alias = self.alias.as_ref().expect("built above");
+        // Initiator ∝ x_i.
+        let i = alias.sample(rng);
+        // Responder ∝ x_j − δ_ij via rejection: propose ∝ x_j; a proposal
+        // equal to the initiator's state is accepted with probability
+        // (x_i − 1)/x_i, which tilts the law to the without-replacement
+        // weights. Expected proposals ≤ n/(n−1) ≤ 2.
+        let j = loop {
+            let j = alias.sample(rng);
+            if j != i {
+                break j;
+            }
+            let xi = self.counts[i];
+            if xi > 1 && rng.gen::<f64>() * (xi as f64) < (xi - 1) as f64 {
+                break j;
+            }
+        };
+        let (ni, nj) = match &self.table {
+            Some(table) => table.apply(i, j),
+            None => {
+                let (si, sj) = (self.protocol.state_at(i), self.protocol.state_at(j));
+                let (ni, nj) = self.protocol.interact(si, sj, rng);
+                (self.protocol.state_index(ni), self.protocol.state_index(nj))
+            }
+        };
+        if (ni, nj) != (i, j) {
+            self.counts[i] -= 1;
+            self.counts[ni] += 1;
+            self.counts[j] -= 1;
+            self.counts[nj] += 1;
+            self.alias_dirty = true;
+        }
+        self.interactions += 1;
+        (i, j)
+    }
+
+    /// Executes `batch` interactions as one multinomial leap (see the
+    /// module docs for the exactness contract). Falls back to exact
+    /// per-interaction stepping for randomized protocols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::TooFewAgents`] when `n < 2`.
+    pub fn step_batch<R: Rng + ?Sized>(
+        &mut self,
+        batch: u64,
+        rng: &mut R,
+    ) -> Result<(), PopulationError> {
+        if self.n < 2 {
+            return Err(PopulationError::TooFewAgents { n: self.n as usize });
+        }
+        if self.table.is_none() {
+            // Randomized transitions cannot be tabulated; stay exact.
+            for _ in 0..batch {
+                self.step(rng);
+            }
+            return Ok(());
+        }
+        self.leap(batch, rng);
+        Ok(())
+    }
+
+    /// Runs `total` interactions in leaps of `batch` (the final leap is
+    /// ragged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step_batch`] errors.
+    pub fn run_batched<R: Rng + ?Sized>(
+        &mut self,
+        total: u64,
+        batch: u64,
+        rng: &mut R,
+    ) -> Result<(), PopulationError> {
+        assert!(batch > 0, "batch size must be positive");
+        let mut executed = 0u64;
+        while executed < total {
+            let burst = batch.min(total - executed);
+            self.step_batch(burst, rng)?;
+            executed += burst;
+        }
+        Ok(())
+    }
+
+    /// A batch size balancing leap overhead against τ-leap drift:
+    /// `max(1, √n)`. Scaling sublinearly keeps the frozen-count
+    /// idealization *vanishing* in `n` — the per-interaction perturbation
+    /// is `O(batch/n) = O(1/√n)`, strictly smaller than the paper's
+    /// `O(1/n)`-per-agent eq. (5) idealization only by a vanishing
+    /// factor — while amortizing the `O(K²)` leap cost over `√n`
+    /// interactions.
+    pub fn suggested_batch(&self) -> u64 {
+        ((self.n as f64).sqrt() as u64).max(1)
+    }
+
+    /// The multinomial leap over frozen counts; splits on (rare) negative
+    /// excursions.
+    fn leap<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
+        let k = self.counts.len();
+        let table = self.table.as_ref().expect("leap requires a table");
+        // Enumerate non-identity cells with positive weight.
+        self.active_cells.clear();
+        let mut active_weight = 0.0f64;
+        for i in 0..k {
+            let xi = self.counts[i];
+            if xi == 0 {
+                continue;
+            }
+            for j in 0..k {
+                if table.is_identity(i, j) {
+                    continue;
+                }
+                let w = xi as f64 * (self.counts[j] - u64::from(i == j)) as f64;
+                if w > 0.0 {
+                    self.active_cells.push(i * k + j);
+                    active_weight += w;
+                }
+            }
+        }
+        let total_weight = self.n as f64 * (self.n - 1) as f64;
+        if self.active_cells.is_empty() {
+            // Absorbed: every remaining interaction is a no-op.
+            self.interactions += batch;
+            return;
+        }
+        // How many of the `batch` interactions change anything at all.
+        let p_active = (active_weight / total_weight).min(1.0);
+        let mut remaining = sample_binomial(batch, p_active, rng);
+        let mut mass_left = active_weight;
+        // Binomial chain over the active cells.
+        self.deltas.iter_mut().for_each(|d| *d = 0);
+        for idx in 0..self.active_cells.len() {
+            if remaining == 0 {
+                break;
+            }
+            let cell = self.active_cells[idx];
+            let (i, j) = (cell / k, cell % k);
+            let w = self.counts[i] as f64 * (self.counts[j] - u64::from(i == j)) as f64;
+            let q = if idx + 1 == self.active_cells.len() {
+                1.0
+            } else {
+                (w / mass_left).clamp(0.0, 1.0)
+            };
+            let c = sample_binomial(remaining, q, rng);
+            mass_left -= w;
+            if c > 0 {
+                remaining -= c;
+                let (a, b) = table.apply(i, j);
+                self.deltas[i] -= c as i64;
+                self.deltas[a] += c as i64;
+                self.deltas[j] -= c as i64;
+                self.deltas[b] += c as i64;
+            }
+        }
+        // Conservation guard: a leap that overdraws a state is split in
+        // half; each half sees refreshed counts, shrinking the draw.
+        let overdraws = self
+            .counts
+            .iter()
+            .zip(&self.deltas)
+            .any(|(&c, &d)| (c as i64) + d < 0);
+        if overdraws {
+            if batch == 1 {
+                // A single interaction can never overdraw; replay exactly.
+                self.step(rng);
+                return;
+            }
+            let half = batch / 2;
+            self.leap(half, rng);
+            self.leap(batch - half, rng);
+            return;
+        }
+        for (c, d) in self.counts.iter_mut().zip(&self.deltas) {
+            *c = (*c as i64 + d) as u64;
+        }
+        self.interactions += batch;
+        self.alias_dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use popgame_util::rng::{rng_from_seed, stream_rng};
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    /// One-way epidemic over {0: healthy, 1: infected}.
+    #[derive(Clone, Copy)]
+    struct Epidemic;
+
+    impl Protocol for Epidemic {
+        type State = bool;
+        fn interact<R: Rng + ?Sized>(&self, i: bool, r: bool, _rng: &mut R) -> (bool, bool) {
+            (i || r, r)
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for Epidemic {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: bool) -> usize {
+            usize::from(s)
+        }
+        fn state_at(&self, i: usize) -> bool {
+            i == 1
+        }
+    }
+
+    /// Three-state cyclic rock-paper-scissors-like protocol: the initiator
+    /// adopts the successor of the responder's state. Keeps all counts
+    /// moving, which exercises the overdraw-splitting path.
+    #[derive(Clone, Copy)]
+    struct Cyclic;
+
+    impl Protocol for Cyclic {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, _i: u8, r: u8, _rng: &mut R) -> (u8, u8) {
+            ((r + 1) % 3, r)
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for Cyclic {
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+    }
+
+    /// A randomized protocol: the initiator flips to a uniform state.
+    #[derive(Clone, Copy)]
+    struct RandomFlip;
+
+    impl Protocol for RandomFlip {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, _i: u8, r: u8, rng: &mut R) -> (u8, u8) {
+            (rng.gen_range(0..3u8), r)
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+        fn has_random_transitions(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for RandomFlip {
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+    }
+
+    #[test]
+    fn transition_table_tabulates_deterministic_protocols() {
+        let table = TransitionTable::build(&Epidemic).unwrap().unwrap();
+        assert_eq!(table.num_states(), 2);
+        assert_eq!(table.apply(0, 1), (1, 1));
+        assert_eq!(table.apply(0, 0), (0, 0));
+        assert!(table.is_identity(1, 1));
+        assert!(!table.is_identity(0, 1));
+    }
+
+    #[test]
+    fn transition_table_refuses_randomized_protocols() {
+        assert!(TransitionTable::build(&RandomFlip).unwrap().is_none());
+    }
+
+    /// A randomized protocol that *forgets* to override
+    /// `has_random_transitions`: the probe pass must catch the mismatch
+    /// and fall back to exact stepping instead of freezing one outcome.
+    #[derive(Clone, Copy)]
+    struct MisdeclaredRandom;
+
+    impl Protocol for MisdeclaredRandom {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, _i: u8, r: u8, rng: &mut R) -> (u8, u8) {
+            (rng.gen_range(0..3u8), r)
+        }
+        // has_random_transitions deliberately left at the false default.
+    }
+
+    impl EnumerableProtocol for MisdeclaredRandom {
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+    }
+
+    #[test]
+    fn transition_table_detects_misdeclared_randomized_protocols() {
+        assert!(
+            TransitionTable::build(&MisdeclaredRandom).unwrap().is_none(),
+            "probe pass must notice outcome mismatches"
+        );
+        // The engine still runs (exactly, per interaction).
+        let mut engine =
+            BatchedEngine::from_counts(MisdeclaredRandom, vec![4, 4, 4]).unwrap();
+        let mut rng = rng_from_seed(13);
+        engine.step_batch(200, &mut rng).unwrap();
+        assert_eq!(engine.counts().iter().sum::<u64>(), 12);
+        assert_eq!(engine.interactions(), 200);
+    }
+
+    #[test]
+    fn alias_step_matches_reference_law() {
+        // Chi-square over the sampled (initiator, responder) pre-state
+        // pairs of the alias step against the exact without-replacement
+        // law x_i (x_j - delta_ij) / (n (n-1)).
+        let counts = [6u64, 3, 1];
+        let n = 10u64;
+        let draws = 120_000u64;
+        let mut observed = [0u64; 9];
+        for rep in 0..draws {
+            let mut engine =
+                BatchedEngine::from_counts(Cyclic, counts.to_vec()).unwrap();
+            let mut rng = stream_rng(42, rep);
+            let (i, j) = engine.step(&mut rng);
+            observed[i * 3 + j] += 1;
+        }
+        let mut chi2 = 0.0;
+        let mut cells = 0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let w = counts[i] as f64
+                    * (counts[j] - u64::from(i == j)) as f64;
+                let expected = w / (n as f64 * (n - 1) as f64) * draws as f64;
+                let got = observed[i * 3 + j] as f64;
+                if expected == 0.0 {
+                    assert_eq!(got, 0.0, "impossible pair ({i},{j}) sampled");
+                } else {
+                    chi2 += (got - expected).powi(2) / expected;
+                    cells += 1;
+                }
+            }
+        }
+        // 8 positive cells -> 7 dof; 99.9% quantile ~ 24.3.
+        assert!(chi2 < 24.3, "pair-law chi-square too large: {chi2} ({cells} cells)");
+    }
+
+    #[test]
+    fn batch_one_matches_per_step_law_chi_square() {
+        // Distributional equivalence at batch size 1: the end-state count
+        // of the epidemic after a fixed horizon must follow the same law
+        // under CountedPopulation::step and step_batch(1), across a seed
+        // family. Two-sample chi-square over the infected-count histogram.
+        let horizon = 40u64;
+        let reps = 4_000u64;
+        let bins = 12usize; // infected count in 1..=12 (n = 12)
+        let mut hist_step = vec![0u64; bins + 1];
+        let mut hist_batch = vec![0u64; bins + 1];
+        for rep in 0..reps {
+            let mut pop = CountedPopulation::from_counts(vec![11, 1]).unwrap();
+            let mut rng = stream_rng(7, rep);
+            pop.run(&Epidemic, horizon, &mut rng).unwrap();
+            hist_step[pop.count(1) as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(Epidemic, vec![11, 1]).unwrap();
+            let mut rng = stream_rng(badge(rep), rep);
+            for _ in 0..horizon {
+                engine.step_batch(1, &mut rng).unwrap();
+            }
+            hist_batch[engine.counts()[1] as usize] += 1;
+        }
+        let chi2 = two_sample_chi_square(&hist_step, &hist_batch);
+        // dof <= 11; 99.9% quantile of chi2(11) ~ 31.3.
+        assert!(chi2 < 31.3, "chi-square {chi2}: {hist_step:?} vs {hist_batch:?}");
+    }
+
+    /// Decorrelates the second seed family from the first.
+    fn badge(rep: u64) -> u64 {
+        0x5eed ^ rep.wrapping_mul(0x9E37_79B9)
+    }
+
+    /// Two-sample chi-square statistic over paired histograms.
+    fn two_sample_chi_square(a: &[u64], b: &[u64]) -> f64 {
+        let (ta, tb) = (
+            a.iter().sum::<u64>() as f64,
+            b.iter().sum::<u64>() as f64,
+        );
+        let mut chi2 = 0.0;
+        for (&ca, &cb) in a.iter().zip(b) {
+            let total = (ca + cb) as f64;
+            if total == 0.0 {
+                continue;
+            }
+            let ea = total * ta / (ta + tb);
+            let eb = total * tb / (ta + tb);
+            chi2 += (ca as f64 - ea).powi(2) / ea + (cb as f64 - eb).powi(2) / eb;
+        }
+        chi2
+    }
+
+    #[test]
+    fn moderate_batches_stay_distributionally_close() {
+        // tau-leap bias check: with batch = n/8 the epidemic's end-state
+        // histogram stays within a loose two-sample chi-square of the
+        // exact law (the bias is O(batch/n) per leap).
+        let n = 64u64;
+        let horizon = 6 * n;
+        let reps = 2_000u64;
+        let mut hist_step = vec![0u64; n as usize + 1];
+        let mut hist_batch = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut pop = CountedPopulation::from_counts(vec![n - 1, 1]).unwrap();
+            let mut rng = stream_rng(11, rep);
+            pop.run(&Epidemic, horizon, &mut rng).unwrap();
+            hist_step[pop.count(1) as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(Epidemic, vec![n - 1, 1]).unwrap();
+            let mut rng = stream_rng(badge(rep), rep);
+            engine.run_batched(horizon, n / 8, &mut rng).unwrap();
+            hist_batch[engine.counts()[1] as usize] += 1;
+        }
+        let chi2 = two_sample_chi_square(&hist_step, &hist_batch);
+        // Wide support (~65 cells): the 99.9% quantile of chi2(64) ~ 112;
+        // allow extra room for the documented leap bias.
+        assert!(chi2 < 160.0, "chi-square {chi2}");
+    }
+
+    #[test]
+    fn randomized_protocol_falls_back_to_exact_stepping() {
+        let mut engine =
+            BatchedEngine::from_counts(RandomFlip, vec![10, 10, 10]).unwrap();
+        let mut rng = rng_from_seed(3);
+        engine.step_batch(500, &mut rng).unwrap();
+        assert_eq!(engine.interactions(), 500);
+        assert_eq!(engine.counts().iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn absorbed_population_leaps_in_constant_time() {
+        let mut engine = BatchedEngine::from_counts(Epidemic, vec![0, 50]).unwrap();
+        let mut rng = rng_from_seed(4);
+        engine.run_batched(1_000_000_000, 1_000_000, &mut rng).unwrap();
+        assert_eq!(engine.interactions(), 1_000_000_000);
+        assert_eq!(engine.counts(), &[0, 50]);
+        assert!(engine.is_consensus());
+    }
+
+    #[test]
+    fn round_trip_through_counted_population() {
+        let pop = CountedPopulation::from_counts(vec![5, 5]).unwrap();
+        let mut engine = BatchedEngine::new(Epidemic, pop).unwrap();
+        let mut rng = rng_from_seed(5);
+        engine.run_batched(100, 8, &mut rng).unwrap();
+        let back = engine.into_population();
+        assert_eq!(back.interactions(), 100);
+        assert_eq!(back.len(), 10);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert!(BatchedEngine::from_counts(Epidemic, vec![5, 5, 5]).is_err());
+    }
+
+    proptest! {
+        /// Batch sizes 1, n, and 10n all conserve the total agent count.
+        #[test]
+        fn prop_batches_conserve_agents(
+            healthy in 1u64..60,
+            infected in 1u64..60,
+            seed in 0u64..50,
+            scale in 0usize..3,
+        ) {
+            let n = healthy + infected;
+            let batch = [1, n, 10 * n][scale];
+            let mut engine = BatchedEngine::from_counts(
+                Epidemic,
+                vec![healthy, infected],
+            ).unwrap();
+            let mut rng = rng_from_seed(seed);
+            engine.run_batched(3 * n, batch, &mut rng).unwrap();
+            prop_assert_eq!(engine.counts().iter().sum::<u64>(), n);
+            prop_assert_eq!(engine.interactions(), 3 * n);
+        }
+
+        /// The cyclic protocol (every cell active) conserves agents across
+        /// batches too, exercising the overdraw split.
+        #[test]
+        fn prop_cyclic_conserves_under_large_batches(
+            a in 1u64..30,
+            b in 1u64..30,
+            c in 1u64..30,
+            seed in 0u64..50,
+        ) {
+            let n = a + b + c;
+            let mut engine =
+                BatchedEngine::from_counts(Cyclic, vec![a, b, c]).unwrap();
+            let mut rng = rng_from_seed(seed);
+            engine.run_batched(5 * n, n, &mut rng).unwrap();
+            prop_assert_eq!(engine.counts().iter().sum::<u64>(), n);
+        }
+
+        /// Alias stepping and reference stepping agree on monotonicity of
+        /// the epidemic (infected never decreases) and conservation.
+        #[test]
+        fn prop_alias_step_invariants(seed in 0u64..80) {
+            let mut engine =
+                BatchedEngine::from_counts(Epidemic, vec![12, 3]).unwrap();
+            let mut rng = rng_from_seed(seed);
+            let mut prev = engine.counts()[1];
+            for _ in 0..150 {
+                engine.step(&mut rng);
+                let now = engine.counts()[1];
+                prop_assert!(now >= prev);
+                prop_assert_eq!(engine.counts().iter().sum::<u64>(), 15);
+                prev = now;
+            }
+        }
+    }
+}

@@ -10,13 +10,18 @@
 //! *one-way* convention where only the initiator updates; this crate
 //! supports both.
 //!
-//! Two execution engines with identical law:
+//! Three execution engines:
 //!
 //! * [`population::AgentPopulation`] — an explicit vector of agent states
-//!   (`O(1)` per interaction, `O(n)` memory), faithful to the model;
+//!   (`O(1)` per interaction, `O(n)` memory), faithful to the model; the
+//!   distributional ground truth the other engines are tested against;
 //! * [`counts::CountedPopulation`] — tracks only the count of agents per
-//!   state (`O(#states)` per interaction), usable whenever the protocol's
-//!   state space is enumerable; this is the engine that scales to large `n`.
+//!   state (`O(#states)` per interaction), identical in law, usable
+//!   whenever the protocol's state space is enumerable;
+//! * [`batch::BatchedEngine`] — alias-table `O(1)` exact stepping plus a
+//!   multinomial τ-leap [`batch::BatchedEngine::step_batch`] that executes
+//!   whole batches of interactions in `O(#states²)` work; this is the
+//!   engine that scales to `n` in the millions.
 //!
 //! [`classic`] contains two textbook protocols (3-state approximate
 //! majority, pairwise averaging) used as substrate validation and as the
@@ -40,6 +45,7 @@
 //! assert!(pop.iter().all(|&s| s != popgame_population::classic::Opinion::B));
 //! ```
 
+pub mod batch;
 pub mod classic;
 pub mod counts;
 pub mod error;
@@ -47,6 +53,7 @@ pub mod population;
 pub mod protocol;
 pub mod simulator;
 
+pub use batch::BatchedEngine;
 pub use error::PopulationError;
 pub use population::AgentPopulation;
 pub use protocol::{EnumerableProtocol, Protocol};

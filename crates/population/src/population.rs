@@ -85,8 +85,15 @@ impl<S: Copy + Eq + std::fmt::Debug> AgentPopulation<S> {
     }
 
     /// Whether every agent holds the same state.
+    ///
+    /// Compares against the first agent's state, so a lone dissenter near
+    /// the front short-circuits immediately (the `windows(2)` formulation
+    /// re-read every element pairwise).
     pub fn is_consensus(&self) -> bool {
-        self.states.windows(2).all(|w| w[0] == w[1])
+        match self.states.split_first() {
+            None => true,
+            Some((first, rest)) => rest.iter().all(|s| s == first),
+        }
     }
 
     /// Executes one interaction: samples an ordered pair uniformly at random

@@ -47,6 +47,18 @@ pub trait Protocol {
     fn is_one_way(&self) -> bool {
         false
     }
+
+    /// Whether [`interact`](Self::interact) consults its RNG. Default
+    /// `false` (deterministic transition function).
+    ///
+    /// Engines use this to decide whether the transition function can be
+    /// tabulated once and replayed — the key enabler of the batched
+    /// count-level stepper. Implementations whose transitions are
+    /// randomized **must** override this to `true`; a cached table built
+    /// from a randomized `interact` would silently freeze one outcome.
+    fn has_random_transitions(&self) -> bool {
+        false
+    }
 }
 
 /// A protocol whose state space is finite and enumerable, enabling the

@@ -1,0 +1,207 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Benches compile and run against this shim without registry access. It
+//! performs a short warm-up followed by a timed measurement window and
+//! prints ns/iter; statistical machinery (outlier analysis, HTML reports)
+//! is intentionally absent. `--test` (as passed by `cargo bench -- --test`
+//! or CI smoke jobs) runs every benchmark body exactly once.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benched computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter(...)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing harness handed to bench closures.
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    /// `(iterations, elapsed)` of the measurement window.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly over the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up: discover a batch size that takes ~1ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_measurement: Duration,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` honored).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .cloned();
+        Criterion {
+            test_mode,
+            filter,
+            default_measurement: Duration::from_secs(2),
+        }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            measurement_time: None,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let mt = self.default_measurement;
+        self.run_one(name, mt, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mt: Duration, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measurement_time: mt,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, _)) if self.test_mode => {
+                println!("test {label} ... ok ({iters} iteration)");
+            }
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+                println!("{label:<50} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("{label:<50} (no measurement)"),
+        }
+    }
+}
+
+/// A group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes by time, not samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benches a named function in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let label = format!("{}/{}", self.name, name);
+        let mt = self
+            .measurement_time
+            .unwrap_or(self.criterion.default_measurement);
+        self.criterion.run_one(&label, mt, f);
+    }
+
+    /// Benches a function parameterized by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mt = self
+            .measurement_time
+            .unwrap_or(self.criterion.default_measurement);
+        self.criterion.run_one(&label, mt, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,78 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A size specification for generated collections.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, src: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = src.rng().gen_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.generate(src)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_element_ranges() {
+        let strat = vec(0.0..10.0f64, 1..20);
+        let mut src = TestRng::new(4);
+        for _ in 0..100 {
+            let v = strat.generate(&mut src).unwrap();
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..10.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn fixed_size_from_usize() {
+        let strat = vec(0u64..5, 3usize);
+        let mut src = TestRng::new(5);
+        assert_eq!(strat.generate(&mut src).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro with
+//! an optional `#![proptest_config(..)]` attribute, range and collection
+//! strategies, tuple composition, `prop_map` / `prop_filter` /
+//! `prop_filter_map` adapters, and the `prop_assert*` / `prop_assume!`
+//! macros. Failing cases are reported with their deterministic case seed;
+//! there is **no shrinking** — rerun with the printed seed to reproduce.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the (large) simulation-heavy
+        // property suites fast while still exercising the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` or a filter; not a failure.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(message: String) -> Self {
+        TestCaseError::Reject(message)
+    }
+}
+
+/// The randomness source handed to strategies.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic per-(test, case) source.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+/// Drives the cases of one property. Used by the [`proptest!`] expansion.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+    rejected: u32,
+}
+
+impl TestRunner {
+    /// Builds the runner for a named property.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // FNV-1a over the test name: deterministic across runs and
+        // platforms so failures are reproducible.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            name,
+            base_seed: h,
+            rejected: 0,
+        }
+    }
+
+    /// Number of cases to attempt.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The strategy randomness for case `case`, attempt `attempt`.
+    pub fn source(&self, case: u32, attempt: u32) -> TestRng {
+        TestRng::new(
+            self.base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (attempt as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+        )
+    }
+
+    /// Handles one case outcome; panics on failure. Returns `true` when the
+    /// case was rejected and should be retried with a fresh attempt.
+    pub fn handle(&mut self, outcome: Result<(), TestCaseError>, case: u32) -> bool {
+        match outcome {
+            Ok(()) => false,
+            Err(TestCaseError::Reject(_)) => {
+                self.rejected += 1;
+                assert!(
+                    self.rejected < 4096,
+                    "property `{}`: too many rejected cases ({}); loosen the filters",
+                    self.name,
+                    self.rejected
+                );
+                true
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property `{}` failed at case {case}: {message}\n(no shrinking in the offline proptest shim; the case is deterministic in the test name and index)",
+                    self.name
+                );
+            }
+        }
+    }
+}
+
+/// The property-test entry macro. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(args in strategies) { body }` item.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __runner = $crate::TestRunner::new(__config, stringify!($name));
+            let mut __case = 0u32;
+            let mut __attempt = 0u32;
+            while __case < __runner.cases() {
+                let mut __src = __runner.source(__case, __attempt);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(&($strat), &mut __src) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => {
+                                return ::std::result::Result::Err($crate::TestCaseError::reject(
+                                    ::std::string::String::from("strategy filter exhausted"),
+                                ));
+                            }
+                        };
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if __runner.handle(__outcome, __case) {
+                    __attempt += 1;
+                } else {
+                    __case += 1;
+                    __attempt = 0;
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts inside a property body, reporting the generated case on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                ::std::string::String::from(concat!("assumption failed: ", stringify!($cond))),
+            ));
+        }
+    };
+}
+
+/// The commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Fixed-size array strategies (`proptest::array`).
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// A strategy producing `[S::Value; N]` from `N` independent draws.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, src: &mut TestRng) -> Option<Self::Value> {
+            let mut out = Vec::with_capacity(N);
+            for _ in 0..N {
+                out.push(self.element.generate(src)?);
+            }
+            out.try_into().ok().or_else(|| {
+                unreachable!("generated exactly N elements")
+            })
+        }
+    }
+
+    /// Four independent draws from one strategy.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+        UniformArray { element }
+    }
+
+    /// Two independent draws from one strategy.
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+        UniformArray { element }
+    }
+
+    /// Three independent draws from one strategy.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+        UniformArray { element }
+    }
+}

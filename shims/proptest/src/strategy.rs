@@ -1,0 +1,192 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] draws a value from a [`TestRng`]. `generate` returns
+//! `Option` so filtering adapters can signal rejection after their retry
+//! budget; plain strategies always return `Some`.
+
+use crate::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// How many fresh draws a filtering adapter attempts before rejecting the
+/// whole case.
+const FILTER_RETRIES: u32 = 64;
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value, or `None` when a filter rejected every attempt.
+    fn generate(&self, src: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`.
+    fn prop_filter<F>(self, _reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Maps through a partial function, retrying on `None`.
+    fn prop_filter_map<U, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, f }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _src: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// The `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, src: &mut TestRng) -> Option<U> {
+        self.inner.generate(src).map(&self.f)
+    }
+}
+
+/// The `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, src: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(src)?;
+            if (self.pred)(&v) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// The `prop_filter_map` adapter.
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, src: &mut TestRng) -> Option<U> {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(src)?;
+            if let Some(u) = (self.f)(v) {
+                return Some(u);
+            }
+        }
+        None
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut TestRng) -> Option<$t> {
+                Some(src.rng().gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut TestRng) -> Option<$t> {
+                Some(src.rng().gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, src: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(src)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut src = TestRng::new(1);
+        for _ in 0..200 {
+            let x = (3u64..9).generate(&mut src).unwrap();
+            assert!((3..9).contains(&x));
+            let y = (0.25..=0.75f64).generate(&mut src).unwrap();
+            assert!((0.25..=0.75).contains(&y));
+        }
+    }
+
+    #[test]
+    fn adapters_compose() {
+        let strat = (0u64..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("even and small", |v| *v < 100)
+            .prop_filter_map("nonzero", |v| (v > 0).then_some(v));
+        let mut src = TestRng::new(2);
+        for _ in 0..100 {
+            if let Some(v) = strat.generate(&mut src) {
+                assert!(v % 2 == 0 && v > 0 && v < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn tuples_draw_componentwise() {
+        let mut src = TestRng::new(3);
+        let (a, b, c, d) = (0u64..4, 0.0..1.0f64, 2usize..5, Just(7i32))
+            .generate(&mut src)
+            .unwrap();
+        assert!(a < 4);
+        assert!((0.0..1.0).contains(&b));
+        assert!((2..5).contains(&c));
+        assert_eq!(d, 7);
+    }
+}

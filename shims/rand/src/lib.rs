@@ -1,0 +1,283 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the tiny slice of `rand`'s surface it actually uses: the [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`] traits, uniform `gen` / `gen_range`
+//! sampling for the primitive types, and a [`rngs::SmallRng`] backed by
+//! xoshiro256++ (the same family the real `SmallRng` uses on 64-bit
+//! targets). Sequences differ from the upstream crate bit-for-bit, but the
+//! law of every sampler is identical, which is all the simulation stack
+//! relies on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64` words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, matching `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// The standard (uniform) distribution marker, as in `rand::distributions`.
+pub struct Standard;
+
+/// A distribution that can sample `T` from any generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Distribution<usize> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use the high bit; low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// A range from which a uniform value can be drawn (`gen_range` argument).
+pub trait SampleRange {
+    /// The sampled type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: $t = Standard.sample(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let u: $t = Standard.sample(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// High-level sampling methods, matching the `rand::Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard uniform distribution.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Draws uniformly from a half-open or inclusive range.
+    #[inline]
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_single(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A fast, non-cryptographic generator (xoshiro256++), mirroring the
+    /// 64-bit `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_uniform_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        let draws = 100_000;
+        for _ in 0..draws {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / draws as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn int_ranges_cover_support_uniformly() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u64; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.07, "{counts:?}");
+        }
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3..=7u64);
+            assert!((3..=7).contains(&v));
+            let w = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn draw(rng: &mut dyn RngCore) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = draw(&mut rng);
+        fn generic<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let _ = generic(&mut rng);
+    }
+}

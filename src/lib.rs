@@ -1,0 +1,5 @@
+//! Workspace-root helper crate.
+//!
+//! Exists so the repo-level `tests/` and `examples/` directories have an
+//! owning package; all functionality lives in the `crates/` members. See
+//! `crates/core` (`popgame`) for the library facade.

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the batched count-level engine and the
+//! parallel replica harness driving the k-IGT dynamics end to end.
+
+use popgame::prelude::*;
+use popgame_igt::dynamics::counted_population;
+use popgame_igt::trajectory::{time_averaged_distribution, time_averaged_distribution_agent};
+use popgame_population::batch::BatchedEngine;
+use popgame_runner::{mean_vectors, run_replicas};
+
+fn config(beta: f64, k: usize) -> IgtConfig {
+    let alpha = (1.0 - beta) / 2.0;
+    let gamma = 1.0 - alpha - beta;
+    IgtConfig::new(
+        PopulationComposition::new(alpha, beta, gamma).expect("valid composition"),
+        GenerosityGrid::new(k, 0.8).expect("valid grid"),
+        GameParams::new(2.0, 0.5, 0.9, 0.95).expect("valid game"),
+    )
+}
+
+/// The batched engine conserves the AC/AD sub-populations exactly (they
+/// never transition) and the GTFT total, at every batch size.
+#[test]
+fn batched_engine_preserves_igt_invariants() {
+    let cfg = config(0.2, 4);
+    let n = 10_000u64;
+    let (ac, ad, gtft) = cfg.composition().group_sizes(n).unwrap();
+    for batch in [1u64, 64, n] {
+        let protocol = IgtProtocol::from_config(&cfg);
+        let mut engine =
+            BatchedEngine::new(protocol, counted_population(&cfg, n, 0).unwrap()).unwrap();
+        let mut rng = rng_from_seed(17);
+        engine.run_batched(20 * n, batch, &mut rng).unwrap();
+        assert_eq!(engine.counts()[0], ac, "AC count drifted at batch {batch}");
+        assert_eq!(engine.counts()[1], ad, "AD count drifted at batch {batch}");
+        assert_eq!(
+            engine.counts()[2..].iter().sum::<u64>(),
+            gtft,
+            "GTFT total drifted at batch {batch}"
+        );
+        assert_eq!(engine.interactions(), 20 * n);
+    }
+}
+
+/// Theorem 2.7 through the batched engine at a population size that would
+/// be painful for per-interaction stepping: the ergodic level occupancy
+/// matches the geometric stationary law.
+#[test]
+fn batched_engine_reaches_theorem_27_law_at_scale() {
+    let cfg = config(0.2, 4); // λ = 4
+    let n = 200_000u64;
+    let mu = time_averaged_distribution(
+        &cfg,
+        n,
+        IgtVariant::Standard,
+        40 * n,
+        200,
+        n / 4,
+        23,
+    )
+    .unwrap();
+    let theory = stationary_level_probs(&cfg);
+    let tv = tv_distance(&mu, &theory).unwrap();
+    assert!(tv < 0.05, "TV at n = 2e5: {tv} ({mu:?} vs {theory:?})");
+}
+
+/// The batched estimator agrees with the agent-level ground truth on a
+/// size where both are affordable.
+#[test]
+fn batched_estimator_matches_agent_ground_truth() {
+    let cfg = config(0.3, 3);
+    let batched =
+        time_averaged_distribution(&cfg, 120, IgtVariant::Standard, 50_000, 250, 200, 31)
+            .unwrap();
+    let agent =
+        time_averaged_distribution_agent(&cfg, 120, IgtVariant::Standard, 50_000, 250, 200, 37)
+            .unwrap();
+    let tv = tv_distance(&batched, &agent).unwrap();
+    assert!(tv < 0.08, "engines disagree: TV {tv} ({batched:?} vs {agent:?})");
+}
+
+/// The replica harness is bitwise deterministic for a fixed
+/// (seed, replicas) pair and its replicated occupancy estimate matches
+/// the stationary law tighter than any single replica.
+#[test]
+fn replica_harness_determinism_and_aggregation() {
+    let cfg = config(0.25, 4);
+    let n = 2_000u64;
+    let run = || {
+        run_replicas(41, 16, |_rep, mut rng| {
+            let protocol = IgtProtocol::from_config(&cfg);
+            let mut engine =
+                BatchedEngine::new(protocol, counted_population(&cfg, n, 0).unwrap()).unwrap();
+            let batch = engine.suggested_batch();
+            engine.run_batched(60 * n, batch, &mut rng).unwrap();
+            let mut occupancy = vec![0u64; 4];
+            for _ in 0..100 {
+                engine.run_batched(n, batch, &mut rng).unwrap();
+                for (acc, &z) in occupancy.iter_mut().zip(&engine.counts()[2..]) {
+                    *acc += z;
+                }
+            }
+            let total: u64 = occupancy.iter().sum();
+            occupancy
+                .into_iter()
+                .map(|c| c as f64 / total as f64)
+                .collect::<Vec<f64>>()
+        })
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "replica harness must be bitwise deterministic");
+
+    let mu = mean_vectors(&first);
+    let theory = stationary_level_probs(&cfg);
+    let tv = tv_distance(&mu, &theory).unwrap();
+    assert!(tv < 0.04, "replicated estimate off: TV {tv}");
+}
+
+/// Full-stack determinism of the batched path: fixed seed, identical
+/// trajectory of count vectors.
+#[test]
+fn batched_path_full_stack_determinism() {
+    let cfg = config(0.25, 4);
+    let run = || {
+        let protocol = IgtProtocol::from_config(&cfg);
+        let mut engine =
+            BatchedEngine::new(protocol, counted_population(&cfg, 500, 0).unwrap()).unwrap();
+        let mut rng = rng_from_seed(12345);
+        let mut snapshots = Vec::new();
+        for _ in 0..20 {
+            engine.run_batched(1_000, 50, &mut rng).unwrap();
+            snapshots.push(engine.counts().to_vec());
+        }
+        snapshots
+    };
+    assert_eq!(run(), run());
+}
