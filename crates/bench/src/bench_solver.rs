@@ -1,0 +1,160 @@
+//! `bench_solver` — measures solver and scenario-dynamics throughput and
+//! emits machine-readable `BENCH_solver.json`.
+//!
+//! ```text
+//! bench_solver                 # writes BENCH_solver.json in the cwd
+//! bench_solver out.json        # custom output path
+//! bench_solver --quick         # shorter measurement windows (CI smoke)
+//! ```
+//!
+//! Measured components:
+//!
+//! * `enumerate_kK`   — full support-enumeration solves/sec on seeded
+//!   random symmetric `K×K` games (the exponential exact path);
+//! * `zero_sum_kK`    — simplex LP solves/sec on seeded random zero-sum
+//!   `K×K` games (the polynomial path);
+//! * `dynamics_*`     — batched-engine interactions/sec of the
+//!   best-response and imitation scenario dynamics at `n = 10⁶`.
+
+use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
+use popgame_solver::nash::enumerate_equilibria;
+use popgame_solver::scenarios::{by_name, Scenario};
+use popgame_solver::zerosum::solve_zero_sum;
+use popgame_util::rng::rng_from_seed;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Runs `chunk` repeatedly until `window` elapses; returns ops/sec where
+/// `chunk` reports how many ops it performed.
+fn throughput(window: Duration, mut chunk: impl FnMut() -> u64) -> f64 {
+    chunk(); // Warm-up (excluded).
+    let start = Instant::now();
+    let mut ops = 0u64;
+    while start.elapsed() < window {
+        ops += chunk();
+    }
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    component: String,
+    ops_per_sec: f64,
+    unit: &'static str,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let window = if quick {
+        Duration::from_millis(120)
+    } else {
+        Duration::from_millis(500)
+    };
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Exact support enumeration over random symmetric games.
+    for k in [2usize, 3, 4] {
+        let games: Vec<Scenario> = (0..64)
+            .map(|seed| Scenario::random_symmetric(k, seed).expect("k >= 1"))
+            .collect();
+        let mut cursor = 0usize;
+        let ops = throughput(window, || {
+            let mut solved = 0u64;
+            for _ in 0..8 {
+                let eqs = enumerate_equilibria(games[cursor % games.len()].game());
+                std::hint::black_box(eqs.len());
+                cursor += 1;
+                solved += 1;
+            }
+            solved
+        });
+        rows.push(Row {
+            component: format!("enumerate_k{k}"),
+            ops_per_sec: ops,
+            unit: "games/sec",
+        });
+    }
+
+    // Simplex LP on random zero-sum games (polynomial path, larger K).
+    for k in [4usize, 8, 16] {
+        let matrices: Vec<Vec<Vec<f64>>> = (0..64)
+            .map(|seed| {
+                Scenario::random_zero_sum(k, seed)
+                    .expect("k >= 1")
+                    .game()
+                    .row_matrix()
+                    .to_vec()
+            })
+            .collect();
+        let mut cursor = 0usize;
+        let ops = throughput(window, || {
+            let mut solved = 0u64;
+            for _ in 0..8 {
+                let sol = solve_zero_sum(&matrices[cursor % matrices.len()])
+                    .expect("random games are solvable");
+                std::hint::black_box(sol.value);
+                cursor += 1;
+                solved += 1;
+            }
+            solved
+        });
+        rows.push(Row {
+            component: format!("zero_sum_k{k}"),
+            ops_per_sec: ops,
+            unit: "games/sec",
+        });
+    }
+
+    // Scenario dynamics on the batched engine at n = 1e6.
+    let n: u64 = if quick { 100_000 } else { 1_000_000 };
+    for (scenario, rule, label) in [
+        ("rock-paper-scissors", DynamicsRule::BestResponse, "dynamics_rps_best_response"),
+        ("stag-hunt", DynamicsRule::Imitation, "dynamics_stag_hunt_imitation"),
+    ] {
+        let s = by_name(scenario).expect("registered scenario");
+        let dynamics = s.dynamics(rule).expect("symmetric scenario");
+        let k = s.game().k();
+        let uniform = vec![1.0 / k as f64; k];
+        let mut engine =
+            engine_from_profile(dynamics, &uniform, n).expect("valid profile");
+        let batch = engine.suggested_batch();
+        let mut rng = rng_from_seed(17);
+        let ops = throughput(window, || {
+            engine.run_batched(n, batch, &mut rng).expect("n >= 2");
+            n
+        });
+        rows.push(Row {
+            component: label.to_string(),
+            ops_per_sec: ops,
+            unit: "interactions/sec",
+        });
+        eprintln!("{label}: measured at n = {n}");
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"solver-and-scenario-dynamics\",").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+    writeln!(json, "  \"dynamics_population\": {n},").unwrap();
+    writeln!(json, "  \"results\": [").unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"component\": \"{}\", \"ops_per_sec\": {:.0}, \"unit\": \"{}\"}}{comma}",
+            row.component, row.ops_per_sec, row.unit
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

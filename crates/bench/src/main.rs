@@ -8,7 +8,7 @@
 //!
 //! Output is plain text; `EXPERIMENTS.md` records a captured run.
 
-use popgame::experiments::{dynamics, equilibrium, mixing, payoffs, stationary, walks};
+use popgame::experiments::{dynamics, equilibrium, mixing, payoffs, scenarios, stationary, walks};
 use std::process::ExitCode;
 
 const SEED: u64 = 20240717;
@@ -29,6 +29,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("e13", "Theorem 2.9 footnote 4 — failure for lambda near 1"),
     ("e14", "Def. 2.1 remark — action-observed variant"),
     ("e15", "Section 1.1.2 — noise motivates generosity"),
+    ("e16", "Scenario sweep — empirical distance to exact solver equilibria"),
 ];
 
 fn run(id: &str) -> bool {
@@ -49,6 +50,7 @@ fn run(id: &str) -> bool {
         "e13" => println!("{}", equilibrium::run_e13()),
         "e14" => println!("{}", dynamics::run_e14(SEED)),
         "e15" => println!("{}", dynamics::run_e15(4_000, SEED)),
+        "e16" => println!("{}", scenarios::run_e16(SEED)),
         other => {
             eprintln!("unknown experiment: {other} (try --list)");
             return false;

@@ -1,0 +1,190 @@
+//! `scenarios` — the scenario-registry smoke binary.
+//!
+//! ```text
+//! scenarios --list                     # registry as a JSON array
+//! scenarios run <name> [options]       # run one scenario, JSON summary
+//!   --dynamics best-response|logit|imitation   (default best-response)
+//!   --eta <f64>          logit inverse temperature (default 2.0)
+//!   --n <u64>            population size (default 10000)
+//!   --interactions <u64> horizon (default 30·n)
+//!   --seed <u64>         RNG seed (default 42)
+//! ```
+//!
+//! Output is deterministic for a fixed argument vector: the run uses the
+//! batched count-level engine seeded from `--seed` only. Exit code 2 on
+//! usage errors, 1 on runtime errors.
+
+use popgame_dist::divergence::tv_distance;
+use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
+use popgame_solver::scenarios::{by_name, registry, Scenario};
+use popgame_util::rng::rng_from_seed;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn profile_json(p: &[f64]) -> String {
+    let cells: Vec<String> = p.iter().map(|v| format!("{v:.6}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn list() -> String {
+    let mut out = String::from("[\n");
+    let all = registry();
+    for (i, s) in all.iter().enumerate() {
+        let comma = if i + 1 == all.len() { "" } else { "," };
+        let sym = s.game().is_symmetric(1e-9);
+        writeln!(
+            out,
+            "  {{\"name\": \"{}\", \"k\": {}, \"symmetric\": {}, \"zero_sum\": {}, \"equilibria\": {}, \"symmetric_equilibria\": {}, \"description\": \"{}\"}}{comma}",
+            s.name(),
+            s.game().k(),
+            sym,
+            s.game().is_zero_sum(1e-9),
+            s.equilibria().len(),
+            s.symmetric_equilibria().len(),
+            json_escape(s.description()),
+        )
+        .unwrap();
+    }
+    out.push(']');
+    out
+}
+
+struct RunArgs {
+    name: String,
+    rule: DynamicsRule,
+    n: u64,
+    interactions: Option<u64>,
+    seed: u64,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut name = None;
+    let mut rule_label = "best-response".to_string();
+    let mut eta = 2.0f64;
+    let mut n = 10_000u64;
+    let mut interactions = None;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--dynamics" => rule_label = value_of("--dynamics")?,
+            "--eta" => {
+                eta = value_of("--eta")?
+                    .parse()
+                    .map_err(|e| format!("--eta: {e}"))?;
+            }
+            "--n" => {
+                n = value_of("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
+            }
+            "--interactions" => {
+                interactions = Some(
+                    value_of("--interactions")?
+                        .parse()
+                        .map_err(|e| format!("--interactions: {e}"))?,
+                );
+            }
+            "--seed" => {
+                seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            other if !other.starts_with("--") && name.is_none() => {
+                name = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    let rule = match rule_label.as_str() {
+        "best-response" => DynamicsRule::BestResponse,
+        "logit" => DynamicsRule::Logit { eta },
+        "imitation" => DynamicsRule::Imitation,
+        other => return Err(format!("unknown dynamics: {other}")),
+    };
+    Ok(RunArgs {
+        name: name.ok_or("run needs a scenario name")?,
+        rule,
+        n,
+        interactions,
+        seed,
+    })
+}
+
+fn run_scenario(args: &RunArgs) -> Result<String, String> {
+    let scenario: Scenario = by_name(&args.name).map_err(|e| e.to_string())?;
+    let dynamics = scenario.dynamics(args.rule).map_err(|e| e.to_string())?;
+    let k = scenario.game().k();
+    let uniform = vec![1.0 / k as f64; k];
+    let mut engine =
+        engine_from_profile(dynamics, &uniform, args.n).map_err(|e| e.to_string())?;
+    let horizon = args.interactions.unwrap_or(30 * args.n);
+    let mut rng = rng_from_seed(args.seed);
+    engine
+        .run_batched(horizon, engine.suggested_batch(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    let freq = engine.frequencies();
+    let equilibria = scenario.symmetric_equilibria();
+    let (nearest, distance) = equilibria
+        .iter()
+        .map(|eq| tv_distance(&freq, &eq.x).expect("matching dimensions"))
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, d)| (i as i64, d))
+        .unwrap_or((-1, f64::NAN));
+    let mut out = String::from("{\n");
+    writeln!(out, "  \"scenario\": \"{}\",", scenario.name()).unwrap();
+    writeln!(out, "  \"dynamics\": \"{}\",", args.rule.label()).unwrap();
+    writeln!(out, "  \"n\": {},", args.n).unwrap();
+    writeln!(out, "  \"interactions\": {},", engine.interactions()).unwrap();
+    writeln!(out, "  \"seed\": {},", args.seed).unwrap();
+    writeln!(out, "  \"final_frequencies\": {},", profile_json(&freq)).unwrap();
+    writeln!(out, "  \"consensus\": {},", engine.is_consensus()).unwrap();
+    writeln!(out, "  \"exact_symmetric_equilibria\": {},", equilibria.len()).unwrap();
+    writeln!(out, "  \"nearest_equilibrium\": {nearest},").unwrap();
+    if let Some(eq) = equilibria.get(nearest.max(0) as usize) {
+        writeln!(out, "  \"nearest_equilibrium_profile\": {},", profile_json(&eq.x)).unwrap();
+    }
+    writeln!(out, "  \"tv_to_nearest_equilibrium\": {distance:.6}").unwrap();
+    out.push('}');
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            println!("{}", list());
+            ExitCode::SUCCESS
+        }
+        Some("run") => match parse_run_args(&args[1..]) {
+            Ok(run_args) => match run_scenario(&run_args) {
+                Ok(json) => {
+                    println!("{json}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("usage error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            println!(
+                "usage: scenarios --list\n       scenarios run <name> [--dynamics best-response|logit|imitation] [--eta H] [--n N] [--interactions T] [--seed S]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

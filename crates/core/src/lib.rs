@@ -40,6 +40,7 @@
 //! | [`ehrenfest`] | `popgame-ehrenfest` | the `(k,a,b,m)` process |
 //! | [`igt`] | `popgame-igt` | the `k`-IGT dynamics |
 //! | [`equilibrium`] | `popgame-equilibrium` | ε-DE machinery |
+//! | [`solver`] | `popgame-solver` | exact Nash solvers + scenario registry |
 //!
 //! ## Quickstart
 //!
@@ -68,6 +69,7 @@ pub use popgame_game as game;
 pub use popgame_igt as igt;
 pub use popgame_markov as markov;
 pub use popgame_population as population;
+pub use popgame_solver as solver;
 pub use popgame_util as util;
 
 pub mod experiments;
@@ -96,5 +98,10 @@ pub mod prelude {
     pub use popgame_population::population::AgentPopulation;
     pub use popgame_population::protocol::Protocol;
     pub use popgame_population::simulator::{run_steps, run_until};
+    pub use popgame_solver::dynamics::{DynamicsRule, GameDynamics};
+    pub use popgame_solver::game::MatrixGame;
+    pub use popgame_solver::nash::{enumerate_equilibria, symmetric_equilibria, Equilibrium};
+    pub use popgame_solver::scenarios::{by_name as scenario_by_name, registry, Scenario};
+    pub use popgame_solver::zerosum::{solve_zero_sum, ZeroSumSolution};
     pub use popgame_util::rng::{rng_from_seed, stream_rng};
 }

@@ -121,17 +121,31 @@ impl Multinomial {
 
     /// Draws one exact sample via the binomial chain (conditional
     /// binomials).
+    ///
+    /// Zero-probability categories are skipped outright and the chain
+    /// terminates at the *last positive* category: the remainder dump
+    /// lands on the support even when floating-point drift in the
+    /// residual mass would otherwise push it past the final positive
+    /// entry (the `q = 1` fallback of the naive chain).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
         let mut out = vec![0u64; self.probs.len()];
         let mut remaining = self.m;
+        let last_positive = self
+            .probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("normalized probabilities have positive total mass");
         let mut mass_left = 1.0f64;
         for (i, &p) in self.probs.iter().enumerate() {
             if remaining == 0 {
                 break;
             }
-            if i + 1 == self.probs.len() {
+            if i == last_positive {
                 out[i] = remaining;
                 break;
+            }
+            if p == 0.0 {
+                continue;
             }
             let q = if mass_left > 0.0 { (p / mass_left).clamp(0.0, 1.0) } else { 1.0 };
             let draw = sample_binomial(remaining, q, rng);
@@ -207,6 +221,58 @@ mod tests {
         }
     }
 
+    #[test]
+    fn boundary_m_zero_and_k_one() {
+        // m = 0: the only state is the zero vector, pmf 1.
+        let d = Multinomial::new(0, vec![0.3, 0.7]).unwrap();
+        assert_eq!(d.sample(&mut rng_from_seed(1)), vec![0, 0]);
+        assert!((d.pmf(&[0, 0]) - 1.0).abs() < 1e-15);
+        assert_eq!(d.pmf(&[1, 0]), 0.0);
+        // k = 1: all trials land in the single category.
+        let d = Multinomial::new(9, vec![4.0]).unwrap();
+        assert_eq!(d.probs(), &[1.0]);
+        assert_eq!(d.sample(&mut rng_from_seed(2)), vec![9]);
+        assert!((d.pmf(&[9]) - 1.0).abs() < 1e-12);
+        let b = d.marginal(0);
+        assert_eq!(b.n(), 9);
+        assert!((b.p() - 1.0).abs() < 1e-15);
+        // m = 0 and k = 1 together.
+        let d = Multinomial::new(0, vec![1.0]).unwrap();
+        assert_eq!(d.sample(&mut rng_from_seed(3)), vec![0]);
+    }
+
+    #[test]
+    fn degenerate_weights_never_leak_off_support() {
+        // Trailing, leading, and interior zero-probability categories: no
+        // sample may land there — in particular the remainder dump must
+        // stop at the last *positive* category (the boundary the naive
+        // binomial chain gets wrong under floating-point drift).
+        for probs in [
+            vec![0.3, 0.7, 0.0],
+            vec![0.0, 0.3, 0.7],
+            vec![0.3, 0.0, 0.7],
+            vec![0.0, 1.0, 0.0],
+            vec![0.25, 0.0, 0.0, 0.75],
+        ] {
+            let d = Multinomial::new(40, probs.clone()).unwrap();
+            let mut rng = rng_from_seed(17);
+            for _ in 0..500 {
+                let x = d.sample(&mut rng);
+                assert_eq!(x.iter().sum::<u64>(), 40, "probs {probs:?}");
+                for (xi, &p) in x.iter().zip(&probs) {
+                    assert!(p > 0.0 || *xi == 0, "off-support mass: {x:?} for {probs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_mass_samples_are_exact() {
+        let d = Multinomial::new(100, vec![0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(d.sample(&mut rng_from_seed(5)), vec![0, 100, 0]);
+        assert!((d.pmf(&[0, 100, 0]) - 1.0).abs() < 1e-12);
+    }
+
     proptest! {
         #[test]
         fn prop_sample_on_simplex(
@@ -219,6 +285,30 @@ mod tests {
             let mut rng = rng_from_seed(seed);
             let x = d.sample(&mut rng);
             prop_assert_eq!(x.iter().sum::<u64>(), m);
+        }
+
+        /// Samples carry no mass on zero-probability categories, for any
+        /// placement of the zeros.
+        #[test]
+        fn prop_zero_categories_stay_empty(
+            m in 0u64..120,
+            raw in proptest::collection::vec(0.0..1.0f64, 2..6),
+            mask in 1u32..31,
+            seed in 0u64..50,
+        ) {
+            let probs: Vec<f64> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| if mask & (1 << (i as u32 % 5)) != 0 { p } else { 0.0 })
+                .collect();
+            prop_assume!(probs.iter().sum::<f64>() > 1e-9);
+            let d = Multinomial::new(m, probs.clone()).unwrap();
+            let mut rng = rng_from_seed(seed);
+            let x = d.sample(&mut rng);
+            prop_assert_eq!(x.iter().sum::<u64>(), m);
+            for (xi, &p) in x.iter().zip(&probs) {
+                prop_assert!(p > 0.0 || *xi == 0);
+            }
         }
     }
 }

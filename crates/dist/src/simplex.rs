@@ -251,6 +251,58 @@ mod tests {
     }
 
     #[test]
+    fn k1_rank_unrank_iter_round_trip() {
+        // The single-coordinate simplex is one state for every m,
+        // including m = 0; rank/unrank/iter must agree on it.
+        for m in [0u64, 1, 7, 1_000_000] {
+            let space = SimplexSpace::new(1, m).unwrap();
+            assert_eq!(space.len(), 1);
+            assert_eq!(space.rank(&[m]), Some(0));
+            assert_eq!(space.unrank(0), Some(vec![m]));
+            assert_eq!(space.unrank(1), None);
+            assert_eq!(space.rank(&[m + 1]), None);
+            let states: Vec<Vec<u64>> = space.iter().collect();
+            assert_eq!(states, vec![vec![m]]);
+            // No urn pairs: the walk has no moves.
+            assert!(space.adjacent_moves(&[m]).is_empty());
+        }
+    }
+
+    #[test]
+    fn m0_iteration_and_moves_are_trivial() {
+        let space = SimplexSpace::new(3, 0).unwrap();
+        let states: Vec<Vec<u64>> = space.iter().collect();
+        assert_eq!(states, vec![vec![0, 0, 0]]);
+        assert_eq!(space.rank(&[0, 0, 0]), Some(0));
+        assert!(space.adjacent_moves(&[0, 0, 0]).is_empty());
+        assert_eq!(space.rank(&[0, 0]), None);
+    }
+
+    #[test]
+    fn corner_states_rank_at_the_extremes() {
+        for (k, m) in [(2usize, 1u64), (3, 5), (5, 9)] {
+            let space = SimplexSpace::new(k, m).unwrap();
+            let mut last_heavy = vec![0u64; k];
+            last_heavy[k - 1] = m;
+            assert_eq!(space.rank(&last_heavy), Some(0), "k={k} m={m}");
+            let mut first_heavy = vec![0u64; k];
+            first_heavy[0] = m;
+            assert_eq!(space.rank(&first_heavy), Some(space.len() - 1), "k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn oversized_spaces_error_instead_of_overflowing() {
+        // C(u64::MAX + 40, 40) wildly overflows u128: construction must
+        // surface SpaceTooLarge, not wrap.
+        assert!(SimplexSpace::new(41, u64::MAX - 1).is_err());
+        // A large-but-representable space still constructs and reports
+        // its exact u128 cardinality even though `len()` would panic.
+        let big = SimplexSpace::new(30, 100).unwrap();
+        assert!(big.len_u128() > u128::from(u64::MAX));
+    }
+
+    #[test]
     fn adjacent_moves_match_definition() {
         let space = SimplexSpace::new(3, 3).unwrap();
         let moves = space.adjacent_moves(&[1, 1, 1]);

@@ -1,0 +1,423 @@
+//! Game-playing population dynamics as `popgame_population` protocols.
+//!
+//! One well-mixed population of `n` agents, each holding a pure strategy
+//! of a *symmetric* matrix game. The scheduler samples an ordered pair
+//! `(initiator, responder)`; the initiator revises its strategy from the
+//! encounter (one-way, footnote 3 of the paper):
+//!
+//! * **Best response** — switch to the best reply against the responder's
+//!   strategy (sample-of-one best response; ties break to the lowest
+//!   index). Deterministic, so the batched engine tabulates it and
+//!   τ-leaps.
+//! * **Logit / smoothed best response** — sample the new strategy from
+//!   `softmax(η · u(·, responder))`. Randomized: engines fall back to
+//!   exact per-interaction stepping automatically.
+//! * **Imitation** — copy the responder's strategy exactly when the
+//!   responder's realized payoff in this encounter strictly beats the
+//!   initiator's. Deterministic, tabulated, τ-leapable.
+//!
+//! These are the pairwise-protocol forms of the textbook dynamics studied
+//! for population protocols by Bournez et al. and
+//! Chatzigiannakis–Spirakis; their mean-field rest points are measured
+//! against the exact solver equilibria in `popgame::experiments` (E16).
+
+use crate::error::SolverError;
+use crate::game::MatrixGame;
+use popgame_population::batch::BatchedEngine;
+use popgame_population::error::PopulationError;
+use popgame_population::protocol::{EnumerableProtocol, Protocol};
+use rand::Rng;
+
+/// The revision rule applied by the initiator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynamicsRule {
+    /// Best reply to the responder's strategy (lowest index on ties).
+    BestResponse,
+    /// Logit choice `∝ exp(η · u(·, responder))`.
+    Logit {
+        /// Inverse temperature: `η → ∞` recovers best response, `η = 0`
+        /// uniform revision.
+        eta: f64,
+    },
+    /// Copy the responder exactly when it out-earned the initiator in
+    /// this encounter.
+    Imitation,
+}
+
+impl DynamicsRule {
+    /// Stable lowercase label used by registries, reports, and CLIs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DynamicsRule::BestResponse => "best-response",
+            DynamicsRule::Logit { .. } => "logit",
+            DynamicsRule::Imitation => "imitation",
+        }
+    }
+}
+
+/// A symmetric matrix game turned into a pairwise revision protocol.
+///
+/// # Example
+///
+/// ```
+/// use popgame_solver::dynamics::{DynamicsRule, GameDynamics};
+/// use popgame_solver::game::MatrixGame;
+/// use popgame_population::batch::BatchedEngine;
+/// use popgame_util::rng::rng_from_seed;
+///
+/// let rps = MatrixGame::symmetric(vec![
+///     vec![0.0, -1.0, 1.0],
+///     vec![1.0, 0.0, -1.0],
+///     vec![-1.0, 1.0, 0.0],
+/// ]).unwrap();
+/// let protocol = GameDynamics::new(&rps, DynamicsRule::BestResponse).unwrap();
+/// let mut engine = BatchedEngine::from_counts(protocol, vec![500, 300, 200]).unwrap();
+/// let mut rng = rng_from_seed(9);
+/// engine.run_batched(50_000, 32, &mut rng).unwrap();
+/// let freq = engine.frequencies();
+/// // Sample-of-one best response contracts toward the uniform equilibrium.
+/// assert!(freq.iter().all(|&f| (f - 1.0 / 3.0).abs() < 0.1), "{freq:?}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameDynamics {
+    /// Row payoffs `u[i][j]` of the symmetric game.
+    payoff: Vec<Vec<f64>>,
+    rule: DynamicsRule,
+    /// `best_reply[j]` — precomputed for [`DynamicsRule::BestResponse`].
+    best_reply: Vec<u8>,
+    /// `logit_cdf[j]` — cumulative softmax weights per responder state,
+    /// precomputed for [`DynamicsRule::Logit`].
+    logit_cdf: Vec<Vec<f64>>,
+}
+
+impl GameDynamics {
+    /// Builds the protocol for a symmetric game under the given rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NotSymmetric`] unless `B = Aᵀ` within
+    /// `1e-9` (one-population dynamics need a single payoff perspective),
+    /// and [`SolverError::InvalidGame`] when the game has more than 256
+    /// strategies (states are `u8`) or a non-finite `η`.
+    pub fn new(game: &MatrixGame, rule: DynamicsRule) -> Result<Self, SolverError> {
+        if !game.is_symmetric(1e-9) {
+            return Err(SolverError::NotSymmetric);
+        }
+        let k = game.k();
+        if k > u8::MAX as usize + 1 {
+            return Err(SolverError::InvalidGame {
+                reason: format!("{k} strategies exceed the u8 state space"),
+            });
+        }
+        let payoff = game.row_matrix().to_vec();
+        let best_reply = (0..k)
+            .map(|j| {
+                (0..k)
+                    .max_by(|&a, &b| {
+                        payoff[a][j]
+                            .partial_cmp(&payoff[b][j])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            // Ties break to the lowest index.
+                            .then(b.cmp(&a))
+                    })
+                    .expect("k >= 1") as u8
+            })
+            .collect();
+        let logit_cdf = match rule {
+            DynamicsRule::Logit { eta } => {
+                if !eta.is_finite() {
+                    return Err(SolverError::InvalidGame {
+                        reason: format!("logit eta must be finite, got {eta}"),
+                    });
+                }
+                (0..k)
+                    .map(|j| {
+                        // Max-shifted softmax, accumulated to a CDF.
+                        let max = (0..k)
+                            .map(|i| payoff[i][j])
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        let mut acc = 0.0;
+                        let mut cdf: Vec<f64> = (0..k)
+                            .map(|i| {
+                                acc += (eta * (payoff[i][j] - max)).exp();
+                                acc
+                            })
+                            .collect();
+                        let total = acc;
+                        for c in &mut cdf {
+                            *c /= total;
+                        }
+                        cdf
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        Ok(GameDynamics {
+            payoff,
+            rule,
+            best_reply,
+            logit_cdf,
+        })
+    }
+
+    /// The revision rule.
+    pub fn rule(&self) -> DynamicsRule {
+        self.rule
+    }
+
+    /// Number of pure strategies.
+    pub fn k(&self) -> usize {
+        self.payoff.len()
+    }
+}
+
+impl Protocol for GameDynamics {
+    type State = u8;
+
+    fn interact<R: Rng + ?Sized>(&self, initiator: u8, responder: u8, rng: &mut R) -> (u8, u8) {
+        let (i, j) = (initiator as usize, responder as usize);
+        let revised = match self.rule {
+            DynamicsRule::BestResponse => self.best_reply[j],
+            DynamicsRule::Logit { .. } => {
+                let cdf = &self.logit_cdf[j];
+                let u: f64 = rng.gen();
+                cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1) as u8
+            }
+            DynamicsRule::Imitation => {
+                if self.payoff[j][i] > self.payoff[i][j] {
+                    responder
+                } else {
+                    initiator
+                }
+            }
+        };
+        (revised, responder)
+    }
+
+    fn is_one_way(&self) -> bool {
+        true
+    }
+
+    fn has_random_transitions(&self) -> bool {
+        matches!(self.rule, DynamicsRule::Logit { .. })
+    }
+}
+
+impl EnumerableProtocol for GameDynamics {
+    fn num_states(&self) -> usize {
+        self.k()
+    }
+
+    fn state_index(&self, state: u8) -> usize {
+        state as usize
+    }
+
+    fn state_at(&self, index: usize) -> u8 {
+        index as u8
+    }
+}
+
+/// Deterministically rounds a mixed profile to integer counts summing to
+/// `n` (largest-remainder apportionment; ties to the lowest index).
+///
+/// # Errors
+///
+/// Returns [`SolverError::InvalidProfile`] when `profile` is not a pmf.
+pub fn profile_counts(profile: &[f64], n: u64) -> Result<Vec<u64>, SolverError> {
+    if profile.is_empty() {
+        return Err(SolverError::InvalidProfile {
+            reason: "empty profile".into(),
+        });
+    }
+    let total: f64 = profile.iter().sum();
+    if profile.iter().any(|p| !p.is_finite() || *p < 0.0) || (total - 1.0).abs() > 1e-6 {
+        return Err(SolverError::InvalidProfile {
+            reason: "profile must be a pmf".into(),
+        });
+    }
+    // Normalize before flooring so float drift within the 1e-6 sum
+    // tolerance cannot push Σ floor(p·n) past n at large n.
+    let mut counts: Vec<u64> = profile
+        .iter()
+        .map(|p| (p / total * n as f64).floor() as u64)
+        .collect();
+    let mut assigned: u64 = counts.iter().sum();
+    // Shave any residual over-assignment (at most a few rounding units)
+    // off the largest counts before distributing the remainder.
+    while assigned > n {
+        let largest = (0..counts.len())
+            .max_by_key(|&i| counts[i])
+            .expect("profile is non-empty");
+        counts[largest] -= 1;
+        assigned -= 1;
+    }
+    // Distribute the leftover units by descending fractional part.
+    let mut order: Vec<usize> = (0..profile.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = profile[a] / total * n as f64 - counts[a] as f64;
+        let fb = profile[b] / total * n as f64 - counts[b] as f64;
+        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    for idx in 0..(n - assigned) as usize {
+        counts[order[idx % order.len()]] += 1;
+    }
+    Ok(counts)
+}
+
+/// Builds a [`BatchedEngine`] over the dynamics with `n` agents seeded at
+/// the rounded `profile`.
+///
+/// # Errors
+///
+/// Returns [`SolverError::InvalidProfile`] when `profile` is not a pmf or
+/// when engine construction rejects the counts (dimension mismatch,
+/// `n < 2`).
+pub fn engine_from_profile(
+    dynamics: GameDynamics,
+    profile: &[f64],
+    n: u64,
+) -> Result<BatchedEngine<GameDynamics>, SolverError> {
+    let counts = profile_counts(profile, n)?;
+    BatchedEngine::from_counts(dynamics, counts).map_err(|e: PopulationError| {
+        SolverError::InvalidProfile {
+            reason: e.to_string(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgame_util::rng::rng_from_seed;
+
+    fn rps() -> MatrixGame {
+        MatrixGame::symmetric(vec![
+            vec![0.0, -1.0, 1.0],
+            vec![1.0, 0.0, -1.0],
+            vec![-1.0, 1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    fn hawk_dove() -> MatrixGame {
+        MatrixGame::symmetric(vec![vec![-1.0, 2.0], vec![0.0, 1.0]]).unwrap()
+    }
+
+    #[test]
+    fn asymmetric_games_are_rejected() {
+        let mp = MatrixGame::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        assert_eq!(
+            GameDynamics::new(&mp, DynamicsRule::BestResponse).unwrap_err(),
+            SolverError::NotSymmetric
+        );
+        assert!(GameDynamics::new(&rps(), DynamicsRule::Logit { eta: f64::NAN }).is_err());
+    }
+
+    #[test]
+    fn best_response_tables_match_the_game() {
+        let d = GameDynamics::new(&rps(), DynamicsRule::BestResponse).unwrap();
+        let mut rng = rng_from_seed(0);
+        // BR(R) = P, BR(P) = S, BR(S) = R.
+        assert_eq!(d.interact(0, 0, &mut rng), (1, 0));
+        assert_eq!(d.interact(2, 1, &mut rng), (2, 1));
+        assert_eq!(d.interact(1, 2, &mut rng), (0, 2));
+        assert!(d.is_one_way());
+        assert!(!d.has_random_transitions());
+        // Hawk–Dove anti-coordination: BR(H) = D, BR(D) = H.
+        let hd = GameDynamics::new(&hawk_dove(), DynamicsRule::BestResponse).unwrap();
+        assert_eq!(hd.interact(0, 0, &mut rng), (1, 0));
+        assert_eq!(hd.interact(1, 1, &mut rng), (0, 1));
+    }
+
+    #[test]
+    fn imitation_copies_only_strict_winners() {
+        // Donation game: D out-earns C in mixed encounters.
+        let pd = MatrixGame::donation(2.0, 1.0).unwrap();
+        let d = GameDynamics::new(&pd, DynamicsRule::Imitation).unwrap();
+        let mut rng = rng_from_seed(0);
+        // (C, D): u(D, C) = 2 > u(C, D) = −1 ⟹ C copies D.
+        assert_eq!(d.interact(0, 1, &mut rng), (1, 1));
+        // (D, C): u(C, D) = −1 < u(D, C) = 2 ⟹ D keeps.
+        assert_eq!(d.interact(1, 0, &mut rng), (1, 0));
+        // Equal payoffs (C, C): keep.
+        assert_eq!(d.interact(0, 0, &mut rng), (0, 0));
+    }
+
+    #[test]
+    fn logit_distribution_matches_softmax() {
+        let eta = 1.5;
+        let d = GameDynamics::new(&hawk_dove(), DynamicsRule::Logit { eta }).unwrap();
+        assert!(d.has_random_transitions());
+        let mut rng = rng_from_seed(7);
+        let reps = 200_000;
+        let mut hawks = 0u64;
+        for _ in 0..reps {
+            if d.interact(1, 1, &mut rng).0 == 0 {
+                hawks += 1;
+            }
+        }
+        // Against D: u(H, D) = 2, u(D, D) = 1 ⟹ P(H) = e^{1.5·2}/(e^{1.5·2}+e^{1.5}).
+        let expect = (eta * 2.0).exp() / ((eta * 2.0).exp() + eta.exp());
+        let got = hawks as f64 / reps as f64;
+        assert!((got - expect).abs() < 0.005, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn logit_eta_zero_is_uniform_revision() {
+        let d = GameDynamics::new(&rps(), DynamicsRule::Logit { eta: 0.0 }).unwrap();
+        let mut rng = rng_from_seed(11);
+        let mut counts = [0u64; 3];
+        for _ in 0..90_000 {
+            counts[d.interact(0, 2, &mut rng).0 as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 90_000.0 - 1.0 / 3.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn profile_counts_round_deterministically() {
+        assert_eq!(profile_counts(&[0.5, 0.5], 10).unwrap(), vec![5, 5]);
+        assert_eq!(profile_counts(&[1.0 / 3.0; 3], 10).unwrap(), vec![4, 3, 3]);
+        assert_eq!(profile_counts(&[0.0, 1.0], 7).unwrap(), vec![0, 7]);
+        assert!(profile_counts(&[0.9, 0.9], 7).is_err());
+        assert!(profile_counts(&[], 7).is_err());
+        let c = profile_counts(&[0.21, 0.33, 0.46], 1_000_003).unwrap();
+        assert_eq!(c.iter().sum::<u64>(), 1_000_003);
+    }
+
+    #[test]
+    fn profile_counts_survive_drifted_totals_at_large_n() {
+        // A sum just inside the 1e-6 validation tolerance: flooring the
+        // raw (unnormalized) masses at n = 1e7 would over-assign and
+        // underflow the remainder loop; normalization + shaving keeps the
+        // total exact.
+        let drifted = [0.500_000_4, 0.500_000_4];
+        let n = 10_000_000u64;
+        let c = profile_counts(&drifted, n).unwrap();
+        assert_eq!(c.iter().sum::<u64>(), n);
+        let low = [0.499_999_6, 0.499_999_6];
+        let c = profile_counts(&low, n).unwrap();
+        assert_eq!(c.iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn batched_engine_runs_deterministic_best_response() {
+        let d = GameDynamics::new(&rps(), DynamicsRule::BestResponse).unwrap();
+        let run = |seed: u64| {
+            let mut engine =
+                engine_from_profile(d.clone(), &[0.5, 0.3, 0.2], 10_000).unwrap();
+            let mut rng = rng_from_seed(seed);
+            engine.run_batched(200_000, engine.suggested_batch(), &mut rng).unwrap();
+            engine.counts().to_vec()
+        };
+        assert_eq!(run(3), run(3));
+        let counts = run(3);
+        assert_eq!(counts.iter().sum::<u64>(), 10_000);
+        // Near the uniform equilibrium after 20n interactions.
+        for &c in &counts {
+            assert!((c as f64 / 10_000.0 - 1.0 / 3.0).abs() < 0.1, "{counts:?}");
+        }
+    }
+}

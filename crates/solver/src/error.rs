@@ -1,0 +1,46 @@
+//! Error types of the solver crate.
+
+use std::fmt;
+
+/// Everything that can go wrong while building games or computing
+/// equilibria.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// A payoff matrix is empty, ragged, non-square, or non-finite.
+    InvalidGame {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A mixed-strategy profile is not a pmf over the strategy set.
+    InvalidProfile {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An operation requiring a symmetric game (`u2 = u1ᵀ`) was called on
+    /// an asymmetric one.
+    NotSymmetric,
+    /// A numerical procedure failed (singular system, simplex stall).
+    Numerical {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An unknown scenario name was requested from the registry.
+    UnknownScenario {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::InvalidGame { reason } => write!(f, "invalid game: {reason}"),
+            SolverError::InvalidProfile { reason } => write!(f, "invalid profile: {reason}"),
+            SolverError::NotSymmetric => write!(f, "operation requires a symmetric game"),
+            SolverError::Numerical { reason } => write!(f, "numerical failure: {reason}"),
+            SolverError::UnknownScenario { name } => write!(f, "unknown scenario: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}

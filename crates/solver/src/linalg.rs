@@ -1,0 +1,112 @@
+//! A small dense linear-algebra kernel: Gaussian elimination with partial
+//! pivoting, sized for the `(|S|+1)`-dimensional indifference systems of
+//! support enumeration (`K ≤ 16` in practice).
+
+/// Solves the square system `A x = b` in place by Gaussian elimination with
+/// partial pivoting.
+///
+/// Returns `None` when the matrix is numerically singular (the best pivot
+/// of some column falls below `pivot_tol` in absolute value) — support
+/// enumeration treats that support pair as degenerate and skips it.
+///
+/// # Example
+///
+/// ```
+/// use popgame_solver::linalg::solve_linear;
+///
+/// let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+/// let x = solve_linear(a, vec![5.0, 10.0], 1e-12).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>, pivot_tol: f64) -> Option<Vec<f64>> {
+    let n = a.len();
+    if n == 0 || b.len() != n || a.iter().any(|row| row.len() != n) {
+        return None;
+    }
+    for col in 0..n {
+        // Partial pivot: the largest remaining entry in this column.
+        let pivot_row = (col..n).max_by(|&r, &s| {
+            a[r][col]
+                .abs()
+                .partial_cmp(&a[s][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot_row][col].abs() < pivot_tol {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        let (upper_rows, lower_rows) = a.split_at_mut(col + 1);
+        let pivot_row = &upper_rows[col];
+        for (offset, row) in lower_rows.iter_mut().enumerate() {
+            let factor = row[col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for (cell, &upper) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * upper;
+            }
+            b[col + 1 + offset] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for (k, &xk) in x.iter().enumerate().skip(row + 1) {
+            acc -= a[row][k] * xk;
+        }
+        x[row] = acc / a[row][row];
+        if !x[row].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity_and_permuted_systems() {
+        let x = solve_linear(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![3.0, -4.0], 1e-12)
+            .unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+        // Zero on the diagonal forces the pivot swap.
+        let x = solve_linear(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![7.0, 2.0], 1e-12)
+            .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular_and_malformed_systems() {
+        assert!(solve_linear(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0], 1e-9)
+            .is_none());
+        assert!(solve_linear(vec![], vec![], 1e-12).is_none());
+        assert!(solve_linear(vec![vec![1.0, 2.0]], vec![1.0], 1e-12).is_none());
+        assert!(solve_linear(vec![vec![1.0]], vec![1.0, 2.0], 1e-12).is_none());
+    }
+
+    proptest! {
+        /// Random well-conditioned systems: A(solve(A, b)) ≈ b.
+        #[test]
+        fn prop_residual_small(
+            entries in proptest::collection::vec(-3.0..3.0f64, 9),
+            b in proptest::collection::vec(-5.0..5.0f64, 3),
+        ) {
+            let mut a: Vec<Vec<f64>> = entries.chunks(3).map(<[f64]>::to_vec).collect();
+            // Diagonal dominance keeps the system well-conditioned.
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] += 10.0;
+            }
+            let x = solve_linear(a.clone(), b.clone(), 1e-12).unwrap();
+            for (row, &bi) in a.iter().zip(&b) {
+                let ax: f64 = row.iter().zip(&x).map(|(r, xi)| r * xi).sum();
+                prop_assert!((ax - bi).abs() < 1e-9);
+            }
+        }
+    }
+}

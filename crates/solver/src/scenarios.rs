@@ -1,0 +1,370 @@
+//! The named-scenario registry: classic matrix games with
+//! constructor-level parameterization, exact solver-computed equilibria,
+//! and ready-to-run population dynamics.
+//!
+//! | name | payoffs (row matrix) | known equilibria |
+//! |------|----------------------|------------------|
+//! | `prisoners-dilemma` | donation `[[b−c, −c], [b, 0]]` | unique pure all-defect |
+//! | `hawk-dove` | `[[ (V−C)/2, V], [0, V/2]]` | 2 pure anti-coordinated + mixed `h = V/C` |
+//! | `rock-paper-scissors` | cyclic `±w/±l` | unique uniform mix |
+//! | `matching-pennies` | zero-sum `[[1,−1],[−1,1]]` | unique uniform mix (bimatrix only) |
+//! | `stag-hunt` | `[[s, 0], [h, h]]` | 2 pure consensus + mixed `p = h/s` |
+//! | `coordination` | `diag(1, …, K)` | one per non-empty support (`2^K − 1`) |
+//! | `random-symmetric` | seeded uniform `[−1, 1]` | whatever the solver certifies |
+//! | `random-zero-sum` | seeded uniform `[−1, 1]`, `B = −A` | unique value via LP |
+//!
+//! Each [`Scenario`] exposes (a) its exact equilibria through
+//! [`crate::nash`] and (b) pairwise population dynamics
+//! ([`crate::dynamics::GameDynamics`]) runnable on the batched count-level
+//! engine — the ground-truth/empirical pairing the E16 experiment sweeps.
+
+use crate::dynamics::{DynamicsRule, GameDynamics};
+use crate::error::SolverError;
+use crate::game::MatrixGame;
+use crate::nash::{enumerate_equilibria, symmetric_equilibria, Equilibrium};
+use popgame_util::rng::rng_from_seed;
+use rand::Rng;
+
+/// A named, parameterized game instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    description: String,
+    game: MatrixGame,
+}
+
+impl Scenario {
+    /// The donation-game prisoner's dilemma with benefit `b` and cost `c`
+    /// (`b > c > 0`): defection strictly dominates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidGame`] unless `b > c > 0` and both
+    /// are finite.
+    pub fn prisoners_dilemma(b: f64, c: f64) -> Result<Self, SolverError> {
+        if !(b.is_finite() && c.is_finite() && b > c && c > 0.0) {
+            return Err(SolverError::InvalidGame {
+                reason: format!("prisoner's dilemma needs b > c > 0, got b={b}, c={c}"),
+            });
+        }
+        Ok(Scenario {
+            name: "prisoners-dilemma".into(),
+            description: format!("donation game, benefit {b}, cost {c}; all-defect dominant"),
+            game: MatrixGame::donation(b, c)?,
+        })
+    }
+
+    /// Hawk–Dove over a resource worth `v` with fight cost `c > v > 0`:
+    /// the symmetric equilibrium mixes hawks at `v/c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidGame`] unless `c > v > 0`.
+    pub fn hawk_dove(v: f64, c: f64) -> Result<Self, SolverError> {
+        if !(v.is_finite() && c.is_finite() && c > v && v > 0.0) {
+            return Err(SolverError::InvalidGame {
+                reason: format!("hawk-dove needs c > v > 0, got v={v}, c={c}"),
+            });
+        }
+        Ok(Scenario {
+            name: "hawk-dove".into(),
+            description: format!("resource {v}, fight cost {c}; mixed hawks at v/c"),
+            game: MatrixGame::symmetric(vec![
+                vec![(v - c) / 2.0, v],
+                vec![0.0, v / 2.0],
+            ])?,
+        })
+    }
+
+    /// Rock–Paper–Scissors with win payoff `w` and loss payoff `−l`
+    /// (`w, l > 0`); `w = l` is the classic zero-sum cycle with the
+    /// uniform mix as unique equilibrium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidGame`] unless `w, l > 0`.
+    pub fn rock_paper_scissors(w: f64, l: f64) -> Result<Self, SolverError> {
+        if !(w.is_finite() && l.is_finite() && w > 0.0 && l > 0.0) {
+            return Err(SolverError::InvalidGame {
+                reason: format!("rock-paper-scissors needs w, l > 0, got w={w}, l={l}"),
+            });
+        }
+        Ok(Scenario {
+            name: "rock-paper-scissors".into(),
+            description: format!("cyclic game, win {w}, loss {l}; uniform mix unique"),
+            game: MatrixGame::symmetric(vec![
+                vec![0.0, -l, w],
+                vec![w, 0.0, -l],
+                vec![-l, w, 0.0],
+            ])?,
+        })
+    }
+
+    /// Matching pennies: the 2×2 zero-sum classic. Not symmetric, so it
+    /// carries no one-population dynamics — it exercises the bimatrix and
+    /// zero-sum solver paths.
+    pub fn matching_pennies() -> Self {
+        Scenario {
+            name: "matching-pennies".into(),
+            description: "zero-sum; unique uniform mix, value 0".into(),
+            game: MatrixGame::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]])
+                .expect("static payoffs are valid"),
+        }
+    }
+
+    /// Stag hunt with stag payoff `s` and hare payoff `h` (`s > h > 0`):
+    /// payoff-dominant and risk-dominant pure consensus equilibria plus
+    /// the mixed equilibrium at stag share `h/s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidGame`] unless `s > h > 0`.
+    pub fn stag_hunt(s: f64, h: f64) -> Result<Self, SolverError> {
+        if !(s.is_finite() && h.is_finite() && s > h && h > 0.0) {
+            return Err(SolverError::InvalidGame {
+                reason: format!("stag hunt needs s > h > 0, got s={s}, h={h}"),
+            });
+        }
+        Ok(Scenario {
+            name: "stag-hunt".into(),
+            description: format!("stag {s}, hare {h}; two consensus equilibria + mix"),
+            game: MatrixGame::symmetric(vec![vec![s, 0.0], vec![h, h]])?,
+        })
+    }
+
+    /// Pure coordination over `k` actions with payoffs `diag(1, …, k)`:
+    /// every non-empty support carries exactly one symmetric equilibrium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidGame`] when `k = 0`.
+    pub fn coordination(k: usize) -> Result<Self, SolverError> {
+        if k == 0 {
+            return Err(SolverError::InvalidGame {
+                reason: "coordination needs at least one action".into(),
+            });
+        }
+        let rows = (0..k)
+            .map(|i| (0..k).map(|j| if i == j { (i + 1) as f64 } else { 0.0 }).collect())
+            .collect();
+        Ok(Scenario {
+            name: "coordination".into(),
+            description: format!("diagonal coordination on {k} actions"),
+            game: MatrixGame::symmetric(rows)?,
+        })
+    }
+
+    /// A seeded random symmetric game with payoffs uniform in `[−1, 1]`:
+    /// scenario diversity for fuzzing the solver/dynamics pipeline while
+    /// staying reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidGame`] when `k = 0`.
+    pub fn random_symmetric(k: usize, seed: u64) -> Result<Self, SolverError> {
+        if k == 0 {
+            return Err(SolverError::InvalidGame {
+                reason: "random game needs at least one strategy".into(),
+            });
+        }
+        let mut rng = rng_from_seed(seed ^ 0x5CE7_A710);
+        let rows: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        Ok(Scenario {
+            name: "random-symmetric".into(),
+            description: format!("seeded random symmetric {k}x{k} game (seed {seed})"),
+            game: MatrixGame::symmetric(rows)?,
+        })
+    }
+
+    /// A seeded random zero-sum game with payoffs uniform in `[−1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidGame`] when `k = 0`.
+    pub fn random_zero_sum(k: usize, seed: u64) -> Result<Self, SolverError> {
+        if k == 0 {
+            return Err(SolverError::InvalidGame {
+                reason: "random game needs at least one strategy".into(),
+            });
+        }
+        let mut rng = rng_from_seed(seed ^ 0x002E_050C_u64);
+        let rows: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        Ok(Scenario {
+            name: "random-zero-sum".into(),
+            description: format!("seeded random zero-sum {k}x{k} game (seed {seed})"),
+            game: MatrixGame::zero_sum(rows)?,
+        })
+    }
+
+    /// The scenario's stable name (registry key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A one-line human description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The underlying game.
+    pub fn game(&self) -> &MatrixGame {
+        &self.game
+    }
+
+    /// All bimatrix Nash equilibria (complete for nondegenerate games).
+    pub fn equilibria(&self) -> Vec<Equilibrium> {
+        enumerate_equilibria(&self.game)
+    }
+
+    /// The symmetric equilibria — the one-population ground truth. Empty
+    /// for asymmetric scenarios (e.g. matching pennies).
+    pub fn symmetric_equilibria(&self) -> Vec<Equilibrium> {
+        symmetric_equilibria(&self.game).unwrap_or_default()
+    }
+
+    /// Builds the pairwise revision dynamics for this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NotSymmetric`] for asymmetric scenarios.
+    pub fn dynamics(&self, rule: DynamicsRule) -> Result<GameDynamics, SolverError> {
+        GameDynamics::new(&self.game, rule)
+    }
+}
+
+/// The canonical registry: one instance of every named scenario, with the
+/// parameters used throughout the workspace's tests and experiments.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario::prisoners_dilemma(2.0, 1.0).expect("canonical parameters are valid"),
+        Scenario::hawk_dove(2.0, 4.0).expect("canonical parameters are valid"),
+        Scenario::rock_paper_scissors(1.0, 1.0).expect("canonical parameters are valid"),
+        Scenario::matching_pennies(),
+        Scenario::stag_hunt(4.0, 3.0).expect("canonical parameters are valid"),
+        Scenario::coordination(3).expect("canonical parameters are valid"),
+        Scenario::random_symmetric(3, 2024).expect("canonical parameters are valid"),
+        Scenario::random_zero_sum(3, 2024).expect("canonical parameters are valid"),
+    ]
+}
+
+/// Looks a canonical scenario up by name.
+///
+/// # Errors
+///
+/// Returns [`SolverError::UnknownScenario`] when the name is not in
+/// [`registry`].
+pub fn by_name(name: &str) -> Result<Scenario, SolverError> {
+    registry()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| SolverError::UnknownScenario { name: name.into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify::distributional_gap;
+    use crate::zerosum::solve_zero_sum;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let all = registry();
+        assert!(all.len() >= 6, "at least six named scenarios");
+        for s in &all {
+            let found = by_name(s.name()).unwrap();
+            assert_eq!(found.game(), s.game());
+        }
+        let mut names: Vec<&str> = all.iter().map(Scenario::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate scenario names");
+        assert!(by_name("nonexistent").is_err());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Scenario::prisoners_dilemma(1.0, 2.0).is_err());
+        assert!(Scenario::hawk_dove(4.0, 2.0).is_err());
+        assert!(Scenario::rock_paper_scissors(0.0, 1.0).is_err());
+        assert!(Scenario::stag_hunt(3.0, 4.0).is_err());
+        assert!(Scenario::coordination(0).is_err());
+        assert!(Scenario::random_symmetric(0, 1).is_err());
+        assert!(Scenario::random_zero_sum(0, 1).is_err());
+    }
+
+    #[test]
+    fn known_equilibria_of_the_canonical_instances() {
+        // The six classics, verified against closed forms.
+        assert_eq!(by_name("prisoners-dilemma").unwrap().equilibria().len(), 1);
+        let hd = by_name("hawk-dove").unwrap();
+        assert_eq!(hd.equilibria().len(), 3);
+        let hd_sym = hd.symmetric_equilibria();
+        assert_eq!(hd_sym.len(), 1);
+        assert!((hd_sym[0].x[0] - 0.5).abs() < 1e-12); // V/C = 1/2
+        let rps = by_name("rock-paper-scissors").unwrap();
+        let rps_eqs = rps.equilibria();
+        assert_eq!(rps_eqs.len(), 1);
+        assert!(rps_eqs[0].x.iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-12));
+        let mp = by_name("matching-pennies").unwrap();
+        let mp_eqs = mp.equilibria();
+        assert_eq!(mp_eqs.len(), 1);
+        assert!((mp_eqs[0].x[0] - 0.5).abs() < 1e-12);
+        assert!(mp.symmetric_equilibria().is_empty());
+        let sh = by_name("stag-hunt").unwrap().symmetric_equilibria();
+        assert_eq!(sh.len(), 3);
+        assert!(sh.iter().any(|e| (e.x[0] - 0.75).abs() < 1e-12)); // h/s = 3/4
+        assert_eq!(by_name("coordination").unwrap().symmetric_equilibria().len(), 7);
+    }
+
+    #[test]
+    fn every_symmetric_equilibrium_passes_the_de_checker() {
+        for s in registry() {
+            for eq in s.symmetric_equilibria() {
+                let gap = distributional_gap(s.game(), &eq.x).unwrap();
+                assert!(gap <= 1e-9, "{}: gap {gap}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sum_scenarios_agree_with_the_lp_value() {
+        for name in ["matching-pennies", "random-zero-sum"] {
+            let s = by_name(name).unwrap();
+            assert!(s.game().is_zero_sum(1e-12), "{name}");
+            let sol = solve_zero_sum(s.game().row_matrix()).unwrap();
+            // Every enumerated equilibrium earns exactly the LP value.
+            for eq in s.equilibria() {
+                assert!(
+                    (eq.row_value - sol.value).abs() < 1e-7,
+                    "{name}: {} vs {}",
+                    eq.row_value,
+                    sol.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_random_scenarios_are_reproducible() {
+        let a = Scenario::random_symmetric(4, 7).unwrap();
+        let b = Scenario::random_symmetric(4, 7).unwrap();
+        assert_eq!(a.game(), b.game());
+        assert!(a.game().is_symmetric(0.0));
+        let c = Scenario::random_symmetric(4, 8).unwrap();
+        assert_ne!(a.game(), c.game());
+        assert!(Scenario::random_zero_sum(4, 7).unwrap().game().is_zero_sum(0.0));
+    }
+
+    #[test]
+    fn dynamics_availability_tracks_symmetry() {
+        assert!(by_name("hawk-dove").unwrap().dynamics(DynamicsRule::BestResponse).is_ok());
+        assert_eq!(
+            by_name("matching-pennies").unwrap().dynamics(DynamicsRule::Imitation),
+            Err(SolverError::NotSymmetric)
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Exact value and optimal strategies of a zero-sum matrix game via a
+//! self-contained dense simplex method.
+//!
+//! Uses the classical LP formulation: after shifting every payoff to be
+//! ≥ 1 (`A' = A + s`), the column player's problem
+//!
+//! ```text
+//! max Σ_j w_j   s.t.   A' w ≤ 1,  w ≥ 0
+//! ```
+//!
+//! has optimum `Σ w* = 1/v'`, yielding the minimax strategies
+//! `y = v'·w` and (from the LP duals) `x = v'·t`, with game value
+//! `v = v' − s`. The tableau simplex uses Bland's anti-cycling rule, so
+//! termination is unconditional; unboundedness is impossible because
+//! `A' ≥ 1`. Unlike [`crate::nash::enumerate_equilibria`], cost is
+//! polynomial — this is the scalable path for large zero-sum instances —
+//! and the matrix may be rectangular (`m × n`).
+
+use crate::error::SolverError;
+
+/// Reduced costs below this are treated as zero (optimality test).
+const OPT_TOL: f64 = 1e-10;
+/// Pivot candidates below this are treated as zero (ratio test).
+const PIVOT_TOL: f64 = 1e-11;
+
+/// The minimax solution of a zero-sum game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroSumSolution {
+    /// The game value (row player's guaranteed expected payoff).
+    pub value: f64,
+    /// The row player's maximin mixed strategy (length `m`).
+    pub row_strategy: Vec<f64>,
+    /// The column player's minimax mixed strategy (length `n`).
+    pub col_strategy: Vec<f64>,
+}
+
+/// Solves the zero-sum game with row-player payoff matrix `a` (`m × n`,
+/// rectangular allowed).
+///
+/// # Errors
+///
+/// Returns [`SolverError::InvalidGame`] on an empty, ragged, or non-finite
+/// matrix, and [`SolverError::Numerical`] if the simplex stalls (which
+/// Bland's rule rules out short of pathological round-off).
+pub fn solve_zero_sum(a: &[Vec<f64>]) -> Result<ZeroSumSolution, SolverError> {
+    let m = a.len();
+    if m == 0 || a[0].is_empty() {
+        return Err(SolverError::InvalidGame {
+            reason: "zero-sum matrix must be non-empty".into(),
+        });
+    }
+    let n = a[0].len();
+    for (i, row) in a.iter().enumerate() {
+        if row.len() != n {
+            return Err(SolverError::InvalidGame {
+                reason: format!("row {i} has length {}, expected {n}", row.len()),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(SolverError::InvalidGame {
+                reason: format!("row {i} contains a non-finite payoff"),
+            });
+        }
+    }
+    let min_entry = a
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    let shift = (1.0 - min_entry).max(0.0);
+
+    // Tableau: m constraint rows over [w₁..w_n | slack₁..slack_m | rhs],
+    // plus the reduced-cost row (last entry carries −objective).
+    let width = n + m + 1;
+    let mut tab: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            let mut row = vec![0.0; width];
+            for j in 0..n {
+                row[j] = a[i][j] + shift;
+            }
+            row[n + i] = 1.0;
+            row[width - 1] = 1.0;
+            row
+        })
+        .collect();
+    let mut obj = vec![0.0; width];
+    for cell in obj.iter_mut().take(n) {
+        *cell = 1.0;
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Bland's rule: entering = lowest-index improving column; leaving =
+    // lowest basis index among ratio-test ties. Terminates without
+    // cycling; 4(n+m)² iterations is far beyond any non-cycling path.
+    let max_iters = 4 * (n + m) * (n + m) + 64;
+    for _ in 0..max_iters {
+        let Some(enter) = (0..n + m).find(|&j| obj[j] > OPT_TOL) else {
+            // Optimal: unpack primal w, dual t, and both strategies.
+            let objective = -obj[width - 1];
+            if objective <= 0.0 {
+                return Err(SolverError::Numerical {
+                    reason: "simplex reached a non-positive objective".into(),
+                });
+            }
+            let v_shifted = 1.0 / objective;
+            let mut w = vec![0.0; n];
+            for (i, &b) in basis.iter().enumerate() {
+                if b < n {
+                    w[b] = tab[i][width - 1].max(0.0);
+                }
+            }
+            let t: Vec<f64> = (0..m).map(|i| (-obj[n + i]).max(0.0)).collect();
+            let normalize = |v: Vec<f64>| -> Vec<f64> {
+                let total: f64 = v.iter().sum();
+                v.into_iter().map(|p| p / total).collect()
+            };
+            return Ok(ZeroSumSolution {
+                value: v_shifted - shift,
+                row_strategy: normalize(t),
+                col_strategy: normalize(w),
+            });
+        };
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, row) in tab.iter().enumerate() {
+            if row[enter] > PIVOT_TOL {
+                let ratio = row[width - 1] / row[enter];
+                let better = ratio < best_ratio - PIVOT_TOL
+                    || (ratio < best_ratio + PIVOT_TOL
+                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Err(SolverError::Numerical {
+                reason: "simplex detected an unbounded direction".into(),
+            });
+        };
+        // Pivot on (leave, enter).
+        let pivot = tab[leave][enter];
+        for cell in tab[leave].iter_mut() {
+            *cell /= pivot;
+        }
+        let pivot_row = tab[leave].clone();
+        for (i, row) in tab.iter_mut().enumerate() {
+            if i == leave {
+                continue;
+            }
+            let factor = row[enter];
+            if factor != 0.0 {
+                for (cell, &p) in row.iter_mut().zip(&pivot_row) {
+                    *cell -= factor * p;
+                }
+            }
+        }
+        let factor = obj[enter];
+        if factor != 0.0 {
+            for (cell, &p) in obj.iter_mut().zip(&pivot_row) {
+                *cell -= factor * p;
+            }
+        }
+        basis[leave] = enter;
+    }
+    Err(SolverError::Numerical {
+        reason: "simplex iteration cap exceeded".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_certificate(a: &[Vec<f64>], sol: &ZeroSumSolution, tol: f64) {
+        // The strategies certify the value from both sides:
+        // min_j xᵀA_j ≥ v − tol and max_i (A y)_i ≤ v + tol.
+        let n = a[0].len();
+        for j in 0..n {
+            let col_payoff: f64 = a.iter().zip(&sol.row_strategy).map(|(r, x)| x * r[j]).sum();
+            assert!(col_payoff >= sol.value - tol, "col {j}: {col_payoff} < {}", sol.value);
+        }
+        for (i, row) in a.iter().enumerate() {
+            let row_payoff: f64 = row.iter().zip(&sol.col_strategy).map(|(v, y)| v * y).sum();
+            assert!(row_payoff <= sol.value + tol, "row {i}: {row_payoff} > {}", sol.value);
+        }
+    }
+
+    #[test]
+    fn matching_pennies_value_zero_uniform() {
+        let a = vec![vec![1.0, -1.0], vec![-1.0, 1.0]];
+        let sol = solve_zero_sum(&a).unwrap();
+        assert!(sol.value.abs() < 1e-9);
+        assert!((sol.row_strategy[0] - 0.5).abs() < 1e-9);
+        assert!((sol.col_strategy[0] - 0.5).abs() < 1e-9);
+        assert_certificate(&a, &sol, 1e-9);
+    }
+
+    #[test]
+    fn rock_paper_scissors_value_zero_uniform() {
+        let a = vec![
+            vec![0.0, -1.0, 1.0],
+            vec![1.0, 0.0, -1.0],
+            vec![-1.0, 1.0, 0.0],
+        ];
+        let sol = solve_zero_sum(&a).unwrap();
+        assert!(sol.value.abs() < 1e-9);
+        for p in sol.row_strategy.iter().chain(&sol.col_strategy) {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        }
+        assert_certificate(&a, &sol, 1e-9);
+    }
+
+    #[test]
+    fn known_mixed_2x2() {
+        // Indifference gives x = (1/4, 3/4), y = (1/2, 1/2), v = 5/2.
+        let a = vec![vec![4.0, 1.0], vec![2.0, 3.0]];
+        let sol = solve_zero_sum(&a).unwrap();
+        assert!((sol.value - 2.5).abs() < 1e-9);
+        assert!((sol.row_strategy[0] - 0.25).abs() < 1e-9);
+        assert!((sol.col_strategy[0] - 0.5).abs() < 1e-9);
+        assert_certificate(&a, &sol, 1e-9);
+    }
+
+    #[test]
+    fn pure_saddle_point() {
+        let a = vec![vec![3.0, 1.0], vec![1.0, 0.0]];
+        let sol = solve_zero_sum(&a).unwrap();
+        assert!((sol.value - 1.0).abs() < 1e-9);
+        assert!((sol.row_strategy[0] - 1.0).abs() < 1e-9);
+        assert!((sol.col_strategy[1] - 1.0).abs() < 1e-9);
+        assert_certificate(&a, &sol, 1e-9);
+    }
+
+    #[test]
+    fn rectangular_and_degenerate_shapes() {
+        // 1×3: column player picks the minimum entry.
+        let a = vec![vec![2.0, -1.0, 4.0]];
+        let sol = solve_zero_sum(&a).unwrap();
+        assert!((sol.value + 1.0).abs() < 1e-9);
+        assert!((sol.col_strategy[1] - 1.0).abs() < 1e-9);
+        // 3×1: row player picks the maximum entry.
+        let a = vec![vec![-2.0], vec![5.0], vec![1.0]];
+        let sol = solve_zero_sum(&a).unwrap();
+        assert!((sol.value - 5.0).abs() < 1e-9);
+        assert!((sol.row_strategy[1] - 1.0).abs() < 1e-9);
+        // Malformed shapes are rejected.
+        assert!(solve_zero_sum(&[]).is_err());
+        assert!(solve_zero_sum(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        assert!(solve_zero_sum(&[vec![f64::NAN]]).is_err());
+    }
+
+    proptest! {
+        /// Random games: the returned strategies are pmfs certifying the
+        /// value from both sides (strong-duality sandwich).
+        #[test]
+        fn prop_minimax_certificate(
+            entries in proptest::collection::vec(-5.0..5.0f64, 16),
+            m in 1usize..4,
+            n in 1usize..4,
+        ) {
+            let a: Vec<Vec<f64>> =
+                (0..m).map(|i| entries[i * n..(i + 1) * n].to_vec()).collect();
+            let sol = solve_zero_sum(&a).unwrap();
+            prop_assert!((sol.row_strategy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!((sol.col_strategy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(sol.row_strategy.iter().all(|&p| p >= 0.0));
+            prop_assert!(sol.col_strategy.iter().all(|&p| p >= 0.0));
+            assert_certificate(&a, &sol, 1e-7);
+        }
+    }
+}
