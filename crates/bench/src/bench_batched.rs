@@ -20,8 +20,8 @@
 use popgame_igt::dynamics::{agent_population, counted_population, IgtProtocol};
 use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
 use popgame_population::batch::BatchedEngine;
+use popgame_util::json::Json;
 use popgame_util::rng::rng_from_seed;
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 fn config() -> IgtConfig {
@@ -161,29 +161,29 @@ fn main() {
     let headline_n = if quick { 100_000 } else { 1_000_000 };
     let speedup = ratio_at(headline_n).unwrap_or(f64::NAN);
 
-    let mut json = String::new();
-    writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"batched-count-level-engine\",").unwrap();
-    writeln!(json, "  \"protocol\": \"k-IGT (k = 4, K = 6 states)\",").unwrap();
-    writeln!(json, "  \"quick\": {quick},").unwrap();
-    writeln!(
-        json,
-        "  \"speedup_batched_vs_count_at_n{headline_n}\": {speedup:.2},"
-    )
-    .unwrap();
-    writeln!(json, "  \"results\": [").unwrap();
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        writeln!(
-            json,
-            "    {{\"engine\": \"{}\", \"n\": {}, \"interactions_per_sec\": {:.0}}}{comma}",
-            row.engine, row.n, row.interactions_per_sec
-        )
-        .unwrap();
-    }
-    writeln!(json, "  ]").unwrap();
-    writeln!(json, "}}").unwrap();
-
+    let doc = Json::obj([
+        ("benchmark".to_string(), Json::from("batched-count-level-engine")),
+        ("protocol".to_string(), Json::from("k-IGT (k = 4, K = 6 states)")),
+        ("quick".to_string(), Json::from(quick)),
+        (
+            format!("speedup_batched_vs_count_at_n{headline_n}"),
+            Json::Num((speedup * 100.0).round() / 100.0),
+        ),
+        (
+            "results".to_string(),
+            Json::arr(rows.iter().map(|row| {
+                Json::obj([
+                    ("engine", Json::from(row.engine)),
+                    ("n", Json::from(row.n)),
+                    (
+                        "interactions_per_sec",
+                        Json::Num(row.interactions_per_sec.round()),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    let json = doc.pretty();
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
     eprintln!("wrote {out_path}; batched vs count speedup at n = {headline_n}: {speedup:.1}x");

@@ -20,8 +20,8 @@ use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
 use popgame_solver::nash::enumerate_equilibria;
 use popgame_solver::scenarios::{by_name, Scenario};
 use popgame_solver::zerosum::solve_zero_sum;
+use popgame_util::json::Json;
 use popgame_util::rng::rng_from_seed;
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Runs `chunk` repeatedly until `window` elapses; returns ops/sec where
@@ -110,10 +110,13 @@ fn main() {
         });
     }
 
-    // Scenario dynamics on the batched engine at n = 1e6.
+    // Scenario dynamics on the batched engine at n = 1e6. Logit rides the
+    // kernel τ-leap (the randomized-dynamics fast path), so it belongs in
+    // the same table as the tabulated deterministic rules.
     let n: u64 = if quick { 100_000 } else { 1_000_000 };
     for (scenario, rule, label) in [
         ("rock-paper-scissors", DynamicsRule::BestResponse, "dynamics_rps_best_response"),
+        ("rock-paper-scissors", DynamicsRule::Logit { eta: 2.0 }, "dynamics_rps_logit"),
         ("stag-hunt", DynamicsRule::Imitation, "dynamics_stag_hunt_imitation"),
     ] {
         let s = by_name(scenario).expect("registered scenario");
@@ -136,24 +139,22 @@ fn main() {
         eprintln!("{label}: measured at n = {n}");
     }
 
-    let mut json = String::new();
-    writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"solver-and-scenario-dynamics\",").unwrap();
-    writeln!(json, "  \"quick\": {quick},").unwrap();
-    writeln!(json, "  \"dynamics_population\": {n},").unwrap();
-    writeln!(json, "  \"results\": [").unwrap();
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        writeln!(
-            json,
-            "    {{\"component\": \"{}\", \"ops_per_sec\": {:.0}, \"unit\": \"{}\"}}{comma}",
-            row.component, row.ops_per_sec, row.unit
-        )
-        .unwrap();
-    }
-    writeln!(json, "  ]").unwrap();
-    writeln!(json, "}}").unwrap();
-
+    let doc = Json::obj([
+        ("benchmark", Json::from("solver-and-scenario-dynamics")),
+        ("quick", Json::from(quick)),
+        ("dynamics_population", Json::from(n)),
+        (
+            "results",
+            Json::arr(rows.iter().map(|row| {
+                Json::obj([
+                    ("component", Json::from(row.component.as_str())),
+                    ("ops_per_sec", Json::Num(row.ops_per_sec.round())),
+                    ("unit", Json::from(row.unit)),
+                ])
+            })),
+        ),
+    ]);
+    let json = doc.pretty();
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
     eprintln!("wrote {out_path}");

@@ -1,0 +1,291 @@
+//! `loadgen` — hammers a loopback `popgamed` from M client threads and
+//! emits machine-readable `BENCH_service.json`.
+//!
+//! ```text
+//! loadgen                # writes BENCH_service.json in the cwd
+//! loadgen out.json       # custom output path
+//! loadgen --quick        # shorter windows, fewer clients (CI smoke)
+//! ```
+//!
+//! Two phases against an in-process service instance:
+//!
+//! * **cached** — every client repeats one identical `/simulate` request
+//!   over a keep-alive connection. After the first (cold) computation the
+//!   server answers from the sharded result cache; the bench verifies
+//!   each response body is **byte-identical** to the cold one (the
+//!   determinism/cache contract) and reports throughput, p50/p99 latency,
+//!   and the hit rate.
+//! * **uncached** — every request carries a fresh seed, forcing a real
+//!   batched-engine computation per request (n = 500, one replica).
+//!
+//! The acceptance bar from the ISSUE: ≥ 10 000 cached and ≥ 100 uncached
+//! requests/sec on loopback in smoke (`--quick`) mode.
+
+use popgame_service::{PopgameService, ServiceConfig};
+use popgame_util::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A keep-alive HTTP/1.1 client for one thread.
+struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            addr,
+            stream,
+            reader,
+        })
+    }
+
+    /// One POST over the persistent connection; reconnects once on error.
+    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, bool, String)> {
+        match self.post_once(path, body) {
+            Ok(reply) => Ok(reply),
+            Err(_) => {
+                *self = Client::connect(self.addr)?;
+                self.post_once(path, body)
+            }
+        }
+    }
+
+    fn post_once(&mut self, path: &str, body: &str) -> std::io::Result<(u16, bool, String)> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let mut content_length = 0usize;
+        let mut cache_hit = false;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap_or(0);
+            } else if let Some(v) = lower.strip_prefix("x-popgame-cache:") {
+                cache_hit = v.trim() == "hit";
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
+        Ok((status, cache_hit, body))
+    }
+}
+
+/// Per-thread phase results.
+struct ThreadStats {
+    latencies_us: Vec<u64>,
+    hits: u64,
+    requests: u64,
+    errors: u64,
+    mismatches: u64,
+}
+
+/// Runs one phase: `clients` threads posting for `window`, each request's
+/// body produced by `make_body(thread, index)`; when `expect` is set every
+/// 200 body must equal it byte-for-byte.
+fn run_phase(
+    addr: SocketAddr,
+    clients: usize,
+    window: Duration,
+    expect: Option<&str>,
+    make_body: impl Fn(usize, u64) -> String + Sync,
+) -> Vec<ThreadStats> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let make_body = &make_body;
+                scope.spawn(move || {
+                    let mut stats = ThreadStats {
+                        latencies_us: Vec::with_capacity(4096),
+                        hits: 0,
+                        requests: 0,
+                        errors: 0,
+                        mismatches: 0,
+                    };
+                    let Ok(mut client) = Client::connect(addr) else {
+                        stats.errors += 1;
+                        return stats;
+                    };
+                    let start = Instant::now();
+                    let mut index = 0u64;
+                    while start.elapsed() < window {
+                        let body = make_body(t, index);
+                        index += 1;
+                        let sent = Instant::now();
+                        match client.post("/simulate", &body) {
+                            Ok((200, hit, reply)) => {
+                                stats
+                                    .latencies_us
+                                    .push(sent.elapsed().as_micros() as u64);
+                                stats.requests += 1;
+                                stats.hits += u64::from(hit);
+                                if let Some(expected) = expect {
+                                    if reply != expected {
+                                        stats.mismatches += 1;
+                                    }
+                                }
+                            }
+                            Ok(_) => stats.errors += 1,
+                            Err(_) => stats.errors += 1,
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    })
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn summarize(stats: Vec<ThreadStats>, window: Duration) -> Json {
+    let mut latencies: Vec<u64> = stats.iter().flat_map(|s| s.latencies_us.clone()).collect();
+    latencies.sort_unstable();
+    let requests: u64 = stats.iter().map(|s| s.requests).sum();
+    let hits: u64 = stats.iter().map(|s| s.hits).sum();
+    let errors: u64 = stats.iter().map(|s| s.errors).sum();
+    let mismatches: u64 = stats.iter().map(|s| s.mismatches).sum();
+    let rps = requests as f64 / window.as_secs_f64();
+    Json::obj([
+        ("requests", Json::from(requests)),
+        ("requests_per_sec", Json::from((rps * 10.0).round() / 10.0)),
+        ("p50_us", Json::from(percentile(&latencies, 0.50))),
+        ("p99_us", Json::from(percentile(&latencies, 0.99))),
+        (
+            "cache_hit_rate",
+            Json::from(if requests > 0 {
+                (hits as f64 / requests as f64 * 1e4).round() / 1e4
+            } else {
+                0.0
+            }),
+        ),
+        ("errors", Json::from(errors)),
+        ("body_mismatches", Json::from(mismatches)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+    let clients = if quick { 4 } else { 8 };
+    let window = if quick {
+        Duration::from_millis(500)
+    } else {
+        Duration::from_millis(2000)
+    };
+
+    let service = PopgameService::start(ServiceConfig {
+        http_workers: clients + 2,
+        queue_depth: 1024,
+        ..ServiceConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = service.local_addr();
+
+    // The cached workload: one fixed request, warmed once.
+    let cached_body = r#"{"scenario":"hawk-dove","n":1000,"interactions":10000,"replicas":2,"seed":1}"#;
+    let mut warm_client = Client::connect(addr).expect("connect");
+    let (status, hit, cold_reply) = warm_client.post("/simulate", cached_body).expect("warm");
+    assert_eq!(status, 200, "warm request failed: {cold_reply}");
+    assert!(!hit, "first request must be a cold miss");
+    drop(warm_client);
+
+    eprintln!("loadgen: cached phase ({clients} clients, {window:?})");
+    let cached = run_phase(addr, clients, window, Some(&cold_reply), |_t, _i| {
+        cached_body.to_string()
+    });
+    let cached_summary = summarize(cached, window);
+
+    eprintln!("loadgen: uncached phase ({clients} clients, {window:?})");
+    // Fresh seed per request: every one is a real computation.
+    let uncached = run_phase(addr, clients, window, None, |t, i| {
+        format!(
+            r#"{{"scenario":"rock-paper-scissors","n":500,"interactions":5000,"replicas":1,"seed":{}}}"#,
+            1_000 + t as u64 * 1_000_000_000 + i
+        )
+    });
+    let uncached_summary = summarize(uncached, window);
+
+    let cached_rps = cached_summary
+        .get("requests_per_sec")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let uncached_rps = uncached_summary
+        .get("requests_per_sec")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let mismatches = cached_summary
+        .get("body_mismatches")
+        .and_then(Json::as_u64)
+        .unwrap_or(u64::MAX);
+
+    let doc = Json::obj([
+        ("benchmark", Json::from("popgamed-service")),
+        ("quick", Json::from(quick)),
+        ("clients", Json::from(clients)),
+        ("window_ms", Json::from(window.as_millis() as u64)),
+        ("cached", cached_summary),
+        ("uncached", uncached_summary),
+        (
+            "meets_acceptance",
+            Json::from(cached_rps >= 10_000.0 && uncached_rps >= 100.0 && mismatches == 0),
+        ),
+    ]);
+    let text = doc.pretty();
+    std::fs::write(&out_path, &text).expect("write benchmark json");
+    println!("{text}");
+    eprintln!(
+        "wrote {out_path}; cached {cached_rps:.0} req/s, uncached {uncached_rps:.0} req/s, \
+         {mismatches} body mismatches"
+    );
+    service.shutdown();
+    if mismatches > 0 {
+        eprintln!("loadgen: FAILURE — cached responses were not byte-identical");
+        std::process::exit(1);
+    }
+}

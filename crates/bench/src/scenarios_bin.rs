@@ -11,46 +11,26 @@
 //! ```
 //!
 //! Output is deterministic for a fixed argument vector: the run uses the
-//! batched count-level engine seeded from `--seed` only. Exit code 2 on
-//! usage errors, 1 on runtime errors.
+//! batched count-level engine seeded from `--seed` only, and documents
+//! are built with `popgame_util::json` (shared with `popgamed`, which
+//! serves the same listing at `GET /scenarios`). Exit code 2 on usage
+//! errors, 1 on runtime errors.
 
 use popgame_dist::divergence::tv_distance;
 use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
-use popgame_solver::scenarios::{by_name, registry, Scenario};
+use popgame_solver::scenarios::{by_name, registry_listing, Scenario};
+use popgame_util::json::Json;
 use popgame_util::rng::rng_from_seed;
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Rounds to six decimals, the report precision for frequencies and
+/// distances.
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
 }
 
-fn profile_json(p: &[f64]) -> String {
-    let cells: Vec<String> = p.iter().map(|v| format!("{v:.6}")).collect();
-    format!("[{}]", cells.join(", "))
-}
-
-fn list() -> String {
-    let mut out = String::from("[\n");
-    let all = registry();
-    for (i, s) in all.iter().enumerate() {
-        let comma = if i + 1 == all.len() { "" } else { "," };
-        let sym = s.game().is_symmetric(1e-9);
-        writeln!(
-            out,
-            "  {{\"name\": \"{}\", \"k\": {}, \"symmetric\": {}, \"zero_sum\": {}, \"equilibria\": {}, \"symmetric_equilibria\": {}, \"description\": \"{}\"}}{comma}",
-            s.name(),
-            s.game().k(),
-            sym,
-            s.game().is_zero_sum(1e-9),
-            s.equilibria().len(),
-            s.symmetric_equilibria().len(),
-            json_escape(s.description()),
-        )
-        .unwrap();
-    }
-    out.push(']');
-    out
+fn profile_json(p: &[f64]) -> Json {
+    Json::Arr(p.iter().map(|&v| Json::Num(round6(v))).collect())
 }
 
 struct RunArgs {
@@ -118,7 +98,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     })
 }
 
-fn run_scenario(args: &RunArgs) -> Result<String, String> {
+fn run_scenario(args: &RunArgs) -> Result<Json, String> {
     let scenario: Scenario = by_name(&args.name).map_err(|e| e.to_string())?;
     let dynamics = scenario.dynamics(args.rule).map_err(|e| e.to_string())?;
     let k = scenario.game().k();
@@ -139,35 +119,35 @@ fn run_scenario(args: &RunArgs) -> Result<String, String> {
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
         .map(|(i, d)| (i as i64, d))
         .unwrap_or((-1, f64::NAN));
-    let mut out = String::from("{\n");
-    writeln!(out, "  \"scenario\": \"{}\",", scenario.name()).unwrap();
-    writeln!(out, "  \"dynamics\": \"{}\",", args.rule.label()).unwrap();
-    writeln!(out, "  \"n\": {},", args.n).unwrap();
-    writeln!(out, "  \"interactions\": {},", engine.interactions()).unwrap();
-    writeln!(out, "  \"seed\": {},", args.seed).unwrap();
-    writeln!(out, "  \"final_frequencies\": {},", profile_json(&freq)).unwrap();
-    writeln!(out, "  \"consensus\": {},", engine.is_consensus()).unwrap();
-    writeln!(out, "  \"exact_symmetric_equilibria\": {},", equilibria.len()).unwrap();
-    writeln!(out, "  \"nearest_equilibrium\": {nearest},").unwrap();
-    if let Some(eq) = equilibria.get(nearest.max(0) as usize) {
-        writeln!(out, "  \"nearest_equilibrium_profile\": {},", profile_json(&eq.x)).unwrap();
+    let mut fields = vec![
+        ("scenario", Json::from(scenario.name())),
+        ("dynamics", Json::from(args.rule.label())),
+        ("n", Json::from(args.n)),
+        ("interactions", Json::from(engine.interactions())),
+        ("seed", Json::from(args.seed)),
+        ("final_frequencies", profile_json(&freq)),
+        ("consensus", Json::from(engine.is_consensus())),
+        ("exact_symmetric_equilibria", Json::from(equilibria.len())),
+        ("nearest_equilibrium", Json::Int(nearest)),
+    ];
+    if let Some(eq) = equilibria.get(usize::try_from(nearest).unwrap_or(usize::MAX)) {
+        fields.push(("nearest_equilibrium_profile", profile_json(&eq.x)));
     }
-    writeln!(out, "  \"tv_to_nearest_equilibrium\": {distance:.6}").unwrap();
-    out.push('}');
-    Ok(out)
+    fields.push(("tv_to_nearest_equilibrium", Json::Num(round6(distance))));
+    Ok(Json::obj(fields))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--list") => {
-            println!("{}", list());
+            println!("{}", registry_listing().pretty());
             ExitCode::SUCCESS
         }
         Some("run") => match parse_run_args(&args[1..]) {
             Ok(run_args) => match run_scenario(&run_args) {
                 Ok(json) => {
-                    println!("{json}");
+                    println!("{}", json.pretty());
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -20,6 +20,13 @@
 //!    frozen population). Leaps that would drive a count negative are
 //!    split recursively, so conservation is unconditional.
 //!
+//! Randomized protocols τ-leap too, provided they declare their exact
+//! per-pair outcome law via
+//! [`EnumerableProtocol::pair_kernel`]: the engine freezes it into a
+//! [`KernelTable`] and splits each pair's draw count multinomially over
+//! the declared outcomes (a second binomial chain). Randomized protocols
+//! *without* a kernel fall back to exact per-interaction stepping.
+//!
 //! The pair law matches the agent-level scheduler exactly: the ordered
 //! pair `(i, j)` has weight `x_i (x_j − δ_ij)` — sampling *without*
 //! replacement, including the `δ` correction that removes the initiator
@@ -111,6 +118,96 @@ impl TransitionTable {
     }
 }
 
+/// A randomized protocol's per-pair outcome law tabulated over all `K²`
+/// ordered state pairs — the stochastic counterpart of
+/// [`TransitionTable`], built from
+/// [`EnumerableProtocol::pair_kernel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTable {
+    k: usize,
+    /// `cells[i * k + j]` — the outcome pmf for ordered pair `(i, j)`,
+    /// entries `((initiator', responder'), p)` with positive `p`.
+    cells: Vec<Vec<((u32, u32), f64)>>,
+    /// Whether cell `(i, j)` is a count-vector no-op with probability 1.
+    identity: Vec<bool>,
+}
+
+/// Outcome probabilities must sum to 1 within this tolerance.
+const KERNEL_SUM_TOL: f64 = 1e-9;
+
+impl KernelTable {
+    /// Tabulates a protocol's declared outcome kernel; `None` when any
+    /// pair declines to state its law (no kernel ⇒ exact stepping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::StateOutOfRange`] when a declared
+    /// outcome maps outside the protocol's enumeration or its
+    /// probabilities do not form a pmf (signalled with `index = k`, since
+    /// an ill-formed pmf is a protocol bug, not a recoverable condition).
+    pub fn build<P: EnumerableProtocol>(protocol: &P) -> Result<Option<Self>, PopulationError> {
+        let k = protocol.num_states();
+        let mut cells = Vec::with_capacity(k * k);
+        let mut identity = Vec::with_capacity(k * k);
+        for i in 0..k {
+            for j in 0..k {
+                let Some(outcomes) = protocol.pair_kernel(i, j) else {
+                    return Ok(None);
+                };
+                let mut total = 0.0f64;
+                let mut cell: Vec<((u32, u32), f64)> = Vec::with_capacity(outcomes.len());
+                for ((a, b), p) in outcomes {
+                    if a >= k || b >= k {
+                        return Err(PopulationError::StateOutOfRange {
+                            index: a.max(b),
+                            num_states: k,
+                        });
+                    }
+                    if !p.is_finite() || p < 0.0 {
+                        return Err(PopulationError::StateOutOfRange {
+                            index: k,
+                            num_states: k,
+                        });
+                    }
+                    total += p;
+                    if p > 0.0 {
+                        cell.push(((a as u32, b as u32), p));
+                    }
+                }
+                if (total - 1.0).abs() > KERNEL_SUM_TOL {
+                    return Err(PopulationError::StateOutOfRange {
+                        index: k,
+                        num_states: k,
+                    });
+                }
+                identity.push(
+                    cell.iter()
+                        .all(|&((a, b), _)| (a as usize, b as usize) == (i, j)),
+                );
+                cells.push(cell);
+            }
+        }
+        Ok(Some(KernelTable { k, cells, identity }))
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.k
+    }
+
+    /// The positive-probability outcomes of ordered pair `(i, j)`.
+    #[inline]
+    pub fn outcomes(&self, i: usize, j: usize) -> &[((u32, u32), f64)] {
+        &self.cells[i * self.k + j]
+    }
+
+    /// Whether pair `(i, j)` is almost surely a no-op on the count vector.
+    #[inline]
+    pub fn is_identity(&self, i: usize, j: usize) -> bool {
+        self.identity[i * self.k + j]
+    }
+}
+
 /// The high-throughput count-level engine.
 ///
 /// Owns the protocol, the count vector, the lazily rebuilt alias table for
@@ -139,6 +236,10 @@ pub struct BatchedEngine<P: EnumerableProtocol> {
     n: u64,
     interactions: u64,
     table: Option<TransitionTable>,
+    /// Outcome kernel for randomized protocols that declare their law
+    /// ([`EnumerableProtocol::pair_kernel`]); only built when `table` is
+    /// unavailable.
+    kernel: Option<KernelTable>,
     alias: Option<AliasTable>,
     alias_dirty: bool,
     /// Scratch: indices of non-identity cells with positive weight.
@@ -163,6 +264,11 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             });
         }
         let table = TransitionTable::build(&protocol)?;
+        let kernel = if table.is_none() {
+            KernelTable::build(&protocol)?
+        } else {
+            None
+        };
         let interactions = population.interactions();
         let counts = population.counts().to_vec();
         let n = population.len();
@@ -172,6 +278,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             n,
             interactions,
             table,
+            kernel,
             alias: None,
             alias_dirty: true,
             active_cells: Vec::with_capacity(k * k),
@@ -298,8 +405,9 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
         if self.n < 2 {
             return Err(PopulationError::TooFewAgents { n: self.n as usize });
         }
-        if self.table.is_none() {
-            // Randomized transitions cannot be tabulated; stay exact.
+        if self.table.is_none() && self.kernel.is_none() {
+            // Randomized transitions without a declared kernel cannot be
+            // tabulated; stay exact.
             for _ in 0..batch {
                 self.step(rng);
             }
@@ -346,8 +454,14 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     /// excursions.
     fn leap<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
         let k = self.counts.len();
-        let table = self.table.as_ref().expect("leap requires a table");
-        // Enumerate non-identity cells with positive weight.
+        debug_assert!(
+            self.table.is_some() || self.kernel.is_some(),
+            "leap requires a table or a kernel"
+        );
+        // Enumerate non-identity cells with positive weight. For kernel
+        // cells "identity" means almost surely a no-op; cells that are
+        // no-ops only with some probability stay active and simply
+        // contribute zero deltas on their identity outcomes.
         self.active_cells.clear();
         let mut active_weight = 0.0f64;
         for i in 0..k {
@@ -356,7 +470,11 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
                 continue;
             }
             for j in 0..k {
-                if table.is_identity(i, j) {
+                let identity = match &self.table {
+                    Some(table) => table.is_identity(i, j),
+                    None => self.kernel.as_ref().expect("checked above").is_identity(i, j),
+                };
+                if identity {
                     continue;
                 }
                 let w = xi as f64 * (self.counts[j] - u64::from(i == j)) as f64;
@@ -394,11 +512,43 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             mass_left -= w;
             if c > 0 {
                 remaining -= c;
-                let (a, b) = table.apply(i, j);
-                self.deltas[i] -= c as i64;
-                self.deltas[a] += c as i64;
-                self.deltas[j] -= c as i64;
-                self.deltas[b] += c as i64;
+                match &self.table {
+                    Some(table) => {
+                        let (a, b) = table.apply(i, j);
+                        self.deltas[i] -= c as i64;
+                        self.deltas[a] += c as i64;
+                        self.deltas[j] -= c as i64;
+                        self.deltas[b] += c as i64;
+                    }
+                    None => {
+                        // Split this cell's c interactions multinomially
+                        // over the kernel's outcomes (binomial chain).
+                        let kernel = self.kernel.as_ref().expect("leap requires a kernel");
+                        let outs = kernel.outcomes(i, j);
+                        let mut cell_rem = c;
+                        let mut cell_mass = 1.0f64;
+                        for (out_idx, &((a, b), p)) in outs.iter().enumerate() {
+                            if cell_rem == 0 {
+                                break;
+                            }
+                            let oq = if out_idx + 1 == outs.len() {
+                                1.0
+                            } else {
+                                (p / cell_mass).clamp(0.0, 1.0)
+                            };
+                            let oc = sample_binomial(cell_rem, oq, rng);
+                            cell_mass -= p;
+                            cell_rem -= oc;
+                            let (a, b) = (a as usize, b as usize);
+                            if oc > 0 && (a, b) != (i, j) {
+                                self.deltas[i] -= oc as i64;
+                                self.deltas[a] += oc as i64;
+                                self.deltas[j] -= oc as i64;
+                                self.deltas[b] += oc as i64;
+                            }
+                        }
+                    }
+                }
             }
         }
         // Conservation guard: a leap that overdraws a state is split in
@@ -531,6 +681,121 @@ mod tests {
     #[test]
     fn transition_table_refuses_randomized_protocols() {
         assert!(TransitionTable::build(&RandomFlip).unwrap().is_none());
+    }
+
+    /// `RandomFlip` with its outcome law declared: the initiator flips to
+    /// a uniform state, so the kernel of `(i, j)` is `1/3` on each
+    /// `((t, j))`. τ-leapable.
+    #[derive(Clone, Copy)]
+    struct DeclaredRandomFlip;
+
+    impl Protocol for DeclaredRandomFlip {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, _i: u8, r: u8, rng: &mut R) -> (u8, u8) {
+            (rng.gen_range(0..3u8), r)
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+        fn has_random_transitions(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for DeclaredRandomFlip {
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+        fn pair_kernel(&self, _i: usize, j: usize) -> Option<Vec<((usize, usize), f64)>> {
+            Some((0..3).map(|t| ((t, j), 1.0 / 3.0)).collect())
+        }
+    }
+
+    #[test]
+    fn kernel_table_tabulates_declared_randomized_protocols() {
+        let kernel = KernelTable::build(&DeclaredRandomFlip).unwrap().unwrap();
+        assert_eq!(kernel.num_states(), 3);
+        assert_eq!(kernel.outcomes(0, 1).len(), 3);
+        // (i, j) = (0, 1): outcome (0, 1) is the identity with p = 1/3,
+        // but the cell as a whole is not an almost-sure no-op.
+        assert!(!kernel.is_identity(0, 1));
+        // Undeclared randomized protocols yield no kernel.
+        assert!(KernelTable::build(&RandomFlip).unwrap().is_none());
+        // Deterministic protocols don't need one, but building works.
+        assert!(KernelTable::build(&Epidemic).unwrap().is_none());
+    }
+
+    /// A protocol declaring an ill-formed kernel (probabilities sum to 2).
+    #[derive(Clone, Copy)]
+    struct BadKernel;
+
+    impl Protocol for BadKernel {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, i: u8, r: u8, _rng: &mut R) -> (u8, u8) {
+            (i, r)
+        }
+        fn has_random_transitions(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for BadKernel {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+        fn pair_kernel(&self, i: usize, j: usize) -> Option<Vec<((usize, usize), f64)>> {
+            Some(vec![((i, j), 1.0), ((j, i), 1.0)])
+        }
+    }
+
+    #[test]
+    fn kernel_table_rejects_non_pmf_kernels() {
+        assert!(KernelTable::build(&BadKernel).is_err());
+        assert!(BatchedEngine::from_counts(BadKernel, vec![2, 2]).is_err());
+    }
+
+    #[test]
+    fn kernel_batch_matches_per_step_law_chi_square() {
+        // Step-vs-batch distributional equivalence for a *randomized*
+        // protocol executed through its declared kernel: final state-0
+        // count of DeclaredRandomFlip after a fixed horizon, exact
+        // stepping vs τ-leaps of n/4, two-sample chi-square.
+        let n = 12u64;
+        let horizon = 30u64;
+        let reps = 4_000u64;
+        let mut hist_step = vec![0u64; n as usize + 1];
+        let mut hist_batch = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut engine =
+                BatchedEngine::from_counts(DeclaredRandomFlip, vec![10, 1, 1]).unwrap();
+            let mut rng = stream_rng(23, rep);
+            for _ in 0..horizon {
+                engine.step(&mut rng);
+            }
+            hist_step[engine.counts()[0] as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(DeclaredRandomFlip, vec![10, 1, 1]).unwrap();
+            let mut rng = stream_rng(badge(rep), rep);
+            engine.run_batched(horizon, n / 4, &mut rng).unwrap();
+            hist_batch[engine.counts()[0] as usize] += 1;
+        }
+        let chi2 = two_sample_chi_square(&hist_step, &hist_batch);
+        // ~13 populated cells; 99.9% quantile of chi2(12) ~ 32.9, plus
+        // room for the documented O(batch/n) leap bias.
+        assert!(chi2 < 45.0, "chi-square {chi2}: {hist_step:?} vs {hist_batch:?}");
     }
 
     /// A randomized protocol that *forgets* to override
@@ -747,6 +1012,25 @@ mod tests {
             engine.run_batched(3 * n, batch, &mut rng).unwrap();
             prop_assert_eq!(engine.counts().iter().sum::<u64>(), n);
             prop_assert_eq!(engine.interactions(), 3 * n);
+        }
+
+        /// Kernel-driven leaps conserve agents across batch sizes.
+        #[test]
+        fn prop_kernel_leaps_conserve_agents(
+            a in 1u64..40,
+            b in 1u64..40,
+            c in 1u64..40,
+            seed in 0u64..50,
+            scale in 0usize..3,
+        ) {
+            let n = a + b + c;
+            let batch = [1, n, 10 * n][scale];
+            let mut engine =
+                BatchedEngine::from_counts(DeclaredRandomFlip, vec![a, b, c]).unwrap();
+            let mut rng = rng_from_seed(seed);
+            engine.run_batched(4 * n, batch, &mut rng).unwrap();
+            prop_assert_eq!(engine.counts().iter().sum::<u64>(), n);
+            prop_assert_eq!(engine.interactions(), 4 * n);
         }
 
         /// The cyclic protocol (every cell active) conserves agents across

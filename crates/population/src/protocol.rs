@@ -79,6 +79,26 @@ pub trait EnumerableProtocol: Protocol {
     ///
     /// May panic when `index >= num_states()`.
     fn state_at(&self, index: usize) -> Self::State;
+
+    /// The closed-form outcome law of
+    /// [`interact`](Protocol::interact) for the ordered state-*index*
+    /// pair `(i, j)`, when the protocol can state it exactly: a list of
+    /// `((initiator'_idx, responder'_idx), probability)` entries summing
+    /// to 1. Default `None`.
+    ///
+    /// Deterministic protocols don't need this — engines tabulate them
+    /// directly. *Randomized* protocols
+    /// ([`has_random_transitions`](Protocol::has_random_transitions) =
+    /// `true`) that override it become τ-leapable on
+    /// [`crate::batch::BatchedEngine`]: the engine freezes the per-pair
+    /// kernel into a [`crate::batch::KernelTable`] and splits each leap's
+    /// pair draws multinomially over the declared outcomes instead of
+    /// falling back to exact per-interaction stepping. The declared law
+    /// **must** equal the law of `interact` exactly, or batched and exact
+    /// execution will diverge distributionally.
+    fn pair_kernel(&self, _i: usize, _j: usize) -> Option<Vec<((usize, usize), f64)>> {
+        None
+    }
 }
 
 #[cfg(test)]

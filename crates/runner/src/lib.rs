@@ -42,6 +42,7 @@
 use popgame_util::rng::stream_rng;
 use rand::rngs::SmallRng;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The number of worker threads used by [`run_replicas`]: the machine's
 /// available parallelism, overridable (for tests and CI) via the
@@ -69,12 +70,44 @@ where
     T: Send,
     F: Fn(u64, SmallRng) -> T + Sync,
 {
+    let never = AtomicBool::new(false);
+    run_replicas_cancellable(seed, replicas, &never, sim)
+        .expect("un-cancelled run always completes")
+}
+
+/// [`run_replicas`] with a cooperative stop flag, for callers (such as the
+/// `popgamed` job queue) that may need to abort an orphaned computation.
+///
+/// The flag is checked before each replica starts; no replica is
+/// interrupted mid-simulation. When every replica completed — the flag was
+/// never observed set at a replica boundary — the result is `Some` and
+/// **bitwise identical** to [`run_replicas`] with the same `(seed,
+/// replicas)`. When cancellation prevented at least one replica from
+/// running, the partial work is discarded and the result is `None`.
+///
+/// A flag raised after the final replica has already started may still
+/// yield `Some`: cancellation is best-effort, completion is authoritative.
+pub fn run_replicas_cancellable<T, F>(
+    seed: u64,
+    replicas: u64,
+    cancel: &AtomicBool,
+    sim: F,
+) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(u64, SmallRng) -> T + Sync,
+{
     let replicas_usize = usize::try_from(replicas).expect("replica count fits in usize");
     let threads = worker_threads().min(replicas_usize.max(1));
     if threads <= 1 {
-        return (0..replicas)
-            .map(|r| sim(r, stream_rng(seed, r)))
-            .collect();
+        let mut out = Vec::with_capacity(replicas_usize);
+        for r in 0..replicas {
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            out.push(sim(r, stream_rng(seed, r)));
+        }
+        return Some(out);
     }
     let mut slots: Vec<Option<T>> = Vec::with_capacity(replicas_usize);
     slots.resize_with(replicas_usize, || None);
@@ -87,16 +120,24 @@ where
             let start = (t * chunk) as u64;
             scope.spawn(move || {
                 for (offset, slot) in chunk_slots.iter_mut().enumerate() {
+                    if cancel.load(Ordering::Relaxed) {
+                        return;
+                    }
                     let r = start + offset as u64;
                     *slot = Some(sim(r, stream_rng(seed, r)));
                 }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every replica slot filled"))
-        .collect()
+    if slots.iter().any(Option::is_none) {
+        return None;
+    }
+    Some(
+        slots
+            .into_iter()
+            .map(|s| s.expect("checked above"))
+            .collect(),
+    )
 }
 
 /// Runs replicas in parallel and folds their results in replica order —
@@ -146,6 +187,46 @@ mod tests {
         // serial law exactly, run after run.
         assert_eq!(run_replicas(99, 100, sim), baseline);
         assert_eq!(run_replicas(99, 100, sim), run_replicas(99, 100, sim));
+    }
+
+    #[test]
+    fn pre_cancelled_runs_return_none_without_simulating() {
+        let ran = AtomicBool::new(false);
+        let cancel = AtomicBool::new(true);
+        let out = run_replicas_cancellable(1, 16, &cancel, |_r, _rng| {
+            ran.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(out, None);
+        assert!(!ran.load(Ordering::Relaxed), "no replica may start");
+    }
+
+    #[test]
+    fn uncancelled_runs_match_run_replicas_bitwise() {
+        let sim = |r: u64, mut rng: SmallRng| -> u64 { rng.gen::<u64>() ^ r };
+        let cancel = AtomicBool::new(false);
+        assert_eq!(
+            run_replicas_cancellable(21, 64, &cancel, sim),
+            Some(run_replicas(21, 64, sim))
+        );
+    }
+
+    #[test]
+    fn mid_run_cancellation_discards_partial_work() {
+        // Replica 0 (in the first thread's chunk) raises the flag; every
+        // other replica stalls long enough that all worker threads hit a
+        // replica boundary after the flag is up, so at least one slot
+        // stays unfilled and the partial run is discarded.
+        let replicas = 4 * worker_threads() as u64;
+        let cancel = AtomicBool::new(false);
+        let out = run_replicas_cancellable(3, replicas, &cancel, |r, _rng| {
+            if r == 0 {
+                cancel.store(true, Ordering::Relaxed);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            r
+        });
+        assert_eq!(out, None);
     }
 
     #[test]

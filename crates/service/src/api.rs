@@ -1,0 +1,918 @@
+//! Endpoint semantics: request parsing/validation, canonicalization (the
+//! cache key), the executors, and the router.
+//!
+//! # Endpoints
+//!
+//! | method & path | body | reply |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness + queue/cache counters |
+//! | `GET /scenarios` | — | the scenario registry |
+//! | `POST /solve` | scenario name or explicit game | exact equilibria |
+//! | `POST /simulate` | scenario × dynamics × n × replicas | TV-to-equilibrium summary |
+//! | `POST /jobs` | a solve/simulate request (+ optional `kind`) | `202` + job id |
+//! | `GET /jobs/{id}` | — | status, inlined result when done |
+//! | `DELETE /jobs/{id}` | — | cooperative cancellation |
+//! | `POST /shutdown` | — | graceful stop (only with remote shutdown enabled) |
+//!
+//! # Canonicalization and determinism
+//!
+//! Every cacheable request is reduced to a canonical JSON string: fixed
+//! field order, defaults filled in, floats in shortest-roundtrip form.
+//! Two requests meaning the same work — whatever their field order,
+//! whitespace, or omitted defaults — share one canonical string, and the
+//! response is a deterministic function of it (simulations by the PR 1
+//! determinism contract, solves because the solver is pure). The result
+//! cache is keyed on exactly this string, so hits are byte-identical to
+//! cold computations. The `x-popgame-cache: hit|miss` response header
+//! reports which path served the request; bodies never differ.
+
+use crate::cache::ResultCache;
+use crate::http::{Request, Response};
+use crate::jobs::{JobState, JobStore};
+use popgame_dist::divergence::tv_distance;
+use popgame_runner::{mean_vectors, run_replicas_cancellable};
+use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
+use popgame_solver::nash::Equilibrium;
+use popgame_solver::scenarios::by_name;
+use popgame_solver::{enumerate_equilibria, solve_zero_sum, MatrixGame};
+use popgame_util::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Population-size ceiling for `/simulate` (count-level memory is `O(K)`,
+/// but the horizon scales with `n`).
+pub const MAX_N: u64 = 10_000_000;
+/// Interaction-horizon ceiling for `/simulate`.
+pub const MAX_INTERACTIONS: u64 = 1_000_000_000;
+/// Replica ceiling for `/simulate`.
+pub const MAX_REPLICAS: u64 = 256;
+/// `interactions × replicas` ceiling for the *synchronous* `/simulate`
+/// endpoint (a few seconds of compute). Bigger sweeps must go through
+/// `POST /jobs`, where they occupy a job executor — cancellable via
+/// `DELETE` — instead of pinning an HTTP worker.
+pub const MAX_SYNC_WORK: u64 = 4_000_000_000;
+/// Strategy-count ceiling for support enumeration (exponential path).
+pub const MAX_SOLVE_K: usize = 8;
+/// Strategy-count ceiling for the zero-sum LP (polynomial path).
+pub const MAX_ZEROSUM_K: usize = 64;
+
+/// Shared state behind every endpoint.
+pub struct AppState {
+    /// The content-addressed result cache.
+    pub cache: Arc<ResultCache>,
+    /// The asynchronous job queue.
+    pub jobs: Arc<JobStore>,
+    /// 503 counter, wired up from the HTTP server after binding.
+    pub overflows: OnceLock<Arc<AtomicU64>>,
+    /// Server start time (for `uptime_ms`).
+    pub started: Instant,
+    /// Present when `POST /shutdown` is enabled; sending stops the daemon.
+    pub shutdown_tx: Mutex<Option<SyncSender<()>>>,
+}
+
+/// A validated `/simulate` request with every default filled in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateRequest {
+    /// Registry scenario name.
+    pub scenario: String,
+    /// Dynamics label: `best-response`, `logit`, or `imitation`.
+    pub dynamics: String,
+    /// Logit inverse temperature (normalized to the default for the
+    /// other rules, so it never splits their cache keys).
+    pub eta: f64,
+    /// Population size.
+    pub n: u64,
+    /// Interaction horizon.
+    pub interactions: u64,
+    /// Independent replicas (parallelized, deterministic per seed).
+    pub replicas: u64,
+    /// Base RNG seed; replica `r` uses stream `(seed, r)`.
+    pub seed: u64,
+}
+
+const DEFAULT_ETA: f64 = 2.0;
+
+fn field_u64(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn check_known_fields(doc: &Json, known: &[&str]) -> Result<(), String> {
+    let fields = doc.as_object().ok_or("request body must be a JSON object")?;
+    for (key, _) in fields {
+        // `kind` (job envelope) and `endpoint` (canonical form) ride along.
+        if key != "kind" && key != "endpoint" && !known.contains(&key.as_str()) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+impl SimulateRequest {
+    /// Parses and validates a request body, filling defaults.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message (the endpoint's 400 body) on unknown
+    /// fields, type mismatches, unknown scenarios/dynamics, or
+    /// out-of-range sizes.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        check_known_fields(
+            doc,
+            &["scenario", "dynamics", "eta", "n", "interactions", "replicas", "seed"],
+        )?;
+        let scenario = doc
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("field \"scenario\" (string) is required")?
+            .to_string();
+        by_name(&scenario).map_err(|e| e.to_string())?;
+        let dynamics = doc
+            .get("dynamics")
+            .map(|v| v.as_str().ok_or("field \"dynamics\" must be a string"))
+            .transpose()?
+            .unwrap_or("best-response")
+            .to_string();
+        if !matches!(dynamics.as_str(), "best-response" | "logit" | "imitation") {
+            return Err(format!(
+                "unknown dynamics {dynamics:?} (best-response|logit|imitation)"
+            ));
+        }
+        let eta = match doc.get("eta") {
+            None => DEFAULT_ETA,
+            Some(value) => value.as_f64().ok_or("field \"eta\" must be a number")?,
+        };
+        if !eta.is_finite() || eta.abs() > 100.0 {
+            return Err(format!("eta must be finite with |eta| <= 100, got {eta}"));
+        }
+        let n = field_u64(doc, "n", 10_000)?;
+        if !(2..=MAX_N).contains(&n) {
+            return Err(format!("n must be in 2..={MAX_N}, got {n}"));
+        }
+        let interactions = field_u64(doc, "interactions", 30 * n)?;
+        if interactions > MAX_INTERACTIONS {
+            return Err(format!(
+                "interactions must be <= {MAX_INTERACTIONS}, got {interactions}"
+            ));
+        }
+        let replicas = field_u64(doc, "replicas", 4)?;
+        if !(1..=MAX_REPLICAS).contains(&replicas) {
+            return Err(format!("replicas must be in 1..={MAX_REPLICAS}, got {replicas}"));
+        }
+        let seed = field_u64(doc, "seed", 42)?;
+        // Only logit consults eta; normalizing it for the other rules
+        // keeps one cache entry per actually-distinct computation.
+        let eta = if dynamics == "logit" { eta } else { DEFAULT_ETA };
+        Ok(SimulateRequest {
+            scenario,
+            dynamics,
+            eta,
+            n,
+            interactions,
+            replicas,
+            seed,
+        })
+    }
+
+    /// The canonical cache-key string: fixed field order, every default
+    /// explicit. Equal requests — however spelled — canonicalize
+    /// identically.
+    pub fn canonical(&self) -> String {
+        Json::obj([
+            ("endpoint", Json::from("simulate")),
+            ("scenario", Json::from(self.scenario.as_str())),
+            ("dynamics", Json::from(self.dynamics.as_str())),
+            ("eta", Json::from(self.eta)),
+            ("n", Json::from(self.n)),
+            ("interactions", Json::from(self.interactions)),
+            ("replicas", Json::from(self.replicas)),
+            ("seed", Json::from(self.seed)),
+        ])
+        .encode()
+    }
+
+    /// The revision rule.
+    pub fn rule(&self) -> DynamicsRule {
+        match self.dynamics.as_str() {
+            "best-response" => DynamicsRule::BestResponse,
+            "logit" => DynamicsRule::Logit { eta: self.eta },
+            _ => DynamicsRule::Imitation,
+        }
+    }
+}
+
+/// What `/solve` should solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveTarget {
+    /// A registry scenario by name.
+    Scenario(String),
+    /// An explicit game.
+    Game {
+        /// `symmetric`, `zero-sum`, or `bimatrix`.
+        kind: String,
+        /// Row player's payoff matrix.
+        row: Vec<Vec<f64>>,
+        /// Column player's payoffs (bimatrix only).
+        col: Option<Vec<Vec<f64>>>,
+    },
+}
+
+/// A validated `/solve` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// The game to solve.
+    pub target: SolveTarget,
+}
+
+fn parse_matrix(value: &Json, key: &str) -> Result<Vec<Vec<f64>>, String> {
+    let rows = value
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} must be an array of arrays"))?;
+    if rows.is_empty() || rows.len() > MAX_ZEROSUM_K {
+        return Err(format!("{key:?} must have 1..={MAX_ZEROSUM_K} rows"));
+    }
+    rows.iter()
+        .map(|row| {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| format!("field {key:?} must be an array of arrays"))?;
+            cells
+                .iter()
+                .map(|cell| {
+                    let v = cell
+                        .as_f64()
+                        .ok_or_else(|| format!("{key:?} entries must be numbers"))?;
+                    if !v.is_finite() {
+                        return Err(format!("{key:?} entries must be finite"));
+                    }
+                    Ok(v)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl SolveRequest {
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on structural problems; game-shape
+    /// problems (ragged or non-square matrices) surface from the solver
+    /// at execution time.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        check_known_fields(doc, &["scenario", "game"])?;
+        match (doc.get("scenario"), doc.get("game")) {
+            (Some(_), Some(_)) => Err("give either \"scenario\" or \"game\", not both".into()),
+            (Some(name), None) => {
+                let name = name
+                    .as_str()
+                    .ok_or("field \"scenario\" must be a string")?
+                    .to_string();
+                by_name(&name).map_err(|e| e.to_string())?;
+                Ok(SolveRequest {
+                    target: SolveTarget::Scenario(name),
+                })
+            }
+            (None, Some(game)) => {
+                check_known_fields(game, &["kind", "row", "col"])?;
+                let kind = game
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("field \"game.kind\" (string) is required")?
+                    .to_string();
+                if !matches!(kind.as_str(), "symmetric" | "zero-sum" | "bimatrix") {
+                    return Err(format!(
+                        "unknown game kind {kind:?} (symmetric|zero-sum|bimatrix)"
+                    ));
+                }
+                let row = parse_matrix(
+                    game.get("row").ok_or("field \"game.row\" is required")?,
+                    "row",
+                )?;
+                let col = match game.get("col") {
+                    Some(value) => Some(parse_matrix(value, "col")?),
+                    None => None,
+                };
+                if (kind == "bimatrix") != col.is_some() {
+                    return Err("\"game.col\" is required for bimatrix games and \
+                         forbidden otherwise"
+                        .into());
+                }
+                Ok(SolveRequest {
+                    target: SolveTarget::Game { kind, row, col },
+                })
+            }
+            (None, None) => Err("give \"scenario\" or \"game\"".into()),
+        }
+    }
+
+    /// The canonical cache-key string. Like the simulate form, it
+    /// re-parses through [`SolveRequest::from_json`] — the async job
+    /// executor depends on that round trip.
+    pub fn canonical(&self) -> String {
+        match &self.target {
+            SolveTarget::Scenario(name) => Json::obj([
+                ("endpoint", Json::from("solve")),
+                ("scenario", Json::from(name.as_str())),
+            ])
+            .encode(),
+            SolveTarget::Game { kind, row, col } => {
+                let matrix = |m: &Vec<Vec<f64>>| Json::arr(m.iter().map(Json::floats));
+                let mut game = vec![
+                    ("kind", Json::from(kind.as_str())),
+                    ("row", matrix(row)),
+                ];
+                if let Some(col) = col {
+                    game.push(("col", matrix(col)));
+                }
+                Json::obj([
+                    ("endpoint", Json::from("solve")),
+                    ("game", Json::obj(game)),
+                ])
+                .encode()
+            }
+        }
+    }
+
+    fn build_game(&self) -> Result<MatrixGame, String> {
+        match &self.target {
+            SolveTarget::Scenario(name) => {
+                Ok(by_name(name).map_err(|e| e.to_string())?.game().clone())
+            }
+            SolveTarget::Game { kind, row, col } => match kind.as_str() {
+                "symmetric" => MatrixGame::symmetric(row.clone()).map_err(|e| e.to_string()),
+                "zero-sum" => MatrixGame::zero_sum(row.clone()).map_err(|e| e.to_string()),
+                _ => MatrixGame::bimatrix(
+                    row.clone(),
+                    col.clone().expect("validated: bimatrix has col"),
+                )
+                .map_err(|e| e.to_string()),
+            },
+        }
+    }
+}
+
+fn equilibrium_json(eq: &Equilibrium) -> Json {
+    Json::obj([
+        ("x", Json::floats(&eq.x)),
+        ("y", Json::floats(&eq.y)),
+        ("row_value", Json::from(eq.row_value)),
+        ("col_value", Json::from(eq.col_value)),
+    ])
+}
+
+/// Solves a validated request. Pure: equal requests give equal documents.
+///
+/// # Errors
+///
+/// A human-readable message (the endpoint's 400 body) when the game is
+/// malformed or too large for the requested solver path.
+pub fn execute_solve(request: &SolveRequest) -> Result<Json, String> {
+    let game = request.build_game()?;
+    let k = game.k();
+    let zero_sum = game.is_zero_sum(1e-12);
+    if k > MAX_SOLVE_K && !zero_sum {
+        return Err(format!(
+            "game too large: support enumeration handles k <= {MAX_SOLVE_K} \
+             (zero-sum games go through the LP up to k <= {MAX_ZEROSUM_K})"
+        ));
+    }
+    let equilibria = if k <= MAX_SOLVE_K {
+        enumerate_equilibria(&game)
+    } else {
+        Vec::new()
+    };
+    let symmetric_eqs: Vec<Equilibrium> = if game.is_symmetric(1e-9) && k <= MAX_SOLVE_K {
+        popgame_solver::symmetric_equilibria(&game).unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let mut fields = vec![
+        ("k", Json::from(k)),
+        ("symmetric", Json::from(game.is_symmetric(1e-9))),
+        ("zero_sum", Json::from(zero_sum)),
+        (
+            "equilibria",
+            Json::arr(equilibria.iter().map(equilibrium_json)),
+        ),
+        (
+            "symmetric_equilibria",
+            Json::arr(symmetric_eqs.iter().map(equilibrium_json)),
+        ),
+    ];
+    if zero_sum {
+        let solution = solve_zero_sum(game.row_matrix()).map_err(|e| e.to_string())?;
+        fields.push((
+            "minimax",
+            Json::obj([
+                ("value", Json::from(solution.value)),
+                ("row_strategy", Json::floats(&solution.row_strategy)),
+                ("col_strategy", Json::floats(&solution.col_strategy)),
+            ]),
+        ));
+    }
+    Ok(Json::obj(fields))
+}
+
+/// Runs a validated simulation request: `replicas` independent batched
+/// count-level runs fanned out by the deterministic replica harness, each
+/// measured against the scenario's exact symmetric equilibria.
+///
+/// Deterministic: equal `(request, seed)` pairs produce byte-identical
+/// encoded documents. The cancellation flag is checked between replica
+/// batches; a cancelled run returns an error and must not be cached.
+///
+/// # Errors
+///
+/// A message when the scenario/dynamics combination is invalid (e.g.
+/// asymmetric scenarios carry no one-population dynamics), or
+/// `"cancelled"` when the stop flag aborted the run.
+pub fn execute_simulate(
+    request: &SimulateRequest,
+    cancel: &AtomicBool,
+) -> Result<Json, String> {
+    let scenario = by_name(&request.scenario).map_err(|e| e.to_string())?;
+    let dynamics = scenario.dynamics(request.rule()).map_err(|e| e.to_string())?;
+    let equilibria = scenario.symmetric_equilibria();
+    let k = scenario.game().k();
+    let uniform = vec![1.0 / k as f64; k];
+    // Probe the engine once so invalid profiles fail fast with a message.
+    engine_from_profile(dynamics.clone(), &uniform, request.n).map_err(|e| e.to_string())?;
+
+    let horizon = request.interactions;
+    let replica_results = run_replicas_cancellable(
+        request.seed,
+        request.replicas,
+        cancel,
+        |_replica, mut rng| {
+            let mut engine = engine_from_profile(dynamics.clone(), &uniform, request.n)
+                .expect("probed above");
+            let batch = engine.suggested_batch();
+            // Chunked execution with cancellation checks. Chunks are a
+            // multiple of the leap size, so the leap sequence — and hence
+            // the RNG stream — is identical to one uninterrupted run.
+            let chunk = batch.saturating_mul(64).max(1);
+            let mut done = 0u64;
+            while done < horizon {
+                if cancel.load(Ordering::Relaxed) {
+                    // Partial replica: the outer flag check discards it.
+                    break;
+                }
+                let burst = chunk.min(horizon - done);
+                engine.run_batched(burst, batch, &mut rng).expect("n >= 2");
+                done += burst;
+            }
+            let freq = engine.frequencies();
+            let tv = equilibria
+                .iter()
+                .map(|eq| tv_distance(&freq, &eq.x).expect("matching dimensions"))
+                .fold(f64::INFINITY, f64::min);
+            let consensus = engine.is_consensus();
+            (freq, tv, consensus)
+        },
+    );
+    let Some(results) = replica_results else {
+        return Err("cancelled".to_string());
+    };
+    if cancel.load(Ordering::Relaxed) {
+        // The flag may have been raised after the last replica started;
+        // a partially-run replica could have slipped into the results.
+        return Err("cancelled".to_string());
+    }
+    let frequencies: Vec<Vec<f64>> = results.iter().map(|(f, _, _)| f.clone()).collect();
+    let mean_freq = mean_vectors(&frequencies);
+    let replica_tv: Vec<f64> = results.iter().map(|&(_, tv, _)| tv).collect();
+    let mean_tv = replica_tv.iter().sum::<f64>() / replica_tv.len() as f64;
+    let consensus_replicas = results.iter().filter(|&&(_, _, c)| c).count();
+    Ok(Json::obj([
+        ("scenario", Json::from(request.scenario.as_str())),
+        ("dynamics", Json::from(request.dynamics.as_str())),
+        ("eta", Json::from(request.eta)),
+        ("n", Json::from(request.n)),
+        ("interactions", Json::from(request.interactions)),
+        ("replicas", Json::from(request.replicas)),
+        ("seed", Json::from(request.seed)),
+        ("symmetric_equilibria", Json::from(equilibria.len())),
+        ("mean_frequencies", Json::floats(&mean_freq)),
+        ("mean_tv_to_equilibrium", Json::from(mean_tv)),
+        ("replica_tv", Json::floats(&replica_tv)),
+        ("consensus_replicas", Json::from(consensus_replicas)),
+    ]))
+}
+
+fn parse_body(request: &Request) -> Result<Json, String> {
+    let text = std::str::from_utf8(&request.body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("empty body (expected a JSON object)".to_string());
+    }
+    Json::parse(text).map_err(|e| e.to_string())
+}
+
+fn healthz(state: &AppState) -> Response {
+    let (queued, running, done, failed, cancelled) = state.jobs.counts();
+    let doc = Json::obj([
+        ("status", Json::from("ok")),
+        (
+            "uptime_ms",
+            Json::from(state.started.elapsed().as_millis() as u64),
+        ),
+        (
+            "jobs",
+            Json::obj([
+                ("queued", Json::from(queued)),
+                ("running", Json::from(running)),
+                ("done", Json::from(done)),
+                ("failed", Json::from(failed)),
+                ("cancelled", Json::from(cancelled)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("entries", Json::from(state.cache.len())),
+                ("hits", Json::from(state.cache.hits())),
+                ("misses", Json::from(state.cache.misses())),
+            ]),
+        ),
+        (
+            "rejected_503",
+            Json::from(
+                state
+                    .overflows
+                    .get()
+                    .map_or(0, |c| c.load(Ordering::Relaxed)),
+            ),
+        ),
+    ]);
+    Response::json(200, doc.encode())
+}
+
+/// Serves a cacheable endpoint: canonical-key lookup, cold execution,
+/// insertion. Hit and cold bodies are byte-identical; only the
+/// `x-popgame-cache` header differs. Bodies are shared `Arc`s — the hot
+/// hit path copies nothing.
+fn serve_cached(
+    state: &AppState,
+    canonical: String,
+    execute: impl FnOnce() -> Result<Json, String>,
+) -> Response {
+    if let Some(body) = state.cache.get(&canonical) {
+        return Response::json_shared(200, body).with_header("x-popgame-cache", "hit");
+    }
+    match execute() {
+        Ok(doc) => {
+            let body = Arc::new(doc.encode());
+            state.cache.insert(canonical, Arc::clone(&body));
+            Response::json_shared(200, body).with_header("x-popgame-cache", "miss")
+        }
+        Err(message) => Response::error(400, &message),
+    }
+}
+
+fn simulate_endpoint(state: &AppState, request: &Request) -> Response {
+    let parsed = parse_body(request).and_then(|doc| SimulateRequest::from_json(&doc));
+    match parsed {
+        Ok(sim) => {
+            let work = sim.interactions.saturating_mul(sim.replicas);
+            if work > MAX_SYNC_WORK {
+                return Response::error(
+                    400,
+                    &format!(
+                        "interactions x replicas = {work} exceeds the synchronous \
+                         budget of {MAX_SYNC_WORK}; submit this sweep via POST /jobs"
+                    ),
+                );
+            }
+            serve_cached(state, sim.canonical(), || {
+                execute_simulate(&sim, &AtomicBool::new(false))
+            })
+        }
+        Err(message) => Response::error(400, &message),
+    }
+}
+
+fn solve_endpoint(state: &AppState, request: &Request) -> Response {
+    let parsed = parse_body(request).and_then(|doc| SolveRequest::from_json(&doc));
+    match parsed {
+        Ok(solve) => serve_cached(state, solve.canonical(), || execute_solve(&solve)),
+        Err(message) => Response::error(400, &message),
+    }
+}
+
+/// Parses a job envelope into the canonical string it will execute.
+///
+/// # Errors
+///
+/// A human-readable message for the submit-time 400.
+pub fn job_canonical(doc: &Json) -> Result<String, String> {
+    let kind = doc
+        .get("kind")
+        .map(|v| v.as_str().ok_or("field \"kind\" must be a string"))
+        .transpose()?
+        .unwrap_or("simulate");
+    match kind {
+        "simulate" => Ok(SimulateRequest::from_json(doc)?.canonical()),
+        "solve" => Ok(SolveRequest::from_json(doc)?.canonical()),
+        other => Err(format!("unknown job kind {other:?} (simulate|solve)")),
+    }
+}
+
+/// Executes a canonical request string (the job executor's core, also
+/// used by the daemon's warmup). The canonical form parses with the same
+/// validators clients go through.
+///
+/// # Errors
+///
+/// Propagates executor errors (including `"cancelled"`).
+pub fn execute_canonical(canonical: &str, cancel: &AtomicBool) -> Result<Json, String> {
+    let doc = Json::parse(canonical).map_err(|e| format!("corrupt canonical form: {e}"))?;
+    match doc.get("endpoint").and_then(Json::as_str) {
+        Some("simulate") => execute_simulate(&SimulateRequest::from_json(&doc)?, cancel),
+        Some("solve") => execute_solve(&SolveRequest::from_json(&doc)?),
+        _ => Err("corrupt canonical form: missing endpoint".to_string()),
+    }
+}
+
+fn submit_job(state: &AppState, request: &Request) -> Response {
+    let canonical = match parse_body(request).and_then(|doc| job_canonical(&doc)) {
+        Ok(canonical) => canonical,
+        Err(message) => return Response::error(400, &message),
+    };
+    match state.jobs.submit(canonical) {
+        Ok(job) => Response::json(
+            202,
+            Json::obj([
+                ("job_id", Json::from(job.id)),
+                ("status", Json::from(job.state().label())),
+            ])
+            .encode(),
+        ),
+        Err(crate::jobs::QueueFull) => Response::error(503, "job queue is full"),
+    }
+}
+
+fn job_detail(state: &AppState, method: &str, id_text: &str) -> Response {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id {id_text:?}"));
+    };
+    match method {
+        "GET" => {
+            let Some(job) = state.jobs.get(id) else {
+                return Response::error(404, &format!("no job {id}"));
+            };
+            let status = job.state();
+            let mut fields = vec![
+                ("job_id", Json::from(id)),
+                ("status", Json::from(status.label())),
+            ];
+            match &status {
+                JobState::Done(body) => {
+                    let result = Json::parse(body).expect("stored bodies are valid JSON");
+                    fields.push(("result", result));
+                }
+                JobState::Failed(message) => {
+                    fields.push(("error", Json::from(message.as_str())));
+                }
+                _ => {}
+            }
+            Response::json(200, Json::obj(fields).encode())
+        }
+        "DELETE" => match state.jobs.cancel(id) {
+            Some(job) => Response::json(
+                200,
+                Json::obj([
+                    ("job_id", Json::from(id)),
+                    ("status", Json::from(job.state().label())),
+                ])
+                .encode(),
+            ),
+            None => Response::error(404, &format!("no job {id}")),
+        },
+        _ => Response::error(405, "use GET or DELETE on /jobs/{id}"),
+    }
+}
+
+fn shutdown_endpoint(state: &AppState) -> Response {
+    let guard = state.shutdown_tx.lock().expect("shutdown tx lock");
+    match guard.as_ref() {
+        Some(tx) => {
+            let _ = tx.try_send(()); // already-signalled is fine
+            Response::json(
+                200,
+                Json::obj([("status", Json::from("shutting-down"))]).encode(),
+            )
+        }
+        None => Response::error(403, "remote shutdown is disabled (run with --allow-remote-shutdown)"),
+    }
+}
+
+/// The `GET /scenarios` body, computed once: the registry (and its
+/// solver-computed equilibrium counts) is static for the process.
+fn scenarios_body() -> Arc<String> {
+    static BODY: OnceLock<Arc<String>> = OnceLock::new();
+    Arc::clone(BODY.get_or_init(|| {
+        Arc::new(popgame_solver::scenarios::registry_listing().encode())
+    }))
+}
+
+/// The router: method × path → handler.
+pub fn route(state: &AppState, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/scenarios") => Response::json_shared(200, scenarios_body()),
+        ("POST", "/solve") => solve_endpoint(state, request),
+        ("POST", "/simulate") => simulate_endpoint(state, request),
+        ("POST", "/jobs") => submit_job(state, request),
+        ("POST", "/shutdown") => shutdown_endpoint(state),
+        (method, path) => {
+            if let Some(id_text) = path.strip_prefix("/jobs/") {
+                return job_detail(state, method, id_text);
+            }
+            if matches!(
+                path,
+                "/healthz" | "/scenarios" | "/solve" | "/simulate" | "/jobs" | "/shutdown"
+            ) {
+                return Response::error(405, &format!("{method} not allowed on {path}"));
+            }
+            Response::error(404, &format!("no such endpoint: {path}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_requests_fill_defaults_and_canonicalize_identically() {
+        let sparse = Json::parse(r#"{"scenario": "hawk-dove"}"#).unwrap();
+        let spelled = Json::parse(
+            r#"{"seed": 42, "n": 10000, "scenario": "hawk-dove",
+                "dynamics": "best-response", "replicas": 4, "interactions": 300000}"#,
+        )
+        .unwrap();
+        let a = SimulateRequest::from_json(&sparse).unwrap();
+        let b = SimulateRequest::from_json(&spelled).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        // The canonical form re-parses through the same validator.
+        let reparsed =
+            SimulateRequest::from_json(&Json::parse(&a.canonical()).unwrap()).unwrap();
+        assert_eq!(reparsed, a);
+    }
+
+    #[test]
+    fn eta_only_splits_logit_cache_keys() {
+        let br1 = Json::parse(r#"{"scenario":"hawk-dove","eta":3.5}"#).unwrap();
+        let br2 = Json::parse(r#"{"scenario":"hawk-dove"}"#).unwrap();
+        assert_eq!(
+            SimulateRequest::from_json(&br1).unwrap().canonical(),
+            SimulateRequest::from_json(&br2).unwrap().canonical()
+        );
+        let lo1 =
+            Json::parse(r#"{"scenario":"hawk-dove","dynamics":"logit","eta":3.5}"#).unwrap();
+        let lo2 = Json::parse(r#"{"scenario":"hawk-dove","dynamics":"logit"}"#).unwrap();
+        assert_ne!(
+            SimulateRequest::from_json(&lo1).unwrap().canonical(),
+            SimulateRequest::from_json(&lo2).unwrap().canonical()
+        );
+    }
+
+    #[test]
+    fn invalid_simulate_requests_are_rejected() {
+        for (body, needle) in [
+            (r#"{"scenario": "no-such-game"}"#, "unknown scenario"),
+            (r#"{"scenario": "hawk-dove", "dynamics": "quantal"}"#, "unknown dynamics"),
+            (r#"{"scenario": "hawk-dove", "n": 1}"#, "n must be"),
+            (r#"{"scenario": "hawk-dove", "n": 99999999999}"#, "n must be"),
+            (r#"{"scenario": "hawk-dove", "replicas": 0}"#, "replicas"),
+            (r#"{"scenario": "hawk-dove", "seed": -1}"#, "seed"),
+            (r#"{"scenario": "hawk-dove", "typo_field": 1}"#, "unknown field"),
+            (r#"{"scenario": "hawk-dove", "n": 3.5}"#, "integer"),
+            (r#"[1,2]"#, "object"),
+            (r#"{}"#, "required"),
+        ] {
+            let doc = Json::parse(body).unwrap();
+            let err = SimulateRequest::from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn solve_requests_validate_and_canonicalize() {
+        let by_scenario = Json::parse(r#"{"scenario": "matching-pennies"}"#).unwrap();
+        let solve = SolveRequest::from_json(&by_scenario).unwrap();
+        assert!(solve.canonical().contains("matching-pennies"));
+        let explicit = Json::parse(
+            r#"{"game": {"kind": "symmetric", "row": [[0.0, 2.0], [1.0, 1.0]]}}"#,
+        )
+        .unwrap();
+        let solve = SolveRequest::from_json(&explicit).unwrap();
+        assert!(solve.canonical().contains("\"kind\":\"symmetric\""));
+        for (body, needle) in [
+            (r#"{}"#, "scenario"),
+            (r#"{"scenario": "x", "game": {}}"#, "not both"),
+            (r#"{"game": {"kind": "mystery", "row": [[1.0]]}}"#, "unknown game kind"),
+            (r#"{"game": {"kind": "symmetric"}}"#, "row"),
+            (r#"{"game": {"kind": "symmetric", "row": [[1.0]], "col": [[1.0]]}}"#, "col"),
+            (r#"{"game": {"kind": "bimatrix", "row": [[1.0]]}}"#, "col"),
+            (r#"{"game": {"kind": "symmetric", "row": 7}}"#, "array"),
+        ] {
+            let doc = Json::parse(body).unwrap();
+            assert!(
+                SolveRequest::from_json(&doc).unwrap_err().contains(needle),
+                "{body}"
+            );
+        }
+    }
+
+    #[test]
+    fn execute_solve_matches_the_solver() {
+        let doc = Json::parse(r#"{"scenario": "hawk-dove"}"#).unwrap();
+        let out = execute_solve(&SolveRequest::from_json(&doc).unwrap()).unwrap();
+        assert_eq!(out.get("k").unwrap().as_u64(), Some(2));
+        assert_eq!(out.get("symmetric").unwrap().as_bool(), Some(true));
+        assert_eq!(out.get("equilibria").unwrap().as_array().unwrap().len(), 3);
+        let sym = out.get("symmetric_equilibria").unwrap().as_array().unwrap();
+        assert_eq!(sym.len(), 1);
+        let hawk = sym[0].get("x").unwrap().as_array().unwrap()[0].as_f64().unwrap();
+        assert!((hawk - 0.5).abs() < 1e-12);
+        // Zero-sum games carry the minimax block.
+        let doc = Json::parse(r#"{"scenario": "matching-pennies"}"#).unwrap();
+        let out = execute_solve(&SolveRequest::from_json(&doc).unwrap()).unwrap();
+        let value = out.get("minimax").unwrap().get("value").unwrap().as_f64().unwrap();
+        assert!(value.abs() < 1e-9);
+    }
+
+    #[test]
+    fn execute_simulate_is_deterministic_and_measures_tv() {
+        let doc = Json::parse(
+            r#"{"scenario": "rock-paper-scissors", "n": 1000,
+                "interactions": 30000, "replicas": 3, "seed": 5}"#,
+        )
+        .unwrap();
+        let request = SimulateRequest::from_json(&doc).unwrap();
+        let never = AtomicBool::new(false);
+        let a = execute_simulate(&request, &never).unwrap();
+        let b = execute_simulate(&request, &never).unwrap();
+        assert_eq!(a.encode(), b.encode(), "byte-identical recomputation");
+        let tv = a.get("mean_tv_to_equilibrium").unwrap().as_f64().unwrap();
+        assert!((0.0..0.5).contains(&tv), "RPS best response near uniform: {tv}");
+        assert_eq!(
+            a.get("replica_tv").unwrap().as_array().unwrap().len(),
+            3
+        );
+        // Pre-cancelled executions abort.
+        let cancelled = AtomicBool::new(true);
+        assert_eq!(
+            execute_simulate(&request, &cancelled).unwrap_err(),
+            "cancelled"
+        );
+        // Asymmetric scenarios carry no one-population dynamics.
+        let doc = Json::parse(r#"{"scenario": "matching-pennies", "n": 100}"#).unwrap();
+        let request = SimulateRequest::from_json(&doc).unwrap();
+        assert!(execute_simulate(&request, &never).is_err());
+    }
+
+    #[test]
+    fn canonical_round_trip_through_execute_canonical() {
+        let doc = Json::parse(r#"{"scenario": "stag-hunt", "n": 500, "replicas": 2}"#).unwrap();
+        let request = SimulateRequest::from_json(&doc).unwrap();
+        let never = AtomicBool::new(false);
+        let direct = execute_simulate(&request, &never).unwrap();
+        let via_canonical = execute_canonical(&request.canonical(), &never).unwrap();
+        assert_eq!(direct.encode(), via_canonical.encode());
+        assert!(execute_canonical("{}", &never).is_err());
+        assert!(execute_canonical("not json", &never).is_err());
+    }
+
+    #[test]
+    fn explicit_game_jobs_round_trip_through_the_canonical_form() {
+        // The async path executes the canonical string — it must re-parse
+        // through the same validator for every request shape, including
+        // solve-by-explicit-game.
+        let doc = Json::parse(
+            r#"{"kind":"solve","game":{"kind":"symmetric","row":[[0.0,2.0],[1.0,1.0]]}}"#,
+        )
+        .unwrap();
+        let canonical = job_canonical(&doc).unwrap();
+        let never = AtomicBool::new(false);
+        let via_job = execute_canonical(&canonical, &never).unwrap();
+        let direct = execute_solve(&SolveRequest::from_json(&doc).unwrap()).unwrap();
+        assert_eq!(via_job.encode(), direct.encode());
+        // Bimatrix (with col) round-trips too.
+        let doc = Json::parse(
+            r#"{"kind":"solve","game":{"kind":"bimatrix","row":[[1.0,0.0],[0.0,1.0]],"col":[[1.0,0.0],[0.0,1.0]]}}"#,
+        )
+        .unwrap();
+        let canonical = job_canonical(&doc).unwrap();
+        assert!(execute_canonical(&canonical, &never).is_ok());
+    }
+}

@@ -1,0 +1,95 @@
+//! `popgamed` — the simulation/solver daemon.
+//!
+//! ```text
+//! popgamed [--addr 127.0.0.1:8095] [--http-workers N] [--job-workers N]
+//!          [--queue-depth N] [--job-queue-depth N]
+//!          [--allow-remote-shutdown]
+//! ```
+//!
+//! Prints `popgamed listening on http://ADDR` once ready (port 0 in
+//! `--addr` picks an ephemeral port, reported in that line), then serves
+//! until the process is signalled — or, with `--allow-remote-shutdown`,
+//! until a `POST /shutdown` arrives, upon which it drains gracefully and
+//! exits 0. See the crate docs and the README "Serving" section for the
+//! endpoint reference.
+
+use popgame_service::{PopgameService, ServiceConfig};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn parse_args(args: &[String]) -> Result<ServiceConfig, String> {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:8095".to_string(),
+        ..ServiceConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value_of("--addr")?,
+            "--http-workers" => {
+                config.http_workers = value_of("--http-workers")?
+                    .parse()
+                    .map_err(|e| format!("--http-workers: {e}"))?;
+            }
+            "--job-workers" => {
+                config.job_workers = value_of("--job-workers")?
+                    .parse()
+                    .map_err(|e| format!("--job-workers: {e}"))?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = value_of("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--job-queue-depth" => {
+                config.job_queue_depth = value_of("--job-queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--job-queue-depth: {e}"))?;
+            }
+            "--allow-remote-shutdown" => config.remote_shutdown = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("usage error: {message}");
+            eprintln!(
+                "usage: popgamed [--addr HOST:PORT] [--http-workers N] [--job-workers N] \
+                 [--queue-depth N] [--job-queue-depth N] [--allow-remote-shutdown]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let remote_shutdown = config.remote_shutdown;
+    let service = match PopgameService::start(config) {
+        Ok(service) => service,
+        Err(error) => {
+            eprintln!("error: failed to bind: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("popgamed listening on http://{}", service.local_addr());
+    let _ = std::io::stdout().flush();
+    if remote_shutdown {
+        service.wait_for_remote_shutdown();
+        eprintln!("popgamed: shutdown requested, draining");
+        service.shutdown();
+        ExitCode::SUCCESS
+    } else {
+        // Serve until the process is signalled.
+        loop {
+            std::thread::park();
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The sharded, content-addressed result cache.
+//!
+//! Every cacheable endpoint reduces its request to a **canonical string**
+//! (fixed field order, deterministic float formatting — see
+//! `api::SimulateRequest::canonical`) that fully determines the response:
+//! simulations are bitwise deterministic per `(request, seed)` under the
+//! PR 1 determinism contract, and the solver is a pure function of the
+//! game. Cache hits are therefore *exact* — the stored body is byte
+//! identical to what a cold computation would produce.
+//!
+//! Sharding: an FNV-1a hash of the canonical key picks one of `S`
+//! mutex-guarded shards, so concurrent workers rarely contend on the same
+//! lock. Keys are compared by full string equality inside the shard —
+//! the hash only routes, it never decides identity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// 64-bit FNV-1a, the classic cheap content hash (shard router).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Default per-shard entry cap (see [`ResultCache::with_capacity`]).
+const DEFAULT_SHARD_CAPACITY: usize = 8192;
+
+/// A sharded `canonical request → response body` map with hit/miss
+/// counters and a per-shard entry cap, so a stream of never-repeating
+/// requests (e.g. fresh seeds) cannot grow the daemon without bound.
+pub struct ResultCache {
+    shards: Vec<Mutex<HashMap<String, Arc<String>>>>,
+    /// Bitmask over the (power-of-two) shard count.
+    mask: u64,
+    /// Maximum entries per shard; insertion past it evicts an arbitrary
+    /// resident entry (correctness never depends on residency — an
+    /// evicted result is just recomputed).
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache with at least `shards` shards (rounded up to a
+    /// power of two, minimum 1) and the default per-shard capacity.
+    pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// [`ResultCache::new`] with an explicit per-shard entry cap.
+    pub fn with_capacity(shards: usize, shard_capacity: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        ResultCache {
+            shards: (0..count).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: count as u64 - 1,
+            shard_capacity: shard_capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Arc<String>>> {
+        &self.shards[(fnv1a64(key.as_bytes()) & self.mask) as usize]
+    }
+
+    /// Looks a canonical key up, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<String>> {
+        let found = self.shard(key).lock().expect("cache shard lock").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a response body under its canonical key, evicting an
+    /// arbitrary entry when the shard is at capacity.
+    pub fn insert(&self, key: String, body: Arc<String>) {
+        let mut shard = self.shard(&key).lock().expect("cache shard lock");
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
+            if let Some(victim) = shard.keys().next().cloned() {
+                shard.remove(&victim);
+            }
+        }
+        shard.insert(key, body);
+    }
+
+    /// Number of cached entries (sums all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let cache = ResultCache::new(4);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("k1"), None);
+        cache.insert("k1".to_string(), Arc::new("v1".to_string()));
+        assert_eq!(cache.get("k1").as_deref().map(String::as_str), Some("v1"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        for (requested, expect) in [(0usize, 1usize), (1, 1), (3, 4), (16, 16), (17, 32)] {
+            assert_eq!(ResultCache::new(requested).shards.len(), expect);
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_each_shard() {
+        let cache = ResultCache::with_capacity(1, 4);
+        for i in 0..100 {
+            cache.insert(format!("key-{i}"), Arc::new(format!("v{i}")));
+        }
+        assert!(cache.len() <= 4, "cap must hold, got {}", cache.len());
+        // Re-inserting a resident key is an update, not an eviction.
+        let survivor = (0..100)
+            .map(|i| format!("key-{i}"))
+            .find(|k| cache.get(k).is_some())
+            .expect("some entry survives");
+        cache.insert(survivor.clone(), Arc::new("updated".to_string()));
+        assert_eq!(cache.get(&survivor).as_deref().map(String::as_str), Some("updated"));
+        assert!(cache.len() <= 4);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(ResultCache::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = format!("key-{}", (t * 7 + i) % 50);
+                        if cache.get(&key).is_none() {
+                            cache.insert(key.clone(), Arc::new(format!("body-{key}")));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 50);
+        for i in 0..50 {
+            let key = format!("key-{i}");
+            if let Some(body) = cache.get(&key) {
+                assert_eq!(*body, format!("body-{key}"));
+            }
+        }
+    }
+}

@@ -10,8 +10,11 @@
 //!   index). Deterministic, so the batched engine tabulates it and
 //!   τ-leaps.
 //! * **Logit / smoothed best response** — sample the new strategy from
-//!   `softmax(η · u(·, responder))`. Randomized: engines fall back to
-//!   exact per-interaction stepping automatically.
+//!   `softmax(η · u(·, responder))`. Randomized, but its per-pair outcome
+//!   law is closed-form, so it declares a
+//!   [`pair_kernel`](EnumerableProtocol::pair_kernel) and τ-leaps on the
+//!   batched engine like the deterministic rules (the kernel depends only
+//!   on the encounter pair, never on the counts).
 //! * **Imitation** — copy the responder's strategy exactly when the
 //!   responder's realized payoff in this encounter strictly beats the
 //!   initiator's. Deterministic, tabulated, τ-leapable.
@@ -86,7 +89,9 @@ pub struct GameDynamics {
     /// `best_reply[j]` — precomputed for [`DynamicsRule::BestResponse`].
     best_reply: Vec<u8>,
     /// `logit_cdf[j]` — cumulative softmax weights per responder state,
-    /// precomputed for [`DynamicsRule::Logit`].
+    /// precomputed for [`DynamicsRule::Logit`]. The pmf the τ-leap kernel
+    /// declares is exactly the adjacent-difference of this CDF, so
+    /// per-interaction sampling and kernel leaping follow the same law.
     logit_cdf: Vec<Vec<f64>>,
 }
 
@@ -215,6 +220,31 @@ impl EnumerableProtocol for GameDynamics {
 
     fn state_at(&self, index: usize) -> u8 {
         index as u8
+    }
+
+    fn pair_kernel(&self, _i: usize, j: usize) -> Option<Vec<((usize, usize), f64)>> {
+        match self.rule {
+            // Logit's outcome law is (softmax(η·u(·, j)), j) — closed
+            // form, count-independent, hence τ-leapable. The pmf is the
+            // adjacent-difference of the CDF `interact` samples from,
+            // so both execution paths share one law bit-for-bit.
+            DynamicsRule::Logit { .. } => {
+                let cdf = &self.logit_cdf[j];
+                let mut prev = 0.0;
+                Some(
+                    cdf.iter()
+                        .enumerate()
+                        .map(|(t, &c)| {
+                            let p = c - prev;
+                            prev = c;
+                            ((t, j), p)
+                        })
+                        .collect(),
+                )
+            }
+            // Deterministic rules are tabulated directly by the engine.
+            DynamicsRule::BestResponse | DynamicsRule::Imitation => None,
+        }
     }
 }
 
@@ -400,6 +430,70 @@ mod tests {
         let low = [0.499_999_6, 0.499_999_6];
         let c = profile_counts(&low, n).unwrap();
         assert_eq!(c.iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn logit_declares_a_tau_leapable_kernel() {
+        use popgame_population::batch::KernelTable;
+        let d = GameDynamics::new(&rps(), DynamicsRule::Logit { eta: 1.0 }).unwrap();
+        let kernel = KernelTable::build(&d).unwrap().expect("logit has a kernel");
+        assert_eq!(kernel.num_states(), 3);
+        // The declared pmf matches the CDF interact() samples from.
+        for j in 0..3 {
+            let outs = kernel.outcomes(0, j);
+            let total: f64 = outs.iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            for &((_, rj), _) in outs {
+                assert_eq!(rj as usize, j, "responder never changes");
+            }
+        }
+        // Deterministic rules keep using the transition table (no kernel).
+        let br = GameDynamics::new(&rps(), DynamicsRule::BestResponse).unwrap();
+        assert!(KernelTable::build(&br).unwrap().is_none());
+    }
+
+    #[test]
+    fn logit_step_vs_batch_chi_square() {
+        // Step-vs-batch distributional equivalence of the logit τ-leap:
+        // final hawk count on hawk-dove after a fixed horizon, exact
+        // per-interaction stepping vs τ-leaps of n/4, two-sample
+        // chi-square over the histograms.
+        use popgame_population::batch::BatchedEngine;
+        use popgame_util::rng::stream_rng;
+        let n = 12u64;
+        let horizon = 40u64;
+        let reps = 4_000u64;
+        let d = GameDynamics::new(&hawk_dove(), DynamicsRule::Logit { eta: 1.5 }).unwrap();
+        let mut hist_step = vec![0u64; n as usize + 1];
+        let mut hist_batch = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut engine =
+                BatchedEngine::from_counts(d.clone(), vec![6, 6]).unwrap();
+            let mut rng = stream_rng(31, rep);
+            for _ in 0..horizon {
+                engine.step(&mut rng);
+            }
+            hist_step[engine.counts()[0] as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(d.clone(), vec![6, 6]).unwrap();
+            let mut rng = stream_rng(0x10_617 ^ rep.wrapping_mul(0x9E37_79B9), rep);
+            engine.run_batched(horizon, n / 4, &mut rng).unwrap();
+            hist_batch[engine.counts()[0] as usize] += 1;
+        }
+        let (ta, tb) = (reps as f64, reps as f64);
+        let mut chi2 = 0.0;
+        for (&ca, &cb) in hist_step.iter().zip(&hist_batch) {
+            let total = (ca + cb) as f64;
+            if total == 0.0 {
+                continue;
+            }
+            let ea = total * ta / (ta + tb);
+            let eb = total * tb / (ta + tb);
+            chi2 += (ca as f64 - ea).powi(2) / ea + (cb as f64 - eb).powi(2) / eb;
+        }
+        // 13 cells; 99.9% quantile of chi2(12) ~ 32.9, plus leap-bias room.
+        assert!(chi2 < 45.0, "chi-square {chi2}: {hist_step:?} vs {hist_batch:?}");
     }
 
     #[test]

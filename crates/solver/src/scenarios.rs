@@ -251,6 +251,27 @@ pub fn registry() -> Vec<Scenario> {
     ]
 }
 
+/// The registry as a JSON document — one object per scenario with its
+/// shape, solver-computed equilibrium counts, and description. Shared by
+/// the `scenarios` CLI (`--list`) and `popgamed`'s `GET /scenarios`.
+pub fn registry_listing() -> popgame_util::json::Json {
+    use popgame_util::json::Json;
+    Json::arr(registry().iter().map(|s| {
+        Json::obj([
+            ("name", Json::from(s.name())),
+            ("k", Json::from(s.game().k())),
+            ("symmetric", Json::from(s.game().is_symmetric(1e-9))),
+            ("zero_sum", Json::from(s.game().is_zero_sum(1e-9))),
+            ("equilibria", Json::from(s.equilibria().len())),
+            (
+                "symmetric_equilibria",
+                Json::from(s.symmetric_equilibria().len()),
+            ),
+            ("description", Json::from(s.description())),
+        ])
+    }))
+}
+
 /// Looks a canonical scenario up by name.
 ///
 /// # Errors
@@ -283,6 +304,18 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), all.len(), "duplicate scenario names");
         assert!(by_name("nonexistent").is_err());
+    }
+
+    #[test]
+    fn registry_listing_covers_every_scenario() {
+        let listing = registry_listing();
+        let items = listing.as_array().unwrap();
+        assert_eq!(items.len(), registry().len());
+        assert!(items
+            .iter()
+            .any(|s| s.get("name").unwrap().as_str() == Some("rock-paper-scissors")));
+        // Deterministic bytes (the service caches this document).
+        assert_eq!(registry_listing().encode(), listing.encode());
     }
 
     #[test]

@@ -1,0 +1,726 @@
+//! A small, hand-rolled JSON value type with an escape-correct encoder
+//! and a strict recursive-descent parser — pure `std`, no dependencies.
+//!
+//! Three jobs, shared by the bench binaries and the `popgamed` service:
+//!
+//! 1. **Building** documents programmatically ([`Json::obj`] / [`Json::arr`]
+//!    plus `From` conversions) instead of `format!`-stitching strings.
+//! 2. **Encoding** deterministically: object fields keep insertion order,
+//!    floats use Rust's shortest-roundtrip formatting, strings are
+//!    escape-correct. Equal values always encode to identical bytes —
+//!    the property the service's content-addressed result cache relies on.
+//! 3. **Parsing** untrusted request bodies with explicit errors, a depth
+//!    cap (stack-safe on hostile input), and full string-escape support
+//!    including `\uXXXX` surrogate pairs.
+//!
+//! Integers and floats are kept distinct ([`Json::Int`] vs [`Json::Num`])
+//! so `u64`-scale quantities (seeds, population sizes, counters) survive
+//! the round trip exactly up to `i64::MAX`.
+//!
+//! # Example
+//!
+//! ```
+//! use popgame_util::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::from("hawk-dove")),
+//!     ("n", Json::from(10_000u64)),
+//!     ("tv", Json::from(0.25)),
+//!     ("profile", Json::arr([Json::from(0.5), Json::from(0.5)])),
+//! ]);
+//! let text = doc.encode();
+//! assert_eq!(
+//!     text,
+//!     r#"{"name":"hawk-dove","n":10000,"tv":0.25,"profile":[0.5,0.5]}"#
+//! );
+//! assert_eq!(Json::parse(&text).unwrap(), doc);
+//! ```
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by [`Json::parse`].
+const MAX_DEPTH: usize = 64;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fits `i64` (kept exact; never reformatted as a
+    /// float).
+    Int(i64),
+    /// A (finite) double. Non-finite values encode as `null`, since JSON
+    /// has no representation for them.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Field order is preserved by both the builder and the
+    /// parser, and the encoder emits fields in stored order — object
+    /// identity is byte identity.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        // u64 beyond i64::MAX falls back to the float lane (lossy, like
+        // every double-based JSON implementation).
+        i64::try_from(v).map(Json::Int).unwrap_or(Json::Num(v as f64))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::from(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Int(i64::from(v))
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Builds an array of floats (a numeric vector).
+    pub fn floats<'a>(items: impl IntoIterator<Item = &'a f64>) -> Json {
+        Json::Arr(items.into_iter().map(|&v| Json::Num(v)).collect())
+    }
+
+    /// Looks a field up in an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if this is a non-negative `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (accepts both `Int` and `Num`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Arr`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an `Obj`.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Compact, deterministic encoding: no whitespace, fields in stored
+    /// order, shortest-roundtrip floats.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty encoding with two-space indentation — same byte-level
+    /// escaping and number formatting as [`Json::encode`], plus layout.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(v) => {
+                out.push_str(&v.to_string());
+            }
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                // Arrays of scalars stay on one line even in pretty mode;
+                // nested containers get their own lines.
+                let scalar_only = items
+                    .iter()
+                    .all(|v| !matches!(v, Json::Arr(_) | Json::Obj(_)));
+                let break_lines = indent.is_some() && !scalar_only && !items.is_empty();
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if indent.is_some() && !break_lines {
+                            out.push(' ');
+                        }
+                    }
+                    if break_lines {
+                        newline(out, indent, level + 1);
+                    }
+                    item.write(out, indent, level + 1);
+                }
+                if break_lines {
+                    newline(out, indent, level);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if indent.is_some() && !fields.is_empty() {
+                        newline(out, indent, level + 1);
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                if indent.is_some() && !fields.is_empty() {
+                    newline(out, indent, level);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with a byte offset on malformed input,
+    /// numbers that do not parse as `f64`, invalid escapes, or nesting
+    /// deeper than 64 levels.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// JSON has no NaN/Inf; encode them as `null` (the conventional choice).
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let text = format!("{v}");
+    out.push_str(&text);
+    // Integral floats render with a trailing `.0` so they reparse into
+    // the float lane, keeping encode∘parse idempotent at any magnitude
+    // (shortest-roundtrip already emits `.` or an exponent otherwise).
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+            // Integer literal beyond i64: float lane, like the builder.
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("invalid number '{text}'")))?;
+        if !v.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Json::Num(v))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let code = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("42", Json::Int(42)),
+            ("-7", Json::Int(-7)),
+            ("0.5", Json::Num(0.5)),
+            ("-1.25e3", Json::Num(-1250.0)),
+            ("\"hi\"", Json::Str("hi".into())),
+        ] {
+            assert_eq!(Json::parse(text).unwrap(), value, "{text}");
+            assert_eq!(Json::parse(&value.encode()).unwrap(), value, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = i64::MAX - 1;
+        let doc = Json::from(big as u64);
+        assert_eq!(doc, Json::Int(big));
+        assert_eq!(Json::parse(&doc.encode()).unwrap().as_i64(), Some(big));
+        // u64 beyond i64::MAX degrades to the float lane, not a panic.
+        assert!(matches!(Json::from(u64::MAX), Json::Num(_)));
+        // Same for parsed over-size literals.
+        assert!(matches!(Json::parse("9223372036854775808").unwrap(), Json::Num(_)));
+    }
+
+    #[test]
+    fn string_escapes_encode_and_parse() {
+        let nasty = "a\"b\\c\nd\te\u{0001}f/β🎲";
+        let encoded = Json::Str(nasty.into()).encode();
+        assert_eq!(encoded, "\"a\\\"b\\\\c\\nd\\te\\u0001f/β🎲\"");
+        assert_eq!(Json::parse(&encoded).unwrap().as_str(), Some(nasty));
+        // Escaped solidus and surrogate pairs parse too.
+        assert_eq!(Json::parse(r#""\/""#).unwrap().as_str(), Some("/"));
+        assert_eq!(Json::parse(r#""\ud83c\udfb2""#).unwrap().as_str(), Some("🎲"));
+    }
+
+    #[test]
+    fn nested_documents_round_trip() {
+        let doc = Json::obj([
+            ("a", Json::arr([Json::Int(1), Json::Null, Json::Bool(true)])),
+            ("b", Json::obj([("nested", Json::from("yes"))])),
+            ("v", Json::floats(&[0.1, 0.2, 0.7])),
+        ]);
+        assert_eq!(Json::parse(&doc.encode()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+        assert_eq!(doc.get("b").unwrap().get("nested").unwrap().as_str(), Some("yes"));
+    }
+
+    #[test]
+    fn field_order_is_preserved() {
+        let text = r#"{"z": 1, "a": 2, "m": 3}"#;
+        let doc = Json::parse(text).unwrap();
+        let keys: Vec<&str> = doc
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+        assert_eq!(doc.encode(), r#"{"z":1,"a":2,"m":3}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        assert_eq!(Json::Num(f64::NAN).encode(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).encode(), "null");
+    }
+
+    #[test]
+    fn integral_floats_keep_their_dot_at_any_magnitude() {
+        for v in [3.0, -5.0, 1e15, 4.5e17, 2f64.powi(80)] {
+            let encoded = Json::Num(v).encode();
+            let reparsed = Json::parse(&encoded).unwrap();
+            assert_eq!(reparsed, Json::Num(v), "{encoded}");
+            // encode ∘ parse ∘ encode is a fixed point.
+            assert_eq!(reparsed.encode(), encoded);
+        }
+        assert_eq!(Json::Num(3.0).encode(), "3.0");
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_offsets() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "{\"a\":1} trailing",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "[1 2]",
+            "nan",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+        let err = Json::parse("[1,]").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected() {
+        let bomb = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(Json::parse(&bomb).is_err());
+        // 40 levels is fine.
+        let ok = "[".repeat(40) + &"]".repeat(40);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn deterministic_encoding_is_byte_stable() {
+        let build = || {
+            Json::obj([
+                ("freq", Json::floats(&[1.0 / 3.0, 2.0 / 3.0])),
+                ("n", Json::from(1_000_000u64)),
+            ])
+        };
+        assert_eq!(build().encode(), build().encode());
+        assert_eq!(build().encode(), Json::parse(&build().encode()).unwrap().encode());
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let doc = Json::parse(r#"{"s":"x","i":3,"f":1.5,"b":true,"a":[1]}"#).unwrap();
+        assert_eq!(doc.get("i").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("i").unwrap().as_f64(), Some(3.0));
+        assert_eq!(doc.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(doc.get("f").unwrap().as_i64(), None);
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(doc.get("s").unwrap().as_f64(), None);
+        assert_eq!(doc.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("a").unwrap().as_array().map(<[Json]>::len), Some(1));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Int(-1).as_u64(), None);
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`stats`] — streaming moments, quantiles, confidence intervals, and
 //!   least-squares fits used to extract scaling exponents from experiments.
 //! * [`histogram`] — fixed-bin histograms for integer and real-valued data.
+//! * [`json`] — a hand-rolled JSON value type (escape-correct encoder,
+//!   strict parser) shared by the bench binaries and the `popgamed`
+//!   service wire format.
 //! * [`rng`] — deterministic seed derivation so every experiment is
 //!   reproducible from a single named seed.
 //! * [`sampler`] — exact discrete samplers (Bernoulli, binomial, geometric,
@@ -36,6 +39,7 @@
 
 pub mod error;
 pub mod histogram;
+pub mod json;
 pub mod numeric;
 pub mod rng;
 pub mod sampler;
