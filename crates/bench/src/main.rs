@@ -1,12 +1,16 @@
 //! `reproduce` — regenerates every table/figure-equivalent of the paper.
 //!
 //! ```text
-//! reproduce all          # every experiment, E1..E15 (minutes)
+//! reproduce all          # every experiment, E1..E16 (minutes)
 //! reproduce e7 e12       # a subset
 //! reproduce --list       # what exists
 //! ```
 //!
-//! Output is plain text; `EXPERIMENTS.md` records a captured run.
+//! Output is plain text. For the *citable* reproduction artifact —
+//! convergence tables, decay fits, and trajectories rendered as
+//! byte-deterministic `REPORT.md` + `REPORT.json` — use the `popgame`
+//! CLI instead: `popgame reproduce --quick` (see `crates/cli` and
+//! `crates/report`).
 
 use popgame::experiments::{dynamics, equilibrium, mixing, payoffs, scenarios, stationary, walks};
 use std::process::ExitCode;
@@ -62,7 +66,7 @@ fn run(id: &str) -> bool {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: reproduce [--list] [all | e1 e2 ... e15]");
+        println!("usage: reproduce [--list] [all | e1 e2 ... e16]");
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--list") {

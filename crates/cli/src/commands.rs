@@ -1,0 +1,389 @@
+//! Subcommand implementations. Each returns `Ok(())` or a [`CliError`]
+//! that `main` maps onto the process exit code.
+
+use popgame_report::{render, run_report, ReportConfig};
+use popgame_service::api::{
+    execute_simulate, execute_solve, SimulateRequest, SolveRequest,
+};
+use popgame_service::{PopgameService, ServiceConfig, SERVE_USAGE};
+use popgame_solver::dynamics::{engine_from_profile, DynamicsRule, GameDynamics};
+use popgame_solver::scenarios::{by_name, registry_listing};
+use popgame_util::json::Json;
+use popgame_util::rng::stream_rng;
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+/// How a subcommand failed: bad invocation (exit 2) or a failure while
+/// doing the work (exit 1).
+pub enum CliError {
+    /// Malformed flags or an invalid request — printed with the usage
+    /// banner.
+    Usage(String),
+    /// The command was well-formed but execution failed.
+    Runtime(String),
+}
+
+fn usage<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError::Usage(message.into()))
+}
+
+/// Pulls the value following a flag.
+fn take_value<'a, I: Iterator<Item = &'a String>>(
+    it: &mut I,
+    flag: &str,
+) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+fn parse_u64(flag: &str, text: &str) -> Result<u64, CliError> {
+    text.parse()
+        .map_err(|e| CliError::Usage(format!("{flag}: {e}")))
+}
+
+fn parse_f64(flag: &str, text: &str) -> Result<f64, CliError> {
+    text.parse()
+        .map_err(|e| CliError::Usage(format!("{flag}: {e}")))
+}
+
+/// `popgame scenarios` — the registry as pretty JSON (the same document
+/// `GET /scenarios` serves).
+pub fn scenarios(args: &[String]) -> Result<(), CliError> {
+    match args {
+        [] => {
+            print!("{}", registry_listing().pretty());
+            Ok(())
+        }
+        [h] if h == "--help" => {
+            println!("usage: popgame scenarios");
+            Ok(())
+        }
+        _ => usage("scenarios takes no flags"),
+    }
+}
+
+const SOLVE_USAGE: &str = "usage: popgame solve <scenario> | popgame solve --game '<json>'\n\
+     (game json: {\"kind\":\"symmetric\"|\"zero-sum\"|\"bimatrix\",\"row\":[[..]],\"col\":[[..]]})";
+
+/// `popgame solve` — exact equilibria via the shared `/solve` executor.
+pub fn solve(args: &[String]) -> Result<(), CliError> {
+    let mut scenario: Option<String> = None;
+    let mut game: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" => {
+                println!("{SOLVE_USAGE}");
+                return Ok(());
+            }
+            "--game" => game = Some(take_value(&mut it, "--game")?),
+            "--scenario" => {
+                if scenario.is_some() {
+                    return usage("scenario given more than once");
+                }
+                scenario = Some(take_value(&mut it, "--scenario")?);
+            }
+            flag if flag.starts_with("--") => {
+                return usage(format!("unknown flag {flag}\n{SOLVE_USAGE}"));
+            }
+            name if scenario.is_none() && game.is_none() => {
+                scenario = Some(name.to_string());
+            }
+            extra => return usage(format!("unexpected argument {extra:?}\n{SOLVE_USAGE}")),
+        }
+    }
+    let body = match (scenario, game) {
+        (Some(name), None) => Json::obj([("scenario", Json::from(name))]),
+        (None, Some(text)) => {
+            let doc = Json::parse(&text)
+                .map_err(|e| CliError::Usage(format!("--game: {e}")))?;
+            Json::obj([("game", doc)])
+        }
+        (Some(_), Some(_)) => return usage("give a scenario or --game, not both"),
+        (None, None) => return usage(SOLVE_USAGE),
+    };
+    let request = SolveRequest::from_json(&body).map_err(CliError::Usage)?;
+    let doc = execute_solve(&request).map_err(CliError::Runtime)?;
+    print!("{}", doc.pretty());
+    Ok(())
+}
+
+const SIMULATE_USAGE: &str = "usage: popgame simulate --scenario <name> \
+     [--dynamics best-response|logit|imitation] [--eta X] [--n N] \
+     [--interactions I] [--replicas R] [--seed S]";
+
+/// `popgame simulate` — a deterministic replica sweep via the shared
+/// `/simulate` executor (same validation, same response document).
+pub fn simulate(args: &[String]) -> Result<(), CliError> {
+    let mut fields: Vec<(&str, Json)> = Vec::new();
+    let push_field = |fields: &mut Vec<(&str, Json)>,
+                          key: &'static str,
+                          value: Json|
+     -> Result<(), CliError> {
+        if fields.iter().any(|(k, _)| *k == key) {
+            return usage(format!("--{key} given more than once"));
+        }
+        fields.push((key, value));
+        Ok(())
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" => {
+                println!("{SIMULATE_USAGE}");
+                return Ok(());
+            }
+            "--scenario" => {
+                let v = take_value(&mut it, "--scenario")?;
+                push_field(&mut fields, "scenario", Json::from(v))?;
+            }
+            "--dynamics" => {
+                let v = take_value(&mut it, "--dynamics")?;
+                push_field(&mut fields, "dynamics", Json::from(v))?;
+            }
+            "--eta" => {
+                let v = take_value(&mut it, "--eta")?;
+                push_field(&mut fields, "eta", Json::from(parse_f64("--eta", &v)?))?;
+            }
+            "--n" => {
+                let v = take_value(&mut it, "--n")?;
+                push_field(&mut fields, "n", Json::from(parse_u64("--n", &v)?))?;
+            }
+            "--interactions" => {
+                let v = take_value(&mut it, "--interactions")?;
+                push_field(
+                    &mut fields,
+                    "interactions",
+                    Json::from(parse_u64("--interactions", &v)?),
+                )?;
+            }
+            "--replicas" => {
+                let v = take_value(&mut it, "--replicas")?;
+                push_field(
+                    &mut fields,
+                    "replicas",
+                    Json::from(parse_u64("--replicas", &v)?),
+                )?;
+            }
+            "--seed" => {
+                let v = take_value(&mut it, "--seed")?;
+                push_field(&mut fields, "seed", Json::from(parse_u64("--seed", &v)?))?;
+            }
+            other => return usage(format!("unknown flag {other}\n{SIMULATE_USAGE}")),
+        }
+    }
+    if fields.is_empty() {
+        return usage(SIMULATE_USAGE);
+    }
+    let request = SimulateRequest::from_json(&Json::obj(fields)).map_err(CliError::Usage)?;
+    let doc = execute_simulate(&request, &AtomicBool::new(false)).map_err(CliError::Runtime)?;
+    print!("{}", doc.pretty());
+    Ok(())
+}
+
+const REPRODUCE_USAGE: &str = "usage: popgame reproduce [--quick|--full] [--seed S] \
+     [--out DIR] [--sizes N1,N2,...] [--replicas R] [--horizon H] \
+     [--trajectory-points P]";
+
+/// The documented default seed of the reproduction harness.
+const REPRODUCE_SEED: u64 = 20240717;
+
+/// `popgame reproduce` — run the paper-reproduction harness and write
+/// `REPORT.md` + `REPORT.json` (byte-identical across runs with equal
+/// flags).
+pub fn reproduce(args: &[String]) -> Result<(), CliError> {
+    let mut preset: Option<&str> = None;
+    let mut seed = REPRODUCE_SEED;
+    let mut out_dir = ".".to_string();
+    let mut sizes: Option<Vec<u64>> = None;
+    let mut replicas: Option<u64> = None;
+    let mut horizon: Option<u64> = None;
+    let mut trajectory: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" => {
+                println!("{REPRODUCE_USAGE}");
+                return Ok(());
+            }
+            "--quick" => preset = Some("quick"),
+            "--full" => preset = Some("full"),
+            "--seed" => seed = parse_u64("--seed", &take_value(&mut it, "--seed")?)?,
+            "--out" => out_dir = take_value(&mut it, "--out")?,
+            "--sizes" => {
+                let list = take_value(&mut it, "--sizes")?;
+                sizes = Some(
+                    list.split(',')
+                        .map(|piece| parse_u64("--sizes", piece.trim()))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--replicas" => {
+                replicas = Some(parse_u64("--replicas", &take_value(&mut it, "--replicas")?)?);
+            }
+            "--horizon" => {
+                horizon = Some(parse_u64("--horizon", &take_value(&mut it, "--horizon")?)?);
+            }
+            "--trajectory-points" => {
+                let v = take_value(&mut it, "--trajectory-points")?;
+                trajectory = Some(parse_u64("--trajectory-points", &v)? as usize);
+            }
+            other => return usage(format!("unknown flag {other}\n{REPRODUCE_USAGE}")),
+        }
+    }
+    let mut config = match preset.unwrap_or("quick") {
+        "full" => ReportConfig::full(seed),
+        _ => ReportConfig::quick(seed),
+    };
+    if sizes.is_some() || replicas.is_some() || horizon.is_some() || trajectory.is_some() {
+        config.mode = "custom".to_string();
+    }
+    if let Some(sizes) = sizes {
+        config.sizes = sizes;
+    }
+    if let Some(replicas) = replicas {
+        config.replicas = replicas;
+    }
+    if let Some(horizon) = horizon {
+        config.horizon_per_agent = horizon;
+    }
+    if let Some(trajectory) = trajectory {
+        config.trajectory_capacity = trajectory;
+    }
+    config.validate().map_err(CliError::Usage)?;
+
+    let report = run_report(&config).map_err(CliError::Runtime)?;
+    let json = render::report_json(&report);
+    let md = render::report_markdown(&report);
+    let dir = Path::new(&out_dir);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Runtime(format!("creating {out_dir:?}: {e}")))?;
+    let json_path = dir.join("REPORT.json");
+    let md_path = dir.join("REPORT.md");
+    std::fs::write(&json_path, &json)
+        .map_err(|e| CliError::Runtime(format!("writing {}: {e}", json_path.display())))?;
+    std::fs::write(&md_path, &md)
+        .map_err(|e| CliError::Runtime(format!("writing {}: {e}", md_path.display())))?;
+    println!(
+        "reproduce: mode={} seed={} — {} scenarios, {} scenario-dynamics pairs, sizes {:?}",
+        config.mode,
+        config.seed,
+        report.scenarios.len(),
+        report.convergence.len(),
+        config.sizes,
+    );
+    println!(
+        "wrote {} ({} bytes) and {} ({} bytes)",
+        md_path.display(),
+        md.len(),
+        json_path.display(),
+        json.len()
+    );
+    Ok(())
+}
+
+/// `popgame serve` — boot the `popgamed` service in-process (same flags,
+/// same daemon, same endpoints).
+pub fn serve(args: &[String]) -> Result<(), CliError> {
+    if args.iter().any(|a| a == "--help") {
+        println!("usage: popgame serve {SERVE_USAGE}");
+        return Ok(());
+    }
+    let config = ServiceConfig::from_args(args).map_err(CliError::Usage)?;
+    let remote_shutdown = config.remote_shutdown;
+    let service = PopgameService::start(config)
+        .map_err(|e| CliError::Runtime(format!("failed to bind: {e}")))?;
+    println!("popgame serve: listening on http://{}", service.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if remote_shutdown {
+        service.wait_for_remote_shutdown();
+        eprintln!("popgame serve: shutdown requested, draining");
+        service.shutdown();
+        Ok(())
+    } else {
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+const BENCH_USAGE: &str =
+    "usage: popgame bench [--quick] [--n N] [--interactions I] [--seed S]";
+
+/// `popgame bench` — a quick batched-engine throughput probe over the
+/// three dynamics rules on rock-paper-scissors. Timings are
+/// machine-dependent (unlike every other subcommand's output); the
+/// counts and final frequencies are deterministic.
+pub fn bench(args: &[String]) -> Result<(), CliError> {
+    let mut n: u64 = 1_000_000;
+    let mut interactions: Option<u64> = None;
+    let mut seed: u64 = 7;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" => {
+                println!("{BENCH_USAGE}");
+                return Ok(());
+            }
+            "--quick" => n = 100_000,
+            "--n" => n = parse_u64("--n", &take_value(&mut it, "--n")?)?,
+            "--interactions" => {
+                interactions = Some(parse_u64(
+                    "--interactions",
+                    &take_value(&mut it, "--interactions")?,
+                )?);
+            }
+            "--seed" => seed = parse_u64("--seed", &take_value(&mut it, "--seed")?)?,
+            other => return usage(format!("unknown flag {other}\n{BENCH_USAGE}")),
+        }
+    }
+    if n < 3 {
+        return usage("--n must be at least 3 (three strategies)");
+    }
+    let total = interactions.unwrap_or(20 * n);
+    let scenario = by_name("rock-paper-scissors").map_err(|e| CliError::Runtime(e.to_string()))?;
+    let uniform = vec![1.0 / 3.0; 3];
+    let mut results = Vec::new();
+    for (index, rule) in [
+        DynamicsRule::BestResponse,
+        DynamicsRule::Logit { eta: 2.0 },
+        DynamicsRule::Imitation,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let dynamics = GameDynamics::new(scenario.game(), rule)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let mut engine = engine_from_profile(dynamics, &uniform, n)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let mut rng = stream_rng(seed, index as u64);
+        let batch = engine.suggested_batch();
+        let start = Instant::now();
+        engine
+            .run_batched(total, batch, &mut rng)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let elapsed = start.elapsed().as_secs_f64();
+        results.push(Json::obj([
+            ("dynamics", Json::from(rule.label())),
+            ("interactions", Json::from(total)),
+            ("seconds", Json::from(elapsed)),
+            (
+                "interactions_per_sec",
+                Json::from(total as f64 / elapsed.max(1e-9)),
+            ),
+            ("final_frequencies", Json::floats(&engine.frequencies())),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", Json::from("batched-engine dynamics throughput")),
+        ("scenario", Json::from("rock-paper-scissors")),
+        ("n", Json::from(n)),
+        ("seed", Json::from(seed)),
+        ("results", Json::arr(results)),
+    ]);
+    print!("{}", doc.pretty());
+    Ok(())
+}

@@ -1,0 +1,245 @@
+//! End-to-end tests of the `popgame` binary: golden-file determinism of
+//! `reproduce`, arg-parsing error paths, and a full `serve` round trip —
+//! all through real process spawns of the compiled binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn popgame(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_popgame"))
+        .args(args)
+        .output()
+        .expect("spawn popgame")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "popgame-cli-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tiny reproduction config that keeps debug-mode test runs fast.
+const TINY_REPRODUCE: &[&str] = &[
+    "reproduce",
+    "--sizes",
+    "50,100",
+    "--replicas",
+    "2",
+    "--horizon",
+    "8",
+    "--trajectory-points",
+    "6",
+    "--seed",
+    "9",
+];
+
+#[test]
+fn reproduce_reports_are_byte_identical_across_runs() {
+    let dir_a = temp_dir("golden-a");
+    let dir_b = temp_dir("golden-b");
+    for dir in [&dir_a, &dir_b] {
+        let mut args = TINY_REPRODUCE.to_vec();
+        args.push("--out");
+        let dir_text = dir.to_str().unwrap();
+        args.push(dir_text);
+        let out = popgame(&args);
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert!(stdout(&out).contains("wrote"), "{}", stdout(&out));
+    }
+    let json_a = std::fs::read(dir_a.join("REPORT.json")).unwrap();
+    let json_b = std::fs::read(dir_b.join("REPORT.json")).unwrap();
+    assert_eq!(json_a, json_b, "REPORT.json must be byte-identical");
+    let md_a = std::fs::read(dir_a.join("REPORT.md")).unwrap();
+    let md_b = std::fs::read(dir_b.join("REPORT.md")).unwrap();
+    assert_eq!(md_a, md_b, "REPORT.md must be byte-identical");
+    // The artifacts carry the advertised content.
+    let md = String::from_utf8(md_a).unwrap();
+    assert!(md.contains("## Convergence"));
+    assert!(md.contains("matching-pennies"));
+    let json = String::from_utf8(json_a).unwrap();
+    assert!(json.contains("\"schema_version\""));
+    assert!(json.contains("\"decay_alpha\""));
+    // A different seed produces different measurements.
+    let dir_c = temp_dir("golden-c");
+    let out = popgame(&[
+        "reproduce",
+        "--sizes",
+        "50,100",
+        "--replicas",
+        "2",
+        "--horizon",
+        "8",
+        "--trajectory-points",
+        "6",
+        "--seed",
+        "10",
+        "--out",
+        dir_c.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let json_c = std::fs::read(dir_c.join("REPORT.json")).unwrap();
+    assert_ne!(json_b, json_c, "seed must matter");
+    for dir in [dir_a, dir_b, dir_c] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn usage_errors_exit_two_with_a_usage_message() {
+    for (args, needle) in [
+        (vec!["frobnicate"], "unknown command"),
+        (vec![], "usage: popgame"),
+        (vec!["simulate"], "usage"),
+        (vec!["simulate", "--bogus-flag", "1"], "unknown flag"),
+        (vec!["simulate", "--n"], "--n needs a value"),
+        (
+            vec!["simulate", "--scenario", "hawk-dove", "--seed", "1", "--seed", "2"],
+            "more than once",
+        ),
+        (vec!["simulate", "--scenario", "hawk-dove", "--n", "abc"], "--n"),
+        (vec!["solve"], "usage"),
+        (vec!["solve", "--game", "not json"], "--game"),
+        (vec!["solve", "hawk-dove", "extra"], "unexpected argument"),
+        (vec!["scenarios", "--bogus"], "no flags"),
+        (vec!["reproduce", "--sizes", "100,50"], "ascending"),
+        (vec!["reproduce", "--sizes", "ten"], "--sizes"),
+        (vec!["reproduce", "--replicas", "0"], "replicas"),
+        (vec!["serve", "--nonsense"], "unknown argument"),
+        (vec!["bench", "--n", "1"], "--n must be"),
+    ] {
+        let out = popgame(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains(needle),
+            "{args:?}: expected {needle:?} in {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn invalid_requests_exit_two_with_the_validator_message() {
+    for (args, needle) in [
+        (
+            vec!["simulate", "--scenario", "no-such-game"],
+            "unknown scenario",
+        ),
+        (
+            vec!["simulate", "--scenario", "hawk-dove", "--n", "1"],
+            "n must be",
+        ),
+        (
+            vec!["simulate", "--scenario", "hawk-dove", "--dynamics", "quantal"],
+            "unknown dynamics",
+        ),
+        (vec!["solve", "no-such-game"], "unknown scenario"),
+    ] {
+        let out = popgame(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            stderr(&out).contains(needle),
+            "{args:?}: expected {needle:?} in {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn scenarios_and_solve_print_the_registry_facts() {
+    let out = popgame(&["scenarios"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("rock-paper-scissors"), "{text}");
+    assert!(text.contains("\"symmetric_equilibria\""), "{text}");
+
+    let out = popgame(&["solve", "matching-pennies"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("\"minimax\""), "{text}");
+    // Explicit games solve through the same path.
+    let out = popgame(&[
+        "solve",
+        "--game",
+        r#"{"kind":"symmetric","row":[[0.0,2.0],[1.0,1.0]]}"#,
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("\"equilibria\""));
+}
+
+#[test]
+fn simulate_is_deterministic_and_matches_defaults() {
+    let args = [
+        "simulate",
+        "--scenario",
+        "rock-paper-scissors",
+        "--n",
+        "300",
+        "--interactions",
+        "3000",
+        "--replicas",
+        "2",
+        "--seed",
+        "5",
+    ];
+    let a = popgame(&args);
+    let b = popgame(&args);
+    assert!(a.status.success(), "{}", stderr(&a));
+    assert_eq!(stdout(&a), stdout(&b), "byte-identical runs");
+    assert!(stdout(&a).contains("\"mean_tv_to_equilibrium\""));
+}
+
+#[test]
+fn bench_probe_reports_throughput() {
+    let out = popgame(&["bench", "--n", "1000", "--interactions", "5000"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"interactions_per_sec\""), "{text}");
+    assert!(text.contains("imitation"), "{text}");
+}
+
+#[test]
+fn serve_round_trip_shutdown() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_popgame"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--allow-remote-shutdown"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn popgame serve");
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("read listening line");
+    let addr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("listening line carries an address")
+        .to_string();
+    let mut stream = TcpStream::connect(&addr).expect("connect to served addr");
+    stream
+        .write_all(b"POST /shutdown HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.contains("shutting-down"), "{reply}");
+    let status = child.wait().expect("serve exits after shutdown");
+    assert!(status.success(), "{status:?}");
+}

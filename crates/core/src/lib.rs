@@ -41,6 +41,7 @@
 //! | [`igt`] | `popgame-igt` | the `k`-IGT dynamics |
 //! | [`equilibrium`] | `popgame-equilibrium` | ε-DE machinery |
 //! | [`solver`] | `popgame-solver` | exact Nash solvers + scenario registry |
+//! | [`report`] | `popgame-report` | the paper-reproduction report harness |
 //!
 //! ## Quickstart
 //!
@@ -69,6 +70,7 @@ pub use popgame_game as game;
 pub use popgame_igt as igt;
 pub use popgame_markov as markov;
 pub use popgame_population as population;
+pub use popgame_report as report;
 pub use popgame_solver as solver;
 pub use popgame_util as util;
 
@@ -98,6 +100,8 @@ pub mod prelude {
     pub use popgame_population::population::AgentPopulation;
     pub use popgame_population::protocol::Protocol;
     pub use popgame_population::simulator::{run_steps, run_until};
+    pub use popgame_population::trajectory::{TrajectoryPoint, TrajectoryRecorder};
+    pub use popgame_report::{run_report, Report, ReportConfig};
     pub use popgame_solver::dynamics::{DynamicsRule, GameDynamics};
     pub use popgame_solver::game::MatrixGame;
     pub use popgame_solver::nash::{enumerate_equilibria, symmetric_equilibria, Equilibrium};

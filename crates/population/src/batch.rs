@@ -142,9 +142,10 @@ impl KernelTable {
     /// # Errors
     ///
     /// Returns [`PopulationError::StateOutOfRange`] when a declared
-    /// outcome maps outside the protocol's enumeration or its
-    /// probabilities do not form a pmf (signalled with `index = k`, since
-    /// an ill-formed pmf is a protocol bug, not a recoverable condition).
+    /// outcome maps outside the protocol's enumeration, and
+    /// [`PopulationError::InvalidArgument`] when a pair's declared
+    /// probabilities do not form a pmf (negative/non-finite mass or a
+    /// total away from 1) — a protocol bug, named as such.
     pub fn build<P: EnumerableProtocol>(protocol: &P) -> Result<Option<Self>, PopulationError> {
         let k = protocol.num_states();
         let mut cells = Vec::with_capacity(k * k);
@@ -164,9 +165,10 @@ impl KernelTable {
                         });
                     }
                     if !p.is_finite() || p < 0.0 {
-                        return Err(PopulationError::StateOutOfRange {
-                            index: k,
-                            num_states: k,
+                        return Err(PopulationError::InvalidArgument {
+                            reason: format!(
+                                "kernel pmf for pair ({i}, {j}) has invalid mass {p}"
+                            ),
                         });
                     }
                     total += p;
@@ -175,9 +177,10 @@ impl KernelTable {
                     }
                 }
                 if (total - 1.0).abs() > KERNEL_SUM_TOL {
-                    return Err(PopulationError::StateOutOfRange {
-                        index: k,
-                        num_states: k,
+                    return Err(PopulationError::InvalidArgument {
+                        reason: format!(
+                            "kernel pmf for pair ({i}, {j}) sums to {total}"
+                        ),
                     });
                 }
                 identity.push(
@@ -429,12 +432,55 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
         batch: u64,
         rng: &mut R,
     ) -> Result<(), PopulationError> {
+        self.run_loop(total, batch, rng, None)
+    }
+
+    /// [`Self::run_batched`] with bounded-memory trajectory capture: the
+    /// count vector is offered to `recorder` before the first leap and
+    /// after every leap, and the final state is always retained
+    /// ([`crate::trajectory::TrajectoryRecorder::force`]). The recorder never consumes
+    /// randomness, so a recorded run draws exactly the same RNG stream —
+    /// and reaches exactly the same final counts — as an unrecorded
+    /// [`Self::run_batched`] with the same arguments (both are thin
+    /// wrappers over one leap loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step_batch`] errors.
+    pub fn run_recorded<R: Rng + ?Sized>(
+        &mut self,
+        total: u64,
+        batch: u64,
+        rng: &mut R,
+        recorder: &mut crate::trajectory::TrajectoryRecorder,
+    ) -> Result<(), PopulationError> {
+        self.run_loop(total, batch, rng, Some(recorder))
+    }
+
+    /// The shared leap loop behind [`Self::run_batched`] and
+    /// [`Self::run_recorded`]; the recorder is observation-only.
+    fn run_loop<R: Rng + ?Sized>(
+        &mut self,
+        total: u64,
+        batch: u64,
+        rng: &mut R,
+        mut recorder: Option<&mut crate::trajectory::TrajectoryRecorder>,
+    ) -> Result<(), PopulationError> {
         assert!(batch > 0, "batch size must be positive");
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.offer(self.interactions, &self.counts);
+        }
         let mut executed = 0u64;
         while executed < total {
             let burst = batch.min(total - executed);
             self.step_batch(burst, rng)?;
             executed += burst;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.offer(self.interactions, &self.counts);
+            }
+        }
+        if let Some(rec) = recorder {
+            rec.force(self.interactions, &self.counts);
         }
         Ok(())
     }
@@ -762,7 +808,11 @@ mod tests {
 
     #[test]
     fn kernel_table_rejects_non_pmf_kernels() {
-        assert!(KernelTable::build(&BadKernel).is_err());
+        let err = KernelTable::build(&BadKernel).unwrap_err();
+        assert!(
+            matches!(&err, PopulationError::InvalidArgument { reason } if reason.contains("sums to")),
+            "{err}"
+        );
         assert!(BatchedEngine::from_counts(BadKernel, vec![2, 2]).is_err());
     }
 
@@ -975,6 +1025,31 @@ mod tests {
         assert_eq!(engine.interactions(), 1_000_000_000);
         assert_eq!(engine.counts(), &[0, 50]);
         assert!(engine.is_consensus());
+    }
+
+    #[test]
+    fn recorded_runs_match_unrecorded_runs_bitwise() {
+        use crate::trajectory::TrajectoryRecorder;
+        let mut plain = BatchedEngine::from_counts(Cyclic, vec![40, 30, 30]).unwrap();
+        let mut rng = rng_from_seed(17);
+        plain.run_batched(10_000, 16, &mut rng).unwrap();
+
+        let mut recorded = BatchedEngine::from_counts(Cyclic, vec![40, 30, 30]).unwrap();
+        let mut rng = rng_from_seed(17);
+        let mut rec = TrajectoryRecorder::new(32).unwrap();
+        recorded.run_recorded(10_000, 16, &mut rng, &mut rec).unwrap();
+
+        // The recorder draws no randomness: identical final counts.
+        assert_eq!(plain.counts(), recorded.counts());
+        assert_eq!(plain.interactions(), recorded.interactions());
+        // Capture is bounded, spans the run, and conserves agents.
+        let points = rec.points();
+        assert!(points.len() >= 2 && points.len() <= 32, "{}", points.len());
+        assert_eq!(points.first().unwrap().interactions, 0);
+        assert_eq!(points.last().unwrap().interactions, 10_000);
+        for p in points {
+            assert_eq!(p.counts.iter().sum::<u64>(), 100);
+        }
     }
 
     #[test]

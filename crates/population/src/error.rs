@@ -25,6 +25,11 @@ pub enum PopulationError {
         /// Received total.
         got: u64,
     },
+    /// A configuration argument was out of its valid range.
+    InvalidArgument {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PopulationError {
@@ -38,6 +43,9 @@ impl fmt::Display for PopulationError {
             }
             PopulationError::CountMismatch { expected, got } => {
                 write!(f, "count total {got} does not match population size {expected}")
+            }
+            PopulationError::InvalidArgument { reason } => {
+                write!(f, "invalid argument: {reason}")
             }
         }
     }

@@ -52,8 +52,10 @@ pub mod error;
 pub mod population;
 pub mod protocol;
 pub mod simulator;
+pub mod trajectory;
 
 pub use batch::BatchedEngine;
 pub use error::PopulationError;
 pub use population::AgentPopulation;
 pub use protocol::{EnumerableProtocol, Protocol};
+pub use trajectory::{TrajectoryPoint, TrajectoryRecorder};

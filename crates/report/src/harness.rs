@@ -1,0 +1,597 @@
+//! The sweep itself: configuration, execution, and the data model the
+//! renderers consume.
+
+use popgame_dist::divergence::tv_distance;
+use popgame_population::trajectory::TrajectoryRecorder;
+use popgame_runner::{mean_series, mean_vectors, run_replicas};
+use popgame_solver::dynamics::{engine_from_profile, DynamicsRule, GameDynamics};
+use popgame_solver::game::MatrixGame;
+use popgame_solver::nash::symmetric_equilibria;
+use popgame_solver::scenarios::{registry, Scenario};
+use popgame_solver::zerosum::solve_zero_sum;
+
+/// Everything the harness needs; the report is a pure function of this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportConfig {
+    /// Base RNG seed. Cell seeds and replica streams derive from it
+    /// deterministically.
+    pub seed: u64,
+    /// Population sizes swept, ascending.
+    pub sizes: Vec<u64>,
+    /// Independent replicas per (scenario, dynamics, n) cell.
+    pub replicas: u64,
+    /// Interactions per agent: each run executes `horizon_per_agent · n`
+    /// interactions.
+    pub horizon_per_agent: u64,
+    /// Maximum trajectory points retained per run (bounded memory).
+    pub trajectory_capacity: usize,
+    /// Preset label echoed into the report (`quick`, `full`, `custom`).
+    pub mode: String,
+}
+
+impl ReportConfig {
+    /// The CI preset: small sizes, few replicas, seconds of compute.
+    pub fn quick(seed: u64) -> Self {
+        ReportConfig {
+            seed,
+            sizes: vec![100, 400, 1_600],
+            replicas: 4,
+            horizon_per_agent: 30,
+            trajectory_capacity: 32,
+            mode: "quick".to_string(),
+        }
+    }
+
+    /// The full preset: the experiment matrix at paper scale.
+    pub fn full(seed: u64) -> Self {
+        ReportConfig {
+            seed,
+            sizes: vec![100, 400, 1_600, 6_400],
+            replicas: 16,
+            horizon_per_agent: 30,
+            trajectory_capacity: 64,
+            mode: "full".to_string(),
+        }
+    }
+
+    /// Validates ranges and ordering.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sizes.is_empty() {
+            return Err("sizes must not be empty".into());
+        }
+        if self.sizes.iter().any(|&n| n < 2) {
+            return Err("every population size must be >= 2".into());
+        }
+        if !self.sizes.windows(2).all(|w| w[0] < w[1]) {
+            return Err("sizes must be strictly ascending".into());
+        }
+        if self.replicas == 0 {
+            return Err("replicas must be >= 1".into());
+        }
+        if self.horizon_per_agent == 0 {
+            return Err("horizon-per-agent must be >= 1".into());
+        }
+        if self.trajectory_capacity < 2 {
+            return Err("trajectory capacity must be >= 2".into());
+        }
+        Ok(())
+    }
+}
+
+/// Static facts about one registry scenario: shape and exact equilibria.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSummary {
+    /// Registry name.
+    pub name: String,
+    /// Strategies per player.
+    pub k: usize,
+    /// Whether the game is symmetric (`B = Aᵀ`).
+    pub symmetric: bool,
+    /// Whether the game is zero-sum (`B = −A`).
+    pub zero_sum: bool,
+    /// One-line description from the registry.
+    pub description: String,
+    /// Number of enumerated bimatrix equilibria.
+    pub equilibria: usize,
+    /// Exact symmetric-equilibrium profiles (of the game itself when
+    /// symmetric, of the symmetrized companion otherwise).
+    pub equilibrium_profiles: Vec<Vec<f64>>,
+    /// The LP minimax value for zero-sum scenarios.
+    pub minimax_value: Option<f64>,
+    /// Whether dynamics run on the symmetrized companion game.
+    pub symmetrized: bool,
+}
+
+/// One (population size) cell of a convergence row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceCell {
+    /// Population size.
+    pub n: u64,
+    /// Replica-mean TV distance to the nearest exact equilibrium at the
+    /// end of the run.
+    pub mean_tv: f64,
+    /// Smallest replica TV.
+    pub min_tv: f64,
+    /// Largest replica TV.
+    pub max_tv: f64,
+    /// Fraction of replicas that ended in consensus (all agents on one
+    /// strategy) — the absorption statistic.
+    pub consensus_fraction: f64,
+}
+
+/// One scenario-dynamics pair swept across every population size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Dynamics label (`best-response`, `logit`, `imitation`).
+    pub dynamics: String,
+    /// Whether the pair ran on the symmetrized companion game.
+    pub symmetrized: bool,
+    /// One cell per configured population size, ascending.
+    pub cells: Vec<ConvergenceCell>,
+    /// Fitted decay exponent `α` in `TV ≈ C·n^{−α}` (least squares on
+    /// log-log), when every cell kept a strictly positive distance and at
+    /// least two sizes were swept. `None` for absorbing dynamics that
+    /// reach a pure equilibrium exactly.
+    pub decay_alpha: Option<f64>,
+}
+
+impl ConvergenceRow {
+    /// Whether the replica-mean distance at the largest size vanished —
+    /// the pair is effectively absorbed at an exact equilibrium.
+    pub fn absorbed(&self) -> bool {
+        self.cells.last().is_some_and(|c| c.mean_tv < 1e-9)
+    }
+}
+
+/// The mean trajectory of one scenario-dynamics pair at the largest
+/// population size: strided interaction clocks with the replica-mean TV
+/// distance and replica-mean strategy frequencies at each point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectorySeries {
+    /// Scenario name.
+    pub scenario: String,
+    /// Dynamics label.
+    pub dynamics: String,
+    /// Population size the series was captured at.
+    pub n: u64,
+    /// Interaction clocks of the retained points (shared by all replicas
+    /// — the recorder is deterministic in the leap schedule).
+    pub interactions: Vec<u64>,
+    /// Replica-mean TV distance to the nearest exact equilibrium per
+    /// point.
+    pub mean_tv: Vec<f64>,
+    /// Replica-mean strategy frequencies per point.
+    pub mean_frequencies: Vec<Vec<f64>>,
+}
+
+/// The full report: configuration echo plus every measured section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The configuration that produced this report.
+    pub config: ReportConfig,
+    /// Static registry facts and exact equilibria.
+    pub scenarios: Vec<ScenarioSummary>,
+    /// Convergence tables, one row per swept scenario-dynamics pair.
+    pub convergence: Vec<ConvergenceRow>,
+    /// Mean trajectories at the largest population size.
+    pub trajectories: Vec<TrajectorySeries>,
+}
+
+/// SplitMix64-style mixing for decorrelated per-cell seeds.
+fn cell_seed(seed: u64, pair: u64, size: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(pair.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(size.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z.wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// The dynamics rules swept for a scenario. Symmetric scenarios get all
+/// three; symmetrized companions skip imitation (same-side encounters pay
+/// zero, so imitation freezes — measuring it would only record the
+/// initial condition).
+fn rules_for(symmetric: bool) -> Vec<DynamicsRule> {
+    if symmetric {
+        vec![
+            DynamicsRule::BestResponse,
+            DynamicsRule::Logit { eta: 2.0 },
+            DynamicsRule::Imitation,
+        ]
+    } else {
+        vec![DynamicsRule::BestResponse, DynamicsRule::Logit { eta: 2.0 }]
+    }
+}
+
+/// The exact equilibrium profiles dynamics are measured against: the
+/// scenario's own symmetric equilibria when the game is symmetric, the
+/// companion game's otherwise — with a constructive LP fallback for
+/// zero-sum games in case support enumeration certifies nothing on a
+/// degenerate companion.
+fn ground_truth(scenario: &Scenario, game: &MatrixGame) -> Result<Vec<Vec<f64>>, String> {
+    let eqs: Vec<Vec<f64>> = symmetric_equilibria(game)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|eq| eq.x)
+        .collect();
+    if !eqs.is_empty() {
+        return Ok(eqs);
+    }
+    let original = scenario.game();
+    if original.is_zero_sum(1e-9) {
+        // (p*, q*) optimal for the original game embeds as a symmetric
+        // equilibrium of the companion at the payoff-balancing split:
+        // with A′ = A − min A + 1 and B′ = B − min B + 1 the two sides'
+        // equilibrium payoffs are u_A′ = v + 1 − min A and
+        // u_B′ = −v + 1 − min B (both ≥ 1), and mass λ = u_A′/(u_A′+u_B′)
+        // on the row side equalizes them.
+        let sol = solve_zero_sum(original.row_matrix()).map_err(|e| e.to_string())?;
+        let min_a = original
+            .row_matrix()
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let min_b = original
+            .col_matrix()
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let u_a = sol.value + 1.0 - min_a;
+        let u_b = -sol.value + 1.0 - min_b;
+        let lambda = u_a / (u_a + u_b);
+        let mut x: Vec<f64> = sol.row_strategy.iter().map(|&p| lambda * p).collect();
+        x.extend(sol.col_strategy.iter().map(|&q| (1.0 - lambda) * q));
+        return Ok(vec![x]);
+    }
+    Err(format!(
+        "no exact symmetric equilibrium available for scenario {}",
+        scenario.name()
+    ))
+}
+
+/// Least-squares slope of `ln tv` on `ln n`, negated: the decay exponent
+/// `α` in `TV ≈ C·n^{−α}`. `None` unless at least two cells exist and
+/// every distance is strictly positive.
+fn fit_decay_alpha(cells: &[ConvergenceCell]) -> Option<f64> {
+    if cells.len() < 2 || cells.iter().any(|c| c.mean_tv <= 1e-9) {
+        return None;
+    }
+    let points: Vec<(f64, f64)> = cells
+        .iter()
+        .map(|c| ((c.n as f64).ln(), c.mean_tv.ln()))
+        .collect();
+    let m = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = m * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some(-((m * sxy - sx * sy) / denom))
+}
+
+/// What one replica hands back to the aggregator.
+struct ReplicaOutcome {
+    tv: f64,
+    consensus: bool,
+    /// `(interactions, frequencies, tv)` per retained trajectory point.
+    trajectory: Vec<(u64, Vec<f64>, f64)>,
+}
+
+/// Runs one (dynamics, equilibria, n) cell: `replicas` recorded runs from
+/// the uniform profile, fanned out deterministically.
+fn run_cell(
+    dynamics: &GameDynamics,
+    equilibria: &[Vec<f64>],
+    n: u64,
+    seed: u64,
+    config: &ReportConfig,
+) -> Result<Vec<ReplicaOutcome>, String> {
+    let k = dynamics.k();
+    let uniform = vec![1.0 / k as f64; k];
+    // Probe construction once so errors surface as messages, not panics.
+    engine_from_profile(dynamics.clone(), &uniform, n).map_err(|e| e.to_string())?;
+    let horizon = config.horizon_per_agent.saturating_mul(n);
+    let capacity = config.trajectory_capacity;
+    let nearest_tv = |freq: &[f64]| {
+        equilibria
+            .iter()
+            .map(|eq| tv_distance(freq, eq).expect("matching dimensions"))
+            .fold(f64::INFINITY, f64::min)
+    };
+    Ok(run_replicas(seed, config.replicas, |_replica, mut rng| {
+        let mut engine = engine_from_profile(dynamics.clone(), &uniform, n)
+            .expect("probed above");
+        let mut recorder = TrajectoryRecorder::new(capacity).expect("capacity validated");
+        let batch = engine.suggested_batch();
+        engine
+            .run_recorded(horizon, batch, &mut rng, &mut recorder)
+            .expect("n >= 2");
+        let trajectory = recorder
+            .into_points()
+            .into_iter()
+            .map(|p| {
+                let freq = p.frequencies();
+                let tv = nearest_tv(&freq);
+                (p.interactions, freq, tv)
+            })
+            .collect();
+        ReplicaOutcome {
+            tv: nearest_tv(&engine.frequencies()),
+            consensus: engine.is_consensus(),
+            trajectory,
+        }
+    }))
+}
+
+/// Runs the full experiment matrix and assembles the report.
+///
+/// Deterministic: equal configs yield equal reports (and byte-identical
+/// renderings). The work fans out across OS threads per the runner's
+/// determinism contract, so wall-clock depends on the machine but results
+/// never do.
+///
+/// # Errors
+///
+/// A human-readable message on invalid configuration or when a scenario
+/// has no exact equilibrium to measure against (cannot happen for the
+/// shipped registry).
+pub fn run_report(config: &ReportConfig) -> Result<Report, String> {
+    config.validate()?;
+    let mut scenarios = Vec::new();
+    let mut convergence = Vec::new();
+    let mut trajectories = Vec::new();
+    let mut pair_index = 0u64;
+    for scenario in registry() {
+        let original = scenario.game();
+        let symmetric = original.is_symmetric(1e-9);
+        let zero_sum = original.is_zero_sum(1e-9);
+        // Dynamics substrate: the game itself, or its symmetrized
+        // companion for asymmetric scenarios.
+        let substrate = if symmetric {
+            original.clone()
+        } else {
+            original.symmetrized()
+        };
+        let equilibria = ground_truth(&scenario, &substrate)?;
+        scenarios.push(ScenarioSummary {
+            name: scenario.name().to_string(),
+            k: original.k(),
+            symmetric,
+            zero_sum,
+            description: scenario.description().to_string(),
+            equilibria: scenario.equilibria().len(),
+            equilibrium_profiles: equilibria.clone(),
+            minimax_value: zero_sum
+                .then(|| solve_zero_sum(original.row_matrix()).map(|s| s.value))
+                .transpose()
+                .map_err(|e| e.to_string())?,
+            symmetrized: !symmetric,
+        });
+        for rule in rules_for(symmetric) {
+            let dynamics =
+                GameDynamics::new(&substrate, rule).map_err(|e| e.to_string())?;
+            let mut cells = Vec::new();
+            for (size_index, &n) in config.sizes.iter().enumerate() {
+                let seed = cell_seed(config.seed, pair_index, size_index as u64);
+                let outcomes = run_cell(&dynamics, &equilibria, n, seed, config)?;
+                let tvs: Vec<f64> = outcomes.iter().map(|o| o.tv).collect();
+                let consensus = outcomes.iter().filter(|o| o.consensus).count();
+                cells.push(ConvergenceCell {
+                    n,
+                    mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
+                    min_tv: tvs.iter().copied().fold(f64::INFINITY, f64::min),
+                    max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    consensus_fraction: consensus as f64 / outcomes.len() as f64,
+                });
+                if size_index + 1 == config.sizes.len() {
+                    // Largest size: aggregate the mean trajectory.
+                    let clocks: Vec<u64> =
+                        outcomes[0].trajectory.iter().map(|p| p.0).collect();
+                    let tv_series: Vec<Vec<f64>> = outcomes
+                        .iter()
+                        .map(|o| o.trajectory.iter().map(|p| p.2).collect())
+                        .collect();
+                    let freq_series: Vec<Vec<Vec<f64>>> = outcomes
+                        .iter()
+                        .map(|o| o.trajectory.iter().map(|p| p.1.clone()).collect())
+                        .collect();
+                    trajectories.push(TrajectorySeries {
+                        scenario: scenario.name().to_string(),
+                        dynamics: rule.label().to_string(),
+                        n,
+                        interactions: clocks,
+                        mean_tv: mean_vectors(&tv_series),
+                        mean_frequencies: mean_series(&freq_series),
+                    });
+                }
+            }
+            let decay_alpha = fit_decay_alpha(&cells);
+            convergence.push(ConvergenceRow {
+                scenario: scenario.name().to_string(),
+                dynamics: rule.label().to_string(),
+                symmetrized: !symmetric,
+                cells,
+                decay_alpha,
+            });
+            pair_index += 1;
+        }
+    }
+    Ok(Report {
+        config: config.clone(),
+        scenarios,
+        convergence,
+        trajectories,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReportConfig {
+        ReportConfig {
+            seed: 11,
+            sizes: vec![50, 150],
+            replicas: 2,
+            horizon_per_agent: 10,
+            trajectory_capacity: 8,
+            mode: "custom".to_string(),
+        }
+    }
+
+    #[test]
+    fn config_validation_names_the_offender() {
+        let mut c = tiny();
+        c.sizes.clear();
+        assert!(c.validate().unwrap_err().contains("sizes"));
+        let mut c = tiny();
+        c.sizes = vec![150, 50];
+        assert!(c.validate().unwrap_err().contains("ascending"));
+        let mut c = tiny();
+        c.sizes = vec![1, 50];
+        assert!(c.validate().unwrap_err().contains(">= 2"));
+        let mut c = tiny();
+        c.replicas = 0;
+        assert!(c.validate().unwrap_err().contains("replicas"));
+        let mut c = tiny();
+        c.horizon_per_agent = 0;
+        assert!(c.validate().unwrap_err().contains("horizon"));
+        let mut c = tiny();
+        c.trajectory_capacity = 1;
+        assert!(c.validate().unwrap_err().contains("trajectory"));
+        assert!(tiny().validate().is_ok());
+        assert!(ReportConfig::quick(1).validate().is_ok());
+        assert!(ReportConfig::full(1).validate().is_ok());
+    }
+
+    #[test]
+    fn report_covers_every_registry_scenario_under_two_dynamics() {
+        let report = run_report(&tiny()).unwrap();
+        for scenario in registry() {
+            let dynamics: Vec<&str> = report
+                .convergence
+                .iter()
+                .filter(|row| row.scenario == scenario.name())
+                .map(|row| row.dynamics.as_str())
+                .collect();
+            assert!(
+                dynamics.len() >= 2,
+                "{} covered by {:?}",
+                scenario.name(),
+                dynamics
+            );
+        }
+        // Every cell carries a well-formed distance and every row spans
+        // the configured sizes.
+        for row in &report.convergence {
+            assert_eq!(row.cells.len(), 2, "{}/{}", row.scenario, row.dynamics);
+            for cell in &row.cells {
+                assert!(
+                    (0.0..=1.0).contains(&cell.mean_tv),
+                    "{}/{}: {}",
+                    row.scenario,
+                    row.dynamics,
+                    cell.mean_tv
+                );
+                assert!(cell.min_tv <= cell.mean_tv && cell.mean_tv <= cell.max_tv);
+                assert!((0.0..=1.0).contains(&cell.consensus_fraction));
+            }
+        }
+        // One trajectory per pair, at the largest size, non-empty.
+        assert_eq!(report.trajectories.len(), report.convergence.len());
+        for t in &report.trajectories {
+            assert_eq!(t.n, 150);
+            assert!(t.interactions.len() >= 2);
+            assert_eq!(t.interactions.len(), t.mean_tv.len());
+            assert_eq!(t.interactions.len(), t.mean_frequencies.len());
+            assert_eq!(*t.interactions.last().unwrap(), 10 * 150);
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = run_report(&tiny()).unwrap();
+        let b = run_report(&tiny()).unwrap();
+        assert_eq!(a, b);
+        // Different seeds genuinely change the measurements.
+        let mut other = tiny();
+        other.seed = 12;
+        let c = run_report(&other).unwrap();
+        assert_ne!(a.convergence, c.convergence);
+    }
+
+    #[test]
+    fn asymmetric_scenarios_ride_the_symmetrized_companion() {
+        let report = run_report(&tiny()).unwrap();
+        for name in ["matching-pennies", "random-zero-sum"] {
+            let summary = report.scenarios.iter().find(|s| s.name == name).unwrap();
+            assert!(summary.symmetrized && summary.zero_sum);
+            assert!(!summary.equilibrium_profiles.is_empty(), "{name}");
+            // Companion profiles live on the doubled strategy space.
+            for profile in &summary.equilibrium_profiles {
+                assert_eq!(profile.len(), 2 * summary.k);
+                assert!((profile.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            }
+            assert!(summary.minimax_value.is_some());
+        }
+        // Symmetric scenarios are measured against their own equilibria.
+        let hd = report
+            .scenarios
+            .iter()
+            .find(|s| s.name == "hawk-dove")
+            .unwrap();
+        assert!(!hd.symmetrized);
+        assert!(hd
+            .equilibrium_profiles
+            .iter()
+            .any(|p| (p[0] - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn decay_fit_recovers_a_planted_exponent() {
+        let cells: Vec<ConvergenceCell> = [(100u64, 0.1f64), (400, 0.05), (1_600, 0.025)]
+            .iter()
+            .map(|&(n, tv)| ConvergenceCell {
+                n,
+                mean_tv: tv,
+                min_tv: tv,
+                max_tv: tv,
+                consensus_fraction: 0.0,
+            })
+            .collect();
+        // tv halves per 4x in n: alpha = 1/2 exactly.
+        let alpha = fit_decay_alpha(&cells).unwrap();
+        assert!((alpha - 0.5).abs() < 1e-9, "{alpha}");
+        // Absorbed rows (zero distance) carry no fit.
+        let absorbed = vec![
+            ConvergenceCell {
+                n: 100,
+                mean_tv: 0.0,
+                min_tv: 0.0,
+                max_tv: 0.0,
+                consensus_fraction: 1.0,
+            },
+            ConvergenceCell {
+                n: 400,
+                mean_tv: 0.0,
+                min_tv: 0.0,
+                max_tv: 0.0,
+                consensus_fraction: 1.0,
+            },
+        ];
+        assert!(fit_decay_alpha(&absorbed).is_none());
+        assert!(fit_decay_alpha(&cells[..1]).is_none());
+    }
+}

@@ -174,6 +174,36 @@ pub fn mean_vectors(results: &[Vec<f64>]) -> Vec<f64> {
     acc
 }
 
+/// Element-wise mean of per-replica *time series* of `f64` vectors: all
+/// replicas must share one shape (`series[r][t]` is replica `r`'s vector
+/// at time point `t`). The companion of [`mean_vectors`] for trajectory
+/// capture, where each replica contributes a whole strided timeline (see
+/// `popgame_population::trajectory`) rather than a single final vector.
+///
+/// # Panics
+///
+/// Panics when `series` is empty or shapes differ across replicas.
+pub fn mean_series(series: &[Vec<Vec<f64>>]) -> Vec<Vec<f64>> {
+    let first = series.first().expect("at least one replica");
+    for replica in series {
+        assert_eq!(replica.len(), first.len(), "replica series lengths differ");
+    }
+    let scale = 1.0 / series.len() as f64;
+    (0..first.len())
+        .map(|t| {
+            let mut acc = vec![0.0f64; first[t].len()];
+            for replica in series {
+                assert_eq!(replica[t].len(), acc.len(), "replica vector lengths differ");
+                for (a, x) in acc.iter_mut().zip(&replica[t]) {
+                    *a += x;
+                }
+            }
+            acc.iter_mut().for_each(|a| *a *= scale);
+            acc
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +292,24 @@ mod tests {
     #[should_panic(expected = "replica vector lengths differ")]
     fn mean_vectors_rejects_ragged_input() {
         let _ = mean_vectors(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn mean_series_averages_pointwise_across_replicas() {
+        let r0 = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let r1 = vec![vec![3.0, 2.0], vec![2.0, 3.0]];
+        assert_eq!(
+            mean_series(&[r0, r1]),
+            vec![vec![2.0, 1.0], vec![1.0, 2.0]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replica series lengths differ")]
+    fn mean_series_rejects_ragged_replicas() {
+        let _ = mean_series(&[
+            vec![vec![1.0]],
+            vec![vec![1.0], vec![2.0]],
+        ]);
     }
 }

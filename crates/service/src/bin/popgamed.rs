@@ -13,61 +13,17 @@
 //! exits 0. See the crate docs and the README "Serving" section for the
 //! endpoint reference.
 
-use popgame_service::{PopgameService, ServiceConfig};
+use popgame_service::{PopgameService, ServiceConfig, SERVE_USAGE};
 use std::io::Write as _;
 use std::process::ExitCode;
 
-fn parse_args(args: &[String]) -> Result<ServiceConfig, String> {
-    let mut config = ServiceConfig {
-        addr: "127.0.0.1:8095".to_string(),
-        ..ServiceConfig::default()
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value_of = |flag: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match arg.as_str() {
-            "--addr" => config.addr = value_of("--addr")?,
-            "--http-workers" => {
-                config.http_workers = value_of("--http-workers")?
-                    .parse()
-                    .map_err(|e| format!("--http-workers: {e}"))?;
-            }
-            "--job-workers" => {
-                config.job_workers = value_of("--job-workers")?
-                    .parse()
-                    .map_err(|e| format!("--job-workers: {e}"))?;
-            }
-            "--queue-depth" => {
-                config.queue_depth = value_of("--queue-depth")?
-                    .parse()
-                    .map_err(|e| format!("--queue-depth: {e}"))?;
-            }
-            "--job-queue-depth" => {
-                config.job_queue_depth = value_of("--job-queue-depth")?
-                    .parse()
-                    .map_err(|e| format!("--job-queue-depth: {e}"))?;
-            }
-            "--allow-remote-shutdown" => config.remote_shutdown = true,
-            other => return Err(format!("unknown argument: {other}")),
-        }
-    }
-    Ok(config)
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
+    let config = match ServiceConfig::from_args(&args) {
         Ok(config) => config,
         Err(message) => {
             eprintln!("usage error: {message}");
-            eprintln!(
-                "usage: popgamed [--addr HOST:PORT] [--http-workers N] [--job-workers N] \
-                 [--queue-depth N] [--job-queue-depth N] [--allow-remote-shutdown]"
-            );
+            eprintln!("usage: popgamed {SERVE_USAGE}");
             return ExitCode::from(2);
         }
     };

@@ -93,6 +93,64 @@ impl Default for ServiceConfig {
     }
 }
 
+/// The daemon flags accepted by [`ServiceConfig::from_args`], for usage
+/// messages (shared by `popgamed` and `popgame serve`).
+pub const SERVE_USAGE: &str = "[--addr HOST:PORT] [--http-workers N] [--job-workers N] \
+     [--queue-depth N] [--job-queue-depth N] [--allow-remote-shutdown]";
+
+impl ServiceConfig {
+    /// Parses daemon command-line flags (see [`SERVE_USAGE`]) on top of
+    /// the defaults, with the daemon's fixed default port `8095` instead
+    /// of the library default of an ephemeral port. Shared by the
+    /// `popgamed` binary and the `popgame serve` subcommand so the two
+    /// entry points cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on unknown flags, missing values, or
+    /// unparseable numbers.
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut config = ServiceConfig {
+            addr: "127.0.0.1:8095".to_string(),
+            ..ServiceConfig::default()
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_of = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--addr" => config.addr = value_of("--addr")?,
+                "--http-workers" => {
+                    config.http_workers = value_of("--http-workers")?
+                        .parse()
+                        .map_err(|e| format!("--http-workers: {e}"))?;
+                }
+                "--job-workers" => {
+                    config.job_workers = value_of("--job-workers")?
+                        .parse()
+                        .map_err(|e| format!("--job-workers: {e}"))?;
+                }
+                "--queue-depth" => {
+                    config.queue_depth = value_of("--queue-depth")?
+                        .parse()
+                        .map_err(|e| format!("--queue-depth: {e}"))?;
+                }
+                "--job-queue-depth" => {
+                    config.job_queue_depth = value_of("--job-queue-depth")?
+                        .parse()
+                        .map_err(|e| format!("--job-queue-depth: {e}"))?;
+                }
+                "--allow-remote-shutdown" => config.remote_shutdown = true,
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(config)
+    }
+}
+
 /// A running service: HTTP server + job executors + shared state.
 pub struct PopgameService {
     http: HttpServer,

@@ -215,6 +215,48 @@ impl MatrixGame {
         Ok((e_row, e_col))
     }
 
+    /// The symmetrized companion game: the `2k×2k` **symmetric** game
+    /// `[[0, A′], [B′ᵀ, 0]]` where `A′` and `B′` are the two payoff
+    /// matrices shifted strictly positive (`m′ = m − min m + 1`).
+    ///
+    /// Strategies `0..k` are "play row-side `i`", strategies `k..2k` are
+    /// "play column-side `j`"; a same-side encounter pays nothing. With
+    /// both shifted matrices strictly positive, every symmetric
+    /// equilibrium `x` of the companion game splits its mass across both
+    /// sides and projects to a Nash equilibrium `(p, q)` of the original
+    /// bimatrix game (the standard symmetrization reduction) — which is
+    /// how asymmetric games become reachable by *one-population* protocol
+    /// dynamics: run any [`crate::dynamics::GameDynamics`] rule on the
+    /// companion game and compare against its exact symmetric equilibria.
+    ///
+    /// Payoff shifts change neither best responses nor equilibria of the
+    /// original game, so the projection is exact, not approximate.
+    pub fn symmetrized(&self) -> MatrixGame {
+        let k = self.k;
+        let shift = |m: &[Vec<f64>]| {
+            let min = m
+                .iter()
+                .flatten()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            move |v: f64| v - min + 1.0
+        };
+        let a = shift(&self.row);
+        let b = shift(&self.col);
+        let rows = (0..2 * k)
+            .map(|i| {
+                (0..2 * k)
+                    .map(|j| match (i < k, j < k) {
+                        (true, false) => a(self.row[i][j - k]),
+                        (false, true) => b(self.col[j][i - k]),
+                        _ => 0.0,
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::symmetric(rows).expect("shifted finite payoffs stay finite")
+    }
+
     /// Converts to the paper's [`DistributionalGame`] so solver output can
     /// be certified by the Definition 1.1 ε-gap checker in
     /// `popgame_equilibrium::de`.
@@ -274,6 +316,43 @@ mod tests {
         assert!((er - 0.5).abs() < 1e-12 && (ec - 0.5).abs() < 1e-12);
         assert!(g.expected_payoffs(&[0.5], &[0.5, 0.5]).is_err());
         assert!(g.expected_payoffs(&[0.9, 0.9], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn symmetrization_embeds_the_original_payoffs_positively() {
+        let mp = MatrixGame::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let sym = mp.symmetrized();
+        assert_eq!(sym.k(), 4);
+        assert!(sym.is_symmetric(0.0));
+        // Cross-side payoffs are the shifted originals (min −1 → +2).
+        assert_eq!(sym.row(0, 2), 3.0); // A[0][0] + 2
+        assert_eq!(sym.row(0, 3), 1.0); // A[0][1] + 2
+        assert_eq!(sym.row(2, 0), 1.0); // B[0][0] + 2
+        assert_eq!(sym.row(3, 0), 3.0); // B[0][1] + 2
+        // Same-side encounters pay nothing.
+        assert_eq!(sym.row(0, 1), 0.0);
+        assert_eq!(sym.row(2, 3), 0.0);
+    }
+
+    #[test]
+    fn symmetrized_equilibria_project_to_the_original_nash() {
+        use crate::nash::symmetric_equilibria;
+        // Matching pennies: unique Nash (1/2, 1/2) each side, so the
+        // companion game's symmetric equilibria all project to it.
+        let mp = MatrixGame::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let eqs = symmetric_equilibria(&mp.symmetrized()).unwrap();
+        assert!(!eqs.is_empty(), "companion game must have a symmetric equilibrium");
+        for eq in &eqs {
+            let row_mass: f64 = eq.x[..2].iter().sum();
+            let col_mass: f64 = eq.x[2..].iter().sum();
+            assert!(row_mass > 1e-9 && col_mass > 1e-9, "{:?}", eq.x);
+            for side in [&eq.x[..2], &eq.x[2..]] {
+                let total: f64 = side.iter().sum();
+                for &p in side {
+                    assert!((p / total - 0.5).abs() < 1e-9, "{:?}", eq.x);
+                }
+            }
+        }
     }
 
     #[test]
