@@ -111,7 +111,8 @@ pub fn solve(args: &[String]) -> Result<(), CliError> {
 }
 
 const SIMULATE_USAGE: &str = "usage: popgame simulate --scenario <name> \
-     [--dynamics best-response|logit|imitation] [--eta X] [--n N] \
+     [--dynamics best-response|logit|imitation|pairwise-imitation|\
+imitation-two-way|br-sample|k-igt] [--eta X] [--n N] \
      [--interactions I] [--replicas R] [--seed S]";
 
 /// `popgame simulate` — a deterministic replica sweep via the shared
@@ -313,9 +314,10 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
 const BENCH_USAGE: &str =
     "usage: popgame bench [--quick] [--n N] [--interactions I] [--seed S]";
 
-/// `popgame bench` — a quick batched-engine throughput probe over the
-/// three dynamics rules on rock-paper-scissors. Timings are
-/// machine-dependent (unlike every other subcommand's output); the
+/// `popgame bench` — a quick batched-engine throughput probe over four
+/// dynamics rules on rock-paper-scissors (including the count-coupled
+/// pairwise-imitation path, whose kernel rebuilds every leap). Timings
+/// are machine-dependent (unlike every other subcommand's output); the
 /// counts and final frequencies are deterministic.
 pub fn bench(args: &[String]) -> Result<(), CliError> {
     let mut n: u64 = 1_000_000;
@@ -351,6 +353,7 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
         DynamicsRule::BestResponse,
         DynamicsRule::Logit { eta: 2.0 },
         DynamicsRule::Imitation,
+        DynamicsRule::PairwiseImitation,
     ]
     .into_iter()
     .enumerate()

@@ -19,8 +19,7 @@
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error.
 
-mod commands;
-
+use popgame_cli::commands;
 use std::process::ExitCode;
 
 const USAGE: &str = "\

@@ -65,13 +65,22 @@ fn reproduce_reports_are_byte_identical_across_runs() {
     let md_a = std::fs::read(dir_a.join("REPORT.md")).unwrap();
     let md_b = std::fs::read(dir_b.join("REPORT.md")).unwrap();
     assert_eq!(md_a, md_b, "REPORT.md must be byte-identical");
-    // The artifacts carry the advertised content.
+    // The artifacts carry the advertised content — including the η-sweep
+    // and divergence-panel sections, whose byte-identity the whole-file
+    // comparison above pins.
     let md = String::from_utf8(md_a).unwrap();
     assert!(md.contains("## Convergence"));
     assert!(md.contains("matching-pennies"));
+    assert!(md.contains("## Logit η-sweep"));
+    assert!(md.contains("η=0.5") && md.contains("η=8"));
+    assert!(md.contains("## Divergence panel: Shapley-style cycling (`shapley-cycle`)"));
+    assert!(md.contains("pairwise-imitation"));
+    assert!(md.contains("k-igt"));
     let json = String::from_utf8(json_a).unwrap();
     assert!(json.contains("\"schema_version\""));
     assert!(json.contains("\"decay_alpha\""));
+    assert!(json.contains("\"eta_sweep\""));
+    assert!(json.contains("\"divergence\""));
     // A different seed produces different measurements.
     let dir_c = temp_dir("golden-c");
     let out = popgame(&[
@@ -204,6 +213,48 @@ fn simulate_is_deterministic_and_matches_defaults() {
     assert!(a.status.success(), "{}", stderr(&a));
     assert_eq!(stdout(&a), stdout(&b), "byte-identical runs");
     assert!(stdout(&a).contains("\"mean_tv_to_equilibrium\""));
+}
+
+#[test]
+fn simulate_serves_the_new_dynamics_and_scenarios() {
+    // Count-coupled dynamics on a new registry scenario...
+    let out = popgame(&[
+        "simulate",
+        "--scenario",
+        "shapley-cycle",
+        "--dynamics",
+        "pairwise-imitation",
+        "--n",
+        "300",
+        "--interactions",
+        "3000",
+        "--replicas",
+        "2",
+        "--seed",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("\"mean_tv_to_equilibrium\""));
+    // ...and the paper's k-IGT as a first-class dynamic on its substrate.
+    let out = popgame(&[
+        "simulate",
+        "--scenario",
+        "prisoners-dilemma",
+        "--dynamics",
+        "k-igt",
+        "--n",
+        "500",
+        "--interactions",
+        "5000",
+        "--replicas",
+        "2",
+        "--seed",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"symmetric_equilibria\""), "{text}");
+    assert!(text.contains("\"mean_frequencies\""), "{text}");
 }
 
 #[test]

@@ -147,12 +147,35 @@ impl KernelTable {
     /// probabilities do not form a pmf (negative/non-finite mass or a
     /// total away from 1) — a protocol bug, named as such.
     pub fn build<P: EnumerableProtocol>(protocol: &P) -> Result<Option<Self>, PopulationError> {
+        Self::build_with(protocol, |p, i, j| p.pair_kernel(i, j))
+    }
+
+    /// Tabulates a *count-coupled* protocol's outcome kernel at the given
+    /// population frequencies, via
+    /// [`EnumerableProtocol::pair_kernel_at`]. The engine calls this on
+    /// every rebuild — after each count change under exact stepping, once
+    /// per leap under τ-leaping.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KernelTable::build`].
+    pub fn build_at<P: EnumerableProtocol>(
+        protocol: &P,
+        freq: &[f64],
+    ) -> Result<Option<Self>, PopulationError> {
+        Self::build_with(protocol, |p, i, j| p.pair_kernel_at(i, j, freq))
+    }
+
+    fn build_with<P: EnumerableProtocol>(
+        protocol: &P,
+        kernel_of: impl Fn(&P, usize, usize) -> Option<Vec<((usize, usize), f64)>>,
+    ) -> Result<Option<Self>, PopulationError> {
         let k = protocol.num_states();
         let mut cells = Vec::with_capacity(k * k);
         let mut identity = Vec::with_capacity(k * k);
         for i in 0..k {
             for j in 0..k {
-                let Some(outcomes) = protocol.pair_kernel(i, j) else {
+                let Some(outcomes) = kernel_of(protocol, i, j) else {
                     return Ok(None);
                 };
                 let mut total = 0.0f64;
@@ -241,8 +264,17 @@ pub struct BatchedEngine<P: EnumerableProtocol> {
     table: Option<TransitionTable>,
     /// Outcome kernel for randomized protocols that declare their law
     /// ([`EnumerableProtocol::pair_kernel`]); only built when `table` is
-    /// unavailable.
+    /// unavailable. For count-coupled protocols (`coupled`), this is the
+    /// kernel at the counts it was last rebuilt from.
     kernel: Option<KernelTable>,
+    /// Whether the protocol's kernel is coupled to the current counts
+    /// ([`EnumerableProtocol::kernel_depends_on_counts`]): the kernel is
+    /// then rebuilt lazily whenever the counts have changed, and
+    /// [`Protocol::interact`](crate::protocol::Protocol::interact) is
+    /// never called.
+    coupled: bool,
+    /// Whether `kernel` predates a count change (count-coupled only).
+    kernel_dirty: bool,
     alias: Option<AliasTable>,
     alias_dirty: bool,
     /// Scratch: indices of non-identity cells with positive weight.
@@ -266,15 +298,32 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
                 num_states: k,
             });
         }
-        let table = TransitionTable::build(&protocol)?;
-        let kernel = if table.is_none() {
-            KernelTable::build(&protocol)?
-        } else {
+        let coupled = protocol.kernel_depends_on_counts();
+        let table = if coupled {
             None
+        } else {
+            TransitionTable::build(&protocol)?
         };
         let interactions = population.interactions();
         let counts = population.counts().to_vec();
         let n = population.len();
+        let kernel = if coupled {
+            // Probe the count-coupled kernel once at construction so a
+            // malformed law errors here, not deep inside a run. A `None`
+            // declaration is a contract violation with the same shape.
+            let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+            let built = KernelTable::build_at(&protocol, &freq)?;
+            if built.is_none() {
+                return Err(PopulationError::InvalidArgument {
+                    reason: "count-coupled protocol declares no pair_kernel_at law".into(),
+                });
+            }
+            built
+        } else if table.is_none() {
+            KernelTable::build(&protocol)?
+        } else {
+            None
+        };
         Ok(BatchedEngine {
             protocol,
             counts,
@@ -282,6 +331,8 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             interactions,
             table,
             kernel,
+            coupled,
+            kernel_dirty: false,
             alias: None,
             alias_dirty: true,
             active_cells: Vec::with_capacity(k * k),
@@ -350,12 +401,33 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
         }
     }
 
+    /// Rebuilds the count-coupled kernel when the counts have changed
+    /// since it was last built. No-op for static-kernel protocols.
+    fn ensure_kernel(&mut self) {
+        if self.coupled && self.kernel_dirty {
+            let freq: Vec<f64> = self
+                .counts
+                .iter()
+                .map(|&c| c as f64 / self.n as f64)
+                .collect();
+            self.kernel = KernelTable::build_at(&self.protocol, &freq)
+                .expect("count-coupled kernel law broke mid-run (protocol bug)");
+            debug_assert!(self.kernel.is_some(), "validated at construction");
+            self.kernel_dirty = false;
+        }
+    }
+
     /// One exact interaction via alias-table sampling: `O(1)` expected when
     /// the counts are unchanged since the last step, `O(K)` to rebuild the
     /// table after a change. Identical in law to
     /// [`CountedPopulation::step`]. Returns the sampled pre-interaction
     /// `(initiator_state, responder_state)` indices.
+    ///
+    /// Count-coupled protocols are exact here too: the kernel is rebuilt
+    /// from the *current* frequencies before the outcome is drawn (an
+    /// `O(K²)` rebuild after every count change).
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (usize, usize) {
+        self.ensure_kernel();
         self.ensure_alias();
         let alias = self.alias.as_ref().expect("built above");
         // Initiator ∝ x_i.
@@ -376,6 +448,23 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
         };
         let (ni, nj) = match &self.table {
             Some(table) => table.apply(i, j),
+            None if self.coupled => {
+                // Sample the outcome from the freshly rebuilt kernel —
+                // `interact` is never called for count-coupled protocols.
+                let kernel = self.kernel.as_ref().expect("coupled engines keep a kernel");
+                let outs = kernel.outcomes(i, j);
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut chosen = outs.last().expect("kernel cells are non-empty").0;
+                for &(out, p) in outs {
+                    acc += p;
+                    if u < acc {
+                        chosen = out;
+                        break;
+                    }
+                }
+                (chosen.0 as usize, chosen.1 as usize)
+            }
             None => {
                 let (si, sj) = (self.protocol.state_at(i), self.protocol.state_at(j));
                 let (ni, nj) = self.protocol.interact(si, sj, rng);
@@ -388,6 +477,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             self.counts[j] -= 1;
             self.counts[nj] += 1;
             self.alias_dirty = true;
+            self.kernel_dirty = true;
         }
         self.interactions += 1;
         (i, j)
@@ -498,7 +588,13 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
 
     /// The multinomial leap over frozen counts; splits on (rare) negative
     /// excursions.
+    ///
+    /// Count-coupled kernels are rebuilt here from the counts being
+    /// frozen, so the kernel shares the leap's own idealization exactly —
+    /// overdraw splits re-enter through this refresh and see updated
+    /// frequencies.
     fn leap<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
+        self.ensure_kernel();
         let k = self.counts.len();
         debug_assert!(
             self.table.is_some() || self.kernel.is_some(),
@@ -620,6 +716,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
         }
         self.interactions += batch;
         self.alias_dirty = true;
+        self.kernel_dirty = true;
     }
 }
 
@@ -1027,6 +1124,204 @@ mod tests {
         assert!(engine.is_consensus());
     }
 
+    /// A *two-way* deterministic protocol: both agents adopt the larger of
+    /// the two states (max-consensus). Exercises both-update tabulation.
+    #[derive(Clone, Copy)]
+    struct MaxConsensus;
+
+    impl Protocol for MaxConsensus {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, i: u8, r: u8, _rng: &mut R) -> (u8, u8) {
+            let m = i.max(r);
+            (m, m)
+        }
+    }
+
+    impl EnumerableProtocol for MaxConsensus {
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+    }
+
+    #[test]
+    fn two_way_protocols_tabulate_both_updates() {
+        let table = TransitionTable::build(&MaxConsensus).unwrap().unwrap();
+        // Both components change: (0, 2) -> (2, 2) and (2, 0) -> (2, 2).
+        assert_eq!(table.apply(0, 2), (2, 2));
+        assert_eq!(table.apply(2, 0), (2, 2));
+        assert!(table.is_identity(1, 1));
+        assert!(!table.is_identity(1, 0));
+    }
+
+    #[test]
+    fn two_way_step_vs_batch_chi_square() {
+        // Step-vs-batch distributional equivalence for a two-way protocol:
+        // final max-state count after a fixed horizon, exact stepping vs
+        // τ-leaps of n/4.
+        let n = 12u64;
+        let horizon = 20u64;
+        let reps = 4_000u64;
+        let mut hist_step = vec![0u64; n as usize + 1];
+        let mut hist_batch = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut engine =
+                BatchedEngine::from_counts(MaxConsensus, vec![6, 4, 2]).unwrap();
+            let mut rng = stream_rng(51, rep);
+            for _ in 0..horizon {
+                engine.step(&mut rng);
+            }
+            hist_step[engine.counts()[2] as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(MaxConsensus, vec![6, 4, 2]).unwrap();
+            let mut rng = stream_rng(badge(rep), rep);
+            engine.run_batched(horizon, n / 4, &mut rng).unwrap();
+            hist_batch[engine.counts()[2] as usize] += 1;
+        }
+        let chi2 = two_sample_chi_square(&hist_step, &hist_batch);
+        // ~11 populated cells; 99.9% quantile of chi2(10) ~ 29.6, plus
+        // leap-bias room.
+        assert!(chi2 < 42.0, "chi-square {chi2}: {hist_step:?} vs {hist_batch:?}");
+    }
+
+    /// A *count-coupled* randomized protocol: the initiator flips to state
+    /// 0 with probability equal to the current frequency of state 0
+    /// (a mean-field-coupled contagion). Its law cannot be stated by
+    /// `interact`.
+    #[derive(Clone, Copy)]
+    struct FieldContagion;
+
+    impl Protocol for FieldContagion {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, _i: u8, _r: u8, _rng: &mut R) -> (u8, u8) {
+            unreachable!("count-coupled protocols run through pair_kernel_at")
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+        fn has_random_transitions(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for FieldContagion {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+        fn kernel_depends_on_counts(&self) -> bool {
+            true
+        }
+        fn pair_kernel_at(
+            &self,
+            _i: usize,
+            j: usize,
+            freq: &[f64],
+        ) -> Option<Vec<((usize, usize), f64)>> {
+            let p0 = freq[0];
+            Some(vec![((0, j), p0), ((1, j), 1.0 - p0)])
+        }
+    }
+
+    #[test]
+    fn count_coupled_protocols_are_rejected_by_agent_paths() {
+        let mut pop = CountedPopulation::from_counts(vec![6, 6]).unwrap();
+        let mut rng = rng_from_seed(2);
+        assert!(matches!(
+            pop.step(&FieldContagion, &mut rng),
+            Err(PopulationError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn count_coupled_step_vs_batch_chi_square() {
+        // The dynamic-kernel path: exact stepping rebuilds the kernel after
+        // every count change; τ-leaps freeze it per leap. The two must stay
+        // distributionally equivalent (the freeze is the same O(batch/n)
+        // idealization as the leap itself).
+        let n = 12u64;
+        let horizon = 30u64;
+        let reps = 4_000u64;
+        let mut hist_step = vec![0u64; n as usize + 1];
+        let mut hist_batch = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut engine =
+                BatchedEngine::from_counts(FieldContagion, vec![8, 4]).unwrap();
+            let mut rng = stream_rng(77, rep);
+            for _ in 0..horizon {
+                engine.step(&mut rng);
+            }
+            hist_step[engine.counts()[0] as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(FieldContagion, vec![8, 4]).unwrap();
+            let mut rng = stream_rng(badge(rep), rep);
+            engine.run_batched(horizon, n / 4, &mut rng).unwrap();
+            hist_batch[engine.counts()[0] as usize] += 1;
+        }
+        let chi2 = two_sample_chi_square(&hist_step, &hist_batch);
+        // 13 cells; 99.9% quantile of chi2(12) ~ 32.9, plus leap-bias room.
+        assert!(chi2 < 45.0, "chi-square {chi2}: {hist_step:?} vs {hist_batch:?}");
+    }
+
+    /// A count-coupled protocol whose declared pmf breaks when any state
+    /// empties (mass 1 + freq[0] at the boundary) — construction must
+    /// surface the bug immediately.
+    #[derive(Clone, Copy, Debug)]
+    struct BrokenCoupled;
+
+    impl Protocol for BrokenCoupled {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, _i: u8, _r: u8, _rng: &mut R) -> (u8, u8) {
+            unreachable!()
+        }
+        fn has_random_transitions(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for BrokenCoupled {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+        fn kernel_depends_on_counts(&self) -> bool {
+            true
+        }
+        fn pair_kernel_at(
+            &self,
+            _i: usize,
+            j: usize,
+            freq: &[f64],
+        ) -> Option<Vec<((usize, usize), f64)>> {
+            Some(vec![((0, j), 1.0 + freq[0])])
+        }
+    }
+
+    #[test]
+    fn count_coupled_construction_validates_the_declared_law() {
+        assert!(matches!(
+            BatchedEngine::from_counts(BrokenCoupled, vec![4, 4]).unwrap_err(),
+            PopulationError::InvalidArgument { .. }
+        ));
+    }
+
     #[test]
     fn recorded_runs_match_unrecorded_runs_bitwise() {
         use crate::trajectory::TrajectoryRecorder;
@@ -1106,6 +1401,44 @@ mod tests {
             engine.run_batched(4 * n, batch, &mut rng).unwrap();
             prop_assert_eq!(engine.counts().iter().sum::<u64>(), n);
             prop_assert_eq!(engine.interactions(), 4 * n);
+        }
+
+        /// Count-coupled dynamic-kernel leaps conserve agents across batch
+        /// sizes (the kernel is rebuilt per leap and per exact step).
+        #[test]
+        fn prop_count_coupled_conserves_agents(
+            a in 1u64..40,
+            b in 1u64..40,
+            seed in 0u64..50,
+            scale in 0usize..3,
+        ) {
+            let n = a + b;
+            let batch = [1, n, 10 * n][scale];
+            let mut engine =
+                BatchedEngine::from_counts(FieldContagion, vec![a, b]).unwrap();
+            let mut rng = rng_from_seed(seed);
+            engine.run_batched(4 * n, batch, &mut rng).unwrap();
+            prop_assert_eq!(engine.counts().iter().sum::<u64>(), n);
+            prop_assert_eq!(engine.interactions(), 4 * n);
+        }
+
+        /// Two-way protocols conserve agents under large batches: both
+        /// halves of each tabulated update land in the deltas.
+        #[test]
+        fn prop_two_way_conserves_agents(
+            a in 1u64..30,
+            b in 1u64..30,
+            c in 1u64..30,
+            seed in 0u64..50,
+        ) {
+            let n = a + b + c;
+            let mut engine =
+                BatchedEngine::from_counts(MaxConsensus, vec![a, b, c]).unwrap();
+            let mut rng = rng_from_seed(seed);
+            engine.run_batched(4 * n, n, &mut rng).unwrap();
+            prop_assert_eq!(engine.counts().iter().sum::<u64>(), n);
+            // Max-consensus absorbs at the largest initially-present state.
+            prop_assert!(engine.counts()[2] >= c);
         }
 
         /// The cyclic protocol (every cell active) conserves agents across

@@ -95,7 +95,11 @@ impl CountedPopulation {
     /// # Errors
     ///
     /// Returns [`PopulationError::StateOutOfRange`] when the protocol's
-    /// state enumeration does not match the count vector length.
+    /// state enumeration does not match the count vector length, and
+    /// [`PopulationError::InvalidArgument`] for count-coupled protocols
+    /// ([`EnumerableProtocol::kernel_depends_on_counts`]), whose law lives
+    /// in `pair_kernel_at` and can only be executed by
+    /// [`crate::batch::BatchedEngine`].
     pub fn step<P, R>(&mut self, protocol: &P, rng: &mut R) -> Result<(usize, usize), PopulationError>
     where
         P: EnumerableProtocol,
@@ -106,6 +110,15 @@ impl CountedPopulation {
             return Err(PopulationError::StateOutOfRange {
                 index: self.counts.len(),
                 num_states: k,
+            });
+        }
+        if protocol.kernel_depends_on_counts() {
+            // Count-coupled protocols cannot state their law through
+            // `interact`; sampling it here would silently run a wrong law.
+            return Err(PopulationError::InvalidArgument {
+                reason: "count-coupled protocols must run on BatchedEngine \
+                         (their law lives in pair_kernel_at, not interact)"
+                    .into(),
             });
         }
         // Initiator ∝ counts.

@@ -10,6 +10,20 @@ use rand::Rng;
 /// state unchanged; [`Protocol::is_one_way`] documents the intent and lets
 /// engines and tests assert it.
 ///
+/// # The two-way contract
+///
+/// Protocols where *both* agents may update are first-class: every engine
+/// in this crate applies the returned `(initiator', responder')` pair in
+/// full, [`crate::batch::TransitionTable`] tabulates both components, and
+/// [`crate::batch::KernelTable`] leaps joint outcome laws over ordered
+/// pairs. A two-way protocol must (a) return `false` from
+/// [`is_one_way`](Protocol::is_one_way) and (b) keep its outcome a
+/// function of the *ordered* pair — the scheduler's pair law
+/// `x_i (x_j − δ_ij)` is ordered, so symmetric rules must hold for both
+/// orientations themselves. Determinism guarantees are unchanged: a
+/// deterministic two-way protocol tabulates and τ-leaps exactly like a
+/// one-way one.
+///
 /// # Example
 ///
 /// ```
@@ -98,6 +112,57 @@ pub trait EnumerableProtocol: Protocol {
     /// execution will diverge distributionally.
     fn pair_kernel(&self, _i: usize, _j: usize) -> Option<Vec<((usize, usize), f64)>> {
         None
+    }
+
+    /// Whether the protocol's outcome law is coupled to the *current
+    /// population frequencies* (a mean-field-coupled revision rule, e.g.
+    /// imitation against independently sampled bystanders, or best
+    /// response to a `k`-sample of the population). Default `false`.
+    ///
+    /// # The count-coupled contract
+    ///
+    /// Count-coupled protocols cannot state their law through
+    /// [`interact`](Protocol::interact) — the signature has no access to
+    /// the counts — so they **must**:
+    ///
+    /// 1. return `true` here *and* from
+    ///    [`has_random_transitions`](Protocol::has_random_transitions);
+    /// 2. declare the full law via
+    ///    [`pair_kernel_at`](Self::pair_kernel_at) (and return `None` from
+    ///    the static [`pair_kernel`](Self::pair_kernel));
+    /// 3. treat [`interact`](Protocol::interact) as unreachable — engines
+    ///    aware of this flag never call it, and
+    ///    [`crate::counts::CountedPopulation`] rejects count-coupled
+    ///    protocols with an error instead of silently sampling a wrong
+    ///    law. Implementations conventionally `panic!` with a message
+    ///    pointing at [`crate::batch::BatchedEngine`].
+    ///
+    /// [`crate::batch::BatchedEngine`] executes such protocols by
+    /// rebuilding a [`crate::batch::KernelTable`] from the current
+    /// frequencies: after **every** count change under exact stepping, and
+    /// once per leap (from the frozen counts) under τ-leaping — the same
+    /// frozen-population idealization as the leap itself, so step and
+    /// batch stay chi-square-equivalent.
+    fn kernel_depends_on_counts(&self) -> bool {
+        false
+    }
+
+    /// The outcome law of the ordered state-index pair `(i, j)` **given
+    /// the current population frequencies** `freq` (one entry per state
+    /// index, summing to 1). Count-coupled protocols override this;
+    /// everything else inherits the default, which ignores `freq` and
+    /// delegates to the static [`pair_kernel`](Self::pair_kernel).
+    ///
+    /// The declared law must be a pmf for every reachable `freq`, exactly
+    /// like the static kernel.
+    fn pair_kernel_at(
+        &self,
+        i: usize,
+        j: usize,
+        freq: &[f64],
+    ) -> Option<Vec<((usize, usize), f64)>> {
+        let _ = freq;
+        self.pair_kernel(i, j)
     }
 }
 

@@ -7,8 +7,20 @@ use popgame_runner::{mean_series, mean_vectors, run_replicas};
 use popgame_solver::dynamics::{engine_from_profile, DynamicsRule, GameDynamics};
 use popgame_solver::game::MatrixGame;
 use popgame_solver::nash::symmetric_equilibria;
-use popgame_solver::scenarios::{registry, Scenario};
+use popgame_solver::scenarios::{by_name, registry, Scenario};
 use popgame_solver::zerosum::solve_zero_sum;
+
+/// Logit inverse temperatures swept by the η-sweep section.
+pub const ETA_SWEEP: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// The scenario the divergence panel runs on: the Shapley-style cycling
+/// game, whose unique Nash equilibrium (the uniform mix) repels the
+/// replicator while logit revision converges to it.
+pub const DIVERGENCE_SCENARIO: &str = "shapley-cycle";
+
+/// Off-equilibrium start profile of the divergence panel: divergence is
+/// then a deterministic-scale effect, not a noise-seeded one.
+pub const DIVERGENCE_START: [f64; 3] = [0.6, 0.25, 0.15];
 
 /// Everything the harness needs; the report is a pure function of this.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,6 +182,72 @@ pub struct TrajectorySeries {
     pub mean_frequencies: Vec<Vec<f64>>,
 }
 
+/// One η cell of the logit sweep: final replica-mean/extreme TV at the
+/// largest population size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EtaSweepCell {
+    /// Logit inverse temperature.
+    pub eta: f64,
+    /// Replica-mean TV to the nearest exact equilibrium.
+    pub mean_tv: f64,
+    /// Largest replica TV.
+    pub max_tv: f64,
+}
+
+/// One symmetric scenario swept across [`ETA_SWEEP`] at the largest `n`:
+/// the plateau-vs-bias tradeoff of smoothed best response, measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EtaSweepRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Population size (the largest configured).
+    pub n: u64,
+    /// One cell per swept η, in [`ETA_SWEEP`] order.
+    pub cells: Vec<EtaSweepCell>,
+}
+
+/// One dynamics row of the divergence panel: final TV statistics plus the
+/// replica-mean TV trajectory from the off-equilibrium start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceRow {
+    /// Dynamics label.
+    pub dynamics: String,
+    /// Replica-mean TV to the unique Nash mix at the end of the run.
+    pub mean_tv: f64,
+    /// Smallest replica TV.
+    pub min_tv: f64,
+    /// Largest replica TV.
+    pub max_tv: f64,
+    /// Interaction clocks of the retained trajectory points.
+    pub interactions: Vec<u64>,
+    /// Replica-mean TV per retained point.
+    pub trajectory_tv: Vec<f64>,
+}
+
+/// The per-dynamic divergence panel on [`DIVERGENCE_SCENARIO`]: from one
+/// off-equilibrium start, replicator-family dynamics (pairwise
+/// proportional imitation) provably spiral away from the unique Nash
+/// equilibrium toward the boundary Shapley triangle, while logit and
+/// sample-of-one best response converge to it — measured side by side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergencePanel {
+    /// Scenario name ([`DIVERGENCE_SCENARIO`]).
+    pub scenario: String,
+    /// Population size (the largest configured).
+    pub n: u64,
+    /// The shared off-equilibrium start profile.
+    pub start: Vec<f64>,
+    /// One row per panel dynamic.
+    pub rows: Vec<DivergenceRow>,
+}
+
+impl DivergencePanel {
+    /// The row for a dynamics label, if present.
+    pub fn row(&self, dynamics: &str) -> Option<&DivergenceRow> {
+        self.rows.iter().find(|r| r.dynamics == dynamics)
+    }
+}
+
 /// The full report: configuration echo plus every measured section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -181,6 +259,10 @@ pub struct Report {
     pub convergence: Vec<ConvergenceRow>,
     /// Mean trajectories at the largest population size.
     pub trajectories: Vec<TrajectorySeries>,
+    /// The logit η-sweep at the largest population size.
+    pub eta_sweep: Vec<EtaSweepRow>,
+    /// The Shapley-game divergence panel.
+    pub divergence: DivergencePanel,
 }
 
 /// SplitMix64-style mixing for decorrelated per-cell seeds.
@@ -194,20 +276,30 @@ fn cell_seed(seed: u64, pair: u64, size: u64) -> u64 {
     z.wrapping_mul(0x94D0_49BB_1331_11EB)
 }
 
-/// The dynamics rules swept for a scenario. Symmetric scenarios get all
-/// three; symmetrized companions skip imitation (same-side encounters pay
-/// zero, so imitation freezes — measuring it would only record the
-/// initial condition).
-fn rules_for(symmetric: bool) -> Vec<DynamicsRule> {
-    if symmetric {
-        vec![
-            DynamicsRule::BestResponse,
-            DynamicsRule::Logit { eta: 2.0 },
-            DynamicsRule::Imitation,
-        ]
-    } else {
-        vec![DynamicsRule::BestResponse, DynamicsRule::Logit { eta: 2.0 }]
+/// The dynamics rules swept for a scenario. Symmetric scenarios get every
+/// game-payoff rule — sample-of-one best response, logit (η = 2),
+/// encounter imitation, pairwise proportional imitation, two-way
+/// imitation, and 5-sample best response — and the prisoner's dilemma
+/// additionally carries the paper's k-IGT dynamics (its donation game is
+/// the k-IGT substrate). Symmetrized companions keep the best-response +
+/// logit pair: same-side encounters pay zero, so every imitation flavor
+/// freezes and would only record the initial condition.
+fn rules_for(scenario_name: &str, symmetric: bool) -> Vec<DynamicsRule> {
+    if !symmetric {
+        return vec![DynamicsRule::BestResponse, DynamicsRule::Logit { eta: 2.0 }];
     }
+    let mut rules = vec![
+        DynamicsRule::BestResponse,
+        DynamicsRule::Logit { eta: 2.0 },
+        DynamicsRule::Imitation,
+        DynamicsRule::PairwiseImitation,
+        DynamicsRule::TwoWayImitation,
+        DynamicsRule::SampledBestResponse { samples: 5 },
+    ];
+    if scenario_name == "prisoners-dilemma" {
+        rules.push(DynamicsRule::KIgt { levels: 5 });
+    }
+    rules
 }
 
 /// The exact equilibrium profiles dynamics are measured against: the
@@ -290,18 +382,17 @@ struct ReplicaOutcome {
 }
 
 /// Runs one (dynamics, equilibria, n) cell: `replicas` recorded runs from
-/// the uniform profile, fanned out deterministically.
+/// the `start` profile, fanned out deterministically.
 fn run_cell(
     dynamics: &GameDynamics,
     equilibria: &[Vec<f64>],
+    start: &[f64],
     n: u64,
     seed: u64,
     config: &ReportConfig,
 ) -> Result<Vec<ReplicaOutcome>, String> {
-    let k = dynamics.k();
-    let uniform = vec![1.0 / k as f64; k];
     // Probe construction once so errors surface as messages, not panics.
-    engine_from_profile(dynamics.clone(), &uniform, n).map_err(|e| e.to_string())?;
+    engine_from_profile(dynamics.clone(), start, n).map_err(|e| e.to_string())?;
     let horizon = config.horizon_per_agent.saturating_mul(n);
     let capacity = config.trajectory_capacity;
     let nearest_tv = |freq: &[f64]| {
@@ -311,7 +402,7 @@ fn run_cell(
             .fold(f64::INFINITY, f64::min)
     };
     Ok(run_replicas(seed, config.replicas, |_replica, mut rng| {
-        let mut engine = engine_from_profile(dynamics.clone(), &uniform, n)
+        let mut engine = engine_from_profile(dynamics.clone(), start, n)
             .expect("probed above");
         let mut recorder = TrajectoryRecorder::new(capacity).expect("capacity validated");
         let batch = engine.suggested_batch();
@@ -379,13 +470,21 @@ pub fn run_report(config: &ReportConfig) -> Result<Report, String> {
                 .map_err(|e| e.to_string())?,
             symmetrized: !symmetric,
         });
-        for rule in rules_for(symmetric) {
+        for rule in rules_for(scenario.name(), symmetric) {
             let dynamics =
                 GameDynamics::new(&substrate, rule).map_err(|e| e.to_string())?;
+            // Rules carrying their own exact reference (k-IGT's Theorem
+            // 2.7 stationary law) are measured against it; everything
+            // else against the scenario's equilibria. Starts follow the
+            // same split (uniform vs the k-IGT composition).
+            let references = dynamics
+                .reference_profiles()
+                .unwrap_or_else(|| equilibria.clone());
+            let start = dynamics.initial_profile();
             let mut cells = Vec::new();
             for (size_index, &n) in config.sizes.iter().enumerate() {
                 let seed = cell_seed(config.seed, pair_index, size_index as u64);
-                let outcomes = run_cell(&dynamics, &equilibria, n, seed, config)?;
+                let outcomes = run_cell(&dynamics, &references, &start, n, seed, config)?;
                 let tvs: Vec<f64> = outcomes.iter().map(|o| o.tv).collect();
                 let consensus = outcomes.iter().filter(|o| o.consensus).count();
                 cells.push(ConvergenceCell {
@@ -433,6 +532,118 @@ pub fn run_report(config: &ReportConfig) -> Result<Report, String> {
         scenarios,
         convergence,
         trajectories,
+        eta_sweep: run_eta_sweep(config)?,
+        divergence: run_divergence_panel(config)?,
+    })
+}
+
+/// The logit η-sweep: every symmetric registry scenario at the largest
+/// configured population size, across [`ETA_SWEEP`]. Seeds are salted
+/// apart from the convergence matrix, so the sections are independent
+/// measurements.
+pub fn run_eta_sweep(config: &ReportConfig) -> Result<Vec<EtaSweepRow>, String> {
+    config.validate()?;
+    let n = *config.sizes.last().expect("validated non-empty");
+    let mut rows = Vec::new();
+    for (row_index, scenario) in registry().into_iter().enumerate() {
+        if !scenario.game().is_symmetric(1e-9) {
+            continue;
+        }
+        let equilibria: Vec<Vec<f64>> = scenario
+            .symmetric_equilibria()
+            .into_iter()
+            .map(|eq| eq.x)
+            .collect();
+        if equilibria.is_empty() {
+            return Err(format!("{} has no symmetric equilibrium", scenario.name()));
+        }
+        let mut cells = Vec::new();
+        for (eta_index, &eta) in ETA_SWEEP.iter().enumerate() {
+            let dynamics = GameDynamics::new(scenario.game(), DynamicsRule::Logit { eta })
+                .map_err(|e| e.to_string())?;
+            let seed = cell_seed(
+                config.seed ^ 0x0E7A_5EED_0E7A_5EED,
+                row_index as u64,
+                eta_index as u64,
+            );
+            let start = dynamics.initial_profile();
+            let outcomes = run_cell(&dynamics, &equilibria, &start, n, seed, config)?;
+            let tvs: Vec<f64> = outcomes.iter().map(|o| o.tv).collect();
+            cells.push(EtaSweepCell {
+                eta,
+                mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
+                max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            });
+        }
+        rows.push(EtaSweepRow {
+            scenario: scenario.name().to_string(),
+            n,
+            cells,
+        });
+    }
+    Ok(rows)
+}
+
+/// The dynamics compared by the divergence panel, cycling family first.
+fn divergence_rules() -> Vec<DynamicsRule> {
+    vec![
+        DynamicsRule::PairwiseImitation,
+        DynamicsRule::Imitation,
+        DynamicsRule::TwoWayImitation,
+        DynamicsRule::BestResponse,
+        DynamicsRule::SampledBestResponse { samples: 5 },
+        DynamicsRule::Logit { eta: 2.0 },
+    ]
+}
+
+/// The Shapley-game divergence panel: every panel dynamic from one
+/// off-equilibrium start at the largest configured size, measured against
+/// the game's unique Nash mix. Pairwise proportional imitation
+/// (replicator-exact) provably spirals outward on this game
+/// (Gaunersdorfer–Hofbauer), logit and sample-of-one best response
+/// provably contract — the panel renders the split, the harness tests
+/// assert it.
+pub fn run_divergence_panel(config: &ReportConfig) -> Result<DivergencePanel, String> {
+    config.validate()?;
+    let n = *config.sizes.last().expect("validated non-empty");
+    let scenario = by_name(DIVERGENCE_SCENARIO).map_err(|e| e.to_string())?;
+    let equilibria: Vec<Vec<f64>> = scenario
+        .symmetric_equilibria()
+        .into_iter()
+        .map(|eq| eq.x)
+        .collect();
+    if equilibria.len() != 1 {
+        return Err(format!(
+            "{DIVERGENCE_SCENARIO} must have its unique Nash mix, got {}",
+            equilibria.len()
+        ));
+    }
+    let mut rows = Vec::new();
+    for (rule_index, rule) in divergence_rules().into_iter().enumerate() {
+        let dynamics =
+            GameDynamics::new(scenario.game(), rule).map_err(|e| e.to_string())?;
+        let seed = cell_seed(config.seed ^ 0xD17E_26E5_0000_0001, rule_index as u64, 0);
+        let outcomes = run_cell(&dynamics, &equilibria, &DIVERGENCE_START, n, seed, config)?;
+        let tvs: Vec<f64> = outcomes.iter().map(|o| o.tv).collect();
+        let clocks: Vec<u64> = outcomes[0].trajectory.iter().map(|p| p.0).collect();
+        let tv_series: Vec<Vec<f64>> = outcomes
+            .iter()
+            .map(|o| o.trajectory.iter().map(|p| p.2).collect())
+            .collect();
+        rows.push(DivergenceRow {
+            dynamics: rule.label().to_string(),
+            mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
+            min_tv: tvs.iter().copied().fold(f64::INFINITY, f64::min),
+            max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            interactions: clocks,
+            trajectory_tv: mean_vectors(&tv_series),
+        });
+    }
+    Ok(DivergencePanel {
+        scenario: DIVERGENCE_SCENARIO.to_string(),
+        n,
+        start: DIVERGENCE_START.to_vec(),
+        rows,
     })
 }
 
@@ -492,6 +703,55 @@ mod tests {
                 scenario.name(),
                 dynamics
             );
+            // Symmetric scenarios carry the full six-rule battery.
+            if scenario.game().is_symmetric(1e-9) {
+                for label in [
+                    "best-response",
+                    "logit",
+                    "imitation",
+                    "pairwise-imitation",
+                    "imitation-two-way",
+                    "br-sample",
+                ] {
+                    assert!(
+                        dynamics.contains(&label),
+                        "{} missing {label}: {dynamics:?}",
+                        scenario.name()
+                    );
+                }
+            }
+        }
+        // The paper's own dynamics rides its donation-game scenario.
+        assert!(
+            report
+                .convergence
+                .iter()
+                .any(|row| row.scenario == "prisoners-dilemma" && row.dynamics == "k-igt"),
+            "k-igt must be a first-class scenario dynamic"
+        );
+        // η-sweep: one row per symmetric scenario, one cell per swept η.
+        let symmetric_count = registry()
+            .iter()
+            .filter(|s| s.game().is_symmetric(1e-9))
+            .count();
+        assert_eq!(report.eta_sweep.len(), symmetric_count);
+        for row in &report.eta_sweep {
+            assert_eq!(row.n, 150);
+            let etas: Vec<f64> = row.cells.iter().map(|c| c.eta).collect();
+            assert_eq!(etas, ETA_SWEEP.to_vec());
+            for cell in &row.cells {
+                assert!((0.0..=1.0).contains(&cell.mean_tv));
+                assert!(cell.mean_tv <= cell.max_tv + 1e-12);
+            }
+        }
+        // Divergence panel: every panel dynamic measured on shapley-cycle.
+        assert_eq!(report.divergence.scenario, DIVERGENCE_SCENARIO);
+        assert_eq!(report.divergence.n, 150);
+        assert_eq!(report.divergence.rows.len(), 6);
+        for row in &report.divergence.rows {
+            assert_eq!(row.interactions.len(), row.trajectory_tv.len());
+            assert!(row.interactions.len() >= 2);
+            assert!(row.min_tv <= row.mean_tv && row.mean_tv <= row.max_tv);
         }
         // Every cell carries a well-formed distance and every row spans
         // the configured sizes.
@@ -557,6 +817,49 @@ mod tests {
             .equilibrium_profiles
             .iter()
             .any(|p| (p[0] - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn divergence_panel_splits_replicator_from_logit() {
+        // The acceptance claim, asserted numerically rather than merely
+        // rendered: on the Shapley-style cycling game, from the shared
+        // off-equilibrium start, pairwise proportional imitation
+        // (replicator-exact) moves AWAY from the unique Nash mix while
+        // logit revision converges to it.
+        let config = ReportConfig {
+            seed: 20240717,
+            sizes: vec![2_000],
+            replicas: 4,
+            horizon_per_agent: 30,
+            trajectory_capacity: 16,
+            mode: "custom".to_string(),
+        };
+        let panel = run_divergence_panel(&config).unwrap();
+        let start_tv = 0.6 - 1.0 / 3.0 + (1.0 / 3.0 - 0.25) + (1.0 / 3.0 - 0.15);
+        let start_tv = start_tv / 2.0; // ≈ 0.267
+        let replicator = panel.row("pairwise-imitation").unwrap();
+        let logit = panel.row("logit").unwrap();
+        // Replicator: repelled past its starting distance, toward the
+        // boundary Shapley triangle (Gaunersdorfer–Hofbauer).
+        assert!(
+            replicator.mean_tv > start_tv,
+            "replicator must diverge: {} vs start {start_tv}",
+            replicator.mean_tv
+        );
+        assert!(replicator.mean_tv > 0.30, "{}", replicator.mean_tv);
+        // Logit: contracted to a small neighbourhood of the Nash mix.
+        assert!(logit.mean_tv < 0.08, "{}", logit.mean_tv);
+        // And the split itself is wide.
+        assert!(
+            replicator.mean_tv > 3.0 * logit.mean_tv,
+            "replicator {} vs logit {}",
+            replicator.mean_tv,
+            logit.mean_tv
+        );
+        // Sample-of-one best response mixes to the cycle's barycenter —
+        // which on this game IS the Nash mix: convergent.
+        let br = panel.row("best-response").unwrap();
+        assert!(br.mean_tv < 0.08, "{}", br.mean_tv);
     }
 
     #[test]

@@ -11,8 +11,9 @@ use crate::harness::{Report, TrajectorySeries};
 use popgame_util::json::Json;
 
 /// Schema version stamped into `REPORT.json`; bump on breaking layout
-/// changes.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// changes. Version 2 added the `eta_sweep` and `divergence` sections and
+/// widened the dynamics axis.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Renders `REPORT.json` (pretty-printed, trailing newline).
 pub fn report_json(report: &Report) -> String {
@@ -111,6 +112,49 @@ pub fn report_json(report: &Report) -> String {
                 ])
             })),
         ),
+        (
+            "eta_sweep",
+            Json::arr(report.eta_sweep.iter().map(|row| {
+                Json::obj([
+                    ("scenario", Json::from(row.scenario.as_str())),
+                    ("n", Json::from(row.n)),
+                    (
+                        "cells",
+                        Json::arr(row.cells.iter().map(|c| {
+                            Json::obj([
+                                ("eta", Json::from(c.eta)),
+                                ("mean_tv", Json::from(c.mean_tv)),
+                                ("max_tv", Json::from(c.max_tv)),
+                            ])
+                        })),
+                    ),
+                ])
+            })),
+        ),
+        (
+            "divergence",
+            Json::obj([
+                ("scenario", Json::from(report.divergence.scenario.as_str())),
+                ("n", Json::from(report.divergence.n)),
+                ("start", Json::floats(&report.divergence.start)),
+                (
+                    "rows",
+                    Json::arr(report.divergence.rows.iter().map(|row| {
+                        Json::obj([
+                            ("dynamics", Json::from(row.dynamics.as_str())),
+                            ("mean_tv", Json::from(row.mean_tv)),
+                            ("min_tv", Json::from(row.min_tv)),
+                            ("max_tv", Json::from(row.max_tv)),
+                            (
+                                "interactions",
+                                Json::arr(row.interactions.iter().map(|&i| Json::from(i))),
+                            ),
+                            ("trajectory_tv", Json::floats(&row.trajectory_tv)),
+                        ])
+                    })),
+                ),
+            ]),
+        ),
     ]);
     doc.pretty()
 }
@@ -127,26 +171,30 @@ fn fmt_tv(tv: f64) -> String {
     }
 }
 
-/// Five probes into a trajectory at the start, quartiles, and end of the
-/// run's *interaction clock* — each probe is the retained point nearest
-/// that fraction of the horizon (short series simply repeat their
-/// endpoints).
-fn trajectory_probes(t: &TrajectorySeries) -> Vec<(u64, f64)> {
-    let total = *t.interactions.last().expect("trajectories are non-empty");
+/// Five probes into a `(clock, value)` series at the start, quartiles,
+/// and end of the run's *interaction clock* — each probe is the retained
+/// point nearest that fraction of the horizon (short series simply repeat
+/// their endpoints).
+fn series_probes(interactions: &[u64], values: &[f64]) -> Vec<(u64, f64)> {
+    let total = *interactions.last().expect("trajectories are non-empty");
     [0.0, 0.25, 0.5, 0.75, 1.0]
         .iter()
         .map(|&frac| {
             let target = (total as f64 * frac) as u64;
-            let index = t
-                .interactions
+            let index = interactions
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &clock)| clock.abs_diff(target))
                 .map(|(i, _)| i)
                 .expect("trajectories are non-empty");
-            (t.interactions[index], t.mean_tv[index])
+            (interactions[index], values[index])
         })
         .collect()
+}
+
+/// [`series_probes`] over a [`TrajectorySeries`].
+fn trajectory_probes(t: &TrajectorySeries) -> Vec<(u64, f64)> {
+    series_probes(&t.interactions, &t.mean_tv)
 }
 
 /// Renders `REPORT.md`.
@@ -327,6 +375,110 @@ pub fn report_markdown(report: &Report) -> String {
     }
     push(&mut out, "");
 
+    push(&mut out, "## Logit η-sweep");
+    push(&mut out, "");
+    push(
+        &mut out,
+        &format!(
+            "Final replica-mean TV distance of logit revision across inverse \
+             temperatures at the largest population (`n = {}`): small `η` \
+             buys fast mixing at the price of a biased (near-uniform) rest \
+             point, large `η` approaches best response. Independent seeds \
+             from the convergence matrix.",
+            report.eta_sweep.first().map_or(0, |r| r.n)
+        ),
+    );
+    push(&mut out, "");
+    let mut header = String::from("| scenario |");
+    let mut rule = String::from("|---|");
+    if let Some(first) = report.eta_sweep.first() {
+        for cell in &first.cells {
+            header.push_str(&format!(" η={} |", cell.eta));
+            rule.push_str("---|");
+        }
+    }
+    push(&mut out, &header);
+    push(&mut out, &rule);
+    for row in &report.eta_sweep {
+        let mut line = format!("| `{}` |", row.scenario);
+        for cell in &row.cells {
+            line.push_str(&format!(" {} |", fmt_tv(cell.mean_tv)));
+        }
+        push(&mut out, &line);
+    }
+    push(&mut out, "");
+
+    push(
+        &mut out,
+        &format!(
+            "## Divergence panel: Shapley-style cycling (`{}`)",
+            report.divergence.scenario
+        ),
+    );
+    push(&mut out, "");
+    let start: Vec<String> = report
+        .divergence
+        .start
+        .iter()
+        .map(|p| format!("{p}"))
+        .collect();
+    push(
+        &mut out,
+        &format!(
+            "All dynamics start at the off-equilibrium profile `({})` at \
+             `n = {}` and are measured against the game's *unique* Nash \
+             equilibrium (the uniform mix). Replicator-family revision \
+             (pairwise proportional imitation) is provably repelled toward \
+             the boundary Shapley triangle (Gaunersdorfer–Hofbauer 1995), \
+             while logit and sample-of-one best response contract to the \
+             equilibrium — the same game, the same start, opposite fates. \
+             The split is asserted by the harness tests, not just rendered.",
+            start.join(", "),
+            report.divergence.n
+        ),
+    );
+    push(&mut out, "");
+    push(
+        &mut out,
+        "| dynamics | start | 25% | 50% | 75% | end | final TV (min–max) | verdict |",
+    );
+    push(&mut out, "|---|---|---|---|---|---|---|---|");
+    let start_tv: f64 = report
+        .divergence
+        .start
+        .iter()
+        .map(|p| (p - 1.0 / report.divergence.start.len() as f64).abs())
+        .sum::<f64>()
+        / 2.0;
+    for row in &report.divergence.rows {
+        let probes = series_probes(&row.interactions, &row.trajectory_tv);
+        let cells: Vec<String> = probes.iter().map(|&(_, tv)| fmt_tv(tv)).collect();
+        // Clearly past the start → repelled; clearly inside → contracted;
+        // the band in between is the neutral orbit regime (encounter
+        // imitation reduces to standard-RPS replicator here: closed
+        // orbits).
+        let verdict = if row.mean_tv > start_tv * 1.2 {
+            "diverges"
+        } else if row.mean_tv < start_tv / 2.0 {
+            "converges"
+        } else {
+            "orbits"
+        };
+        push(
+            &mut out,
+            &format!(
+                "| {} | {} | {} ({}–{}) | {} |",
+                row.dynamics,
+                cells.join(" | "),
+                fmt_tv(row.mean_tv),
+                fmt_tv(row.min_tv),
+                fmt_tv(row.max_tv),
+                verdict
+            ),
+        );
+    }
+    push(&mut out, "");
+
     push(&mut out, "## Provenance");
     push(&mut out, "");
     push(
@@ -372,13 +524,27 @@ mod tests {
             Some(REPORT_SCHEMA_VERSION)
         );
         let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
-        assert_eq!(scenarios.len(), 8);
+        assert_eq!(scenarios.len(), 12);
         let convergence = doc.get("convergence").unwrap().as_array().unwrap();
-        assert!(convergence.len() >= 16, "{}", convergence.len());
+        // 9 symmetric × 6 rules + k-igt on the PD + 3 asymmetric × 2.
+        assert!(convergence.len() >= 55, "{}", convergence.len());
         assert_eq!(
             doc.get("trajectories").unwrap().as_array().unwrap().len(),
             convergence.len()
         );
+        let sweep = doc.get("eta_sweep").unwrap().as_array().unwrap();
+        assert_eq!(sweep.len(), 9, "one sweep row per symmetric scenario");
+        assert_eq!(
+            sweep[0].get("cells").unwrap().as_array().unwrap().len(),
+            5,
+            "five swept η values"
+        );
+        let divergence = doc.get("divergence").unwrap();
+        assert_eq!(
+            divergence.get("scenario").unwrap().as_str(),
+            Some("shapley-cycle")
+        );
+        assert_eq!(divergence.get("rows").unwrap().as_array().unwrap().len(), 6);
     }
 
     #[test]
@@ -390,12 +556,23 @@ mod tests {
             "## Scenario registry and exact equilibria",
             "## Convergence: TV distance to the nearest exact equilibrium",
             "## Trajectories at the largest population",
+            "## Logit η-sweep",
+            "## Divergence panel: Shapley-style cycling (`shapley-cycle`)",
             "## Provenance",
             "`matching-pennies` †",
             "`rock-paper-scissors`",
+            "`congestion`",
+            "`shapley-cycle`",
+            "`random-symmetric-5`",
             "best-response",
             "logit",
             "imitation",
+            "pairwise-imitation",
+            "imitation-two-way",
+            "br-sample",
+            "k-igt",
+            "η=0.5",
+            "η=8",
             // Custom-mode reports must advertise a *replayable* command
             // carrying every override, not a bogus `--custom` flag.
             "popgame reproduce --sizes 50,100 --replicas 2 --horizon 8 \

@@ -72,12 +72,24 @@ pub struct AppState {
     pub shutdown_tx: Mutex<Option<SyncSender<()>>>,
 }
 
+/// Dynamics labels `/simulate` accepts, in canonical order (the
+/// [`DynamicsRule::label`] vocabulary).
+pub const DYNAMICS_LABELS: [&str; 7] = [
+    "best-response",
+    "logit",
+    "imitation",
+    "pairwise-imitation",
+    "imitation-two-way",
+    "br-sample",
+    "k-igt",
+];
+
 /// A validated `/simulate` request with every default filled in.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulateRequest {
     /// Registry scenario name.
     pub scenario: String,
-    /// Dynamics label: `best-response`, `logit`, or `imitation`.
+    /// Dynamics label: one of [`DYNAMICS_LABELS`].
     pub dynamics: String,
     /// Logit inverse temperature (normalized to the default for the
     /// other rules, so it never splits their cache keys).
@@ -139,9 +151,10 @@ impl SimulateRequest {
             .transpose()?
             .unwrap_or("best-response")
             .to_string();
-        if !matches!(dynamics.as_str(), "best-response" | "logit" | "imitation") {
+        if !DYNAMICS_LABELS.contains(&dynamics.as_str()) {
             return Err(format!(
-                "unknown dynamics {dynamics:?} (best-response|logit|imitation)"
+                "unknown dynamics {dynamics:?} ({})",
+                DYNAMICS_LABELS.join("|")
             ));
         }
         let eta = match doc.get("eta") {
@@ -197,11 +210,17 @@ impl SimulateRequest {
         .encode()
     }
 
-    /// The revision rule.
+    /// The revision rule. Count-parameterized rules use their canonical
+    /// instances (`br-sample` at `m = 5`, `k-igt` on a 5-level grid) —
+    /// the same instances the report harness sweeps.
     pub fn rule(&self) -> DynamicsRule {
         match self.dynamics.as_str() {
             "best-response" => DynamicsRule::BestResponse,
             "logit" => DynamicsRule::Logit { eta: self.eta },
+            "pairwise-imitation" => DynamicsRule::PairwiseImitation,
+            "imitation-two-way" => DynamicsRule::TwoWayImitation,
+            "br-sample" => DynamicsRule::SampledBestResponse { samples: 5 },
+            "k-igt" => DynamicsRule::KIgt { levels: 5 },
             _ => DynamicsRule::Imitation,
         }
     }
@@ -440,11 +459,19 @@ pub fn execute_simulate(
 ) -> Result<Json, String> {
     let scenario = by_name(&request.scenario).map_err(|e| e.to_string())?;
     let dynamics = scenario.dynamics(request.rule()).map_err(|e| e.to_string())?;
-    let equilibria = scenario.symmetric_equilibria();
-    let k = scenario.game().k();
-    let uniform = vec![1.0 / k as f64; k];
+    // Rules carrying their own exact reference (k-IGT's stationary law)
+    // are measured against it; everything else against the scenario's
+    // symmetric equilibria. The start profile follows the same split.
+    let equilibria: Vec<Vec<f64>> = dynamics.reference_profiles().unwrap_or_else(|| {
+        scenario
+            .symmetric_equilibria()
+            .into_iter()
+            .map(|eq| eq.x)
+            .collect()
+    });
+    let start = dynamics.initial_profile();
     // Probe the engine once so invalid profiles fail fast with a message.
-    engine_from_profile(dynamics.clone(), &uniform, request.n).map_err(|e| e.to_string())?;
+    engine_from_profile(dynamics.clone(), &start, request.n).map_err(|e| e.to_string())?;
 
     let horizon = request.interactions;
     let replica_results = run_replicas_cancellable(
@@ -452,7 +479,7 @@ pub fn execute_simulate(
         request.replicas,
         cancel,
         |_replica, mut rng| {
-            let mut engine = engine_from_profile(dynamics.clone(), &uniform, request.n)
+            let mut engine = engine_from_profile(dynamics.clone(), &start, request.n)
                 .expect("probed above");
             let batch = engine.suggested_batch();
             // Chunked execution with cancellation checks. Chunks are a
@@ -472,7 +499,7 @@ pub fn execute_simulate(
             let freq = engine.frequencies();
             let tv = equilibria
                 .iter()
-                .map(|eq| tv_distance(&freq, &eq.x).expect("matching dimensions"))
+                .map(|eq| tv_distance(&freq, eq).expect("matching dimensions"))
                 .fold(f64::INFINITY, f64::min);
             let consensus = engine.is_consensus();
             (freq, tv, consensus)
@@ -879,6 +906,69 @@ mod tests {
         let doc = Json::parse(r#"{"scenario": "matching-pennies", "n": 100}"#).unwrap();
         let request = SimulateRequest::from_json(&doc).unwrap();
         assert!(execute_simulate(&request, &never).is_err());
+    }
+
+    #[test]
+    fn dynamics_labels_and_rules_cannot_drift() {
+        use popgame_solver::dynamics::DynamicsRule;
+        // DYNAMICS_LABELS, rule(), and DynamicsRule::canonical_all() are
+        // three views of one vocabulary. A label added to the validation
+        // list but missed in rule() would silently execute imitation
+        // under the new name — this round trip catches exactly that.
+        let canonical: Vec<&str> = DynamicsRule::canonical_all()
+            .iter()
+            .map(DynamicsRule::label)
+            .collect();
+        assert_eq!(canonical, DYNAMICS_LABELS.to_vec());
+        for label in DYNAMICS_LABELS {
+            let doc = Json::parse(&format!(
+                r#"{{"scenario": "hawk-dove", "dynamics": "{label}"}}"#
+            ))
+            .unwrap();
+            let request = SimulateRequest::from_json(&doc).unwrap();
+            assert_eq!(request.rule().label(), label, "rule() drifted for {label}");
+        }
+    }
+
+    #[test]
+    fn new_dynamics_labels_execute_end_to_end() {
+        let never = AtomicBool::new(false);
+        for dynamics in ["pairwise-imitation", "imitation-two-way", "br-sample"] {
+            let doc = Json::parse(&format!(
+                r#"{{"scenario": "rock-paper-scissors", "dynamics": "{dynamics}",
+                    "n": 300, "interactions": 3000, "replicas": 2, "seed": 3}}"#
+            ))
+            .unwrap();
+            let request = SimulateRequest::from_json(&doc).unwrap();
+            let a = execute_simulate(&request, &never).unwrap();
+            let b = execute_simulate(&request, &never).unwrap();
+            assert_eq!(a.encode(), b.encode(), "{dynamics}: byte-identical");
+            let tv = a.get("mean_tv_to_equilibrium").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&tv), "{dynamics}: {tv}");
+        }
+        // k-IGT rides the donation game and is measured against its own
+        // Theorem 2.7 stationary reference (a single profile over the
+        // 7-state space).
+        let doc = Json::parse(
+            r#"{"scenario": "prisoners-dilemma", "dynamics": "k-igt",
+                "n": 2000, "interactions": 60000, "replicas": 2, "seed": 9}"#,
+        )
+        .unwrap();
+        let request = SimulateRequest::from_json(&doc).unwrap();
+        let out = execute_simulate(&request, &never).unwrap();
+        assert_eq!(out.get("symmetric_equilibria").unwrap().as_u64(), Some(1));
+        let freqs = out.get("mean_frequencies").unwrap().as_array().unwrap();
+        assert_eq!(freqs.len(), 7, "AC + AD + five GTFT levels");
+        let tv = out.get("mean_tv_to_equilibrium").unwrap().as_f64().unwrap();
+        assert!(tv < 0.1, "near the stationary law after 30n: {tv}");
+        // On any other scenario the k-IGT substrate check rejects.
+        let doc = Json::parse(
+            r#"{"scenario": "rock-paper-scissors", "dynamics": "k-igt", "n": 100}"#,
+        )
+        .unwrap();
+        let request = SimulateRequest::from_json(&doc).unwrap();
+        let err = execute_simulate(&request, &never).unwrap_err();
+        assert!(err.contains("donation"), "{err}");
     }
 
     #[test]

@@ -1,28 +1,58 @@
 //! Game-playing population dynamics as `popgame_population` protocols.
 //!
 //! One well-mixed population of `n` agents, each holding a pure strategy
-//! of a *symmetric* matrix game. The scheduler samples an ordered pair
-//! `(initiator, responder)`; the initiator revises its strategy from the
-//! encounter (one-way, footnote 3 of the paper):
+//! of a *symmetric* matrix game (or, for [`DynamicsRule::KIgt`], a
+//! behavioural state of the paper's donation-game population). The
+//! scheduler samples an ordered pair `(initiator, responder)` and applies
+//! the revision rule:
 //!
 //! * **Best response** — switch to the best reply against the responder's
-//!   strategy (sample-of-one best response; ties break to the lowest
-//!   index). Deterministic, so the batched engine tabulates it and
-//!   τ-leaps.
+//!   strategy (sample-of-one best response, footnote 3 of the paper; ties
+//!   break to the lowest index). Deterministic, one-way, tabulated and
+//!   τ-leaped by the batched engine.
 //! * **Logit / smoothed best response** — sample the new strategy from
 //!   `softmax(η · u(·, responder))`. Randomized, but its per-pair outcome
-//!   law is closed-form, so it declares a
-//!   [`pair_kernel`](EnumerableProtocol::pair_kernel) and τ-leaps on the
-//!   batched engine like the deterministic rules (the kernel depends only
-//!   on the encounter pair, never on the counts).
+//!   law is closed-form and count-independent, so it declares a
+//!   [`pair_kernel`](EnumerableProtocol::pair_kernel) and τ-leaps.
 //! * **Imitation** — copy the responder's strategy exactly when the
 //!   responder's realized payoff in this encounter strictly beats the
-//!   initiator's. Deterministic, tabulated, τ-leapable.
+//!   initiator's. Deterministic, one-way, tabulated.
+//! * **Pairwise proportional imitation** — Schlag's proportional
+//!   imitation: the initiator observes the responder's realized payoff
+//!   from an *independent* encounter, compares it with its own realized
+//!   payoff from another independent encounter, and copies the
+//!   responder's strategy with probability proportional to the positive
+//!   part of the difference. The comparison opponents are drawn from the
+//!   population mixture, so the rule is **count-coupled**
+//!   ([`EnumerableProtocol::kernel_depends_on_counts`]) — and its
+//!   mean-field limit is *exactly* the replicator dynamics
+//!   `ẋ = x ∘ (Ax − xᵀAx·1) / κ` (time in interactions per agent,
+//!   `κ` = payoff span). No count-independent pairwise rule can achieve
+//!   this: the replicator drift is quadratic in `x`, while every frozen
+//!   pair kernel yields linear drift.
+//! * **Two-way imitation** — *both* agents adopt the strategy that
+//!   strictly out-earned the other in this encounter (ties keep both
+//!   states). The workspace's canonical two-way protocol: deterministic,
+//!   `is_one_way() == false`, both components tabulated.
+//! * **Sampled best response** — the initiator redraws its strategy as
+//!   the best reply to the *empirical mixture of `m` opponents sampled
+//!   from the population* (the `m → ∞` limit is the classical
+//!   best-response dynamics, which provably cycles on Shapley-style
+//!   games). Count-coupled, randomized.
+//! * **k-IGT** — the paper's Definition 2.1 dynamics over states
+//!   `{AC, AD, GTFT level 1..k}` in the canonical
+//!   `(α, β, γ) = (0.3, 0.2, 0.5)` population: a GTFT initiator
+//!   increments its generosity level on meeting `AC`/`GTFT` and
+//!   decrements on meeting `AD`; `AC`/`AD` never change. Deterministic,
+//!   one-way, tabulated; its exact stationary reference is the Theorem
+//!   2.7 law `π_j ∝ ((1−β)/β)^j` (see
+//!   [`GameDynamics::reference_profiles`]).
 //!
 //! These are the pairwise-protocol forms of the textbook dynamics studied
 //! for population protocols by Bournez et al. and
 //! Chatzigiannakis–Spirakis; their mean-field rest points are measured
-//! against the exact solver equilibria in `popgame::experiments` (E16).
+//! against the exact solver equilibria in `popgame::experiments` (E16)
+//! and the `popgame-report` reproduction harness.
 
 use crate::error::SolverError;
 use crate::game::MatrixGame;
@@ -30,8 +60,20 @@ use popgame_population::batch::BatchedEngine;
 use popgame_population::error::PopulationError;
 use popgame_population::protocol::{EnumerableProtocol, Protocol};
 use rand::Rng;
+use std::sync::Mutex;
 
-/// The revision rule applied by the initiator.
+/// `AC` fraction of the canonical k-IGT population.
+pub const KIGT_ALPHA: f64 = 0.3;
+/// `AD` fraction of the canonical k-IGT population.
+pub const KIGT_BETA: f64 = 0.2;
+/// `GTFT` fraction of the canonical k-IGT population.
+pub const KIGT_GAMMA: f64 = 1.0 - KIGT_ALPHA - KIGT_BETA;
+
+/// Ceiling on [`DynamicsRule::SampledBestResponse`] sample counts: the
+/// kernel enumerates all `C(m+K−1, K−1)` sample multisets per rebuild.
+pub const MAX_BR_SAMPLES: usize = 10;
+
+/// The revision rule applied on an interaction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DynamicsRule {
     /// Best reply to the responder's strategy (lowest index on ties).
@@ -45,6 +87,26 @@ pub enum DynamicsRule {
     /// Copy the responder exactly when it out-earned the initiator in
     /// this encounter.
     Imitation,
+    /// Schlag's pairwise proportional imitation against independently
+    /// sampled encounter payoffs — replicator-exact in the mean-field
+    /// limit. Count-coupled.
+    PairwiseImitation,
+    /// Both agents adopt the encounter's strictly higher-earning strategy
+    /// (ties change nothing). The canonical two-way protocol.
+    TwoWayImitation,
+    /// Best reply to the empirical mixture of `samples` opponents drawn
+    /// from the population — the sampled form of the classical
+    /// best-response dynamics. Count-coupled.
+    SampledBestResponse {
+        /// Number of sampled opponents (`1..=`[`MAX_BR_SAMPLES`]).
+        samples: usize,
+    },
+    /// The paper's k-IGT dynamics over `{AC, AD, GTFT×levels}` with the
+    /// canonical `(α, β, γ)` composition.
+    KIgt {
+        /// Generosity-grid size `k ≥ 2` (paper's `G = {g_1, …, g_k}`).
+        levels: usize,
+    },
 }
 
 impl DynamicsRule {
@@ -54,7 +116,26 @@ impl DynamicsRule {
             DynamicsRule::BestResponse => "best-response",
             DynamicsRule::Logit { .. } => "logit",
             DynamicsRule::Imitation => "imitation",
+            DynamicsRule::PairwiseImitation => "pairwise-imitation",
+            DynamicsRule::TwoWayImitation => "imitation-two-way",
+            DynamicsRule::SampledBestResponse { .. } => "br-sample",
+            DynamicsRule::KIgt { .. } => "k-igt",
         }
+    }
+
+    /// Every canonical rule instance, as served by `popgamed` and swept by
+    /// the report harness (logit at its default `η = 2`, `br-sample` at
+    /// `m = 5`, `k-igt` on a 5-level grid).
+    pub fn canonical_all() -> Vec<DynamicsRule> {
+        vec![
+            DynamicsRule::BestResponse,
+            DynamicsRule::Logit { eta: 2.0 },
+            DynamicsRule::Imitation,
+            DynamicsRule::PairwiseImitation,
+            DynamicsRule::TwoWayImitation,
+            DynamicsRule::SampledBestResponse { samples: 5 },
+            DynamicsRule::KIgt { levels: 5 },
+        ]
     }
 }
 
@@ -81,7 +162,7 @@ impl DynamicsRule {
 /// // Sample-of-one best response contracts toward the uniform equilibrium.
 /// assert!(freq.iter().all(|&f| (f - 1.0 / 3.0).abs() < 0.1), "{freq:?}");
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct GameDynamics {
     /// Row payoffs `u[i][j]` of the symmetric game.
     payoff: Vec<Vec<f64>>,
@@ -93,6 +174,35 @@ pub struct GameDynamics {
     /// declares is exactly the adjacent-difference of this CDF, so
     /// per-interaction sampling and kernel leaping follow the same law.
     logit_cdf: Vec<Vec<f64>>,
+    /// Payoff span `max u − min u`, the proportional-imitation normalizer
+    /// `κ` (1 for constant games, where the rule is a no-op anyway).
+    span: f64,
+    /// One-slot memo for the sampled-BR choice law at the last seen
+    /// frequency vector: the law is identical across all `K²` kernel
+    /// cells of one rebuild, so each rebuild computes it once.
+    sampled_memo: Mutex<Option<(Vec<f64>, Vec<f64>)>>,
+}
+
+impl Clone for GameDynamics {
+    fn clone(&self) -> Self {
+        GameDynamics {
+            payoff: self.payoff.clone(),
+            rule: self.rule,
+            best_reply: self.best_reply.clone(),
+            logit_cdf: self.logit_cdf.clone(),
+            span: self.span,
+            // The memo is a cache, not state: clones start cold.
+            sampled_memo: Mutex::new(None),
+        }
+    }
+}
+
+impl PartialEq for GameDynamics {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo is excluded: two dynamics are equal when they encode
+        // the same game under the same rule.
+        self.payoff == other.payoff && self.rule == other.rule
+    }
 }
 
 impl GameDynamics {
@@ -102,8 +212,11 @@ impl GameDynamics {
     ///
     /// Returns [`SolverError::NotSymmetric`] unless `B = Aᵀ` within
     /// `1e-9` (one-population dynamics need a single payoff perspective),
-    /// and [`SolverError::InvalidGame`] when the game has more than 256
-    /// strategies (states are `u8`) or a non-finite `η`.
+    /// and [`SolverError::InvalidGame`] when the state space exceeds 256
+    /// (states are `u8`), `η` is non-finite, `samples` is outside
+    /// `1..=`[`MAX_BR_SAMPLES`], or a k-IGT grid is degenerate
+    /// (`levels < 2`) or requested on a game other than the two-action
+    /// donation substrate.
     pub fn new(game: &MatrixGame, rule: DynamicsRule) -> Result<Self, SolverError> {
         if !game.is_symmetric(1e-9) {
             return Err(SolverError::NotSymmetric);
@@ -113,6 +226,47 @@ impl GameDynamics {
             return Err(SolverError::InvalidGame {
                 reason: format!("{k} strategies exceed the u8 state space"),
             });
+        }
+        match rule {
+            DynamicsRule::Logit { eta } if !eta.is_finite() => {
+                return Err(SolverError::InvalidGame {
+                    reason: format!("logit eta must be finite, got {eta}"),
+                });
+            }
+            DynamicsRule::SampledBestResponse { samples }
+                if samples == 0 || samples > MAX_BR_SAMPLES =>
+            {
+                return Err(SolverError::InvalidGame {
+                    reason: format!(
+                        "br-sample needs 1..={MAX_BR_SAMPLES} samples, got {samples}"
+                    ),
+                });
+            }
+            DynamicsRule::KIgt { levels } if !(2..=250).contains(&levels) => {
+                return Err(SolverError::InvalidGame {
+                    reason: format!("k-igt needs a 2..=250 level grid, got {levels}"),
+                });
+            }
+            DynamicsRule::KIgt { .. } => {
+                // The walk ignores payoffs, so the gate is purely
+                // semantic: only the donation game `[[b−c, −c], [b, 0]]`
+                // (b > 0 > −c) is the Definition 2.1 substrate — accepting
+                // any 2×2 game would report the Theorem 2.7 reference as
+                // if it were meaningful there.
+                let is_donation = k == 2 && {
+                    let (bc, mc, b, z) =
+                        (game.row(0, 0), game.row(0, 1), game.row(1, 0), game.row(1, 1));
+                    z == 0.0 && b > 0.0 && mc < 0.0 && (bc - (b + mc)).abs() <= 1e-9
+                };
+                if !is_donation {
+                    return Err(SolverError::InvalidGame {
+                        reason: "k-igt tunes GTFT generosity against the donation game \
+                                 [[b-c, -c], [b, 0]]; this game is not one"
+                            .into(),
+                    });
+                }
+            }
+            _ => {}
         }
         let payoff = game.row_matrix().to_vec();
         let best_reply = (0..k)
@@ -129,40 +283,38 @@ impl GameDynamics {
             })
             .collect();
         let logit_cdf = match rule {
-            DynamicsRule::Logit { eta } => {
-                if !eta.is_finite() {
-                    return Err(SolverError::InvalidGame {
-                        reason: format!("logit eta must be finite, got {eta}"),
-                    });
-                }
-                (0..k)
-                    .map(|j| {
-                        // Max-shifted softmax, accumulated to a CDF.
-                        let max = (0..k)
-                            .map(|i| payoff[i][j])
-                            .fold(f64::NEG_INFINITY, f64::max);
-                        let mut acc = 0.0;
-                        let mut cdf: Vec<f64> = (0..k)
-                            .map(|i| {
-                                acc += (eta * (payoff[i][j] - max)).exp();
-                                acc
-                            })
-                            .collect();
-                        let total = acc;
-                        for c in &mut cdf {
-                            *c /= total;
-                        }
-                        cdf
-                    })
-                    .collect()
-            }
+            DynamicsRule::Logit { eta } => (0..k)
+                .map(|j| {
+                    // Max-shifted softmax, accumulated to a CDF.
+                    let max = (0..k)
+                        .map(|i| payoff[i][j])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let mut acc = 0.0;
+                    let mut cdf: Vec<f64> = (0..k)
+                        .map(|i| {
+                            acc += (eta * (payoff[i][j] - max)).exp();
+                            acc
+                        })
+                        .collect();
+                    let total = acc;
+                    for c in &mut cdf {
+                        *c /= total;
+                    }
+                    cdf
+                })
+                .collect(),
             _ => Vec::new(),
         };
+        let max = payoff.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = payoff.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+        let span = if max > min { max - min } else { 1.0 };
         Ok(GameDynamics {
             payoff,
             rule,
             best_reply,
             logit_cdf,
+            span,
+            sampled_memo: Mutex::new(None),
         })
     }
 
@@ -171,9 +323,175 @@ impl GameDynamics {
         self.rule
     }
 
-    /// Number of pure strategies.
+    /// Number of pure strategies of the underlying game (for
+    /// [`DynamicsRule::KIgt`] this is 2, while the protocol's *state*
+    /// count is `levels + 2`; see
+    /// [`num_states`](EnumerableProtocol::num_states)).
     pub fn k(&self) -> usize {
         self.payoff.len()
+    }
+
+    /// The payoff-span normalizer `κ` of the proportional-imitation rule:
+    /// the mean-field replicator time unit is `κ` interactions per agent.
+    pub fn payoff_span(&self) -> f64 {
+        self.span
+    }
+
+    /// The profile every harness seeds runs from: uniform over strategies,
+    /// except k-IGT, which starts at the paper's
+    /// `(α, β, γ·uniform-over-levels)` composition (types are immutable,
+    /// so the composition *is* part of the dynamics).
+    pub fn initial_profile(&self) -> Vec<f64> {
+        match self.rule {
+            DynamicsRule::KIgt { levels } => {
+                let mut profile = vec![KIGT_ALPHA, KIGT_BETA];
+                profile.extend(std::iter::repeat_n(KIGT_GAMMA / levels as f64, levels));
+                profile
+            }
+            _ => {
+                let k = self.num_states();
+                vec![1.0 / k as f64; k]
+            }
+        }
+    }
+
+    /// Exact reference profiles the dynamics should concentrate on, when
+    /// the rule carries its own ground truth instead of the game's
+    /// equilibria: for [`DynamicsRule::KIgt`] the Theorem 2.7 stationary
+    /// law — `AC`/`AD` frozen at `(α, β)` and GTFT mass split over levels
+    /// as `π_j ∝ λ^j` with `λ = (1−β)/β` (each agent's generosity level
+    /// is a reflecting birth–death walk with up-rate `1−β`, down-rate
+    /// `β`). `None` for every game-payoff rule, whose references are the
+    /// solver's symmetric equilibria.
+    pub fn reference_profiles(&self) -> Option<Vec<Vec<f64>>> {
+        match self.rule {
+            DynamicsRule::KIgt { levels } => {
+                let lambda = (1.0 - KIGT_BETA) / KIGT_BETA;
+                let weights: Vec<f64> = (0..levels).map(|j| lambda.powi(j as i32)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut profile = vec![KIGT_ALPHA, KIGT_BETA];
+                profile.extend(weights.iter().map(|w| KIGT_GAMMA * w / total));
+                Some(vec![profile])
+            }
+            _ => None,
+        }
+    }
+
+    /// Schlag switch probability for initiator strategy `i` observing
+    /// responder strategy `j`, with both comparison payoffs realized
+    /// against independent opponents drawn from `freq`:
+    /// `E[(u(j, X) − u(i, Y))₊] / κ`, `X, Y ~ freq` iid.
+    fn proportional_switch_prob(&self, i: usize, j: usize, freq: &[f64]) -> f64 {
+        let mut expect = 0.0;
+        for (a, &fa) in freq.iter().enumerate() {
+            if fa == 0.0 {
+                continue;
+            }
+            for (b, &fb) in freq.iter().enumerate() {
+                if fb == 0.0 {
+                    continue;
+                }
+                let diff = self.payoff[j][a] - self.payoff[i][b];
+                if diff > 0.0 {
+                    expect += fa * fb * diff;
+                }
+            }
+        }
+        (expect / self.span).clamp(0.0, 1.0)
+    }
+
+    /// The sampled-best-response choice law at `freq`: the distribution of
+    /// `argmax_a Σ_t c_t · u(a, t)` over multiset samples `c` of size
+    /// `samples` drawn iid from `freq` (ties to the lowest index).
+    fn sampled_br_law(&self, freq: &[f64], samples: usize) -> Vec<f64> {
+        let k = self.payoff.len();
+        let mut rho = vec![0.0; k];
+        let mut factorial = vec![1.0f64; samples + 1];
+        for m in 1..=samples {
+            factorial[m] = factorial[m - 1] * m as f64;
+        }
+        let mut counts = vec![0usize; k];
+        // Depth-first enumeration of all compositions of `samples` into
+        // `k` parts.
+        fn recurse(
+            dyn_: &GameDynamics,
+            freq: &[f64],
+            factorial: &[f64],
+            counts: &mut Vec<usize>,
+            state: usize,
+            remaining: usize,
+            rho: &mut Vec<f64>,
+        ) {
+            let k = counts.len();
+            if state + 1 == k {
+                counts[state] = remaining;
+                let samples = factorial.len() - 1;
+                let mut prob = factorial[samples];
+                for (t, &c) in counts.iter().enumerate() {
+                    if c > 0 {
+                        prob *= freq[t].powi(c as i32) / factorial[c];
+                    }
+                }
+                if prob > 0.0 {
+                    let br = (0..k)
+                        .max_by(|&a, &b| {
+                            let score = |s: usize| {
+                                counts
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(t, &c)| c as f64 * dyn_.payoff[s][t])
+                                    .sum::<f64>()
+                            };
+                            score(a)
+                                .partial_cmp(&score(b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(b.cmp(&a))
+                        })
+                        .expect("k >= 1");
+                    rho[br] += prob;
+                }
+                counts[state] = 0;
+                return;
+            }
+            for c in 0..=remaining {
+                counts[state] = c;
+                recurse(dyn_, freq, factorial, counts, state + 1, remaining - c, rho);
+            }
+            counts[state] = 0;
+        }
+        recurse(self, freq, &factorial, &mut counts, 0, samples, &mut rho);
+        rho
+    }
+
+    /// [`Self::sampled_br_law`] behind a one-slot memo: the engine rebuilds
+    /// the kernel cell-by-cell at one frozen `freq`, and the law is shared
+    /// by every cell of that rebuild.
+    fn sampled_br_cached(&self, freq: &[f64], samples: usize) -> Vec<f64> {
+        let mut memo = self.sampled_memo.lock().expect("memo lock");
+        if let Some((cached_freq, rho)) = memo.as_ref() {
+            if cached_freq == freq {
+                return rho.clone();
+            }
+        }
+        let rho = self.sampled_br_law(freq, samples);
+        *memo = Some((freq.to_vec(), rho.clone()));
+        rho
+    }
+
+    /// The k-IGT level walk: `AC`(0) and `AD`(1) are immutable; a GTFT
+    /// initiator (state `2 + level`) decrements on meeting `AD` and
+    /// increments otherwise, saturating at the grid edges.
+    fn kigt_update(&self, levels: usize, i: usize, j: usize) -> usize {
+        if i < 2 {
+            return i;
+        }
+        let level = i - 2;
+        let new_level = if j == 1 {
+            level.saturating_sub(1)
+        } else {
+            (level + 1).min(levels - 1)
+        };
+        new_level + 2
     }
 }
 
@@ -182,36 +500,64 @@ impl Protocol for GameDynamics {
 
     fn interact<R: Rng + ?Sized>(&self, initiator: u8, responder: u8, rng: &mut R) -> (u8, u8) {
         let (i, j) = (initiator as usize, responder as usize);
-        let revised = match self.rule {
-            DynamicsRule::BestResponse => self.best_reply[j],
+        match self.rule {
+            DynamicsRule::BestResponse => (self.best_reply[j], responder),
             DynamicsRule::Logit { .. } => {
                 let cdf = &self.logit_cdf[j];
                 let u: f64 = rng.gen();
-                cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1) as u8
+                let new = cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1) as u8;
+                (new, responder)
             }
             DynamicsRule::Imitation => {
                 if self.payoff[j][i] > self.payoff[i][j] {
-                    responder
+                    (responder, responder)
                 } else {
-                    initiator
+                    (initiator, responder)
                 }
             }
-        };
-        (revised, responder)
+            DynamicsRule::TwoWayImitation => {
+                // Both agents adopt the encounter's strictly higher earner.
+                if self.payoff[j][i] > self.payoff[i][j] {
+                    (responder, responder)
+                } else if self.payoff[i][j] > self.payoff[j][i] {
+                    (initiator, initiator)
+                } else {
+                    (initiator, responder)
+                }
+            }
+            DynamicsRule::KIgt { levels } => {
+                (self.kigt_update(levels, i, j) as u8, responder)
+            }
+            DynamicsRule::PairwiseImitation | DynamicsRule::SampledBestResponse { .. } => {
+                unreachable!(
+                    "count-coupled dynamics ({}) run through pair_kernel_at on \
+                     BatchedEngine, never through interact",
+                    self.rule.label()
+                )
+            }
+        }
     }
 
     fn is_one_way(&self) -> bool {
-        true
+        !matches!(self.rule, DynamicsRule::TwoWayImitation)
     }
 
     fn has_random_transitions(&self) -> bool {
-        matches!(self.rule, DynamicsRule::Logit { .. })
+        matches!(
+            self.rule,
+            DynamicsRule::Logit { .. }
+                | DynamicsRule::PairwiseImitation
+                | DynamicsRule::SampledBestResponse { .. }
+        )
     }
 }
 
 impl EnumerableProtocol for GameDynamics {
     fn num_states(&self) -> usize {
-        self.k()
+        match self.rule {
+            DynamicsRule::KIgt { levels } => levels + 2,
+            _ => self.k(),
+        }
     }
 
     fn state_index(&self, state: u8) -> usize {
@@ -242,8 +588,40 @@ impl EnumerableProtocol for GameDynamics {
                         .collect(),
                 )
             }
-            // Deterministic rules are tabulated directly by the engine.
-            DynamicsRule::BestResponse | DynamicsRule::Imitation => None,
+            // Deterministic rules are tabulated directly by the engine;
+            // count-coupled rules declare their law via pair_kernel_at.
+            _ => None,
+        }
+    }
+
+    fn kernel_depends_on_counts(&self) -> bool {
+        matches!(
+            self.rule,
+            DynamicsRule::PairwiseImitation | DynamicsRule::SampledBestResponse { .. }
+        )
+    }
+
+    fn pair_kernel_at(
+        &self,
+        i: usize,
+        j: usize,
+        freq: &[f64],
+    ) -> Option<Vec<((usize, usize), f64)>> {
+        match self.rule {
+            DynamicsRule::PairwiseImitation => {
+                if i == j {
+                    // Copying one's own strategy is a no-op regardless of
+                    // the sampled payoffs.
+                    return Some(vec![((i, j), 1.0)]);
+                }
+                let p = self.proportional_switch_prob(i, j, freq);
+                Some(vec![((j, j), p), ((i, j), 1.0 - p)])
+            }
+            DynamicsRule::SampledBestResponse { samples } => {
+                let rho = self.sampled_br_cached(freq, samples);
+                Some(rho.iter().enumerate().map(|(a, &p)| ((a, j), p)).collect())
+            }
+            _ => self.pair_kernel(i, j),
         }
     }
 }
@@ -319,7 +697,7 @@ pub fn engine_from_profile(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popgame_util::rng::rng_from_seed;
+    use popgame_util::rng::{rng_from_seed, stream_rng};
 
     fn rps() -> MatrixGame {
         MatrixGame::symmetric(vec![
@@ -342,6 +720,45 @@ mod tests {
             SolverError::NotSymmetric
         );
         assert!(GameDynamics::new(&rps(), DynamicsRule::Logit { eta: f64::NAN }).is_err());
+    }
+
+    #[test]
+    fn rule_parameters_are_validated() {
+        assert!(GameDynamics::new(
+            &rps(),
+            DynamicsRule::SampledBestResponse { samples: 0 }
+        )
+        .is_err());
+        assert!(GameDynamics::new(
+            &rps(),
+            DynamicsRule::SampledBestResponse {
+                samples: MAX_BR_SAMPLES + 1
+            }
+        )
+        .is_err());
+        let pd = MatrixGame::donation(2.0, 1.0).unwrap();
+        assert!(GameDynamics::new(&pd, DynamicsRule::KIgt { levels: 1 }).is_err());
+        // k-IGT needs the donation substrate itself — other games,
+        // including other 2×2 games, are rejected, since the Theorem 2.7
+        // reference would be meaningless for them.
+        assert!(GameDynamics::new(&rps(), DynamicsRule::KIgt { levels: 5 }).is_err());
+        assert!(GameDynamics::new(&hawk_dove(), DynamicsRule::KIgt { levels: 5 }).is_err());
+        assert!(GameDynamics::new(&pd, DynamicsRule::KIgt { levels: 5 }).is_ok());
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<&str> = DynamicsRule::canonical_all()
+            .iter()
+            .map(DynamicsRule::label)
+            .collect();
+        let mut unique = labels.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len(), "{labels:?}");
+        assert!(labels.contains(&"pairwise-imitation"));
+        assert!(labels.contains(&"imitation-two-way"));
+        assert!(labels.contains(&"k-igt"));
     }
 
     #[test]
@@ -375,6 +792,32 @@ mod tests {
     }
 
     #[test]
+    fn two_way_imitation_updates_both_agents() {
+        let pd = MatrixGame::donation(2.0, 1.0).unwrap();
+        let d = GameDynamics::new(&pd, DynamicsRule::TwoWayImitation).unwrap();
+        assert!(!d.is_one_way());
+        assert!(!d.has_random_transitions());
+        let mut rng = rng_from_seed(0);
+        // (C, D): D out-earns C, so the *initiator* converts: both end D.
+        assert_eq!(d.interact(0, 1, &mut rng), (1, 1));
+        // (D, C): same encounter, other orientation — the *responder*
+        // converts: both end D. The two-way rule is orientation-covariant.
+        assert_eq!(d.interact(1, 0, &mut rng), (1, 1));
+        // Ties change nothing.
+        assert_eq!(d.interact(0, 0, &mut rng), (0, 0));
+        // The batched engine tabulates both components.
+        use popgame_population::batch::TransitionTable;
+        let table = TransitionTable::build(&d).unwrap().expect("deterministic");
+        assert_eq!(table.apply(0, 1), (1, 1));
+        assert_eq!(table.apply(1, 0), (1, 1));
+        // All-defect is absorbing under two-way imitation on the PD.
+        let mut engine = BatchedEngine::from_counts(d, vec![300, 300]).unwrap();
+        let mut rng = rng_from_seed(5);
+        engine.run_batched(20_000, 32, &mut rng).unwrap();
+        assert_eq!(engine.counts(), &[0, 600], "defection sweeps the population");
+    }
+
+    #[test]
     fn logit_distribution_matches_softmax() {
         let eta = 1.5;
         let d = GameDynamics::new(&hawk_dove(), DynamicsRule::Logit { eta }).unwrap();
@@ -404,6 +847,145 @@ mod tests {
         for &c in &counts {
             assert!((c as f64 / 90_000.0 - 1.0 / 3.0).abs() < 0.01);
         }
+    }
+
+    #[test]
+    fn pairwise_imitation_kernel_is_the_schlag_law() {
+        // Hawk-dove, freq (0.5, 0.5), span = 2 − (−1) = 3. Switch prob for
+        // (D → H): E[(u(H,·) − u(D,·))₊]/3 with both opponents uniform:
+        // pairs (u_H, u_D) ∈ {−1,2}×{0,1} each w.p. 1/4 →
+        // positive diffs: (2−0)=2, (2−1)=1 → E = 3/4 → p = 1/4.
+        let d = GameDynamics::new(&hawk_dove(), DynamicsRule::PairwiseImitation).unwrap();
+        assert!(d.kernel_depends_on_counts());
+        assert!(d.has_random_transitions());
+        assert_eq!(d.payoff_span(), 3.0);
+        let freq = [0.5, 0.5];
+        let cell = d.pair_kernel_at(1, 0, &freq).unwrap();
+        let switch = cell
+            .iter()
+            .find(|&&((a, _), _)| a == 0)
+            .map(|&(_, p)| p)
+            .unwrap();
+        assert!((switch - 0.25).abs() < 1e-12, "{switch}");
+        // Total mass 1; self-pairs are exact no-ops.
+        let total: f64 = cell.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(d.pair_kernel_at(1, 1, &freq).unwrap(), vec![((1, 1), 1.0)]);
+        // Static kernel declines (the law needs the counts).
+        assert!(d.pair_kernel(1, 0).is_none());
+    }
+
+    #[test]
+    fn pairwise_imitation_mean_switch_flow_is_replicator_signed() {
+        // Net D→H vs H→D flow at freq x must carry the replicator sign:
+        // positive toward the better-performing strategy against x.
+        let d = GameDynamics::new(&hawk_dove(), DynamicsRule::PairwiseImitation).unwrap();
+        for &h in &[0.2, 0.5, 0.8] {
+            let freq = [h, 1.0 - h];
+            let p_dh = d.proportional_switch_prob(1, 0, &freq); // D adopts H
+            let p_hd = d.proportional_switch_prob(0, 1, &freq); // H adopts D
+            // (Ax)_H − (Ax)_D = (−1)h + 2(1−h) − (1−h) = 1 − 2h.
+            let payoff_gap = 1.0 - 2.0 * h;
+            let net = p_dh - p_hd;
+            assert!(
+                (net * 3.0 - payoff_gap).abs() < 1e-12,
+                "h={h}: net {net} vs gap {payoff_gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_br_law_is_a_pmf_and_sharpens_with_samples() {
+        let d1 = GameDynamics::new(
+            &rps(),
+            DynamicsRule::SampledBestResponse { samples: 1 },
+        )
+        .unwrap();
+        // One sample: BR of a single opponent draw — the sample-of-one law.
+        let rho = d1.sampled_br_law(&[0.5, 0.3, 0.2], 1);
+        assert!((rho.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // P(BR = paper) = P(sample = rock) = 0.5, etc.
+        assert!((rho[1] - 0.5).abs() < 1e-12);
+        assert!((rho[2] - 0.3).abs() < 1e-12);
+        assert!((rho[0] - 0.2).abs() < 1e-12);
+        // Five samples concentrate on the best reply to the mixture.
+        let d5 = GameDynamics::new(
+            &rps(),
+            DynamicsRule::SampledBestResponse { samples: 5 },
+        )
+        .unwrap();
+        let rho5 = d5.sampled_br_law(&[0.8, 0.1, 0.1], 5);
+        assert!((rho5.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(rho5[1] > 0.8, "BR(rock-heavy mix) = paper: {rho5:?}");
+        // The kernel cell shares the law across responders.
+        let cell = d5.pair_kernel_at(0, 2, &[0.8, 0.1, 0.1]).unwrap();
+        for &((_, rj), _) in &cell {
+            assert_eq!(rj, 2, "responder never changes");
+        }
+    }
+
+    #[test]
+    fn kigt_walk_matches_definition_2_1() {
+        let pd = MatrixGame::donation(2.0, 1.0).unwrap();
+        let d = GameDynamics::new(&pd, DynamicsRule::KIgt { levels: 3 }).unwrap();
+        assert_eq!(d.num_states(), 5);
+        assert!(d.is_one_way());
+        assert!(!d.has_random_transitions());
+        let mut rng = rng_from_seed(0);
+        // AC (0) and AD (1) never change, whatever they meet.
+        for j in 0..5u8 {
+            assert_eq!(d.interact(0, j, &mut rng), (0, j));
+            assert_eq!(d.interact(1, j, &mut rng), (1, j));
+        }
+        // GTFT level 0 (state 2): increment on AC/GTFT, floor on AD.
+        assert_eq!(d.interact(2, 0, &mut rng), (3, 0));
+        assert_eq!(d.interact(2, 4, &mut rng), (3, 4));
+        assert_eq!(d.interact(2, 1, &mut rng), (2, 1));
+        // Top level (state 4): cap on increment, decrement on AD.
+        assert_eq!(d.interact(4, 0, &mut rng), (4, 0));
+        assert_eq!(d.interact(4, 1, &mut rng), (3, 1));
+    }
+
+    #[test]
+    fn kigt_profiles_encode_the_canonical_composition() {
+        let pd = MatrixGame::donation(2.0, 1.0).unwrap();
+        let d = GameDynamics::new(&pd, DynamicsRule::KIgt { levels: 5 }).unwrap();
+        let init = d.initial_profile();
+        assert_eq!(init.len(), 7);
+        assert!((init.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(&init[..2], &[KIGT_ALPHA, KIGT_BETA]);
+        let reference = d.reference_profiles().expect("k-IGT carries its own truth");
+        assert_eq!(reference.len(), 1);
+        let stat = &reference[0];
+        assert!((stat.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Theorem 2.7 ratio: π_{j+1}/π_j = (1−β)/β = 4.
+        for w in stat[2..].windows(2) {
+            assert!((w[1] / w[0] - 4.0).abs() < 1e-9, "{stat:?}");
+        }
+        // Game rules carry no override and start uniform.
+        let br = GameDynamics::new(&pd, DynamicsRule::BestResponse).unwrap();
+        assert!(br.reference_profiles().is_none());
+        assert_eq!(br.initial_profile(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn kigt_concentrates_on_the_stationary_law() {
+        let pd = MatrixGame::donation(2.0, 1.0).unwrap();
+        let d = GameDynamics::new(&pd, DynamicsRule::KIgt { levels: 5 }).unwrap();
+        let reference = d.reference_profiles().unwrap().remove(0);
+        let mut engine = engine_from_profile(d.clone(), &d.initial_profile(), 20_000).unwrap();
+        let mut rng = rng_from_seed(33);
+        engine
+            .run_batched(40 * 20_000, engine.suggested_batch(), &mut rng)
+            .unwrap();
+        let freq = engine.frequencies();
+        let tv: f64 = freq
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv < 0.02, "TV to Theorem 2.7 law: {tv} ({freq:?})");
     }
 
     #[test]
@@ -452,38 +1034,11 @@ mod tests {
         assert!(KernelTable::build(&br).unwrap().is_none());
     }
 
-    #[test]
-    fn logit_step_vs_batch_chi_square() {
-        // Step-vs-batch distributional equivalence of the logit τ-leap:
-        // final hawk count on hawk-dove after a fixed horizon, exact
-        // per-interaction stepping vs τ-leaps of n/4, two-sample
-        // chi-square over the histograms.
-        use popgame_population::batch::BatchedEngine;
-        use popgame_util::rng::stream_rng;
-        let n = 12u64;
-        let horizon = 40u64;
-        let reps = 4_000u64;
-        let d = GameDynamics::new(&hawk_dove(), DynamicsRule::Logit { eta: 1.5 }).unwrap();
-        let mut hist_step = vec![0u64; n as usize + 1];
-        let mut hist_batch = vec![0u64; n as usize + 1];
-        for rep in 0..reps {
-            let mut engine =
-                BatchedEngine::from_counts(d.clone(), vec![6, 6]).unwrap();
-            let mut rng = stream_rng(31, rep);
-            for _ in 0..horizon {
-                engine.step(&mut rng);
-            }
-            hist_step[engine.counts()[0] as usize] += 1;
-
-            let mut engine =
-                BatchedEngine::from_counts(d.clone(), vec![6, 6]).unwrap();
-            let mut rng = stream_rng(0x10_617 ^ rep.wrapping_mul(0x9E37_79B9), rep);
-            engine.run_batched(horizon, n / 4, &mut rng).unwrap();
-            hist_batch[engine.counts()[0] as usize] += 1;
-        }
-        let (ta, tb) = (reps as f64, reps as f64);
+    /// Two-sample chi-square statistic over paired histograms.
+    fn two_sample_chi_square(a: &[u64], b: &[u64]) -> f64 {
+        let (ta, tb) = (a.iter().sum::<u64>() as f64, b.iter().sum::<u64>() as f64);
         let mut chi2 = 0.0;
-        for (&ca, &cb) in hist_step.iter().zip(&hist_batch) {
+        for (&ca, &cb) in a.iter().zip(b) {
             let total = (ca + cb) as f64;
             if total == 0.0 {
                 continue;
@@ -492,8 +1047,117 @@ mod tests {
             let eb = total * tb / (ta + tb);
             chi2 += (ca as f64 - ea).powi(2) / ea + (cb as f64 - eb).powi(2) / eb;
         }
-        // 13 cells; 99.9% quantile of chi2(12) ~ 32.9, plus leap-bias room.
-        assert!(chi2 < 45.0, "chi-square {chi2}: {hist_step:?} vs {hist_batch:?}");
+        chi2
+    }
+
+    /// Step-vs-batch equivalence harness: final state-0 count histograms
+    /// after `horizon` interactions from `counts`, exact stepping vs
+    /// τ-leaps of `batch`, across `reps` decorrelated seed pairs.
+    fn step_vs_batch_chi_square(
+        dynamics: &GameDynamics,
+        counts: &[u64],
+        horizon: u64,
+        batch: u64,
+        reps: u64,
+        salt: u64,
+    ) -> f64 {
+        let n: u64 = counts.iter().sum();
+        let mut hist_step = vec![0u64; n as usize + 1];
+        let mut hist_batch = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut engine =
+                BatchedEngine::from_counts(dynamics.clone(), counts.to_vec()).unwrap();
+            let mut rng = stream_rng(salt, rep);
+            for _ in 0..horizon {
+                engine.step(&mut rng);
+            }
+            hist_step[engine.counts()[0] as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(dynamics.clone(), counts.to_vec()).unwrap();
+            // Decorrelated from the step family at EVERY rep — an xor of
+            // `rep·φ` alone would collide with the step stream at rep 0.
+            let mut rng = stream_rng(
+                salt.wrapping_add(0x0BAD_5EED) ^ rep.wrapping_mul(0x9E37_79B9),
+                rep,
+            );
+            engine.run_batched(horizon, batch, &mut rng).unwrap();
+            hist_batch[engine.counts()[0] as usize] += 1;
+        }
+        two_sample_chi_square(&hist_step, &hist_batch)
+    }
+
+    #[test]
+    fn logit_step_vs_batch_chi_square_across_the_eta_sweep() {
+        // The report's η-sweep axis: every swept η must stay
+        // chi-square-equivalent between exact stepping and τ-leaping.
+        for (idx, &eta) in [0.5, 1.0, 2.0, 4.0, 8.0].iter().enumerate() {
+            let d = GameDynamics::new(&hawk_dove(), DynamicsRule::Logit { eta }).unwrap();
+            let chi2 = step_vs_batch_chi_square(&d, &[6, 6], 40, 3, 2_000, 31 + idx as u64);
+            // 13 cells; 99.9% quantile of chi2(12) ~ 32.9, plus leap-bias
+            // room.
+            assert!(chi2 < 45.0, "eta={eta}: chi-square {chi2}");
+        }
+    }
+
+    #[test]
+    fn pairwise_imitation_step_vs_batch_chi_square() {
+        // The count-coupled kernel path: exact stepping rebuilds the
+        // Schlag kernel after every count change, leaps freeze it per
+        // leap; both must sample one law.
+        let d = GameDynamics::new(&hawk_dove(), DynamicsRule::PairwiseImitation).unwrap();
+        let chi2 = step_vs_batch_chi_square(&d, &[6, 6], 40, 3, 4_000, 103);
+        assert!(chi2 < 45.0, "chi-square {chi2}");
+    }
+
+    #[test]
+    fn sampled_br_step_vs_batch_chi_square() {
+        let d = GameDynamics::new(
+            &rps(),
+            DynamicsRule::SampledBestResponse { samples: 5 },
+        )
+        .unwrap();
+        let chi2 = step_vs_batch_chi_square(&d, &[6, 4, 2], 30, 2, 4_000, 107);
+        assert!(chi2 < 45.0, "chi-square {chi2}");
+    }
+
+    #[test]
+    fn two_way_imitation_step_vs_batch_chi_square() {
+        let d = GameDynamics::new(&hawk_dove(), DynamicsRule::TwoWayImitation).unwrap();
+        let chi2 = step_vs_batch_chi_square(&d, &[6, 6], 30, 3, 4_000, 109);
+        assert!(chi2 < 45.0, "chi-square {chi2}");
+    }
+
+    #[test]
+    fn kigt_step_vs_batch_chi_square() {
+        let pd = MatrixGame::donation(2.0, 1.0).unwrap();
+        let d = GameDynamics::new(&pd, DynamicsRule::KIgt { levels: 3 }).unwrap();
+        // Composition 4 AC, 2 AD, 6 GTFT at level 0; histogram over the
+        // level-0 count (state 2) — the moving part.
+        let n = 12u64;
+        let reps = 4_000u64;
+        let mut hist_step = vec![0u64; n as usize + 1];
+        let mut hist_batch = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut engine =
+                BatchedEngine::from_counts(d.clone(), vec![4, 2, 6, 0, 0]).unwrap();
+            let mut rng = stream_rng(113, rep);
+            for _ in 0..30 {
+                engine.step(&mut rng);
+            }
+            hist_step[engine.counts()[2] as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(d.clone(), vec![4, 2, 6, 0, 0]).unwrap();
+            let mut rng = stream_rng(
+                113u64.wrapping_add(0x0BAD_5EED) ^ rep.wrapping_mul(0x9E37_79B9),
+                rep,
+            );
+            engine.run_batched(30, n / 4, &mut rng).unwrap();
+            hist_batch[engine.counts()[2] as usize] += 1;
+        }
+        let chi2 = two_sample_chi_square(&hist_step, &hist_batch);
+        assert!(chi2 < 45.0, "chi-square {chi2}");
     }
 
     #[test]
@@ -512,6 +1176,27 @@ mod tests {
         // Near the uniform equilibrium after 20n interactions.
         for &c in &counts {
             assert!((c as f64 / 10_000.0 - 1.0 / 3.0).abs() < 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn count_coupled_dynamics_are_deterministic_per_seed() {
+        for rule in [
+            DynamicsRule::PairwiseImitation,
+            DynamicsRule::SampledBestResponse { samples: 5 },
+        ] {
+            let d = GameDynamics::new(&rps(), rule).unwrap();
+            let run = |seed: u64| {
+                let mut engine =
+                    engine_from_profile(d.clone(), &[0.5, 0.3, 0.2], 3_000).unwrap();
+                let mut rng = rng_from_seed(seed);
+                engine
+                    .run_batched(30_000, engine.suggested_batch(), &mut rng)
+                    .unwrap();
+                engine.counts().to_vec()
+            };
+            assert_eq!(run(3), run(3), "{rule:?}");
+            assert_eq!(run(3).iter().sum::<u64>(), 3_000);
         }
     }
 }
