@@ -1,7 +1,7 @@
 //! Subcommand implementations. Each returns `Ok(())` or a [`CliError`]
 //! that `main` maps onto the process exit code.
 
-use popgame_report::{render, run_report, ReportConfig};
+use popgame_report::{render, run_report, run_report_sequential, ReportConfig};
 use popgame_service::api::{
     execute_simulate, execute_solve, SimulateRequest, SolveRequest,
 };
@@ -186,7 +186,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
 
 const REPRODUCE_USAGE: &str = "usage: popgame reproduce [--quick|--full] [--seed S] \
      [--out DIR] [--sizes N1,N2,...] [--replicas R] [--horizon H] \
-     [--trajectory-points P]";
+     [--trajectory-points P] [--workers W] [--sequential]";
 
 /// The documented default seed of the reproduction harness.
 const REPRODUCE_SEED: u64 = 20240717;
@@ -202,6 +202,7 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
     let mut replicas: Option<u64> = None;
     let mut horizon: Option<u64> = None;
     let mut trajectory: Option<usize> = None;
+    let mut sequential = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -211,6 +212,11 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
             }
             "--quick" => preset = Some("quick"),
             "--full" => preset = Some("full"),
+            "--sequential" => sequential = true,
+            "--workers" => {
+                let w = parse_u64("--workers", &take_value(&mut it, "--workers")?)?;
+                popgame_runner::set_worker_threads(Some(w as usize));
+            }
             "--seed" => seed = parse_u64("--seed", &take_value(&mut it, "--seed")?)?,
             "--out" => out_dir = take_value(&mut it, "--out")?,
             "--sizes" => {
@@ -255,7 +261,12 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
     }
     config.validate().map_err(CliError::Usage)?;
 
-    let report = run_report(&config).map_err(CliError::Runtime)?;
+    let report = if sequential {
+        run_report_sequential(&config)
+    } else {
+        run_report(&config)
+    }
+    .map_err(CliError::Runtime)?;
     let json = render::report_json(&report);
     let md = render::report_markdown(&report);
     let dir = Path::new(&out_dir);
@@ -312,7 +323,7 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
 }
 
 const BENCH_USAGE: &str =
-    "usage: popgame bench [--quick] [--n N] [--interactions I] [--seed S]";
+    "usage: popgame bench [--quick] [--n N] [--interactions I] [--seed S] [--workers W]";
 
 /// `popgame bench` — a quick batched-engine throughput probe over four
 /// dynamics rules on rock-paper-scissors (including the count-coupled
@@ -339,6 +350,10 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
                 )?);
             }
             "--seed" => seed = parse_u64("--seed", &take_value(&mut it, "--seed")?)?,
+            "--workers" => {
+                let w = parse_u64("--workers", &take_value(&mut it, "--workers")?)?;
+                popgame_runner::set_worker_threads(Some(w as usize));
+            }
             other => return usage(format!("unknown flag {other}\n{BENCH_USAGE}")),
         }
     }

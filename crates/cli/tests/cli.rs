@@ -65,6 +65,32 @@ fn reproduce_reports_are_byte_identical_across_runs() {
     let md_a = std::fs::read(dir_a.join("REPORT.md")).unwrap();
     let md_b = std::fs::read(dir_b.join("REPORT.md")).unwrap();
     assert_eq!(md_a, md_b, "REPORT.md must be byte-identical");
+    // Scheduler modes cannot leak into the artifact: the sequential
+    // fallback and an explicit worker count reproduce the pooled bytes.
+    for (tag, extra) in [
+        ("golden-seq", vec!["--sequential"]),
+        ("golden-w2", vec!["--workers", "2"]),
+    ] {
+        let dir = temp_dir(tag);
+        let mut args = TINY_REPRODUCE.to_vec();
+        args.extend(extra);
+        args.push("--out");
+        let dir_text = dir.to_str().unwrap();
+        args.push(dir_text);
+        let out = popgame(&args);
+        assert!(out.status.success(), "{tag}: {}", stderr(&out));
+        assert_eq!(
+            std::fs::read(dir.join("REPORT.json")).unwrap(),
+            json_a,
+            "{tag}: REPORT.json must match the pooled run"
+        );
+        assert_eq!(
+            std::fs::read(dir.join("REPORT.md")).unwrap(),
+            md_a,
+            "{tag}: REPORT.md must match the pooled run"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
     // The artifacts carry the advertised content — including the η-sweep
     // and divergence-panel sections, whose byte-identity the whole-file
     // comparison above pins.

@@ -34,7 +34,7 @@
 
 use crate::counts::CountedPopulation;
 use crate::error::PopulationError;
-use crate::protocol::EnumerableProtocol;
+use crate::protocol::{EnumerableProtocol, KernelDeps};
 use popgame_util::sampler::{sample_binomial, AliasTable};
 use rand::Rng;
 
@@ -122,7 +122,7 @@ impl TransitionTable {
 /// ordered state pairs — the stochastic counterpart of
 /// [`TransitionTable`], built from
 /// [`EnumerableProtocol::pair_kernel`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct KernelTable {
     k: usize,
     /// `cells[i * k + j]` — the outcome pmf for ordered pair `(i, j)`,
@@ -130,10 +130,82 @@ pub struct KernelTable {
     cells: Vec<Vec<((u32, u32), f64)>>,
     /// Whether cell `(i, j)` is a count-vector no-op with probability 1.
     identity: Vec<bool>,
+    /// Total probability mass of cell `(i, j)`'s count-*changing*
+    /// outcomes (those with `(a, b) ≠ (i, j)`), cached so the leap's
+    /// two-level sampler can weight pairs in `O(1)` per cell instead of
+    /// re-summing the outcome list every leap.
+    active_mass: Vec<f64>,
+    /// Flattened count-changing outcomes of every cell, contiguous in
+    /// cell order: cell `c`'s entries live at
+    /// `nid_start[c]..nid_start[c + 1]`, `nid_ab` holding the resulting
+    /// `(a, b)` and `nid_cum` the within-cell inclusive cumulative mass.
+    /// Derived from `cells`; lets the leap's per-draw outcome pick walk a
+    /// short contiguous CDF instead of chasing per-cell heap buffers.
+    nid_start: Vec<u32>,
+    nid_ab: Vec<(u32, u32)>,
+    nid_cum: Vec<f64>,
+}
+
+impl PartialEq for KernelTable {
+    /// Tables are equal when their declared laws are — the flattened
+    /// active-outcome arrays and cached masses are derived data recomputed
+    /// deterministically from `cells`, so comparing them adds nothing.
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k && self.cells == other.cells && self.identity == other.identity
+    }
 }
 
 /// Outcome probabilities must sum to 1 within this tolerance.
 const KERNEL_SUM_TOL: f64 = 1e-9;
+
+/// Validates one declared outcome pmf and writes its positive-mass entries
+/// into `cell` (cleared first, allocation reused). Returns whether the
+/// cell is an almost-sure count-vector no-op, plus the total mass of its
+/// count-changing outcomes. Shared by the full
+/// [`KernelTable::build_with`] construction and the incremental
+/// [`KernelTable::refresh_at`] path so the two produce bitwise-identical
+/// cells from identical inputs.
+fn fill_cell(
+    k: usize,
+    i: usize,
+    j: usize,
+    outcomes: &[((usize, usize), f64)],
+    cell: &mut Vec<((u32, u32), f64)>,
+) -> Result<(bool, f64), PopulationError> {
+    cell.clear();
+    let mut total = 0.0f64;
+    for &((a, b), p) in outcomes {
+        if a >= k || b >= k {
+            return Err(PopulationError::StateOutOfRange {
+                index: a.max(b),
+                num_states: k,
+            });
+        }
+        if !p.is_finite() || p < 0.0 {
+            return Err(PopulationError::InvalidArgument {
+                reason: format!("kernel pmf for pair ({i}, {j}) has invalid mass {p}"),
+            });
+        }
+        total += p;
+        if p > 0.0 {
+            cell.push(((a as u32, b as u32), p));
+        }
+    }
+    if (total - 1.0).abs() > KERNEL_SUM_TOL {
+        return Err(PopulationError::InvalidArgument {
+            reason: format!("kernel pmf for pair ({i}, {j}) sums to {total}"),
+        });
+    }
+    let active: f64 = cell
+        .iter()
+        .filter(|&&((a, b), _)| (a as usize, b as usize) != (i, j))
+        .map(|&(_, p)| p)
+        .sum();
+    let identity = cell
+        .iter()
+        .all(|&((a, b), _)| (a as usize, b as usize) == (i, j));
+    Ok((identity, active))
+}
 
 impl KernelTable {
     /// Tabulates a protocol's declared outcome kernel; `None` when any
@@ -173,47 +245,132 @@ impl KernelTable {
         let k = protocol.num_states();
         let mut cells = Vec::with_capacity(k * k);
         let mut identity = Vec::with_capacity(k * k);
+        let mut active_mass = Vec::with_capacity(k * k);
         for i in 0..k {
             for j in 0..k {
                 let Some(outcomes) = kernel_of(protocol, i, j) else {
                     return Ok(None);
                 };
-                let mut total = 0.0f64;
-                let mut cell: Vec<((u32, u32), f64)> = Vec::with_capacity(outcomes.len());
-                for ((a, b), p) in outcomes {
-                    if a >= k || b >= k {
-                        return Err(PopulationError::StateOutOfRange {
-                            index: a.max(b),
-                            num_states: k,
-                        });
-                    }
-                    if !p.is_finite() || p < 0.0 {
-                        return Err(PopulationError::InvalidArgument {
-                            reason: format!(
-                                "kernel pmf for pair ({i}, {j}) has invalid mass {p}"
-                            ),
-                        });
-                    }
-                    total += p;
-                    if p > 0.0 {
-                        cell.push(((a as u32, b as u32), p));
-                    }
-                }
-                if (total - 1.0).abs() > KERNEL_SUM_TOL {
-                    return Err(PopulationError::InvalidArgument {
-                        reason: format!(
-                            "kernel pmf for pair ({i}, {j}) sums to {total}"
-                        ),
-                    });
-                }
-                identity.push(
-                    cell.iter()
-                        .all(|&((a, b), _)| (a as usize, b as usize) == (i, j)),
-                );
+                let mut cell = Vec::with_capacity(outcomes.len());
+                let (ident, active) = fill_cell(k, i, j, &outcomes, &mut cell)?;
+                identity.push(ident);
+                active_mass.push(active);
                 cells.push(cell);
             }
         }
-        Ok(Some(KernelTable { k, cells, identity }))
+        let mut table = KernelTable {
+            k,
+            cells,
+            identity,
+            active_mass,
+            nid_start: Vec::new(),
+            nid_ab: Vec::new(),
+            nid_cum: Vec::new(),
+        };
+        table.rebuild_active_outcomes();
+        Ok(Some(table))
+    }
+
+    /// Refreshes the table in place at new frequencies, recomputing only
+    /// the cells flagged in `dirty` (`dirty[i * k + j]`) and reusing every
+    /// cell's allocation — the incremental counterpart of a full
+    /// [`KernelTable::build_at`] rebuild. `scratch` is a caller-owned
+    /// buffer reused across calls, so a warm refresh performs no heap
+    /// allocation at all.
+    ///
+    /// Provided the protocol's [`EnumerableProtocol::pair_kernel_deps`]
+    /// declarations are truthful and `dirty` covers every cell whose
+    /// declared inputs changed, the refreshed table is **bitwise
+    /// identical** to a freshly built one: clean cells keep values that
+    /// could not have changed, and dirty cells are recomputed through the
+    /// exact same validation/fill path as [`KernelTable::build_at`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KernelTable::build`]; additionally
+    /// [`PopulationError::InvalidArgument`] when the protocol declines to
+    /// state a law mid-run (a count-coupled contract violation).
+    pub fn refresh_at<P: EnumerableProtocol>(
+        &mut self,
+        protocol: &P,
+        freq: &[f64],
+        dirty: &[bool],
+        scratch: &mut Vec<((usize, usize), f64)>,
+    ) -> Result<(), PopulationError> {
+        let k = self.k;
+        debug_assert_eq!(dirty.len(), k * k, "dirty mask must cover every cell");
+        let mut any_dirty = false;
+        for i in 0..k {
+            for j in 0..k {
+                let cell_index = i * k + j;
+                if !dirty[cell_index] {
+                    continue;
+                }
+                any_dirty = true;
+                scratch.clear();
+                if !protocol.pair_kernel_at_into(i, j, freq, scratch) {
+                    return Err(PopulationError::InvalidArgument {
+                        reason: format!(
+                            "count-coupled protocol declined to state the law for \
+                             pair ({i}, {j}) mid-run"
+                        ),
+                    });
+                }
+                let (ident, active) =
+                    fill_cell(k, i, j, scratch, &mut self.cells[cell_index])?;
+                self.identity[cell_index] = ident;
+                self.active_mass[cell_index] = active;
+            }
+        }
+        if any_dirty {
+            self.rebuild_active_outcomes();
+        }
+        Ok(())
+    }
+
+    /// Recomputes the flattened active-outcome arrays (`nid_start`,
+    /// `nid_ab`, `nid_cum`) from `cells`. The cumulative masses accumulate
+    /// in the cell's declaration order — the same order [`fill_cell`] sums
+    /// `active_mass` — so the final cumulative value of each cell is
+    /// bitwise equal to its cached active mass.
+    fn rebuild_active_outcomes(&mut self) {
+        let k = self.k;
+        self.nid_start.clear();
+        self.nid_ab.clear();
+        self.nid_cum.clear();
+        self.nid_start.push(0);
+        for cell_index in 0..k * k {
+            let (i, j) = (cell_index / k, cell_index % k);
+            let mut cum = 0.0f64;
+            for &((a, b), p) in &self.cells[cell_index] {
+                if (a as usize, b as usize) == (i, j) {
+                    continue;
+                }
+                cum += p;
+                self.nid_ab.push((a, b));
+                self.nid_cum.push(cum);
+            }
+            self.nid_start.push(self.nid_ab.len() as u32);
+        }
+    }
+
+    /// Resolves a count-changing outcome of flat cell `c = i·k + j` from a
+    /// uniform draw `u ∈ [0, active_mass(i, j))`: the first outcome whose
+    /// within-cell cumulative mass exceeds `u` (float rounding past the
+    /// end selects the last). Callers must only pass cells with positive
+    /// active mass.
+    #[inline]
+    pub fn pick_active_outcome(&self, cell: usize, u: f64) -> (u32, u32) {
+        let start = self.nid_start[cell] as usize;
+        let end = self.nid_start[cell + 1] as usize;
+        debug_assert!(start < end, "cell has no count-changing outcomes");
+        // Branchless rank: count boundaries at or below `u` — fixed trip
+        // count, no data-dependent branches to mispredict.
+        let mut rank = 0usize;
+        for &c in &self.nid_cum[start..end] {
+            rank += usize::from(u >= c);
+        }
+        self.nid_ab[start + rank.min(end - start - 1)]
     }
 
     /// Number of states.
@@ -231,6 +388,13 @@ impl KernelTable {
     #[inline]
     pub fn is_identity(&self, i: usize, j: usize) -> bool {
         self.identity[i * self.k + j]
+    }
+
+    /// Total probability that pair `(i, j)` changes the count vector —
+    /// the summed mass of its outcomes with `(a, b) ≠ (i, j)`.
+    #[inline]
+    pub fn active_mass(&self, i: usize, j: usize) -> f64 {
+        self.active_mass[i * self.k + j]
     }
 }
 
@@ -277,10 +441,58 @@ pub struct BatchedEngine<P: EnumerableProtocol> {
     kernel_dirty: bool,
     alias: Option<AliasTable>,
     alias_dirty: bool,
-    /// Scratch: indices of non-identity cells with positive weight.
+    /// Scratch: indices of non-identity cells with positive weight (the
+    /// reference leap path only).
     active_cells: Vec<usize>,
     /// Scratch: per-state count deltas of the current leap.
     deltas: Vec<i64>,
+    /// Per-cell frequency dependencies declared by the protocol
+    /// ([`EnumerableProtocol::pair_kernel_deps`]); count-coupled only.
+    deps: Vec<KernelDeps>,
+    /// Which states' counts changed since the kernel was last refreshed —
+    /// the dirty mask driving the incremental refresh.
+    stale: Vec<bool>,
+    /// Scratch: per-cell dirty flags for [`KernelTable::refresh_at`].
+    dirty_cells: Vec<bool>,
+    /// Scratch: current frequencies, reused across refreshes.
+    freq_scratch: Vec<f64>,
+    /// Scratch: one cell's raw declared law, reused across refreshes.
+    law_scratch: Vec<((usize, usize), f64)>,
+    /// Scratch: the tabulated path's fused (pair, count-changing outcome)
+    /// list of a leap (kernel engines use `pair_cells`/`pair_w` instead).
+    active: Vec<ActiveEntry>,
+    /// Scratch: Walker-alias buffers (acceptance probabilities, alias
+    /// slots, and the small/large worklists of the build) for the
+    /// categorical draw path of a leap. Rebuilt in place per leap — no
+    /// allocation once capacity is reached.
+    alias_prob: Vec<f64>,
+    alias_slot: Vec<u32>,
+    alias_small: Vec<u32>,
+    alias_large: Vec<u32>,
+    /// Scratch: the kernel path's two-level sampler — packed pair indices
+    /// (`i << 16 | j`, avoiding a per-draw division) of the pairs that can
+    /// change counts this leap, and their weights
+    /// `x_i (x_j − δ_ij) · active_mass(i, j)`. Outcomes are resolved per
+    /// draw against the [`KernelTable`] cell, so the leap's per-call work
+    /// is `O(k²)`, not `O(k²·outcomes)`.
+    pair_cells: Vec<u32>,
+    pair_w: Vec<f64>,
+    /// Run the pre-incremental reference paths (full kernel rebuild per
+    /// change, per-cell outcome chains). Kept for equivalence tests and
+    /// benchmark baselines; see [`Self::set_reference_leap`].
+    reference: bool,
+}
+
+/// One count-changing entry of a leap's fused multinomial chain: ordered
+/// pair `(i, j)` mapping to `(a, b)`, carrying weight
+/// `x_i (x_j − δ_ij) · P(outcome)`.
+#[derive(Debug, Clone, Copy)]
+struct ActiveEntry {
+    i: u32,
+    j: u32,
+    a: u32,
+    b: u32,
+    w: f64,
 }
 
 impl<P: EnumerableProtocol> BatchedEngine<P> {
@@ -324,6 +536,13 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
         } else {
             None
         };
+        let deps = if coupled {
+            (0..k * k)
+                .map(|cell| protocol.pair_kernel_deps(cell / k, cell % k))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(BatchedEngine {
             protocol,
             counts,
@@ -337,7 +556,31 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             alias_dirty: true,
             active_cells: Vec::with_capacity(k * k),
             deltas: vec![0; k],
+            deps,
+            stale: vec![false; k],
+            dirty_cells: vec![false; k * k],
+            freq_scratch: Vec::with_capacity(k),
+            law_scratch: Vec::new(),
+            active: Vec::with_capacity(k * k),
+            alias_prob: Vec::with_capacity(k * k),
+            alias_slot: Vec::with_capacity(k * k),
+            alias_small: Vec::with_capacity(k * k),
+            alias_large: Vec::with_capacity(k * k),
+            pair_cells: Vec::with_capacity(k * k),
+            pair_w: Vec::with_capacity(k * k),
+            reference: false,
         })
+    }
+
+    /// Switches the engine onto its *reference* execution paths: a full
+    /// allocating [`KernelTable::build_at`] rebuild on every count change
+    /// and the per-cell (unfused) multinomial chains — the pre-incremental
+    /// implementation, preserved verbatim. The reference and default paths
+    /// are identical in law (equivalence-tested), but draw different RNG
+    /// streams; benchmarks use this switch to measure the incremental
+    /// path's speedup and tests use it as an oracle.
+    pub fn set_reference_leap(&mut self, reference: bool) {
+        self.reference = reference;
     }
 
     /// Builds the engine directly from per-state counts.
@@ -401,10 +644,21 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
         }
     }
 
-    /// Rebuilds the count-coupled kernel when the counts have changed
+    /// Refreshes the count-coupled kernel when the counts have changed
     /// since it was last built. No-op for static-kernel protocols.
+    ///
+    /// The default path is *incremental*: only cells whose declared
+    /// frequency dependencies ([`EnumerableProtocol::pair_kernel_deps`])
+    /// intersect the states that actually changed are recomputed, in
+    /// place, through reusable scratch buffers — no allocation on a warm
+    /// refresh, and bitwise-identical results to a full rebuild. The
+    /// reference path ([`Self::set_reference_leap`]) performs the full
+    /// allocating rebuild instead.
     fn ensure_kernel(&mut self) {
-        if self.coupled && self.kernel_dirty {
+        if !(self.coupled && self.kernel_dirty) {
+            return;
+        }
+        if self.reference {
             let freq: Vec<f64> = self
                 .counts
                 .iter()
@@ -413,8 +667,35 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             self.kernel = KernelTable::build_at(&self.protocol, &freq)
                 .expect("count-coupled kernel law broke mid-run (protocol bug)");
             debug_assert!(self.kernel.is_some(), "validated at construction");
-            self.kernel_dirty = false;
+        } else {
+            self.freq_scratch.clear();
+            self.freq_scratch
+                .extend(self.counts.iter().map(|&c| c as f64 / self.n as f64));
+            let any_stale = self.stale.iter().any(|&s| s);
+            for (cell, dirty) in self.dirty_cells.iter_mut().enumerate() {
+                *dirty = match &self.deps[cell] {
+                    KernelDeps::None => false,
+                    KernelDeps::All => any_stale,
+                    KernelDeps::States(states) => {
+                        states.iter().any(|&s| self.stale[s])
+                    }
+                };
+            }
+            let kernel = self
+                .kernel
+                .as_mut()
+                .expect("coupled engines keep a kernel");
+            kernel
+                .refresh_at(
+                    &self.protocol,
+                    &self.freq_scratch,
+                    &self.dirty_cells,
+                    &mut self.law_scratch,
+                )
+                .expect("count-coupled kernel law broke mid-run (protocol bug)");
         }
+        self.stale.iter_mut().for_each(|s| *s = false);
+        self.kernel_dirty = false;
     }
 
     /// One exact interaction via alias-table sampling: `O(1)` expected when
@@ -478,6 +759,9 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             self.counts[nj] += 1;
             self.alias_dirty = true;
             self.kernel_dirty = true;
+            for s in [i, ni, j, nj] {
+                self.stale[s] = true;
+            }
         }
         self.interactions += 1;
         (i, j)
@@ -506,7 +790,11 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             }
             return Ok(());
         }
-        self.leap(batch, rng);
+        if self.reference {
+            self.leap_reference(batch, rng);
+        } else {
+            self.leap(batch, rng);
+        }
         Ok(())
     }
 
@@ -589,11 +877,353 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     /// The multinomial leap over frozen counts; splits on (rare) negative
     /// excursions.
     ///
-    /// Count-coupled kernels are rebuilt here from the counts being
+    /// Count-coupled kernels are refreshed here from the counts being
     /// frozen, so the kernel shares the leap's own idealization exactly —
     /// overdraw splits re-enter through this refresh and see updated
     /// frequencies.
+    ///
+    /// All identity mass — pairs that are almost-sure no-ops *and* the
+    /// no-op outcomes of active pairs — is thinned away in a single
+    /// leading `p_active` binomial, so near equilibrium most leaps
+    /// terminate after a handful of small draws. The surviving active
+    /// draws are then distributed:
+    ///
+    /// * **Tabulated protocols** flatten to one entry per active pair and
+    ///   run either a fused binomial chain over the entries or (when the
+    ///   draw count is small relative to the entry list) iid categorical
+    ///   draws from a Walker alias table — identical multinomial law by
+    ///   the splitting property.
+    /// * **Kernel protocols** use a *two-level* factorization
+    ///   `P(pair) · P(outcome | pair)`: pairs carry weight
+    ///   `x_i (x_j − δ_ij) · active_mass(i, j)` and the outcome is
+    ///   resolved per draw against the kernel cell, so the per-leap fixed
+    ///   cost is `O(k²)` rather than `O(k² · outcomes)`. Again either an
+    ///   alias table over pairs (small draw counts) or a pair-level
+    ///   binomial chain with nested outcome chains (large draw counts) —
+    ///   both exactly the flattened entry-level multinomial in law.
     fn leap<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
+        self.ensure_kernel();
+        let k = self.counts.len();
+        debug_assert!(
+            self.table.is_some() || self.kernel.is_some(),
+            "leap requires a table or a kernel"
+        );
+        // Weight this leap's count-changing alternatives. Tabulated
+        // protocols flatten to one entry per active pair. Kernel
+        // protocols use a *two-level* scheme: pairs carry weight
+        // `x_i (x_j − δ_ij) · active_mass(i, j)` and the concrete outcome
+        // is resolved per draw against the kernel cell, so the per-leap
+        // fixed cost is `O(k²)` instead of `O(k² · outcomes)`.
+        let mut active_weight = 0.0f64;
+        if let Some(table) = self.table.as_ref() {
+            self.active.clear();
+            for i in 0..k {
+                let xi = self.counts[i];
+                if xi == 0 {
+                    continue;
+                }
+                for j in 0..k {
+                    if table.is_identity(i, j) {
+                        continue;
+                    }
+                    let wpair =
+                        xi as f64 * (self.counts[j] - u64::from(i == j)) as f64;
+                    if wpair <= 0.0 {
+                        continue;
+                    }
+                    let (a, b) = table.apply(i, j);
+                    self.active.push(ActiveEntry {
+                        i: i as u32,
+                        j: j as u32,
+                        a: a as u32,
+                        b: b as u32,
+                        w: wpair,
+                    });
+                    active_weight += wpair;
+                }
+            }
+        } else {
+            let kernel = self.kernel.as_ref().expect("checked above");
+            self.pair_cells.clear();
+            self.pair_w.clear();
+            for i in 0..k {
+                let xi = self.counts[i];
+                if xi == 0 {
+                    continue;
+                }
+                for j in 0..k {
+                    let wpair =
+                        xi as f64 * (self.counts[j] - u64::from(i == j)) as f64;
+                    if wpair <= 0.0 {
+                        continue;
+                    }
+                    let w = wpair * kernel.active_mass(i, j);
+                    if w > 0.0 {
+                        self.pair_cells.push(((i as u32) << 16) | j as u32);
+                        self.pair_w.push(w);
+                        active_weight += w;
+                    }
+                }
+            }
+        }
+        if active_weight <= 0.0 {
+            // Absorbed: every remaining interaction is a no-op.
+            self.interactions += batch;
+            return;
+        }
+        let total_weight = self.n as f64 * (self.n - 1) as f64;
+        // How many of the `batch` interactions change anything at all.
+        let p_active = (active_weight / total_weight).min(1.0);
+        let mut remaining = sample_binomial(batch, p_active, rng);
+        self.deltas.iter_mut().for_each(|d| *d = 0);
+        if self.table.is_some() {
+            let last = self.active.len() - 1;
+            if remaining > 0 && remaining < 12 * self.active.len() as u64 {
+                // Draws cheaper than one binomial sample per entry: draw
+                // each active interaction's entry iid-categorically from a
+                // Walker alias table over the entry weights — identical in
+                // law to the binomial chain by the multinomial splitting
+                // property, at `O(E)` rebuild plus `O(1)` per draw.
+                self.rebuild_entry_alias(active_weight);
+                let entries = self.active.len();
+                for _ in 0..remaining {
+                    // One uniform per draw: the integer part picks the
+                    // slot, the fractional part accepts or aliases.
+                    let u = rng.gen::<f64>() * entries as f64;
+                    let slot = (u as usize).min(entries - 1);
+                    let idx = if (u - slot as f64) < self.alias_prob[slot] {
+                        slot
+                    } else {
+                        self.alias_slot[slot] as usize
+                    };
+                    let entry = self.active[idx];
+                    self.deltas[entry.i as usize] -= 1;
+                    self.deltas[entry.a as usize] += 1;
+                    self.deltas[entry.j as usize] -= 1;
+                    self.deltas[entry.b as usize] += 1;
+                }
+            } else {
+                // Fused binomial chain over the count-changing entries.
+                let mut mass_left = active_weight;
+                for idx in 0..=last {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let entry = self.active[idx];
+                    let q = if idx == last {
+                        1.0
+                    } else {
+                        (entry.w / mass_left).clamp(0.0, 1.0)
+                    };
+                    let c = sample_binomial(remaining, q, rng);
+                    mass_left -= entry.w;
+                    if c > 0 {
+                        remaining -= c;
+                        let c = c as i64;
+                        self.deltas[entry.i as usize] -= c;
+                        self.deltas[entry.a as usize] += c;
+                        self.deltas[entry.j as usize] -= c;
+                        self.deltas[entry.b as usize] += c;
+                    }
+                }
+            }
+        } else {
+            let pairs = self.pair_w.len();
+            if remaining > 0 && remaining < 12 * pairs as u64 {
+                // Two-level categorical draws: a Walker alias table over
+                // the pair weights picks the ordered pair, then a short
+                // CDF walk over the kernel cell's count-changing outcomes
+                // (normalized by the cached active mass) picks the result.
+                // Jointly this is exactly the entry-level multinomial —
+                // `P(pair) · P(outcome | pair)` — without ever building
+                // the flattened entry list.
+                self.rebuild_pair_alias(active_weight);
+                let kernel = self.kernel.as_ref().expect("checked above");
+                for _ in 0..remaining {
+                    let u = rng.gen::<f64>() * pairs as f64;
+                    let slot = (u as usize).min(pairs - 1);
+                    let idx = if (u - slot as f64) < self.alias_prob[slot] {
+                        slot
+                    } else {
+                        self.alias_slot[slot] as usize
+                    };
+                    let packed = self.pair_cells[idx] as usize;
+                    let (i, j) = (packed >> 16, packed & 0xFFFF);
+                    let cell = i * k + j;
+                    let u2 = rng.gen::<f64>() * kernel.active_mass(i, j);
+                    let (a, b) = kernel.pick_active_outcome(cell, u2);
+                    self.deltas[i] -= 1;
+                    self.deltas[a as usize] += 1;
+                    self.deltas[j] -= 1;
+                    self.deltas[b as usize] += 1;
+                }
+            } else {
+                // Binomial chain over pairs, then a nested chain over each
+                // drawn pair's count-changing outcomes — the same joint
+                // multinomial by the splitting property, at `O(pairs)`
+                // plus outcome work only for pairs that drew.
+                let kernel = self.kernel.as_ref().expect("checked above");
+                let mut mass_left = active_weight;
+                let lastp = pairs - 1;
+                for pi in 0..=lastp {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let w = self.pair_w[pi];
+                    let q = if pi == lastp {
+                        1.0
+                    } else {
+                        (w / mass_left).clamp(0.0, 1.0)
+                    };
+                    let c = sample_binomial(remaining, q, rng);
+                    mass_left -= w;
+                    if c == 0 {
+                        continue;
+                    }
+                    remaining -= c;
+                    let packed = self.pair_cells[pi] as usize;
+                    let (i, j) = (packed >> 16, packed & 0xFFFF);
+                    let outs = kernel.outcomes(i, j);
+                    let last_nid = outs
+                        .iter()
+                        .rposition(|&((a, b), _)| (a as usize, b as usize) != (i, j))
+                        .expect("active pair has a count-changing outcome");
+                    let mut m = kernel.active_mass(i, j);
+                    let mut cleft = c;
+                    for (oi, &((a, b), p)) in outs.iter().enumerate() {
+                        if cleft == 0 {
+                            break;
+                        }
+                        if (a as usize, b as usize) == (i, j) {
+                            continue;
+                        }
+                        let q2 = if oi == last_nid {
+                            1.0
+                        } else {
+                            (p / m).clamp(0.0, 1.0)
+                        };
+                        let cc = sample_binomial(cleft, q2, rng);
+                        m -= p;
+                        if cc > 0 {
+                            cleft -= cc;
+                            let cc = cc as i64;
+                            self.deltas[i] -= cc;
+                            self.deltas[a as usize] += cc;
+                            self.deltas[j] -= cc;
+                            self.deltas[b as usize] += cc;
+                        }
+                    }
+                }
+            }
+        }
+        // Conservation guard: a leap that overdraws a state is split in
+        // half; each half sees refreshed counts, shrinking the draw.
+        let overdraws = self
+            .counts
+            .iter()
+            .zip(&self.deltas)
+            .any(|(&c, &d)| (c as i64) + d < 0);
+        if overdraws {
+            if batch == 1 {
+                // A single interaction can never overdraw; replay exactly.
+                self.step(rng);
+                return;
+            }
+            let half = batch / 2;
+            self.leap(half, rng);
+            self.leap(batch - half, rng);
+            return;
+        }
+        let mut changed = false;
+        for (s, delta) in self.deltas.iter().enumerate() {
+            if *delta != 0 {
+                self.counts[s] = (self.counts[s] as i64 + delta) as u64;
+                self.stale[s] = true;
+                changed = true;
+            }
+        }
+        self.interactions += batch;
+        if changed {
+            self.alias_dirty = true;
+            self.kernel_dirty = true;
+        }
+    }
+
+
+    /// Rebuilds the Walker alias table over the current `active` entry
+    /// weights (total mass `total`) in place, reusing the engine's
+    /// scratch buffers — the same construction as
+    /// [`popgame_util::sampler::AliasTable`], without the per-leap
+    /// allocations.
+    fn rebuild_entry_alias(&mut self, total: f64) {
+        let entries = self.active.len();
+        self.alias_prob.clear();
+        self.alias_prob
+            .extend(self.active.iter().map(|e| e.w * entries as f64 / total));
+        self.finalize_alias();
+    }
+
+    /// Rebuilds the Walker alias table over the kernel path's pair
+    /// weights (total mass `total`) in place — same construction as
+    /// [`Self::rebuild_entry_alias`], over `pair_w` instead of the
+    /// flattened entry list.
+    fn rebuild_pair_alias(&mut self, total: f64) {
+        let scale = self.pair_w.len() as f64 / total;
+        self.alias_prob.clear();
+        self.alias_prob
+            .extend(self.pair_w.iter().map(|&w| w * scale));
+        self.finalize_alias();
+    }
+
+    /// Turns the scaled weights currently in `alias_prob` (mean 1) into a
+    /// finalized acceptance/alias table via the in-place Vose pairing.
+    fn finalize_alias(&mut self) {
+        let entries = self.alias_prob.len();
+        self.alias_slot.clear();
+        self.alias_slot.resize(entries, 0);
+        self.alias_small.clear();
+        self.alias_large.clear();
+        for (i, &scaled) in self.alias_prob.iter().enumerate() {
+            if scaled < 1.0 {
+                self.alias_small.push(i as u32);
+            } else {
+                self.alias_large.push(i as u32);
+            }
+        }
+        // `alias_prob` starts as the scaled weights and is finalized in
+        // place: a slot popped from `small` keeps its current value as its
+        // acceptance probability, and donates its deficit to the paired
+        // large slot.
+        while let (Some(&s), Some(&l)) =
+            (self.alias_small.last(), self.alias_large.last())
+        {
+            self.alias_small.pop();
+            let (s, l) = (s as usize, l as usize);
+            self.alias_slot[s] = l as u32;
+            self.alias_prob[l] = (self.alias_prob[l] + self.alias_prob[s]) - 1.0;
+            if self.alias_prob[l] < 1.0 {
+                self.alias_large.pop();
+                self.alias_small.push(l as u32);
+            }
+        }
+        for i in 0..self.alias_small.len() {
+            let i = self.alias_small[i] as usize;
+            self.alias_prob[i] = 1.0;
+            self.alias_slot[i] = i as u32;
+        }
+        for i in 0..self.alias_large.len() {
+            let i = self.alias_large[i] as usize;
+            self.alias_prob[i] = 1.0;
+            self.alias_slot[i] = i as u32;
+        }
+    }
+
+    /// The pre-incremental leap: per-pair binomial chain with nested
+    /// per-outcome chains and no identity-mass fusion. Identical in law to
+    /// [`Self::leap`] (equivalence-tested), different in RNG stream; kept
+    /// as the benchmark baseline and test oracle behind
+    /// [`Self::set_reference_leap`].
+    fn leap_reference<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
         self.ensure_kernel();
         let k = self.counts.len();
         debug_assert!(
@@ -707,11 +1337,14 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
                 return;
             }
             let half = batch / 2;
-            self.leap(half, rng);
-            self.leap(batch - half, rng);
+            self.leap_reference(half, rng);
+            self.leap_reference(batch - half, rng);
             return;
         }
-        for (c, d) in self.counts.iter_mut().zip(&self.deltas) {
+        for (s, (c, d)) in self.counts.iter_mut().zip(&self.deltas).enumerate() {
+            if *d != 0 {
+                self.stale[s] = true;
+            }
             *c = (*c as i64 + d) as u64;
         }
         self.interactions += batch;
@@ -1275,6 +1908,114 @@ mod tests {
         assert!(chi2 < 45.0, "chi-square {chi2}: {hist_step:?} vs {hist_batch:?}");
     }
 
+    /// A count-coupled protocol with *partial* kernel dependencies: four
+    /// states on a ring, where cell `(i, j)` advances the initiator to
+    /// `i + 1` with a probability that reads only `freq[i]` — declared
+    /// via `KernelDeps::States([i])`, so the incremental refresh skips
+    /// every cell whose initiator state kept its count. `FieldContagion`
+    /// keeps the conservative `All` default; this one exercises the
+    /// sparse mask.
+    #[derive(Clone, Copy)]
+    struct LocalDrift;
+
+    impl Protocol for LocalDrift {
+        type State = u8;
+        fn interact<R: Rng + ?Sized>(&self, _i: u8, _r: u8, _rng: &mut R) -> (u8, u8) {
+            unreachable!("count-coupled protocols run through pair_kernel_at")
+        }
+        fn is_one_way(&self) -> bool {
+            true
+        }
+        fn has_random_transitions(&self) -> bool {
+            true
+        }
+    }
+
+    impl EnumerableProtocol for LocalDrift {
+        fn num_states(&self) -> usize {
+            4
+        }
+        fn state_index(&self, s: u8) -> usize {
+            s as usize
+        }
+        fn state_at(&self, i: usize) -> u8 {
+            i as u8
+        }
+        fn kernel_depends_on_counts(&self) -> bool {
+            true
+        }
+        fn pair_kernel_at(
+            &self,
+            i: usize,
+            j: usize,
+            freq: &[f64],
+        ) -> Option<Vec<((usize, usize), f64)>> {
+            if i == j {
+                return Some(vec![((i, j), 1.0)]);
+            }
+            let p = 0.2 + 0.6 * freq[i];
+            Some(vec![(((i + 1) % 4, j), p), ((i, j), 1.0 - p)])
+        }
+        fn pair_kernel_deps(&self, i: usize, j: usize) -> KernelDeps {
+            if i == j {
+                KernelDeps::None
+            } else {
+                KernelDeps::States(vec![i])
+            }
+        }
+    }
+
+    #[test]
+    fn partial_deps_step_vs_batch_chi_square() {
+        // Same battery as `count_coupled_step_vs_batch_chi_square`, but
+        // over sparse `KernelDeps::States` declarations: exact stepping
+        // refreshes only the stale initiators' cells after every count
+        // change, τ-leaps refresh once per leap. Both route through
+        // `refresh_at`, and both must sample the one declared law.
+        let n = 12u64;
+        let horizon = 30u64;
+        let reps = 4_000u64;
+        let mut hist_step = vec![0u64; n as usize + 1];
+        let mut hist_batch = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut engine =
+                BatchedEngine::from_counts(LocalDrift, vec![5, 3, 2, 2]).unwrap();
+            let mut rng = stream_rng(901, rep);
+            for _ in 0..horizon {
+                engine.step(&mut rng);
+            }
+            hist_step[engine.counts()[0] as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(LocalDrift, vec![5, 3, 2, 2]).unwrap();
+            let mut rng = stream_rng(badge(rep), rep);
+            engine.run_batched(horizon, n / 4, &mut rng).unwrap();
+            hist_batch[engine.counts()[0] as usize] += 1;
+        }
+        let chi2 = two_sample_chi_square(&hist_step, &hist_batch);
+        // 13 cells; 99.9% quantile of chi2(12) ~ 32.9, plus leap-bias room.
+        assert!(chi2 < 45.0, "chi-square {chi2}: {hist_step:?} vs {hist_batch:?}");
+    }
+
+    /// The per-cell dirty mask `ensure_kernel` derives from the declared
+    /// deps and the set of states whose counts changed — replicated here
+    /// so the proptest can drive `refresh_at` exactly the way the engine
+    /// does.
+    fn deps_dirty_mask<P: EnumerableProtocol>(protocol: &P, changed: &[bool]) -> Vec<bool> {
+        let k = protocol.num_states();
+        let mut dirty = vec![false; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                dirty[i * k + j] = match protocol.pair_kernel_deps(i, j) {
+                    KernelDeps::None => false,
+                    KernelDeps::All => changed.iter().any(|&c| c),
+                    KernelDeps::States(states) => states.iter().any(|&s| changed[s]),
+                };
+            }
+        }
+        dirty
+    }
+
     /// A count-coupled protocol whose declared pmf breaks when any state
     /// empties (mass 1 + freq[0] at the boundary) — construction must
     /// surface the bug immediately.
@@ -1456,6 +2197,75 @@ mod tests {
             let mut rng = rng_from_seed(seed);
             engine.run_batched(5 * n, n, &mut rng).unwrap();
             prop_assert_eq!(engine.counts().iter().sum::<u64>(), n);
+        }
+
+        /// After any randomized walk of single-agent moves, a table
+        /// maintained through `refresh_at` with the deps-derived dirty
+        /// mask is bitwise identical to a fresh `build_at` — including
+        /// the derived sampler arrays (`active_mass`, `nid_*`), which
+        /// the manual `PartialEq` deliberately skips. Run against both
+        /// the sparse-deps protocol and the conservative-`All` one.
+        #[test]
+        fn prop_incremental_refresh_matches_full_rebuild(
+            seed in 0u64..150,
+            moves in 1usize..24,
+            sparse_flag in 0u8..2,
+        ) {
+            let sparse = sparse_flag == 1;
+            let k = if sparse { 4usize } else { 2 };
+            let mut counts = if sparse {
+                vec![6u64, 4, 3, 3]
+            } else {
+                vec![9u64, 7]
+            };
+            let n: u64 = counts.iter().sum();
+            let freq_of = |counts: &[u64]| -> Vec<f64> {
+                counts.iter().map(|&c| c as f64 / n as f64).collect()
+            };
+            let build = |freq: &[f64]| {
+                if sparse {
+                    KernelTable::build_at(&LocalDrift, freq)
+                } else {
+                    KernelTable::build_at(&FieldContagion, freq)
+                }
+                .unwrap()
+                .unwrap()
+            };
+            let mut table = build(&freq_of(&counts));
+            let mut rng = rng_from_seed(seed);
+            let mut scratch = Vec::new();
+            for _ in 0..moves {
+                let from = rng.gen_range(0..k);
+                let to = rng.gen_range(0..k);
+                if from == to || counts[from] == 0 {
+                    continue;
+                }
+                counts[from] -= 1;
+                counts[to] += 1;
+                let mut changed = vec![false; k];
+                changed[from] = true;
+                changed[to] = true;
+                let freq = freq_of(&counts);
+                let dirty = if sparse {
+                    deps_dirty_mask(&LocalDrift, &changed)
+                } else {
+                    deps_dirty_mask(&FieldContagion, &changed)
+                };
+                if sparse {
+                    table.refresh_at(&LocalDrift, &freq, &dirty, &mut scratch)
+                } else {
+                    table.refresh_at(&FieldContagion, &freq, &dirty, &mut scratch)
+                }
+                .unwrap();
+                let rebuilt = build(&freq);
+                prop_assert_eq!(&table, &rebuilt);
+                let bits =
+                    |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(&table.active_mass), bits(&rebuilt.active_mass));
+                prop_assert_eq!(&table.nid_start, &rebuilt.nid_start);
+                prop_assert_eq!(&table.nid_ab, &rebuilt.nid_ab);
+                prop_assert_eq!(bits(&table.nid_cum), bits(&rebuilt.nid_cum));
+            }
         }
 
         /// Alias stepping and reference stepping agree on monotonicity of

@@ -2,6 +2,26 @@
 
 use rand::Rng;
 
+/// Which population frequencies a count-coupled cell's law reads —
+/// declared per ordered pair via
+/// [`EnumerableProtocol::pair_kernel_deps`], and used by
+/// [`crate::batch::BatchedEngine`] to refresh only the kernel cells whose
+/// inputs actually changed since the last rebuild (the dirty mask of the
+/// incremental [`crate::batch::KernelTable`] refresh).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelDeps {
+    /// The cell's law never changes with the counts (e.g. a diagonal
+    /// self-imitation cell that is an unconditional no-op). Never
+    /// refreshed.
+    None,
+    /// The cell's law may read every state's frequency — the conservative
+    /// default. Refreshed whenever any count changed.
+    All,
+    /// The cell's law reads only the listed state indices' frequencies.
+    /// Refreshed only when one of them changed.
+    States(Vec<usize>),
+}
+
 /// A population protocol: a (possibly randomized) transition function
 /// applied to a sampled ordered pair of agents.
 ///
@@ -163,6 +183,43 @@ pub trait EnumerableProtocol: Protocol {
     ) -> Option<Vec<((usize, usize), f64)>> {
         let _ = freq;
         self.pair_kernel(i, j)
+    }
+
+    /// Allocation-free variant of [`pair_kernel_at`](Self::pair_kernel_at):
+    /// appends the law's entries to `out` (cleared by the caller) and
+    /// returns whether a law was stated at all. The default delegates to
+    /// [`pair_kernel_at`](Self::pair_kernel_at); hot count-coupled
+    /// protocols should override it to write entries directly, so the
+    /// engine's per-leap kernel refresh performs no heap allocation. An
+    /// override must produce exactly the entries (values and order) of
+    /// [`pair_kernel_at`](Self::pair_kernel_at) — engines rely on the two
+    /// paths being bitwise interchangeable.
+    fn pair_kernel_at_into(
+        &self,
+        i: usize,
+        j: usize,
+        freq: &[f64],
+        out: &mut Vec<((usize, usize), f64)>,
+    ) -> bool {
+        match self.pair_kernel_at(i, j, freq) {
+            Some(entries) => {
+                out.extend(entries);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Which frequency components the pair `(i, j)` law
+    /// ([`pair_kernel_at`](Self::pair_kernel_at)) reads. The default is
+    /// the conservative [`KernelDeps::All`]; count-coupled protocols
+    /// should override it where cells are count-free (unconditional
+    /// no-ops) or read only a few states, so the engine's incremental
+    /// kernel refresh can skip them. The declaration is a *contract*: a
+    /// cell declared independent of a state must return bitwise-identical
+    /// laws across any change confined to that state's frequency.
+    fn pair_kernel_deps(&self, _i: usize, _j: usize) -> KernelDeps {
+        KernelDeps::All
     }
 }
 

@@ -3,7 +3,8 @@
 
 use popgame_dist::divergence::tv_distance;
 use popgame_population::trajectory::TrajectoryRecorder;
-use popgame_runner::{mean_series, mean_vectors, run_replicas};
+use popgame_runner::{mean_series, mean_vectors, run_tasks};
+use popgame_util::rng::stream_rng;
 use popgame_solver::dynamics::{engine_from_profile, DynamicsRule, GameDynamics};
 use popgame_solver::game::MatrixGame;
 use popgame_solver::nash::symmetric_equilibria;
@@ -381,68 +382,128 @@ struct ReplicaOutcome {
     trajectory: Vec<(u64, Vec<f64>, f64)>,
 }
 
-/// Runs one (dynamics, equilibria, n) cell: `replicas` recorded runs from
-/// the `start` profile, fanned out deterministically.
-fn run_cell(
-    dynamics: &GameDynamics,
-    equilibria: &[Vec<f64>],
-    start: &[f64],
+/// The harness leap size: `4·√n`, clamped to `[√n, max(√n, n/16)]`.
+///
+/// The engine's own `suggested_batch` is `√n`; the harness quadruples it
+/// to amortize the per-leap fixed costs (count-coupled kernel refresh,
+/// active-entry rebuild, draw setup) over more interactions. The
+/// frozen-count idealization stays `O(batch/n) = O(1/√n)` — the same
+/// vanishing order as the engine default, with a constant factor of 4 —
+/// and the `n/16` clamp keeps small-`n` cells from freezing a
+/// non-trivial population fraction in any single leap.
+fn harness_batch(n: u64) -> u64 {
+    let suggested = ((n as f64).sqrt() as u64).max(1);
+    (suggested * 4).min((n / 16).max(suggested))
+}
+
+/// One (dynamics, equilibria, start, n) cell of the flattened task space.
+///
+/// The report is a list of these: every convergence cell, η-sweep cell,
+/// and divergence row becomes one spec, and [`run_cells`] sweeps the whole
+/// list through a single work-stealing pool so a slow cell (large `n`,
+/// wide kernel) never serializes behind the cells scheduled after it.
+struct CellSpec {
+    dynamics: GameDynamics,
+    equilibria: Vec<Vec<f64>>,
+    start: Vec<f64>,
     n: u64,
     seed: u64,
-    config: &ReportConfig,
-) -> Result<Vec<ReplicaOutcome>, String> {
-    // Probe construction once so errors surface as messages, not panics.
-    engine_from_profile(dynamics.clone(), start, n).map_err(|e| e.to_string())?;
-    let horizon = config.horizon_per_agent.saturating_mul(n);
-    let capacity = config.trajectory_capacity;
+}
+
+/// Runs one replica of one cell. Pure in `(spec, replica)`: the RNG is
+/// `stream_rng(spec.seed, replica)`, so the outcome is independent of
+/// which worker executes it and of execution order — the determinism
+/// contract the work-stealing sweep relies on.
+fn run_replica(spec: &CellSpec, replica: u64, config: &ReportConfig) -> ReplicaOutcome {
+    let mut rng = stream_rng(spec.seed, replica);
     let nearest_tv = |freq: &[f64]| {
-        equilibria
+        spec.equilibria
             .iter()
             .map(|eq| tv_distance(freq, eq).expect("matching dimensions"))
             .fold(f64::INFINITY, f64::min)
     };
-    Ok(run_replicas(seed, config.replicas, |_replica, mut rng| {
-        let mut engine = engine_from_profile(dynamics.clone(), start, n)
-            .expect("probed above");
-        let mut recorder = TrajectoryRecorder::new(capacity).expect("capacity validated");
-        let batch = engine.suggested_batch();
-        engine
-            .run_recorded(horizon, batch, &mut rng, &mut recorder)
-            .expect("n >= 2");
-        let trajectory = recorder
-            .into_points()
-            .into_iter()
-            .map(|p| {
-                let freq = p.frequencies();
-                let tv = nearest_tv(&freq);
-                (p.interactions, freq, tv)
-            })
-            .collect();
-        ReplicaOutcome {
-            tv: nearest_tv(&engine.frequencies()),
-            consensus: engine.is_consensus(),
-            trajectory,
-        }
-    }))
+    let mut engine = engine_from_profile(spec.dynamics.clone(), &spec.start, spec.n)
+        .expect("probed above");
+    let mut recorder =
+        TrajectoryRecorder::new(config.trajectory_capacity).expect("capacity validated");
+    let horizon = config.horizon_per_agent.saturating_mul(spec.n);
+    engine
+        .run_recorded(horizon, harness_batch(spec.n), &mut rng, &mut recorder)
+        .expect("n >= 2");
+    let trajectory = recorder
+        .into_points()
+        .into_iter()
+        .map(|p| {
+            let freq = p.frequencies();
+            let tv = nearest_tv(&freq);
+            (p.interactions, freq, tv)
+        })
+        .collect();
+    ReplicaOutcome {
+        tv: nearest_tv(&engine.frequencies()),
+        consensus: engine.is_consensus(),
+        trajectory,
+    }
 }
 
-/// Runs the full experiment matrix and assembles the report.
+/// Runs every `(cell, replica)` task of the flattened spec list — one
+/// global pool across all sections, not one fan-out per cell — and
+/// regroups the outcomes per cell, `replicas` entries each.
 ///
-/// Deterministic: equal configs yield equal reports (and byte-identical
-/// renderings). The work fans out across OS threads per the runner's
-/// determinism contract, so wall-clock depends on the machine but results
-/// never do.
-///
-/// # Errors
-///
-/// A human-readable message on invalid configuration or when a scenario
-/// has no exact equilibrium to measure against (cannot happen for the
-/// shipped registry).
-pub fn run_report(config: &ReportConfig) -> Result<Report, String> {
-    config.validate()?;
+/// Task `t` maps to cell `t / replicas`, replica `t % replicas`, and its
+/// RNG is `stream_rng(cell.seed, replica)`: exactly the per-cell
+/// `run_replicas` law the harness used before the flattening, so outputs
+/// are bitwise-stable across worker counts and against `sequential =
+/// true`, which runs the same tasks in a plain index-ordered loop.
+fn run_cells(
+    cells: &[CellSpec],
+    config: &ReportConfig,
+    sequential: bool,
+) -> Result<Vec<Vec<ReplicaOutcome>>, String> {
+    // Probe each cell's engine construction once up front so errors
+    // surface as messages, not worker panics.
+    for spec in cells {
+        engine_from_profile(spec.dynamics.clone(), &spec.start, spec.n)
+            .map_err(|e| e.to_string())?;
+    }
+    let replicas = config.replicas;
+    let total = (cells.len() as u64) * replicas;
+    let outcomes: Vec<ReplicaOutcome> = if sequential {
+        (0..total)
+            .map(|t| run_replica(&cells[(t / replicas) as usize], t % replicas, config))
+            .collect()
+    } else {
+        run_tasks(total, |t| {
+            run_replica(&cells[(t / replicas) as usize], t % replicas, config)
+        })
+    };
+    let mut grouped: Vec<Vec<ReplicaOutcome>> = Vec::with_capacity(cells.len());
+    let mut it = outcomes.into_iter();
+    for _ in 0..cells.len() {
+        grouped.push(it.by_ref().take(replicas as usize).collect());
+    }
+    Ok(grouped)
+}
+
+/// Identity of one convergence row; its cells occupy `sizes.len()`
+/// consecutive slots of the flattened spec list.
+struct ConvRowMeta {
+    scenario: String,
+    dynamics: String,
+    symmetrized: bool,
+}
+
+/// The convergence-matrix plan: scenario summaries, one meta entry per
+/// row, and one [`CellSpec`] per (row, size) cell.
+type ConvergencePlan = (Vec<ScenarioSummary>, Vec<ConvRowMeta>, Vec<CellSpec>);
+
+/// Builds the scenario summaries plus one [`CellSpec`] per convergence
+/// cell, in the exact `(scenario, rule, size)` seed order of the original
+/// nested sweep (`cell_seed(config.seed, pair_index, size_index)`).
+fn convergence_specs(config: &ReportConfig) -> Result<ConvergencePlan, String> {
     let mut scenarios = Vec::new();
-    let mut convergence = Vec::new();
-    let mut trajectories = Vec::new();
+    let mut meta = Vec::new();
+    let mut specs = Vec::new();
     let mut pair_index = 0u64;
     for scenario in registry() {
         let original = scenario.game();
@@ -481,70 +542,149 @@ pub fn run_report(config: &ReportConfig) -> Result<Report, String> {
                 .reference_profiles()
                 .unwrap_or_else(|| equilibria.clone());
             let start = dynamics.initial_profile();
-            let mut cells = Vec::new();
             for (size_index, &n) in config.sizes.iter().enumerate() {
-                let seed = cell_seed(config.seed, pair_index, size_index as u64);
-                let outcomes = run_cell(&dynamics, &references, &start, n, seed, config)?;
-                let tvs: Vec<f64> = outcomes.iter().map(|o| o.tv).collect();
-                let consensus = outcomes.iter().filter(|o| o.consensus).count();
-                cells.push(ConvergenceCell {
+                specs.push(CellSpec {
+                    dynamics: dynamics.clone(),
+                    equilibria: references.clone(),
+                    start: start.clone(),
                     n,
-                    mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
-                    min_tv: tvs.iter().copied().fold(f64::INFINITY, f64::min),
-                    max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-                    consensus_fraction: consensus as f64 / outcomes.len() as f64,
+                    seed: cell_seed(config.seed, pair_index, size_index as u64),
                 });
-                if size_index + 1 == config.sizes.len() {
-                    // Largest size: aggregate the mean trajectory.
-                    let clocks: Vec<u64> =
-                        outcomes[0].trajectory.iter().map(|p| p.0).collect();
-                    let tv_series: Vec<Vec<f64>> = outcomes
-                        .iter()
-                        .map(|o| o.trajectory.iter().map(|p| p.2).collect())
-                        .collect();
-                    let freq_series: Vec<Vec<Vec<f64>>> = outcomes
-                        .iter()
-                        .map(|o| o.trajectory.iter().map(|p| p.1.clone()).collect())
-                        .collect();
-                    trajectories.push(TrajectorySeries {
-                        scenario: scenario.name().to_string(),
-                        dynamics: rule.label().to_string(),
-                        n,
-                        interactions: clocks,
-                        mean_tv: mean_vectors(&tv_series),
-                        mean_frequencies: mean_series(&freq_series),
-                    });
-                }
             }
-            let decay_alpha = fit_decay_alpha(&cells);
-            convergence.push(ConvergenceRow {
+            meta.push(ConvRowMeta {
                 scenario: scenario.name().to_string(),
                 dynamics: rule.label().to_string(),
                 symmetrized: !symmetric,
-                cells,
-                decay_alpha,
             });
             pair_index += 1;
         }
     }
+    Ok((scenarios, meta, specs))
+}
+
+/// Folds the pooled outcomes of the convergence section back into rows
+/// and largest-size trajectories.
+fn assemble_convergence(
+    meta: &[ConvRowMeta],
+    outcomes: &[Vec<ReplicaOutcome>],
+    config: &ReportConfig,
+) -> (Vec<ConvergenceRow>, Vec<TrajectorySeries>) {
+    let sizes = config.sizes.len();
+    let mut convergence = Vec::with_capacity(meta.len());
+    let mut trajectories = Vec::with_capacity(meta.len());
+    for (row_index, row_meta) in meta.iter().enumerate() {
+        let mut cells = Vec::with_capacity(sizes);
+        for (size_index, &n) in config.sizes.iter().enumerate() {
+            let outs = &outcomes[row_index * sizes + size_index];
+            let tvs: Vec<f64> = outs.iter().map(|o| o.tv).collect();
+            let consensus = outs.iter().filter(|o| o.consensus).count();
+            cells.push(ConvergenceCell {
+                n,
+                mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
+                min_tv: tvs.iter().copied().fold(f64::INFINITY, f64::min),
+                max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                consensus_fraction: consensus as f64 / outs.len() as f64,
+            });
+            if size_index + 1 == sizes {
+                // Largest size: aggregate the mean trajectory.
+                let clocks: Vec<u64> = outs[0].trajectory.iter().map(|p| p.0).collect();
+                let tv_series: Vec<Vec<f64>> = outs
+                    .iter()
+                    .map(|o| o.trajectory.iter().map(|p| p.2).collect())
+                    .collect();
+                let freq_series: Vec<Vec<Vec<f64>>> = outs
+                    .iter()
+                    .map(|o| o.trajectory.iter().map(|p| p.1.clone()).collect())
+                    .collect();
+                trajectories.push(TrajectorySeries {
+                    scenario: row_meta.scenario.clone(),
+                    dynamics: row_meta.dynamics.clone(),
+                    n,
+                    interactions: clocks,
+                    mean_tv: mean_vectors(&tv_series),
+                    mean_frequencies: mean_series(&freq_series),
+                });
+            }
+        }
+        let decay_alpha = fit_decay_alpha(&cells);
+        convergence.push(ConvergenceRow {
+            scenario: row_meta.scenario.clone(),
+            dynamics: row_meta.dynamics.clone(),
+            symmetrized: row_meta.symmetrized,
+            cells,
+            decay_alpha,
+        });
+    }
+    (convergence, trajectories)
+}
+
+/// The shared report body behind [`run_report`] and
+/// [`run_report_sequential`]: build every section's specs, sweep them in
+/// ONE flattened `(cell, replica)` task pool, then assemble.
+fn run_report_impl(config: &ReportConfig, sequential: bool) -> Result<Report, String> {
+    config.validate()?;
+    let (scenarios, conv_meta, mut specs) = convergence_specs(config)?;
+    let conv_end = specs.len();
+    let (eta_meta, eta_specs) = eta_sweep_specs(config)?;
+    specs.extend(eta_specs);
+    let eta_end = specs.len();
+    specs.extend(divergence_specs(config)?);
+
+    let outcomes = run_cells(&specs, config, sequential)?;
+
+    let (convergence, trajectories) =
+        assemble_convergence(&conv_meta, &outcomes[..conv_end], config);
     Ok(Report {
         config: config.clone(),
         scenarios,
         convergence,
         trajectories,
-        eta_sweep: run_eta_sweep(config)?,
-        divergence: run_divergence_panel(config)?,
+        eta_sweep: assemble_eta_sweep(&eta_meta, &outcomes[conv_end..eta_end]),
+        divergence: assemble_divergence(&outcomes[eta_end..], config),
     })
 }
 
-/// The logit η-sweep: every symmetric registry scenario at the largest
-/// configured population size, across [`ETA_SWEEP`]. Seeds are salted
-/// apart from the convergence matrix, so the sections are independent
-/// measurements.
-pub fn run_eta_sweep(config: &ReportConfig) -> Result<Vec<EtaSweepRow>, String> {
-    config.validate()?;
+/// Runs the full experiment matrix and assembles the report.
+///
+/// Deterministic: equal configs yield equal reports (and byte-identical
+/// renderings). Every `(cell, replica)` task of every section — the
+/// convergence matrix, the η-sweep, the divergence panel — goes through
+/// one work-stealing pool per the runner's determinism contract, so
+/// wall-clock depends on the machine but results never do:
+/// [`run_report_sequential`] returns the identical report.
+///
+/// # Errors
+///
+/// A human-readable message on invalid configuration or when a scenario
+/// has no exact equilibrium to measure against (cannot happen for the
+/// shipped registry).
+pub fn run_report(config: &ReportConfig) -> Result<Report, String> {
+    run_report_impl(config, false)
+}
+
+/// Single-threaded reference path: the same flattened task list as
+/// [`run_report`], executed in a plain index-ordered loop with no pool.
+/// Exists so the work-stealing sweep has a bitwise-equality oracle (and
+/// as a fallback on machines where spawning threads is undesirable).
+///
+/// # Errors
+///
+/// As for [`run_report`].
+pub fn run_report_sequential(config: &ReportConfig) -> Result<Report, String> {
+    run_report_impl(config, true)
+}
+
+/// The η-sweep plan: one `(scenario, n)` meta entry per row, each owning
+/// `ETA_SWEEP.len()` consecutive specs.
+type EtaSweepPlan = (Vec<(String, u64)>, Vec<CellSpec>);
+
+/// Builds the η-sweep specs: one per (symmetric scenario, η) at the
+/// largest configured size, seeded under the sweep's own salt so the
+/// section is measured independently of the convergence matrix.
+fn eta_sweep_specs(config: &ReportConfig) -> Result<EtaSweepPlan, String> {
     let n = *config.sizes.last().expect("validated non-empty");
-    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut specs = Vec::new();
     for (row_index, scenario) in registry().into_iter().enumerate() {
         if !scenario.game().is_symmetric(1e-9) {
             continue;
@@ -557,31 +697,68 @@ pub fn run_eta_sweep(config: &ReportConfig) -> Result<Vec<EtaSweepRow>, String> 
         if equilibria.is_empty() {
             return Err(format!("{} has no symmetric equilibrium", scenario.name()));
         }
-        let mut cells = Vec::new();
         for (eta_index, &eta) in ETA_SWEEP.iter().enumerate() {
             let dynamics = GameDynamics::new(scenario.game(), DynamicsRule::Logit { eta })
                 .map_err(|e| e.to_string())?;
-            let seed = cell_seed(
-                config.seed ^ 0x0E7A_5EED_0E7A_5EED,
-                row_index as u64,
-                eta_index as u64,
-            );
             let start = dynamics.initial_profile();
-            let outcomes = run_cell(&dynamics, &equilibria, &start, n, seed, config)?;
-            let tvs: Vec<f64> = outcomes.iter().map(|o| o.tv).collect();
-            cells.push(EtaSweepCell {
-                eta,
-                mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
-                max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            specs.push(CellSpec {
+                dynamics,
+                equilibria: equilibria.clone(),
+                start,
+                n,
+                seed: cell_seed(
+                    config.seed ^ 0x0E7A_5EED_0E7A_5EED,
+                    row_index as u64,
+                    eta_index as u64,
+                ),
             });
         }
-        rows.push(EtaSweepRow {
-            scenario: scenario.name().to_string(),
-            n,
-            cells,
-        });
+        meta.push((scenario.name().to_string(), n));
     }
-    Ok(rows)
+    Ok((meta, specs))
+}
+
+/// Folds pooled η-sweep outcomes back into rows, [`ETA_SWEEP`] order.
+fn assemble_eta_sweep(
+    meta: &[(String, u64)],
+    outcomes: &[Vec<ReplicaOutcome>],
+) -> Vec<EtaSweepRow> {
+    meta.iter()
+        .enumerate()
+        .map(|(row_index, (scenario, n))| EtaSweepRow {
+            scenario: scenario.clone(),
+            n: *n,
+            cells: ETA_SWEEP
+                .iter()
+                .enumerate()
+                .map(|(eta_index, &eta)| {
+                    let outs = &outcomes[row_index * ETA_SWEEP.len() + eta_index];
+                    let tvs: Vec<f64> = outs.iter().map(|o| o.tv).collect();
+                    EtaSweepCell {
+                        eta,
+                        mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
+                        max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The logit η-sweep: every symmetric registry scenario at the largest
+/// configured population size, across [`ETA_SWEEP`]. Seeds are salted
+/// apart from the convergence matrix, so the sections are independent
+/// measurements.
+///
+/// # Errors
+///
+/// A human-readable message on invalid configuration or a scenario
+/// without a symmetric equilibrium.
+pub fn run_eta_sweep(config: &ReportConfig) -> Result<Vec<EtaSweepRow>, String> {
+    config.validate()?;
+    let (meta, specs) = eta_sweep_specs(config)?;
+    let outcomes = run_cells(&specs, config, false)?;
+    Ok(assemble_eta_sweep(&meta, &outcomes))
 }
 
 /// The dynamics compared by the divergence panel, cycling family first.
@@ -605,6 +782,14 @@ fn divergence_rules() -> Vec<DynamicsRule> {
 /// assert it.
 pub fn run_divergence_panel(config: &ReportConfig) -> Result<DivergencePanel, String> {
     config.validate()?;
+    let specs = divergence_specs(config)?;
+    let outcomes = run_cells(&specs, config, false)?;
+    Ok(assemble_divergence(&outcomes, config))
+}
+
+/// Builds the divergence-panel specs: one per panel dynamic from the
+/// shared off-equilibrium start, under the panel's own seed salt.
+fn divergence_specs(config: &ReportConfig) -> Result<Vec<CellSpec>, String> {
     let n = *config.sizes.last().expect("validated non-empty");
     let scenario = by_name(DIVERGENCE_SCENARIO).map_err(|e| e.to_string())?;
     let equilibria: Vec<Vec<f64>> = scenario
@@ -618,33 +803,55 @@ pub fn run_divergence_panel(config: &ReportConfig) -> Result<DivergencePanel, St
             equilibria.len()
         ));
     }
-    let mut rows = Vec::new();
-    for (rule_index, rule) in divergence_rules().into_iter().enumerate() {
-        let dynamics =
-            GameDynamics::new(scenario.game(), rule).map_err(|e| e.to_string())?;
-        let seed = cell_seed(config.seed ^ 0xD17E_26E5_0000_0001, rule_index as u64, 0);
-        let outcomes = run_cell(&dynamics, &equilibria, &DIVERGENCE_START, n, seed, config)?;
-        let tvs: Vec<f64> = outcomes.iter().map(|o| o.tv).collect();
-        let clocks: Vec<u64> = outcomes[0].trajectory.iter().map(|p| p.0).collect();
-        let tv_series: Vec<Vec<f64>> = outcomes
-            .iter()
-            .map(|o| o.trajectory.iter().map(|p| p.2).collect())
-            .collect();
-        rows.push(DivergenceRow {
-            dynamics: rule.label().to_string(),
-            mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
-            min_tv: tvs.iter().copied().fold(f64::INFINITY, f64::min),
-            max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            interactions: clocks,
-            trajectory_tv: mean_vectors(&tv_series),
-        });
-    }
-    Ok(DivergencePanel {
+    divergence_rules()
+        .into_iter()
+        .enumerate()
+        .map(|(rule_index, rule)| {
+            let dynamics =
+                GameDynamics::new(scenario.game(), rule).map_err(|e| e.to_string())?;
+            Ok(CellSpec {
+                dynamics,
+                equilibria: equilibria.clone(),
+                start: DIVERGENCE_START.to_vec(),
+                n,
+                seed: cell_seed(config.seed ^ 0xD17E_26E5_0000_0001, rule_index as u64, 0),
+            })
+        })
+        .collect()
+}
+
+/// Folds pooled divergence outcomes back into the panel, rule order.
+fn assemble_divergence(
+    outcomes: &[Vec<ReplicaOutcome>],
+    config: &ReportConfig,
+) -> DivergencePanel {
+    let n = *config.sizes.last().expect("validated non-empty");
+    let rows = divergence_rules()
+        .into_iter()
+        .zip(outcomes)
+        .map(|(rule, outs)| {
+            let tvs: Vec<f64> = outs.iter().map(|o| o.tv).collect();
+            let clocks: Vec<u64> = outs[0].trajectory.iter().map(|p| p.0).collect();
+            let tv_series: Vec<Vec<f64>> = outs
+                .iter()
+                .map(|o| o.trajectory.iter().map(|p| p.2).collect())
+                .collect();
+            DivergenceRow {
+                dynamics: rule.label().to_string(),
+                mean_tv: tvs.iter().sum::<f64>() / tvs.len() as f64,
+                min_tv: tvs.iter().copied().fold(f64::INFINITY, f64::min),
+                max_tv: tvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                interactions: clocks,
+                trajectory_tv: mean_vectors(&tv_series),
+            }
+        })
+        .collect();
+    DivergencePanel {
         scenario: DIVERGENCE_SCENARIO.to_string(),
         n,
         start: DIVERGENCE_START.to_vec(),
         rows,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -860,6 +1067,52 @@ mod tests {
         // which on this game IS the Nash mix: convergent.
         let br = panel.row("best-response").unwrap();
         assert!(br.mean_tv < 0.08, "{}", br.mean_tv);
+    }
+
+    #[test]
+    fn pooled_output_is_bitwise_identical_to_sequential_across_worker_counts() {
+        // The scheduler's determinism contract: outcomes are keyed by
+        // task index and each replica's rng stream is a pure function of
+        // (cell seed, replica), so neither the pool's interleaving nor
+        // the worker count may leak into the output — down to the
+        // rendered bytes.
+        let baseline = run_report_sequential(&tiny()).unwrap();
+        let baseline_json = crate::render::report_json(&baseline);
+        let baseline_md = crate::render::report_markdown(&baseline);
+        for workers in [Some(1), Some(2), None] {
+            popgame_runner::set_worker_threads(workers);
+            let pooled = run_report(&tiny()).unwrap();
+            assert_eq!(pooled, baseline, "workers={workers:?}");
+            assert_eq!(
+                crate::render::report_json(&pooled),
+                baseline_json,
+                "workers={workers:?}"
+            );
+            assert_eq!(
+                crate::render::report_markdown(&pooled),
+                baseline_md,
+                "workers={workers:?}"
+            );
+        }
+        popgame_runner::set_worker_threads(None);
+    }
+
+    #[test]
+    fn eta_sweep_and_divergence_panel_are_pool_deterministic() {
+        // The standalone sweep entry points share `run_cells` with the
+        // full report; pin their pooled runs against repeat pooled runs
+        // under different worker counts.
+        let mut config = tiny();
+        config.sizes = vec![60];
+        popgame_runner::set_worker_threads(Some(2));
+        let sweep_a = run_eta_sweep(&config).unwrap();
+        let panel_a = run_divergence_panel(&config).unwrap();
+        popgame_runner::set_worker_threads(Some(1));
+        let sweep_b = run_eta_sweep(&config).unwrap();
+        let panel_b = run_divergence_panel(&config).unwrap();
+        popgame_runner::set_worker_threads(None);
+        assert_eq!(sweep_a, sweep_b);
+        assert_eq!(panel_a, panel_b);
     }
 
     #[test]

@@ -57,6 +57,6 @@ pub mod harness;
 pub mod render;
 
 pub use harness::{
-    run_report, ConvergenceCell, ConvergenceRow, Report, ReportConfig, ScenarioSummary,
-    TrajectorySeries,
+    run_report, run_report_sequential, ConvergenceCell, ConvergenceRow, Report, ReportConfig,
+    ScenarioSummary, TrajectorySeries,
 };

@@ -18,6 +18,22 @@
 //! deliberate small subset (`run_replicas` ≈ `into_par_iter().map()`)
 //! that a future `rayon` backend could replace without callers noticing.
 //!
+//! # Scheduling
+//!
+//! Tasks are distributed by **work stealing** ([`run_tasks`]): each worker
+//! owns a deque seeded with a contiguous block of the index space, pops
+//! its own work from the front, and — when empty — steals from the tail of
+//! another worker's deque. A worker stuck on one slow task therefore
+//! cannot strand the rest of its block: idle workers drain it. Because
+//! every task's output depends only on its index (never on which thread
+//! ran it or in what order) and results are reassembled by index, the
+//! output is bitwise identical to a sequential loop.
+//!
+//! The worker count comes from [`worker_threads`]: an in-process override
+//! ([`set_worker_threads`], wired to the CLI `--workers` flag), else the
+//! `POPGAME_WORKERS` / `POPGAME_THREADS` environment variables, else the
+//! machine's available parallelism.
+//!
 //! # Example
 //!
 //! ```
@@ -41,21 +57,139 @@
 
 use popgame_util::rng::stream_rng;
 use rand::rngs::SmallRng;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 
-/// The number of worker threads used by [`run_replicas`]: the machine's
-/// available parallelism, overridable (for tests and CI) via the
-/// `POPGAME_THREADS` environment variable.
+/// Process-wide worker-count override; `0` means "not set".
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `None` clears) a process-wide override of the worker
+/// count used by [`run_tasks`] and [`run_replicas`]. Takes precedence
+/// over the `POPGAME_WORKERS` / `POPGAME_THREADS` environment variables;
+/// the CLI's `--workers` flag lands here. Values are clamped to at
+/// least 1.
+pub fn set_worker_threads(workers: Option<usize>) {
+    WORKER_OVERRIDE.store(workers.map_or(0, |w| w.max(1)), Ordering::Relaxed);
+}
+
+/// The number of worker threads used by [`run_tasks`] /
+/// [`run_replicas`]: the [`set_worker_threads`] override when set, else
+/// the `POPGAME_WORKERS` environment variable, else `POPGAME_THREADS`
+/// (the historical name, kept for compatibility), else the machine's
+/// available parallelism.
 pub fn worker_threads() -> usize {
-    if let Ok(v) = std::env::var("POPGAME_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
+    let forced = WORKER_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    for var in ["POPGAME_WORKERS", "POPGAME_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
         }
     }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Runs `count` independent tasks on the work-stealing pool and returns
+/// their results in index order: `out[i] = task(i)` exactly, independent
+/// of worker count and scheduling.
+///
+/// This is the scheduling primitive under [`run_replicas`]; use it
+/// directly to flatten a heterogeneous sweep (for example every
+/// `(scenario, dynamics, size, replica)` cell of a report) into one task
+/// pool, so one slow cell cannot serialize the tail of the sweep.
+pub fn run_tasks<T, F>(count: u64, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let never = AtomicBool::new(false);
+    run_tasks_cancellable(count, &never, task).expect("un-cancelled run always completes")
+}
+
+/// [`run_tasks`] with a cooperative stop flag, checked before each task
+/// starts. `None` when cancellation kept at least one task from running;
+/// a completed run is `Some` and bitwise identical to [`run_tasks`].
+pub fn run_tasks_cancellable<T, F>(count: u64, cancel: &AtomicBool, task: F) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let count_usize = usize::try_from(count).expect("task count fits in usize");
+    let workers = worker_threads().min(count_usize.max(1));
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(count_usize);
+        for i in 0..count {
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            out.push(task(i));
+        }
+        return Some(out);
+    }
+    // Per-worker deques seeded with contiguous blocks of the index space:
+    // owners pop from the front (preserving cache-friendly index order),
+    // thieves pop from the back (taking the work the owner would reach
+    // last).
+    let chunk = count_usize.div_ceil(workers);
+    let deques: Vec<Mutex<VecDeque<u64>>> = (0..workers)
+        .map(|w| {
+            let lo = ((w * chunk).min(count_usize)) as u64;
+            let hi = (((w + 1) * chunk).min(count_usize)) as u64;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let task = &task;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                if cancel.load(Ordering::Relaxed) {
+                    return;
+                }
+                let next = deques[me]
+                    .lock()
+                    .expect("worker deque poisoned")
+                    .pop_front()
+                    .or_else(|| {
+                        (1..workers).find_map(|d| {
+                            deques[(me + d) % workers]
+                                .lock()
+                                .expect("worker deque poisoned")
+                                .pop_back()
+                        })
+                    });
+                let Some(index) = next else { return };
+                let result = task(index);
+                if tx.send((index as usize, result)).is_err() {
+                    return;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(count_usize);
+    slots.resize_with(count_usize, || None);
+    for (index, result) in rx.try_iter() {
+        slots[index] = Some(result);
+    }
+    if slots.iter().any(Option::is_none) {
+        return None;
+    }
+    Some(
+        slots
+            .into_iter()
+            .map(|s| s.expect("checked above"))
+            .collect(),
+    )
 }
 
 /// Runs `replicas` independent simulations in parallel and returns their
@@ -97,47 +231,18 @@ where
     T: Send,
     F: Fn(u64, SmallRng) -> T + Sync,
 {
-    let replicas_usize = usize::try_from(replicas).expect("replica count fits in usize");
-    let threads = worker_threads().min(replicas_usize.max(1));
-    if threads <= 1 {
-        let mut out = Vec::with_capacity(replicas_usize);
-        for r in 0..replicas {
-            if cancel.load(Ordering::Relaxed) {
-                return None;
-            }
-            out.push(sim(r, stream_rng(seed, r)));
-        }
-        return Some(out);
-    }
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(replicas_usize);
-    slots.resize_with(replicas_usize, || None);
-    // Static block partition: thread t owns a contiguous replica range, so
-    // each slot is written by exactly one thread.
-    let chunk = replicas_usize.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
-            let sim = &sim;
-            let start = (t * chunk) as u64;
-            scope.spawn(move || {
-                for (offset, slot) in chunk_slots.iter_mut().enumerate() {
-                    if cancel.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let r = start + offset as u64;
-                    *slot = Some(sim(r, stream_rng(seed, r)));
-                }
-            });
-        }
-    });
-    if slots.iter().any(Option::is_none) {
-        return None;
-    }
-    Some(
-        slots
-            .into_iter()
-            .map(|s| s.expect("checked above"))
-            .collect(),
-    )
+    run_tasks_cancellable(replicas, cancel, |r| sim(r, stream_rng(seed, r)))
+}
+
+/// The sequential reference path of [`run_replicas`]: a plain loop on the
+/// calling thread, no pool. Exists so determinism tests (and benchmark
+/// baselines) can compare the work-stealing output against an
+/// unambiguous serial execution of the same law.
+pub fn run_replicas_sequential<T, F>(seed: u64, replicas: u64, mut sim: F) -> Vec<T>
+where
+    F: FnMut(u64, SmallRng) -> T,
+{
+    (0..replicas).map(|r| sim(r, stream_rng(seed, r))).collect()
 }
 
 /// Runs replicas in parallel and folds their results in replica order —
@@ -280,6 +385,60 @@ mod tests {
             },
         );
         assert_eq!(order, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn task_pool_matches_the_serial_loop_for_any_worker_count() {
+        let task = |i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        let baseline: Vec<u64> = (0..257).map(task).collect();
+        for workers in [1, 2, 3, 8] {
+            set_worker_threads(Some(workers));
+            assert_eq!(run_tasks(257, task), baseline, "workers={workers}");
+        }
+        set_worker_threads(None);
+    }
+
+    #[test]
+    fn stealing_drains_a_stalled_workers_block() {
+        // Two workers; every task of worker 0's block except the first is
+        // stolen-able while task 0 sleeps. The run must still complete
+        // with results in index order well before 16 × the sleep.
+        set_worker_threads(Some(2));
+        let t0 = std::time::Instant::now();
+        let out = run_tasks(16, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            i * 2
+        });
+        set_worker_threads(None);
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<u64>>());
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(400),
+            "a stalled owner must not serialize its whole block: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn worker_override_takes_precedence_and_clears() {
+        set_worker_threads(Some(3));
+        assert_eq!(worker_threads(), 3);
+        set_worker_threads(Some(0));
+        assert_eq!(worker_threads(), 1, "zero clamps to one worker");
+        set_worker_threads(None);
+        // With the override cleared the ambient value is env- or
+        // machine-derived; it only has to be positive.
+        assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn sequential_reference_matches_the_pool_bitwise() {
+        let sim = |r: u64, mut rng: SmallRng| -> u64 { rng.gen::<u64>() ^ r };
+        assert_eq!(
+            run_replicas_sequential(13, 40, sim),
+            run_replicas(13, 40, sim)
+        );
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub struct ServiceConfig {
     /// Whether `POST /shutdown` stops the daemon (off by default; meant
     /// for CI and local smoke runs, not exposed deployments).
     pub remote_shutdown: bool,
+    /// Simulation worker threads for the replica task pool (`--workers`).
+    /// `None` leaves the runner's own resolution in force
+    /// (`POPGAME_WORKERS` / `POPGAME_THREADS` / available parallelism).
+    pub sim_workers: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +93,7 @@ impl Default for ServiceConfig {
             max_body: 1 << 20,
             read_timeout: Duration::from_secs(5),
             remote_shutdown: false,
+            sim_workers: None,
         }
     }
 }
@@ -96,7 +101,7 @@ impl Default for ServiceConfig {
 /// The daemon flags accepted by [`ServiceConfig::from_args`], for usage
 /// messages (shared by `popgamed` and `popgame serve`).
 pub const SERVE_USAGE: &str = "[--addr HOST:PORT] [--http-workers N] [--job-workers N] \
-     [--queue-depth N] [--job-queue-depth N] [--allow-remote-shutdown]";
+     [--workers N] [--queue-depth N] [--job-queue-depth N] [--allow-remote-shutdown]";
 
 impl ServiceConfig {
     /// Parses daemon command-line flags (see [`SERVE_USAGE`]) on top of
@@ -143,6 +148,13 @@ impl ServiceConfig {
                         .parse()
                         .map_err(|e| format!("--job-queue-depth: {e}"))?;
                 }
+                "--workers" => {
+                    config.sim_workers = Some(
+                        value_of("--workers")?
+                            .parse()
+                            .map_err(|e| format!("--workers: {e}"))?,
+                    );
+                }
                 "--allow-remote-shutdown" => config.remote_shutdown = true,
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -165,6 +177,9 @@ impl PopgameService {
     ///
     /// Propagates the bind failure.
     pub fn start(config: ServiceConfig) -> io::Result<Self> {
+        if config.sim_workers.is_some() {
+            popgame_runner::set_worker_threads(config.sim_workers);
+        }
         let cache = Arc::new(ResultCache::new(config.cache_shards));
         // The job executor: cache-check, run, cache-fill. Results are
         // cached only for runs that completed un-cancelled, so partial

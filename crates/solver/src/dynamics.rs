@@ -58,7 +58,7 @@ use crate::error::SolverError;
 use crate::game::MatrixGame;
 use popgame_population::batch::BatchedEngine;
 use popgame_population::error::PopulationError;
-use popgame_population::protocol::{EnumerableProtocol, Protocol};
+use popgame_population::protocol::{EnumerableProtocol, KernelDeps, Protocol};
 use rand::Rng;
 use std::sync::Mutex;
 
@@ -179,8 +179,28 @@ pub struct GameDynamics {
     span: f64,
     /// One-slot memo for the sampled-BR choice law at the last seen
     /// frequency vector: the law is identical across all `K²` kernel
-    /// cells of one rebuild, so each rebuild computes it once.
+    /// cells of one rebuild, so each rebuild computes it once. The two
+    /// buffers (frequency key, law) are reused in place across rebuilds,
+    /// so a warm kernel refresh allocates nothing.
     sampled_memo: Mutex<Option<(Vec<f64>, Vec<f64>)>>,
+    /// Flattened sampled-BR composition table, precomputed at
+    /// construction: row `c` of `br_comp_counts` (stride `k`) is a
+    /// composition of `samples` opponents into strategies,
+    /// `br_comp_coef[c]` its multinomial coefficient, and
+    /// `br_comp_br[c]` the best reply to that empirical sample. Both the
+    /// coefficient and the argmax are frequency-independent, so each
+    /// kernel rebuild only evaluates `coef · Π freq[t]^c_t` per row
+    /// instead of re-running the composition recursion. Empty for every
+    /// other rule.
+    br_comp_counts: Vec<u8>,
+    br_comp_coef: Vec<f64>,
+    br_comp_br: Vec<u8>,
+    /// When set, count-coupled law evaluations take the pre-optimization
+    /// reference path (the composition *recursion* per rebuild instead of
+    /// the precomputed table). Identical in law — kept as the bench
+    /// baseline and test oracle for the fast path. See
+    /// [`Self::set_reference_laws`].
+    reference_laws: bool,
 }
 
 impl Clone for GameDynamics {
@@ -193,6 +213,10 @@ impl Clone for GameDynamics {
             span: self.span,
             // The memo is a cache, not state: clones start cold.
             sampled_memo: Mutex::new(None),
+            br_comp_counts: self.br_comp_counts.clone(),
+            br_comp_coef: self.br_comp_coef.clone(),
+            br_comp_br: self.br_comp_br.clone(),
+            reference_laws: self.reference_laws,
         }
     }
 }
@@ -308,6 +332,12 @@ impl GameDynamics {
         let max = payoff.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = payoff.iter().flatten().copied().fold(f64::INFINITY, f64::min);
         let span = if max > min { max - min } else { 1.0 };
+        let (br_comp_counts, br_comp_coef, br_comp_br) = match rule {
+            DynamicsRule::SampledBestResponse { samples } => {
+                build_br_comp_table(&payoff, samples)
+            }
+            _ => (Vec::new(), Vec::new(), Vec::new()),
+        };
         Ok(GameDynamics {
             payoff,
             rule,
@@ -315,6 +345,10 @@ impl GameDynamics {
             logit_cdf,
             span,
             sampled_memo: Mutex::new(None),
+            br_comp_counts,
+            br_comp_coef,
+            br_comp_br,
+            reference_laws: false,
         })
     }
 
@@ -403,6 +437,13 @@ impl GameDynamics {
     /// The sampled-best-response choice law at `freq`: the distribution of
     /// `argmax_a Σ_t c_t · u(a, t)` over multiset samples `c` of size
     /// `samples` drawn iid from `freq` (ties to the lowest index).
+    ///
+    /// This is the *reference* evaluation — a fresh composition recursion
+    /// per call. The hot path is [`Self::sampled_br_law_fast`], which
+    /// reads the construction-time composition table instead; the two
+    /// agree up to floating-point reassociation and are cross-checked by
+    /// tests. The recursion stays reachable through
+    /// [`Self::set_reference_laws`] as the bench baseline.
     fn sampled_br_law(&self, freq: &[f64], samples: usize) -> Vec<f64> {
         let k = self.payoff.len();
         let mut rho = vec![0.0; k];
@@ -463,19 +504,73 @@ impl GameDynamics {
         rho
     }
 
-    /// [`Self::sampled_br_law`] behind a one-slot memo: the engine rebuilds
-    /// the kernel cell-by-cell at one frozen `freq`, and the law is shared
-    /// by every cell of that rebuild.
-    fn sampled_br_cached(&self, freq: &[f64], samples: usize) -> Vec<f64> {
-        let mut memo = self.sampled_memo.lock().expect("memo lock");
-        if let Some((cached_freq, rho)) = memo.as_ref() {
-            if cached_freq == freq {
-                return rho.clone();
+    /// Table-driven [`Self::sampled_br_law`]: the multinomial coefficient
+    /// and the argmax best reply of every composition were precomputed at
+    /// construction ([`build_br_comp_table`]), so each kernel rebuild only
+    /// evaluates the frequency-dependent product `coef · Π_t freq[t]^{c_t}`
+    /// per composition row. Writes the law into `rho` (length `k`),
+    /// allocating nothing.
+    fn sampled_br_law_fast(&self, freq: &[f64], rho: &mut [f64]) {
+        let k = self.payoff.len();
+        rho.iter_mut().for_each(|r| *r = 0.0);
+        for (row, (&coef, &br)) in
+            self.br_comp_coef.iter().zip(&self.br_comp_br).enumerate()
+        {
+            let counts = &self.br_comp_counts[row * k..(row + 1) * k];
+            let mut prob = coef;
+            for (t, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    prob *= freq[t].powi(c as i32);
+                }
+            }
+            if prob > 0.0 {
+                rho[br as usize] += prob;
             }
         }
-        let rho = self.sampled_br_law(freq, samples);
-        *memo = Some((freq.to_vec(), rho.clone()));
-        rho
+    }
+
+    /// Runs `f` on the sampled-BR law at `freq`, behind the one-slot memo:
+    /// the engine rebuilds the kernel cell-by-cell at one frozen `freq`,
+    /// and the law is shared by every cell of that rebuild. Warm calls —
+    /// a memo hit, or a miss once the buffers exist — allocate nothing
+    /// on the fast path.
+    fn with_sampled_br<T>(
+        &self,
+        freq: &[f64],
+        samples: usize,
+        f: impl FnOnce(&[f64]) -> T,
+    ) -> T {
+        let mut memo = self.sampled_memo.lock().expect("memo lock");
+        let hit = matches!(memo.as_ref(), Some((cached, _)) if cached == freq);
+        if !hit {
+            let k = self.payoff.len();
+            let (cached, rho) = memo.get_or_insert_with(|| (Vec::new(), vec![0.0; k]));
+            cached.clear();
+            cached.extend_from_slice(freq);
+            if self.reference_laws {
+                let reference = self.sampled_br_law(freq, samples);
+                rho.clear();
+                rho.extend_from_slice(&reference);
+            } else {
+                self.sampled_br_law_fast(freq, rho);
+            }
+        }
+        let (_, rho) = memo.as_ref().expect("memo filled above");
+        f(rho)
+    }
+
+    /// Routes count-coupled law evaluations through the pre-optimization
+    /// *reference* implementations (currently: sampled best response
+    /// re-runs the composition recursion per kernel rebuild instead of
+    /// reading the precomputed table). The reference and fast paths agree
+    /// up to floating-point reassociation — this knob exists so benches
+    /// can measure the optimized path against a faithful baseline and
+    /// tests can cross-check the two laws; simulation results differ only
+    /// within that reassociation tolerance.
+    pub fn set_reference_laws(&mut self, reference: bool) {
+        self.reference_laws = reference;
+        // The memo may hold a law computed by the other path.
+        *self.sampled_memo.lock().expect("memo lock") = None;
     }
 
     /// The k-IGT level walk: `AC`(0) and `AD`(1) are immutable; a GTFT
@@ -493,6 +588,70 @@ impl GameDynamics {
         };
         new_level + 2
     }
+}
+
+/// Enumerates every composition of `samples` opponents into the `k`
+/// strategies of `payoff` — the same depth-first order as the reference
+/// recursion in [`GameDynamics::sampled_br_law`] — and precomputes the
+/// frequency-*independent* part of each term: the multinomial coefficient
+/// `samples! / Π c_t!` and the best reply to the empirical sample (ties
+/// to the lowest index). Returns `(counts, coef, br)` with `counts`
+/// flattened at stride `k`.
+fn build_br_comp_table(payoff: &[Vec<f64>], samples: usize) -> (Vec<u8>, Vec<f64>, Vec<u8>) {
+    let k = payoff.len();
+    let mut factorial = vec![1.0f64; samples + 1];
+    for m in 1..=samples {
+        factorial[m] = factorial[m - 1] * m as f64;
+    }
+    let mut counts = vec![0usize; k];
+    let mut out: (Vec<u8>, Vec<f64>, Vec<u8>) = (Vec::new(), Vec::new(), Vec::new());
+    fn visit(
+        payoff: &[Vec<f64>],
+        factorial: &[f64],
+        counts: &mut Vec<usize>,
+        state: usize,
+        remaining: usize,
+        out: &mut (Vec<u8>, Vec<f64>, Vec<u8>),
+    ) {
+        let k = counts.len();
+        if state + 1 == k {
+            counts[state] = remaining;
+            let samples = factorial.len() - 1;
+            let mut coef = factorial[samples];
+            for &c in counts.iter() {
+                if c > 1 {
+                    coef /= factorial[c];
+                }
+            }
+            let br = (0..k)
+                .max_by(|&a, &b| {
+                    let score = |s: usize| {
+                        counts
+                            .iter()
+                            .enumerate()
+                            .map(|(t, &c)| c as f64 * payoff[s][t])
+                            .sum::<f64>()
+                    };
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.cmp(&a))
+                })
+                .expect("k >= 1");
+            out.0.extend(counts.iter().map(|&c| c as u8));
+            out.1.push(coef);
+            out.2.push(br as u8);
+            counts[state] = 0;
+            return;
+        }
+        for c in 0..=remaining {
+            counts[state] = c;
+            visit(payoff, factorial, counts, state + 1, remaining - c, out);
+        }
+        counts[state] = 0;
+    }
+    visit(payoff, &factorial, &mut counts, 0, samples, &mut out);
+    out
 }
 
 impl Protocol for GameDynamics {
@@ -607,21 +766,59 @@ impl EnumerableProtocol for GameDynamics {
         j: usize,
         freq: &[f64],
     ) -> Option<Vec<((usize, usize), f64)>> {
+        // Expressed through the allocation-free writer so the two entry
+        // points are bitwise interchangeable, as the trait contract
+        // requires.
+        let mut out = Vec::new();
+        self.pair_kernel_at_into(i, j, freq, &mut out).then_some(out)
+    }
+
+    fn pair_kernel_at_into(
+        &self,
+        i: usize,
+        j: usize,
+        freq: &[f64],
+        out: &mut Vec<((usize, usize), f64)>,
+    ) -> bool {
         match self.rule {
             DynamicsRule::PairwiseImitation => {
                 if i == j {
                     // Copying one's own strategy is a no-op regardless of
                     // the sampled payoffs.
-                    return Some(vec![((i, j), 1.0)]);
+                    out.push(((i, j), 1.0));
+                } else {
+                    let p = self.proportional_switch_prob(i, j, freq);
+                    out.push(((j, j), p));
+                    out.push(((i, j), 1.0 - p));
                 }
-                let p = self.proportional_switch_prob(i, j, freq);
-                Some(vec![((j, j), p), ((i, j), 1.0 - p)])
+                true
             }
             DynamicsRule::SampledBestResponse { samples } => {
-                let rho = self.sampled_br_cached(freq, samples);
-                Some(rho.iter().enumerate().map(|(a, &p)| ((a, j), p)).collect())
+                self.with_sampled_br(freq, samples, |rho| {
+                    out.extend(rho.iter().enumerate().map(|(a, &p)| ((a, j), p)));
+                });
+                true
             }
-            _ => self.pair_kernel(i, j),
+            _ => match self.pair_kernel(i, j) {
+                Some(entries) => {
+                    out.extend(entries);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    fn pair_kernel_deps(&self, i: usize, j: usize) -> KernelDeps {
+        match self.rule {
+            // A diagonal pairwise-imitation cell is an unconditional
+            // no-op: its law never reads the counts, so the engine's
+            // incremental refresh can skip it forever.
+            DynamicsRule::PairwiseImitation if i == j => KernelDeps::None,
+            // Off-diagonal pairwise imitation integrates over freq ⊗ freq
+            // and the sampled-BR law sums over full opponent samples —
+            // every state's frequency is read.
+            _ => KernelDeps::All,
         }
     }
 }
@@ -1111,6 +1308,39 @@ mod tests {
     }
 
     #[test]
+    fn pairwise_imitation_incremental_vs_reference_leap_chi_square() {
+        // The production leap (incremental `refresh_at` kernel updates +
+        // fused multinomial chains) against the pinned pre-optimization
+        // path (full rebuild every leap, unfused chains). Different
+        // samplers, one law — final-count histograms must stay
+        // chi-square-equivalent.
+        let d = GameDynamics::new(&hawk_dove(), DynamicsRule::PairwiseImitation).unwrap();
+        let counts = [6u64, 6];
+        let n: u64 = counts.iter().sum();
+        let (horizon, batch, reps) = (40u64, 3u64, 4_000u64);
+        let mut hist_fast = vec![0u64; n as usize + 1];
+        let mut hist_ref = vec![0u64; n as usize + 1];
+        for rep in 0..reps {
+            let mut engine =
+                BatchedEngine::from_counts(d.clone(), counts.to_vec()).unwrap();
+            let mut rng = stream_rng(211, rep);
+            engine.run_batched(horizon, batch, &mut rng).unwrap();
+            hist_fast[engine.counts()[0] as usize] += 1;
+
+            let mut engine =
+                BatchedEngine::from_counts(d.clone(), counts.to_vec()).unwrap();
+            engine.set_reference_leap(true);
+            let mut rng =
+                stream_rng(0x0BAD_5EED ^ rep.wrapping_mul(0x9E37_79B9), rep);
+            engine.run_batched(horizon, batch, &mut rng).unwrap();
+            hist_ref[engine.counts()[0] as usize] += 1;
+        }
+        let chi2 = two_sample_chi_square(&hist_fast, &hist_ref);
+        // 13 cells; 99.9% quantile of chi2(12) ~ 32.9, plus leap-bias room.
+        assert!(chi2 < 45.0, "chi-square {chi2}: {hist_fast:?} vs {hist_ref:?}");
+    }
+
+    #[test]
     fn sampled_br_step_vs_batch_chi_square() {
         let d = GameDynamics::new(
             &rps(),
@@ -1197,6 +1427,125 @@ mod tests {
             };
             assert_eq!(run(3), run(3), "{rule:?}");
             assert_eq!(run(3).iter().sum::<u64>(), 3_000);
+        }
+    }
+
+    #[test]
+    fn sampled_br_fast_law_matches_the_reference_recursion() {
+        // The construction-time composition table must reproduce the
+        // reference recursion's law up to floating-point reassociation
+        // at every sample count and across asymmetric frequencies.
+        for samples in 1..=MAX_BR_SAMPLES {
+            let d = GameDynamics::new(
+                &rps(),
+                DynamicsRule::SampledBestResponse { samples },
+            )
+            .unwrap();
+            for freq in [
+                [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+                [0.5, 0.3, 0.2],
+                [0.97, 0.02, 0.01],
+                [0.0, 0.6, 0.4],
+                [1.0, 0.0, 0.0],
+            ] {
+                let reference = d.sampled_br_law(&freq, samples);
+                let mut fast = vec![0.0; 3];
+                d.sampled_br_law_fast(&freq, &mut fast);
+                for (a, (&r, &f)) in reference.iter().zip(&fast).enumerate() {
+                    assert!(
+                        (r - f).abs() <= 1e-12,
+                        "samples={samples} freq={freq:?} state {a}: {r} vs {f}"
+                    );
+                }
+                assert!((fast.iter().sum::<f64>() - 1.0).abs() <= 1e-9, "{fast:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_laws_knob_routes_to_the_recursion_bitwise() {
+        // Under `set_reference_laws(true)` the kernel entries must equal
+        // the pre-optimization recursion's output *bitwise* — that is the
+        // whole point of keeping the reference path around as an oracle.
+        let mut d = GameDynamics::new(
+            &rps(),
+            DynamicsRule::SampledBestResponse { samples: 5 },
+        )
+        .unwrap();
+        let freq = [0.5, 0.3, 0.2];
+        d.set_reference_laws(true);
+        let via_knob = d.pair_kernel_at(0, 1, &freq).unwrap();
+        let direct = d.sampled_br_law(&freq, 5);
+        for ((entry, &rho), a) in via_knob.iter().zip(&direct).zip(0..) {
+            assert_eq!(*entry, ((a, 1), rho));
+            assert_eq!(entry.1.to_bits(), rho.to_bits());
+        }
+        d.set_reference_laws(false);
+        let fast = d.pair_kernel_at(0, 1, &freq).unwrap();
+        for (f, r) in fast.iter().zip(&via_knob) {
+            assert_eq!(f.0, r.0);
+            assert!((f.1 - r.1).abs() <= 1e-12, "{f:?} vs {r:?}");
+        }
+    }
+
+    #[test]
+    fn pair_kernel_entry_points_are_bitwise_interchangeable() {
+        // The trait contract: `pair_kernel_at_into` must write exactly
+        // the entries `pair_kernel_at` returns, for every rule that
+        // states a frequency-dependent law.
+        for rule in [
+            DynamicsRule::PairwiseImitation,
+            DynamicsRule::SampledBestResponse { samples: 4 },
+            DynamicsRule::Logit { eta: 2.0 },
+        ] {
+            let d = GameDynamics::new(&rps(), rule).unwrap();
+            let freq = [0.2, 0.5, 0.3];
+            for i in 0..3 {
+                for j in 0..3 {
+                    let boxed = d.pair_kernel_at(i, j, &freq);
+                    let mut written = Vec::new();
+                    let stated = d.pair_kernel_at_into(i, j, &freq, &mut written);
+                    assert_eq!(boxed.is_some(), stated, "{rule:?} ({i},{j})");
+                    if let Some(entries) = boxed {
+                        assert_eq!(entries.len(), written.len(), "{rule:?} ({i},{j})");
+                        for (a, b) in entries.iter().zip(&written) {
+                            assert_eq!(a.0, b.0, "{rule:?} ({i},{j})");
+                            assert_eq!(
+                                a.1.to_bits(),
+                                b.1.to_bits(),
+                                "{rule:?} ({i},{j}): {} vs {}",
+                                a.1,
+                                b.1
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_deps_declarations_match_the_laws() {
+        let ppi = GameDynamics::new(&rps(), DynamicsRule::PairwiseImitation).unwrap();
+        let br = GameDynamics::new(
+            &rps(),
+            DynamicsRule::SampledBestResponse { samples: 3 },
+        )
+        .unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    assert_eq!(ppi.pair_kernel_deps(i, j), KernelDeps::None);
+                    // Contract check: the diagonal law really is
+                    // count-free.
+                    let a = ppi.pair_kernel_at(i, j, &[0.2, 0.5, 0.3]).unwrap();
+                    let b = ppi.pair_kernel_at(i, j, &[0.9, 0.05, 0.05]).unwrap();
+                    assert_eq!(a, b);
+                } else {
+                    assert_eq!(ppi.pair_kernel_deps(i, j), KernelDeps::All);
+                }
+                assert_eq!(br.pair_kernel_deps(i, j), KernelDeps::All);
+            }
         }
     }
 }

@@ -81,11 +81,13 @@ pub fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
 
 /// Samples a Binomial(`n`, `p`) count exactly.
 ///
-/// Strategy: inversion started at the mode and expanded outward, so the
-/// expected work is `O(√(n p (1−p)))` — fast enough to draw multinomial
-/// stationary samples with `n` in the tens of thousands, while remaining
-/// *exact* (no normal approximation) so distributional tests can use tight
-/// tolerances.
+/// Strategy: two exact inversion regimes, both `O(1)` uniforms per draw.
+/// Small draws (`n ≤ 64` or `n·min(p, 1−p) ≤ 10`) walk the pmf up from
+/// zero with the ratio recurrence — a handful of multiplications, no
+/// log-space setup — which is the regime the τ-leap binomial chains hit
+/// almost exclusively. Larger draws start at the mode and expand outward,
+/// so the expected work is `O(√(n p (1−p)))`. Both are exact (no normal
+/// approximation), so distributional tests can use tight tolerances.
 ///
 /// # Example
 ///
@@ -106,12 +108,45 @@ pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
     }
     // Work with q = min(p, 1-p) and mirror at the end.
     let (q, mirrored) = if p <= 0.5 { (p, false) } else { (1.0 - p, true) };
-    let x = binomial_inversion_from_mode(n, q, rng);
+    let x = if n <= 64 || n as f64 * q <= 10.0 {
+        binomial_inversion_from_zero(n, q, rng)
+    } else {
+        binomial_inversion_from_mode(n, q, rng)
+    };
     if mirrored {
         n - x
     } else {
         x
     }
+}
+
+/// Exact bottom-up inversion: start at `pmf(0) = (1−p)^n` and walk up with
+/// the ratio recurrence until the uniform variate is covered. Expected
+/// `O(n p)` steps of a few multiplications each, with no logarithms or
+/// exponentials in the common case — an order of magnitude cheaper than
+/// the mode-centered walk when `n p` is small.
+fn binomial_inversion_from_zero<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    // (1−p)^n: repeated squaring for small n (a handful of multiplies),
+    // log-space otherwise (only reachable when p is tiny, so `ln_1p`
+    // keeps full precision).
+    let pmf0 = if n <= 64 {
+        (1.0 - p).powi(n as i32)
+    } else {
+        (n as f64 * (-p).ln_1p()).exp()
+    };
+    let u: f64 = rng.gen();
+    let ratio = p / (1.0 - p);
+    let mut pmf = pmf0;
+    let mut cumulative = pmf0;
+    let mut k = 0u64;
+    while u >= cumulative && k < n {
+        pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
+        k += 1;
+        cumulative += pmf;
+    }
+    // `u` can exceed the accumulated total only through floating-point
+    // rounding at the far tail; `k` has then already saturated at `n`.
+    k
 }
 
 /// Exact inversion: locate the mode, then accumulate pmf mass outward in
