@@ -31,6 +31,7 @@
 //! numbers come from the uninstrumented system allocator.
 
 use popgame_igt::dynamics::{agent_population, counted_population, IgtProtocol};
+use popgame_obs::log as obs_log;
 use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
 use popgame_population::batch::BatchedEngine;
 use popgame_population::protocol::{EnumerableProtocol, KernelDeps, Protocol};
@@ -270,7 +271,11 @@ fn main() {
                 n
             }));
         }
-        eprintln!("n = {n}: measured 4 engines");
+        obs_log::info(
+            "bench_batched",
+            "measured 4 engines",
+            &[("n", Json::from(n))],
+        );
     }
 
     // The n = 10⁸ regime: τ-leap only (the exact engines would need
@@ -309,7 +314,11 @@ fn main() {
             chunk
         }));
     }
-    eprintln!("n = {big_n}: measured 3 τ-leap engines");
+    obs_log::info(
+        "bench_batched",
+        "measured 3 tau-leap engines",
+        &[("n", Json::from(big_n))],
+    );
 
     // Report harness: the full (scenario, dynamics, n, replica) sweep on
     // the work-stealing pool vs the sequential reference path. Equal
@@ -327,10 +336,15 @@ fn main() {
     let sequential = run_report_sequential(&report_config).expect("valid preset");
     let sequential_seconds = t0.elapsed().as_secs_f64();
     assert_eq!(pooled, sequential, "pool must be bitwise-deterministic");
-    eprintln!(
-        "report {}: pooled {pooled_seconds:.2}s, sequential {sequential_seconds:.2}s, {} workers",
-        report_config.mode,
-        popgame_runner::worker_threads(),
+    obs_log::info(
+        "bench_batched",
+        "report harness timed",
+        &[
+            ("mode", Json::from(report_config.mode.as_str())),
+            ("pooled_seconds", Json::from(pooled_seconds)),
+            ("sequential_seconds", Json::from(sequential_seconds)),
+            ("workers", Json::from(popgame_runner::worker_threads())),
+        ],
     );
 
     // Headline ratio: batched vs per-step count engine (the ISSUE's
@@ -413,5 +427,13 @@ fn main() {
     let json = doc.pretty();
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
-    eprintln!("wrote {out_path}; batched vs count speedup at n = {headline_n}: {speedup:.1}x");
+    obs_log::info(
+        "bench_batched",
+        "wrote benchmark artifact",
+        &[
+            ("path", Json::from(out_path.as_str())),
+            ("headline_n", Json::from(headline_n)),
+            ("speedup", Json::from((speedup * 10.0).round() / 10.0)),
+        ],
+    );
 }

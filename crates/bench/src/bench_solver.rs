@@ -16,6 +16,7 @@
 //! * `dynamics_*`     — batched-engine interactions/sec of the
 //!   best-response and imitation scenario dynamics at `n = 10⁶`.
 
+use popgame_obs::log as obs_log;
 use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
 use popgame_solver::nash::enumerate_equilibria;
 use popgame_solver::scenarios::{by_name, Scenario};
@@ -136,7 +137,11 @@ fn main() {
             ops_per_sec: ops,
             unit: "interactions/sec",
         });
-        eprintln!("{label}: measured at n = {n}");
+        obs_log::info(
+            "bench_solver",
+            "measured dynamics",
+            &[("component", Json::from(label)), ("n", Json::from(n))],
+        );
     }
 
     let doc = Json::obj([
@@ -157,5 +162,9 @@ fn main() {
     let json = doc.pretty();
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
-    eprintln!("wrote {out_path}");
+    obs_log::info(
+        "bench_solver",
+        "wrote benchmark artifact",
+        &[("path", Json::from(out_path.as_str()))],
+    );
 }

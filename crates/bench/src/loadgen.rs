@@ -21,6 +21,8 @@
 //! The acceptance bar from the ISSUE: ≥ 10 000 cached and ≥ 100 uncached
 //! requests/sec on loopback in smoke (`--quick`) mode.
 
+use popgame_obs::log as obs_log;
+use popgame_obs::metrics::{parse_exposition, Sample};
 use popgame_service::{PopgameService, ServiceConfig};
 use popgame_util::json::Json;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -170,6 +172,65 @@ fn run_phase(
     })
 }
 
+/// One-shot GET returning the body (used for the `/metrics` scrape).
+fn get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_to_string(&mut reply)?;
+    reply
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no body"))
+}
+
+/// The value of the series `name{labels}` in a scrape, if present.
+fn metric_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+        .map(|s| s.value)
+}
+
+/// The upper bucket edge covering quantile `q` of a scraped histogram —
+/// the smallest `le` whose cumulative count reaches `q` of the total.
+fn histogram_quantile_upper(
+    samples: &[Sample],
+    name: &str,
+    labels: &[(&str, &str)],
+    q: f64,
+) -> Option<f64> {
+    let bucket_name = format!("{name}_bucket");
+    let mut buckets: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| {
+            s.name == bucket_name && labels.iter().all(|(k, v)| s.label(k) == Some(*v))
+        })
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let edge = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((edge, s.value))
+        })
+        .collect();
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("edges are ordered"));
+    let total = buckets.last()?.1;
+    if total <= 0.0 {
+        return None;
+    }
+    let target = total * q;
+    buckets
+        .iter()
+        .find(|&&(_, cumulative)| cumulative >= target)
+        .map(|&(edge, _)| edge)
+}
+
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -188,6 +249,7 @@ fn summarize(stats: Vec<ThreadStats>, window: Duration) -> Json {
     let rps = requests as f64 / window.as_secs_f64();
     Json::obj([
         ("requests", Json::from(requests)),
+        ("cache_hits", Json::from(hits)),
         ("requests_per_sec", Json::from((rps * 10.0).round() / 10.0)),
         ("p50_us", Json::from(percentile(&latencies, 0.50))),
         ("p99_us", Json::from(percentile(&latencies, 0.99))),
@@ -235,13 +297,92 @@ fn main() {
     assert!(!hit, "first request must be a cold miss");
     drop(warm_client);
 
-    eprintln!("loadgen: cached phase ({clients} clients, {window:?})");
+    obs_log::info(
+        "loadgen",
+        "cached phase",
+        &[
+            ("clients", Json::from(clients)),
+            ("window_ms", Json::from(window.as_millis() as u64)),
+        ],
+    );
     let cached = run_phase(addr, clients, window, Some(&cold_reply), |_t, _i| {
         cached_body.to_string()
     });
     let cached_summary = summarize(cached, window);
 
-    eprintln!("loadgen: uncached phase ({clients} clients, {window:?})");
+    // Mid-run observability cross-check: scrape the server's own counters
+    // and verify they agree with what the clients measured. The server
+    // necessarily saw every 200 the clients counted (plus the warm
+    // request and any non-200s), and its cache-hit tally can only exceed
+    // the clients' (the cold miss plus retries).
+    let scrape = get(addr, "/metrics").expect("scrape /metrics");
+    let samples = parse_exposition(&scrape).expect("exposition parses");
+    let simulate = [("endpoint", "simulate")];
+    let server_requests =
+        metric_value(&samples, "popgame_http_requests_total", &simulate).unwrap_or(0.0);
+    let server_hits = metric_value(&samples, "popgame_cache_hits_total", &[]).unwrap_or(0.0);
+    let server_misses =
+        metric_value(&samples, "popgame_cache_misses_total", &[]).unwrap_or(0.0);
+    let server_p99_upper_us = histogram_quantile_upper(
+        &samples,
+        "popgame_http_request_duration_us",
+        &simulate,
+        0.99,
+    )
+    .unwrap_or(0.0);
+    let client_requests = cached_summary
+        .get("requests")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let client_hits = cached_summary
+        .get("cache_hits")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(
+        server_requests >= (client_requests + 1) as f64,
+        "server saw {server_requests} /simulate requests, clients counted {client_requests}"
+    );
+    assert!(
+        server_hits >= client_hits as f64,
+        "server counted {server_hits} cache hits, clients counted {client_hits}"
+    );
+    assert!(
+        server_p99_upper_us > 0.0,
+        "the /simulate latency histogram must have recorded something"
+    );
+    let server_summary = Json::obj([
+        ("simulate_requests", Json::from(server_requests)),
+        ("cache_hits", Json::from(server_hits)),
+        ("cache_misses", Json::from(server_misses)),
+        (
+            "cache_hit_rate",
+            Json::from(if server_hits + server_misses > 0.0 {
+                (server_hits / (server_hits + server_misses) * 1e4).round() / 1e4
+            } else {
+                0.0
+            }),
+        ),
+        ("p99_upper_bound_us", Json::from(server_p99_upper_us)),
+        ("series_scraped", Json::from(samples.len())),
+    ]);
+    obs_log::info(
+        "loadgen",
+        "metrics cross-check passed",
+        &[
+            ("server_requests", Json::from(server_requests)),
+            ("client_requests", Json::from(client_requests)),
+            ("server_p99_upper_us", Json::from(server_p99_upper_us)),
+        ],
+    );
+
+    obs_log::info(
+        "loadgen",
+        "uncached phase",
+        &[
+            ("clients", Json::from(clients)),
+            ("window_ms", Json::from(window.as_millis() as u64)),
+        ],
+    );
     // Fresh seed per request: every one is a real computation.
     let uncached = run_phase(addr, clients, window, None, |t, i| {
         format!(
@@ -271,6 +412,7 @@ fn main() {
         ("window_ms", Json::from(window.as_millis() as u64)),
         ("cached", cached_summary),
         ("uncached", uncached_summary),
+        ("server", server_summary),
         (
             "meets_acceptance",
             Json::from(cached_rps >= 10_000.0 && uncached_rps >= 100.0 && mismatches == 0),
@@ -279,13 +421,23 @@ fn main() {
     let text = doc.pretty();
     std::fs::write(&out_path, &text).expect("write benchmark json");
     println!("{text}");
-    eprintln!(
-        "wrote {out_path}; cached {cached_rps:.0} req/s, uncached {uncached_rps:.0} req/s, \
-         {mismatches} body mismatches"
+    obs_log::info(
+        "loadgen",
+        "wrote benchmark artifact",
+        &[
+            ("path", Json::from(out_path.as_str())),
+            ("cached_rps", Json::from(cached_rps)),
+            ("uncached_rps", Json::from(uncached_rps)),
+            ("body_mismatches", Json::from(mismatches)),
+        ],
     );
     service.shutdown();
     if mismatches > 0 {
-        eprintln!("loadgen: FAILURE — cached responses were not byte-identical");
+        obs_log::error(
+            "loadgen",
+            "cached responses were not byte-identical",
+            &[("body_mismatches", Json::from(mismatches))],
+        );
         std::process::exit(1);
     }
 }

@@ -1,7 +1,9 @@
 //! Subcommand implementations. Each returns `Ok(())` or a [`CliError`]
 //! that `main` maps onto the process exit code.
 
-use popgame_report::{render, run_report, run_report_sequential, ReportConfig};
+use popgame_report::{
+    render, run_report, run_report_profiled, run_report_sequential, ReportConfig,
+};
 use popgame_service::api::{
     execute_simulate, execute_solve, SimulateRequest, SolveRequest,
 };
@@ -186,7 +188,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
 
 const REPRODUCE_USAGE: &str = "usage: popgame reproduce [--quick|--full] [--seed S] \
      [--out DIR] [--sizes N1,N2,...] [--replicas R] [--horizon H] \
-     [--trajectory-points P] [--workers W] [--sequential]";
+     [--trajectory-points P] [--workers W] [--sequential] [--profile]";
 
 /// The documented default seed of the reproduction harness.
 const REPRODUCE_SEED: u64 = 20240717;
@@ -203,6 +205,7 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
     let mut horizon: Option<u64> = None;
     let mut trajectory: Option<usize> = None;
     let mut sequential = false;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -213,6 +216,7 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
             "--quick" => preset = Some("quick"),
             "--full" => preset = Some("full"),
             "--sequential" => sequential = true,
+            "--profile" => profile = true,
             "--workers" => {
                 let w = parse_u64("--workers", &take_value(&mut it, "--workers")?)?;
                 popgame_runner::set_worker_threads(Some(w as usize));
@@ -260,11 +264,16 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
         config.trajectory_capacity = trajectory;
     }
     config.validate().map_err(CliError::Usage)?;
+    if profile && sequential {
+        return usage("--profile profiles the task pool; drop --sequential");
+    }
 
-    let report = if sequential {
-        run_report_sequential(&config)
+    let (report, sweep_profile) = if sequential {
+        run_report_sequential(&config).map(|report| (report, None))
+    } else if profile {
+        run_report_profiled(&config).map(|(report, profile)| (report, Some(profile)))
     } else {
-        run_report(&config)
+        run_report(&config).map(|report| (report, None))
     }
     .map_err(CliError::Runtime)?;
     let json = render::report_json(&report);
@@ -278,6 +287,22 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Runtime(format!("writing {}: {e}", json_path.display())))?;
     std::fs::write(&md_path, &md)
         .map_err(|e| CliError::Runtime(format!("writing {}: {e}", md_path.display())))?;
+    if let Some(sweep_profile) = &sweep_profile {
+        let profile_path = dir.join("PROFILE.json");
+        let rendered = render::profile_json(sweep_profile);
+        std::fs::write(&profile_path, &rendered).map_err(|e| {
+            CliError::Runtime(format!("writing {}: {e}", profile_path.display()))
+        })?;
+        println!(
+            "profile: {} cells, {} tasks, {:.1}ms wall / {:.1}ms busy on {} workers — {}",
+            sweep_profile.cells.len(),
+            sweep_profile.cells.iter().map(|c| c.tasks).sum::<u64>(),
+            sweep_profile.wall_clock_us as f64 / 1_000.0,
+            sweep_profile.busy_us as f64 / 1_000.0,
+            sweep_profile.workers,
+            profile_path.display()
+        );
+    }
     println!(
         "reproduce: mode={} seed={} — {} scenarios, {} scenario-dynamics pairs, sizes {:?}",
         config.mode,

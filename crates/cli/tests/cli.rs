@@ -133,6 +133,52 @@ fn reproduce_reports_are_byte_identical_across_runs() {
 }
 
 #[test]
+fn reproduce_profile_is_a_pure_observer() {
+    // --profile must add PROFILE.json without perturbing a single byte of
+    // the report artifacts.
+    let dir_plain = temp_dir("profile-plain");
+    let dir_prof = temp_dir("profile-on");
+    for (dir, extra) in [(&dir_plain, None), (&dir_prof, Some("--profile"))] {
+        let mut args = TINY_REPRODUCE.to_vec();
+        args.extend(extra);
+        args.push("--out");
+        let dir_text = dir.to_str().unwrap();
+        args.push(dir_text);
+        let out = popgame(&args);
+        assert!(out.status.success(), "{}", stderr(&out));
+    }
+    assert_eq!(
+        std::fs::read(dir_plain.join("REPORT.json")).unwrap(),
+        std::fs::read(dir_prof.join("REPORT.json")).unwrap(),
+        "REPORT.json must be byte-identical with --profile"
+    );
+    assert_eq!(
+        std::fs::read(dir_plain.join("REPORT.md")).unwrap(),
+        std::fs::read(dir_prof.join("REPORT.md")).unwrap(),
+        "REPORT.md must be byte-identical with --profile"
+    );
+    assert!(
+        !dir_plain.join("PROFILE.json").exists(),
+        "plain runs must not write a profile"
+    );
+    let profile = std::fs::read_to_string(dir_prof.join("PROFILE.json")).unwrap();
+    for needle in [
+        "\"wall_clock_us\"",
+        "\"busy_us\"",
+        "\"workers\"",
+        "\"cells\"",
+        "\"convergence\"",
+        "\"eta-sweep\"",
+        "\"divergence\"",
+    ] {
+        assert!(profile.contains(needle), "PROFILE.json missing {needle}");
+    }
+    for dir in [dir_plain, dir_prof] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
 fn usage_errors_exit_two_with_a_usage_message() {
     for (args, needle) in [
         (vec!["frobnicate"], "unknown command"),
@@ -152,6 +198,10 @@ fn usage_errors_exit_two_with_a_usage_message() {
         (vec!["reproduce", "--sizes", "100,50"], "ascending"),
         (vec!["reproduce", "--sizes", "ten"], "--sizes"),
         (vec!["reproduce", "--replicas", "0"], "replicas"),
+        (
+            vec!["reproduce", "--profile", "--sequential"],
+            "--profile profiles the task pool",
+        ),
         (vec!["serve", "--nonsense"], "unknown argument"),
         (vec!["bench", "--n", "1"], "--n must be"),
     ] {

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! `popgame-obs` — the workspace's observability layer, pure std.
+//!
+//! Two halves:
+//!
+//! * [`metrics`] — a process-global, lock-light metrics registry:
+//!   atomic [`Counter`]s and [`Gauge`]s, a log₂-bucketed latency
+//!   [`LatencyHistogram`] (the atomic sibling of
+//!   `popgame_util::histogram::IntHistogram`), RAII [`ScopedTimer`]s and
+//!   [`GaugeGuard`]s, and a Prometheus text-exposition renderer plus the
+//!   matching parser (shared by tests and the load generator).
+//! * [`log`] — a leveled structured-logging facade: one JSONL record per
+//!   event on stderr, gated by `POPGAME_LOG=error|warn|info|debug`, with
+//!   request-id generation for cross-layer correlation.
+//!
+//! Everything here is **out-of-band** by construction: handles are plain
+//! atomics, nothing consumes randomness, and no simulation or response
+//! byte ever depends on a metric value. Instrumented code paths stay
+//! bitwise deterministic — the service's cache-hit == cold-body and the
+//! report's pooled == sequential contracts are unaffected (and tested in
+//! their own crates).
+//!
+//! # Example
+//!
+//! ```
+//! use popgame_obs::metrics::registry;
+//!
+//! let requests = registry().counter(
+//!     "popgame_http_requests_total",
+//!     "Requests routed, by endpoint.",
+//!     &[("endpoint", "simulate")],
+//! );
+//! requests.inc();
+//! let text = registry().render();
+//! assert!(text.contains("popgame_http_requests_total{endpoint=\"simulate\"}"));
+//! ```
+
+pub mod log;
+pub mod metrics;
+
+pub use metrics::{
+    parse_exposition, Counter, Gauge, GaugeGuard, LatencyHistogram, Registry, Sample,
+    ScopedTimer,
+};

@@ -1,0 +1,241 @@
+//! The structured-logging facade: leveled JSONL on stderr.
+//!
+//! One event ⇒ one JSON object on one stderr line, so every consumer —
+//! a human with `grep`, CI, or a log shipper — parses the same stream.
+//! The emitted level is gated by the `POPGAME_LOG` environment variable
+//! (`error`, `warn`, `info`, `debug`; default `info`; `off` silences
+//! everything), read once per process and overridable in-process via
+//! [`set_max_level`] for tests.
+//!
+//! Records carry a millisecond timestamp, the level, a `target` naming
+//! the emitting component, the message, and arbitrary structured fields.
+//! Request-scoped events should attach the id minted by
+//! [`next_request_id`] (the same id the service returns in its
+//! `x-popgame-request-id` header) so one request can be followed across
+//! layers.
+//!
+//! # Example
+//!
+//! ```
+//! use popgame_obs::log::{info, Level, set_max_level};
+//! use popgame_util::json::Json;
+//!
+//! set_max_level(Some(Level::Debug));
+//! info("doctest", "phase done", &[("requests", Json::Int(128))]);
+//! ```
+
+use popgame_util::json::Json;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed.
+    Error,
+    /// Something surprising that did not fail the operation.
+    Warn,
+    /// Progress and lifecycle events (the default gate).
+    Info,
+    /// High-volume diagnostics (per-request lines).
+    Debug,
+}
+
+impl Level {
+    /// The lowercase name used in records and in `POPGAME_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_env(value: &str) -> Option<Level> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// `set_max_level` override: 0 = unset, 1 = off, otherwise level + 2.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_level() -> Option<Level> {
+    static ENV: OnceLock<Option<Level>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("POPGAME_LOG") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("off") => None,
+        Ok(v) => Some(Level::from_env(&v).unwrap_or(Level::Info)),
+        Err(_) => Some(Level::Info),
+    })
+}
+
+/// The currently active gate; `None` means logging is off.
+pub fn max_level() -> Option<Level> {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_level(),
+        1 => None,
+        n => Some(match n - 2 {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }),
+    }
+}
+
+/// Overrides the `POPGAME_LOG` gate in-process (`None` = off). Meant for
+/// tests and tools that must control verbosity without re-exec.
+pub fn set_max_level(level: Option<Level>) {
+    OVERRIDE.store(
+        match level {
+            None => 1,
+            Some(l) => l as usize + 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Whether a record at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Formats one record as its JSON line (no trailing newline). Pure —
+/// exposed so tests can pin the wire format without capturing stderr.
+pub fn format_record(
+    level: Level,
+    target: &str,
+    message: &str,
+    fields: &[(&str, Json)],
+    ts_ms: u64,
+) -> String {
+    let mut entries: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 4);
+    entries.push(("ts_ms".to_string(), Json::Int(ts_ms as i64)));
+    entries.push((
+        "level".to_string(),
+        Json::Str(level.as_str().to_string()),
+    ));
+    entries.push(("target".to_string(), Json::Str(target.to_string())));
+    entries.push(("msg".to_string(), Json::Str(message.to_string())));
+    for (key, value) in fields {
+        entries.push((key.to_string(), value.clone()));
+    }
+    Json::obj(entries).encode()
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Emits one structured record to stderr if `level` passes the gate.
+pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, Json)]) {
+    if !enabled(level) {
+        return;
+    }
+    eprintln!("{}", format_record(level, target, message, fields, now_ms()));
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, message: &str, fields: &[(&str, Json)]) {
+    log(Level::Error, target, message, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, message: &str, fields: &[(&str, Json)]) {
+    log(Level::Warn, target, message, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, message: &str, fields: &[(&str, Json)]) {
+    log(Level::Info, target, message, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, message: &str, fields: &[(&str, Json)]) {
+    log(Level::Debug, target, message, fields);
+}
+
+/// Mints a process-unique request id: an 8-hex-digit per-process token
+/// (derived from the process id and start time) plus a sequence number.
+/// Used for the `x-popgame-request-id` response header and the matching
+/// log-record field; ids never influence response bodies.
+pub fn next_request_id() -> String {
+    static TOKEN: OnceLock<u32> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let token = *TOKEN.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        // FNV-1a over (pid, boot nanos) — stable within a process, very
+        // likely distinct across fleet instances.
+        let mut hash: u32 = 0x811c_9dc5;
+        for byte in std::process::id()
+            .to_le_bytes()
+            .into_iter()
+            .chain(nanos.to_le_bytes())
+        {
+            hash ^= u32::from(byte);
+            hash = hash.wrapping_mul(0x0100_0193);
+        }
+        hash
+    });
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("{token:08x}-{seq:06}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_gates_correctly() {
+        set_max_level(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_max_level(None);
+        assert!(!enabled(Level::Error));
+        set_max_level(Some(Level::Debug));
+        assert!(enabled(Level::Debug));
+    }
+
+    #[test]
+    fn record_is_one_json_line() {
+        let line = format_record(
+            Level::Info,
+            "loadgen",
+            "phase \"cached\" done",
+            &[("requests", Json::Int(128)), ("p99_ms", Json::Num(1.25))],
+            42,
+        );
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).expect("record must be valid JSON");
+        assert_eq!(parsed.get("level").and_then(Json::as_str), Some("info"));
+        assert_eq!(parsed.get("target").and_then(Json::as_str), Some("loadgen"));
+        assert_eq!(parsed.get("ts_ms").and_then(Json::as_i64), Some(42));
+        assert_eq!(parsed.get("requests").and_then(Json::as_i64), Some(128));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_well_formed() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        let (tok, seq) = a.split_once('-').expect("token-seq shape");
+        assert_eq!(tok.len(), 8);
+        assert_eq!(seq.len(), 6);
+        assert!(tok.chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(seq.chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -530,9 +530,14 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
                     reason: "count-coupled protocol declares no pair_kernel_at law".into(),
                 });
             }
+            crate::metrics::kernel_full_builds().inc();
             built
         } else if table.is_none() {
-            KernelTable::build(&protocol)?
+            let built = KernelTable::build(&protocol)?;
+            if built.is_some() {
+                crate::metrics::kernel_full_builds().inc();
+            }
+            built
         } else {
             None
         };
@@ -641,6 +646,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
             self.alias = Some(AliasTable::new(&weights).expect("population non-empty"));
             self.alias_dirty = false;
+            crate::metrics::alias_rebuilds().inc();
         }
     }
 
@@ -667,11 +673,13 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             self.kernel = KernelTable::build_at(&self.protocol, &freq)
                 .expect("count-coupled kernel law broke mid-run (protocol bug)");
             debug_assert!(self.kernel.is_some(), "validated at construction");
+            crate::metrics::kernel_full_builds().inc();
         } else {
             self.freq_scratch.clear();
             self.freq_scratch
                 .extend(self.counts.iter().map(|&c| c as f64 / self.n as f64));
             let any_stale = self.stale.iter().any(|&s| s);
+            let mut recomputed = 0u64;
             for (cell, dirty) in self.dirty_cells.iter_mut().enumerate() {
                 *dirty = match &self.deps[cell] {
                     KernelDeps::None => false,
@@ -680,7 +688,10 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
                         states.iter().any(|&s| self.stale[s])
                     }
                 };
+                recomputed += u64::from(*dirty);
             }
+            crate::metrics::kernel_refreshes().inc();
+            crate::metrics::kernel_dirty_cells().add(recomputed);
             let kernel = self
                 .kernel
                 .as_mut()
@@ -764,6 +775,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             }
         }
         self.interactions += 1;
+        crate::metrics::exact_steps().inc();
         (i, j)
     }
 
@@ -902,6 +914,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     ///   binomial chain with nested outcome chains (large draw counts) —
     ///   both exactly the flattened entry-level multinomial in law.
     fn leap<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
+        crate::metrics::leaps().inc();
         self.ensure_kernel();
         let k = self.counts.len();
         debug_assert!(
@@ -1156,6 +1169,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     /// [`popgame_util::sampler::AliasTable`], without the per-leap
     /// allocations.
     fn rebuild_entry_alias(&mut self, total: f64) {
+        crate::metrics::alias_rebuilds().inc();
         let entries = self.active.len();
         self.alias_prob.clear();
         self.alias_prob
@@ -1168,6 +1182,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     /// [`Self::rebuild_entry_alias`], over `pair_w` instead of the
     /// flattened entry list.
     fn rebuild_pair_alias(&mut self, total: f64) {
+        crate::metrics::alias_rebuilds().inc();
         let scale = self.pair_w.len() as f64 / total;
         self.alias_prob.clear();
         self.alias_prob
@@ -1224,6 +1239,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     /// as the benchmark baseline and test oracle behind
     /// [`Self::set_reference_leap`].
     fn leap_reference<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
+        crate::metrics::leaps().inc();
         self.ensure_kernel();
         let k = self.counts.len();
         debug_assert!(

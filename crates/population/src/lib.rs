@@ -49,6 +49,7 @@ pub mod batch;
 pub mod classic;
 pub mod counts;
 pub mod error;
+pub mod metrics;
 pub mod population;
 pub mod protocol;
 pub mod simulator;

@@ -1,0 +1,86 @@
+//! Engine-level observability counters.
+//!
+//! Process-global [`popgame_obs`] counters tracking how much work the
+//! batched engine actually performs: leaps vs exact steps, full vs
+//! incremental kernel rebuilds, dirty cells recomputed, and alias-table
+//! rebuilds. Every counter is a relaxed atomic incremented at *amortized*
+//! points (once per leap, refresh, or rebuild — never per drawn agent),
+//! so the n=1e8 hot path is unaffected; nothing here feeds the RNG or
+//! the simulation results, so instrumented runs remain bitwise identical
+//! to uninstrumented ones.
+//!
+//! Handles are lazily registered `&'static` references — after the first
+//! call each accessor is a single `OnceLock` load.
+
+use popgame_obs::metrics::{registry, Counter};
+use std::sync::{Arc, OnceLock};
+
+fn handle(
+    cell: &'static OnceLock<Arc<Counter>>,
+    name: &'static str,
+    help: &'static str,
+) -> &'static Counter {
+    cell.get_or_init(|| registry().counter(name, help, &[]))
+}
+
+/// Multinomial τ-leaps executed (overdraw split halves count separately).
+pub fn leaps() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(
+        &CELL,
+        "popgame_engine_leaps_total",
+        "Multinomial tau-leaps executed by the batched engine (overdraw splits counted per half).",
+    )
+}
+
+/// Exact alias-sampled interactions executed by [`crate::BatchedEngine::step`].
+pub fn exact_steps() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(
+        &CELL,
+        "popgame_engine_exact_steps_total",
+        "Exact per-interaction steps executed by the batched engine.",
+    )
+}
+
+/// Full `KernelTable` builds: construction-time builds plus the
+/// reference path's per-change rebuilds.
+pub fn kernel_full_builds() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(
+        &CELL,
+        "popgame_engine_kernel_full_builds_total",
+        "Full KernelTable builds (engine construction and the reference leap path).",
+    )
+}
+
+/// Incremental `KernelTable::refresh_at` passes.
+pub fn kernel_refreshes() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(
+        &CELL,
+        "popgame_engine_kernel_refreshes_total",
+        "Incremental KernelTable refreshes on the default count-coupled path.",
+    )
+}
+
+/// Kernel cells recomputed across all incremental refreshes.
+pub fn kernel_dirty_cells() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(
+        &CELL,
+        "popgame_engine_kernel_dirty_cells_total",
+        "Kernel cells recomputed by incremental refreshes (the dirty-mask workload).",
+    )
+}
+
+/// Alias-table rebuilds: the per-state sampling alias plus the per-leap
+/// Walker tables over entry/pair weights.
+pub fn alias_rebuilds() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(
+        &CELL,
+        "popgame_engine_alias_rebuilds_total",
+        "Alias-table rebuilds (state alias and per-leap Walker entry/pair tables).",
+    )
+}

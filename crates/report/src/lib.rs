@@ -57,6 +57,6 @@ pub mod harness;
 pub mod render;
 
 pub use harness::{
-    run_report, run_report_sequential, ConvergenceCell, ConvergenceRow, Report, ReportConfig,
-    ScenarioSummary, TrajectorySeries,
+    run_report, run_report_profiled, run_report_sequential, CellProfile, ConvergenceCell,
+    ConvergenceRow, Report, ReportConfig, ReportProfile, ScenarioSummary, TrajectorySeries,
 };

@@ -55,12 +55,14 @@
 //! assert_eq!(means, run_replicas(7, 64, sim));
 //! ```
 
+use popgame_obs::metrics::{registry, Counter, Gauge};
 use popgame_util::rng::stream_rng;
 use rand::rngs::SmallRng;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Process-wide worker-count override; `0` means "not set".
 static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -96,6 +98,139 @@ pub fn worker_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Per-worker scheduler counters, shared by every pool run in the
+/// process: cumulative tasks executed, steal outcomes, and idle time
+/// spent looking for work. Handles are registered once per worker index
+/// and cloned per run, so workers touch only relaxed atomics.
+#[derive(Debug, Clone)]
+struct WorkerHandles {
+    tasks: Arc<Counter>,
+    steals: Arc<Counter>,
+    steal_misses: Arc<Counter>,
+    idle_ns: Arc<Counter>,
+}
+
+/// What one worker did while a pool run executed — accumulated locally,
+/// flushed to the global counters once when the worker exits.
+#[derive(Debug, Default)]
+struct LocalStats {
+    tasks: u64,
+    steals: u64,
+    steal_misses: u64,
+    idle_ns: u64,
+}
+
+impl LocalStats {
+    fn flush(&self, handles: &WorkerHandles) {
+        handles.tasks.add(self.tasks);
+        handles.steals.add(self.steals);
+        handles.steal_misses.add(self.steal_misses);
+        handles.idle_ns.add(self.idle_ns);
+    }
+}
+
+fn handle_table() -> &'static Mutex<Vec<WorkerHandles>> {
+    static TABLE: OnceLock<Mutex<Vec<WorkerHandles>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Handles for workers `0..workers`, registering new indices on first use.
+fn worker_handles(workers: usize) -> Vec<WorkerHandles> {
+    let mut table = handle_table().lock().expect("worker handle table poisoned");
+    while table.len() < workers {
+        let worker = table.len().to_string();
+        let labels: [(&str, &str); 1] = [("worker", worker.as_str())];
+        table.push(WorkerHandles {
+            tasks: registry().counter(
+                "popgame_runner_tasks_total",
+                "Tasks executed by each work-stealing pool worker.",
+                &labels,
+            ),
+            steals: registry().counter(
+                "popgame_runner_steals_total",
+                "Successful steals (tasks taken from another worker's deque).",
+                &labels,
+            ),
+            steal_misses: registry().counter(
+                "popgame_runner_steal_misses_total",
+                "Steal attempts that found the victim deque empty.",
+                &labels,
+            ),
+            idle_ns: registry().counter(
+                "popgame_runner_idle_ns_total",
+                "Nanoseconds each worker spent acquiring work (own pop + steal probes).",
+                &labels,
+            ),
+        });
+    }
+    table[..workers].to_vec()
+}
+
+fn pool_runs() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    cell_counter(
+        &CELL,
+        "popgame_runner_pool_runs_total",
+        "Work-stealing pool invocations (run_tasks calls, sequential path included).",
+    )
+}
+
+fn pool_workers_gauge() -> &'static Gauge {
+    static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        registry().gauge(
+            "popgame_runner_pool_workers",
+            "Worker threads used by the most recent pool run.",
+            &[],
+        )
+    })
+}
+
+fn cell_counter(
+    cell: &'static OnceLock<Arc<Counter>>,
+    name: &'static str,
+    help: &'static str,
+) -> &'static Counter {
+    cell.get_or_init(|| registry().counter(name, help, &[]))
+}
+
+/// One worker's cumulative scheduler statistics, as reported by
+/// [`pool_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index (stable across runs; index 0 doubles as the
+    /// sequential path).
+    pub worker: usize,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Successful steals from another worker's deque.
+    pub steals: u64,
+    /// Steal probes that found an empty victim deque.
+    pub steal_misses: u64,
+    /// Nanoseconds spent acquiring work (idle/park time).
+    pub idle_ns: u64,
+}
+
+/// A point-in-time snapshot of the per-worker scheduler counters, one
+/// entry per worker index that has ever run. The same numbers are
+/// exported through the `popgame_runner_*` metric families on
+/// `GET /metrics`; this accessor exists for in-process consumers
+/// (tests, the service's health endpoint, tooling).
+pub fn pool_snapshot() -> Vec<WorkerStats> {
+    let table = handle_table().lock().expect("worker handle table poisoned");
+    table
+        .iter()
+        .enumerate()
+        .map(|(worker, h)| WorkerStats {
+            worker,
+            tasks: h.tasks.get(),
+            steals: h.steals.get(),
+            steal_misses: h.steal_misses.get(),
+            idle_ns: h.idle_ns.get(),
+        })
+        .collect()
+}
+
 /// Runs `count` independent tasks on the work-stealing pool and returns
 /// their results in index order: `out[i] = task(i)` exactly, independent
 /// of worker count and scheduling.
@@ -123,6 +258,9 @@ where
 {
     let count_usize = usize::try_from(count).expect("task count fits in usize");
     let workers = worker_threads().min(count_usize.max(1));
+    let handles = worker_handles(workers);
+    pool_runs().inc();
+    pool_workers_gauge().set(workers as i64);
     if workers <= 1 {
         let mut out = Vec::with_capacity(count_usize);
         for i in 0..count {
@@ -131,6 +269,7 @@ where
             }
             out.push(task(i));
         }
+        handles[0].tasks.add(count);
         return Some(out);
     }
     // Per-worker deques seeded with contiguous blocks of the index space:
@@ -151,27 +290,48 @@ where
             let deques = &deques;
             let task = &task;
             let tx = tx.clone();
-            scope.spawn(move || loop {
-                if cancel.load(Ordering::Relaxed) {
-                    return;
-                }
-                let next = deques[me]
-                    .lock()
-                    .expect("worker deque poisoned")
-                    .pop_front()
-                    .or_else(|| {
-                        (1..workers).find_map(|d| {
-                            deques[(me + d) % workers]
+            let my_handles = handles[me].clone();
+            scope.spawn(move || {
+                let mut stats = LocalStats::default();
+                loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Everything between here and obtaining a task is
+                    // "idle" — the own-deque pop plus any steal probes.
+                    let acquire_start = Instant::now();
+                    let mut next = deques[me]
+                        .lock()
+                        .expect("worker deque poisoned")
+                        .pop_front();
+                    if next.is_none() {
+                        for d in 1..workers {
+                            match deques[(me + d) % workers]
                                 .lock()
                                 .expect("worker deque poisoned")
                                 .pop_back()
-                        })
-                    });
-                let Some(index) = next else { return };
-                let result = task(index);
-                if tx.send((index as usize, result)).is_err() {
-                    return;
+                            {
+                                Some(index) => {
+                                    stats.steals += 1;
+                                    next = Some(index);
+                                    break;
+                                }
+                                None => stats.steal_misses += 1,
+                            }
+                        }
+                    }
+                    stats.idle_ns += u64::try_from(
+                        acquire_start.elapsed().as_nanos(),
+                    )
+                    .unwrap_or(u64::MAX);
+                    let Some(index) = next else { break };
+                    let result = task(index);
+                    stats.tasks += 1;
+                    if tx.send((index as usize, result)).is_err() {
+                        break;
+                    }
                 }
+                stats.flush(&my_handles);
             });
         }
     });
@@ -418,6 +578,25 @@ mod tests {
             "a stalled owner must not serialize its whole block: {:?}",
             t0.elapsed()
         );
+    }
+
+    #[test]
+    fn pool_snapshot_accounts_for_every_task() {
+        // Counters are cumulative and process-global (other tests in this
+        // binary also run pools), so assert on the delta.
+        let before: u64 = pool_snapshot().iter().map(|w| w.tasks).sum();
+        set_worker_threads(Some(2));
+        let out = run_tasks(64, |i| i);
+        set_worker_threads(None);
+        assert_eq!(out.len(), 64);
+        let after: u64 = pool_snapshot().iter().map(|w| w.tasks).sum();
+        assert!(
+            after - before >= 64,
+            "64 tasks must be visible in the snapshot delta: {before} -> {after}"
+        );
+        let snapshot = pool_snapshot();
+        assert!(snapshot.len() >= 2, "two workers must be registered");
+        assert!(snapshot.iter().all(|w| w.worker < snapshot.len()));
     }
 
     #[test]

@@ -30,6 +30,8 @@ use crate::cache::ResultCache;
 use crate::http::{Request, Response};
 use crate::jobs::{JobState, JobStore};
 use popgame_dist::divergence::tv_distance;
+use popgame_obs::log as obs_log;
+use popgame_obs::metrics::{registry, Counter, LatencyHistogram};
 use popgame_runner::{mean_vectors, run_replicas_cancellable};
 use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
 use popgame_solver::nash::Equilibrium;
@@ -68,8 +70,75 @@ pub struct AppState {
     pub overflows: OnceLock<Arc<AtomicU64>>,
     /// Server start time (for `uptime_ms`).
     pub started: Instant,
+    /// HTTP worker-pool size (reported by `/healthz`).
+    pub http_workers: usize,
     /// Present when `POST /shutdown` is enabled; sending stops the daemon.
     pub shutdown_tx: Mutex<Option<SyncSender<()>>>,
+}
+
+/// The endpoint labels used by the request metrics; unknown paths land
+/// on the final `other` bucket.
+const ENDPOINT_LABELS: [&str; 9] = [
+    "healthz", "scenarios", "solve", "simulate", "jobs", "job_detail", "shutdown", "metrics",
+    "other",
+];
+
+struct EndpointMetrics {
+    requests: Arc<Counter>,
+    latency: Arc<LatencyHistogram>,
+}
+
+/// Pre-registered per-endpoint handles: the per-request path does one
+/// lazy-init load plus a scan over nine entries — no registry lock.
+fn endpoint_metrics(endpoint: &str) -> &'static EndpointMetrics {
+    static TABLE: OnceLock<Vec<(&'static str, EndpointMetrics)>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        ENDPOINT_LABELS
+            .iter()
+            .map(|&name| {
+                (
+                    name,
+                    EndpointMetrics {
+                        requests: registry().counter(
+                            "popgame_http_requests_total",
+                            "Requests routed, by endpoint.",
+                            &[("endpoint", name)],
+                        ),
+                        latency: registry().histogram(
+                            "popgame_http_request_duration_us",
+                            "Handler latency in microseconds, by endpoint.",
+                            &[("endpoint", name)],
+                        ),
+                    },
+                )
+            })
+            .collect()
+    });
+    table
+        .iter()
+        .find(|(name, _)| *name == endpoint)
+        .map(|(_, metrics)| metrics)
+        .unwrap_or_else(|| &table.last().expect("table non-empty").1)
+}
+
+/// Responses by status class (`2xx`/`4xx`/`5xx`).
+fn status_class_counter(status: u16) -> Arc<Counter> {
+    static TABLE: OnceLock<[Arc<Counter>; 3]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        ["2xx", "4xx", "5xx"].map(|class| {
+            registry().counter(
+                "popgame_http_responses_total",
+                "Responses sent, by status class.",
+                &[("class", class)],
+            )
+        })
+    });
+    let index = match status {
+        200..=299 => 0,
+        500..=599 => 2,
+        _ => 1,
+    };
+    Arc::clone(&table[index])
 }
 
 /// Dynamics labels `/simulate` accepts, in canonical order (the
@@ -551,6 +620,21 @@ fn healthz(state: &AppState) -> Response {
             Json::from(state.started.elapsed().as_millis() as u64),
         ),
         (
+            "queue_depth",
+            Json::from(crate::http::queue_depth_gauge().get().max(0) as u64),
+        ),
+        (
+            "in_flight",
+            Json::from(crate::http::in_flight_gauge().get().max(0) as u64),
+        ),
+        (
+            "workers",
+            Json::obj([
+                ("http", Json::from(state.http_workers as u64)),
+                ("sim", Json::from(popgame_runner::worker_threads() as u64)),
+            ]),
+        ),
+        (
             "jobs",
             Json::obj([
                 ("queued", Json::from(queued)),
@@ -579,6 +663,22 @@ fn healthz(state: &AppState) -> Response {
         ),
     ]);
     Response::json(200, doc.encode())
+}
+
+/// `GET /metrics`: the whole registry in Prometheus text-exposition
+/// format. The cache-entries gauge is refreshed at scrape time (it is a
+/// derived size, not an event count).
+fn metrics_endpoint(state: &AppState) -> Response {
+    static ENTRIES: OnceLock<Arc<popgame_obs::Gauge>> = OnceLock::new();
+    let entries = ENTRIES.get_or_init(|| {
+        registry().gauge(
+            "popgame_cache_entries",
+            "Entries currently resident in the result cache.",
+            &[],
+        )
+    });
+    entries.set(state.cache.len() as i64);
+    Response::text(200, registry().render())
 }
 
 /// Serves a cacheable endpoint: canonical-key lookup, cold execution,
@@ -749,26 +849,64 @@ fn scenarios_body() -> Arc<String> {
     }))
 }
 
-/// The router: method × path → handler.
+/// The router: method × path → handler, wrapped in the per-request
+/// instrumentation (endpoint counter, latency histogram, status-class
+/// counter, `x-popgame-request-id` header, debug log record). The id and
+/// the metrics are strictly out-of-band: the body produced by the inner
+/// handler is returned unchanged, so cache hits stay byte-identical to
+/// cold computations.
 pub fn route(state: &AppState, request: &Request) -> Response {
+    let request_id = obs_log::next_request_id();
+    let start = Instant::now();
+    let (endpoint, response) = route_inner(state, request);
+    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let metrics = endpoint_metrics(endpoint);
+    metrics.requests.inc();
+    metrics.latency.record_us(elapsed_us);
+    status_class_counter(response.status).inc();
+    if obs_log::enabled(obs_log::Level::Debug) {
+        obs_log::debug(
+            "popgamed",
+            "request",
+            &[
+                ("request_id", Json::from(request_id.as_str())),
+                ("method", Json::from(request.method.as_str())),
+                ("path", Json::from(request.path.as_str())),
+                ("endpoint", Json::from(endpoint)),
+                ("status", Json::from(response.status as u64)),
+                ("duration_us", Json::from(elapsed_us)),
+            ],
+        );
+    }
+    response.with_header("x-popgame-request-id", &request_id)
+}
+
+/// The bare router; returns the endpoint label alongside the response so
+/// the wrapper can attribute metrics.
+fn route_inner(state: &AppState, request: &Request) -> (&'static str, Response) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => healthz(state),
-        ("GET", "/scenarios") => Response::json_shared(200, scenarios_body()),
-        ("POST", "/solve") => solve_endpoint(state, request),
-        ("POST", "/simulate") => simulate_endpoint(state, request),
-        ("POST", "/jobs") => submit_job(state, request),
-        ("POST", "/shutdown") => shutdown_endpoint(state),
+        ("GET", "/healthz") => ("healthz", healthz(state)),
+        ("GET", "/metrics") => ("metrics", metrics_endpoint(state)),
+        ("GET", "/scenarios") => ("scenarios", Response::json_shared(200, scenarios_body())),
+        ("POST", "/solve") => ("solve", solve_endpoint(state, request)),
+        ("POST", "/simulate") => ("simulate", simulate_endpoint(state, request)),
+        ("POST", "/jobs") => ("jobs", submit_job(state, request)),
+        ("POST", "/shutdown") => ("shutdown", shutdown_endpoint(state)),
         (method, path) => {
             if let Some(id_text) = path.strip_prefix("/jobs/") {
-                return job_detail(state, method, id_text);
+                return ("job_detail", job_detail(state, method, id_text));
             }
             if matches!(
                 path,
-                "/healthz" | "/scenarios" | "/solve" | "/simulate" | "/jobs" | "/shutdown"
+                "/healthz" | "/metrics" | "/scenarios" | "/solve" | "/simulate" | "/jobs"
+                    | "/shutdown"
             ) {
-                return Response::error(405, &format!("{method} not allowed on {path}"));
+                return (
+                    "other",
+                    Response::error(405, &format!("{method} not allowed on {path}")),
+                );
             }
-            Response::error(404, &format!("no such endpoint: {path}"))
+            ("other", Response::error(404, &format!("no such endpoint: {path}")))
         }
     }
 }

@@ -13,7 +13,9 @@
 //! exits 0. See the crate docs and the README "Serving" section for the
 //! endpoint reference.
 
+use popgame_obs::log as obs_log;
 use popgame_service::{PopgameService, ServiceConfig, SERVE_USAGE};
+use popgame_util::json::Json;
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -35,11 +37,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The stdout line is the machine-readable readiness signal (CI and
+    // the loadgen grep for it); the structured record is for log streams.
     println!("popgamed listening on http://{}", service.local_addr());
     let _ = std::io::stdout().flush();
+    obs_log::info(
+        "popgamed",
+        "listening",
+        &[("addr", Json::Str(service.local_addr().to_string()))],
+    );
     if remote_shutdown {
         service.wait_for_remote_shutdown();
-        eprintln!("popgamed: shutdown requested, draining");
+        obs_log::info("popgamed", "shutdown requested, draining", &[]);
         service.shutdown();
         ExitCode::SUCCESS
     } else {

@@ -13,9 +13,29 @@
 //! lock. Keys are compared by full string equality inside the shard —
 //! the hash only routes, it never decides identity.
 
+use popgame_obs::metrics::{registry, Counter};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-global cache hit counter (`popgame_cache_hits_total`), shared
+/// with `/metrics`. The per-instance `AtomicU64`s below stay the source
+/// of truth for `/healthz` (they reset with the instance); the globals
+/// only ever accumulate.
+fn global_hits() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        registry().counter("popgame_cache_hits_total", "Result-cache lookups that found an entry", &[])
+    })
+}
+
+/// Process-global cache miss counter (`popgame_cache_misses_total`).
+fn global_misses() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        registry().counter("popgame_cache_misses_total", "Result-cache lookups that found nothing", &[])
+    })
+}
 
 /// 64-bit FNV-1a, the classic cheap content hash (shard router).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -72,9 +92,15 @@ impl ResultCache {
     pub fn get(&self, key: &str) -> Option<Arc<String>> {
         let found = self.shard(key).lock().expect("cache shard lock").get(key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                global_hits().inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                global_misses().inc();
+            }
+        }
         found
     }
 

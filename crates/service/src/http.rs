@@ -18,13 +18,62 @@
 //! In-flight requests complete; queued connections are served; nothing
 //! is torn down mid-response.
 
+use popgame_obs::metrics::{registry, Counter, Gauge, GaugeGuard};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Pending connections sitting in the bounded queue right now.
+pub(crate) fn queue_depth_gauge() -> &'static Arc<Gauge> {
+    static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        registry().gauge(
+            "popgame_http_queue_depth",
+            "Accepted connections waiting in the bounded queue.",
+            &[],
+        )
+    })
+}
+
+/// Connections currently being served by a worker.
+pub(crate) fn in_flight_gauge() -> &'static Arc<Gauge> {
+    static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        registry().gauge(
+            "popgame_http_in_flight",
+            "Connections currently held by a worker thread.",
+            &[],
+        )
+    })
+}
+
+/// Connections bounced with 503 because the queue was full.
+fn rejected_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        registry().counter(
+            "popgame_http_rejected_total",
+            "Connections answered 503 at accept time (queue overflow backpressure).",
+            &[],
+        )
+    })
+}
+
+/// Requests that failed HTTP parsing (400/413 before reaching a handler).
+fn parse_error_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        registry().counter(
+            "popgame_http_parse_errors_total",
+            "Requests rejected by the HTTP parser before reaching a handler.",
+            &[],
+        )
+    })
+}
 
 /// Maximum bytes of request line + headers.
 const MAX_HEAD: usize = 16 * 1024;
@@ -82,6 +131,9 @@ pub struct Response {
     pub body: Arc<String>,
     /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
     pub headers: Vec<(String, String)>,
+    /// The `Content-Type` header value (`application/json` unless built
+    /// with [`Response::text`]).
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -97,6 +149,18 @@ impl Response {
             status,
             body,
             headers: Vec::new(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition content type, as
+    /// `/metrics` is the only non-JSON endpoint).
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            body: Arc::new(body),
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -172,7 +236,12 @@ impl HttpServer {
                         guard.recv()
                     };
                     match stream {
-                        Ok(stream) => serve_connection(stream, &handler, max_body, read_timeout),
+                        Ok(stream) => {
+                            queue_depth_gauge().sub(1);
+                            let _in_flight =
+                                GaugeGuard::new(Arc::clone(in_flight_gauge()));
+                            serve_connection(stream, &handler, max_body, read_timeout);
+                        }
                         Err(_) => break, // sender dropped: shutdown
                     }
                 })
@@ -189,9 +258,10 @@ impl HttpServer {
                     }
                     let Ok(stream) = stream else { continue };
                     match tx.try_send(stream) {
-                        Ok(()) => {}
+                        Ok(()) => queue_depth_gauge().add(1),
                         Err(TrySendError::Full(stream)) => {
                             overflows.fetch_add(1, Ordering::Relaxed);
+                            rejected_counter().inc();
                             reject_overloaded(stream);
                         }
                         Err(TrySendError::Disconnected(_)) => break,
@@ -307,6 +377,7 @@ fn serve_connection(
             }
             Err(ParseError::Eof) => break,
             Err(ParseError::Bad(status, message)) => {
+                parse_error_counter().inc();
                 let _ = write_response(&mut writer, &Response::error(status, &message), false);
                 break;
             }
@@ -423,9 +494,10 @@ fn read_request(
 
 fn write_response(w: &mut impl Write, response: &Response, keep_alive: bool) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
         status_text(response.status),
+        response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );

@@ -13,11 +13,38 @@
 //! a later synchronous request for the same canonical work is a cache
 //! hit.
 
+use popgame_obs::metrics::{registry, Counter};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
+
+/// Process-global lifecycle counter `popgame_jobs_total{state=...}`,
+/// incremented at each transition: `submitted` on accepted enqueue,
+/// `rejected` on queue-full, then exactly one of `done` / `failed` /
+/// `cancelled` per job at retirement. Strictly out-of-band: job results
+/// and wire bodies never read these.
+fn lifecycle_counter(state: &'static str) -> &'static Arc<Counter> {
+    static HANDLES: OnceLock<[Arc<Counter>; 5]> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| {
+        ["submitted", "rejected", "done", "failed", "cancelled"].map(|s| {
+            registry().counter(
+                "popgame_jobs_total",
+                "Asynchronous job lifecycle transitions by terminal/entry state",
+                &[("state", s)],
+            )
+        })
+    });
+    let index = match state {
+        "submitted" => 0,
+        "rejected" => 1,
+        "done" => 2,
+        "failed" => 3,
+        _ => 4,
+    };
+    &handles[index]
+}
 
 /// How many *finished* (done/failed/cancelled) jobs stay queryable; older
 /// ones are forgotten oldest-first so the registry cannot grow without
@@ -140,6 +167,7 @@ impl JobStore {
                     let Ok(job) = job else { break };
                     if job.cancel.load(Ordering::Relaxed) {
                         job.set_state(JobState::Cancelled);
+                        lifecycle_counter("cancelled").inc();
                         retire(&store, job.id);
                         continue;
                     }
@@ -149,10 +177,17 @@ impl JobStore {
                     // results are discarded, never reported or cached.
                     if job.cancel.load(Ordering::Relaxed) {
                         job.set_state(JobState::Cancelled);
+                        lifecycle_counter("cancelled").inc();
                     } else {
                         match outcome {
-                            Ok(body) => job.set_state(JobState::Done(body)),
-                            Err(message) => job.set_state(JobState::Failed(message)),
+                            Ok(body) => {
+                                job.set_state(JobState::Done(body));
+                                lifecycle_counter("done").inc();
+                            }
+                            Err(message) => {
+                                job.set_state(JobState::Failed(message));
+                                lifecycle_counter("failed").inc();
+                            }
                         }
                     }
                     retire(&store, job.id);
@@ -190,6 +225,7 @@ impl JobStore {
         });
         let guard = self.tx.lock().expect("job tx lock");
         let Some(tx) = guard.as_ref() else {
+            lifecycle_counter("rejected").inc();
             return Err(QueueFull); // shutting down
         };
         match tx.try_send(Arc::clone(&job)) {
@@ -198,9 +234,13 @@ impl JobStore {
                     .lock()
                     .expect("jobs lock")
                     .insert(id, Arc::clone(&job));
+                lifecycle_counter("submitted").inc();
                 Ok(job)
             }
-            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => Err(QueueFull),
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                lifecycle_counter("rejected").inc();
+                Err(QueueFull)
+            }
         }
     }
 

@@ -204,6 +204,7 @@ impl PopgameService {
             jobs: Arc::clone(&jobs),
             overflows: OnceLock::new(),
             started: Instant::now(),
+            http_workers: config.http_workers,
             shutdown_tx: Mutex::new(config.remote_shutdown.then_some(shutdown_tx)),
         });
 

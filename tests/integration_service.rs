@@ -193,6 +193,103 @@ fn every_endpoint_over_real_tcp() {
 }
 
 #[test]
+fn metrics_exposition_spans_every_layer() {
+    let service = PopgameService::start(ServiceConfig::default()).expect("start");
+    let addr = service.local_addr();
+
+    // Generate traffic across the layers: health, a cold + warm simulate
+    // (engine + runner + cache), one async job (lifecycle counters), and
+    // one malformed request (parse-error counter).
+    assert_eq!(get(addr, "/healthz").0, 200);
+    let (status, head, cold) = post(addr, "/simulate", SIM);
+    assert_eq!(status, 200);
+    // Every response carries a correlation id for the structured logs.
+    assert!(head.contains("x-popgame-request-id:"), "{head}");
+    let (_, _, warm) = post(addr, "/simulate", SIM);
+    assert_eq!(cold, warm, "metrics must stay out-of-band of response bytes");
+    let (status, _, body) = post(addr, "/jobs", SIM);
+    assert_eq!(status, 202, "{body}");
+    let id = Json::parse(&body).unwrap().get("job_id").unwrap().as_u64().unwrap();
+    wait_for_job(addr, id);
+    assert_eq!(post(addr, "/simulate", "not json").0, 400);
+
+    // --- the exposition itself ---
+    let (status, head, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("content-type: text/plain"), "{head}");
+    let samples = popgame_obs::metrics::parse_exposition(&text)
+        .expect("every exposition line parses");
+    assert!(
+        samples.len() >= 20,
+        "expected >= 20 series, got {}",
+        samples.len()
+    );
+
+    // Families spanning service, scheduler, and engine layers.
+    let has = |name: &str| samples.iter().any(|s| s.name == name);
+    for family in [
+        // service
+        "popgame_http_requests_total",
+        "popgame_http_request_duration_us_bucket",
+        "popgame_http_request_duration_us_count",
+        "popgame_http_responses_total",
+        "popgame_http_queue_depth",
+        "popgame_http_in_flight",
+        "popgame_cache_hits_total",
+        "popgame_cache_misses_total",
+        "popgame_cache_entries",
+        "popgame_jobs_total",
+        // scheduler
+        "popgame_runner_tasks_total",
+        "popgame_runner_pool_runs_total",
+        "popgame_runner_pool_workers",
+        // engine
+        "popgame_engine_leaps_total",
+        "popgame_engine_alias_rebuilds_total",
+    ] {
+        assert!(has(family), "missing family {family} in exposition");
+    }
+
+    // The endpoint counter reflects the traffic above.
+    let simulate_requests = samples
+        .iter()
+        .find(|s| {
+            s.name == "popgame_http_requests_total" && s.label("endpoint") == Some("simulate")
+        })
+        .expect("simulate series")
+        .value;
+    assert!(simulate_requests >= 3.0, "{simulate_requests}");
+    let done_jobs = samples
+        .iter()
+        .find(|s| s.name == "popgame_jobs_total" && s.label("state") == Some("done"))
+        .expect("jobs done series")
+        .value;
+    assert!(done_jobs >= 1.0, "{done_jobs}");
+
+    // Histogram buckets are cumulative (monotone non-decreasing in le).
+    let mut last = 0.0;
+    for s in samples.iter().filter(|s| {
+        s.name == "popgame_http_request_duration_us_bucket"
+            && s.label("endpoint") == Some("simulate")
+    }) {
+        assert!(s.value >= last, "bucket counts must be cumulative");
+        last = s.value;
+    }
+    assert!(last >= 3.0, "simulate latency histogram must cover the traffic");
+
+    // --- healthz carries the new observability fields ---
+    let (_, _, body) = get(addr, "/healthz");
+    let health = Json::parse(&body).unwrap();
+    assert!(health.get("queue_depth").unwrap().as_u64().is_some());
+    assert!(health.get("in_flight").unwrap().as_u64().is_some());
+    let workers = health.get("workers").expect("workers block");
+    assert!(workers.get("http").unwrap().as_u64().unwrap() >= 1);
+    assert!(workers.get("sim").unwrap().as_u64().unwrap() >= 1);
+
+    service.shutdown();
+}
+
+#[test]
 fn cache_hits_are_byte_identical_across_fresh_instances() {
     // The determinism contract end to end: a brand-new service instance
     // recomputes the same request to the same bytes.
