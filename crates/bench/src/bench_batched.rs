@@ -32,6 +32,7 @@
 
 use popgame_igt::dynamics::{agent_population, counted_population, IgtProtocol};
 use popgame_obs::log as obs_log;
+use popgame_obs::perf;
 use popgame_igt::params::{GenerosityGrid, IgtConfig, PopulationComposition};
 use popgame_population::batch::BatchedEngine;
 use popgame_population::protocol::{EnumerableProtocol, KernelDeps, Protocol};
@@ -427,6 +428,41 @@ fn main() {
     let json = doc.pretty();
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
+    // Journal the run into the shared perf history (one JSONL row per
+    // metric); a read-only checkout only costs a warning.
+    let mut history: Vec<perf::Metric> = rows
+        .iter()
+        .map(|row| {
+            perf::Metric::new(
+                format!("ips_{}_n{}", row.engine, row.n),
+                row.interactions_per_sec,
+                "per_sec",
+            )
+        })
+        .collect();
+    history.push(perf::Metric::new(
+        "report_pooled_seconds",
+        pooled_seconds,
+        "seconds",
+    ));
+    history.push(perf::Metric::new(
+        "report_sequential_seconds",
+        sequential_seconds,
+        "seconds",
+    ));
+    let mode = if quick { "quick" } else { "full" };
+    if let Err(e) = perf::append_history(
+        std::path::Path::new("BENCH_history.jsonl"),
+        "bench_batched",
+        mode,
+        &history,
+    ) {
+        obs_log::warn(
+            "bench_batched",
+            "could not append BENCH_history.jsonl",
+            &[("error", Json::from(e.to_string().as_str()))],
+        );
+    }
     obs_log::info(
         "bench_batched",
         "wrote benchmark artifact",

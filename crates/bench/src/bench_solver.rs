@@ -17,6 +17,7 @@
 //!   best-response and imitation scenario dynamics at `n = 10⁶`.
 
 use popgame_obs::log as obs_log;
+use popgame_obs::perf;
 use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
 use popgame_solver::nash::enumerate_equilibria;
 use popgame_solver::scenarios::{by_name, Scenario};
@@ -162,6 +163,23 @@ fn main() {
     let json = doc.pretty();
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
+    let history: Vec<perf::Metric> = rows
+        .iter()
+        .map(|row| perf::Metric::new(row.component.clone(), row.ops_per_sec, "per_sec"))
+        .collect();
+    let mode = if quick { "quick" } else { "full" };
+    if let Err(e) = perf::append_history(
+        std::path::Path::new("BENCH_history.jsonl"),
+        "bench_solver",
+        mode,
+        &history,
+    ) {
+        obs_log::warn(
+            "bench_solver",
+            "could not append BENCH_history.jsonl",
+            &[("error", Json::from(e.to_string().as_str()))],
+        );
+    }
     obs_log::info(
         "bench_solver",
         "wrote benchmark artifact",

@@ -23,6 +23,7 @@
 
 use popgame_obs::log as obs_log;
 use popgame_obs::metrics::{parse_exposition, Sample};
+use popgame_obs::perf;
 use popgame_service::{PopgameService, ServiceConfig};
 use popgame_util::json::Json;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -421,6 +422,35 @@ fn main() {
     let text = doc.pretty();
     std::fs::write(&out_path, &text).expect("write benchmark json");
     println!("{text}");
+    let p99 = |summary: &Json| {
+        summary
+            .get("p99_us")
+            .and_then(Json::as_u64)
+            .unwrap_or(0) as f64
+    };
+    let history = [
+        perf::Metric::new("cached_rps", cached_rps, "per_sec"),
+        perf::Metric::new("uncached_rps", uncached_rps, "per_sec"),
+        perf::Metric::new("cached_p99_us", p99(doc.get("cached").expect("cached")), "us"),
+        perf::Metric::new(
+            "uncached_p99_us",
+            p99(doc.get("uncached").expect("uncached")),
+            "us",
+        ),
+    ];
+    let mode = if quick { "quick" } else { "full" };
+    if let Err(e) = perf::append_history(
+        std::path::Path::new("BENCH_history.jsonl"),
+        "loadgen",
+        mode,
+        &history,
+    ) {
+        obs_log::warn(
+            "loadgen",
+            "could not append BENCH_history.jsonl",
+            &[("error", Json::from(e.to_string().as_str()))],
+        );
+    }
     obs_log::info(
         "loadgen",
         "wrote benchmark artifact",

@@ -1,6 +1,8 @@
 //! Subcommand implementations. Each returns `Ok(())` or a [`CliError`]
 //! that `main` maps onto the process exit code.
 
+use popgame_obs::perf;
+use popgame_obs::trace;
 use popgame_report::{
     render, run_report, run_report_profiled, run_report_sequential, ReportConfig,
 };
@@ -188,7 +190,8 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
 
 const REPRODUCE_USAGE: &str = "usage: popgame reproduce [--quick|--full] [--seed S] \
      [--out DIR] [--sizes N1,N2,...] [--replicas R] [--horizon H] \
-     [--trajectory-points P] [--workers W] [--sequential] [--profile]";
+     [--trajectory-points P] [--workers W] [--sequential] [--profile] \
+     [--trace TRACE.json]";
 
 /// The documented default seed of the reproduction harness.
 const REPRODUCE_SEED: u64 = 20240717;
@@ -206,6 +209,7 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
     let mut trajectory: Option<usize> = None;
     let mut sequential = false;
     let mut profile = false;
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -217,6 +221,7 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
             "--full" => preset = Some("full"),
             "--sequential" => sequential = true,
             "--profile" => profile = true,
+            "--trace" => trace_path = Some(take_value(&mut it, "--trace")?),
             "--workers" => {
                 let w = parse_u64("--workers", &take_value(&mut it, "--workers")?)?;
                 popgame_runner::set_worker_threads(Some(w as usize));
@@ -268,6 +273,12 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
         return usage("--profile profiles the task pool; drop --sequential");
     }
 
+    // Tracing is strictly out-of-band: spans never touch the RNG or the
+    // report, so traced REPORT artifacts are byte-identical to plain ones.
+    if trace_path.is_some() {
+        trace::enable();
+    }
+
     let (report, sweep_profile) = if sequential {
         run_report_sequential(&config).map(|report| (report, None))
     } else if profile {
@@ -276,6 +287,11 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
         run_report(&config).map(|report| (report, None))
     }
     .map_err(CliError::Runtime)?;
+    let trace_snapshot = trace_path.as_ref().map(|_| {
+        let snapshot = trace::drain();
+        trace::disable();
+        snapshot
+    });
     let json = render::report_json(&report);
     let md = render::report_markdown(&report);
     let dir = Path::new(&out_dir);
@@ -301,6 +317,21 @@ pub fn reproduce(args: &[String]) -> Result<(), CliError> {
             sweep_profile.busy_us as f64 / 1_000.0,
             sweep_profile.workers,
             profile_path.display()
+        );
+    }
+    if let (Some(path), Some(snapshot)) = (&trace_path, &trace_snapshot) {
+        let chrome = trace::chrome_trace_json(snapshot);
+        std::fs::write(path, &chrome)
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
+        let sidecar = Path::new(path).with_extension("jsonl");
+        std::fs::write(&sidecar, trace::jsonl(snapshot))
+            .map_err(|e| CliError::Runtime(format!("writing {}: {e}", sidecar.display())))?;
+        println!(
+            "trace: {} spans ({} dropped) — {} (chrome://tracing) and {}",
+            snapshot.events.len(),
+            snapshot.dropped,
+            path,
+            sidecar.display()
         );
     }
     println!(
@@ -347,18 +378,29 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-const BENCH_USAGE: &str =
-    "usage: popgame bench [--quick] [--n N] [--interactions I] [--seed S] [--workers W]";
+const BENCH_USAGE: &str = "usage: popgame bench [--quick] [--n N] [--interactions I] \
+     [--seed S] [--workers W] [--check] [--baseline PATH] [--history PATH] [--no-history]";
 
 /// `popgame bench` — a quick batched-engine throughput probe over four
 /// dynamics rules on rock-paper-scissors (including the count-coupled
 /// pairwise-imitation path, whose kernel rebuilds every leap). Timings
 /// are machine-dependent (unlike every other subcommand's output); the
 /// counts and final frequencies are deterministic.
+///
+/// Every run appends one schema-versioned JSONL row per metric to the
+/// history file (default `BENCH_history.jsonl`; `--no-history` skips).
+/// `--check` additionally gates the probe against a committed baseline
+/// (default `BENCH_baseline.json`): any metric regressing past its
+/// per-metric tolerance — or missing from the probe — fails the run
+/// with a nonzero exit. This is the CI perf gate.
 pub fn bench(args: &[String]) -> Result<(), CliError> {
     let mut n: u64 = 1_000_000;
     let mut interactions: Option<u64> = None;
     let mut seed: u64 = 7;
+    let mut quick = false;
+    let mut check = false;
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut history_path: Option<String> = Some("BENCH_history.jsonl".to_string());
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -366,7 +408,10 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
                 println!("{BENCH_USAGE}");
                 return Ok(());
             }
-            "--quick" => n = 100_000,
+            "--quick" => {
+                n = 100_000;
+                quick = true;
+            }
             "--n" => n = parse_u64("--n", &take_value(&mut it, "--n")?)?,
             "--interactions" => {
                 interactions = Some(parse_u64(
@@ -379,6 +424,10 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
                 let w = parse_u64("--workers", &take_value(&mut it, "--workers")?)?;
                 popgame_runner::set_worker_threads(Some(w as usize));
             }
+            "--check" => check = true,
+            "--baseline" => baseline_path = take_value(&mut it, "--baseline")?,
+            "--history" => history_path = Some(take_value(&mut it, "--history")?),
+            "--no-history" => history_path = None,
             other => return usage(format!("unknown flag {other}\n{BENCH_USAGE}")),
         }
     }
@@ -389,6 +438,7 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
     let scenario = by_name("rock-paper-scissors").map_err(|e| CliError::Runtime(e.to_string()))?;
     let uniform = vec![1.0 / 3.0; 3];
     let mut results = Vec::new();
+    let mut metrics = Vec::new();
     for (index, rule) in [
         DynamicsRule::BestResponse,
         DynamicsRule::Logit { eta: 2.0 },
@@ -409,16 +459,24 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
             .run_batched(total, batch, &mut rng)
             .map_err(|e| CliError::Runtime(e.to_string()))?;
         let elapsed = start.elapsed().as_secs_f64();
+        let ips = total as f64 / elapsed.max(1e-9);
+        metrics.push(perf::Metric::new(
+            format!("ips_{}", rule.label()),
+            ips,
+            "per_sec",
+        ));
         results.push(Json::obj([
             ("dynamics", Json::from(rule.label())),
             ("interactions", Json::from(total)),
             ("seconds", Json::from(elapsed)),
-            (
-                "interactions_per_sec",
-                Json::from(total as f64 / elapsed.max(1e-9)),
-            ),
+            ("interactions_per_sec", Json::from(ips)),
             ("final_frequencies", Json::floats(&engine.frequencies())),
         ]));
+    }
+    let mode = if quick { "quick" } else { "default" };
+    if let Some(history) = &history_path {
+        perf::append_history(Path::new(history), "popgame-bench", mode, &metrics)
+            .map_err(|e| CliError::Runtime(format!("appending {history}: {e}")))?;
     }
     let doc = Json::obj([
         ("bench", Json::from("batched-engine dynamics throughput")),
@@ -428,5 +486,42 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
         ("results", Json::arr(results)),
     ]);
     print!("{}", doc.pretty());
+    if check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| CliError::Runtime(format!("reading {baseline_path}: {e}")))?;
+        let baseline = perf::Baseline::parse(&text).map_err(CliError::Runtime)?;
+        let outcomes = perf::check(&baseline, &metrics);
+        let mut failed = Vec::new();
+        for outcome in &outcomes {
+            let verdict = if outcome.ok { "ok" } else { "REGRESSION" };
+            match outcome.current {
+                Some(current) => eprintln!(
+                    "check {}: baseline {:.3e}, current {:.3e}, regression {:+.1}% \
+                     (tolerance {:.0}%) — {verdict}",
+                    outcome.name,
+                    outcome.baseline,
+                    current,
+                    outcome.regression * 100.0,
+                    outcome.tolerance * 100.0,
+                ),
+                None => eprintln!(
+                    "check {}: baseline {:.3e}, metric missing from probe — {verdict}",
+                    outcome.name, outcome.baseline,
+                ),
+            }
+            if !outcome.ok {
+                failed.push(outcome.name.clone());
+            }
+        }
+        if !failed.is_empty() {
+            return Err(CliError::Runtime(format!(
+                "perf gate failed: {} of {} metrics regressed past tolerance ({})",
+                failed.len(),
+                outcomes.len(),
+                failed.join(", ")
+            )));
+        }
+        eprintln!("perf gate: all {} metrics within tolerance", outcomes.len());
+    }
     Ok(())
 }

@@ -31,8 +31,9 @@ commands:
   solve --game <json>             exact equilibria of an explicit game
   simulate --scenario <name> ...  replica sweep, TV to exact equilibrium
   reproduce [--quick|--full] ...  regenerate REPORT.md + REPORT.json
+                                  (--trace TRACE.json adds a span timeline)
   serve [daemon flags]            boot the popgamed HTTP service
-  bench [--quick]                 batched-engine throughput probe
+  bench [--quick] [--check]       throughput probe / perf-regression gate
 
 run `popgame <command> --help` for per-command flags.";
 

@@ -2,6 +2,7 @@
 //! `reproduce`, arg-parsing error paths, and a full `serve` round trip —
 //! all through real process spawns of the compiled binary.
 
+use popgame_util::json::Json;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -335,11 +336,158 @@ fn simulate_serves_the_new_dynamics_and_scenarios() {
 
 #[test]
 fn bench_probe_reports_throughput() {
-    let out = popgame(&["bench", "--n", "1000", "--interactions", "5000"]);
+    let out = popgame(&["bench", "--n", "1000", "--interactions", "5000", "--no-history"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("\"interactions_per_sec\""), "{text}");
     assert!(text.contains("imitation"), "{text}");
+}
+
+#[test]
+fn bench_history_appends_schema_versioned_rows() {
+    let dir = temp_dir("bench-history");
+    std::fs::create_dir_all(&dir).unwrap();
+    let history = dir.join("history.jsonl");
+    let args = [
+        "bench", "--n", "1000", "--interactions", "5000",
+        "--history", history.to_str().unwrap(),
+    ];
+    for _ in 0..2 {
+        let out = popgame(&args);
+        assert!(out.status.success(), "{}", stderr(&out));
+    }
+    let text = std::fs::read_to_string(&history).unwrap();
+    let rows: Vec<Json> = text
+        .lines()
+        .map(|line| Json::parse(line).expect("history line parses"))
+        .collect();
+    // One row per metric per run: four dynamics rules, two runs appended.
+    assert_eq!(rows.len(), 8, "{text}");
+    for row in &rows {
+        assert_eq!(row.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(row.get("bench").unwrap().as_str(), Some("popgame-bench"));
+        assert!(row.get("ts_ms").unwrap().as_u64().is_some());
+        assert!(row.get("value").unwrap().as_f64().unwrap() > 0.0);
+    }
+    let per_run = |slice: &[Json]| {
+        slice
+            .iter()
+            .filter(|r| r.get("metric").unwrap().as_str() == Some("ips_best-response"))
+            .count()
+    };
+    assert_eq!(per_run(&rows[..4]), 1, "{text}");
+    assert_eq!(per_run(&rows[4..]), 1, "{text}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn bench_check_gates_on_baselines() {
+    let dir = temp_dir("bench-gate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = |name: &str, value: f64| {
+        format!(
+            r#"{{"schema_version":1,"metrics":[{{"name":"{name}","value":{value},"direction":"higher","tolerance":0.9}}]}}"#
+        )
+    };
+    let probe = |baseline_path: &std::path::Path| {
+        popgame(&[
+            "bench", "--n", "1000", "--interactions", "5000", "--no-history",
+            "--check", "--baseline", baseline_path.to_str().unwrap(),
+        ])
+    };
+
+    // A trivially low baseline passes: current throughput clears it.
+    let pass = dir.join("pass.json");
+    std::fs::write(&pass, baseline("ips_imitation", 1.0)).unwrap();
+    let out = probe(&pass);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("perf gate: all 1 metrics"), "{}", stderr(&out));
+
+    // An absurdly high baseline is an injected regression: nonzero exit.
+    let fail = dir.join("fail.json");
+    std::fs::write(&fail, baseline("ips_imitation", 1e15)).unwrap();
+    let out = probe(&fail);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("REGRESSION"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("perf gate failed"), "{}", stderr(&out));
+
+    // A baseline naming a metric the probe never produced also fails:
+    // silently vanishing measurements must not pass the gate.
+    let missing = dir.join("missing.json");
+    std::fs::write(&missing, baseline("ips_no_such_metric", 1.0)).unwrap();
+    let out = probe(&missing);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("metric missing"), "{}", stderr(&out));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn reproduce_trace_is_a_pure_observer() {
+    // --trace must add a span timeline without perturbing a single byte
+    // of the report artifacts (tracing is out-of-band, like --profile).
+    let dir_plain = temp_dir("trace-plain");
+    let dir_trace = temp_dir("trace-on");
+    let trace_path = dir_trace.join("TRACE.json");
+    for (dir, extra) in [
+        (&dir_plain, vec![]),
+        (&dir_trace, vec!["--trace", trace_path.to_str().unwrap()]),
+    ] {
+        let mut args = TINY_REPRODUCE.to_vec();
+        args.extend(extra);
+        args.push("--out");
+        let dir_text = dir.to_str().unwrap();
+        args.push(dir_text);
+        let out = popgame(&args);
+        assert!(out.status.success(), "{}", stderr(&out));
+    }
+    assert_eq!(
+        std::fs::read(dir_plain.join("REPORT.json")).unwrap(),
+        std::fs::read(dir_trace.join("REPORT.json")).unwrap(),
+        "REPORT.json must be byte-identical with --trace"
+    );
+    assert_eq!(
+        std::fs::read(dir_plain.join("REPORT.md")).unwrap(),
+        std::fs::read(dir_trace.join("REPORT.md")).unwrap(),
+        "REPORT.md must be byte-identical with --trace"
+    );
+
+    // The timeline itself: valid JSON, balanced B/E phases, spans from
+    // the report, scheduler, and engine layers.
+    let chrome = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = Json::parse(&chrome).expect("TRACE.json parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+            .count()
+    };
+    assert!(count("B") > 0, "trace must contain spans");
+    assert_eq!(count("B"), count("E"), "begin/end events must balance");
+    for family in ["report", "scheduler", "engine"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("cat").and_then(Json::as_str) == Some(family)),
+            "no {family} spans in TRACE.json"
+        );
+    }
+
+    // The JSONL sidecar mirrors the same spans, one object per line.
+    let jsonl = std::fs::read_to_string(dir_trace.join("TRACE.jsonl")).unwrap();
+    assert_eq!(jsonl.lines().count(), count("B"));
+    for line in jsonl.lines() {
+        let row = Json::parse(line).expect("TRACE.jsonl line parses");
+        assert!(row.get("start_ns").unwrap().as_u64().is_some());
+    }
+
+    for dir in [dir_plain, dir_trace] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
 
 #[test]

@@ -2,7 +2,7 @@
 
 //! `popgame-obs` — the workspace's observability layer, pure std.
 //!
-//! Two halves:
+//! Four pieces:
 //!
 //! * [`metrics`] — a process-global, lock-light metrics registry:
 //!   atomic [`Counter`]s and [`Gauge`]s, a log₂-bucketed latency
@@ -10,9 +10,17 @@
 //!   `popgame_util::histogram::IntHistogram`), RAII [`ScopedTimer`]s and
 //!   [`GaugeGuard`]s, and a Prometheus text-exposition renderer plus the
 //!   matching parser (shared by tests and the load generator).
-//! * [`log`] — a leveled structured-logging facade: one JSONL record per
-//!   event on stderr, gated by `POPGAME_LOG=error|warn|info|debug`, with
-//!   request-id generation for cross-layer correlation.
+//! * [`log`] — a leveled structured-logging facade: one record per event
+//!   on stderr (JSONL by default, single-line text via
+//!   `POPGAME_LOG_FORMAT=text`), gated by
+//!   `POPGAME_LOG=error|warn|info|debug`, with request-id generation for
+//!   cross-layer correlation.
+//! * [`trace`] — span tracing into per-thread lock-free ring buffers,
+//!   exported as Chrome trace-event JSON (`chrome://tracing`/Perfetto)
+//!   and JSONL; disabled spans cost one atomic load.
+//! * [`perf`] — the perf-regression harness: schema-versioned
+//!   `BENCH_history.jsonl` rows and the tolerance-gated baseline
+//!   comparison behind `popgame bench --check`.
 //!
 //! Everything here is **out-of-band** by construction: handles are plain
 //! atomics, nothing consumes randomness, and no simulation or response
@@ -38,6 +46,8 @@
 
 pub mod log;
 pub mod metrics;
+pub mod perf;
+pub mod trace;
 
 pub use metrics::{
     parse_exposition, Counter, Gauge, GaugeGuard, LatencyHistogram, Registry, Sample,

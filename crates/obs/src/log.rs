@@ -1,11 +1,14 @@
-//! The structured-logging facade: leveled JSONL on stderr.
+//! The structured-logging facade: leveled one-line records on stderr.
 //!
-//! One event ⇒ one JSON object on one stderr line, so every consumer —
-//! a human with `grep`, CI, or a log shipper — parses the same stream.
-//! The emitted level is gated by the `POPGAME_LOG` environment variable
-//! (`error`, `warn`, `info`, `debug`; default `info`; `off` silences
-//! everything), read once per process and overridable in-process via
-//! [`set_max_level`] for tests.
+//! One event ⇒ one line, so every consumer — a human with `grep`, CI,
+//! or a log shipper — parses the same stream. The wire format defaults
+//! to JSONL; `POPGAME_LOG_FORMAT=text` switches to a human-readable
+//! single-line `key=value` form for interactive use (same fields, same
+//! one-event-one-line contract). The emitted level is gated by the
+//! `POPGAME_LOG` environment variable (`error`, `warn`, `info`,
+//! `debug`; default `info`; `off` silences everything). Both variables
+//! are read once per process and overridable in-process via
+//! [`set_max_level`] / [`set_format`] for tests.
 //!
 //! Records carry a millisecond timestamp, the level, a `target` naming
 //! the emitting component, the message, and arbitrary structured fields.
@@ -107,6 +110,49 @@ pub fn enabled(level: Level) -> bool {
     max_level().is_some_and(|max| level <= max)
 }
 
+/// The wire format of a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One JSON object per line (the default; machine-first).
+    Json,
+    /// One `key=value` line per record (human-first; same fields).
+    Text,
+}
+
+/// `set_format` override: 0 = unset, 1 = json, 2 = text.
+static FORMAT_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_format() -> Format {
+    static ENV: OnceLock<Format> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("POPGAME_LOG_FORMAT") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("text") => Format::Text,
+        _ => Format::Json,
+    })
+}
+
+/// The currently active wire format (`POPGAME_LOG_FORMAT`, default
+/// JSONL, overridable via [`set_format`]).
+pub fn format() -> Format {
+    match FORMAT_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Format::Json,
+        2 => Format::Text,
+        _ => env_format(),
+    }
+}
+
+/// Overrides the `POPGAME_LOG_FORMAT` choice in-process (`None` returns
+/// to the environment's choice). Meant for tests and interactive tools.
+pub fn set_format(format: Option<Format>) {
+    FORMAT_OVERRIDE.store(
+        match format {
+            None => 0,
+            Some(Format::Json) => 1,
+            Some(Format::Text) => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
 /// Formats one record as its JSON line (no trailing newline). Pure —
 /// exposed so tests can pin the wire format without capturing stderr.
 pub fn format_record(
@@ -130,6 +176,40 @@ pub fn format_record(
     Json::obj(entries).encode()
 }
 
+/// Formats one record as its single-line `key=value` text form (no
+/// trailing newline). String values are JSON-quoted exactly when they
+/// contain whitespace, `=`, or quotes, so the line splits on spaces and
+/// every value round-trips; other values render as their JSON encoding.
+pub fn format_record_text(
+    level: Level,
+    target: &str,
+    message: &str,
+    fields: &[(&str, Json)],
+    ts_ms: u64,
+) -> String {
+    fn value(v: &Json) -> String {
+        match v {
+            Json::Str(s)
+                if !s.is_empty()
+                    && !s.contains(|c: char| c.is_whitespace() || c == '=' || c == '"') =>
+            {
+                s.clone()
+            }
+            other => other.encode(),
+        }
+    }
+    let mut out = format!(
+        "ts_ms={ts_ms} level={} target={} msg={}",
+        level.as_str(),
+        value(&Json::Str(target.to_string())),
+        value(&Json::Str(message.to_string())),
+    );
+    for (key, v) in fields {
+        out.push_str(&format!(" {key}={}", value(v)));
+    }
+    out
+}
+
 fn now_ms() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -137,12 +217,17 @@ fn now_ms() -> u64 {
         .unwrap_or(0)
 }
 
-/// Emits one structured record to stderr if `level` passes the gate.
+/// Emits one structured record to stderr if `level` passes the gate,
+/// in the active wire [`format()`].
 pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, Json)]) {
     if !enabled(level) {
         return;
     }
-    eprintln!("{}", format_record(level, target, message, fields, now_ms()));
+    let line = match format() {
+        Format::Json => format_record(level, target, message, fields, now_ms()),
+        Format::Text => format_record_text(level, target, message, fields, now_ms()),
+    };
+    eprintln!("{line}");
 }
 
 /// [`log`] at [`Level::Error`].
@@ -225,6 +310,85 @@ mod tests {
         assert_eq!(parsed.get("target").and_then(Json::as_str), Some("loadgen"));
         assert_eq!(parsed.get("ts_ms").and_then(Json::as_i64), Some(42));
         assert_eq!(parsed.get("requests").and_then(Json::as_i64), Some(128));
+    }
+
+    #[test]
+    fn text_and_json_formats_round_trip_the_same_record() {
+        let fields = [
+            ("requests", Json::Int(128)),
+            ("p99_ms", Json::Num(1.25)),
+            ("phase", Json::Str("cached warm".to_string())),
+        ];
+        // JSON mode: parse the line, recover every field.
+        let json_line =
+            format_record(Level::Warn, "loadgen", "phase \"cached\" done", &fields, 42);
+        let parsed = Json::parse(&json_line).expect("json line parses");
+        assert_eq!(parsed.get("msg").and_then(Json::as_str), Some("phase \"cached\" done"));
+        assert_eq!(parsed.get("requests").and_then(Json::as_i64), Some(128));
+        assert_eq!(parsed.get("phase").and_then(Json::as_str), Some("cached warm"));
+
+        // Text mode: one line, split on spaces outside quotes, every
+        // key=value recovers the same values.
+        let text_line =
+            format_record_text(Level::Warn, "loadgen", "phase \"cached\" done", &fields, 42);
+        assert!(!text_line.contains('\n'));
+        let mut pairs = Vec::new();
+        let mut rest = text_line.as_str();
+        while let Some(eq) = rest.find('=') {
+            let key = rest[..eq].trim().to_string();
+            let value_text = &rest[eq + 1..];
+            let (value, remainder) = if value_text.starts_with('"') {
+                // A JSON-quoted value: find its closing quote.
+                let mut end = 1;
+                let bytes = value_text.as_bytes();
+                while end < bytes.len() {
+                    if bytes[end] == b'\\' {
+                        end += 2;
+                        continue;
+                    }
+                    if bytes[end] == b'"' {
+                        break;
+                    }
+                    end += 1;
+                }
+                (&value_text[..=end.min(value_text.len() - 1)], &value_text[(end + 1).min(value_text.len())..])
+            } else {
+                match value_text.find(' ') {
+                    Some(sp) => (&value_text[..sp], &value_text[sp..]),
+                    None => (value_text, ""),
+                }
+            };
+            pairs.push((key, value.to_string()));
+            rest = remainder;
+        }
+        let find = |key: &str| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing {key} in {text_line:?}"))
+        };
+        assert_eq!(find("ts_ms"), "42");
+        assert_eq!(find("level"), "warn");
+        assert_eq!(find("target"), "loadgen");
+        assert_eq!(
+            Json::parse(&find("msg")).unwrap().as_str(),
+            Some("phase \"cached\" done")
+        );
+        assert_eq!(find("requests"), "128");
+        assert_eq!(find("p99_ms"), "1.25");
+        assert_eq!(Json::parse(&find("phase")).unwrap().as_str(), Some("cached warm"));
+    }
+
+    #[test]
+    fn format_override_controls_the_wire_format() {
+        assert_eq!(format(), env_format());
+        set_format(Some(Format::Text));
+        assert_eq!(format(), Format::Text);
+        set_format(Some(Format::Json));
+        assert_eq!(format(), Format::Json);
+        set_format(None);
+        assert_eq!(format(), env_format());
     }
 
     #[test]

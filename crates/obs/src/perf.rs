@@ -1,0 +1,376 @@
+//! The perf-regression harness: bench history rows and baseline gating.
+//!
+//! Every bench binary appends schema-versioned JSONL rows to a shared
+//! `BENCH_history.jsonl` via [`append_history`] — one row per metric, so
+//! the perf trajectory of the repo is greppable and plottable without
+//! parsing bespoke per-bench formats. `popgame bench --check` then
+//! compares a fresh probe run against a committed [`Baseline`] with
+//! per-metric tolerances and fails (nonzero exit) on regression: the CI
+//! perf gate.
+//!
+//! Tolerances are deliberately generous (an order-of-magnitude guard,
+//! not a ±5% microbenchmark): CI machines are noisy and shared, and the
+//! gate's job is to catch the *silent collapse* of a PR-6-grade speedup,
+//! not jitter.
+
+use popgame_util::json::Json;
+use std::io::Write;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Version stamped into every history row; bump on layout changes.
+pub const HISTORY_SCHEMA_VERSION: u64 = 1;
+
+/// Version expected at the top of a baseline document.
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// One measured metric: a name, a value, and the unit label recorded in
+/// history rows.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Stable metric name (`throughput_rps_logit`, `report_quick_seconds`).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label (`per_sec`, `seconds`, `bytes`) — documentation only.
+    pub unit: &'static str,
+}
+
+impl Metric {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: f64, unit: &'static str) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            unit,
+        }
+    }
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Renders the history rows for one bench run (one JSONL line per
+/// metric) without touching the filesystem — exposed so tests can pin
+/// the schema.
+pub fn history_rows(bench: &str, mode: &str, ts_ms: u64, metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for metric in metrics {
+        out.push_str(
+            &Json::obj([
+                ("schema_version", Json::from(HISTORY_SCHEMA_VERSION)),
+                ("ts_ms", Json::from(ts_ms)),
+                ("bench", Json::from(bench)),
+                ("mode", Json::from(mode)),
+                ("metric", Json::Str(metric.name.clone())),
+                ("value", Json::from(metric.value)),
+                ("unit", Json::from(metric.unit)),
+            ])
+            .encode(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Appends one row per metric to `path` (created if absent). Failures
+/// are returned, not panicked — a read-only checkout must not kill the
+/// bench that tried to journal itself.
+pub fn append_history(
+    path: &Path,
+    bench: &str,
+    mode: &str,
+    metrics: &[Metric],
+) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(history_rows(bench, mode, now_ms(), metrics).as_bytes())
+}
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: a drop below baseline is a regression.
+    Higher,
+    /// Duration-like: a rise above baseline is a regression.
+    Lower,
+}
+
+impl Direction {
+    fn parse(text: &str) -> Result<Direction, String> {
+        match text {
+            "higher" => Ok(Direction::Higher),
+            "lower" => Ok(Direction::Lower),
+            other => Err(format!("unknown direction {other:?} (higher|lower)")),
+        }
+    }
+
+    /// The name used in baseline documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+        }
+    }
+}
+
+/// One gated metric in a baseline document.
+#[derive(Debug, Clone)]
+pub struct BaselineMetric {
+    /// Metric name, matching [`Metric::name`] of the probe run.
+    pub name: String,
+    /// Committed reference value.
+    pub value: f64,
+    /// Which way better points.
+    pub direction: Direction,
+    /// Maximum tolerated fractional regression: `0.75` means a
+    /// throughput metric fails below 25% of baseline, a duration metric
+    /// fails above 175% of baseline.
+    pub tolerance: f64,
+}
+
+/// A parsed baseline document.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// The gated metrics.
+    pub metrics: Vec<BaselineMetric>,
+}
+
+impl Baseline {
+    /// Parses a baseline JSON document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON, a schema-version
+    /// mismatch, or a missing/ill-typed field.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text).map_err(|e| format!("baseline JSON: {e}"))?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("baseline: missing schema_version")?;
+        if version != BASELINE_SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema_version {version} (this binary speaks {BASELINE_SCHEMA_VERSION})"
+            ));
+        }
+        let entries = doc
+            .get("metrics")
+            .and_then(Json::as_array)
+            .ok_or("baseline: missing metrics array")?;
+        let mut metrics = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let name = entry
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("baseline metric: missing name")?
+                .to_string();
+            let value = entry
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline metric {name}: missing value"))?;
+            let direction = Direction::parse(
+                entry
+                    .get("direction")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("baseline metric {name}: missing direction"))?,
+            )?;
+            let tolerance = entry
+                .get("tolerance")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline metric {name}: missing tolerance"))?;
+            if !(value.is_finite() && value > 0.0 && tolerance.is_finite() && tolerance > 0.0) {
+                return Err(format!(
+                    "baseline metric {name}: value and tolerance must be finite and positive"
+                ));
+            }
+            metrics.push(BaselineMetric {
+                name,
+                value,
+                direction,
+                tolerance,
+            });
+        }
+        Ok(Baseline { metrics })
+    }
+
+    /// Renders a baseline document (the committed-file format).
+    pub fn render(&self) -> String {
+        Json::obj([
+            ("schema_version", Json::from(BASELINE_SCHEMA_VERSION)),
+            (
+                "metrics",
+                Json::arr(self.metrics.iter().map(|m| {
+                    Json::obj([
+                        ("name", Json::Str(m.name.clone())),
+                        ("value", Json::from(m.value)),
+                        ("direction", Json::from(m.direction.as_str())),
+                        ("tolerance", Json::from(m.tolerance)),
+                    ])
+                })),
+            ),
+        ])
+        .pretty()
+    }
+}
+
+/// The verdict for one gated metric.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Metric name.
+    pub name: String,
+    /// Committed reference value, if the probe produced the metric.
+    pub baseline: f64,
+    /// The probe's measured value (`None` = the probe never produced
+    /// the metric — itself a failure).
+    pub current: Option<f64>,
+    /// Fractional regression relative to baseline (negative =
+    /// improvement).
+    pub regression: f64,
+    /// The metric's tolerance.
+    pub tolerance: f64,
+    /// Whether the metric passes the gate.
+    pub ok: bool,
+}
+
+/// Compares a probe run against a baseline. Every baseline metric must
+/// be present and within tolerance; extra probe metrics are ignored
+/// (they just haven't been promoted to the gate yet).
+pub fn check(baseline: &Baseline, current: &[Metric]) -> Vec<CheckOutcome> {
+    baseline
+        .metrics
+        .iter()
+        .map(|gate| {
+            let measured = current.iter().find(|m| m.name == gate.name);
+            match measured {
+                None => CheckOutcome {
+                    name: gate.name.clone(),
+                    baseline: gate.value,
+                    current: None,
+                    regression: f64::INFINITY,
+                    tolerance: gate.tolerance,
+                    ok: false,
+                },
+                Some(metric) => {
+                    let regression = match gate.direction {
+                        Direction::Higher => (gate.value - metric.value) / gate.value,
+                        Direction::Lower => (metric.value - gate.value) / gate.value,
+                    };
+                    CheckOutcome {
+                        name: gate.name.clone(),
+                        baseline: gate.value,
+                        current: Some(metric.value),
+                        regression,
+                        tolerance: gate.tolerance,
+                        ok: regression <= gate.tolerance,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_rows_are_schema_versioned_jsonl() {
+        let rows = history_rows(
+            "bench_batched",
+            "quick",
+            42,
+            &[
+                Metric::new("ips_tau_leap_n1e6", 2.5e9, "per_sec"),
+                Metric::new("report_quick_seconds", 0.4, "seconds"),
+            ],
+        );
+        assert_eq!(rows.lines().count(), 2);
+        for line in rows.lines() {
+            let doc = Json::parse(line).expect("row parses");
+            assert_eq!(
+                doc.get("schema_version").unwrap().as_u64(),
+                Some(HISTORY_SCHEMA_VERSION)
+            );
+            assert_eq!(doc.get("bench").unwrap().as_str(), Some("bench_batched"));
+            assert_eq!(doc.get("ts_ms").unwrap().as_u64(), Some(42));
+            assert!(doc.get("metric").unwrap().as_str().is_some());
+            assert!(doc.get("value").unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_and_gates() {
+        let baseline = Baseline {
+            metrics: vec![
+                BaselineMetric {
+                    name: "rps".to_string(),
+                    value: 1000.0,
+                    direction: Direction::Higher,
+                    tolerance: 0.5,
+                },
+                BaselineMetric {
+                    name: "secs".to_string(),
+                    value: 2.0,
+                    direction: Direction::Lower,
+                    tolerance: 1.0,
+                },
+            ],
+        };
+        let parsed = Baseline::parse(&baseline.render()).expect("round trip");
+        assert_eq!(parsed.metrics.len(), 2);
+
+        // Within tolerance: rps at 60% of baseline, secs at 150%.
+        let good = check(
+            &parsed,
+            &[
+                Metric::new("rps", 600.0, "per_sec"),
+                Metric::new("secs", 3.0, "seconds"),
+            ],
+        );
+        assert!(good.iter().all(|o| o.ok), "{good:?}");
+
+        // Injected regression: rps collapses to 10% of baseline.
+        let bad = check(
+            &parsed,
+            &[
+                Metric::new("rps", 100.0, "per_sec"),
+                Metric::new("secs", 3.0, "seconds"),
+            ],
+        );
+        let rps = bad.iter().find(|o| o.name == "rps").unwrap();
+        assert!(!rps.ok);
+        assert!((rps.regression - 0.9).abs() < 1e-12);
+
+        // A missing metric fails the gate.
+        let missing = check(&parsed, &[Metric::new("rps", 900.0, "per_sec")]);
+        assert!(missing.iter().any(|o| !o.ok && o.current.is_none()));
+
+        // Improvements are never regressions.
+        let better = check(
+            &parsed,
+            &[
+                Metric::new("rps", 5000.0, "per_sec"),
+                Metric::new("secs", 0.5, "seconds"),
+            ],
+        );
+        assert!(better.iter().all(|o| o.ok && o.regression < 0.0));
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse(r#"{"schema_version":99,"metrics":[]}"#).is_err());
+        assert!(Baseline::parse(r#"{"metrics":[]}"#).is_err());
+        assert!(Baseline::parse(
+            r#"{"schema_version":1,"metrics":[{"name":"x","value":-1.0,"direction":"higher","tolerance":0.5}]}"#
+        )
+        .is_err());
+    }
+}

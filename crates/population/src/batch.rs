@@ -524,6 +524,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             // malformed law errors here, not deep inside a run. A `None`
             // declaration is a contract violation with the same shape.
             let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+            let _build_span = crate::metrics::kernel_build_span();
             let built = KernelTable::build_at(&protocol, &freq)?;
             if built.is_none() {
                 return Err(PopulationError::InvalidArgument {
@@ -533,6 +534,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             crate::metrics::kernel_full_builds().inc();
             built
         } else if table.is_none() {
+            let _build_span = crate::metrics::kernel_build_span();
             let built = KernelTable::build(&protocol)?;
             if built.is_some() {
                 crate::metrics::kernel_full_builds().inc();
@@ -643,6 +645,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
 
     fn ensure_alias(&mut self) {
         if self.alias_dirty || self.alias.is_none() {
+            let _span = crate::metrics::alias_rebuild_span();
             let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
             self.alias = Some(AliasTable::new(&weights).expect("population non-empty"));
             self.alias_dirty = false;
@@ -665,6 +668,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             return;
         }
         if self.reference {
+            let _span = crate::metrics::kernel_build_span();
             let freq: Vec<f64> = self
                 .counts
                 .iter()
@@ -675,6 +679,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
             debug_assert!(self.kernel.is_some(), "validated at construction");
             crate::metrics::kernel_full_builds().inc();
         } else {
+            let _span = crate::metrics::kernel_refresh_span();
             self.freq_scratch.clear();
             self.freq_scratch
                 .extend(self.counts.iter().map(|&c| c as f64 / self.n as f64));
@@ -914,6 +919,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     ///   binomial chain with nested outcome chains (large draw counts) —
     ///   both exactly the flattened entry-level multinomial in law.
     fn leap<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
+        let _leap_span = crate::metrics::leap_span();
         crate::metrics::leaps().inc();
         self.ensure_kernel();
         let k = self.counts.len();
@@ -1169,6 +1175,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     /// [`popgame_util::sampler::AliasTable`], without the per-leap
     /// allocations.
     fn rebuild_entry_alias(&mut self, total: f64) {
+        let _span = crate::metrics::alias_rebuild_span();
         crate::metrics::alias_rebuilds().inc();
         let entries = self.active.len();
         self.alias_prob.clear();
@@ -1182,6 +1189,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     /// [`Self::rebuild_entry_alias`], over `pair_w` instead of the
     /// flattened entry list.
     fn rebuild_pair_alias(&mut self, total: f64) {
+        let _span = crate::metrics::alias_rebuild_span();
         crate::metrics::alias_rebuilds().inc();
         let scale = self.pair_w.len() as f64 / total;
         self.alias_prob.clear();
@@ -1239,6 +1247,7 @@ impl<P: EnumerableProtocol> BatchedEngine<P> {
     /// as the benchmark baseline and test oracle behind
     /// [`Self::set_reference_leap`].
     fn leap_reference<R: Rng + ?Sized>(&mut self, batch: u64, rng: &mut R) {
+        let _leap_span = crate::metrics::leap_span();
         crate::metrics::leaps().inc();
         self.ensure_kernel();
         let k = self.counts.len();

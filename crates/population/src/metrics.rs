@@ -1,4 +1,4 @@
-//! Engine-level observability counters.
+//! Engine-level observability counters and phase spans.
 //!
 //! Process-global [`popgame_obs`] counters tracking how much work the
 //! batched engine actually performs: leaps vs exact steps, full vs
@@ -9,11 +9,64 @@
 //! the simulation results, so instrumented runs remain bitwise identical
 //! to uninstrumented ones.
 //!
+//! The `*_span` accessors are the tracing siblings: each engine phase
+//! (kernel full build, incremental refresh, alias rebuild, leap chunk)
+//! opens a [`popgame_obs::trace`] span. Full builds are rare and always
+//! recorded; the per-leap phases are sampled (one span out of every
+//! [`SPAN_SAMPLE`] occurrences, per thread and per phase) to bound
+//! overhead on hot runs. With tracing disabled every accessor is one
+//! relaxed atomic load returning `None`.
+//!
 //! Handles are lazily registered `&'static` references — after the first
 //! call each accessor is a single `OnceLock` load.
 
 use popgame_obs::metrics::{registry, Counter};
+use popgame_obs::trace::{self, Family, Span};
+use std::cell::Cell;
 use std::sync::{Arc, OnceLock};
+use std::thread::LocalKey;
+
+/// Sampling stride of the hot-phase spans: one leap/refresh/rebuild
+/// span is recorded out of every `SPAN_SAMPLE` occurrences per thread.
+pub const SPAN_SAMPLE: u32 = 64;
+
+fn sampled_span(name: &'static str, tick: &'static LocalKey<Cell<u32>>) -> Option<Span> {
+    if !trace::is_enabled() {
+        return None;
+    }
+    let sampled = tick.with(|counter| {
+        let next = counter.get().wrapping_add(1);
+        counter.set(next);
+        next % SPAN_SAMPLE == 1
+    });
+    sampled.then(|| trace::span(Family::Engine, name))
+}
+
+thread_local! {
+    static LEAP_TICK: Cell<u32> = const { Cell::new(0) };
+    static REFRESH_TICK: Cell<u32> = const { Cell::new(0) };
+    static ALIAS_TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A span over one multinomial leap chunk (sampled).
+pub fn leap_span() -> Option<Span> {
+    sampled_span("engine:leap", &LEAP_TICK)
+}
+
+/// A span over one incremental `refresh_at` pass (sampled).
+pub fn kernel_refresh_span() -> Option<Span> {
+    sampled_span("engine:kernel-refresh", &REFRESH_TICK)
+}
+
+/// A span over one alias-table rebuild (sampled).
+pub fn alias_rebuild_span() -> Option<Span> {
+    sampled_span("engine:alias-rebuild", &ALIAS_TICK)
+}
+
+/// A span over one full `KernelTable` build (rare — always recorded).
+pub fn kernel_build_span() -> Option<Span> {
+    trace::is_enabled().then(|| trace::span(Family::Engine, "engine:kernel-build"))
+}
 
 fn handle(
     cell: &'static OnceLock<Arc<Counter>>,

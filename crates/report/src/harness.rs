@@ -530,6 +530,15 @@ fn run_cells(
     let tasks: Vec<AtomicU64> = (0..cells.len()).map(|_| AtomicU64::new(0)).collect();
     let timed = |t: u64| {
         let cell = (t / replicas) as usize;
+        // Cell span (trace) and busy timing (profile/progress) are both
+        // out-of-band: they wrap the replica run, never feed it.
+        let _cell_span = popgame_obs::trace::is_enabled().then(|| {
+            let spec = &cells[cell];
+            popgame_obs::trace::span(
+                popgame_obs::trace::Family::Report,
+                &format!("cell:{}/{}@{}", spec.scenario, spec.dynamics_label, spec.n),
+            )
+        });
         let started = Instant::now();
         let outcome = run_replica(&cells[cell], t % replicas, config);
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -702,15 +711,24 @@ fn run_report_impl(
     sequential: bool,
 ) -> Result<(Report, ReportProfile), String> {
     config.validate()?;
+    use popgame_obs::trace::{self, Family};
+    let _report_span = trace::is_enabled()
+        .then(|| trace::span(Family::Report, &format!("report:{}", config.mode)));
+    let plan_span =
+        trace::is_enabled().then(|| trace::span(Family::Report, "report:plan"));
     let (scenarios, conv_meta, mut specs) = convergence_specs(config)?;
     let conv_end = specs.len();
     let (eta_meta, eta_specs) = eta_sweep_specs(config)?;
     specs.extend(eta_specs);
     let eta_end = specs.len();
     specs.extend(divergence_specs(config)?);
+    drop(plan_span);
 
     let sweep_started = Instant::now();
+    let sweep_span =
+        trace::is_enabled().then(|| trace::span(Family::Report, "report:sweep"));
     let (outcomes, timings) = run_cells(&specs, config, sequential)?;
+    drop(sweep_span);
     let wall_clock_us =
         u64::try_from(sweep_started.elapsed().as_micros()).unwrap_or(u64::MAX);
 
@@ -740,6 +758,8 @@ fn run_report_impl(
         cells,
     };
 
+    let _assemble_span =
+        trace::is_enabled().then(|| trace::span(Family::Report, "report:assemble"));
     let (convergence, trajectories) =
         assemble_convergence(&conv_meta, &outcomes[..conv_end], config);
     let report = Report {

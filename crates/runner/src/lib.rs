@@ -56,6 +56,7 @@
 //! ```
 
 use popgame_obs::metrics::{registry, Counter, Gauge};
+use popgame_obs::trace::{self, Family};
 use popgame_util::rng::stream_rng;
 use rand::rngs::SmallRng;
 use std::collections::VecDeque;
@@ -261,12 +262,18 @@ where
     let handles = worker_handles(workers);
     pool_runs().inc();
     pool_workers_gauge().set(workers as i64);
+    // Scheduler spans are strictly out-of-band: recorded only when the
+    // trace collector is enabled, and never on the task's data path.
+    let run_span = trace::span(Family::Scheduler, "pool:run");
+    let tracing = run_span.id() != 0;
     if workers <= 1 {
         let mut out = Vec::with_capacity(count_usize);
         for i in 0..count {
             if cancel.load(Ordering::Relaxed) {
                 return None;
             }
+            let _task_span =
+                tracing.then(|| trace::span(Family::Scheduler, &format!("task:{i}")));
             out.push(task(i));
         }
         handles[0].tasks.add(count);
@@ -285,6 +292,8 @@ where
         })
         .collect();
     let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let run_span_id = run_span.id();
+    let trace_id = trace::thread_trace_id();
     std::thread::scope(|scope| {
         for me in 0..workers {
             let deques = &deques;
@@ -292,6 +301,15 @@ where
             let tx = tx.clone();
             let my_handles = handles[me].clone();
             scope.spawn(move || {
+                let worker_span = tracing.then(|| {
+                    trace::set_thread_trace_id(trace_id);
+                    trace::span_with_parent(
+                        Family::Scheduler,
+                        &format!("worker:{me}"),
+                        run_span_id,
+                        trace_id,
+                    )
+                });
                 let mut stats = LocalStats::default();
                 loop {
                     if cancel.load(Ordering::Relaxed) {
@@ -300,6 +318,8 @@ where
                     // Everything between here and obtaining a task is
                     // "idle" — the own-deque pop plus any steal probes.
                     let acquire_start = Instant::now();
+                    let acquire_ns = tracing.then(trace::now_ns);
+                    let mut stole = false;
                     let mut next = deques[me]
                         .lock()
                         .expect("worker deque poisoned")
@@ -313,6 +333,7 @@ where
                             {
                                 Some(index) => {
                                     stats.steals += 1;
+                                    stole = true;
                                     next = Some(index);
                                     break;
                                 }
@@ -324,14 +345,27 @@ where
                         acquire_start.elapsed().as_nanos(),
                     )
                     .unwrap_or(u64::MAX);
+                    if let Some(t0) = acquire_ns {
+                        trace::record(
+                            Family::Scheduler,
+                            if stole { "steal" } else { "idle" },
+                            t0,
+                            trace::now_ns(),
+                        );
+                    }
                     let Some(index) = next else { break };
-                    let result = task(index);
+                    let result = {
+                        let _task_span = tracing
+                            .then(|| trace::span(Family::Scheduler, &format!("task:{index}")));
+                        task(index)
+                    };
                     stats.tasks += 1;
                     if tx.send((index as usize, result)).is_err() {
                         break;
                     }
                 }
                 stats.flush(&my_handles);
+                drop(worker_span);
             });
         }
     });
@@ -597,6 +631,41 @@ mod tests {
         let snapshot = pool_snapshot();
         assert!(snapshot.len() >= 2, "two workers must be registered");
         assert!(snapshot.iter().all(|w| w.worker < snapshot.len()));
+    }
+
+    #[test]
+    fn tracing_is_out_of_band_and_covers_the_scheduler() {
+        let task = |i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        set_worker_threads(Some(2));
+        let plain = run_tasks(32, task);
+        trace::enable();
+        let traced = run_tasks(32, task);
+        trace::disable();
+        set_worker_threads(None);
+        assert_eq!(plain, traced, "tracing must not perturb results");
+        let snapshot = trace::drain();
+        let has = |prefix: &str| snapshot.events.iter().any(|e| e.name.starts_with(prefix));
+        assert!(has("pool:run"), "missing pool:run span");
+        assert!(has("worker:"), "missing worker spans");
+        assert!(has("task:"), "missing task spans");
+        assert!(
+            has("idle") || has("steal"),
+            "missing idle/steal acquisition spans"
+        );
+        // Task spans parent on a worker span (pooled path) or directly
+        // on a pool:run span (sequential path; other tests in this
+        // binary may run single-worker pools concurrently).
+        let parent_ids: Vec<u64> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.name.starts_with("worker:") || e.name == "pool:run")
+            .map(|e| e.id)
+            .collect();
+        assert!(snapshot
+            .events
+            .iter()
+            .filter(|e| e.name.starts_with("task:"))
+            .all(|e| parent_ids.contains(&e.parent)));
     }
 
     #[test]

@@ -28,10 +28,11 @@
 
 use crate::cache::ResultCache;
 use crate::http::{Request, Response};
-use crate::jobs::{JobState, JobStore};
+use crate::jobs::{JobProgress, JobState, JobStore, ProgressSnapshot};
 use popgame_dist::divergence::tv_distance;
 use popgame_obs::log as obs_log;
 use popgame_obs::metrics::{registry, Counter, LatencyHistogram};
+use popgame_obs::trace::{self, Family};
 use popgame_runner::{mean_vectors, run_replicas_cancellable};
 use popgame_solver::dynamics::{engine_from_profile, DynamicsRule};
 use popgame_solver::nash::Equilibrium;
@@ -526,6 +527,24 @@ pub fn execute_simulate(
     request: &SimulateRequest,
     cancel: &AtomicBool,
 ) -> Result<Json, String> {
+    execute_simulate_observed(request, cancel, &JobProgress::new())
+}
+
+/// [`execute_simulate`] with a live progress sink: `progress` is sized
+/// to `replicas` tasks up front, and each finished replica bumps the
+/// done-count plus the executor-thread busy time it consumed. The job
+/// endpoints poll the same [`JobProgress`] for `GET /jobs/{id}`.
+/// Progress is write-only here and strictly out-of-band — results are
+/// byte-identical whichever variant runs.
+///
+/// # Errors
+///
+/// As [`execute_simulate`].
+pub fn execute_simulate_observed(
+    request: &SimulateRequest,
+    cancel: &AtomicBool,
+    progress: &JobProgress,
+) -> Result<Json, String> {
     let scenario = by_name(&request.scenario).map_err(|e| e.to_string())?;
     let dynamics = scenario.dynamics(request.rule()).map_err(|e| e.to_string())?;
     // Rules carrying their own exact reference (k-IGT's stationary law)
@@ -543,11 +562,13 @@ pub fn execute_simulate(
     engine_from_profile(dynamics.clone(), &start, request.n).map_err(|e| e.to_string())?;
 
     let horizon = request.interactions;
+    progress.begin(request.replicas);
     let replica_results = run_replicas_cancellable(
         request.seed,
         request.replicas,
         cancel,
         |_replica, mut rng| {
+            let task_start = trace::now_ns();
             let mut engine = engine_from_profile(dynamics.clone(), &start, request.n)
                 .expect("probed above");
             let batch = engine.suggested_batch();
@@ -571,6 +592,7 @@ pub fn execute_simulate(
                 .map(|eq| tv_distance(&freq, eq).expect("matching dimensions"))
                 .fold(f64::INFINITY, f64::min);
             let consensus = engine.is_consensus();
+            progress.task_done(trace::now_ns().saturating_sub(task_start));
             (freq, tv, consensus)
         },
     );
@@ -666,8 +688,9 @@ fn healthz(state: &AppState) -> Response {
 }
 
 /// `GET /metrics`: the whole registry in Prometheus text-exposition
-/// format. The cache-entries gauge is refreshed at scrape time (it is a
-/// derived size, not an event count).
+/// format. The cache-entries and uptime gauges are refreshed at scrape
+/// time (derived values, not event counts); `popgame_build_info` is the
+/// conventional constant-`1` gauge carrying the build's version label.
 fn metrics_endpoint(state: &AppState) -> Response {
     static ENTRIES: OnceLock<Arc<popgame_obs::Gauge>> = OnceLock::new();
     let entries = ENTRIES.get_or_init(|| {
@@ -678,6 +701,25 @@ fn metrics_endpoint(state: &AppState) -> Response {
         )
     });
     entries.set(state.cache.len() as i64);
+    static BUILD_INFO: OnceLock<Arc<popgame_obs::Gauge>> = OnceLock::new();
+    BUILD_INFO.get_or_init(|| {
+        let gauge = registry().gauge(
+            "popgame_build_info",
+            "Constant 1; the version label identifies the running build.",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+        );
+        gauge.set(1);
+        gauge
+    });
+    static UPTIME: OnceLock<Arc<popgame_obs::Gauge>> = OnceLock::new();
+    let uptime = UPTIME.get_or_init(|| {
+        registry().gauge(
+            "popgame_uptime_seconds",
+            "Seconds since the service started, refreshed at scrape time.",
+            &[],
+        )
+    });
+    uptime.set(state.started.elapsed().as_secs() as i64);
     Response::text(200, registry().render())
 }
 
@@ -759,12 +801,52 @@ pub fn job_canonical(doc: &Json) -> Result<String, String> {
 ///
 /// Propagates executor errors (including `"cancelled"`).
 pub fn execute_canonical(canonical: &str, cancel: &AtomicBool) -> Result<Json, String> {
+    execute_canonical_observed(canonical, cancel, &JobProgress::new())
+}
+
+/// [`execute_canonical`] with a live progress sink: simulations report
+/// at replica granularity, solves as a single task. The async job path
+/// uses this so `GET /jobs/{id}` can show completion mid-flight.
+///
+/// # Errors
+///
+/// As [`execute_canonical`].
+pub fn execute_canonical_observed(
+    canonical: &str,
+    cancel: &AtomicBool,
+    progress: &JobProgress,
+) -> Result<Json, String> {
     let doc = Json::parse(canonical).map_err(|e| format!("corrupt canonical form: {e}"))?;
     match doc.get("endpoint").and_then(Json::as_str) {
-        Some("simulate") => execute_simulate(&SimulateRequest::from_json(&doc)?, cancel),
-        Some("solve") => execute_solve(&SolveRequest::from_json(&doc)?),
+        Some("simulate") => {
+            execute_simulate_observed(&SimulateRequest::from_json(&doc)?, cancel, progress)
+        }
+        Some("solve") => {
+            progress.begin(1);
+            let started = trace::now_ns();
+            let out = execute_solve(&SolveRequest::from_json(&doc)?);
+            progress.task_done(trace::now_ns().saturating_sub(started));
+            out
+        }
         _ => Err("corrupt canonical form: missing endpoint".to_string()),
     }
+}
+
+/// The `progress` object of `GET /jobs/{id}`: completion counters plus
+/// derived fraction, busy/elapsed wall time, and a naive ETA (`eta_ms`
+/// is absent before the first task finishes and after the last).
+fn progress_json(snap: &ProgressSnapshot) -> Json {
+    let mut fields = vec![
+        ("tasks_done", Json::from(snap.tasks_done)),
+        ("tasks_total", Json::from(snap.tasks_total)),
+        ("fraction", Json::from(snap.fraction())),
+        ("busy_ms", Json::from(snap.busy_ns / 1_000_000)),
+        ("elapsed_ms", Json::from(snap.elapsed_ns / 1_000_000)),
+    ];
+    if let Some(eta_ns) = snap.eta_ns() {
+        fields.push(("eta_ms", Json::from(eta_ns / 1_000_000)));
+    }
+    Json::obj(fields)
 }
 
 fn submit_job(state: &AppState, request: &Request) -> Response {
@@ -798,6 +880,7 @@ fn job_detail(state: &AppState, method: &str, id_text: &str) -> Response {
             let mut fields = vec![
                 ("job_id", Json::from(id)),
                 ("status", Json::from(status.label())),
+                ("progress", progress_json(&job.progress.snapshot())),
             ];
             match &status {
                 JobState::Done(body) => {
@@ -857,6 +940,17 @@ fn scenarios_body() -> Arc<String> {
 /// cold computations.
 pub fn route(state: &AppState, request: &Request) -> Response {
     let request_id = obs_log::next_request_id();
+    // When tracing is on, the whole request runs under a service span
+    // whose trace id is derived from the request id — async jobs
+    // submitted here inherit both, so one trace follows the request
+    // across the HTTP worker and the job executor.
+    let request_span = trace::is_enabled().then(|| {
+        trace::set_thread_trace_id(trace::trace_id_from_request(&request_id));
+        trace::span(
+            Family::Service,
+            &format!("http:{} {}", request.method, request.path),
+        )
+    });
     let start = Instant::now();
     let (endpoint, response) = route_inner(state, request);
     let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -877,6 +971,12 @@ pub fn route(state: &AppState, request: &Request) -> Response {
                 ("duration_us", Json::from(elapsed_us)),
             ],
         );
+    }
+    if request_span.is_some() {
+        // HTTP worker threads are reused; close the span and clear the
+        // thread's trace id so the next request starts clean.
+        drop(request_span);
+        trace::set_thread_trace_id(0);
     }
     response.with_header("x-popgame-request-id", &request_id)
 }

@@ -12,8 +12,15 @@
 //! also inserted into the shared result cache by the executor closure, so
 //! a later synchronous request for the same canonical work is a cache
 //! hit.
+//!
+//! Each job also carries a [`JobProgress`]: a handful of relaxed atomics
+//! the executor bumps at replica-task granularity, read lock-free by
+//! `GET /jobs/{id}` to report live completion, busy time, and an ETA.
+//! Progress is strictly out-of-band — it never feeds results, cache
+//! keys, or the RNG.
 
 use popgame_obs::metrics::{registry, Counter};
+use popgame_obs::trace::{self, Family};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
@@ -79,6 +86,100 @@ impl JobState {
     }
 }
 
+/// Live execution progress of one job, updated by the executor at
+/// replica-task granularity and read lock-free by `GET /jobs/{id}`.
+///
+/// Every field is a relaxed atomic; cross-field reads may be torn, but
+/// each field is individually monotonic, so the reported completion
+/// fraction never decreases.
+#[derive(Debug, Default)]
+pub struct JobProgress {
+    tasks_done: AtomicU64,
+    tasks_total: AtomicU64,
+    busy_ns: AtomicU64,
+    /// Wall-clock start, `trace::now_ns()`-based; `0` = not started.
+    start_ns: AtomicU64,
+    /// Wall-clock finish; `0` = still running (or never started).
+    end_ns: AtomicU64,
+}
+
+/// A point-in-time read of a [`JobProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Tasks (replicas) finished so far.
+    pub tasks_done: u64,
+    /// Total tasks declared by the executor (`0` until it begins).
+    pub tasks_total: u64,
+    /// Cumulative executor-thread busy time across finished tasks.
+    pub busy_ns: u64,
+    /// Wall-clock time since the executor began (frozen at retirement).
+    pub elapsed_ns: u64,
+}
+
+impl ProgressSnapshot {
+    /// Completion fraction in `[0, 1]`; `0` before the shape is known.
+    pub fn fraction(&self) -> f64 {
+        if self.tasks_total == 0 {
+            0.0
+        } else {
+            self.tasks_done as f64 / self.tasks_total as f64
+        }
+    }
+
+    /// Naive remaining-time estimate (elapsed-per-task × tasks left), or
+    /// `None` before the first task finishes / after the last one does.
+    pub fn eta_ns(&self) -> Option<u64> {
+        if self.tasks_done == 0 || self.tasks_done >= self.tasks_total {
+            return None;
+        }
+        let per_task = self.elapsed_ns / self.tasks_done;
+        Some(per_task.saturating_mul(self.tasks_total - self.tasks_done))
+    }
+}
+
+impl JobProgress {
+    /// A fresh, not-yet-started progress record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the task count and stamps the start time; called once by
+    /// the executor when the work shape is known.
+    pub fn begin(&self, total: u64) {
+        self.tasks_total.store(total, Ordering::Relaxed);
+        self.start_ns.store(trace::now_ns().max(1), Ordering::Relaxed);
+    }
+
+    /// Records one finished task and the executor time it consumed.
+    pub fn task_done(&self, busy_ns: u64) {
+        self.tasks_done.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+    }
+
+    /// Freezes the elapsed clock (the job retired).
+    pub fn finish(&self) {
+        self.end_ns.store(trace::now_ns().max(1), Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time read.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let start = self.start_ns.load(Ordering::Relaxed);
+        let end = self.end_ns.load(Ordering::Relaxed);
+        let elapsed_ns = if start == 0 {
+            0
+        } else {
+            let now = if end != 0 { end } else { trace::now_ns() };
+            now.saturating_sub(start)
+        };
+        ProgressSnapshot {
+            tasks_done: self.tasks_done.load(Ordering::Relaxed),
+            tasks_total: self.tasks_total.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            elapsed_ns,
+        }
+    }
+}
+
 /// One submitted job.
 pub struct Job {
     /// Monotonic id (the `{id}` of `GET /jobs/{id}`).
@@ -88,6 +189,13 @@ pub struct Job {
     state: Mutex<JobState>,
     /// Cooperative stop flag checked by the executor between batches.
     pub cancel: Arc<AtomicBool>,
+    /// Live progress, updated by the executor.
+    pub progress: Arc<JobProgress>,
+    /// Trace id of the submitting request (`0` = untraced).
+    trace_id: u64,
+    /// Span id of the submitting request's HTTP span (`0` = none), so
+    /// the executor's `job:` span links back across threads.
+    parent_span: u64,
 }
 
 impl Job {
@@ -108,10 +216,11 @@ fn retire(store: &Weak<JobStore>, id: u64) {
     }
 }
 
-/// The executor callback: canonical request + cancel flag → encoded
-/// response body.
-pub type Executor =
-    Arc<dyn Fn(&str, &AtomicBool) -> Result<Arc<String>, String> + Send + Sync>;
+/// The executor callback: canonical request + cancel flag + live
+/// progress sink → encoded response body.
+pub type Executor = Arc<
+    dyn Fn(&str, &AtomicBool, &JobProgress) -> Result<Arc<String>, String> + Send + Sync,
+>;
 
 /// The job queue was full (or shutting down) — the caller's 503.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,7 +281,24 @@ impl JobStore {
                         continue;
                     }
                     job.set_state(JobState::Running);
-                    let outcome = executor(&job.canonical, &job.cancel);
+                    // The job span parents on the submitting request's
+                    // HTTP span and shares its trace id, stitching the
+                    // async hop into one timeline.
+                    let job_span = trace::is_enabled().then(|| {
+                        trace::set_thread_trace_id(job.trace_id);
+                        trace::span_with_parent(
+                            Family::Service,
+                            &format!("job:{}", job.id),
+                            job.parent_span,
+                            job.trace_id,
+                        )
+                    });
+                    let outcome = executor(&job.canonical, &job.cancel, &job.progress);
+                    if job_span.is_some() {
+                        drop(job_span);
+                        trace::set_thread_trace_id(0);
+                    }
+                    job.progress.finish();
                     // Cancellation observed at any point wins: partial
                     // results are discarded, never reported or cached.
                     if job.cancel.load(Ordering::Relaxed) {
@@ -222,6 +348,11 @@ impl JobStore {
             canonical,
             state: Mutex::new(JobState::Queued),
             cancel: Arc::new(AtomicBool::new(false)),
+            progress: Arc::new(JobProgress::new()),
+            // Captured from the submitting thread: the HTTP request span
+            // (if tracing) becomes the job span's parent.
+            trace_id: trace::thread_trace_id(),
+            parent_span: trace::current_span_id(),
         });
         let guard = self.tx.lock().expect("job tx lock");
         let Some(tx) = guard.as_ref() else {
@@ -314,7 +445,7 @@ mod tests {
     #[test]
     fn jobs_run_to_done_and_report_results() {
         let executor: Executor =
-            Arc::new(|canonical, _cancel| Ok(Arc::new(format!("result:{canonical}"))));
+            Arc::new(|canonical, _cancel, _progress| Ok(Arc::new(format!("result:{canonical}"))));
         let store = JobStore::new(1, 4, executor);
         let job = store.submit("alpha".to_string()).unwrap();
         assert_eq!(job.id, 1);
@@ -330,7 +461,7 @@ mod tests {
 
     #[test]
     fn failures_are_reported() {
-        let executor: Executor = Arc::new(|_c, _f| Err("boom".to_string()));
+        let executor: Executor = Arc::new(|_c, _f, _p| Err("boom".to_string()));
         let store = JobStore::new(1, 4, executor);
         store.submit("x".to_string()).unwrap();
         wait_for(|| matches!(store.get(1).unwrap().state(), JobState::Failed(_)));
@@ -347,7 +478,7 @@ mod tests {
         // one more; the third submit must fail.
         let gate = Arc::new(AtomicBool::new(false));
         let gate_exec = Arc::clone(&gate);
-        let executor: Executor = Arc::new(move |_c, cancel| {
+        let executor: Executor = Arc::new(move |_c, cancel, _p| {
             while !gate_exec.load(Ordering::Relaxed) && !cancel.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(1));
             }
@@ -365,7 +496,7 @@ mod tests {
 
     #[test]
     fn finished_jobs_are_forgotten_beyond_the_retention_cap() {
-        let executor: Executor = Arc::new(|c, _f| Ok(Arc::new(c.to_string())));
+        let executor: Executor = Arc::new(|c, _f, _p| Ok(Arc::new(c.to_string())));
         let store = JobStore::with_retention(1, 8, executor, 2);
         for i in 0..6 {
             store.submit(format!("job-{i}")).unwrap();
@@ -381,8 +512,48 @@ mod tests {
     }
 
     #[test]
+    fn progress_counts_tasks_monotonically_and_freezes_on_retirement() {
+        let executor: Executor = Arc::new(|_c, _f, progress| {
+            progress.begin(4);
+            for _ in 0..4 {
+                std::thread::sleep(Duration::from_millis(2));
+                progress.task_done(2_000_000);
+            }
+            Ok(Arc::new("done".to_string()))
+        });
+        let store = JobStore::new(1, 4, executor);
+        let job = store.submit("p".to_string()).unwrap();
+        // Fractions sampled while running never decrease.
+        let mut last = 0.0f64;
+        while !matches!(job.state(), JobState::Done(_)) {
+            let snap = job.progress.snapshot();
+            assert!(snap.fraction() >= last, "{} < {last}", snap.fraction());
+            last = snap.fraction();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let done = job.progress.snapshot();
+        assert_eq!((done.tasks_done, done.tasks_total), (4, 4));
+        assert!((done.fraction() - 1.0).abs() < 1e-12);
+        assert!(done.busy_ns >= 8_000_000, "busy {}", done.busy_ns);
+        assert!(done.elapsed_ns > 0);
+        assert_eq!(done.eta_ns(), None, "no ETA once complete");
+        // The elapsed clock froze when the job retired.
+        let later = job.progress.snapshot();
+        assert_eq!(done.elapsed_ns, later.elapsed_ns);
+        // Mid-flight snapshots do estimate.
+        let mid = ProgressSnapshot {
+            tasks_done: 2,
+            tasks_total: 4,
+            busy_ns: 0,
+            elapsed_ns: 1_000,
+        };
+        assert_eq!(mid.eta_ns(), Some(1_000));
+        store.shutdown();
+    }
+
+    #[test]
     fn cancellation_discards_partial_work() {
-        let executor: Executor = Arc::new(|_c, cancel| {
+        let executor: Executor = Arc::new(|_c, cancel, _p| {
             // A cooperative loop that notices the flag.
             for _ in 0..1_000 {
                 if cancel.load(Ordering::Relaxed) {

@@ -185,11 +185,14 @@ impl PopgameService {
         // cached only for runs that completed un-cancelled, so partial
         // work can never poison the content-addressed store.
         let executor_cache = Arc::clone(&cache);
-        let executor: Executor = Arc::new(move |canonical, cancel| {
+        let executor: Executor = Arc::new(move |canonical, cancel, progress| {
             if let Some(body) = executor_cache.get(canonical) {
+                // A cache hit is one instantly-complete task.
+                progress.begin(1);
+                progress.task_done(0);
                 return Ok(body);
             }
-            let doc = api::execute_canonical(canonical, cancel)?;
+            let doc = api::execute_canonical_observed(canonical, cancel, progress)?;
             let body = Arc::new(doc.encode());
             if !cancel.load(Ordering::Relaxed) {
                 executor_cache.insert(canonical.to_string(), Arc::clone(&body));

@@ -246,9 +246,29 @@ fn metrics_exposition_spans_every_layer() {
         // engine
         "popgame_engine_leaps_total",
         "popgame_engine_alias_rebuilds_total",
+        // build identity & lifetime
+        "popgame_build_info",
+        "popgame_uptime_seconds",
     ] {
         assert!(has(family), "missing family {family} in exposition");
     }
+
+    // Build info is the conventional constant-1 gauge with the crate
+    // version as a label; uptime is a non-negative scrape-time gauge.
+    let build_info = samples
+        .iter()
+        .find(|s| s.name == "popgame_build_info")
+        .expect("build info series");
+    assert_eq!(build_info.value, 1.0);
+    assert!(
+        build_info.label("version").is_some_and(|v| !v.is_empty()),
+        "build info must carry a version label"
+    );
+    let uptime = samples
+        .iter()
+        .find(|s| s.name == "popgame_uptime_seconds")
+        .expect("uptime series");
+    assert!(uptime.value >= 0.0);
 
     // The endpoint counter reflects the traffic above.
     let simulate_requests = samples
@@ -285,6 +305,63 @@ fn metrics_exposition_spans_every_layer() {
     let workers = health.get("workers").expect("workers block");
     assert!(workers.get("http").unwrap().as_u64().unwrap() >= 1);
     assert!(workers.get("sim").unwrap().as_u64().unwrap() >= 1);
+
+    service.shutdown();
+}
+
+#[test]
+fn job_progress_is_live_and_monotonic() {
+    let service = PopgameService::start(ServiceConfig::default()).expect("start");
+    let addr = service.local_addr();
+
+    // A multi-replica sweep so progress advances at replica granularity.
+    let sweep = r#"{"scenario":"rock-paper-scissors","n":2000,"interactions":60000,"replicas":8,"seed":77}"#;
+    let (status, _, body) = post(addr, "/jobs", sweep);
+    assert_eq!(status, 202, "{body}");
+    let id = Json::parse(&body).unwrap().get("job_id").unwrap().as_u64().unwrap();
+
+    // Poll tightly: every observed fraction must be non-decreasing.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut last_fraction = -1.0f64;
+    let mut last_done = 0u64;
+    let final_doc = loop {
+        let (status, _, body) = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).expect("job body parses");
+        let progress = doc.get("progress").expect("every job reports progress");
+        let fraction = progress.get("fraction").unwrap().as_f64().unwrap();
+        let done = progress.get("tasks_done").unwrap().as_u64().unwrap();
+        assert!((0.0..=1.0).contains(&fraction), "{fraction}");
+        assert!(fraction >= last_fraction, "{fraction} < {last_fraction}");
+        assert!(done >= last_done, "{done} < {last_done}");
+        last_fraction = fraction;
+        last_done = done;
+        let state = doc.get("status").unwrap().as_str().unwrap().to_string();
+        if state == "done" {
+            break doc;
+        }
+        assert!(state == "queued" || state == "running", "{state}");
+        assert!(Instant::now() < deadline, "job stuck at {fraction}");
+    };
+
+    // At completion: every replica accounted for, fraction exactly 1,
+    // the elapsed clock frozen, and no ETA left to report.
+    let progress = final_doc.get("progress").unwrap();
+    assert_eq!(progress.get("tasks_done").unwrap().as_u64(), Some(8));
+    assert_eq!(progress.get("tasks_total").unwrap().as_u64(), Some(8));
+    assert!((progress.get("fraction").unwrap().as_f64().unwrap() - 1.0).abs() < 1e-12);
+    assert!(progress.get("busy_ms").unwrap().as_u64().is_some());
+    assert!(progress.get("elapsed_ms").unwrap().as_u64().is_some());
+    assert!(progress.get("eta_ms").is_none(), "{progress:?}");
+
+    // The cached re-submission completes as a single instant task.
+    let (status, _, body) = post(addr, "/jobs", sweep);
+    assert_eq!(status, 202, "{body}");
+    let id = Json::parse(&body).unwrap().get("job_id").unwrap().as_u64().unwrap();
+    let done = wait_for_job(addr, id);
+    let progress = done.get("progress").unwrap();
+    assert_eq!(progress.get("tasks_done").unwrap().as_u64(), Some(1));
+    assert_eq!(progress.get("tasks_total").unwrap().as_u64(), Some(1));
 
     service.shutdown();
 }

@@ -1,0 +1,192 @@
+//! Property tests for the trace subsystem's export well-formedness.
+//!
+//! Random span trees — arbitrary shapes, families, and depths — must
+//! render to Chrome trace JSON that parses, carries balanced begin/end
+//! events, and nests every child strictly inside its parent's duration.
+//! A separate test checks the exports stay well-formed while many
+//! threads record concurrently (the seqlock rings must never surface a
+//! torn event).
+
+use popgame_obs::trace::{self, Family};
+use popgame_util::json::Json;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+const FAMILIES: [Family; 4] = [
+    Family::Service,
+    Family::Scheduler,
+    Family::Engine,
+    Family::Report,
+];
+
+/// The trace collector is process-global; every test case takes this
+/// gate so cases never see each other's spans.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Emits a span tree from a preorder spec of `(family, children)` pairs,
+/// consuming nodes through `cursor`; returns the number of spans opened.
+/// Nesting comes from real scope nesting, exactly like instrumented code.
+fn emit(spec: &[(u8, u8)], cursor: &mut usize, depth: u32) -> u64 {
+    if depth >= 8 || *cursor >= spec.len() {
+        return 0;
+    }
+    let (fam, children) = spec[*cursor];
+    *cursor += 1;
+    let family = FAMILIES[fam as usize % FAMILIES.len()];
+    let _span = trace::span(family, &format!("node:{fam}"));
+    let mut emitted = 1;
+    for _ in 0..children {
+        emitted += emit(spec, cursor, depth + 1);
+    }
+    emitted
+}
+
+/// Parses a chrome export and returns `(begins, ends, metadata)` counts.
+fn phase_counts(doc: &Json) -> (usize, usize, usize) {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+            .count()
+    };
+    (count("B"), count("E"), count("M"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any span tree exports to parseable Chrome JSON with one balanced
+    /// `B`/`E` pair per span, every child nested inside its parent's
+    /// `[start, end]` window, and a JSONL stream that parses line by line.
+    #[test]
+    fn random_span_trees_export_well_formed(spec in vec((0u8..8, 0u8..4), 1..48)) {
+        let _gate = lock();
+        trace::enable_with_capacity(8192);
+        trace::clear();
+        let mut cursor = 0;
+        let mut total = 0u64;
+        while cursor < spec.len() {
+            total += emit(&spec, &mut cursor, 0);
+        }
+        let snapshot = trace::drain();
+        trace::disable();
+        trace::clear();
+
+        prop_assert_eq!(snapshot.dropped, 0);
+        prop_assert_eq!(snapshot.events.len() as u64, total);
+
+        // Each child's window sits inside its parent's, on the parent's
+        // thread and trace; parent ids always resolve.
+        for event in &snapshot.events {
+            prop_assert!(event.start_ns <= event.end_ns);
+            if event.parent != 0 {
+                let parent = snapshot
+                    .events
+                    .iter()
+                    .find(|p| p.id == event.parent)
+                    .expect("parent id resolves within the snapshot");
+                prop_assert!(parent.start_ns <= event.start_ns);
+                prop_assert!(event.end_ns <= parent.end_ns);
+                prop_assert_eq!(parent.tid, event.tid);
+            }
+        }
+
+        // The chrome export parses, and phases balance: one B and one E
+        // per span plus exactly one process-name metadata event.
+        let chrome = trace::chrome_trace_json(&snapshot);
+        let doc = Json::parse(&chrome).expect("chrome export parses as JSON");
+        let (begins, ends, metas) = phase_counts(&doc);
+        prop_assert_eq!(begins as u64, total);
+        prop_assert_eq!(ends as u64, total);
+        prop_assert_eq!(metas, 1);
+        let dropped = doc
+            .get("otherData")
+            .and_then(|o| o.get("dropped_events"))
+            .and_then(Json::as_u64);
+        prop_assert_eq!(dropped, Some(0));
+
+        // Every category in the export is a known family name.
+        for event in doc.get("traceEvents").and_then(Json::as_array).unwrap() {
+            if let Some(cat) = event.get("cat").and_then(Json::as_str) {
+                prop_assert!(FAMILIES.iter().any(|f| f.as_str() == cat), "{}", cat);
+            }
+        }
+
+        // The JSONL sidecar: one parseable object per span, same ids.
+        let jsonl = trace::jsonl(&snapshot);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        prop_assert_eq!(lines.len() as u64, total);
+        for line in lines {
+            let row = Json::parse(line).expect("jsonl line parses");
+            prop_assert!(row.get("id").and_then(Json::as_u64).is_some());
+            prop_assert!(row.get("cat").and_then(Json::as_str).is_some());
+        }
+    }
+}
+
+/// Concurrent recording across many threads must never produce a torn
+/// event: the drained snapshot holds exactly the spans written, every
+/// one with a valid name, family, and ordered window, and the exports
+/// stay parseable.
+#[test]
+fn concurrent_recording_exports_cleanly() {
+    let _gate = lock();
+    const THREADS: u64 = 8;
+    const SPANS_PER_THREAD: u64 = 200;
+    trace::enable_with_capacity(4096);
+    trace::clear();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                trace::set_thread_trace_id(t + 1);
+                for i in 0..SPANS_PER_THREAD {
+                    let outer = trace::span(Family::Scheduler, &format!("outer:{t}"));
+                    {
+                        let _inner = trace::span_with_parent(
+                            Family::Engine,
+                            &format!("inner:{i}"),
+                            outer.id(),
+                            t + 1,
+                        );
+                    }
+                    drop(outer);
+                }
+                trace::set_thread_trace_id(0);
+            });
+        }
+    });
+
+    let snapshot = trace::drain();
+    trace::disable();
+    trace::clear();
+
+    assert_eq!(snapshot.dropped, 0);
+    assert_eq!(snapshot.events.len() as u64, THREADS * SPANS_PER_THREAD * 2);
+    for event in &snapshot.events {
+        assert!(event.start_ns <= event.end_ns);
+        assert!(
+            event.name.starts_with("outer:") || event.name.starts_with("inner:"),
+            "torn or corrupt name {:?}",
+            event.name
+        );
+        assert!((1..=THREADS).contains(&event.trace), "{}", event.trace);
+    }
+
+    let chrome = trace::chrome_trace_json(&snapshot);
+    let doc = Json::parse(&chrome).expect("concurrent chrome export parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len() as u64, THREADS * SPANS_PER_THREAD * 4 + 1);
+}
