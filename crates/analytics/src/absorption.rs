@@ -1,0 +1,211 @@
+//! Absorption-time statistics with horizon censoring.
+//!
+//! An absorbing (scenario, dynamics) pair drives every replica toward
+//! consensus, but a finite run observes each replica only up to a shared
+//! horizon: a replica either absorbs at some clock or is *censored* —
+//! still live when recording stopped. With all censoring at the common
+//! horizon the Kaplan–Meier product-limit estimator collapses to the
+//! clamped empirical CDF: the survival curve drops by `1/R` at each
+//! absorbed time and simply stops at the horizon. Quantiles are the
+//! Kaplan–Meier quantiles (first absorbed time where the empirical CDF
+//! reaches the target mass, `None` when the absorbed fraction never
+//! does), and the *restricted* mean counts each censored replica at the
+//! horizon — a deterministic lower bound on the true mean absorption
+//! time that is exact when everything absorbs.
+
+use crate::bootstrap::{basic_ci, BootstrapCi, BootstrapConfig, ResampleScheme};
+use crate::error::{AnalyticsError, Result};
+
+/// One replica's fate within the recorded horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsorptionObservation {
+    /// Clock of absorption, or the horizon if censored.
+    pub time: f64,
+    /// Whether the replica actually absorbed (`false` = censored).
+    pub absorbed: bool,
+}
+
+/// Summary of an ensemble's absorption behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsorptionStats {
+    /// Number of replicas observed.
+    pub replicas: usize,
+    /// Number of replicas that absorbed within the horizon.
+    pub absorbed: usize,
+    /// `absorbed / replicas`.
+    pub absorbed_fraction: f64,
+    /// The shared censoring horizon.
+    pub horizon: f64,
+    /// Restricted mean: censored replicas counted at the horizon. A
+    /// lower bound on the true mean; exact when `absorbed == replicas`.
+    pub mean_restricted: f64,
+    /// Mean over absorbed replicas only; `None` if nothing absorbed.
+    pub mean_absorbed: Option<f64>,
+    /// Kaplan–Meier median; `None` if less than half absorbed.
+    pub median: Option<f64>,
+    /// Kaplan–Meier 95th percentile; `None` if less than 95% absorbed.
+    pub p95: Option<f64>,
+}
+
+fn km_quantile(sorted_absorbed: &[f64], replicas: usize, q: f64) -> Option<f64> {
+    // First absorbed time at which the empirical CDF (over ALL replicas,
+    // censored ones never contributing mass) reaches q.
+    let needed = (q * replicas as f64).ceil() as usize;
+    let needed = needed.max(1);
+    if sorted_absorbed.len() < needed {
+        return None;
+    }
+    Some(sorted_absorbed[needed - 1])
+}
+
+fn stats_for(indices: &[usize], obs: &[AbsorptionObservation], horizon: f64) -> AbsorptionStats {
+    let replicas = indices.len();
+    let mut absorbed_times: Vec<f64> =
+        indices.iter().map(|&i| obs[i]).filter(|o| o.absorbed).map(|o| o.time).collect();
+    absorbed_times.sort_by(f64::total_cmp);
+    let absorbed = absorbed_times.len();
+    let censored = replicas - absorbed;
+    let total: f64 = absorbed_times.iter().sum::<f64>() + censored as f64 * horizon;
+    AbsorptionStats {
+        replicas,
+        absorbed,
+        absorbed_fraction: absorbed as f64 / replicas as f64,
+        horizon,
+        mean_restricted: total / replicas as f64,
+        mean_absorbed: if absorbed == 0 {
+            None
+        } else {
+            Some(absorbed_times.iter().sum::<f64>() / absorbed as f64)
+        },
+        median: km_quantile(&absorbed_times, replicas, 0.5),
+        p95: km_quantile(&absorbed_times, replicas, 0.95),
+    }
+}
+
+fn validate(obs: &[AbsorptionObservation], horizon: f64) -> Result<()> {
+    if obs.is_empty() {
+        return Err(AnalyticsError::Empty("absorption observations"));
+    }
+    if !horizon.is_finite() || horizon <= 0.0 {
+        return Err(AnalyticsError::InvalidParameter(format!(
+            "horizon must be positive and finite, got {horizon}"
+        )));
+    }
+    for o in obs {
+        if !o.time.is_finite() || o.time < 0.0 {
+            return Err(AnalyticsError::InvalidParameter(format!(
+                "absorption time must be finite and non-negative, got {}",
+                o.time
+            )));
+        }
+        if o.time > horizon {
+            return Err(AnalyticsError::InvalidParameter(format!(
+                "absorption time {} exceeds horizon {horizon}",
+                o.time
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Summarise an ensemble of absorption observations.
+///
+/// Both all-censored (0% absorbed) and all-absorbed (100%) ensembles are
+/// valid inputs: the former yields `mean_restricted == horizon` with all
+/// quantiles `None`, the latter an uncensored empirical distribution.
+pub fn absorption_stats(obs: &[AbsorptionObservation], horizon: f64) -> Result<AbsorptionStats> {
+    validate(obs, horizon)?;
+    let identity: Vec<usize> = (0..obs.len()).collect();
+    Ok(stats_for(&identity, obs, horizon))
+}
+
+/// [`absorption_stats`] plus a bootstrap CI on the restricted mean.
+///
+/// Replicas are the exchangeable units; every resample is valid (the
+/// restricted mean is defined even for an all-censored resample), so
+/// `valid == resamples` always.
+pub fn absorption_stats_ci(
+    obs: &[AbsorptionObservation],
+    horizon: f64,
+    boot: &BootstrapConfig,
+) -> Result<(AbsorptionStats, BootstrapCi)> {
+    let stats = absorption_stats(obs, horizon)?;
+    let ci = basic_ci(
+        stats.mean_restricted,
+        ResampleScheme::Replicas { count: obs.len() },
+        boot,
+        |idx| Some(stats_for(idx, obs, horizon).mean_restricted),
+    )?;
+    Ok((stats, ci))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn absorbed(time: f64) -> AbsorptionObservation {
+        AbsorptionObservation { time, absorbed: true }
+    }
+
+    fn censored(horizon: f64) -> AbsorptionObservation {
+        AbsorptionObservation { time: horizon, absorbed: false }
+    }
+
+    #[test]
+    fn fully_absorbed_ensemble_matches_plain_moments() {
+        let obs: Vec<_> = [4.0, 2.0, 8.0, 6.0].into_iter().map(absorbed).collect();
+        let stats = absorption_stats(&obs, 10.0).unwrap();
+        assert_eq!(stats.absorbed, 4);
+        assert!((stats.absorbed_fraction - 1.0).abs() < 1e-12);
+        assert!((stats.mean_restricted - 5.0).abs() < 1e-12);
+        assert_eq!(stats.mean_absorbed, Some(5.0));
+        assert_eq!(stats.median, Some(4.0));
+        assert_eq!(stats.p95, Some(8.0));
+    }
+
+    #[test]
+    fn censoring_shifts_restricted_mean_and_starves_quantiles() {
+        let obs = vec![absorbed(2.0), absorbed(4.0), censored(10.0), censored(10.0)];
+        let stats = absorption_stats(&obs, 10.0).unwrap();
+        assert_eq!(stats.absorbed, 2);
+        assert!((stats.mean_restricted - 6.5).abs() < 1e-12);
+        assert_eq!(stats.mean_absorbed, Some(3.0));
+        assert_eq!(stats.median, Some(4.0)); // CDF hits 0.5 at the 2nd of 4
+        assert_eq!(stats.p95, None); // only 50% ever absorbs
+    }
+
+    #[test]
+    fn zero_percent_absorbed_does_not_panic() {
+        let obs = vec![censored(7.0); 5];
+        let stats = absorption_stats(&obs, 7.0).unwrap();
+        assert_eq!(stats.absorbed, 0);
+        assert!((stats.mean_restricted - 7.0).abs() < 1e-12);
+        assert_eq!(stats.mean_absorbed, None);
+        assert_eq!(stats.median, None);
+        assert_eq!(stats.p95, None);
+        let boot = BootstrapConfig::new(9);
+        let (_, ci) = absorption_stats_ci(&obs, 7.0, &boot).unwrap();
+        assert_eq!((ci.lo, ci.hi), (7.0, 7.0));
+        assert_eq!(ci.valid, boot.resamples);
+    }
+
+    #[test]
+    fn ci_brackets_restricted_mean_deterministically() {
+        let obs: Vec<_> = (0..30).map(|i| absorbed(1.0 + (i % 7) as f64)).collect();
+        let boot = BootstrapConfig::new(21);
+        let (stats, a) = absorption_stats_ci(&obs, 20.0, &boot).unwrap();
+        let (_, b) = absorption_stats_ci(&obs, 20.0, &boot).unwrap();
+        assert_eq!(a, b);
+        assert!(a.lo <= stats.mean_restricted && stats.mean_restricted <= a.hi);
+        assert!(a.hi > a.lo);
+    }
+
+    #[test]
+    fn malformed_observations_are_rejected() {
+        assert!(absorption_stats(&[], 5.0).is_err());
+        assert!(absorption_stats(&[absorbed(6.0)], 5.0).is_err());
+        assert!(absorption_stats(&[absorbed(-1.0)], 5.0).is_err());
+        assert!(absorption_stats(&[absorbed(1.0)], 0.0).is_err());
+        assert!(absorption_stats(&[absorbed(f64::NAN)], 5.0).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Limit-cycle metrology: period and amplitude from frequency series.
+//!
+//! Non-convergent dynamics on shapley-cycle settle into (growing)
+//! oscillations of a strategy frequency. This module measures them
+//! without assuming a functional form: the series is mean-centered, its
+//! *upward* zero crossings located by linear interpolation on the
+//! interaction-clock axis, and the period estimated as the mean spacing
+//! of consecutive upward crossings. Amplitude is half the peak-to-peak
+//! range. At least two upward crossings (one full period) are required —
+//! otherwise the series is not measurably cyclic and the fit returns
+//! `None` rather than extrapolating.
+
+use crate::bootstrap::{basic_ci, BootstrapCi, BootstrapConfig, ResampleScheme};
+use crate::error::{AnalyticsError, Result};
+
+/// Period and amplitude of one series' oscillation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleEstimate {
+    /// Mean spacing of consecutive upward mean-crossings, in interaction
+    /// clocks.
+    pub period: f64,
+    /// Half the peak-to-peak range of the series.
+    pub amplitude: f64,
+    /// Number of upward crossings found (≥ 2).
+    pub crossings: usize,
+}
+
+fn validate(clocks: &[u64], series: &[f64]) -> Result<()> {
+    if clocks.is_empty() {
+        return Err(AnalyticsError::Empty("cycle series"));
+    }
+    if clocks.len() != series.len() {
+        return Err(AnalyticsError::MismatchedLengths {
+            left: "clocks",
+            left_len: clocks.len(),
+            right: "series",
+            right_len: series.len(),
+        });
+    }
+    for window in clocks.windows(2) {
+        if window[1] <= window[0] {
+            return Err(AnalyticsError::InvalidParameter(format!(
+                "clocks must be strictly increasing, got {} then {}",
+                window[0], window[1]
+            )));
+        }
+    }
+    for &value in series {
+        if !value.is_finite() {
+            return Err(AnalyticsError::InvalidParameter(format!(
+                "series values must be finite, got {value}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn fit(clocks: &[u64], series: &[f64]) -> Option<CycleEstimate> {
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let mut crossings = Vec::new();
+    for i in 1..series.len() {
+        let prev = series[i - 1] - mean;
+        let next = series[i] - mean;
+        // Upward crossing: strictly below the mean, then at-or-above it.
+        if prev < 0.0 && next >= 0.0 {
+            let c0 = clocks[i - 1] as f64;
+            let c1 = clocks[i] as f64;
+            let fraction = -prev / (next - prev);
+            crossings.push(c0 + (c1 - c0) * fraction);
+        }
+    }
+    if crossings.len() < 2 {
+        return None;
+    }
+    let span = crossings.last().unwrap() - crossings.first().unwrap();
+    let period = span / (crossings.len() - 1) as f64;
+    let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+    Some(CycleEstimate { period, amplitude: (max - min) / 2.0, crossings: crossings.len() })
+}
+
+/// Fit one series' oscillation; `Ok(None)` when it is not measurably
+/// cyclic (fewer than two upward mean-crossings).
+pub fn cycle_metrology(clocks: &[u64], series: &[f64]) -> Result<Option<CycleEstimate>> {
+    validate(clocks, series)?;
+    Ok(fit(clocks, series))
+}
+
+/// Ensemble-level cycle measurement with a bootstrap CI on the period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleEnsemble {
+    /// Mean period over detecting replicas.
+    pub period: f64,
+    /// Lower CI endpoint for the period.
+    pub period_lo: f64,
+    /// Upper CI endpoint for the period.
+    pub period_hi: f64,
+    /// Mean amplitude over detecting replicas.
+    pub amplitude: f64,
+    /// Replicas in which a cycle was detected.
+    pub detected: usize,
+    /// Total replicas observed.
+    pub replicas: usize,
+}
+
+/// Fit every replica and aggregate: means over detecting replicas, with
+/// a replica-resampling bootstrap CI on the period.
+///
+/// Returns `Ok(None)` when fewer than half the replicas show a
+/// measurable cycle — an ensemble that mostly fails to oscillate should
+/// not report a period from its outliers.
+pub fn cycle_over_replicas(
+    clocks: &[u64],
+    replica_series: &[Vec<f64>],
+    boot: &BootstrapConfig,
+) -> Result<Option<CycleEnsemble>> {
+    if replica_series.is_empty() {
+        return Err(AnalyticsError::Empty("replica ensemble"));
+    }
+    let mut fits = Vec::with_capacity(replica_series.len());
+    for series in replica_series {
+        fits.push(cycle_metrology(clocks, series)?);
+    }
+    let detected: Vec<CycleEstimate> = fits.iter().filter_map(|f| *f).collect();
+    if detected.len() * 2 < replica_series.len() {
+        return Ok(None);
+    }
+    let period = detected.iter().map(|e| e.period).sum::<f64>() / detected.len() as f64;
+    let amplitude = detected.iter().map(|e| e.amplitude).sum::<f64>() / detected.len() as f64;
+    let ci: BootstrapCi = basic_ci(
+        period,
+        ResampleScheme::Replicas { count: replica_series.len() },
+        boot,
+        |idx| {
+            let sub: Vec<f64> =
+                idx.iter().filter_map(|&i| fits[i].map(|e| e.period)).collect();
+            if sub.is_empty() {
+                None
+            } else {
+                Some(sub.iter().sum::<f64>() / sub.len() as f64)
+            }
+        },
+    )?;
+    Ok(Some(CycleEnsemble {
+        period,
+        period_lo: ci.lo,
+        period_hi: ci.hi,
+        amplitude,
+        detected: detected.len(),
+        replicas: replica_series.len(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sinusoid(clocks: &[u64], period: f64, amplitude: f64, phase: f64) -> Vec<f64> {
+        clocks
+            .iter()
+            .map(|&c| 0.4 + amplitude * ((c as f64 / period) * std::f64::consts::TAU + phase).sin())
+            .collect()
+    }
+
+    #[test]
+    fn sinusoid_period_and_amplitude_recovered() {
+        let clocks: Vec<u64> = (0..400).map(|i| i * 5).collect();
+        let series = sinusoid(&clocks, 250.0, 0.2, 0.3);
+        let est = cycle_metrology(&clocks, &series).unwrap().unwrap();
+        assert!((est.period - 250.0).abs() < 5.0, "period = {}", est.period);
+        assert!((est.amplitude - 0.2).abs() < 0.01, "amplitude = {}", est.amplitude);
+        assert!(est.crossings >= 7);
+    }
+
+    #[test]
+    fn monotone_series_is_not_cyclic() {
+        let clocks: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let series: Vec<f64> = clocks.iter().map(|&c| c as f64 * 0.01).collect();
+        assert_eq!(cycle_metrology(&clocks, &series).unwrap(), None);
+    }
+
+    #[test]
+    fn constant_series_is_not_cyclic() {
+        let clocks: Vec<u64> = (0..10).collect();
+        let series = vec![0.5; 10];
+        assert_eq!(cycle_metrology(&clocks, &series).unwrap(), None);
+    }
+
+    #[test]
+    fn ensemble_aggregates_and_brackets_period() {
+        let clocks: Vec<u64> = (0..400).map(|i| i * 5).collect();
+        let replica_series: Vec<Vec<f64>> = (0..6)
+            .map(|r| sinusoid(&clocks, 250.0 + r as f64, 0.2, 0.1 * r as f64))
+            .collect();
+        let boot = BootstrapConfig::new(33);
+        let a = cycle_over_replicas(&clocks, &replica_series, &boot).unwrap().unwrap();
+        let b = cycle_over_replicas(&clocks, &replica_series, &boot).unwrap().unwrap();
+        assert_eq!(a, b);
+        assert!(a.period_lo <= a.period && a.period <= a.period_hi);
+        assert_eq!(a.detected, 6);
+        assert!((a.period - 252.5).abs() < 6.0);
+    }
+
+    #[test]
+    fn mostly_acyclic_ensemble_returns_none() {
+        let clocks: Vec<u64> = (0..400).map(|i| i * 5).collect();
+        let mut replica_series = vec![sinusoid(&clocks, 250.0, 0.2, 0.0)];
+        for _ in 0..3 {
+            replica_series.push(clocks.iter().map(|&c| c as f64 * 1e-4).collect());
+        }
+        let boot = BootstrapConfig::new(1);
+        assert_eq!(cycle_over_replicas(&clocks, &replica_series, &boot).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(cycle_metrology(&[], &[]).is_err());
+        assert!(cycle_metrology(&[0, 1], &[0.5]).is_err());
+        assert!(cycle_metrology(&[1, 1], &[0.5, 0.6]).is_err());
+        assert!(cycle_metrology(&[0, 1], &[0.5, f64::INFINITY]).is_err());
+        assert!(cycle_over_replicas(&[0, 1], &[], &BootstrapConfig::new(1)).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Typed errors for the estimator entry points.
+
+use std::fmt;
+
+/// Why an estimator rejected its input.
+///
+/// Estimators validate eagerly and return this instead of panicking, so a
+/// caller feeding them recorded ensembles of unknown shape (the service,
+/// the CLI) can surface the problem as a normal error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyticsError {
+    /// An input series or ensemble was empty where at least one element
+    /// is required.
+    Empty(&'static str),
+    /// Two parallel inputs (e.g. clocks and values) disagreed in length.
+    MismatchedLengths {
+        /// What the left-hand input is.
+        left: &'static str,
+        /// Length of the left-hand input.
+        left_len: usize,
+        /// What the right-hand input is.
+        right: &'static str,
+        /// Length of the right-hand input.
+        right_len: usize,
+    },
+    /// A scalar parameter was outside its valid range, or a series value
+    /// was non-finite / out of order.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for AnalyticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticsError::Empty(what) => write!(f, "empty input: {what}"),
+            AnalyticsError::MismatchedLengths { left, left_len, right, right_len } => write!(
+                f,
+                "mismatched lengths: {left} has {left_len} elements but {right} has {right_len}"
+            ),
+            AnalyticsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyticsError {}
+
+/// Shorthand result type used across the crate.
+pub type Result<T> = std::result::Result<T, AnalyticsError>;

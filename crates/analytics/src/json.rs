@@ -1,0 +1,118 @@
+//! Canonical JSON shapes for the estimator outputs.
+//!
+//! Both artifact surfaces that expose analytics — the report renderer
+//! (`REPORT.json` schema v3) and the service's opt-in `/simulate`
+//! `analytics` block — encode estimates through these functions, so the
+//! two layers cannot drift apart field by field. Encoding rides the
+//! deterministic encoder in [`popgame_util::json`]: equal estimates
+//! produce byte-identical JSON.
+
+use crate::absorption::AbsorptionStats;
+use crate::bootstrap::BootstrapCi;
+use crate::cycle::CycleEnsemble;
+use crate::tmix::TmixFit;
+use popgame_util::json::Json;
+
+/// A `{lo, hi, valid}` bootstrap interval as JSON.
+pub fn bootstrap_ci_json(ci: &BootstrapCi) -> Json {
+    Json::obj([
+        ("lo", Json::from(ci.lo)),
+        ("hi", Json::from(ci.hi)),
+        ("valid", Json::from(u64::from(ci.valid))),
+    ])
+}
+
+/// A typed t_mix fit as JSON: the `kind` discriminant plus the fields
+/// that kind actually has — no fake numbers for non-crossings.
+pub fn tmix_fit_json(fit: &TmixFit) -> Json {
+    match fit {
+        TmixFit::Mixed(est) => Json::obj([
+            ("kind", Json::from(fit.kind_label())),
+            ("point", Json::from(est.point)),
+            ("lo", Json::from(est.lo)),
+            ("hi", Json::from(est.hi)),
+            ("resamples", Json::from(u64::from(est.resamples))),
+            (
+                "crossed_resamples",
+                Json::from(u64::from(est.crossed_resamples)),
+            ),
+        ]),
+        TmixFit::AlreadyMixed => Json::obj([("kind", Json::from(fit.kind_label()))]),
+        TmixFit::NotCrossed { floor } => Json::obj([
+            ("kind", Json::from(fit.kind_label())),
+            ("floor", Json::from(*floor)),
+        ]),
+    }
+}
+
+/// Absorption-time statistics as JSON (`null` for quantiles the absorbed
+/// fraction never reached).
+pub fn absorption_stats_json(stats: &AbsorptionStats) -> Json {
+    Json::obj([
+        ("replicas", Json::from(stats.replicas)),
+        ("absorbed", Json::from(stats.absorbed)),
+        ("absorbed_fraction", Json::from(stats.absorbed_fraction)),
+        ("horizon", Json::from(stats.horizon)),
+        ("mean_restricted", Json::from(stats.mean_restricted)),
+        (
+            "mean_absorbed",
+            stats.mean_absorbed.map_or(Json::Null, Json::from),
+        ),
+        ("median", stats.median.map_or(Json::Null, Json::from)),
+        ("p95", stats.p95.map_or(Json::Null, Json::from)),
+    ])
+}
+
+/// An ensemble cycle fit as JSON (`null` when no cycle was detected).
+pub fn cycle_ensemble_json(cycle: &Option<CycleEnsemble>) -> Json {
+    cycle.as_ref().map_or(Json::Null, |c| {
+        Json::obj([
+            ("period", Json::from(c.period)),
+            ("period_lo", Json::from(c.period_lo)),
+            ("period_hi", Json::from(c.period_hi)),
+            ("amplitude", Json::from(c.amplitude)),
+            ("detected", Json::from(c.detected)),
+            ("replicas", Json::from(c.replicas)),
+        ])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tmix::TmixEstimate;
+
+    #[test]
+    fn tmix_kinds_encode_their_own_fields() {
+        let mixed = TmixFit::Mixed(TmixEstimate {
+            point: 10.5,
+            lo: 9.0,
+            hi: 12.0,
+            resamples: 200,
+            crossed_resamples: 198,
+        });
+        let doc = tmix_fit_json(&mixed);
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("crossed"));
+        assert_eq!(doc.get("point").unwrap().as_f64(), Some(10.5));
+        let already = tmix_fit_json(&TmixFit::AlreadyMixed);
+        assert_eq!(already.get("kind").unwrap().as_str(), Some("already-mixed"));
+        assert!(already.get("point").is_none());
+        let not = tmix_fit_json(&TmixFit::NotCrossed { floor: 0.3 });
+        assert_eq!(not.get("kind").unwrap().as_str(), Some("not-crossed"));
+        assert_eq!(not.get("floor").unwrap().as_f64(), Some(0.3));
+    }
+
+    #[test]
+    fn null_cycle_encodes_as_null() {
+        assert_eq!(cycle_ensemble_json(&None).encode(), "null");
+        let some = cycle_ensemble_json(&Some(CycleEnsemble {
+            period: 100.0,
+            period_lo: 90.0,
+            period_hi: 110.0,
+            amplitude: 0.2,
+            detected: 4,
+            replicas: 4,
+        }));
+        assert_eq!(some.get("detected").unwrap().as_u64(), Some(4));
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Time-constant estimators over recorded replica ensembles.
+//!
+//! The paper's headline quantitative claims are *time constants* — mixing
+//! times for the Ehrenfest-style dynamics (Theorem 2.5) and absorption
+//! times for dominance pairs — but a simulation only ever yields finite
+//! replica ensembles of `TrajectoryRecorder`-style series. This crate
+//! turns such ensembles into point estimates with
+//! confidence intervals, generically (nothing here knows about games,
+//! protocols, or engines — only `(clock, value)` series):
+//!
+//! * [`tmix`] — t_mix(ε) via a monotone-envelope crossing fit of a TV
+//!   series, with bootstrap confidence intervals. The crossing itself is
+//!   **typed** ([`tmix::CrossingOutcome`]): a series that starts at or
+//!   below ε reports `AlreadyMixed`, one that never reaches ε reports
+//!   `NotCrossed` — neither is ever conflated with a crossing at index 0
+//!   or at the horizon.
+//! * [`absorption`] — absorption-time empirical distributions with
+//!   Kaplan–Meier-style handling of replicas still unabsorbed at the
+//!   horizon (all censoring happens at the shared horizon, where the
+//!   Kaplan–Meier product form reduces to the clamped empirical CDF).
+//! * [`cycle`] — limit-cycle metrology: period via mean-centered upward
+//!   zero crossings and half peak-to-peak amplitude, per replica and
+//!   aggregated over an ensemble.
+//!
+//! # Determinism
+//!
+//! Every estimator is a pure function of its inputs plus a
+//! [`bootstrap::BootstrapConfig`]. Bootstrap resample `r` draws its
+//! indices from `stream_rng(config.seed, r)` — the same splittable
+//! stream-RNG discipline the replica runner uses — so resamples are
+//! independent of each other, of iteration order, and of everything else
+//! in the process. Sorting uses `f64::total_cmp`. Equal inputs therefore
+//! produce bitwise-equal estimates, which is what lets the report harness
+//! embed these numbers in byte-identical artifacts.
+
+pub mod absorption;
+pub mod bootstrap;
+pub mod cycle;
+pub mod error;
+pub mod json;
+pub mod tmix;
+
+pub use absorption::{absorption_stats, absorption_stats_ci, AbsorptionObservation, AbsorptionStats};
+pub use bootstrap::{basic_ci, BootstrapCi, BootstrapConfig, ResampleScheme};
+pub use cycle::{cycle_metrology, cycle_over_replicas, CycleEnsemble, CycleEstimate};
+pub use error::AnalyticsError;
+pub use json::{absorption_stats_json, bootstrap_ci_json, cycle_ensemble_json, tmix_fit_json};
+pub use tmix::{tmix_empirical_tv, tmix_mean_tv, tv_crossing, CrossingOutcome, TmixEstimate, TmixFit};

@@ -1,0 +1,421 @@
+//! t_mix(ε) estimation from recorded TV series.
+//!
+//! A recorded replica ensemble yields a total-variation series sampled at
+//! shared interaction clocks. The estimator fits the first ε-crossing of
+//! the *monotone envelope* (running minimum) of that series: TV to
+//! stationarity is non-increasing in theory, but an empirical series
+//! jitters, and fitting the raw series would let one noisy dip report a
+//! spuriously early t_mix that a later sample contradicts. The envelope
+//! crossing is the first clock after which the series never again exceeds
+//! ε — the empirical analogue of the t_mix definition.
+//!
+//! The crossing is **typed** ([`CrossingOutcome`]): a series already at
+//! or below ε at its first sample reports [`CrossingOutcome::AlreadyMixed`]
+//! and one that never reaches ε reports [`CrossingOutcome::NotCrossed`].
+//! Neither degenerates to "crossed at index 0" or "crossed at the
+//! horizon" — conflating them would silently turn a too-short horizon
+//! into a fake t_mix equal to it.
+
+use crate::bootstrap::{basic_ci, BootstrapCi, BootstrapConfig, ResampleScheme};
+use crate::error::{AnalyticsError, Result};
+
+/// Where (if anywhere) a TV series crosses ε.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrossingOutcome {
+    /// The first sample was already at or below ε; the series carries no
+    /// information about the crossing time except that it precedes the
+    /// first sample.
+    AlreadyMixed,
+    /// The monotone envelope never reached ε within the recorded horizon.
+    NotCrossed {
+        /// The envelope's final (smallest) value — how far above ε the
+        /// series still was at the horizon.
+        floor: f64,
+    },
+    /// The envelope crossed ε between samples `index - 1` and `index`.
+    Crossed {
+        /// Crossing clock, linearly interpolated between the bracketing
+        /// samples on the interaction-clock axis.
+        time: f64,
+        /// Index of the first sample whose envelope value is ≤ ε.
+        index: usize,
+    },
+}
+
+/// First ε-crossing of the monotone envelope of `tv` over `clocks`.
+///
+/// `clocks` must be strictly increasing, `tv` finite and non-negative,
+/// and `epsilon` positive. The envelope is the running minimum of `tv`;
+/// the crossing clock interpolates linearly between the last sample with
+/// envelope > ε and the first with envelope ≤ ε.
+pub fn tv_crossing(clocks: &[u64], tv: &[f64], epsilon: f64) -> Result<CrossingOutcome> {
+    if clocks.is_empty() {
+        return Err(AnalyticsError::Empty("tv series"));
+    }
+    if clocks.len() != tv.len() {
+        return Err(AnalyticsError::MismatchedLengths {
+            left: "clocks",
+            left_len: clocks.len(),
+            right: "tv",
+            right_len: tv.len(),
+        });
+    }
+    // NaN must fail too, hence the explicit check rather than `<= 0.0`.
+    if epsilon.is_nan() || epsilon <= 0.0 {
+        return Err(AnalyticsError::InvalidParameter(format!(
+            "epsilon must be positive, got {epsilon}"
+        )));
+    }
+    for window in clocks.windows(2) {
+        if window[1] <= window[0] {
+            return Err(AnalyticsError::InvalidParameter(format!(
+                "clocks must be strictly increasing, got {} then {}",
+                window[0], window[1]
+            )));
+        }
+    }
+    for &value in tv {
+        if !value.is_finite() || value < 0.0 {
+            return Err(AnalyticsError::InvalidParameter(format!(
+                "tv values must be finite and non-negative, got {value}"
+            )));
+        }
+    }
+
+    if tv[0] <= epsilon {
+        return Ok(CrossingOutcome::AlreadyMixed);
+    }
+    let mut envelope_prev = tv[0];
+    for (index, &value) in tv.iter().enumerate().skip(1) {
+        let envelope = envelope_prev.min(value);
+        if envelope <= epsilon {
+            let c0 = clocks[index - 1] as f64;
+            let c1 = clocks[index] as f64;
+            // envelope_prev > epsilon >= envelope, so the denominator is
+            // positive and the fraction lies in (0, 1].
+            let fraction = (envelope_prev - epsilon) / (envelope_prev - envelope);
+            return Ok(CrossingOutcome::Crossed { time: c0 + (c1 - c0) * fraction, index });
+        }
+        envelope_prev = envelope;
+    }
+    Ok(CrossingOutcome::NotCrossed { floor: envelope_prev })
+}
+
+/// A t_mix point estimate with its bootstrap interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TmixEstimate {
+    /// Crossing clock of the full-ensemble series.
+    pub point: f64,
+    /// Lower CI endpoint (≤ `point` by construction).
+    pub lo: f64,
+    /// Upper CI endpoint (≥ `point` by construction).
+    pub hi: f64,
+    /// Bootstrap resamples drawn.
+    pub resamples: u32,
+    /// Resamples whose series actually crossed ε (the rest are declined;
+    /// a low count flags an interval computed from few crossings).
+    pub crossed_resamples: u32,
+}
+
+/// Result of a t_mix fit over an ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TmixFit {
+    /// The ensemble series crossed ε; here is the estimate.
+    Mixed(TmixEstimate),
+    /// The ensemble series started at or below ε.
+    AlreadyMixed,
+    /// The ensemble series never reached ε within the horizon.
+    NotCrossed {
+        /// Final envelope value of the ensemble series.
+        floor: f64,
+    },
+}
+
+impl TmixFit {
+    /// Short machine-stable label for tables and JSON.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            TmixFit::Mixed(_) => "crossed",
+            TmixFit::AlreadyMixed => "already-mixed",
+            TmixFit::NotCrossed { .. } => "not-crossed",
+        }
+    }
+}
+
+fn crossing_time(clocks: &[u64], tv: &[f64], epsilon: f64) -> Result<Option<f64>> {
+    Ok(match tv_crossing(clocks, tv, epsilon)? {
+        CrossingOutcome::Crossed { time, .. } => Some(time),
+        _ => None,
+    })
+}
+
+fn mean_rows(rows: &[&[f64]], len: usize) -> Vec<f64> {
+    let mut mean = vec![0.0; len];
+    for row in rows {
+        for (slot, &value) in mean.iter_mut().zip(row.iter()) {
+            *slot += value;
+        }
+    }
+    let scale = 1.0 / rows.len() as f64;
+    for slot in &mut mean {
+        *slot *= scale;
+    }
+    mean
+}
+
+/// t_mix(ε) of the replica-mean TV series, with a bootstrap CI.
+///
+/// The point estimate is the envelope crossing of the mean-over-replicas
+/// series. With ≥ 2 replicas the CI resamples whole replicas (they are
+/// the exchangeable units); a single replica falls back to a
+/// moving-block bootstrap over time with block length `⌈√T⌉`, which
+/// respects the serial correlation a recorded trajectory carries.
+pub fn tmix_mean_tv(
+    clocks: &[u64],
+    replica_tv: &[Vec<f64>],
+    epsilon: f64,
+    boot: &BootstrapConfig,
+) -> Result<TmixFit> {
+    if replica_tv.is_empty() {
+        return Err(AnalyticsError::Empty("replica ensemble"));
+    }
+    for row in replica_tv {
+        if row.len() != clocks.len() {
+            return Err(AnalyticsError::MismatchedLengths {
+                left: "clocks",
+                left_len: clocks.len(),
+                right: "replica tv series",
+                right_len: row.len(),
+            });
+        }
+    }
+    let rows: Vec<&[f64]> = replica_tv.iter().map(Vec::as_slice).collect();
+    let mean = mean_rows(&rows, clocks.len());
+    let point = match tv_crossing(clocks, &mean, epsilon)? {
+        CrossingOutcome::AlreadyMixed => return Ok(TmixFit::AlreadyMixed),
+        CrossingOutcome::NotCrossed { floor } => return Ok(TmixFit::NotCrossed { floor }),
+        CrossingOutcome::Crossed { time, .. } => time,
+    };
+
+    let ci = if replica_tv.len() >= 2 {
+        basic_ci(point, ResampleScheme::Replicas { count: rows.len() }, boot, |idx| {
+            let subset: Vec<&[f64]> = idx.iter().map(|&i| rows[i]).collect();
+            let mean = mean_rows(&subset, clocks.len());
+            crossing_time(clocks, &mean, epsilon).ok().flatten()
+        })?
+    } else {
+        let block = (clocks.len() as f64).sqrt().ceil() as usize;
+        let scheme = ResampleScheme::MovingBlock { len: clocks.len(), block: block.max(1) };
+        basic_ci(point, scheme, boot, |idx| {
+            // Re-time the resampled values onto the original clock axis:
+            // block resampling preserves local dependence, the clocks
+            // keep the fit on the same time scale.
+            let tv: Vec<f64> = idx.iter().map(|&i| rows[0][i]).collect();
+            crossing_time(clocks, &tv, epsilon).ok().flatten()
+        })?
+    };
+    Ok(TmixFit::Mixed(finish(point, ci, boot)))
+}
+
+/// t_mix(ε) from per-replica discrete state series against a reference
+/// stationary pmf, with a bootstrap CI.
+///
+/// At each clock the replica states (histogram over `0..reference_pmf.len()`)
+/// form an empirical distribution; its total-variation distance to
+/// `reference_pmf` gives the TV series whose envelope crossing is fitted.
+/// The bootstrap resamples whole replicas and recomputes the histogram TV
+/// series per resample, so the CI reflects replica-sampling noise of the
+/// empirical distribution itself.
+pub fn tmix_empirical_tv(
+    clocks: &[u64],
+    replica_states: &[Vec<usize>],
+    reference_pmf: &[f64],
+    epsilon: f64,
+    boot: &BootstrapConfig,
+) -> Result<TmixFit> {
+    if replica_states.is_empty() {
+        return Err(AnalyticsError::Empty("replica ensemble"));
+    }
+    if reference_pmf.is_empty() {
+        return Err(AnalyticsError::Empty("reference pmf"));
+    }
+    for row in replica_states {
+        if row.len() != clocks.len() {
+            return Err(AnalyticsError::MismatchedLengths {
+                left: "clocks",
+                left_len: clocks.len(),
+                right: "replica state series",
+                right_len: row.len(),
+            });
+        }
+        for &state in row {
+            if state >= reference_pmf.len() {
+                return Err(AnalyticsError::InvalidParameter(format!(
+                    "state {state} outside reference pmf support of size {}",
+                    reference_pmf.len()
+                )));
+            }
+        }
+    }
+
+    let identity: Vec<usize> = (0..replica_states.len()).collect();
+    let tv = empirical_tv_series(clocks.len(), replica_states, reference_pmf, &identity);
+    let point = match tv_crossing(clocks, &tv, epsilon)? {
+        CrossingOutcome::AlreadyMixed => return Ok(TmixFit::AlreadyMixed),
+        CrossingOutcome::NotCrossed { floor } => return Ok(TmixFit::NotCrossed { floor }),
+        CrossingOutcome::Crossed { time, .. } => time,
+    };
+
+    let scheme = ResampleScheme::Replicas { count: replica_states.len() };
+    let ci = basic_ci(point, scheme, boot, |idx| {
+        let tv = empirical_tv_series(clocks.len(), replica_states, reference_pmf, idx);
+        crossing_time(clocks, &tv, epsilon).ok().flatten()
+    })?;
+    Ok(TmixFit::Mixed(finish(point, ci, boot)))
+}
+
+fn finish(point: f64, ci: BootstrapCi, boot: &BootstrapConfig) -> TmixEstimate {
+    TmixEstimate {
+        point,
+        lo: ci.lo,
+        hi: ci.hi,
+        resamples: boot.resamples,
+        crossed_resamples: ci.valid,
+    }
+}
+
+fn empirical_tv_series(
+    len: usize,
+    replica_states: &[Vec<usize>],
+    reference_pmf: &[f64],
+    idx: &[usize],
+) -> Vec<f64> {
+    let mut tv = Vec::with_capacity(len);
+    let mut counts = vec![0usize; reference_pmf.len()];
+    let scale = 1.0 / idx.len() as f64;
+    for clock_index in 0..len {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &replica in idx {
+            counts[replica_states[replica][clock_index]] += 1;
+        }
+        let distance: f64 = counts
+            .iter()
+            .zip(reference_pmf.iter())
+            .map(|(&count, &p)| (count as f64 * scale - p).abs())
+            .sum();
+        tv.push(0.5 * distance);
+    }
+    tv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLOCKS: [u64; 5] = [0, 10, 20, 30, 40];
+
+    #[test]
+    fn crossing_interpolates_between_samples() {
+        let tv = [0.8, 0.6, 0.3, 0.1, 0.05];
+        match tv_crossing(&CLOCKS, &tv, 0.25).unwrap() {
+            CrossingOutcome::Crossed { time, index } => {
+                assert_eq!(index, 3);
+                // envelope 0.3 -> 0.1 across clocks 20 -> 30; 0.25 sits a
+                // quarter of the way down.
+                assert!((time - 22.5).abs() < 1e-12, "time = {time}");
+            }
+            other => panic!("expected crossing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn already_mixed_start_is_typed_not_index_zero() {
+        let tv = [0.2, 0.5, 0.1, 0.05, 0.01];
+        assert_eq!(tv_crossing(&CLOCKS, &tv, 0.25).unwrap(), CrossingOutcome::AlreadyMixed);
+    }
+
+    #[test]
+    fn never_crossing_is_typed_not_horizon() {
+        let tv = [0.9, 0.8, 0.7, 0.65, 0.6];
+        match tv_crossing(&CLOCKS, &tv, 0.25).unwrap() {
+            CrossingOutcome::NotCrossed { floor } => assert!((floor - 0.6).abs() < 1e-12),
+            other => panic!("expected not-crossed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn envelope_ignores_transient_noisy_dip() {
+        // A single dip below epsilon that the next sample contradicts...
+        // cannot happen under a running-min envelope: once the envelope
+        // is below epsilon it stays there. What the envelope does protect
+        // against is a *rise* after the crossing re-inflating the fit.
+        let tv = [0.8, 0.2, 0.5, 0.4, 0.3];
+        match tv_crossing(&CLOCKS, &tv, 0.25).unwrap() {
+            CrossingOutcome::Crossed { index, .. } => assert_eq!(index, 1),
+            other => panic!("expected crossing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(tv_crossing(&[], &[], 0.25).is_err());
+        assert!(tv_crossing(&CLOCKS, &[0.5; 4], 0.25).is_err());
+        assert!(tv_crossing(&[0, 10, 10, 30, 40], &[0.5; 5], 0.25).is_err());
+        assert!(tv_crossing(&CLOCKS, &[0.5, 0.4, f64::NAN, 0.2, 0.1], 0.25).is_err());
+        assert!(tv_crossing(&CLOCKS, &[0.5; 5], 0.0).is_err());
+    }
+
+    #[test]
+    fn mean_tv_fit_brackets_point_and_is_deterministic() {
+        let replica_tv: Vec<Vec<f64>> = (0..8)
+            .map(|r| {
+                CLOCKS
+                    .iter()
+                    .map(|&c| 0.9 * (-(c as f64) / 15.0).exp() + 0.01 * (r as f64 % 3.0))
+                    .collect()
+            })
+            .collect();
+        let boot = BootstrapConfig::new(11);
+        let a = tmix_mean_tv(&CLOCKS, &replica_tv, 0.25, &boot).unwrap();
+        let b = tmix_mean_tv(&CLOCKS, &replica_tv, 0.25, &boot).unwrap();
+        assert_eq!(a, b);
+        match a {
+            TmixFit::Mixed(est) => {
+                assert!(est.lo <= est.point && est.point <= est.hi);
+                assert!(est.crossed_resamples > 0);
+            }
+            other => panic!("expected mixed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_replica_uses_moving_block_fallback() {
+        let tv: Vec<f64> = CLOCKS.iter().map(|&c| 0.9 * (-(c as f64) / 15.0).exp()).collect();
+        let boot = BootstrapConfig::new(3);
+        match tmix_mean_tv(&CLOCKS, &[tv], 0.25, &boot).unwrap() {
+            TmixFit::Mixed(est) => assert!(est.lo <= est.point && est.point <= est.hi),
+            other => panic!("expected mixed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empirical_tv_matches_hand_computation() {
+        // Two replicas, two states, uniform reference: replica states
+        // (0,0) -> empirical [1,0] -> TV 0.5; (0,1) -> [0.5,0.5] -> TV 0.
+        let clocks = [0, 5];
+        let states = vec![vec![0, 0], vec![0, 1]];
+        let boot = BootstrapConfig::new(2);
+        match tmix_empirical_tv(&clocks, &states, &[0.5, 0.5], 0.25, &boot).unwrap() {
+            TmixFit::Mixed(est) => assert!(est.point > 0.0 && est.point <= 5.0),
+            other => panic!("expected mixed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empirical_tv_rejects_out_of_support_states() {
+        let clocks = [0, 5];
+        let states = vec![vec![0, 2]];
+        let boot = BootstrapConfig::new(2);
+        assert!(tmix_empirical_tv(&clocks, &states, &[0.5, 0.5], 0.25, &boot).is_err());
+    }
+}

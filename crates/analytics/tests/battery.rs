@@ -1,0 +1,288 @@
+//! Statistical acceptance battery: every estimator checked against a
+//! closed form.
+//!
+//! * t_mix crossing fit vs the exact Ehrenfest `k = 2` mixing time from
+//!   `ehrenfest::mixing` — an `m`-sweep with a CI-coverage assertion
+//!   (the ISSUE 9 headline claim).
+//! * Absorption-time mean vs the `markov::birth_death`
+//!   `expected_hitting_time` closed form on a 2-strategy dominance pair.
+//! * Cycle period detection on a synthetic sinusoid, and on
+//!   shapley-cycle under pairwise imitation at `n = 6400` with the
+//!   tolerance pinned at ≥ 3× the observed deviation (PR-5
+//!   divergence-panel style).
+//!
+//! Everything here is deterministic (splittable stream RNG + fixed
+//! seeds), so each assertion is a regression pin, not a flaky
+//! statistical coin flip.
+
+use popgame_analytics::{
+    absorption_stats, absorption_stats_ci, cycle_metrology, cycle_over_replicas,
+    tmix_empirical_tv, AbsorptionObservation, BootstrapConfig, TmixFit,
+};
+use popgame_ehrenfest::mixing::{exact_mixing_time_k2, k2_birth_death};
+use popgame_ehrenfest::process::{EhrenfestParams, EhrenfestProcess};
+use popgame_markov::birth_death::BirthDeathChain;
+use popgame_markov::mixing::MIXING_THRESHOLD;
+use popgame_runner::run_replicas;
+use popgame_solver::dynamics::{engine_from_profile, DynamicsRule, GameDynamics};
+use popgame_solver::scenarios::by_name;
+use rand::Rng;
+
+/// Record the first-urn count of a batched `k = 2` Ehrenfest run at every
+/// leap boundary (clock 0 included). The first-urn count is exactly the
+/// birth–death projection coordinate of `k2_birth_death`.
+fn ehrenfest_state_series(
+    params: EhrenfestParams,
+    steps: u64,
+    batch: u64,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let mut process = EhrenfestProcess::all_in_last_urn(params);
+    let mut states = vec![process.counts()[0] as usize];
+    let mut executed = 0;
+    while executed < steps {
+        let burst = batch.min(steps - executed);
+        process.run_batched(burst, batch, rng);
+        executed += burst;
+        states.push(process.counts()[0] as usize);
+    }
+    states
+}
+
+/// The exact TV profile's threshold crossing, interpolated between
+/// integer steps the same way the estimator interpolates between clock
+/// samples — the apples-to-apples continuous target for the crossing
+/// fit. `exact_mixing_time_k2` is its ceiling by definition.
+fn exact_interpolated_crossing(params: &EhrenfestParams, threshold: f64) -> f64 {
+    let bd = k2_birth_death(params).unwrap();
+    let m = params.m() as usize;
+    let profile = bd.distance_profile(&[0, m], 20_000).unwrap();
+    let index = profile
+        .iter()
+        .position(|&d| d <= threshold)
+        .expect("lazy k=2 chain mixes well inside t_max");
+    if index == 0 {
+        return 0.0;
+    }
+    let above = profile[index - 1];
+    let below = profile[index];
+    (index - 1) as f64 + (above - threshold) / (above - below)
+}
+
+/// ISSUE 9 acceptance claim: the generic t_mix estimator on batched
+/// Ehrenfest trajectories reproduces the exact `k = 2` mixing time within
+/// its bootstrap CI, for three values of `m`.
+///
+/// Two opposing systematic effects bound the tuning here: the empirical
+/// TV plug-in bias (`O(√(states/replicas))`, crossing fitted late) and
+/// the τ-leap drift (`O(batch/m)`, crossing fitted early). The batch
+/// sizes keep `batch/m ≤ 1/16` so the drift stays well inside the CI;
+/// observed coverage margins at these settings are ≥ 0.4 of the interval
+/// width on each side.
+#[test]
+fn generic_tmix_covers_exact_ehrenfest_mixing_time_across_m_sweep() {
+    for (m, batch, replicas) in [(32u64, 2u64, 600u64), (64, 3, 600), (128, 4, 600)] {
+        let params = EhrenfestParams::new(2, 0.5, 0.5, m).unwrap();
+        let exact_integer = exact_mixing_time_k2(&params, MIXING_THRESHOLD, 20_000)
+            .unwrap()
+            .expect("lazy k=2 chain mixes well inside t_max");
+        let exact = exact_interpolated_crossing(&params, MIXING_THRESHOLD);
+        // Sanity: the integer mixing time is the crossing's ceiling.
+        assert_eq!(exact.ceil() as usize, exact_integer, "m = {m}");
+
+        let horizon = (8.0 * exact) as u64;
+        let clocks: Vec<u64> = std::iter::once(0)
+            .chain((1..).map(|i| (i * batch).min(horizon)).take_while(|&c| c < horizon))
+            .chain(std::iter::once(horizon))
+            .collect();
+        let states = run_replicas(0x0EE7_0000 + m, replicas, |_, mut rng| {
+            ehrenfest_state_series(params, horizon, batch, &mut rng)
+        });
+        assert!(states.iter().all(|s| s.len() == clocks.len()));
+
+        let pmf = k2_birth_death(&params).unwrap().stationary();
+        let boot = BootstrapConfig { resamples: 120, confidence: 0.95, seed: 0xB007 + m };
+        let fit =
+            tmix_empirical_tv(&clocks, &states, &pmf, MIXING_THRESHOLD, &boot).unwrap();
+        match fit {
+            TmixFit::Mixed(est) => {
+                assert!(
+                    est.lo <= exact && exact <= est.hi,
+                    "m = {m}: exact t_mix {exact} outside CI [{}, {}] (point {})",
+                    est.lo,
+                    est.hi,
+                    est.point
+                );
+                // The point itself should land near the exact value, not
+                // merely inside a wide interval.
+                assert!(
+                    (est.point - exact).abs() <= 0.1 * exact,
+                    "m = {m}: point {} too far from exact {exact}",
+                    est.point
+                );
+                assert!(est.crossed_resamples >= boot.resamples / 2);
+            }
+            other => panic!("m = {m}: expected a crossing, got {other:?}"),
+        }
+    }
+}
+
+/// A 2-strategy dominance pair projected to a birth–death chain: the
+/// dominant strategy's count random-walks upward (imitation of the
+/// higher earner) with a weak reverse rate (imitation noise). Simulated
+/// hitting times of the all-dominant state must agree with the
+/// `expected_hitting_time` closed form within the bootstrap CI.
+#[test]
+fn absorption_mean_matches_birth_death_closed_form() {
+    let n = 12usize;
+    let up: Vec<f64> = (0..=n).map(|i| if i == n { 0.0 } else { 0.3 }).collect();
+    let down: Vec<f64> = (0..=n).map(|i| if i == 0 { 0.0 } else { 0.1 }).collect();
+    let chain = BirthDeathChain::new(up.clone(), down.clone()).unwrap();
+    let exact = chain.expected_hitting_time(0, n).unwrap();
+
+    let horizon = 4000.0;
+    let obs = run_replicas(0x0AB5_012B, 4000, |_, mut rng| {
+        let mut x = 0usize;
+        let mut t = 0u64;
+        while x < n && (t as f64) < horizon {
+            let u: f64 = rng.gen();
+            if u < up[x] {
+                x += 1;
+            } else if u < up[x] + down[x] {
+                x -= 1;
+            }
+            t += 1;
+        }
+        AbsorptionObservation { time: t as f64, absorbed: x == n }
+    });
+
+    let boot = BootstrapConfig { resamples: 200, confidence: 0.95, seed: 0x00AB_50C1 };
+    let (stats, ci) = absorption_stats_ci(&obs, horizon, &boot).unwrap();
+    assert!(
+        stats.absorbed_fraction > 0.999,
+        "expected essentially full absorption, got {}",
+        stats.absorbed_fraction
+    );
+    assert!(
+        ci.lo <= exact && exact <= ci.hi,
+        "closed-form mean {exact} outside CI [{}, {}] (point {})",
+        ci.lo,
+        ci.hi,
+        stats.mean_restricted
+    );
+    assert!(
+        (stats.mean_restricted - exact).abs() <= 0.05 * exact,
+        "restricted mean {} too far from closed form {exact}",
+        stats.mean_restricted
+    );
+    // The distribution's shape is sane: median below mean (right-skewed
+    // first-passage law), p95 above it.
+    assert!(stats.median.unwrap() <= stats.mean_restricted);
+    assert!(stats.p95.unwrap() >= stats.mean_restricted);
+}
+
+/// Same chain observed under a horizon that censors a meaningful share of
+/// replicas: Kaplan–Meier quantiles degrade gracefully and nothing
+/// panics; the restricted mean sits strictly below the closed form.
+#[test]
+fn censored_absorption_ensemble_degrades_gracefully() {
+    let n = 12usize;
+    let up: Vec<f64> = (0..=n).map(|i| if i == n { 0.0 } else { 0.3 }).collect();
+    let down: Vec<f64> = (0..=n).map(|i| if i == 0 { 0.0 } else { 0.1 }).collect();
+    let chain = BirthDeathChain::new(up.clone(), down.clone()).unwrap();
+    let exact = chain.expected_hitting_time(0, n).unwrap();
+
+    let horizon = (0.8 * exact).floor();
+    let obs = run_replicas(0x0AB5_012B, 1000, |_, mut rng| {
+        let mut x = 0usize;
+        let mut t = 0u64;
+        while x < n && (t as f64) < horizon {
+            let u: f64 = rng.gen();
+            if u < up[x] {
+                x += 1;
+            } else if u < up[x] + down[x] {
+                x -= 1;
+            }
+            t += 1;
+        }
+        AbsorptionObservation { time: t as f64, absorbed: x == n }
+    });
+
+    let stats = absorption_stats(&obs, horizon).unwrap();
+    assert!(stats.absorbed_fraction > 0.05 && stats.absorbed_fraction < 0.95);
+    assert!(stats.mean_restricted < exact);
+    assert_eq!(stats.p95, None, "p95 must be starved under heavy censoring");
+    assert!(stats.mean_absorbed.unwrap() < stats.mean_restricted);
+}
+
+/// Cycle metrology on a synthetic sinusoid with known period and
+/// amplitude. Observed deviations are far below the pinned tolerances
+/// (≥ 3× margin): period error < 1 clock vs ±10, amplitude error < 1e-3
+/// vs ±0.01.
+#[test]
+fn sinusoid_period_and_amplitude_pinned() {
+    let clocks: Vec<u64> = (0..600).map(|i| i * 7).collect();
+    let period = 350.0;
+    let amplitude = 0.18;
+    let series: Vec<f64> = clocks
+        .iter()
+        .map(|&c| 1.0 / 3.0 + amplitude * ((c as f64 / period) * std::f64::consts::TAU).sin())
+        .collect();
+    let est = cycle_metrology(&clocks, &series).unwrap().expect("sinusoid is cyclic");
+    assert!((est.period - period).abs() < 10.0, "period = {}", est.period);
+    assert!((est.amplitude - amplitude).abs() < 0.01, "amplitude = {}", est.amplitude);
+    assert!(est.crossings >= 10);
+}
+
+/// Shapley-cycle under logit (η = 2.0, the divergence panel's logit
+/// rule) at `n = 6400` settles into a sustained limit cycle around the
+/// interior equilibrium, and the ensemble fit measures it. The bands
+/// below are pinned from observed values with ≥ 3× margin, PR-5
+/// divergence-panel style: observed period ≈ 16.7k–17.8k interactions
+/// (spread ≲ 1.2k) → band [12 000, 23 000]; observed amplitude ≈ 0.140
+/// (spread ≲ 0.001) → band [0.10, 0.18].
+///
+/// (Pairwise imitation also orbits the cycle, but its orbit grows until
+/// a strategy goes extinct — extinction is absorbing for imitation —
+/// so only logit-style full-support rules sustain a measurable cycle.)
+#[test]
+fn shapley_cycle_period_detected_at_n_6400() {
+    let n = 6400u64;
+    let scenario = by_name("shapley-cycle").expect("registry scenario");
+    let dynamics = GameDynamics::new(scenario.game(), DynamicsRule::Logit { eta: 2.0 }).unwrap();
+    let start = [0.6, 0.25, 0.15];
+    let horizon = 60 * n;
+    let batch = 320; // harness_batch(6400)
+    let stride = 8 * batch;
+
+    let replica_series: Vec<Vec<f64>> = run_replicas(20240717, 6, |_, mut rng| {
+        let mut engine = engine_from_profile(dynamics.clone(), &start, n).unwrap();
+        let mut freq0 = vec![engine.frequencies()[0]];
+        let mut done = 0u64;
+        while done < horizon {
+            let burst = stride.min(horizon - done);
+            engine.run_batched(burst, batch, &mut rng).unwrap();
+            done += burst;
+            freq0.push(engine.frequencies()[0]);
+        }
+        freq0
+    });
+    let clocks: Vec<u64> = (0..replica_series[0].len() as u64).map(|i| i * stride).collect();
+
+    let boot = BootstrapConfig { resamples: 120, confidence: 0.95, seed: 0xC1C7E };
+    let ensemble = cycle_over_replicas(&clocks, &replica_series, &boot)
+        .unwrap()
+        .expect("shapley-cycle under logit oscillates in most replicas");
+    assert_eq!(ensemble.detected, 6, "every replica should cycle");
+    assert!(ensemble.period_lo <= ensemble.period && ensemble.period <= ensemble.period_hi);
+    assert!(
+        ensemble.period > 12_000.0 && ensemble.period < 23_000.0,
+        "period = {}",
+        ensemble.period
+    );
+    assert!(
+        ensemble.amplitude > 0.10 && ensemble.amplitude < 0.18,
+        "amplitude = {}",
+        ensemble.amplitude
+    );
+}

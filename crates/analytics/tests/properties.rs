@@ -1,0 +1,184 @@
+//! Property coverage for the estimators (ISSUE 9 satellite): CI order
+//! statistics, permutation invariance of the envelope fit, bitwise
+//! determinism, and absorption edge cases.
+
+use popgame_analytics::{
+    absorption_stats, absorption_stats_ci, basic_ci, cycle_over_replicas, tmix_empirical_tv,
+    tmix_mean_tv, AbsorptionObservation, BootstrapConfig, ResampleScheme, TmixFit,
+};
+use proptest::prelude::*;
+
+/// Deterministic value noise from integer inputs, in `[0, 1)`.
+fn noise(a: u64, b: u64) -> f64 {
+    let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(b);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A replica ensemble of decaying TV series with per-replica jitter.
+fn decaying_ensemble(replicas: usize, points: usize, scale: u64) -> (Vec<u64>, Vec<Vec<f64>>) {
+    let clocks: Vec<u64> = (0..points as u64).map(|i| i * scale.max(1)).collect();
+    let series = (0..replicas)
+        .map(|r| {
+            clocks
+                .iter()
+                .map(|&c| {
+                    let base = 0.9 * (-(c as f64) / (points as f64 * scale.max(1) as f64 / 4.0)).exp();
+                    (base + 0.05 * noise(r as u64, c)).min(1.0)
+                })
+                .collect()
+        })
+        .collect();
+    (clocks, series)
+}
+
+/// Apply a permutation derived from `key` to the replica order.
+fn permuted<T: Clone>(rows: &[T], key: u64) -> Vec<T> {
+    let mut out: Vec<T> = rows.to_vec();
+    let n = out.len();
+    for i in (1..n).rev() {
+        let j = (noise(key, i as u64) * (i + 1) as f64) as usize;
+        out.swap(i, j.min(i));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bootstrap CIs are order-statistics-valid: `lo ≤ point ≤ hi`,
+    /// whatever the data, scheme, or knobs.
+    #[test]
+    fn bootstrap_ci_is_order_valid(
+        seed in 0u64..u64::MAX,
+        count in 1usize..40,
+        resamples in 2u32..80,
+        block in 1usize..10,
+        use_block_bit in 0u8..2,
+    ) {
+        let values: Vec<f64> = (0..count).map(|i| noise(seed, i as u64) * 10.0 - 5.0).collect();
+        let point = values.iter().sum::<f64>() / count as f64;
+        let config = BootstrapConfig { resamples, confidence: 0.9, seed };
+        let scheme = if use_block_bit == 1 {
+            ResampleScheme::MovingBlock { len: count, block }
+        } else {
+            ResampleScheme::Replicas { count }
+        };
+        let ci = basic_ci(point, scheme, &config, |idx| {
+            Some(idx.iter().map(|&i| values[i]).sum::<f64>() / idx.len() as f64)
+        }).unwrap();
+        prop_assert!(ci.lo <= point && point <= ci.hi);
+        prop_assert!(ci.valid == resamples);
+    }
+
+    /// The monotone-envelope point fit is invariant to replica
+    /// permutation: the replica-mean series (and the empirical histogram)
+    /// don't depend on replica order.
+    #[test]
+    fn envelope_fit_is_replica_permutation_invariant(
+        seed in 0u64..u64::MAX,
+        replicas in 2usize..12,
+        points in 4usize..30,
+    ) {
+        let (clocks, series) = decaying_ensemble(replicas, points, 7);
+        let boot = BootstrapConfig::new(1234);
+        let base = tmix_mean_tv(&clocks, &series, 0.25, &boot).unwrap();
+        let shuffled = tmix_mean_tv(&clocks, &permuted(&series, seed), 0.25, &boot).unwrap();
+        match (base, shuffled) {
+            (TmixFit::Mixed(a), TmixFit::Mixed(b)) => {
+                // Mean-series crossing: permutation changes only float
+                // summation order, so points agree to tight tolerance.
+                prop_assert!((a.point - b.point).abs() < 1e-9);
+            }
+            (a, b) => prop_assert_eq!(a.kind_label(), b.kind_label()),
+        }
+
+        // The empirical-TV variant's histogram is exactly order-free, so
+        // its point fit is bitwise invariant.
+        let states: Vec<Vec<usize>> = (0..replicas)
+            .map(|r| (0..points).map(|p| ((noise(r as u64, p as u64) * 3.0) as usize).min(2)).collect())
+            .collect();
+        let pmf = [0.25, 0.5, 0.25];
+        let a = tmix_empirical_tv(&clocks, &states, &pmf, 0.4, &boot).unwrap();
+        let b = tmix_empirical_tv(&clocks, &permuted(&states, seed), &pmf, 0.4, &boot).unwrap();
+        match (a, b) {
+            (TmixFit::Mixed(a), TmixFit::Mixed(b)) => prop_assert_eq!(a.point, b.point),
+            (a, b) => prop_assert_eq!(a.kind_label(), b.kind_label()),
+        }
+    }
+
+    /// Equal seeds make every estimator bitwise-deterministic.
+    #[test]
+    fn estimators_are_bitwise_deterministic_for_equal_seeds(
+        seed in 0u64..u64::MAX,
+        replicas in 2usize..10,
+        points in 6usize..24,
+    ) {
+        let (clocks, series) = decaying_ensemble(replicas, points, 11);
+        let boot = BootstrapConfig { resamples: 40, confidence: 0.95, seed };
+        prop_assert_eq!(
+            tmix_mean_tv(&clocks, &series, 0.25, &boot).unwrap(),
+            tmix_mean_tv(&clocks, &series, 0.25, &boot).unwrap()
+        );
+
+        let obs: Vec<AbsorptionObservation> = (0..replicas)
+            .map(|r| {
+                let u = noise(seed, r as u64);
+                AbsorptionObservation { time: u * 50.0, absorbed: u < 0.7 }
+            })
+            .collect();
+        prop_assert_eq!(
+            absorption_stats_ci(&obs, 50.0, &boot).unwrap(),
+            absorption_stats_ci(&obs, 50.0, &boot).unwrap()
+        );
+
+        let cyc: Vec<Vec<f64>> = (0..replicas)
+            .map(|r| {
+                clocks
+                    .iter()
+                    .map(|&c| (c as f64 / (3.0 + r as f64)).sin())
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(
+            cycle_over_replicas(&clocks, &cyc, &boot).unwrap(),
+            cycle_over_replicas(&clocks, &cyc, &boot).unwrap()
+        );
+    }
+
+    /// 0%- and 100%-absorbed ensembles never panic, and their stats are
+    /// internally consistent.
+    #[test]
+    fn absorption_edge_fractions_are_safe(
+        seed in 0u64..u64::MAX,
+        replicas in 1usize..30,
+        all_absorbed_bit in 0u8..2,
+    ) {
+        let horizon = 100.0;
+        let obs: Vec<AbsorptionObservation> = (0..replicas)
+            .map(|r| AbsorptionObservation {
+                time: if all_absorbed_bit == 1 { noise(seed, r as u64) * horizon } else { horizon },
+                absorbed: all_absorbed_bit == 1,
+            })
+            .collect();
+        let boot = BootstrapConfig { resamples: 20, confidence: 0.95, seed };
+        let stats = absorption_stats(&obs, horizon).unwrap();
+        let (stats_ci, ci) = absorption_stats_ci(&obs, horizon, &boot).unwrap();
+        prop_assert_eq!(stats, stats_ci);
+        prop_assert!(ci.lo <= stats.mean_restricted && stats.mean_restricted <= ci.hi);
+        if all_absorbed_bit == 1 {
+            prop_assert_eq!(stats.absorbed, replicas);
+            prop_assert!(stats.median.is_some());
+            prop_assert!(stats.p95.is_some());
+            prop_assert!(stats.mean_absorbed.is_some());
+        } else {
+            prop_assert_eq!(stats.absorbed, 0);
+            prop_assert_eq!(stats.mean_restricted, horizon);
+            prop_assert!(stats.median.is_none());
+            prop_assert!(stats.p95.is_none());
+            prop_assert!(stats.mean_absorbed.is_none());
+        }
+    }
+}

@@ -119,9 +119,31 @@ const SIMULATE_USAGE: &str = "usage: popgame simulate --scenario <name> \
 imitation-two-way|br-sample|k-igt] [--eta X] [--n N] \
      [--interactions I] [--replicas R] [--seed S]";
 
+const ANALYTICS_USAGE: &str = "usage: popgame analytics --scenario <name> \
+     [--dynamics ...] [--eta X] [--n N] [--interactions I] [--replicas R] [--seed S]\n\
+     (same flags as `popgame simulate`; records replica trajectories and \
+prints the response with the `analytics` time-constant block)";
+
 /// `popgame simulate` — a deterministic replica sweep via the shared
 /// `/simulate` executor (same validation, same response document).
 pub fn simulate(args: &[String]) -> Result<(), CliError> {
+    simulate_impl(args, SIMULATE_USAGE, false)
+}
+
+/// `popgame analytics` — the same replica sweep with trajectory
+/// recording on: the response carries the opt-in `analytics` block
+/// (t_mix(ε) fit, absorption-time statistics, limit-cycle metrology,
+/// each with deterministic bootstrap CIs). Base fields are byte-identical
+/// to `popgame simulate` with the same flags.
+pub fn analytics(args: &[String]) -> Result<(), CliError> {
+    simulate_impl(args, ANALYTICS_USAGE, true)
+}
+
+fn simulate_impl(
+    args: &[String],
+    usage_text: &str,
+    analytics: bool,
+) -> Result<(), CliError> {
     let mut fields: Vec<(&str, Json)> = Vec::new();
     let push_field = |fields: &mut Vec<(&str, Json)>,
                           key: &'static str,
@@ -137,7 +159,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--help" => {
-                println!("{SIMULATE_USAGE}");
+                println!("{usage_text}");
                 return Ok(());
             }
             "--scenario" => {
@@ -176,11 +198,14 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
                 let v = take_value(&mut it, "--seed")?;
                 push_field(&mut fields, "seed", Json::from(parse_u64("--seed", &v)?))?;
             }
-            other => return usage(format!("unknown flag {other}\n{SIMULATE_USAGE}")),
+            other => return usage(format!("unknown flag {other}\n{usage_text}")),
         }
     }
     if fields.is_empty() {
-        return usage(SIMULATE_USAGE);
+        return usage(usage_text.to_string());
+    }
+    if analytics {
+        fields.push(("analytics", Json::from(true)));
     }
     let request = SimulateRequest::from_json(&Json::obj(fields)).map_err(CliError::Usage)?;
     let doc = execute_simulate(&request, &AtomicBool::new(false)).map_err(CliError::Runtime)?;
@@ -473,6 +498,16 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
             ("final_frequencies", Json::floats(&engine.frequencies())),
         ]));
     }
+    // Time-constant estimator throughput: a synthetic replica ensemble
+    // pushed through the full analytics battery (t_mix envelope fit,
+    // absorption statistics, cycle metrology — bootstraps included).
+    // The inputs are deterministic; only the timing is machine-dependent.
+    let analytics_bench = bench_analytics(seed).map_err(CliError::Runtime)?;
+    metrics.push(perf::Metric::new(
+        "bench_analytics",
+        analytics_bench.get("batteries_per_sec").unwrap().as_f64().unwrap(),
+        "per_sec",
+    ));
     let mode = if quick { "quick" } else { "default" };
     if let Some(history) = &history_path {
         perf::append_history(Path::new(history), "popgame-bench", mode, &metrics)
@@ -484,6 +519,7 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
         ("n", Json::from(n)),
         ("seed", Json::from(seed)),
         ("results", Json::arr(results)),
+        ("analytics", analytics_bench),
     ]);
     print!("{}", doc.pretty());
     if check {
@@ -524,4 +560,70 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
         eprintln!("perf gate: all {} metrics within tolerance", outcomes.len());
     }
     Ok(())
+}
+
+/// One timed pass of the time-constant battery over a synthetic
+/// ensemble: 48 replicas × 240 trajectory points, roughly the shape the
+/// report harness feeds the estimators. Returns the measurement as JSON;
+/// the `batteries_per_sec` field is the `bench_analytics` gate metric.
+fn bench_analytics(seed: u64) -> Result<Json, String> {
+    use popgame_analytics::{
+        absorption_stats_ci, cycle_over_replicas, tmix_mean_tv, AbsorptionObservation,
+        BootstrapConfig,
+    };
+    let replicas = 48usize;
+    let points = 240usize;
+    let boot = |stream: u64| BootstrapConfig {
+        resamples: 200,
+        confidence: 0.95,
+        seed: seed ^ stream,
+    };
+    let clocks: Vec<u64> = (0..points as u64).map(|i| i * 50).collect();
+    // TV decaying through ε = 0.1 with a replica-dependent wiggle, so the
+    // envelope fit and its bootstrap both do real work.
+    let tv_series: Vec<Vec<f64>> = (0..replicas)
+        .map(|r| {
+            (0..points)
+                .map(|i| {
+                    let t = i as f64 / (points - 1) as f64;
+                    (1.0 - t) * (0.85 + 0.15 * ((r * 7 + i) as f64).sin().abs())
+                })
+                .collect()
+        })
+        .collect();
+    // An oscillating first-strategy frequency for the cycle fit.
+    let freq0: Vec<Vec<f64>> = (0..replicas)
+        .map(|r| {
+            (0..points)
+                .map(|i| 0.5 + 0.3 * (i as f64 * 0.35 + r as f64 * 0.2).sin())
+                .collect()
+        })
+        .collect();
+    let horizon = clocks[points - 1] as f64;
+    let observations: Vec<AbsorptionObservation> = (0..replicas)
+        .map(|r| AbsorptionObservation {
+            time: horizon * (0.2 + 0.6 * (r as f64 / replicas as f64)),
+            absorbed: r % 5 != 0,
+        })
+        .collect();
+    let batteries = 6u32;
+    let start = Instant::now();
+    for round in 0..u64::from(batteries) {
+        tmix_mean_tv(&clocks, &tv_series, 0.1, &boot(round * 3))
+            .map_err(|e| e.to_string())?;
+        absorption_stats_ci(&observations, horizon, &boot(round * 3 + 1))
+            .map_err(|e| e.to_string())?;
+        cycle_over_replicas(&clocks, &freq0, &boot(round * 3 + 2))
+            .map_err(|e| e.to_string())?;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let per_sec = f64::from(batteries) / elapsed.max(1e-9);
+    Ok(Json::obj([
+        ("bench", Json::from("time-constant estimator battery")),
+        ("batteries", Json::from(u64::from(batteries))),
+        ("replicas", Json::from(replicas as u64)),
+        ("points", Json::from(points as u64)),
+        ("seconds", Json::from(elapsed)),
+        ("batteries_per_sec", Json::from(per_sec)),
+    ]))
 }

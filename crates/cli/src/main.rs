@@ -5,6 +5,7 @@
 //! popgame solve hawk-dove                # exact equilibria of a scenario
 //! popgame solve --game '{"kind":"zero-sum","row":[[1,-1],[-1,1]]}'
 //! popgame simulate --scenario rock-paper-scissors --n 10000 --seed 7
+//! popgame analytics --scenario stag-hunt --n 1000  # + time-constant CIs
 //! popgame reproduce --quick              # REPORT.md + REPORT.json
 //! popgame serve --addr 127.0.0.1:8095    # boot popgamed in-process
 //! popgame bench --quick                  # engine throughput probe
@@ -30,6 +31,7 @@ commands:
   solve <scenario>                exact equilibria of a registry scenario
   solve --game <json>             exact equilibria of an explicit game
   simulate --scenario <name> ...  replica sweep, TV to exact equilibrium
+  analytics --scenario <name> ... simulate + t_mix / absorption / cycle CIs
   reproduce [--quick|--full] ...  regenerate REPORT.md + REPORT.json
                                   (--trace TRACE.json adds a span timeline)
   serve [daemon flags]            boot the popgamed HTTP service
@@ -51,6 +53,7 @@ fn main() -> ExitCode {
         "scenarios" => commands::scenarios(rest),
         "solve" => commands::solve(rest),
         "simulate" => commands::simulate(rest),
+        "analytics" => commands::analytics(rest),
         "reproduce" => commands::reproduce(rest),
         "serve" => commands::serve(rest),
         "bench" => commands::bench(rest),

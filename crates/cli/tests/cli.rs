@@ -103,11 +103,14 @@ fn reproduce_reports_are_byte_identical_across_runs() {
     assert!(md.contains("## Divergence panel: Shapley-style cycling (`shapley-cycle`)"));
     assert!(md.contains("pairwise-imitation"));
     assert!(md.contains("k-igt"));
+    assert!(md.contains("## Time constants"));
+    assert!(md.contains("### Limit-cycle metrology"));
     let json = String::from_utf8(json_a).unwrap();
     assert!(json.contains("\"schema_version\""));
     assert!(json.contains("\"decay_alpha\""));
     assert!(json.contains("\"eta_sweep\""));
     assert!(json.contains("\"divergence\""));
+    assert!(json.contains("\"time_constants\""));
     // A different seed produces different measurements.
     let dir_c = temp_dir("golden-c");
     let out = popgame(&[
@@ -192,6 +195,8 @@ fn usage_errors_exit_two_with_a_usage_message() {
             "more than once",
         ),
         (vec!["simulate", "--scenario", "hawk-dove", "--n", "abc"], "--n"),
+        (vec!["analytics"], "usage"),
+        (vec!["analytics", "--bogus-flag", "1"], "unknown flag"),
         (vec!["solve"], "usage"),
         (vec!["solve", "--game", "not json"], "--game"),
         (vec!["solve", "hawk-dove", "extra"], "unexpected argument"),
@@ -293,6 +298,42 @@ fn simulate_is_deterministic_and_matches_defaults() {
 }
 
 #[test]
+fn analytics_adds_time_constants_without_touching_the_base_fields() {
+    let flags = [
+        "--scenario", "stag-hunt", "--dynamics", "best-response",
+        "--n", "300", "--interactions", "6000", "--replicas", "2", "--seed", "5",
+    ];
+    let with_flag = |cmd: &str| {
+        let mut args = vec![cmd];
+        args.extend_from_slice(&flags);
+        popgame(&args)
+    };
+    let a = with_flag("analytics");
+    let b = with_flag("analytics");
+    assert!(a.status.success(), "{}", stderr(&a));
+    assert_eq!(stdout(&a), stdout(&b), "analytics runs are byte-identical");
+    let doc = Json::parse(&stdout(&a)).expect("analytics output parses");
+    let block = doc.get("analytics").expect("analytics block present");
+    assert!(block.get("tmix").unwrap().get("kind").unwrap().as_str().is_some());
+    assert!(block.get("absorption").unwrap().get("replicas").is_some());
+    // The recorder is observation-only: `popgame simulate` with the same
+    // flags produces the identical base document, minus the block.
+    let plain = with_flag("simulate");
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    let plain_doc = Json::parse(&stdout(&plain)).unwrap();
+    assert!(plain_doc.get("analytics").is_none());
+    for field in [
+        "mean_frequencies", "mean_tv_to_equilibrium", "replica_tv", "consensus_replicas",
+    ] {
+        assert_eq!(
+            doc.get(field).unwrap().encode(),
+            plain_doc.get(field).unwrap().encode(),
+            "analytics perturbed {field}"
+        );
+    }
+}
+
+#[test]
 fn simulate_serves_the_new_dynamics_and_scenarios() {
     // Count-coupled dynamics on a new registry scenario...
     let out = popgame(&[
@@ -341,6 +382,8 @@ fn bench_probe_reports_throughput() {
     let text = stdout(&out);
     assert!(text.contains("\"interactions_per_sec\""), "{text}");
     assert!(text.contains("imitation"), "{text}");
+    // The probe also times the analytics estimator battery.
+    assert!(text.contains("\"batteries_per_sec\""), "{text}");
 }
 
 #[test]
@@ -361,22 +404,25 @@ fn bench_history_appends_schema_versioned_rows() {
         .lines()
         .map(|line| Json::parse(line).expect("history line parses"))
         .collect();
-    // One row per metric per run: four dynamics rules, two runs appended.
-    assert_eq!(rows.len(), 8, "{text}");
+    // One row per metric per run: four dynamics rules plus the analytics
+    // estimator battery, two runs appended.
+    assert_eq!(rows.len(), 10, "{text}");
     for row in &rows {
         assert_eq!(row.get("schema_version").unwrap().as_u64(), Some(1));
         assert_eq!(row.get("bench").unwrap().as_str(), Some("popgame-bench"));
         assert!(row.get("ts_ms").unwrap().as_u64().is_some());
         assert!(row.get("value").unwrap().as_f64().unwrap() > 0.0);
     }
-    let per_run = |slice: &[Json]| {
+    let per_run = |slice: &[Json], name: &str| {
         slice
             .iter()
-            .filter(|r| r.get("metric").unwrap().as_str() == Some("ips_best-response"))
+            .filter(|r| r.get("metric").unwrap().as_str() == Some(name))
             .count()
     };
-    assert_eq!(per_run(&rows[..4]), 1, "{text}");
-    assert_eq!(per_run(&rows[4..]), 1, "{text}");
+    for metric in ["ips_best-response", "bench_analytics"] {
+        assert_eq!(per_run(&rows[..5], metric), 1, "{metric}: {text}");
+        assert_eq!(per_run(&rows[5..], metric), 1, "{metric}: {text}");
+    }
     let _ = std::fs::remove_dir_all(dir);
 }
 

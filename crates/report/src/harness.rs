@@ -1,6 +1,10 @@
 //! The sweep itself: configuration, execution, and the data model the
 //! renderers consume.
 
+use popgame_analytics::{
+    absorption_stats_ci, cycle_over_replicas, tmix_mean_tv, AbsorptionObservation,
+    AbsorptionStats, BootstrapCi, BootstrapConfig, CycleEnsemble, TmixFit,
+};
 use popgame_dist::divergence::tv_distance;
 use popgame_population::trajectory::TrajectoryRecorder;
 use popgame_runner::{mean_series, mean_vectors, run_tasks};
@@ -251,6 +255,72 @@ impl DivergencePanel {
     }
 }
 
+/// ε used by the report's convergence-time fits: the first interaction
+/// clock after which the replica-mean TV distance stays at or below ε.
+pub const TMIX_EPSILON: f64 = 0.1;
+
+/// Bootstrap resamples behind every time-constant confidence interval.
+pub const TIME_CONSTANT_RESAMPLES: u32 = 200;
+
+/// Two-sided confidence level of the time-constant intervals.
+pub const TIME_CONSTANT_CONFIDENCE: f64 = 0.95;
+
+/// Seed salt separating the time-constant bootstrap streams from every
+/// simulation stream (convergence, η-sweep, and divergence cells each
+/// carry their own salt already).
+const TIME_CONSTANT_SALT: u64 = 0x71C0_4574_B007_57A9;
+
+/// Time-constant estimates for one scenario-dynamics pair at the largest
+/// population size, fitted from the recorded replica trajectories by
+/// `popgame-analytics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeConstantRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Dynamics label.
+    pub dynamics: String,
+    /// Population size the trajectories were captured at.
+    pub n: u64,
+    /// t_mix([`TMIX_EPSILON`]) fit of the replica-mean TV series:
+    /// typed — an already-mixed start or a never-crossing series is
+    /// reported as such, never as a fake crossing.
+    pub tmix: TmixFit,
+    /// Absorption-time statistics of the per-replica first-consensus
+    /// clocks, censored at the horizon (resolution limited by the
+    /// trajectory recorder's stride).
+    pub absorption: AbsorptionStats,
+    /// Bootstrap CI on the restricted mean absorption time.
+    pub absorption_ci: BootstrapCi,
+}
+
+/// Limit-cycle metrology for one divergence-panel dynamic on the
+/// shapley-cycle scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleRow {
+    /// Dynamics label.
+    pub dynamics: String,
+    /// The ensemble cycle fit, `None` when fewer than half the replicas
+    /// oscillate measurably (e.g. imitation rules that hit extinction).
+    pub cycle: Option<CycleEnsemble>,
+}
+
+/// The time-constants section: per-pair convergence-time and
+/// absorption-time estimates plus divergence-panel cycle metrology, all
+/// with deterministic bootstrap CIs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeConstants {
+    /// The ε of the t_mix fits ([`TMIX_EPSILON`]).
+    pub epsilon: f64,
+    /// Bootstrap resamples per interval.
+    pub resamples: u32,
+    /// Two-sided confidence level of the intervals.
+    pub confidence: f64,
+    /// One row per convergence pair, same order as `Report::convergence`.
+    pub rows: Vec<TimeConstantRow>,
+    /// One row per divergence-panel dynamic, panel order.
+    pub cycles: Vec<CycleRow>,
+}
+
 /// The full report: configuration echo plus every measured section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -266,6 +336,8 @@ pub struct Report {
     pub eta_sweep: Vec<EtaSweepRow>,
     /// The Shapley-game divergence panel.
     pub divergence: DivergencePanel,
+    /// Time-constant estimates (t_mix, absorption, cycles) with CIs.
+    pub time_constants: TimeConstants,
 }
 
 /// SplitMix64-style mixing for decorrelated per-cell seeds.
@@ -762,6 +834,12 @@ fn run_report_impl(
         trace::is_enabled().then(|| trace::span(Family::Report, "report:assemble"));
     let (convergence, trajectories) =
         assemble_convergence(&conv_meta, &outcomes[..conv_end], config);
+    let time_constants = assemble_time_constants(
+        &conv_meta,
+        &outcomes[..conv_end],
+        &outcomes[eta_end..],
+        config,
+    )?;
     let report = Report {
         config: config.clone(),
         scenarios,
@@ -769,6 +847,7 @@ fn run_report_impl(
         trajectories,
         eta_sweep: assemble_eta_sweep(&eta_meta, &outcomes[conv_end..eta_end]),
         divergence: assemble_divergence(&outcomes[eta_end..], config),
+        time_constants,
     };
     Ok((report, profile))
 }
@@ -971,6 +1050,102 @@ fn divergence_specs(config: &ReportConfig) -> Result<Vec<CellSpec>, String> {
         .collect()
 }
 
+/// One bootstrap configuration of the time-constants section; `stream`
+/// decorrelates the t_mix, absorption, and cycle resampling streams.
+fn time_constant_boot(config: &ReportConfig, index: u64, stream: u64) -> BootstrapConfig {
+    BootstrapConfig {
+        resamples: TIME_CONSTANT_RESAMPLES,
+        confidence: TIME_CONSTANT_CONFIDENCE,
+        seed: cell_seed(config.seed ^ TIME_CONSTANT_SALT, index, stream),
+    }
+}
+
+/// Fits the time-constants section from the already-swept outcomes — no
+/// new simulation, only estimator passes over the recorded trajectories.
+/// Convergence pairs contribute t_mix and absorption fits at the largest
+/// size; the divergence panel contributes limit-cycle metrology.
+fn assemble_time_constants(
+    conv_meta: &[ConvRowMeta],
+    conv_outcomes: &[Vec<ReplicaOutcome>],
+    div_outcomes: &[Vec<ReplicaOutcome>],
+    config: &ReportConfig,
+) -> Result<TimeConstants, String> {
+    let sizes = config.sizes.len();
+    let n = *config.sizes.last().expect("validated non-empty");
+    let horizon = config.horizon_per_agent.saturating_mul(n);
+    let mut rows = Vec::with_capacity(conv_meta.len());
+    for (row_index, row_meta) in conv_meta.iter().enumerate() {
+        let outs = &conv_outcomes[row_index * sizes + (sizes - 1)];
+        let clocks: Vec<u64> = outs[0].trajectory.iter().map(|p| p.0).collect();
+        let tv_series: Vec<Vec<f64>> = outs
+            .iter()
+            .map(|o| o.trajectory.iter().map(|p| p.2).collect())
+            .collect();
+        let tmix = tmix_mean_tv(
+            &clocks,
+            &tv_series,
+            TMIX_EPSILON,
+            &time_constant_boot(config, row_index as u64, 0),
+        )
+        .map_err(|e| e.to_string())?;
+        // First recorded consensus point per replica (a consensus count
+        // makes one frequency exactly 1.0 — n/n is exact in f64), censored
+        // at the horizon when the replica never absorbs.
+        let observations: Vec<AbsorptionObservation> = outs
+            .iter()
+            .map(|o| {
+                o.trajectory
+                    .iter()
+                    .find(|p| p.1.contains(&1.0))
+                    .map_or(
+                        AbsorptionObservation { time: horizon as f64, absorbed: false },
+                        |p| AbsorptionObservation { time: p.0 as f64, absorbed: true },
+                    )
+            })
+            .collect();
+        let (absorption, absorption_ci) = absorption_stats_ci(
+            &observations,
+            horizon as f64,
+            &time_constant_boot(config, row_index as u64, 1),
+        )
+        .map_err(|e| e.to_string())?;
+        rows.push(TimeConstantRow {
+            scenario: row_meta.scenario.clone(),
+            dynamics: row_meta.dynamics.clone(),
+            n,
+            tmix,
+            absorption,
+            absorption_ci,
+        });
+    }
+    let cycles = divergence_rules()
+        .into_iter()
+        .zip(div_outcomes)
+        .enumerate()
+        .map(|(rule_index, (rule, outs))| {
+            let clocks: Vec<u64> = outs[0].trajectory.iter().map(|p| p.0).collect();
+            let freq0: Vec<Vec<f64>> = outs
+                .iter()
+                .map(|o| o.trajectory.iter().map(|p| p.1[0]).collect())
+                .collect();
+            let cycle = cycle_over_replicas(
+                &clocks,
+                &freq0,
+                &time_constant_boot(config, rule_index as u64, 2),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(CycleRow { dynamics: rule.label().to_string(), cycle })
+        })
+        .collect::<Result<Vec<CycleRow>, String>>()?;
+    Ok(TimeConstants {
+        epsilon: TMIX_EPSILON,
+        resamples: TIME_CONSTANT_RESAMPLES,
+        confidence: TIME_CONSTANT_CONFIDENCE,
+        rows,
+        cycles,
+    })
+}
+
 /// Folds pooled divergence outcomes back into the panel, rule order.
 fn assemble_divergence(
     outcomes: &[Vec<ReplicaOutcome>],
@@ -1135,6 +1310,61 @@ mod tests {
             assert_eq!(t.interactions.len(), t.mean_tv.len());
             assert_eq!(t.interactions.len(), t.mean_frequencies.len());
             assert_eq!(*t.interactions.last().unwrap(), 10 * 150);
+        }
+    }
+
+    #[test]
+    fn time_constants_cover_every_pair_and_are_well_formed() {
+        let config = tiny();
+        let report = run_report(&config).unwrap();
+        let tc = &report.time_constants;
+        assert_eq!(tc.epsilon, TMIX_EPSILON);
+        assert_eq!(tc.resamples, TIME_CONSTANT_RESAMPLES);
+        assert_eq!(tc.confidence, TIME_CONSTANT_CONFIDENCE);
+        // One row per convergence pair, same order; one cycle row per
+        // divergence dynamic, panel order.
+        assert_eq!(tc.rows.len(), report.convergence.len());
+        assert_eq!(tc.cycles.len(), report.divergence.rows.len());
+        let n = *config.sizes.last().unwrap();
+        let horizon = (config.horizon_per_agent * n) as f64;
+        for (row, conv) in tc.rows.iter().zip(&report.convergence) {
+            assert_eq!((row.scenario.as_str(), row.dynamics.as_str()),
+                (conv.scenario.as_str(), conv.dynamics.as_str()));
+            assert_eq!(row.n, n);
+            // A typed fit: a crossing carries an ordered CI inside the
+            // horizon, the other kinds carry no fake numbers.
+            if let TmixFit::Mixed(est) = &row.tmix {
+                assert!(est.lo <= est.point && est.point <= est.hi);
+                assert!(est.point >= 0.0 && est.point <= horizon);
+                assert!(est.crossed_resamples <= est.resamples);
+            }
+            // Absorption statistics: every replica observed, CI brackets
+            // the restricted mean, and the absorbed fraction dominates
+            // the final-state consensus fraction (final consensus is
+            // always a recorded trajectory point).
+            assert_eq!(row.absorption.replicas as u64, config.replicas);
+            assert!(row.absorption.mean_restricted <= horizon);
+            assert!(
+                row.absorption_ci.lo <= row.absorption.mean_restricted
+                    && row.absorption.mean_restricted <= row.absorption_ci.hi
+            );
+            let consensus = conv.cells.last().unwrap().consensus_fraction;
+            assert!(
+                row.absorption.absorbed_fraction >= consensus,
+                "{}/{}: absorbed {} < consensus {}",
+                row.scenario,
+                row.dynamics,
+                row.absorption.absorbed_fraction,
+                consensus
+            );
+        }
+        for (cycle, div) in tc.cycles.iter().zip(&report.divergence.rows) {
+            assert_eq!(cycle.dynamics, div.dynamics);
+            if let Some(c) = &cycle.cycle {
+                assert!(c.period > 0.0 && c.amplitude > 0.0);
+                assert!(c.period_lo <= c.period && c.period <= c.period_hi);
+                assert!(c.detected * 2 >= c.replicas);
+            }
         }
     }
 

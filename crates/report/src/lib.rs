@@ -58,5 +58,6 @@ pub mod render;
 
 pub use harness::{
     run_report, run_report_profiled, run_report_sequential, CellProfile, ConvergenceCell,
-    ConvergenceRow, Report, ReportConfig, ReportProfile, ScenarioSummary, TrajectorySeries,
+    ConvergenceRow, CycleRow, Report, ReportConfig, ReportProfile, ScenarioSummary,
+    TimeConstantRow, TimeConstants, TrajectorySeries, TMIX_EPSILON,
 };

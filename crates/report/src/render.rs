@@ -7,13 +7,50 @@
 //! fixed-width formatting of already-deterministic numbers. Golden-file
 //! tests and the CI reproduction smoke compare whole files byte-for-byte.
 
-use crate::harness::{Report, ReportProfile, TrajectorySeries};
+use crate::harness::{Report, ReportProfile, TimeConstants, TrajectorySeries};
+use popgame_analytics::{
+    absorption_stats_json, bootstrap_ci_json, cycle_ensemble_json, tmix_fit_json, TmixFit,
+};
 use popgame_util::json::Json;
 
 /// Schema version stamped into `REPORT.json`; bump on breaking layout
 /// changes. Version 2 added the `eta_sweep` and `divergence` sections and
-/// widened the dynamics axis.
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// widened the dynamics axis. Version 3 added the `time_constants`
+/// section (t_mix/absorption/cycle estimates with bootstrap CIs).
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
+
+/// The whole `time_constants` JSON section. Estimate objects ride the
+/// shared encoders in [`popgame_analytics::json`] — the same shapes the
+/// service's `/simulate` analytics block uses.
+fn time_constants_json(tc: &TimeConstants) -> Json {
+    Json::obj([
+        ("epsilon", Json::from(tc.epsilon)),
+        ("resamples", Json::from(u64::from(tc.resamples))),
+        ("confidence", Json::from(tc.confidence)),
+        (
+            "rows",
+            Json::arr(tc.rows.iter().map(|row| {
+                Json::obj([
+                    ("scenario", Json::from(row.scenario.as_str())),
+                    ("dynamics", Json::from(row.dynamics.as_str())),
+                    ("n", Json::from(row.n)),
+                    ("tmix", tmix_fit_json(&row.tmix)),
+                    ("absorption", absorption_stats_json(&row.absorption)),
+                    ("absorption_mean_ci", bootstrap_ci_json(&row.absorption_ci)),
+                ])
+            })),
+        ),
+        (
+            "cycles",
+            Json::arr(tc.cycles.iter().map(|row| {
+                Json::obj([
+                    ("dynamics", Json::from(row.dynamics.as_str())),
+                    ("cycle", cycle_ensemble_json(&row.cycle)),
+                ])
+            })),
+        ),
+    ])
+}
 
 /// Renders `REPORT.json` (pretty-printed, trailing newline).
 pub fn report_json(report: &Report) -> String {
@@ -155,6 +192,7 @@ pub fn report_json(report: &Report) -> String {
                 ),
             ]),
         ),
+        ("time_constants", time_constants_json(&report.time_constants)),
     ]);
     doc.pretty()
 }
@@ -188,6 +226,16 @@ pub fn profile_json(profile: &ReportProfile) -> String {
         ),
     ]);
     doc.pretty()
+}
+
+/// Deterministic interaction-clock formatting: integral clocks drop the
+/// fraction, interpolated crossings keep one decimal.
+fn fmt_time(t: f64) -> String {
+    if t == t.trunc() {
+        format!("{t:.0}")
+    } else {
+        format!("{t:.1}")
+    }
 }
 
 /// Fixed-width, deterministic TV formatting: exact zeros stay `0`, tiny
@@ -510,6 +558,112 @@ pub fn report_markdown(report: &Report) -> String {
     }
     push(&mut out, "");
 
+    let tc = &report.time_constants;
+    push(&mut out, "## Time constants");
+    push(&mut out, "");
+    push(
+        &mut out,
+        &format!(
+            "Time-constant estimates at the largest population, fitted from \
+             the recorded replica trajectories by `popgame-analytics`: \
+             `t_mix(ε={})` is the monotone-envelope crossing of the \
+             replica-mean TV series (interaction clock, linearly \
+             interpolated), absorption times are each replica's first \
+             recorded consensus point censored at the `{}·n` horizon, and \
+             every interval is a deterministic {}-resample {:.0}% bootstrap \
+             whose resampling streams split from the report seed — these \
+             columns regenerate byte-identically. `≤ start` marks pairs \
+             already within ε at the first recorded point; `> horizon` marks \
+             pairs that never crossed.",
+            tc.epsilon,
+            config.horizon_per_agent,
+            tc.resamples,
+            tc.confidence * 100.0
+        ),
+    );
+    push(&mut out, "");
+    push(
+        &mut out,
+        "| scenario | dynamics | t_mix(ε) | 95% CI | absorbed | mean time | 95% CI | median | p95 |",
+    );
+    push(&mut out, "|---|---|---|---|---|---|---|---|---|");
+    for row in &tc.rows {
+        let (tmix, tmix_ci) = match &row.tmix {
+            TmixFit::Mixed(est) => (
+                fmt_time(est.point),
+                format!("[{}, {}]", fmt_time(est.lo), fmt_time(est.hi)),
+            ),
+            TmixFit::AlreadyMixed => ("≤ start".to_string(), "—".to_string()),
+            TmixFit::NotCrossed { .. } => ("> horizon".to_string(), "—".to_string()),
+        };
+        let stats = &row.absorption;
+        let opt = |v: Option<f64>| v.map_or("—".to_string(), fmt_time);
+        push(
+            &mut out,
+            &format!(
+                "| `{}` | {} | {} | {} | {}/{} | {} | [{}, {}] | {} | {} |",
+                row.scenario,
+                row.dynamics,
+                tmix,
+                tmix_ci,
+                stats.absorbed,
+                stats.replicas,
+                fmt_time(stats.mean_restricted),
+                fmt_time(row.absorption_ci.lo),
+                fmt_time(row.absorption_ci.hi),
+                opt(stats.median),
+                opt(stats.p95)
+            ),
+        );
+    }
+    push(&mut out, "");
+
+    push(
+        &mut out,
+        &format!(
+            "### Limit-cycle metrology (`{}`)",
+            report.divergence.scenario
+        ),
+    );
+    push(&mut out, "");
+    push(
+        &mut out,
+        "Zero-crossing period and peak amplitude of the first strategy's \
+         frequency on the divergence panel's replicas. A `—` row means \
+         fewer than half the replicas sustained a measurable oscillation — \
+         imitation-family dynamics absorb at the boundary Shapley triangle \
+         instead of cycling forever, and coarse trajectory sampling can hide \
+         a cycle at small capacities.",
+    );
+    push(&mut out, "");
+    push(&mut out, "| dynamics | period | 95% CI | amplitude | detected |");
+    push(&mut out, "|---|---|---|---|---|");
+    for row in &tc.cycles {
+        match &row.cycle {
+            Some(c) => push(
+                &mut out,
+                &format!(
+                    "| {} | {} | [{}, {}] | {:.4} | {}/{} |",
+                    row.dynamics,
+                    fmt_time(c.period),
+                    fmt_time(c.period_lo),
+                    fmt_time(c.period_hi),
+                    c.amplitude,
+                    c.detected,
+                    c.replicas
+                ),
+            ),
+            None => push(
+                &mut out,
+                &format!(
+                    "| {} | — | — | — | —/{} |",
+                    row.dynamics, config.replicas
+                ),
+            ),
+        }
+    }
+    push(&mut out, "");
+
     push(&mut out, "## Provenance");
     push(&mut out, "");
     push(
@@ -576,6 +730,28 @@ mod tests {
             Some("shapley-cycle")
         );
         assert_eq!(divergence.get("rows").unwrap().as_array().unwrap().len(), 6);
+        // Schema v3: the time-constants section mirrors the convergence
+        // and divergence axes, with typed t_mix kinds.
+        let tc = doc.get("time_constants").unwrap();
+        assert_eq!(tc.get("epsilon").unwrap().as_f64(), Some(0.1));
+        let rows = tc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), convergence.len());
+        for row in rows {
+            let kind = row
+                .get("tmix")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str()
+                .unwrap();
+            assert!(
+                ["crossed", "already-mixed", "not-crossed"].contains(&kind),
+                "{kind}"
+            );
+            let ci = row.get("absorption_mean_ci").unwrap();
+            assert!(ci.get("lo").unwrap().as_f64() <= ci.get("hi").unwrap().as_f64());
+        }
+        assert_eq!(tc.get("cycles").unwrap().as_array().unwrap().len(), 6);
     }
 
     #[test]
@@ -589,6 +765,10 @@ mod tests {
             "## Trajectories at the largest population",
             "## Logit η-sweep",
             "## Divergence panel: Shapley-style cycling (`shapley-cycle`)",
+            "## Time constants",
+            "### Limit-cycle metrology (`shapley-cycle`)",
+            "| scenario | dynamics | t_mix(ε) | 95% CI | absorbed | mean time | 95% CI | median | p95 |",
+            "| dynamics | period | 95% CI | amplitude | detected |",
             "## Provenance",
             "`matching-pennies` †",
             "`rock-paper-scissors`",

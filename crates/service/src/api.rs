@@ -29,7 +29,12 @@
 use crate::cache::ResultCache;
 use crate::http::{Request, Response};
 use crate::jobs::{JobProgress, JobState, JobStore, ProgressSnapshot};
+use popgame_analytics::{
+    absorption_stats_ci, absorption_stats_json, bootstrap_ci_json, cycle_ensemble_json,
+    cycle_over_replicas, tmix_fit_json, tmix_mean_tv, AbsorptionObservation, BootstrapConfig,
+};
 use popgame_dist::divergence::tv_distance;
+use popgame_population::trajectory::TrajectoryRecorder;
 use popgame_obs::log as obs_log;
 use popgame_obs::metrics::{registry, Counter, LatencyHistogram};
 use popgame_obs::trace::{self, Family};
@@ -58,6 +63,17 @@ pub const MAX_REPLICAS: u64 = 256;
 pub const MAX_SYNC_WORK: u64 = 4_000_000_000;
 /// Strategy-count ceiling for support enumeration (exponential path).
 pub const MAX_SOLVE_K: usize = 8;
+/// Trajectory points retained per replica when the `analytics` block is
+/// requested (bounded memory; the recorder thins by stride doubling).
+pub const ANALYTICS_TRAJECTORY_CAPACITY: usize = 64;
+/// ε of the analytics t_mix fit — the same threshold the report's
+/// time-constants section uses.
+pub const ANALYTICS_TMIX_EPSILON: f64 = 0.1;
+/// Bootstrap resamples behind the analytics confidence intervals.
+pub const ANALYTICS_RESAMPLES: u32 = 200;
+/// Seed salt separating the analytics bootstrap streams from the
+/// simulation's replica streams.
+const ANALYTICS_SALT: u64 = 0xA9A1_7515_B007_57A9;
 /// Strategy-count ceiling for the zero-sum LP (polynomial path).
 pub const MAX_ZEROSUM_K: usize = 64;
 
@@ -172,6 +188,11 @@ pub struct SimulateRequest {
     pub replicas: u64,
     /// Base RNG seed; replica `r` uses stream `(seed, r)`.
     pub seed: u64,
+    /// Whether to record per-replica trajectories and append the
+    /// `analytics` block (t_mix/absorption/cycle estimates with CIs).
+    /// Observation-only: the other response fields are byte-identical
+    /// with and without it.
+    pub analytics: bool,
 }
 
 const DEFAULT_ETA: f64 = 2.0;
@@ -207,7 +228,16 @@ impl SimulateRequest {
     pub fn from_json(doc: &Json) -> Result<Self, String> {
         check_known_fields(
             doc,
-            &["scenario", "dynamics", "eta", "n", "interactions", "replicas", "seed"],
+            &[
+                "scenario",
+                "dynamics",
+                "eta",
+                "n",
+                "interactions",
+                "replicas",
+                "seed",
+                "analytics",
+            ],
         )?;
         let scenario = doc
             .get("scenario")
@@ -249,6 +279,12 @@ impl SimulateRequest {
             return Err(format!("replicas must be in 1..={MAX_REPLICAS}, got {replicas}"));
         }
         let seed = field_u64(doc, "seed", 42)?;
+        let analytics = match doc.get("analytics") {
+            None => false,
+            Some(value) => value
+                .as_bool()
+                .ok_or("field \"analytics\" must be a boolean")?,
+        };
         // Only logit consults eta; normalizing it for the other rules
         // keeps one cache entry per actually-distinct computation.
         let eta = if dynamics == "logit" { eta } else { DEFAULT_ETA };
@@ -260,6 +296,7 @@ impl SimulateRequest {
             interactions,
             replicas,
             seed,
+            analytics,
         })
     }
 
@@ -276,6 +313,7 @@ impl SimulateRequest {
             ("interactions", Json::from(self.interactions)),
             ("replicas", Json::from(self.replicas)),
             ("seed", Json::from(self.seed)),
+            ("analytics", Json::from(self.analytics)),
         ])
         .encode()
     }
@@ -562,6 +600,7 @@ pub fn execute_simulate_observed(
     engine_from_profile(dynamics.clone(), &start, request.n).map_err(|e| e.to_string())?;
 
     let horizon = request.interactions;
+    let record = request.analytics;
     progress.begin(request.replicas);
     let replica_results = run_replicas_cancellable(
         request.seed,
@@ -572,6 +611,14 @@ pub fn execute_simulate_observed(
             let mut engine = engine_from_profile(dynamics.clone(), &start, request.n)
                 .expect("probed above");
             let batch = engine.suggested_batch();
+            // Opt-in trajectory capture. The recorder is observation-only
+            // (it never draws randomness), so recorded and plain replicas
+            // share one RNG stream — the base response fields are
+            // byte-identical whether analytics is requested or not.
+            let mut recorder = record.then(|| {
+                TrajectoryRecorder::new(ANALYTICS_TRAJECTORY_CAPACITY)
+                    .expect("capacity >= 2")
+            });
             // Chunked execution with cancellation checks. Chunks are a
             // multiple of the leap size, so the leap sequence — and hence
             // the RNG stream — is identical to one uninterrupted run.
@@ -583,17 +630,35 @@ pub fn execute_simulate_observed(
                     break;
                 }
                 let burst = chunk.min(horizon - done);
-                engine.run_batched(burst, batch, &mut rng).expect("n >= 2");
+                match recorder.as_mut() {
+                    Some(rec) => engine
+                        .run_recorded(burst, batch, &mut rng, rec)
+                        .expect("n >= 2"),
+                    None => engine.run_batched(burst, batch, &mut rng).expect("n >= 2"),
+                }
                 done += burst;
             }
             let freq = engine.frequencies();
-            let tv = equilibria
-                .iter()
-                .map(|eq| tv_distance(&freq, eq).expect("matching dimensions"))
-                .fold(f64::INFINITY, f64::min);
+            let nearest_tv = |freq: &[f64]| {
+                equilibria
+                    .iter()
+                    .map(|eq| tv_distance(freq, eq).expect("matching dimensions"))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let tv = nearest_tv(&freq);
             let consensus = engine.is_consensus();
+            let trajectory = recorder.map(|rec| {
+                rec.into_points()
+                    .into_iter()
+                    .map(|p| {
+                        let point_freq = p.frequencies();
+                        let point_tv = nearest_tv(&point_freq);
+                        (p.interactions, point_freq, point_tv)
+                    })
+                    .collect::<Vec<_>>()
+            });
             progress.task_done(trace::now_ns().saturating_sub(task_start));
-            (freq, tv, consensus)
+            (freq, tv, consensus, trajectory)
         },
     );
     let Some(results) = replica_results else {
@@ -604,12 +669,12 @@ pub fn execute_simulate_observed(
         // a partially-run replica could have slipped into the results.
         return Err("cancelled".to_string());
     }
-    let frequencies: Vec<Vec<f64>> = results.iter().map(|(f, _, _)| f.clone()).collect();
+    let frequencies: Vec<Vec<f64>> = results.iter().map(|(f, _, _, _)| f.clone()).collect();
     let mean_freq = mean_vectors(&frequencies);
-    let replica_tv: Vec<f64> = results.iter().map(|&(_, tv, _)| tv).collect();
+    let replica_tv: Vec<f64> = results.iter().map(|(_, tv, _, _)| *tv).collect();
     let mean_tv = replica_tv.iter().sum::<f64>() / replica_tv.len() as f64;
-    let consensus_replicas = results.iter().filter(|&&(_, _, c)| c).count();
-    Ok(Json::obj([
+    let consensus_replicas = results.iter().filter(|(_, _, c, _)| *c).count();
+    let mut fields = vec![
         ("scenario", Json::from(request.scenario.as_str())),
         ("dynamics", Json::from(request.dynamics.as_str())),
         ("eta", Json::from(request.eta)),
@@ -622,6 +687,81 @@ pub fn execute_simulate_observed(
         ("mean_tv_to_equilibrium", Json::from(mean_tv)),
         ("replica_tv", Json::floats(&replica_tv)),
         ("consensus_replicas", Json::from(consensus_replicas)),
+    ];
+    if request.analytics {
+        let trajectories: Vec<&Vec<(u64, Vec<f64>, f64)>> = results
+            .iter()
+            .map(|(_, _, _, t)| t.as_ref().expect("recorded when analytics is on"))
+            .collect();
+        fields.push(("analytics", analytics_json(request, &trajectories)?));
+    }
+    Ok(Json::obj(fields))
+}
+
+/// One bootstrap configuration of the analytics block; `stream`
+/// decorrelates the t_mix, absorption, and cycle resampling streams from
+/// each other (and [`ANALYTICS_SALT`] from the replica simulations).
+fn analytics_boot(seed: u64, stream: u64) -> BootstrapConfig {
+    BootstrapConfig {
+        resamples: ANALYTICS_RESAMPLES,
+        confidence: 0.95,
+        seed: seed ^ ANALYTICS_SALT ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    }
+}
+
+/// The opt-in `analytics` response block: t_mix(ε), absorption-time
+/// statistics, and limit-cycle metrology fitted from the recorded
+/// replica trajectories, each with a deterministic bootstrap CI. Encoded
+/// through the shared shapes in [`popgame_analytics::json`] — the same
+/// objects `REPORT.json`'s `time_constants` section carries.
+fn analytics_json(
+    request: &SimulateRequest,
+    trajectories: &[&Vec<(u64, Vec<f64>, f64)>],
+) -> Result<Json, String> {
+    let clocks: Vec<u64> = trajectories[0].iter().map(|p| p.0).collect();
+    let tv_series: Vec<Vec<f64>> = trajectories
+        .iter()
+        .map(|t| t.iter().map(|p| p.2).collect())
+        .collect();
+    let tmix = tmix_mean_tv(
+        &clocks,
+        &tv_series,
+        ANALYTICS_TMIX_EPSILON,
+        &analytics_boot(request.seed, 0),
+    )
+    .map_err(|e| e.to_string())?;
+    let horizon = request.interactions as f64;
+    // First recorded consensus point per replica (a consensus count makes
+    // one frequency exactly 1.0), censored at the horizon otherwise.
+    let observations: Vec<AbsorptionObservation> = trajectories
+        .iter()
+        .map(|t| {
+            t.iter()
+                .find(|p| p.1.contains(&1.0))
+                .map_or(
+                    AbsorptionObservation { time: horizon, absorbed: false },
+                    |p| AbsorptionObservation { time: p.0 as f64, absorbed: true },
+                )
+        })
+        .collect();
+    let (absorption, absorption_ci) =
+        absorption_stats_ci(&observations, horizon, &analytics_boot(request.seed, 1))
+            .map_err(|e| e.to_string())?;
+    let freq0: Vec<Vec<f64>> = trajectories
+        .iter()
+        .map(|t| t.iter().map(|p| p.1[0]).collect())
+        .collect();
+    let cycle = cycle_over_replicas(&clocks, &freq0, &analytics_boot(request.seed, 2))
+        .map_err(|e| e.to_string())?;
+    Ok(Json::obj([
+        ("epsilon", Json::from(ANALYTICS_TMIX_EPSILON)),
+        ("resamples", Json::from(u64::from(ANALYTICS_RESAMPLES))),
+        ("confidence", Json::from(0.95)),
+        ("trajectory_points", Json::from(clocks.len())),
+        ("tmix", tmix_fit_json(&tmix)),
+        ("absorption", absorption_stats_json(&absorption)),
+        ("absorption_mean_ci", bootstrap_ci_json(&absorption_ci)),
+        ("cycle", cycle_ensemble_json(&cycle)),
     ]))
 }
 
@@ -1219,6 +1359,82 @@ mod tests {
         assert_eq!(direct.encode(), via_canonical.encode());
         assert!(execute_canonical("{}", &never).is_err());
         assert!(execute_canonical("not json", &never).is_err());
+    }
+
+    #[test]
+    fn analytics_block_is_opt_in_and_never_perturbs_base_fields() {
+        let base = r#"{"scenario": "stag-hunt", "dynamics": "best-response",
+            "n": 400, "interactions": 20000, "replicas": 3, "seed": 11"#;
+        let plain = SimulateRequest::from_json(
+            &Json::parse(&format!("{base}}}")).unwrap(),
+        )
+        .unwrap();
+        let with = SimulateRequest::from_json(
+            &Json::parse(&format!("{base}, \"analytics\": true}}")).unwrap(),
+        )
+        .unwrap();
+        let never = AtomicBool::new(false);
+        let a = execute_simulate(&plain, &never).unwrap();
+        let b = execute_simulate(&with, &never).unwrap();
+        // The recorder is observation-only: every base field must be
+        // byte-identical whether or not analytics was requested.
+        for field in [
+            "scenario", "dynamics", "eta", "n", "interactions", "replicas", "seed",
+            "symmetric_equilibria", "mean_frequencies", "mean_tv_to_equilibrium",
+            "replica_tv", "consensus_replicas",
+        ] {
+            assert_eq!(
+                a.get(field).unwrap().encode(),
+                b.get(field).unwrap().encode(),
+                "analytics perturbed base field {field}"
+            );
+        }
+        assert!(a.get("analytics").is_none(), "analytics block must be opt-in");
+        let analytics = b.get("analytics").expect("requested block present");
+        // Recomputation with analytics is itself byte-deterministic.
+        let b2 = execute_simulate(&with, &never).unwrap();
+        assert_eq!(b.encode(), b2.encode());
+        // Block shape: estimator outputs with bootstrap parameters.
+        assert_eq!(analytics.get("epsilon").unwrap().as_f64(), Some(0.1));
+        assert_eq!(analytics.get("resamples").unwrap().as_u64(), Some(200));
+        let points = analytics.get("trajectory_points").unwrap().as_u64().unwrap();
+        assert!(
+            (2..=ANALYTICS_TRAJECTORY_CAPACITY as u64).contains(&points),
+            "{points} recorded points"
+        );
+        let kind = analytics.get("tmix").unwrap().get("kind").unwrap();
+        assert!(
+            ["crossed", "already-mixed", "not-crossed"].contains(&kind.as_str().unwrap())
+        );
+        let absorption = analytics.get("absorption").unwrap();
+        assert_eq!(absorption.get("replicas").unwrap().as_u64(), Some(3));
+        // The final state is force-recorded, so a replica counted in
+        // consensus_replicas is always seen as absorbed by the scan.
+        let consensus = b.get("consensus_replicas").unwrap().as_u64().unwrap();
+        assert!(absorption.get("absorbed").unwrap().as_u64().unwrap() >= consensus);
+    }
+
+    #[test]
+    fn analytics_flag_splits_canonical_keys_and_is_validated() {
+        let on = Json::parse(r#"{"scenario": "hawk-dove", "analytics": true}"#).unwrap();
+        let off = Json::parse(r#"{"scenario": "hawk-dove"}"#).unwrap();
+        let on = SimulateRequest::from_json(&on).unwrap();
+        let off = SimulateRequest::from_json(&off).unwrap();
+        assert_ne!(
+            on.canonical(),
+            off.canonical(),
+            "analytics responses must not be served from plain cache entries"
+        );
+        // Explicit false canonicalizes like the default.
+        let explicit =
+            Json::parse(r#"{"scenario": "hawk-dove", "analytics": false}"#).unwrap();
+        assert_eq!(
+            SimulateRequest::from_json(&explicit).unwrap().canonical(),
+            off.canonical()
+        );
+        let bad = Json::parse(r#"{"scenario": "hawk-dove", "analytics": 1}"#).unwrap();
+        let err = SimulateRequest::from_json(&bad).unwrap_err();
+        assert!(err.contains("analytics"), "{err}");
     }
 
     #[test]
