@@ -28,12 +28,12 @@ pub enum CliError {
     Runtime(String),
 }
 
-fn usage<T>(message: impl Into<String>) -> Result<T, CliError> {
+pub(crate) fn usage<T>(message: impl Into<String>) -> Result<T, CliError> {
     Err(CliError::Usage(message.into()))
 }
 
 /// Pulls the value following a flag.
-fn take_value<'a, I: Iterator<Item = &'a String>>(
+pub(crate) fn take_value<'a, I: Iterator<Item = &'a String>>(
     it: &mut I,
     flag: &str,
 ) -> Result<String, CliError> {
@@ -218,8 +218,10 @@ const REPRODUCE_USAGE: &str = "usage: popgame reproduce [--quick|--full] [--seed
      [--trajectory-points P] [--workers W] [--sequential] [--profile] \
      [--trace TRACE.json]";
 
-/// The documented default seed of the reproduction harness.
-const REPRODUCE_SEED: u64 = 20240717;
+/// The documented default seed of the reproduction harness — shared
+/// with `POST /reproduce` so daemon-rendered reports match in-process
+/// runs byte for byte.
+use popgame_report::REPRODUCE_SEED;
 
 /// `popgame reproduce` — run the paper-reproduction harness and write
 /// `REPORT.md` + `REPORT.json` (byte-identical across runs with equal
@@ -508,6 +510,16 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
         analytics_bench.get("batteries_per_sec").unwrap().as_f64().unwrap(),
         "per_sec",
     ));
+    // Two-instance consistent-hash serving probe: warmed cached hits
+    // routed over a hash ring, in-process. Cheap (a fraction of a
+    // second), so every bench run produces the fleet-aggregate metric
+    // the perf gate checks.
+    let fleet_bench = crate::fleet::in_process_fleet_probe().map_err(CliError::Runtime)?;
+    metrics.push(perf::Metric::new(
+        "fleet_cached_rps",
+        fleet_bench.get("cached_rps").unwrap().as_f64().unwrap(),
+        "per_sec",
+    ));
     let mode = if quick { "quick" } else { "default" };
     if let Some(history) = &history_path {
         perf::append_history(Path::new(history), "popgame-bench", mode, &metrics)
@@ -520,6 +532,7 @@ pub fn bench(args: &[String]) -> Result<(), CliError> {
         ("seed", Json::from(seed)),
         ("results", Json::arr(results)),
         ("analytics", analytics_bench),
+        ("fleet", fleet_bench),
     ]);
     print!("{}", doc.pretty());
     if check {

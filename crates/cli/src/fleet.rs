@@ -1,0 +1,601 @@
+//! `popgame fleet` — a share-nothing multi-instance loadgen with
+//! consistent-hash routing.
+//!
+//! The fleet spawns N independent `popgame serve` processes (ephemeral
+//! ports, no shared state), routes every request to an instance by
+//! consistent hash of its **canonical** cache key
+//! ([`popgame_service::ring::HashRing`]), and measures aggregate
+//! throughput and p99 latency through three phases:
+//!
+//! 1. **steady** — the warmed fleet at its base size; every request is
+//!    a cache hit on its owning instance.
+//! 2. **add-shard** — one instance joins. Only the keys on the new
+//!    node's arcs move (~`1/(N+1)` of the keyspace), so the hit rate
+//!    dips by about that much and recovers as the moved keys warm.
+//! 3. **remove-shard** — the joined instance leaves again. Moved keys
+//!    return to their original (still-warm) owners, so the hit rate
+//!    snaps back to 1 without recomputation.
+//!
+//! Every 200-response body is checked byte-for-byte against the
+//! instance-independent expected body (the determinism contract across
+//! processes). Results land in the `fleet` block of
+//! `BENCH_service.json` and as `popgame-fleet` rows in
+//! `BENCH_history.jsonl`.
+
+use crate::commands::{take_value, usage, CliError};
+use popgame_obs::perf;
+use popgame_service::ring::{HashRing, DEFAULT_VNODES};
+use popgame_service::{PopgameService, ServiceConfig};
+use popgame_util::json::Json;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A keep-alive HTTP/1.1 client for one `(thread, instance)` pair.
+struct Client {
+    addr: String,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            addr: addr.to_string(),
+            stream,
+            reader,
+        })
+    }
+
+    /// One POST over the persistent connection; reconnects once on error.
+    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, bool, String)> {
+        match self.post_once(path, body) {
+            Ok(reply) => Ok(reply),
+            Err(_) => {
+                *self = Client::connect(&self.addr)?;
+                self.post_once(path, body)
+            }
+        }
+    }
+
+    fn post_once(&mut self, path: &str, body: &str) -> std::io::Result<(u16, bool, String)> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let mut content_length = 0usize;
+        let mut cache_hit = false;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap_or(0);
+            } else if let Some(v) = lower.strip_prefix("x-popgame-cache:") {
+                cache_hit = v.trim() == "hit";
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
+        Ok((status, cache_hit, body))
+    }
+}
+
+/// One spawned `popgame serve` process and its bound address.
+struct Instance {
+    child: Child,
+    addr: String,
+}
+
+impl Instance {
+    /// Spawns `popgame serve --addr 127.0.0.1:0 --allow-remote-shutdown`
+    /// via the current executable and waits for the readiness line.
+    fn spawn() -> Result<Instance, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut child = Command::new(&exe)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--allow-remote-shutdown",
+                "--http-workers",
+                "4",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawning {}: {e}", exe.display()))?;
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading readiness line: {e}"))?;
+        let addr = line
+            .trim()
+            .rsplit("http://")
+            .next()
+            .filter(|a| a.contains(':'))
+            .ok_or_else(|| format!("unexpected readiness line {line:?}"))?
+            .to_string();
+        Ok(Instance { child, addr })
+    }
+
+    /// Graceful stop: `POST /shutdown`, then reap the process.
+    fn shutdown(mut self) {
+        if let Ok(mut client) = Client::connect(&self.addr) {
+            let _ = client.post("/shutdown", "");
+        }
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Instance {
+    fn drop(&mut self) {
+        // Safety net for error paths; the normal path reaps via
+        // `shutdown` (which consumes self before Drop sees a live child).
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The fleet workload: `keys` distinct simulate requests, small enough
+/// that warming is cheap but real enough that a missed route would cost
+/// a visible recomputation. Returns `(canonical, body)` pairs — routing
+/// hashes the canonical string, exactly what the server's cache keys.
+fn workload(keys: usize) -> Vec<(String, String)> {
+    (0..keys)
+        .map(|i| {
+            let body = format!(
+                r#"{{"scenario":"hawk-dove","n":200,"interactions":2000,"replicas":1,"seed":{i}}}"#
+            );
+            let doc = Json::parse(&body).expect("workload body is valid JSON");
+            let canonical = popgame_service::api::SimulateRequest::from_json(&doc)
+                .expect("workload body validates")
+                .canonical();
+            (canonical, body)
+        })
+        .collect()
+}
+
+/// Per-thread phase tallies.
+#[derive(Default)]
+struct ThreadStats {
+    latencies_us: Vec<u64>,
+    requests: u64,
+    hits: u64,
+    errors: u64,
+    mismatches: u64,
+}
+
+/// Runs one timed phase: `clients` threads, each cycling through the
+/// workload with a thread-dependent stride, routing every request by
+/// `ring` and keeping one connection per instance. `expected[k]` (when
+/// present) is the byte-exact body every 200 for key `k` must carry.
+fn run_phase(
+    ring: &HashRing,
+    work: &[(String, String)],
+    expected: &HashMap<String, String>,
+    clients: usize,
+    window: Duration,
+) -> Vec<ThreadStats> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut stats = ThreadStats::default();
+                    let mut connections: HashMap<String, Client> = HashMap::new();
+                    let start = Instant::now();
+                    // Coprime strides decorrelate the threads' key
+                    // sequences without shared state or randomness.
+                    let stride = 2 * t + 1;
+                    let mut index = t;
+                    while start.elapsed() < window {
+                        let (canonical, body) = &work[index % work.len()];
+                        index += stride;
+                        let Some(node) = ring.route(canonical) else {
+                            stats.errors += 1;
+                            continue;
+                        };
+                        let client = match connections.entry(node.to_string()) {
+                            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                match Client::connect(node) {
+                                    Ok(client) => e.insert(client),
+                                    Err(_) => {
+                                        stats.errors += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                        };
+                        let sent = Instant::now();
+                        match client.post("/simulate", body) {
+                            Ok((200, hit, reply)) => {
+                                stats.latencies_us.push(sent.elapsed().as_micros() as u64);
+                                stats.requests += 1;
+                                stats.hits += u64::from(hit);
+                                if let Some(expect) = expected.get(canonical) {
+                                    if reply != *expect {
+                                        stats.mismatches += 1;
+                                    }
+                                }
+                            }
+                            _ => stats.errors += 1,
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet client thread"))
+            .collect()
+    })
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn summarize(label: &str, instances: usize, stats: Vec<ThreadStats>, window: Duration) -> Json {
+    let mut latencies: Vec<u64> = stats.iter().flat_map(|s| s.latencies_us.clone()).collect();
+    latencies.sort_unstable();
+    let requests: u64 = stats.iter().map(|s| s.requests).sum();
+    let hits: u64 = stats.iter().map(|s| s.hits).sum();
+    let errors: u64 = stats.iter().map(|s| s.errors).sum();
+    let mismatches: u64 = stats.iter().map(|s| s.mismatches).sum();
+    let rps = requests as f64 / window.as_secs_f64();
+    Json::obj([
+        ("phase", Json::from(label)),
+        ("instances", Json::from(instances as u64)),
+        ("requests", Json::from(requests)),
+        ("requests_per_sec", Json::from((rps * 10.0).round() / 10.0)),
+        ("p50_us", Json::from(percentile(&latencies, 0.50))),
+        ("p99_us", Json::from(percentile(&latencies, 0.99))),
+        (
+            "cache_hit_rate",
+            Json::from(if requests > 0 {
+                (hits as f64 / requests as f64 * 1e4).round() / 1e4
+            } else {
+                0.0
+            }),
+        ),
+        ("errors", Json::from(errors)),
+        ("body_mismatches", Json::from(mismatches)),
+    ])
+}
+
+const FLEET_USAGE: &str = "usage: popgame fleet [--instances N] [--keys K] [--clients C] \
+     [--window-ms MS] [--quick] [--out PATH] [--history PATH] [--no-history]";
+
+/// `popgame fleet` — spawn, route, rebalance, measure (see the module
+/// docs for the phase semantics).
+///
+/// # Errors
+///
+/// Usage errors on malformed flags; runtime errors when instances fail
+/// to spawn, warm, or answer.
+pub fn fleet(args: &[String]) -> Result<(), CliError> {
+    let mut instances = 3usize;
+    let mut keys = 64usize;
+    let mut clients = 4usize;
+    let mut window = Duration::from_millis(1000);
+    let mut quick = false;
+    let mut out_path = "BENCH_service.json".to_string();
+    let mut history_path: Option<String> = Some("BENCH_history.jsonl".to_string());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" => {
+                println!("{FLEET_USAGE}");
+                return Ok(());
+            }
+            "--quick" => {
+                quick = true;
+                instances = 2;
+                keys = 16;
+                clients = 2;
+                window = Duration::from_millis(300);
+            }
+            "--instances" => {
+                instances = take_value(&mut it, "--instances")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--instances: {e}")))?;
+            }
+            "--keys" => {
+                keys = take_value(&mut it, "--keys")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--keys: {e}")))?;
+            }
+            "--clients" => {
+                clients = take_value(&mut it, "--clients")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--clients: {e}")))?;
+            }
+            "--window-ms" => {
+                let ms: u64 = take_value(&mut it, "--window-ms")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--window-ms: {e}")))?;
+                window = Duration::from_millis(ms);
+            }
+            "--out" => out_path = take_value(&mut it, "--out")?,
+            "--history" => history_path = Some(take_value(&mut it, "--history")?),
+            "--no-history" => history_path = None,
+            other => return usage(format!("unknown flag {other}\n{FLEET_USAGE}")),
+        }
+    }
+    if !(1..=16).contains(&instances) {
+        return usage("--instances must be in 1..=16");
+    }
+    if keys == 0 || clients == 0 {
+        return usage("--keys and --clients must be >= 1");
+    }
+
+    // Boot the base fleet plus the instance the add phase will join.
+    let mut fleet: Vec<Instance> = Vec::new();
+    for i in 0..=instances {
+        fleet.push(
+            Instance::spawn().map_err(|e| CliError::Runtime(format!("instance {i}: {e}")))?,
+        );
+    }
+    let joiner = fleet.pop().expect("spawned instances+1");
+    let base_ids: Vec<String> = fleet.iter().map(|inst| inst.addr.clone()).collect();
+    eprintln!(
+        "fleet: {} instances up ({}), +1 standby ({})",
+        fleet.len(),
+        base_ids.join(", "),
+        joiner.addr
+    );
+
+    let work = workload(keys);
+    let ring = HashRing::with_nodes(base_ids.iter().cloned(), DEFAULT_VNODES);
+
+    // Warm every key through the ring and pin the expected bytes. The
+    // expected body is instance-independent — that's the determinism
+    // contract this bench re-verifies on every subsequent response.
+    let mut expected: HashMap<String, String> = HashMap::new();
+    let mut warm_connections: HashMap<String, Client> = HashMap::new();
+    for (canonical, body) in &work {
+        let node = ring.route(canonical).expect("non-empty ring");
+        let client = match warm_connections.entry(node.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(
+                Client::connect(node)
+                    .map_err(|e| CliError::Runtime(format!("connecting {node}: {e}")))?,
+            ),
+        };
+        let (status, _, reply) = client
+            .post("/simulate", body)
+            .map_err(|e| CliError::Runtime(format!("warming {node}: {e}")))?;
+        if status != 200 {
+            return Err(CliError::Runtime(format!(
+                "warm request got {status}: {reply}"
+            )));
+        }
+        expected.insert(canonical.clone(), reply);
+    }
+    drop(warm_connections);
+
+    // Phase 1: the warmed base fleet.
+    let steady = summarize(
+        "steady",
+        ring.len(),
+        run_phase(&ring, &work, &expected, clients, window),
+        window,
+    );
+
+    // Phase 2: one shard joins; only its arcs' keys miss (and re-warm).
+    let mut grown = ring.clone();
+    grown.add(joiner.addr.clone());
+    let moved_on_add = work
+        .iter()
+        .filter(|(canonical, _)| ring.route(canonical) != grown.route(canonical))
+        .count();
+    let add_shard = summarize(
+        "add-shard",
+        grown.len(),
+        run_phase(&grown, &work, &expected, clients, window),
+        window,
+    );
+
+    // Phase 3: the joiner leaves; keys return to their warm owners.
+    let mut shrunk = grown.clone();
+    shrunk.remove(&joiner.addr);
+    joiner.shutdown();
+    let remove_shard = summarize(
+        "remove-shard",
+        shrunk.len(),
+        run_phase(&shrunk, &work, &expected, clients, window),
+        window,
+    );
+
+    for instance in fleet {
+        instance.shutdown();
+    }
+
+    let field = |phase: &Json, name: &str| phase.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+    let mismatches = [&steady, &add_shard, &remove_shard]
+        .iter()
+        .map(|p| p.get("body_mismatches").and_then(Json::as_u64).unwrap_or(u64::MAX))
+        .sum::<u64>();
+    let fleet_doc = Json::obj([
+        ("instances", Json::from(instances as u64)),
+        ("keys", Json::from(keys as u64)),
+        ("clients", Json::from(clients as u64)),
+        ("window_ms", Json::from(window.as_millis() as u64)),
+        ("quick", Json::from(quick)),
+        (
+            "moved_keys_on_add",
+            Json::obj([
+                ("moved", Json::from(moved_on_add as u64)),
+                ("total", Json::from(keys as u64)),
+            ]),
+        ),
+        ("steady", steady.clone()),
+        ("add_shard", add_shard.clone()),
+        ("remove_shard", remove_shard.clone()),
+        ("byte_identical", Json::from(mismatches == 0)),
+    ]);
+
+    // Merge into BENCH_service.json: the loadgen's single-instance rows
+    // stay, the fleet block is replaced.
+    let merged = match std::fs::read_to_string(&out_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(existing) => {
+                let fields = existing.as_object().map(|f| f.to_vec()).unwrap_or_default();
+                let mut fields: Vec<(String, Json)> =
+                    fields.into_iter().filter(|(k, _)| k != "fleet").collect();
+                fields.push(("fleet".to_string(), fleet_doc.clone()));
+                Json::obj(fields)
+            }
+            Err(_) => Json::obj([("fleet", fleet_doc.clone())]),
+        },
+        Err(_) => Json::obj([("fleet", fleet_doc.clone())]),
+    };
+    std::fs::write(&out_path, merged.pretty())
+        .map_err(|e| CliError::Runtime(format!("writing {out_path}: {e}")))?;
+    println!("{}", fleet_doc.pretty());
+
+    if let Some(history) = &history_path {
+        let metrics = [
+            perf::Metric::new("fleet_steady_rps", field(&steady, "requests_per_sec"), "per_sec"),
+            perf::Metric::new("fleet_steady_p99_us", field(&steady, "p99_us"), "us"),
+            perf::Metric::new("fleet_add_rps", field(&add_shard, "requests_per_sec"), "per_sec"),
+            perf::Metric::new("fleet_add_p99_us", field(&add_shard, "p99_us"), "us"),
+            perf::Metric::new(
+                "fleet_remove_rps",
+                field(&remove_shard, "requests_per_sec"),
+                "per_sec",
+            ),
+            perf::Metric::new(
+                "fleet_remove_p99_us",
+                field(&remove_shard, "p99_us"),
+                "us",
+            ),
+        ];
+        let mode = if quick { "quick" } else { "full" };
+        perf::append_history(Path::new(history), "popgame-fleet", mode, &metrics)
+            .map_err(|e| CliError::Runtime(format!("appending {history}: {e}")))?;
+    }
+    if mismatches > 0 {
+        return Err(CliError::Runtime(format!(
+            "fleet responses were not byte-identical ({mismatches} mismatches)"
+        )));
+    }
+    Ok(())
+}
+
+/// The in-process fleet probe behind `popgame bench`'s
+/// `fleet_cached_rps` metric: two `PopgameService` instances in this
+/// process, a hash ring over their addresses, and a short
+/// single-threaded cached-hit loop. Cheap enough to run on every bench
+/// invocation, which is what lets `bench --check` gate on the metric.
+///
+/// # Errors
+///
+/// A message when an instance fails to boot or a request fails.
+pub fn in_process_fleet_probe() -> Result<Json, String> {
+    let boot = || {
+        PopgameService::start(ServiceConfig {
+            http_workers: 2,
+            ..ServiceConfig::default()
+        })
+        .map_err(|e| format!("booting in-process instance: {e}"))
+    };
+    let a = boot()?;
+    let b = boot()?;
+    let ids = [a.local_addr().to_string(), b.local_addr().to_string()];
+    let ring = HashRing::with_nodes(ids.iter().cloned(), DEFAULT_VNODES);
+    let work = workload(16);
+    let mut connections: HashMap<String, Client> = HashMap::new();
+    let post = |connections: &mut HashMap<String, Client>,
+                    canonical: &str,
+                    body: &str|
+     -> Result<(u16, bool, String), String> {
+        let node = ring.route(canonical).expect("two nodes");
+        let client = match connections.entry(node.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(
+                Client::connect(node).map_err(|e| format!("connecting {node}: {e}"))?,
+            ),
+        };
+        client
+            .post("/simulate", body)
+            .map_err(|e| format!("posting to {node}: {e}"))
+    };
+    for (canonical, body) in &work {
+        let (status, _, reply) = post(&mut connections, canonical, body)?;
+        if status != 200 {
+            return Err(format!("fleet probe warm request got {status}: {reply}"));
+        }
+    }
+    let window = Duration::from_millis(200);
+    let start = Instant::now();
+    let mut requests = 0u64;
+    let mut hits = 0u64;
+    let mut index = 0usize;
+    while start.elapsed() < window {
+        let (canonical, body) = &work[index % work.len()];
+        index += 1;
+        let (status, hit, _) = post(&mut connections, canonical, body)?;
+        if status == 200 {
+            requests += 1;
+            hits += u64::from(hit);
+        }
+    }
+    drop(connections);
+    a.shutdown();
+    b.shutdown();
+    let rps = requests as f64 / window.as_secs_f64();
+    Ok(Json::obj([
+        ("instances", Json::from(2u64)),
+        ("keys", Json::from(work.len() as u64)),
+        ("window_ms", Json::from(window.as_millis() as u64)),
+        ("requests", Json::from(requests)),
+        ("cached_rps", Json::from((rps * 10.0).round() / 10.0)),
+        (
+            "cache_hit_rate",
+            Json::from(if requests > 0 {
+                (hits as f64 / requests as f64 * 1e4).round() / 1e4
+            } else {
+                0.0
+            }),
+        ),
+    ]))
+}

@@ -16,3 +16,4 @@
 //! harness in `popgame_report`. Argument parsing is pure `std`.
 
 pub mod commands;
+pub mod fleet;

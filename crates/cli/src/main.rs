@@ -36,6 +36,8 @@ commands:
                                   (--trace TRACE.json adds a span timeline)
   serve [daemon flags]            boot the popgamed HTTP service
   bench [--quick] [--check]       throughput probe / perf-regression gate
+  fleet [--instances N] [--quick] multi-instance loadgen with hash-ring
+                                  routing and add/remove-shard rebalance
 
 run `popgame <command> --help` for per-command flags.";
 
@@ -57,6 +59,7 @@ fn main() -> ExitCode {
         "reproduce" => commands::reproduce(rest),
         "serve" => commands::serve(rest),
         "bench" => commands::bench(rest),
+        "fleet" => popgame_cli::fleet::fleet(rest),
         other => {
             eprintln!("unknown command: {other}\n\n{USAGE}");
             return ExitCode::from(2);

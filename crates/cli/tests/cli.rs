@@ -404,9 +404,9 @@ fn bench_history_appends_schema_versioned_rows() {
         .lines()
         .map(|line| Json::parse(line).expect("history line parses"))
         .collect();
-    // One row per metric per run: four dynamics rules plus the analytics
-    // estimator battery, two runs appended.
-    assert_eq!(rows.len(), 10, "{text}");
+    // One row per metric per run: four dynamics rules, the analytics
+    // estimator battery, and the fleet probe — two runs appended.
+    assert_eq!(rows.len(), 12, "{text}");
     for row in &rows {
         assert_eq!(row.get("schema_version").unwrap().as_u64(), Some(1));
         assert_eq!(row.get("bench").unwrap().as_str(), Some("popgame-bench"));
@@ -419,9 +419,9 @@ fn bench_history_appends_schema_versioned_rows() {
             .filter(|r| r.get("metric").unwrap().as_str() == Some(name))
             .count()
     };
-    for metric in ["ips_best-response", "bench_analytics"] {
-        assert_eq!(per_run(&rows[..5], metric), 1, "{metric}: {text}");
-        assert_eq!(per_run(&rows[5..], metric), 1, "{metric}: {text}");
+    for metric in ["ips_best-response", "bench_analytics", "fleet_cached_rps"] {
+        assert_eq!(per_run(&rows[..6], metric), 1, "{metric}: {text}");
+        assert_eq!(per_run(&rows[6..], metric), 1, "{metric}: {text}");
     }
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -534,6 +534,193 @@ fn reproduce_trace_is_a_pure_observer() {
     for dir in [dir_plain, dir_trace] {
         let _ = std::fs::remove_dir_all(dir);
     }
+}
+
+/// Boots a real `popgame serve` child with a persistent cache dir and
+/// returns the child plus the bound address parsed from the readiness
+/// line.
+fn serve_with_cache(cache_dir: &std::path::Path) -> (std::process::Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_popgame"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--allow-remote-shutdown",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn popgame serve");
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("read listening line");
+    let addr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("listening line carries an address")
+        .to_string();
+    (child, addr)
+}
+
+/// One `Connection: close` HTTP exchange against a spawned daemon.
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .unwrap();
+    let text = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(text.as_bytes()).unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_ascii_lowercase(), body.to_string())
+}
+
+#[test]
+fn served_reproduce_survives_a_hard_kill_byte_identically() {
+    // Ground truth: the CLI harness with the same knobs the daemon job
+    // will receive. Daemon-rendered artifacts must match these bytes.
+    let cli_dir = temp_dir("daemon-golden");
+    let mut args = TINY_REPRODUCE.to_vec();
+    args.push("--out");
+    args.push(cli_dir.to_str().unwrap());
+    let out = popgame(&args);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let cli_json = std::fs::read_to_string(cli_dir.join("REPORT.json")).unwrap();
+    let cli_md = std::fs::read_to_string(cli_dir.join("REPORT.md")).unwrap();
+
+    let cache_dir = temp_dir("daemon-cache");
+    std::fs::create_dir_all(&cache_dir).unwrap();
+    let body = r#"{"sizes":[50,100],"replicas":2,"horizon_per_agent":8,"trajectory_capacity":6,"seed":9}"#;
+
+    // First life: run the reproduce job cold and pin the artifact bytes.
+    let (mut child, addr) = serve_with_cache(&cache_dir);
+    let (status, _, submitted) = request(&addr, "POST", "/reproduce", body);
+    assert_eq!(status, 202, "{submitted}");
+    let submitted = Json::parse(&submitted).unwrap();
+    let job_id = submitted.get("job_id").unwrap().as_u64().unwrap();
+    let artifact = submitted
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let (status, _, job) = request(&addr, "GET", &format!("/jobs/{job_id}"), "");
+        assert_eq!(status, 200, "{job}");
+        let doc = Json::parse(&job).unwrap();
+        let state = doc.get("status").unwrap().as_str().unwrap().to_string();
+        if state == "done" {
+            break;
+        }
+        assert!(
+            state == "queued" || state == "running",
+            "reproduce job failed: {job}"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reproduce job stuck in {state}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let (status, _, daemon_json) = request(&addr, "GET", &format!("/artifacts/{artifact}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        daemon_json, cli_json,
+        "daemon REPORT.json must match `popgame reproduce` byte for byte"
+    );
+    let (_, _, daemon_md) = request(&addr, "GET", &format!("/artifacts/{artifact}.md"), "");
+    assert_eq!(
+        daemon_md, cli_md,
+        "daemon REPORT.md must match `popgame reproduce` byte for byte"
+    );
+
+    // Hard kill: no shutdown hook runs, only the disk tier survives.
+    child.kill().expect("kill popgamed");
+    let _ = child.wait();
+
+    // Second life on the same --cache-dir: the artifact is re-served
+    // byte-identically from disk and counted as a cache hit.
+    let (mut child, addr) = serve_with_cache(&cache_dir);
+    let (status, headers, revived) = request(&addr, "GET", &format!("/artifacts/{artifact}"), "");
+    assert_eq!(status, 200);
+    assert!(
+        headers.contains("x-popgame-cache: hit"),
+        "restart must serve the artifact from disk: {headers}"
+    );
+    assert_eq!(revived, cli_json, "disk re-serve must be byte-identical");
+    let (_, _, metrics) = request(&addr, "GET", "/metrics", "");
+    let hits = metrics
+        .lines()
+        .find(|line| line.starts_with("popgame_cache_hits_total"))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|value| value.parse::<f64>().ok())
+        .expect("popgame_cache_hits_total exposed");
+    assert!(hits >= 1.0, "cache-hit counter must advance: {metrics}");
+    let (status, _, reply) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200, "{reply}");
+    let status = child.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "{status:?}");
+
+    for dir in [cli_dir, cache_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn fleet_quick_smoke_writes_the_bench_block() {
+    let dir = temp_dir("fleet-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("BENCH_service.json");
+    let out = popgame(&[
+        "fleet",
+        "--quick",
+        "--no-history",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = Json::parse(&std::fs::read_to_string(&out_path).unwrap())
+        .expect("fleet out file parses");
+    let fleet = doc.get("fleet").expect("fleet block present");
+    assert_eq!(fleet.get("instances").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        fleet.get("byte_identical").unwrap().as_bool(),
+        Some(true),
+        "fleet responses must be byte-identical across shards"
+    );
+    for phase in ["steady", "add_shard", "remove_shard"] {
+        let block = fleet.get(phase).unwrap_or_else(|| panic!("missing {phase}"));
+        assert!(
+            block.get("requests").unwrap().as_u64().unwrap() > 0,
+            "{phase} served no requests"
+        );
+        assert!(
+            block.get("requests_per_sec").unwrap().as_f64().unwrap() > 0.0,
+            "{phase} rps"
+        );
+        assert_eq!(block.get("errors").unwrap().as_u64(), Some(0), "{phase}");
+    }
+    let moved = fleet.get("moved_keys_on_add").expect("rebalance accounting");
+    let total = moved.get("total").unwrap().as_u64().unwrap();
+    assert!(
+        moved.get("moved").unwrap().as_u64().unwrap() < total,
+        "consistent hashing must not remap the whole keyspace"
+    );
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]

@@ -20,6 +20,26 @@ use std::time::Instant;
 /// Logit inverse temperatures swept by the η-sweep section.
 pub const ETA_SWEEP: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
 
+/// The documented default seed of the reproduction harness — shared by
+/// `popgame reproduce` and the daemon's `POST /reproduce` endpoint, so
+/// a default-config daemon job and a default in-process run produce the
+/// same REPORT bytes.
+pub const REPRODUCE_SEED: u64 = 20240717;
+
+/// A live progress sink for the sweep: `begin` is called once with the
+/// total `(cell, replica)` task count, then `task_done` once per finished
+/// task with the wall-clock nanoseconds that task consumed. Strictly
+/// out-of-band — observers wrap the replica runs but never feed them, so
+/// observed and unobserved sweeps produce byte-identical reports. The
+/// service adapts its per-job progress tracker to this trait so
+/// `GET /jobs/{id}` can show a reproduce job's completion mid-flight.
+pub trait SweepObserver: Sync {
+    /// The sweep is starting; `total` tasks will run.
+    fn begin(&self, total: u64);
+    /// One task finished, having kept a worker busy for `busy_ns`.
+    fn task_done(&self, busy_ns: u64);
+}
+
 /// The scenario the divergence panel runs on: the Shapley-style cycling
 /// game, whose unique Nash equilibrium (the uniform mix) repels the
 /// replicator while logit revision converges to it.
@@ -585,6 +605,7 @@ fn run_cells(
     cells: &[CellSpec],
     config: &ReportConfig,
     sequential: bool,
+    observer: Option<&dyn SweepObserver>,
 ) -> Result<(Vec<Vec<ReplicaOutcome>>, Vec<CellTiming>), String> {
     // Probe each cell's engine construction once up front so errors
     // surface as messages, not worker panics.
@@ -594,6 +615,9 @@ fn run_cells(
     }
     let replicas = config.replicas;
     let total = (cells.len() as u64) * replicas;
+    if let Some(observer) = observer {
+        observer.begin(total);
+    }
     // Out-of-band profile accumulators: wall-clock inside the replica
     // runs and the task tally, per cell. Timing wraps `run_replica` but
     // never feeds it, so the outcomes — and the rendered report bytes —
@@ -616,6 +640,9 @@ fn run_cells(
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         busy_ns[cell].fetch_add(nanos, Ordering::Relaxed);
         tasks[cell].fetch_add(1, Ordering::Relaxed);
+        if let Some(observer) = observer {
+            observer.task_done(nanos);
+        }
         outcome
     };
     let outcomes: Vec<ReplicaOutcome> = if sequential {
@@ -781,6 +808,7 @@ fn assemble_convergence(
 fn run_report_impl(
     config: &ReportConfig,
     sequential: bool,
+    observer: Option<&dyn SweepObserver>,
 ) -> Result<(Report, ReportProfile), String> {
     config.validate()?;
     use popgame_obs::trace::{self, Family};
@@ -799,7 +827,7 @@ fn run_report_impl(
     let sweep_started = Instant::now();
     let sweep_span =
         trace::is_enabled().then(|| trace::span(Family::Report, "report:sweep"));
-    let (outcomes, timings) = run_cells(&specs, config, sequential)?;
+    let (outcomes, timings) = run_cells(&specs, config, sequential, observer)?;
     drop(sweep_span);
     let wall_clock_us =
         u64::try_from(sweep_started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -867,7 +895,23 @@ fn run_report_impl(
 /// has no exact equilibrium to measure against (cannot happen for the
 /// shipped registry).
 pub fn run_report(config: &ReportConfig) -> Result<Report, String> {
-    run_report_impl(config, false).map(|(report, _)| report)
+    run_report_impl(config, false, None).map(|(report, _)| report)
+}
+
+/// [`run_report`] with a live [`SweepObserver`]: `begin` fires with the
+/// flattened task count, `task_done` once per finished `(cell, replica)`
+/// task. The observer is strictly out-of-band — the returned report (and
+/// its rendered bytes) is identical to a plain [`run_report`] of the same
+/// config.
+///
+/// # Errors
+///
+/// As for [`run_report`].
+pub fn run_report_observed(
+    config: &ReportConfig,
+    observer: &dyn SweepObserver,
+) -> Result<Report, String> {
+    run_report_impl(config, false, Some(observer)).map(|(report, _)| report)
 }
 
 /// [`run_report`] plus the sweep profile: where wall-clock went, cell by
@@ -883,7 +927,7 @@ pub fn run_report(config: &ReportConfig) -> Result<Report, String> {
 pub fn run_report_profiled(
     config: &ReportConfig,
 ) -> Result<(Report, ReportProfile), String> {
-    run_report_impl(config, false)
+    run_report_impl(config, false, None)
 }
 
 /// Single-threaded reference path: the same flattened task list as
@@ -895,7 +939,7 @@ pub fn run_report_profiled(
 ///
 /// As for [`run_report`].
 pub fn run_report_sequential(config: &ReportConfig) -> Result<Report, String> {
-    run_report_impl(config, true).map(|(report, _)| report)
+    run_report_impl(config, true, None).map(|(report, _)| report)
 }
 
 /// The η-sweep plan: one `(scenario, n)` meta entry per row, each owning
@@ -984,7 +1028,7 @@ fn assemble_eta_sweep(
 pub fn run_eta_sweep(config: &ReportConfig) -> Result<Vec<EtaSweepRow>, String> {
     config.validate()?;
     let (meta, specs) = eta_sweep_specs(config)?;
-    let (outcomes, _) = run_cells(&specs, config, false)?;
+    let (outcomes, _) = run_cells(&specs, config, false, None)?;
     Ok(assemble_eta_sweep(&meta, &outcomes))
 }
 
@@ -1010,7 +1054,7 @@ fn divergence_rules() -> Vec<DynamicsRule> {
 pub fn run_divergence_panel(config: &ReportConfig) -> Result<DivergencePanel, String> {
     config.validate()?;
     let specs = divergence_specs(config)?;
-    let (outcomes, _) = run_cells(&specs, config, false)?;
+    let (outcomes, _) = run_cells(&specs, config, false, None)?;
     Ok(assemble_divergence(&outcomes, config))
 }
 

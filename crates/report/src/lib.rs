@@ -57,7 +57,8 @@ pub mod harness;
 pub mod render;
 
 pub use harness::{
-    run_report, run_report_profiled, run_report_sequential, CellProfile, ConvergenceCell,
-    ConvergenceRow, CycleRow, Report, ReportConfig, ReportProfile, ScenarioSummary,
-    TimeConstantRow, TimeConstants, TrajectorySeries, TMIX_EPSILON,
+    run_report, run_report_observed, run_report_profiled, run_report_sequential, CellProfile,
+    ConvergenceCell, ConvergenceRow, CycleRow, Report, ReportConfig, ReportProfile,
+    ScenarioSummary, SweepObserver, TimeConstantRow, TimeConstants, TrajectorySeries,
+    REPRODUCE_SEED, TMIX_EPSILON,
 };

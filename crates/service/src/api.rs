@@ -9,9 +9,11 @@
 //! | `GET /scenarios` | — | the scenario registry |
 //! | `POST /solve` | scenario name or explicit game | exact equilibria |
 //! | `POST /simulate` | scenario × dynamics × n × replicas | TV-to-equilibrium summary |
-//! | `POST /jobs` | a solve/simulate request (+ optional `kind`) | `202` + job id |
+//! | `POST /jobs` | a solve/simulate/reproduce request (+ optional `kind`) | `202` + job id |
 //! | `GET /jobs/{id}` | — | status, inlined result when done |
 //! | `DELETE /jobs/{id}` | — | cooperative cancellation |
+//! | `POST /reproduce` | report preset × overrides (empty body = quick) | `202` + job id + artifact id |
+//! | `GET /artifacts/{id}` | — | stored `REPORT.json` bytes (`.md` for markdown) |
 //! | `POST /shutdown` | — | graceful stop (only with remote shutdown enabled) |
 //!
 //! # Canonicalization and determinism
@@ -26,9 +28,10 @@
 //! cold computations. The `x-popgame-cache: hit|miss` response header
 //! reports which path served the request; bodies never differ.
 
-use crate::cache::ResultCache;
+use crate::cache::{fnv1a64, ResultCache};
 use crate::http::{Request, Response};
 use crate::jobs::{JobProgress, JobState, JobStore, ProgressSnapshot};
+use popgame_report::{render, run_report_observed, ReportConfig, SweepObserver, REPRODUCE_SEED};
 use popgame_analytics::{
     absorption_stats_ci, absorption_stats_json, bootstrap_ci_json, cycle_ensemble_json,
     cycle_over_replicas, tmix_fit_json, tmix_mean_tv, AbsorptionObservation, BootstrapConfig,
@@ -76,6 +79,26 @@ pub const ANALYTICS_RESAMPLES: u32 = 200;
 const ANALYTICS_SALT: u64 = 0xA9A1_7515_B007_57A9;
 /// Strategy-count ceiling for the zero-sum LP (polynomial path).
 pub const MAX_ZEROSUM_K: usize = 64;
+/// Population-size ceiling per entry of a `/reproduce` size sweep (the
+/// report runs the whole scenario × dynamics matrix at every size, so
+/// this sits far below the single-run [`MAX_N`]).
+pub const MAX_REPORT_N: u64 = 100_000;
+/// Size-sweep length ceiling for `/reproduce`.
+pub const MAX_REPORT_SIZES: usize = 8;
+/// Horizon-per-agent ceiling for `/reproduce`.
+pub const MAX_REPORT_HORIZON: u64 = 1_000;
+/// Trajectory-capacity ceiling for `/reproduce`.
+pub const MAX_REPORT_TRAJECTORY: u64 = 4_096;
+/// The filterable top-level sections of `REPORT.json`, in document
+/// order. `paper`, `schema_version`, and `config` are always kept.
+pub const REPORT_SECTIONS: [&str; 6] = [
+    "scenarios",
+    "convergence",
+    "trajectories",
+    "eta_sweep",
+    "divergence",
+    "time_constants",
+];
 
 /// Shared state behind every endpoint.
 pub struct AppState {
@@ -95,9 +118,9 @@ pub struct AppState {
 
 /// The endpoint labels used by the request metrics; unknown paths land
 /// on the final `other` bucket.
-const ENDPOINT_LABELS: [&str; 9] = [
-    "healthz", "scenarios", "solve", "simulate", "jobs", "job_detail", "shutdown", "metrics",
-    "other",
+const ENDPOINT_LABELS: [&str; 11] = [
+    "healthz", "scenarios", "solve", "simulate", "jobs", "job_detail", "reproduce", "artifacts",
+    "shutdown", "metrics", "other",
 ];
 
 struct EndpointMetrics {
@@ -106,7 +129,7 @@ struct EndpointMetrics {
 }
 
 /// Pre-registered per-endpoint handles: the per-request path does one
-/// lazy-init load plus a scan over nine entries — no registry lock.
+/// lazy-init load plus a scan over eleven entries — no registry lock.
 fn endpoint_metrics(endpoint: &str) -> &'static EndpointMetrics {
     static TABLE: OnceLock<Vec<(&'static str, EndpointMetrics)>> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
@@ -486,6 +509,254 @@ impl SolveRequest {
     }
 }
 
+/// A validated `POST /reproduce` request: a report preset plus explicit
+/// overrides. Overrides are kept as options — the canonical form spells
+/// out only what the client actually set, so `{"preset":"quick"}`
+/// canonicalizes identically however it arrives and the resulting
+/// `REPORT.json` bytes match an in-process `popgame reproduce --quick`
+/// (an explicitly-spelled quick config would re-parse as mode
+/// `"custom"` and change the rendered config block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproduceRequest {
+    /// Base preset: `quick` or `full`.
+    pub preset: String,
+    /// Base RNG seed (defaults to the pinned [`REPRODUCE_SEED`]).
+    pub seed: u64,
+    /// Population-size sweep override (ascending).
+    pub sizes: Option<Vec<u64>>,
+    /// Replicas-per-cell override.
+    pub replicas: Option<u64>,
+    /// Horizon-per-agent override.
+    pub horizon_per_agent: Option<u64>,
+    /// Trajectory-capacity override.
+    pub trajectory_capacity: Option<u64>,
+    /// Simulation-pool width for this run. Excluded from the canonical
+    /// form: report bytes are worker-independent, so requests differing
+    /// only here share one cache entry.
+    pub workers: Option<u64>,
+    /// Top-level `REPORT.json` sections to inline in the job result
+    /// (see [`REPORT_SECTIONS`]); `None` inlines the whole report.
+    /// Artifacts always store the full report either way.
+    pub sections: Option<Vec<String>>,
+}
+
+impl ReproduceRequest {
+    /// Parses and validates a request body ( `{}` = the quick preset).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message (the endpoint's 400 body) on unknown
+    /// fields, type mismatches, unknown presets/sections, or
+    /// out-of-range sweep parameters.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        check_known_fields(
+            doc,
+            &[
+                "preset",
+                "seed",
+                "sizes",
+                "replicas",
+                "horizon_per_agent",
+                "trajectory_capacity",
+                "workers",
+                "sections",
+            ],
+        )?;
+        let preset = doc
+            .get("preset")
+            .map(|v| v.as_str().ok_or("field \"preset\" must be a string"))
+            .transpose()?
+            .unwrap_or("quick")
+            .to_string();
+        if preset != "quick" && preset != "full" {
+            return Err(format!("unknown preset {preset:?} (quick|full)"));
+        }
+        let seed = field_u64(doc, "seed", REPRODUCE_SEED)?;
+        let sizes = match doc.get("sizes") {
+            None => None,
+            Some(value) => {
+                let entries = value
+                    .as_array()
+                    .ok_or("field \"sizes\" must be an array of integers")?;
+                if entries.is_empty() || entries.len() > MAX_REPORT_SIZES {
+                    return Err(format!("sizes must have 1..={MAX_REPORT_SIZES} entries"));
+                }
+                let sizes: Vec<u64> = entries
+                    .iter()
+                    .map(|entry| {
+                        entry
+                            .as_u64()
+                            .ok_or("sizes entries must be non-negative integers".to_string())
+                    })
+                    .collect::<Result<_, _>>()?;
+                if let Some(&n) = sizes.iter().find(|&&n| n > MAX_REPORT_N) {
+                    return Err(format!("sizes entries must be <= {MAX_REPORT_N}, got {n}"));
+                }
+                Some(sizes)
+            }
+        };
+        let bounded = |key: &str, max: u64| -> Result<Option<u64>, String> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(value) => {
+                    let v = value
+                        .as_u64()
+                        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))?;
+                    if !(1..=max).contains(&v) {
+                        return Err(format!("{key} must be in 1..={max}, got {v}"));
+                    }
+                    Ok(Some(v))
+                }
+            }
+        };
+        let replicas = bounded("replicas", MAX_REPLICAS)?;
+        let horizon_per_agent = bounded("horizon_per_agent", MAX_REPORT_HORIZON)?;
+        let trajectory_capacity = bounded("trajectory_capacity", MAX_REPORT_TRAJECTORY)?;
+        let workers = bounded("workers", 512)?;
+        let sections = match doc.get("sections") {
+            None => None,
+            Some(value) => {
+                let entries = value
+                    .as_array()
+                    .ok_or("field \"sections\" must be an array of strings")?;
+                if entries.is_empty() {
+                    return Err(format!(
+                        "sections must not be empty (omit the field for the full \
+                         report; known sections: {})",
+                        REPORT_SECTIONS.join("|")
+                    ));
+                }
+                let mut picked = [false; REPORT_SECTIONS.len()];
+                for entry in entries {
+                    let name = entry
+                        .as_str()
+                        .ok_or("sections entries must be strings")?;
+                    let index = REPORT_SECTIONS
+                        .iter()
+                        .position(|&s| s == name)
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown section {name:?} ({})",
+                                REPORT_SECTIONS.join("|")
+                            )
+                        })?;
+                    picked[index] = true;
+                }
+                // Normalized to document order and deduplicated; a list
+                // naming every section canonicalizes like the default.
+                if picked.iter().all(|&p| p) {
+                    None
+                } else {
+                    Some(
+                        REPORT_SECTIONS
+                            .iter()
+                            .zip(picked)
+                            .filter(|&(_, p)| p)
+                            .map(|(&s, _)| s.to_string())
+                            .collect(),
+                    )
+                }
+            }
+        };
+        let request = ReproduceRequest {
+            preset,
+            seed,
+            sizes,
+            replicas,
+            horizon_per_agent,
+            trajectory_capacity,
+            workers,
+            sections,
+        };
+        // The harness validator owns cross-field rules (ascending sizes,
+        // minimum trajectory capacity, ...).
+        request.config().validate()?;
+        Ok(request)
+    }
+
+    /// The [`ReportConfig`] this request runs: the preset with overrides
+    /// applied. Any override flips the echoed mode to `custom` — the
+    /// same semantics as the CLI's `popgame reproduce` flags, which is
+    /// what keeps daemon-rendered bytes identical to in-process runs.
+    pub fn config(&self) -> ReportConfig {
+        let mut config = match self.preset.as_str() {
+            "full" => ReportConfig::full(self.seed),
+            _ => ReportConfig::quick(self.seed),
+        };
+        let mut custom = false;
+        if let Some(sizes) = &self.sizes {
+            config.sizes = sizes.clone();
+            custom = true;
+        }
+        if let Some(replicas) = self.replicas {
+            config.replicas = replicas;
+            custom = true;
+        }
+        if let Some(horizon) = self.horizon_per_agent {
+            config.horizon_per_agent = horizon;
+            custom = true;
+        }
+        if let Some(capacity) = self.trajectory_capacity {
+            config.trajectory_capacity = capacity as usize;
+            custom = true;
+        }
+        if custom {
+            config.mode = "custom".to_string();
+        }
+        config
+    }
+
+    /// The canonical cache-key string: preset, seed, and only the
+    /// overrides the client actually set, in fixed order. Re-parses
+    /// through [`ReproduceRequest::from_json`] (the job executor depends
+    /// on that round trip); `workers` is deliberately absent.
+    pub fn canonical(&self) -> String {
+        let mut fields = vec![
+            ("endpoint", Json::from("reproduce")),
+            ("preset", Json::from(self.preset.as_str())),
+            ("seed", Json::from(self.seed)),
+        ];
+        if let Some(sizes) = &self.sizes {
+            fields.push(("sizes", Json::arr(sizes.iter().map(|&n| Json::from(n)))));
+        }
+        if let Some(replicas) = self.replicas {
+            fields.push(("replicas", Json::from(replicas)));
+        }
+        if let Some(horizon) = self.horizon_per_agent {
+            fields.push(("horizon_per_agent", Json::from(horizon)));
+        }
+        if let Some(capacity) = self.trajectory_capacity {
+            fields.push(("trajectory_capacity", Json::from(capacity)));
+        }
+        if let Some(sections) = &self.sections {
+            fields.push((
+                "sections",
+                Json::arr(sections.iter().map(|s| Json::from(s.as_str()))),
+            ));
+        }
+        Json::obj(fields).encode()
+    }
+}
+
+/// The artifact id of a canonical reproduce request: the hex FNV-1a 64
+/// hash of the canonical string — the same hash the disk tier uses for
+/// file names, so ids are stable across restarts and instances.
+pub fn artifact_id(canonical: &str) -> String {
+    format!("{:016x}", fnv1a64(canonical.as_bytes()))
+}
+
+/// The cache key an artifact is stored under. Artifacts are ordinary
+/// cache entries (`endpoint: "artifact"`), so a daemon running with
+/// `--cache-dir` persists them across restarts for free.
+pub fn artifact_key(id: &str, kind: &str) -> String {
+    Json::obj([
+        ("endpoint", Json::from("artifact")),
+        ("id", Json::from(id)),
+        ("kind", Json::from(kind)),
+    ])
+    .encode()
+}
+
 fn equilibrium_json(eq: &Equilibrium) -> Json {
     Json::obj([
         ("x", Json::floats(&eq.x)),
@@ -806,14 +1077,26 @@ fn healthz(state: &AppState) -> Response {
                 ("cancelled", Json::from(cancelled)),
             ]),
         ),
-        (
-            "cache",
-            Json::obj([
+        ("cache", {
+            let mut cache_fields = vec![
                 ("entries", Json::from(state.cache.len())),
                 ("hits", Json::from(state.cache.hits())),
                 ("misses", Json::from(state.cache.misses())),
-            ]),
-        ),
+                ("evictions", Json::from(state.cache.evictions())),
+            ];
+            if state.cache.has_disk() {
+                let (disk_hits, disk_writes, disk_evictions) = state.cache.disk_stats();
+                cache_fields.push((
+                    "disk",
+                    Json::obj([
+                        ("hits", Json::from(disk_hits)),
+                        ("writes", Json::from(disk_writes)),
+                        ("evictions", Json::from(disk_evictions)),
+                    ]),
+                ));
+            }
+            Json::obj(cache_fields)
+        }),
         (
             "rejected_503",
             Json::from(
@@ -929,8 +1212,92 @@ pub fn job_canonical(doc: &Json) -> Result<String, String> {
     match kind {
         "simulate" => Ok(SimulateRequest::from_json(doc)?.canonical()),
         "solve" => Ok(SolveRequest::from_json(doc)?.canonical()),
-        other => Err(format!("unknown job kind {other:?} (simulate|solve)")),
+        "reproduce" => Ok(ReproduceRequest::from_json(doc)?.canonical()),
+        other => Err(format!("unknown job kind {other:?} (simulate|solve|reproduce)")),
     }
+}
+
+/// Bridges the report harness's sweep progress into a job's
+/// [`JobProgress`]: `begin` sizes the task counter to the full
+/// cell × replica matrix, and every finished replica task bumps it.
+/// Observation-only — report bytes are identical with or without it.
+struct ProgressBridge<'a> {
+    progress: &'a JobProgress,
+}
+
+impl SweepObserver for ProgressBridge<'_> {
+    fn begin(&self, total: u64) {
+        self.progress.begin(total);
+    }
+
+    fn task_done(&self, busy_ns: u64) {
+        self.progress.task_done(busy_ns);
+    }
+}
+
+/// Runs a validated reproduce request: the full report harness sweep,
+/// rendered to `REPORT.json`/`REPORT.md`. Both renderings are stored in
+/// `artifacts` (when given) under the request's artifact id; the
+/// returned job document carries the id plus the parsed report —
+/// section-filtered when the request asked for a subset.
+///
+/// Cancellation is coarse: the flag is honoured before the sweep starts
+/// and the result of a sweep that finished after cancellation is
+/// discarded, but a running sweep is not interrupted mid-flight.
+///
+/// # Errors
+///
+/// Propagates harness errors, or `"cancelled"`.
+pub fn execute_reproduce_observed(
+    request: &ReproduceRequest,
+    cancel: &AtomicBool,
+    progress: &JobProgress,
+    artifacts: Option<&ResultCache>,
+) -> Result<Json, String> {
+    if cancel.load(Ordering::Relaxed) {
+        return Err("cancelled".to_string());
+    }
+    let config = request.config();
+    let report = run_report_observed(&config, &ProgressBridge { progress })?;
+    if cancel.load(Ordering::Relaxed) {
+        return Err("cancelled".to_string());
+    }
+    let json_text = render::report_json(&report);
+    let md_text = render::report_markdown(&report);
+    let id = artifact_id(&request.canonical());
+    if let Some(store) = artifacts {
+        store.insert(artifact_key(&id, "json"), Arc::new(json_text.clone()));
+        store.insert(artifact_key(&id, "md"), Arc::new(md_text));
+    }
+    let report_doc = Json::parse(&json_text).expect("render produces valid JSON");
+    let report_doc = match &request.sections {
+        Some(sections) => filter_sections(&report_doc, sections),
+        None => report_doc,
+    };
+    let mut fields = vec![("artifact", Json::from(id.as_str()))];
+    if let Some(sections) = &request.sections {
+        fields.push((
+            "sections",
+            Json::arr(sections.iter().map(|s| Json::from(s.as_str()))),
+        ));
+    }
+    fields.push(("report", report_doc));
+    Ok(Json::obj(fields))
+}
+
+/// Drops unrequested report sections; `paper`, `schema_version`, and
+/// `config` always survive, and surviving keys keep document order.
+fn filter_sections(doc: &Json, sections: &[String]) -> Json {
+    let fields = doc.as_object().expect("report renders as an object");
+    Json::obj(
+        fields
+            .iter()
+            .filter(|(key, _)| {
+                matches!(key.as_str(), "paper" | "schema_version" | "config")
+                    || sections.iter().any(|s| s == key)
+            })
+            .map(|(key, value)| (key.clone(), value.clone())),
+    )
 }
 
 /// Executes a canonical request string (the job executor's core, also
@@ -956,6 +1323,24 @@ pub fn execute_canonical_observed(
     cancel: &AtomicBool,
     progress: &JobProgress,
 ) -> Result<Json, String> {
+    execute_canonical_with_artifacts(canonical, cancel, progress, None)
+}
+
+/// [`execute_canonical_observed`] with an artifact sink: reproduce runs
+/// store their rendered `REPORT.json`/`REPORT.md` in `artifacts` (the
+/// daemon passes its result cache, so `GET /artifacts/{id}` serves the
+/// exact stored bytes — and a disk-backed cache persists them across
+/// restarts). Simulate and solve ignore the sink.
+///
+/// # Errors
+///
+/// As [`execute_canonical`].
+pub fn execute_canonical_with_artifacts(
+    canonical: &str,
+    cancel: &AtomicBool,
+    progress: &JobProgress,
+    artifacts: Option<&ResultCache>,
+) -> Result<Json, String> {
     let doc = Json::parse(canonical).map_err(|e| format!("corrupt canonical form: {e}"))?;
     match doc.get("endpoint").and_then(Json::as_str) {
         Some("simulate") => {
@@ -968,6 +1353,12 @@ pub fn execute_canonical_observed(
             progress.task_done(trace::now_ns().saturating_sub(started));
             out
         }
+        Some("reproduce") => execute_reproduce_observed(
+            &ReproduceRequest::from_json(&doc)?,
+            cancel,
+            progress,
+            artifacts,
+        ),
         _ => Err("corrupt canonical form: missing endpoint".to_string()),
     }
 }
@@ -987,6 +1378,84 @@ fn progress_json(snap: &ProgressSnapshot) -> Json {
         fields.push(("eta_ms", Json::from(eta_ns / 1_000_000)));
     }
     Json::obj(fields)
+}
+
+/// `POST /reproduce`: submits a report-generation job. An empty body
+/// means the quick preset with the pinned seed. The `202` reply carries
+/// the job id *and* the artifact id the finished report will be served
+/// under — clients can poll `GET /jobs/{id}` and then fetch
+/// `GET /artifacts/{id}` (or `.md`) for the exact rendered bytes.
+fn reproduce_endpoint(state: &AppState, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let doc = if text.trim().is_empty() {
+        Json::obj(Vec::<(&str, Json)>::new())
+    } else {
+        match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => return Response::error(400, &e.to_string()),
+        }
+    };
+    let reproduce = match ReproduceRequest::from_json(&doc) {
+        Ok(reproduce) => reproduce,
+        Err(message) => return Response::error(400, &message),
+    };
+    // Worker override applies to the process-wide simulation pool (the
+    // same knob as the daemon's --workers flag); it is not part of the
+    // canonical key because report bytes are worker-independent.
+    if let Some(workers) = reproduce.workers {
+        popgame_runner::set_worker_threads(Some(workers as usize));
+    }
+    let canonical = reproduce.canonical();
+    let artifact = artifact_id(&canonical);
+    match state.jobs.submit(canonical) {
+        Ok(job) => Response::json(
+            202,
+            Json::obj([
+                ("job_id", Json::from(job.id)),
+                ("status", Json::from(job.state().label())),
+                ("artifact", Json::from(artifact.as_str())),
+            ])
+            .encode(),
+        ),
+        Err(crate::jobs::QueueFull) => Response::error(503, "job queue is full"),
+    }
+}
+
+/// `GET /artifacts/{id}` (or `{id}.json` / `{id}.md`): the stored
+/// report bytes for an artifact id, exactly as rendered — the
+/// byte-identity contract extends across restarts when the cache has a
+/// disk tier.
+fn artifact_endpoint(state: &AppState, method: &str, rest: &str) -> Response {
+    if method != "GET" {
+        return Response::error(405, "use GET on /artifacts/{id}");
+    }
+    let (id, kind) = match rest.strip_suffix(".md") {
+        Some(id) => (id, "md"),
+        None => (rest.strip_suffix(".json").unwrap_or(rest), "json"),
+    };
+    let well_formed = id.len() == 16
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+    if !well_formed {
+        return Response::error(
+            400,
+            &format!("bad artifact id {id:?} (16 lowercase hex digits)"),
+        );
+    }
+    match state.cache.get(&artifact_key(id, kind)) {
+        Some(body) if kind == "md" => {
+            Response::markdown_shared(200, body).with_header("x-popgame-cache", "hit")
+        }
+        Some(body) => Response::json_shared(200, body).with_header("x-popgame-cache", "hit"),
+        None => Response::error(
+            404,
+            &format!("no artifact {id}; artifacts are produced by POST /reproduce jobs"),
+        ),
+    }
 }
 
 fn submit_job(state: &AppState, request: &Request) -> Response {
@@ -1131,15 +1600,19 @@ fn route_inner(state: &AppState, request: &Request) -> (&'static str, Response) 
         ("POST", "/solve") => ("solve", solve_endpoint(state, request)),
         ("POST", "/simulate") => ("simulate", simulate_endpoint(state, request)),
         ("POST", "/jobs") => ("jobs", submit_job(state, request)),
+        ("POST", "/reproduce") => ("reproduce", reproduce_endpoint(state, request)),
         ("POST", "/shutdown") => ("shutdown", shutdown_endpoint(state)),
         (method, path) => {
             if let Some(id_text) = path.strip_prefix("/jobs/") {
                 return ("job_detail", job_detail(state, method, id_text));
             }
+            if let Some(rest) = path.strip_prefix("/artifacts/") {
+                return ("artifacts", artifact_endpoint(state, method, rest));
+            }
             if matches!(
                 path,
                 "/healthz" | "/metrics" | "/scenarios" | "/solve" | "/simulate" | "/jobs"
-                    | "/shutdown"
+                    | "/reproduce" | "/shutdown"
             ) {
                 return (
                     "other",
@@ -1435,6 +1908,132 @@ mod tests {
         let bad = Json::parse(r#"{"scenario": "hawk-dove", "analytics": 1}"#).unwrap();
         let err = SimulateRequest::from_json(&bad).unwrap_err();
         assert!(err.contains("analytics"), "{err}");
+    }
+
+    #[test]
+    fn reproduce_requests_canonicalize_and_validate() {
+        // Sparse and spelled-out defaults share one canonical string.
+        let sparse = Json::parse("{}").unwrap();
+        let spelled = Json::parse(r#"{"preset":"quick","seed":20240717}"#).unwrap();
+        let a = ReproduceRequest::from_json(&sparse).unwrap();
+        let b = ReproduceRequest::from_json(&spelled).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.config().mode, "quick");
+        // The canonical form re-parses through the same validator.
+        let reparsed =
+            ReproduceRequest::from_json(&Json::parse(&a.canonical()).unwrap()).unwrap();
+        assert_eq!(reparsed, a);
+        // Any override flips the mode to custom (CLI semantics).
+        let custom = Json::parse(r#"{"replicas":2}"#).unwrap();
+        assert_eq!(
+            ReproduceRequest::from_json(&custom).unwrap().config().mode,
+            "custom"
+        );
+        // Workers never splits cache keys; report bytes don't depend on it.
+        let with_workers = Json::parse(r#"{"workers":2}"#).unwrap();
+        assert_eq!(
+            ReproduceRequest::from_json(&with_workers).unwrap().canonical(),
+            a.canonical()
+        );
+        // Sections normalize to document order, dedup, and a full list
+        // canonicalizes like the default.
+        let shuffled =
+            Json::parse(r#"{"sections":["convergence","scenarios","convergence"]}"#).unwrap();
+        let picked = ReproduceRequest::from_json(&shuffled).unwrap();
+        assert_eq!(
+            picked.sections.as_deref(),
+            Some(&["scenarios".to_string(), "convergence".to_string()][..])
+        );
+        let everything = Json::parse(&format!(
+            r#"{{"sections":[{}]}}"#,
+            REPORT_SECTIONS
+                .iter()
+                .map(|s| format!("{s:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ))
+        .unwrap();
+        assert_eq!(
+            ReproduceRequest::from_json(&everything).unwrap().canonical(),
+            a.canonical()
+        );
+        for (body, needle) in [
+            (r#"{"preset":"huge"}"#, "unknown preset"),
+            (r#"{"sections":[]}"#, "sections must not be empty"),
+            (r#"{"sections":["mystery"]}"#, "unknown section"),
+            (r#"{"sizes":[400,100]}"#, "ascending"),
+            (r#"{"sizes":[]}"#, "sizes"),
+            (r#"{"replicas":0}"#, "replicas"),
+            (r#"{"horizon_per_agent":99999}"#, "horizon_per_agent"),
+            (r#"{"typo_field":1}"#, "unknown field"),
+        ] {
+            let doc = Json::parse(body).unwrap();
+            let err = ReproduceRequest::from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn reproduce_jobs_store_artifacts_byte_identical_to_in_process_runs() {
+        // Tiny sweep: the golden-path shapes without quick-preset cost.
+        let doc = Json::parse(
+            r#"{"kind":"reproduce","sizes":[50,100],"replicas":2,
+                "horizon_per_agent":2,"trajectory_capacity":6,"seed":9}"#,
+        )
+        .unwrap();
+        let canonical = job_canonical(&doc).unwrap();
+        let request = ReproduceRequest::from_json(&doc).unwrap();
+        let store = ResultCache::new(2);
+        let never = AtomicBool::new(false);
+        let progress = JobProgress::new();
+        let result =
+            execute_reproduce_observed(&request, &never, &progress, Some(&store)).unwrap();
+        // The job result names the artifact and inlines the full report.
+        let id = result.get("artifact").unwrap().as_str().unwrap().to_string();
+        assert_eq!(id, artifact_id(&canonical));
+        assert!(result.get("sections").is_none());
+        let report = result.get("report").unwrap();
+        assert!(report.get("convergence").is_some());
+        // Stored artifacts are byte-identical to an in-process render of
+        // the same config — the cross-entry-point determinism contract.
+        let direct = popgame_report::run_report(&request.config()).unwrap();
+        let stored_json = store.get(&artifact_key(&id, "json")).unwrap();
+        assert_eq!(*stored_json, render::report_json(&direct));
+        let stored_md = store.get(&artifact_key(&id, "md")).unwrap();
+        assert_eq!(*stored_md, render::report_markdown(&direct));
+        // Progress saw the whole cell × replica matrix.
+        let snap = progress.snapshot();
+        assert_eq!(snap.tasks_done, snap.tasks_total);
+        assert!(snap.tasks_total > 0);
+        // Section filtering keeps the header keys plus the request.
+        let doc = Json::parse(
+            r#"{"sizes":[50,100],"replicas":2,"horizon_per_agent":2,
+                "trajectory_capacity":6,"seed":9,"sections":["time_constants"]}"#,
+        )
+        .unwrap();
+        let filtered_request = ReproduceRequest::from_json(&doc).unwrap();
+        let filtered =
+            execute_reproduce_observed(&filtered_request, &never, &JobProgress::new(), None)
+                .unwrap();
+        let report = filtered.get("report").unwrap();
+        let keys: Vec<&str> = report
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            ["paper", "schema_version", "config", "time_constants"]
+        );
+        // Pre-cancelled reproduce jobs abort without caching.
+        let cancelled = AtomicBool::new(true);
+        assert_eq!(
+            execute_reproduce_observed(&request, &cancelled, &JobProgress::new(), None)
+                .unwrap_err(),
+            "cancelled"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! popgamed [--addr 127.0.0.1:8095] [--http-workers N] [--job-workers N]
 //!          [--queue-depth N] [--job-queue-depth N]
+//!          [--cache-dir DIR] [--cache-disk-budget BYTES]
 //!          [--allow-remote-shutdown]
 //! ```
 //!

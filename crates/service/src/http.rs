@@ -164,6 +164,17 @@ impl Response {
         }
     }
 
+    /// A Markdown response over a shared body (the `/artifacts/{hash}.md`
+    /// path, which serves stored REPORT.md bytes verbatim).
+    pub fn markdown_shared(status: u16, body: Arc<String>) -> Self {
+        Response {
+            status,
+            body,
+            headers: Vec::new(),
+            content_type: "text/markdown; charset=utf-8",
+        }
+    }
+
     /// A JSON error envelope `{"error": …}`.
     pub fn error(status: u16, message: &str) -> Self {
         let doc = popgame_util::json::Json::obj([(
@@ -432,12 +443,24 @@ fn read_request(
     else {
         return Err(ParseError::Bad(400, format!("malformed request line: {line:?}")));
     };
-    if !version.starts_with("HTTP/1.") {
+    // Exactly three tokens: a request line with trailing junk used to
+    // parse as if the junk weren't there, which means two intermediaries
+    // could disagree about what was requested. Reject it outright.
+    if parts.next().is_some() {
+        return Err(ParseError::Bad(
+            400,
+            format!("malformed request line (extra tokens): {line:?}"),
+        ));
+    }
+    // Only the two HTTP/1.x revisions that exist. "HTTP/1.7" used to be
+    // waved through as if it were 1.1; an unknown minor may carry
+    // semantics this parser does not implement.
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
         return Err(ParseError::Bad(400, format!("unsupported version: {version}")));
     }
     let path = target.split('?').next().unwrap_or("").to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     // Persistence default follows the protocol version: HTTP/1.1 keeps
     // alive, HTTP/1.0 closes unless the client opts in.
     let mut close = version == "HTTP/1.0";
@@ -454,6 +477,7 @@ fn read_request(
         }
         let header = header.trim_end();
         if header.is_empty() {
+            let content_length = content_length.unwrap_or(0);
             let body = if content_length > 0 {
                 if content_length > max_body {
                     return Err(ParseError::Bad(413, "request body too large".to_string()));
@@ -480,9 +504,25 @@ fn read_request(
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
-                content_length = value
+                let parsed: usize = value
                     .parse()
                     .map_err(|_| ParseError::Bad(400, format!("bad content-length: {value:?}")))?;
+                // Duplicate Content-Length headers used to be last-wins —
+                // the request-smuggling shape, where two parsers in the
+                // chain pick different values and disagree on where the
+                // body ends. Identical repeats are harmless; a conflict
+                // is fatal.
+                if let Some(previous) = content_length {
+                    if previous != parsed {
+                        return Err(ParseError::Bad(
+                            400,
+                            format!(
+                                "conflicting content-length headers: {previous} vs {parsed}"
+                            ),
+                        ));
+                    }
+                }
+                content_length = Some(parsed);
             }
             "connection" if value.eq_ignore_ascii_case("close") => close = true,
             "connection" if value.eq_ignore_ascii_case("keep-alive") => close = false,
@@ -621,6 +661,60 @@ mod tests {
             "GET / HTTP/1.1\r\ncontent-length: -3\r\n\r\n",
         );
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_get_400() {
+        let server = echo_server(1, 16);
+        // Conflicting duplicates are the smuggling shape: two parsers in a
+        // chain could pick different values and disagree on body framing.
+        let reply = raw_request(
+            server.local_addr(),
+            "POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 7\r\n\
+             connection: close\r\n\r\nabcdefg",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("conflicting content-length"), "{reply}");
+        // An identical repeat names one unambiguous body length: allowed.
+        let reply = raw_request(
+            server.local_addr(),
+            "POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 4\r\n\
+             connection: close\r\n\r\nabcd",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("\"len\":4"), "{reply}");
+    }
+
+    #[test]
+    fn request_lines_with_trailing_tokens_get_400() {
+        let server = echo_server(1, 16);
+        let reply = raw_request(
+            server.local_addr(),
+            "GET / HTTP/1.1 junk\r\nconnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("extra tokens"), "{reply}");
+    }
+
+    #[test]
+    fn unknown_http_1x_minors_get_400() {
+        let server = echo_server(1, 16);
+        for version in ["HTTP/1.2", "HTTP/1.7", "HTTP/1.10"] {
+            let reply = raw_request(
+                server.local_addr(),
+                &format!("GET / {version}\r\nconnection: close\r\n\r\n"),
+            );
+            assert!(reply.starts_with("HTTP/1.1 400"), "{version}: {reply}");
+            assert!(reply.contains("unsupported version"), "{version}: {reply}");
+        }
+        // The two real revisions still parse.
+        for version in ["HTTP/1.0", "HTTP/1.1"] {
+            let reply = raw_request(
+                server.local_addr(),
+                &format!("GET /ok {version}\r\nconnection: close\r\n\r\n"),
+            );
+            assert!(reply.starts_with("HTTP/1.1 200"), "{version}: {reply}");
+        }
     }
 
     #[test]

@@ -11,14 +11,17 @@
 //!   connection queue with 503 backpressure, keep-alive, graceful
 //!   shutdown.
 //! * [`api`] — endpoints (`/healthz`, `/scenarios`, `/solve`,
-//!   `/simulate`, `/jobs`), request validation, and the canonical
-//!   request form.
-//! * [`cache`] — the sharded content-addressed result cache. Responses
-//!   are bitwise deterministic per `(request, seed)` — the PR 1
+//!   `/simulate`, `/jobs`, `/reproduce`, `/artifacts/{id}`), request
+//!   validation, and the canonical request form.
+//! * [`cache`] — the sharded content-addressed result cache, with an
+//!   optional persistent disk tier (`--cache-dir`). Responses are
+//!   bitwise deterministic per `(request, seed)` — the PR 1
 //!   determinism contract — so cache hits are byte-identical to cold
-//!   computations.
+//!   computations, including hits served from disk after a restart.
 //! * [`jobs`] — the bounded asynchronous job queue with cooperative
 //!   cancellation (`DELETE /jobs/{id}` aborts between replica batches).
+//! * [`ring`] — consistent-hash routing for share-nothing multi-instance
+//!   fleets (`popgame fleet` routes canonical keys over it).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod api;
 pub mod cache;
 pub mod http;
 pub mod jobs;
+pub mod ring;
 
 use api::AppState;
 use cache::ResultCache;
@@ -79,6 +83,14 @@ pub struct ServiceConfig {
     /// `None` leaves the runner's own resolution in force
     /// (`POPGAME_WORKERS` / `POPGAME_THREADS` / available parallelism).
     pub sim_workers: Option<usize>,
+    /// Directory for the persistent cache tier (`--cache-dir`). `None`
+    /// keeps the cache memory-only; with a directory, every cacheable
+    /// result and reproduce artifact is also written to disk and
+    /// re-served byte-identically after a restart.
+    pub cache_dir: Option<String>,
+    /// Byte budget for the disk tier (`--cache-disk-budget`); the
+    /// oldest entries by mtime are evicted once the total exceeds it.
+    pub cache_disk_budget: u64,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +106,8 @@ impl Default for ServiceConfig {
             read_timeout: Duration::from_secs(5),
             remote_shutdown: false,
             sim_workers: None,
+            cache_dir: None,
+            cache_disk_budget: cache::DEFAULT_DISK_BUDGET,
         }
     }
 }
@@ -101,7 +115,8 @@ impl Default for ServiceConfig {
 /// The daemon flags accepted by [`ServiceConfig::from_args`], for usage
 /// messages (shared by `popgamed` and `popgame serve`).
 pub const SERVE_USAGE: &str = "[--addr HOST:PORT] [--http-workers N] [--job-workers N] \
-     [--workers N] [--queue-depth N] [--job-queue-depth N] [--allow-remote-shutdown]";
+     [--workers N] [--queue-depth N] [--job-queue-depth N] [--cache-dir DIR] \
+     [--cache-disk-budget BYTES] [--allow-remote-shutdown]";
 
 impl ServiceConfig {
     /// Parses daemon command-line flags (see [`SERVE_USAGE`]) on top of
@@ -155,6 +170,12 @@ impl ServiceConfig {
                             .map_err(|e| format!("--workers: {e}"))?,
                     );
                 }
+                "--cache-dir" => config.cache_dir = Some(value_of("--cache-dir")?),
+                "--cache-disk-budget" => {
+                    config.cache_disk_budget = value_of("--cache-disk-budget")?
+                        .parse()
+                        .map_err(|e| format!("--cache-disk-budget: {e}"))?;
+                }
                 "--allow-remote-shutdown" => config.remote_shutdown = true,
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -180,10 +201,16 @@ impl PopgameService {
         if config.sim_workers.is_some() {
             popgame_runner::set_worker_threads(config.sim_workers);
         }
-        let cache = Arc::new(ResultCache::new(config.cache_shards));
+        let mut cache = ResultCache::new(config.cache_shards);
+        if let Some(dir) = &config.cache_dir {
+            cache = cache.with_disk(dir, config.cache_disk_budget)?;
+        }
+        let cache = Arc::new(cache);
         // The job executor: cache-check, run, cache-fill. Results are
         // cached only for runs that completed un-cancelled, so partial
-        // work can never poison the content-addressed store.
+        // work can never poison the content-addressed store. Reproduce
+        // runs additionally store their rendered artifacts in the same
+        // cache, which is what `GET /artifacts/{id}` serves.
         let executor_cache = Arc::clone(&cache);
         let executor: Executor = Arc::new(move |canonical, cancel, progress| {
             if let Some(body) = executor_cache.get(canonical) {
@@ -192,7 +219,12 @@ impl PopgameService {
                 progress.task_done(0);
                 return Ok(body);
             }
-            let doc = api::execute_canonical_observed(canonical, cancel, progress)?;
+            let doc = api::execute_canonical_with_artifacts(
+                canonical,
+                cancel,
+                progress,
+                Some(&executor_cache),
+            )?;
             let body = Arc::new(doc.encode());
             if !cancel.load(Ordering::Relaxed) {
                 executor_cache.insert(canonical.to_string(), Arc::clone(&body));

@@ -1,0 +1,200 @@
+//! Consistent-hash routing for multi-instance deployments.
+//!
+//! A fleet of share-nothing `popgamed` instances stays cache-efficient
+//! only if equal canonical requests land on the same instance. The
+//! [`HashRing`] maps canonical keys to instances with classic
+//! consistent hashing: every node is placed on a `u64` ring at a
+//! configurable number of pseudo-random points (FNV-1a of `"{id}#{v}"` —
+//! the same hash family as the cache's shard router and the disk tier's
+//! file names), and a key routes to the first node point at or after
+//! its own hash, wrapping at the top.
+//!
+//! The property that matters operationally: adding or removing one node
+//! only remaps the keys that land on that node's arcs — roughly
+//! `1/nodes` of the keyspace — so a rebalance invalidates one shard's
+//! worth of warm cache instead of all of it. `popgame fleet` measures
+//! exactly this during its add/remove phases, and the unit tests below
+//! pin the invariant.
+
+use crate::cache::fnv1a64;
+
+/// Virtual-node count used when callers don't pick one: enough that a
+/// handful of instances split the keyspace within a few percent.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A consistent-hash ring over string node ids (typically `host:port`).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: usize,
+    /// Node ids in insertion order (stable for display/iteration).
+    ids: Vec<String>,
+    /// `(point, index into ids)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// An empty ring with the given virtual-node count per node
+    /// (minimum 1).
+    pub fn new(vnodes: usize) -> Self {
+        HashRing {
+            vnodes: vnodes.max(1),
+            ids: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// A ring pre-populated with `ids`, in order.
+    pub fn with_nodes<I, S>(ids: I, vnodes: usize) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut ring = HashRing::new(vnodes);
+        for id in ids {
+            ring.add(id);
+        }
+        ring
+    }
+
+    /// Adds a node (no-op if the id is already present).
+    pub fn add<S: Into<String>>(&mut self, id: S) {
+        let id = id.into();
+        if self.ids.contains(&id) {
+            return;
+        }
+        self.ids.push(id);
+        self.rebuild();
+    }
+
+    /// Removes a node by id; returns whether it was present.
+    pub fn remove(&mut self, id: &str) -> bool {
+        let Some(index) = self.ids.iter().position(|existing| existing == id) else {
+            return false;
+        };
+        self.ids.remove(index);
+        self.rebuild();
+        true
+    }
+
+    /// The node a key routes to, or `None` on an empty ring.
+    pub fn route(&self, key: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = fnv1a64(key.as_bytes());
+        // First point at or after the key's hash; wrap to the lowest
+        // point past the top of the ring.
+        let at = self
+            .points
+            .partition_point(|&(point, _)| point < hash);
+        let (_, index) = self.points[at % self.points.len()];
+        Some(&self.ids[index])
+    }
+
+    /// Node ids in insertion order.
+    pub fn nodes(&self) -> &[String] {
+        &self.ids
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        for (index, id) in self.ids.iter().enumerate() {
+            for v in 0..self.vnodes {
+                self.points.push((fnv1a64(format!("{id}#{v}").as_bytes()), index));
+            }
+        }
+        // Ties (astronomically unlikely with 64-bit points) break by
+        // node index so routing stays deterministic regardless of
+        // insertion history.
+        self.points.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(count: usize) -> Vec<String> {
+        (0..count)
+            .map(|i| format!("{{\"endpoint\":\"simulate\",\"seed\":{i}}}"))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::with_nodes(["a:1", "b:2", "c:3"], DEFAULT_VNODES);
+        for key in keys(200) {
+            let first = ring.route(&key).unwrap().to_string();
+            assert_eq!(ring.route(&key), Some(first.as_str()));
+        }
+        // Insertion order never affects routing.
+        let reordered = HashRing::with_nodes(["c:3", "a:1", "b:2"], DEFAULT_VNODES);
+        for key in keys(200) {
+            assert_eq!(ring.route(&key), reordered.route(&key));
+        }
+        assert_eq!(HashRing::new(DEFAULT_VNODES).route("anything"), None);
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        let nodes = ["a:1", "b:2", "c:3", "d:4"];
+        let ring = HashRing::with_nodes(nodes, DEFAULT_VNODES);
+        let mut counts = vec![0usize; nodes.len()];
+        let sample = keys(4000);
+        for key in &sample {
+            let node = ring.route(key).unwrap();
+            counts[nodes.iter().position(|n| *n == node).unwrap()] += 1;
+        }
+        let expected = sample.len() / nodes.len();
+        for (node, &count) in nodes.iter().zip(&counts) {
+            assert!(
+                count > expected / 3 && count < expected * 3,
+                "{node} got {count} of {} keys (expected ~{expected})",
+                sample.len()
+            );
+        }
+    }
+
+    #[test]
+    fn membership_changes_only_remap_the_affected_arcs() {
+        let mut ring = HashRing::with_nodes(["a:1", "b:2", "c:3", "d:4"], DEFAULT_VNODES);
+        let sample = keys(3000);
+        let before: Vec<String> = sample
+            .iter()
+            .map(|k| ring.route(k).unwrap().to_string())
+            .collect();
+        // Removing d only remaps keys that were on d.
+        assert!(ring.remove("d:4"));
+        let mut moved = 0usize;
+        for (key, old) in sample.iter().zip(&before) {
+            let now = ring.route(key).unwrap();
+            if old == "d:4" {
+                moved += 1;
+                assert_ne!(now, "d:4");
+            } else {
+                assert_eq!(now, old.as_str(), "{key} moved despite its node surviving");
+            }
+        }
+        assert!(moved > 0, "some keys lived on the removed node");
+        // Adding d back restores the original assignment exactly.
+        ring.add("d:4");
+        for (key, old) in sample.iter().zip(&before) {
+            assert_eq!(ring.route(key), Some(old.as_str()));
+        }
+        // Duplicate adds are no-ops; removal of absent ids reports false.
+        let snapshot = ring.clone();
+        ring.add("d:4");
+        assert_eq!(ring.nodes(), snapshot.nodes());
+        assert!(!ring.remove("zz:9"));
+    }
+}
